@@ -1,0 +1,84 @@
+// Offline-analysis parallelization ablation (paper SIV-C / Table V
+// discussion + SVI future work).
+//
+// The paper distributes tree COMPARISONS across cores but notes that "the
+// tree generation cannot be efficiently parallelized since it would require
+// the use of locks", and lists faster parallel offline algorithms as future
+// work. This reproduction parallelizes BOTH phases lock-free (per-group
+// trees; thread-safe mutex-set table) - this bench sweeps the analysis
+// thread count on a region-heavy trace and checks that (1) the race set is
+// invariant and (2) the slowest-single-bucket time (the distributed MT
+// latency bound) is much smaller than the single-node total.
+#include "bench/bench_util.h"
+#include "common/fsutil.h"
+#include "offline/tracestore.h"
+
+using namespace sword;
+using namespace sword::bench;
+
+int main() {
+  Banner("offline-analysis parallelization (paper SVI future work)",
+         "race set invariant under analysis parallelism; per-region max "
+         "(MT) << single-node total (OA)");
+
+  // A region-heavy workload (the LULESH shape) and an interval-heavy one.
+  struct Case {
+    const char* suite;
+    const char* name;
+    uint64_t size;
+  };
+  const Case cases[] = {{"hpc", "LULESH", 40}, {"ompscr", "c_lu", 64}};
+
+  bool invariant = true;
+  bool mt_much_smaller = true;
+
+  for (const Case& c : cases) {
+    const auto& w = Find(c.suite, c.name);
+
+    // Collect the trace ONCE; re-analyze with different thread counts.
+    TempDir dir("offpar");
+    harness::RunConfig collect;
+    collect.tool = harness::ToolKind::kSword;
+    collect.params.threads = 8;
+    collect.params.size = c.size;
+    collect.trace_dir = dir.path();
+    collect.run_offline = false;
+    (void)harness::RunWorkload(w, collect);
+
+    auto store = offline::TraceStore::OpenDir(dir.path());
+    if (!store.ok()) {
+      std::fprintf(stderr, "trace load failed: %s\n",
+                   store.status().ToString().c_str());
+      return 1;
+    }
+
+    TextTable table({std::string(c.name) + " analysis threads", "OA total",
+                     "build", "compare", "MT (slowest region)", "races"});
+    uint64_t first_races = ~0ull;
+    for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+      offline::AnalysisConfig config;
+      config.threads = threads;
+      const auto result = offline::Analyze(store.value(), config);
+      table.AddRow({std::to_string(threads),
+                    FormatSeconds(result.stats.total_seconds),
+                    FormatSeconds(result.stats.build_seconds),
+                    FormatSeconds(result.stats.compare_seconds),
+                    FormatSeconds(result.stats.max_bucket_seconds),
+                    std::to_string(result.races.size())});
+      if (first_races == ~0ull) first_races = result.races.size();
+      if (result.races.size() != first_races) invariant = false;
+      if (result.stats.buckets > 4 &&
+          result.stats.max_bucket_seconds > result.stats.total_seconds / 2) {
+        mt_much_smaller = false;
+      }
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  Check(invariant, "race set invariant under analysis thread count");
+  Check(mt_much_smaller,
+        "slowest single region (MT) well below single-node total (OA) - the "
+        "distributed-analysis headroom of Table V");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces Figure 8: AMG2013 runtime and memory as the problem size grows
+// (10^3..40^3). Claims: archer's memory tracks the application's footprint
+// (5-7x of touched memory) until it exceeds the node's budget and the
+// analysis dies with OOM; sword's memory stays flat at threads x 3.3 MB and
+// every size completes, including the offline analysis.
+#include "bench/bench_util.h"
+
+using namespace sword;
+using namespace sword::bench;
+
+int main() {
+  Banner("Figure 8 - AMG memory and runtime vs problem size",
+         "archer memory grows ~5-7x with the app and OOMs at the largest "
+         "size; sword stays flat and always completes");
+
+  constexpr uint64_t kNodeCap = 10 * 1024 * 1024;  // same node as Table IV
+
+  TextTable table({"size", "baseline mem", "archer mem", "ratio", "archer",
+                   "sword mem", "sword dyn", "sword OA", "sword races"});
+
+  bool flat = true;
+  bool grows = true;
+  uint64_t prev_archer = 0, first_sword = 0;
+  bool oom_at_40 = false, oom_before_40 = false;
+
+  for (const char* name :
+       {"AMG2013_10", "AMG2013_20", "AMG2013_30", "AMG2013_40"}) {
+    const auto& w = Find("hpc", name);
+    const auto archer = Run(w, harness::ToolKind::kArcher, 8, 0, kNodeCap);
+
+    harness::RunConfig sc;
+    sc.tool = harness::ToolKind::kSword;
+    sc.params.threads = 8;
+    sc.offline_threads = 8;
+    const auto sword_run = harness::RunWorkload(w, sc);
+
+    const double ratio = archer.baseline_bytes
+                             ? static_cast<double>(archer.tool_peak_bytes) /
+                                   static_cast<double>(archer.baseline_bytes)
+                             : 0;
+    table.AddRow({w.name, FormatBytes(archer.baseline_bytes),
+                  FormatBytes(archer.tool_peak_bytes), FmtX(ratio, 1),
+                  archer.oom ? "OOM" : "ok",
+                  FormatBytes(sword_run.tool_peak_bytes),
+                  FormatSeconds(sword_run.dynamic_seconds),
+                  FormatSeconds(sword_run.offline_seconds),
+                  std::to_string(sword_run.races)});
+
+    if (!first_sword) first_sword = sword_run.tool_peak_bytes;
+    if (sword_run.tool_peak_bytes != first_sword) flat = false;
+    if (prev_archer && archer.tool_peak_bytes <= prev_archer && !archer.oom) {
+      grows = false;
+    }
+    prev_archer = archer.tool_peak_bytes;
+    if (std::string(name) == "AMG2013_40") {
+      oom_at_40 = archer.oom;
+    } else if (archer.oom) {
+      oom_before_40 = true;
+    }
+  }
+
+  table.Print();
+  std::printf("\n");
+  Check(flat, "sword memory identical at every problem size (threads x 3.3 MB)");
+  Check(grows, "archer memory grows with the problem size");
+  Check(oom_at_40 && !oom_before_40,
+        "archer OOMs exactly at the largest size under the node cap");
+  return 0;
+}

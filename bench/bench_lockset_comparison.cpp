@@ -1,0 +1,75 @@
+// Beyond-paper ablation: the detector design space around SWORD (paper SII).
+//
+// Three analyses on the full DataRaceBench suite:
+//   archer - pure happens-before: no false alarms, but schedule-dependent
+//            (masks races) and eviction-lossy;
+//   eraser - pure lockset: schedule-INdependent (catches everything archer
+//            masks) but blind to barrier/single/ordered synchronization,
+//            so it FALSE-ALARMS on correctly synchronized kernels;
+//   sword  - barrier intervals + locksets, offline: schedule-independent
+//            AND false-alarm-free.
+// This is the quantitative version of the paper's argument for combining
+// the concurrency structure with locksets rather than using either alone.
+#include "bench/bench_util.h"
+
+using namespace sword;
+using namespace sword::bench;
+
+int main() {
+  Banner("detector design space - HB vs lockset vs SWORD",
+         "pure HB misses (masking/eviction), pure lockset false-alarms on "
+         "barrier synchronization, SWORD does neither");
+
+  TextTable table({"benchmark", "real", "archer", "eraser", "sword", "eraser verdict"});
+
+  int eraser_false_alarm_kernels = 0;
+  int archer_missed_kernels = 0;
+  bool sword_exact = true;
+  int eraser_caught_archer_miss = 0;
+
+  std::vector<const workloads::Workload*> suite =
+      workloads::WorkloadRegistry::Get().BySuite("drb");
+  for (const auto* w : workloads::WorkloadRegistry::Get().BySuite("ompscr")) {
+    suite.push_back(w);
+  }
+  for (const auto* w : suite) {
+    const auto archer = Run(*w, harness::ToolKind::kArcher);
+    const auto eraser = Run(*w, harness::ToolKind::kEraser);
+    const auto sword_run = Run(*w, harness::ToolKind::kSword);
+
+    std::string verdict = "-";
+    if (eraser.races > static_cast<uint64_t>(w->total_races)) {
+      verdict = "FALSE ALARM";
+      eraser_false_alarm_kernels++;
+    } else if (eraser.races > archer.races) {
+      verdict = "beats HB (no masking)";
+      eraser_caught_archer_miss++;
+    }
+    if (archer.races < static_cast<uint64_t>(w->total_races) && w->total_races > 0) {
+      archer_missed_kernels++;
+    }
+    if (sword_run.races != static_cast<uint64_t>(w->total_races)) sword_exact = false;
+
+    table.AddRow({w->name, std::to_string(w->total_races),
+                  std::to_string(archer.races), std::to_string(eraser.races),
+                  std::to_string(sword_run.races), verdict});
+  }
+
+  table.Print();
+  std::printf("\n");
+  Check(eraser_false_alarm_kernels >= 3,
+        "pure lockset false-alarms on barrier-synchronized kernels (" +
+            std::to_string(eraser_false_alarm_kernels) + " kernels)");
+  Check(archer_missed_kernels >= 3,
+        "pure HB misses real races (" + std::to_string(archer_missed_kernels) +
+            " kernels)");
+  Check(sword_exact, "sword: exactly the real races on every kernel - "
+                     "schedule independence without the false alarms");
+  std::printf("\nnote: eraser beat HB on %d kernel(s); it has its own blind spot\n"
+              "      (accesses made while a location is still thread-exclusive are\n"
+              "      never revisited), so it also misses the eviction-pattern races\n"
+              "      whose first write precedes the sharing. SWORD's offline replay\n"
+              "      has neither limitation.\n",
+              eraser_caught_archer_miss);
+  return 0;
+}

@@ -1,0 +1,257 @@
+// Google-benchmark microbenchmarks for the performance-critical components:
+// per-access costs (trace append, shadow check), interval-tree operations,
+// OSL judgments, Diophantine/ILP solves, codec throughput, and vector-clock
+// joins. These are the constants behind every macro number in the tables.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "compress/compressor.h"
+#include "hb/shadow.h"
+#include "hb/vectorclock.h"
+#include "ilp/diophantine.h"
+#include "ilp/overlap.h"
+#include "itree/interval_tree.h"
+#include "osl/label.h"
+#include "somp/instr.h"
+#include "somp/runtime.h"
+#include "trace/event.h"
+#include "trace/writer.h"
+#include "common/fsutil.h"
+#include "trace/flusher.h"
+
+namespace {
+
+using namespace sword;
+
+void BM_EventEncode(benchmark::State& state) {
+  Bytes buffer;
+  buffer.reserve(1 << 20);
+  ByteWriter w(&buffer);
+  uint64_t addr = 0x1000;
+  for (auto _ : state) {
+    trace::EncodeEvent(trace::RawEvent::Access(addr, 8, 1, 42), w);
+    addr += 8;
+    if (buffer.size() > (1 << 20) - 16) buffer.clear();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventEncode);
+
+void BM_TraceAppend(benchmark::State& state) {
+  TempDir dir("bm-trace");
+  trace::Flusher flusher(/*async=*/true);
+  trace::WriterConfig wc;
+  wc.log_path = dir.File("t.log");
+  wc.meta_path = dir.File("t.meta");
+  wc.flusher = &flusher;
+  trace::ThreadTraceWriter writer(0, wc);
+  trace::IntervalMeta meta;
+  meta.label = osl::Label::Initial().Fork(0, 2);
+  writer.BeginSegment(meta);
+  uint64_t addr = 0x4000;
+  for (auto _ : state) {
+    writer.Append(trace::RawEvent::Access(addr, 8, 1, 7));
+    addr += 8;
+  }
+  writer.EndSegment();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceAppend);
+
+void BM_ShadowProcessAccess(benchmark::State& state) {
+  MemoryScope memory("bm-shadow");
+  hb::ShadowMemory shadow(4, &memory);
+  hb::VectorClock clock;
+  clock.Tick(0);
+  auto sink = [](const RaceReport&) {};
+  uint64_t addr = 0x10000;
+  for (auto _ : state) {
+    hb::AccessRecord rec{0, 1, addr, 8, 1, 9};
+    benchmark::DoNotOptimize(shadow.ProcessAccess(rec, clock, sink));
+    addr += 8;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShadowProcessAccess);
+
+void BM_ItreeAddAccessSummarizing(benchmark::State& state) {
+  itree::IntervalTree tree;
+  itree::AccessKey key;
+  key.pc = 1;
+  key.flags = itree::kWrite;
+  key.size = 8;
+  uint64_t addr = 0x100000;
+  for (auto _ : state) {
+    tree.AddAccess(addr, key);
+    addr += 8;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ItreeAddAccessSummarizing);
+
+void BM_ItreeAddAccessScattered(benchmark::State& state) {
+  itree::IntervalTree tree;
+  Rng rng(3);
+  for (auto _ : state) {
+    itree::AccessKey key;
+    key.pc = static_cast<uint32_t>(rng.Below(64));
+    key.flags = itree::kWrite;
+    key.size = 8;
+    tree.AddAccess(0x100000 + rng.Below(1 << 24) * 8, key);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ItreeAddAccessScattered);
+
+void BM_ItreeQuery(benchmark::State& state) {
+  itree::IntervalTree tree;
+  Rng rng(5);
+  itree::AccessKey key;
+  key.pc = 1;
+  for (int i = 0; i < 100000; i++) {
+    tree.AddInterval({0x100000 + rng.Below(1 << 24), 8, 1 + rng.Below(16), 8}, key);
+  }
+  for (auto _ : state) {
+    const uint64_t lo = 0x100000 + rng.Below(1 << 24);
+    uint64_t found = 0;
+    tree.QueryRange(lo, lo + 256, [&](const itree::AccessNode&) {
+      found++;
+      return true;
+    });
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ItreeQuery);
+
+void BM_OslConcurrent(benchmark::State& state) {
+  const osl::Label a = osl::Label::Initial().Fork(1, 8).AfterBarrier().Fork(0, 2);
+  const osl::Label b = osl::Label::Initial().Fork(3, 8).AfterBarrier().Fork(1, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(osl::Concurrent(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OslConcurrent);
+
+void BM_DiophantineSolve(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ilp::SolveBoundedDiophantine(
+        8, -static_cast<int64_t>(1 + rng.Below(16)), static_cast<int64_t>(rng.Below(64)),
+        0, 1000, 0, 1000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiophantineSolve);
+
+void BM_OverlapIntersect(benchmark::State& state) {
+  const bool use_ilp = state.range(0) != 0;
+  const ilp::OverlapEngine engine =
+      use_ilp ? ilp::OverlapEngine::kIlp : ilp::OverlapEngine::kDiophantine;
+  const ilp::StridedInterval a{10, 8, 500, 4};
+  const ilp::StridedInterval b{14, 8, 500, 4};  // Fig. 4: no intersection
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ilp::Intersect(a, b, engine));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OverlapIntersect)->Arg(0)->Arg(1);
+
+void BM_CodecCompress(benchmark::State& state) {
+  const auto names = CompressorNames();
+  const Compressor* codec = FindCompressor(names[static_cast<size_t>(state.range(0))]);
+  ByteWriter w;
+  for (uint64_t i = 0; i < 25000; i++) {
+    trace::EncodeEvent(trace::RawEvent::Access(0x1000 + i * 8, 8, 1, 77), w);
+  }
+  const Bytes& input = w.buffer();
+  for (auto _ : state) {
+    Bytes out;
+    benchmark::DoNotOptimize(codec->Compress(input.data(), input.size(), &out));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(input.size()));
+  state.SetLabel(codec->Name());
+}
+BENCHMARK(BM_CodecCompress)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_SompRegionForkJoin(benchmark::State& state) {
+  // Cost of one empty parallel region at the given width - the constant
+  // behind LULESH's region-count-dominated profile (Fig. 7c / Table V).
+  somp::RuntimeConfig rc;
+  somp::Runtime::Get().ResetIds();
+  somp::Runtime::Get().Configure(rc);
+  const uint32_t span = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    somp::Parallel(span, [](somp::Ctx&) {});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SompRegionForkJoin)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SompBarrier(benchmark::State& state) {
+  somp::RuntimeConfig rc;
+  somp::Runtime::Get().ResetIds();
+  somp::Runtime::Get().Configure(rc);
+  const int64_t barriers = 64;
+  for (auto _ : state) {
+    somp::Parallel(4, [&](somp::Ctx& ctx) {
+      for (int64_t b = 0; b < barriers; b++) ctx.Barrier();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * barriers);
+}
+BENCHMARK(BM_SompBarrier);
+
+void BM_SompCritical(benchmark::State& state) {
+  somp::RuntimeConfig rc;
+  somp::Runtime::Get().ResetIds();
+  somp::Runtime::Get().Configure(rc);
+  const int64_t acquisitions = 256;
+  for (auto _ : state) {
+    somp::Parallel(4, [&](somp::Ctx& ctx) {
+      for (int64_t k = 0; k < acquisitions; k++) {
+        ctx.Critical("bm-crit", [] {});
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * acquisitions * 4);
+}
+BENCHMARK(BM_SompCritical);
+
+void BM_InstrumentedLoad(benchmark::State& state) {
+  // Per-access cost of the shim WITHOUT any tool (the "baseline" column's
+  // instrumentation overhead).
+  somp::RuntimeConfig rc;
+  somp::Runtime::Get().ResetIds();
+  somp::Runtime::Get().Configure(rc);
+  std::vector<double> data(1024, 1.0);
+  somp::Parallel(1, [&](somp::Ctx&) {
+    size_t i = 0;
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(instr::load(data[i++ & 1023]));
+    }
+  });
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InstrumentedLoad);
+
+void BM_VectorClockJoin(benchmark::State& state) {
+  hb::VectorClock a, b;
+  for (uint32_t i = 0; i < 32; i++) {
+    a.Set(i, i * 3);
+    b.Set(i, 100 - i);
+  }
+  for (auto _ : state) {
+    hb::VectorClock c = a;
+    c.Join(b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VectorClockJoin);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Reproduces Table IV: data races reported in the HPC benchmarks, with the
+// simulated node memory cap that OOMs ARCHER on AMG2013_40. Claims:
+// miniFE/LULESH clean; HPCCG's one benign-but-UB race found by both; AMG: 4
+// races for archer, 14 for sword, archer OOM at the largest size.
+#include "bench/bench_util.h"
+
+using namespace sword;
+using namespace sword::bench;
+
+int main() {
+  Banner("Table IV - data races reported in HPC benchmarks",
+         "HPCCG 1/1, miniFE 0/0, LULESH 0/0; AMG archer 4 vs sword 14 with "
+         "archer OOM at the largest size");
+
+  // The simulated node memory available to the detector (see DESIGN.md):
+  // sized so AMG_30's shadow fits and AMG_40's does not, like the paper's
+  // 32 GB node with production problem sizes.
+  constexpr uint64_t kNodeCap = 10 * 1024 * 1024;
+
+  struct Row {
+    const char* name;
+    uint64_t size;  // 0 = default
+  };
+  const Row rows[] = {{"miniFE", 6000}, {"HPCCG", 8000},     {"LULESH", 40},
+                      {"AMG2013_10", 0}, {"AMG2013_20", 0},  {"AMG2013_30", 0},
+                      {"AMG2013_40", 0}};
+
+  TextTable table({"benchmark", "archer", "archer-low", "sword"});
+  bool shape_ok = true;
+
+  for (const Row& row : rows) {
+    const auto& w = Find("hpc", row.name);
+    const auto archer =
+        Run(w, harness::ToolKind::kArcher, 8, row.size, kNodeCap);
+    const auto archer_low =
+        Run(w, harness::ToolKind::kArcherLow, 8, row.size, kNodeCap);
+    const auto sword_run = Run(w, harness::ToolKind::kSword, 8, row.size);
+
+    auto cell = [](const harness::RunResult& r) {
+      return r.oom ? std::string("OOM") : std::to_string(r.races);
+    };
+    table.AddRow({row.name, cell(archer), cell(archer_low), cell(sword_run)});
+
+    const std::string name(row.name);
+    if (name == "AMG2013_40") {
+      if (!archer.oom || sword_run.races != 14) shape_ok = false;
+    } else if (name.rfind("AMG", 0) == 0) {
+      if (archer.oom || archer.races != 4 || sword_run.races != 14) shape_ok = false;
+    } else if (name == "HPCCG") {
+      if (archer.races != 1 || sword_run.races != 1) shape_ok = false;
+    } else {
+      if (archer.races != 0 || sword_run.races != 0) shape_ok = false;
+    }
+  }
+
+  table.Print();
+  std::printf("\n");
+  Check(shape_ok, "Table IV shape: clean apps clean, HPCCG 1/1, AMG 4-vs-14, "
+                  "archer OOM only at AMG2013_40");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Shared helpers for the table/figure reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper: it runs
+// the relevant workloads under the relevant detector configurations and
+// prints rows in the paper's format, plus the paper's qualitative claim so
+// the output is self-checking ("shape" comparison, not absolute numbers -
+// the substrate here is a simulator on different hardware).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "common/timer.h"
+#include "harness/harness.h"
+#include "workloads/workload.h"
+
+namespace sword::bench {
+
+inline const workloads::Workload& Find(const std::string& suite,
+                                       const std::string& name) {
+  const workloads::Workload* w = workloads::WorkloadRegistry::Get().Find(suite, name);
+  if (!w) {
+    std::fprintf(stderr, "workload %s/%s not registered\n", suite.c_str(),
+                 name.c_str());
+    std::abort();
+  }
+  return *w;
+}
+
+inline harness::RunResult Run(const workloads::Workload& w, harness::ToolKind tool,
+                              uint32_t threads = 8, uint64_t size = 0,
+                              uint64_t archer_cap = 0) {
+  harness::RunConfig config;
+  config.tool = tool;
+  config.params.threads = threads;
+  config.params.size = size;
+  config.archer_memory_cap = archer_cap;
+  return harness::RunWorkload(w, config);
+}
+
+inline void Banner(const char* title, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("paper's claim: %s\n", claim);
+  std::printf("==============================================================\n\n");
+}
+
+/// Prints PASS/CHECK lines so bench output doubles as a shape check.
+inline void Check(bool ok, const std::string& what) {
+  std::printf("[%s] %s\n", ok ? "REPRODUCED" : "MISMATCH  ", what.c_str());
+}
+
+}  // namespace sword::bench

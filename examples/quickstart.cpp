@@ -1,0 +1,89 @@
+// Quickstart: instrument a tiny racy program, collect a SWORD trace, run the
+// offline analysis, and print the race report with source locations.
+//
+//   $ ./examples/quickstart
+//
+// This walks the full pipeline of the paper in ~60 lines of user code:
+//   1. write the program against the somp runtime + instr shims;
+//   2. register a SwordTool and run (bounded-memory trace collection);
+//   3. open the trace directory and run offline::Analyze;
+//   4. map reported PCs back to file:line.
+#include <cstdio>
+
+#include "common/fsutil.h"
+#include "common/timer.h"
+#include "core/sword_tool.h"
+#include "offline/analysis.h"
+#include "offline/tracestore.h"
+#include "somp/instr.h"
+#include "somp/runtime.h"
+#include "somp/srcloc.h"
+
+using namespace sword;
+
+int main() {
+  // The program under test: the paper's SIII-B example, a[i] = a[i-1],
+  // which has a loop-carried dependence and therefore races at every
+  // boundary between two threads' chunks.
+  constexpr int64_t kN = 1000;
+  std::vector<int64_t> a(kN, 7);
+
+  auto program = [&] {
+    somp::Parallel(2, [&](somp::Ctx& ctx) {
+      ctx.For(1, kN, [&](int64_t i) {
+        const int64_t prev = instr::load(a[static_cast<size_t>(i) - 1]);
+        instr::store(a[static_cast<size_t>(i)], prev);
+      });
+    });
+  };
+
+  // --- 1. Collect the trace with a fixed 2 MB per-thread buffer.
+  TempDir trace_dir("quickstart");
+  core::SwordConfig config;
+  config.out_dir = trace_dir.path();
+
+  core::SwordTool tool(config);
+  somp::RuntimeConfig rc;
+  rc.tool = &tool;
+  somp::Runtime::Get().Configure(rc);
+
+  program();
+  if (Status s = tool.Finalize(); !s.ok()) {
+    std::fprintf(stderr, "trace collection failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  somp::Runtime::Get().Configure({});
+
+  std::printf("collected %llu events from %u threads into %s\n",
+              static_cast<unsigned long long>(tool.EventsLogged()),
+              tool.ThreadCount(), trace_dir.path().c_str());
+  std::printf("bounded collection memory: %s (buffers + fixed per-thread aux)\n",
+              FormatBytes(tool.PeakMemoryBytes()).c_str());
+
+  // --- 2. Offline analysis: concurrency recovery + interval trees + ILP.
+  auto store = offline::TraceStore::OpenDir(trace_dir.path());
+  if (!store.ok()) {
+    std::fprintf(stderr, "open traces: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  const offline::AnalysisResult result = offline::Analyze(store.value());
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "analysis: %s\n", result.status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nanalyzed %llu intervals, built %llu interval trees "
+              "(%llu nodes from %llu raw events)\n",
+              static_cast<unsigned long long>(result.stats.intervals),
+              static_cast<unsigned long long>(result.stats.trees_built),
+              static_cast<unsigned long long>(result.stats.tree_nodes),
+              static_cast<unsigned long long>(result.stats.raw_events));
+
+  // --- 3. Report.
+  auto pc_name = [](uint32_t pc) { return somp::LookupSrcLoc(pc).ToString(); };
+  std::printf("\n%zu data race(s):\n", result.races.size());
+  for (const RaceReport& race : result.races.reports()) {
+    std::printf("  %s\n", race.ToString(pc_name).c_str());
+  }
+  return result.races.size() == 1 ? 0 : 1;  // exactly the documented race
+}

@@ -1,0 +1,56 @@
+#include "common/args.h"
+
+#include <cstdlib>
+
+namespace sword {
+
+ArgParser::ArgParser(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(token));
+      continue;
+    }
+    token = token.substr(2);
+    const size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+      flags_[token.substr(0, eq)] = token.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[token] = argv[++i];
+    } else {
+      flags_[token] = "";
+    }
+  }
+}
+
+std::string ArgParser::GetString(const std::string& flag,
+                                 const std::string& def) const {
+  queried_[flag] = true;
+  auto it = flags_.find(flag);
+  return it == flags_.end() ? def : it->second;
+}
+
+int64_t ArgParser::GetInt(const std::string& flag, int64_t def) const {
+  queried_[flag] = true;
+  auto it = flags_.find(flag);
+  if (it == flags_.end() || it->second.empty()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+bool ArgParser::GetBool(const std::string& flag, bool def) const {
+  queried_[flag] = true;
+  auto it = flags_.find(flag);
+  if (it == flags_.end()) return def;
+  return it->second.empty() || it->second == "true" || it->second == "1";
+}
+
+std::vector<std::string> ArgParser::UnknownFlags() const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : flags_) {
+    (void)value;
+    if (!queried_.count(name)) unknown.push_back("--" + name);
+  }
+  return unknown;
+}
+
+}  // namespace sword

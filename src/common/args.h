@@ -1,0 +1,35 @@
+// Minimal command-line flag parser for the CLI tools: supports
+// --flag=value, --flag value, bare --flag (boolean), and positional
+// arguments. No external dependencies, deliberately small.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sword {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv);
+
+  /// Positional arguments in order (non-flag tokens).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool Has(const std::string& flag) const { return flags_.count(flag) > 0; }
+
+  std::string GetString(const std::string& flag, const std::string& def = "") const;
+  int64_t GetInt(const std::string& flag, int64_t def) const;
+  bool GetBool(const std::string& flag, bool def = false) const;
+
+  /// Flags that were provided but never queried (typo detection).
+  std::vector<std::string> UnknownFlags() const;
+
+ private:
+  std::map<std::string, std::string> flags_;  // name -> value ("" for bare)
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace sword

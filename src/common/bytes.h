@@ -1,0 +1,86 @@
+// Byte-buffer reader/writer with fixed-width little-endian and LEB128 varint
+// codecs. The trace log format (src/trace) and the compressed block framing
+// (src/compress) are built on these primitives.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sword {
+
+using Bytes = std::vector<uint8_t>;
+
+/// Appends fixed-width and varint-encoded values to a growable byte buffer.
+/// All fixed-width encodings are little-endian regardless of host order.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(Bytes* out) : external_(out) {}
+
+  void PutU8(uint8_t v) { Push(&v, 1); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// Unsigned LEB128.
+  void PutVarU64(uint64_t v);
+  /// Signed value via zigzag + LEB128.
+  void PutVarI64(int64_t v);
+  /// Length-prefixed (varint) byte string.
+  void PutBytes(const uint8_t* data, size_t n);
+  void PutString(const std::string& s);
+  /// Raw bytes, no length prefix.
+  void PutRaw(const void* data, size_t n) { Push(data, n); }
+
+  const Bytes& buffer() const { return external_ ? *external_ : owned_; }
+  Bytes& buffer() { return external_ ? *external_ : owned_; }
+  size_t size() const { return buffer().size(); }
+  void Clear() { buffer().clear(); }
+
+ private:
+  void Push(const void* data, size_t n) {
+    Bytes& b = buffer();
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    b.insert(b.end(), p, p + n);
+  }
+
+  Bytes owned_;
+  Bytes* external_ = nullptr;
+};
+
+/// Reads the encodings produced by ByteWriter. All getters are bounds-checked
+/// and return kCorruptData / kOutOfRange on truncated input.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t n) : data_(data), size_(n) {}
+  explicit ByteReader(const Bytes& b) : data_(b.data()), size_(b.size()) {}
+
+  Status GetU8(uint8_t* v);
+  Status GetU16(uint16_t* v);
+  Status GetU32(uint32_t* v);
+  Status GetU64(uint64_t* v);
+  Status GetVarU64(uint64_t* v);
+  Status GetVarI64(int64_t* v);
+  Status GetBytes(Bytes* out);
+  Status GetString(std::string* out);
+  Status Skip(size_t n);
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+  const uint8_t* cursor() const { return data_ + pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// FNV-1a 64-bit hash; used as the block checksum in the compressed framing
+/// and for report deduplication keys.
+uint64_t Fnv1a64(const void* data, size_t n, uint64_t seed = 0xcbf29ce484222325ULL);
+
+}  // namespace sword

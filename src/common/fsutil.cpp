@@ -1,0 +1,97 @@
+#include "common/fsutil.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+namespace sword {
+
+namespace fs = std::filesystem;
+
+Status WriteFile(const std::string& path, const Bytes& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Status::Io("cannot open for write: " + path);
+  size_t written = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  const int rc = std::fclose(f);
+  if (written != data.size() || rc != 0) {
+    return Status::Io("short write: " + path);
+  }
+  return Status::Ok();
+}
+
+Status AppendFile(const std::string& path, const uint8_t* data, size_t n) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (!f) return Status::Io("cannot open for append: " + path);
+  size_t written = n == 0 ? 0 : std::fwrite(data, 1, n, f);
+  const int rc = std::fclose(f);
+  if (written != n || rc != 0) return Status::Io("short append: " + path);
+  return Status::Ok();
+}
+
+Result<Bytes> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::Io("cannot open for read: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  Bytes out(static_cast<size_t>(size));
+  size_t got = out.empty() ? 0 : std::fread(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  if (got != out.size()) return Status::Io("short read: " + path);
+  return out;
+}
+
+Result<Bytes> ReadFileRange(const std::string& path, uint64_t offset, uint64_t n) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::Io("cannot open for read: " + path);
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::Io("seek failed: " + path);
+  }
+  Bytes out(static_cast<size_t>(n));
+  size_t got = out.empty() ? 0 : std::fread(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  if (got != out.size()) {
+    return Status::Io("range read past EOF: " + path);
+  }
+  return out;
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec) return Status::Io("file_size failed: " + path);
+  return static_cast<uint64_t>(size);
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  if (ec) return Status::Io("remove failed: " + path);
+  return Status::Ok();
+}
+
+TempDir::TempDir(const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  const auto base = fs::temp_directory_path();
+  // PID + counter keeps concurrently running test binaries apart.
+  path_ = (base / (prefix + "-" + std::to_string(::getpid()) + "-" +
+                   std::to_string(counter.fetch_add(1))))
+              .string();
+  fs::create_directories(path_);
+}
+
+TempDir::~TempDir() {
+  std::error_code ec;
+  fs::remove_all(path_, ec);
+}
+
+}  // namespace sword

@@ -1,0 +1,38 @@
+// Filesystem helpers for the trace log/meta files: whole-file read/write and
+// a self-cleaning temporary directory for tests and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace sword {
+
+Status WriteFile(const std::string& path, const Bytes& data);
+Status AppendFile(const std::string& path, const uint8_t* data, size_t n);
+Result<Bytes> ReadFileBytes(const std::string& path);
+/// Reads n bytes starting at byte `offset`; fails if the range is past EOF.
+Result<Bytes> ReadFileRange(const std::string& path, uint64_t offset, uint64_t n);
+Result<uint64_t> FileSize(const std::string& path);
+bool FileExists(const std::string& path);
+Status RemoveFile(const std::string& path);
+
+/// Creates a unique directory under the system temp dir; removes it (and all
+/// contents) on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix = "sword");
+  ~TempDir();
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::string File(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace sword

@@ -1,0 +1,64 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace sword {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_emit_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+void InitLogFromEnv() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("SWORD_LOG");
+    if (!env) return;
+    if (!std::strcmp(env, "debug")) SetLogLevel(LogLevel::kDebug);
+    else if (!std::strcmp(env, "info")) SetLogLevel(LogLevel::kInfo);
+    else if (!std::strcmp(env, "warn")) SetLogLevel(LogLevel::kWarn);
+    else if (!std::strcmp(env, "error")) SetLogLevel(LogLevel::kError);
+    else if (!std::strcmp(env, "off")) SetLogLevel(LogLevel::kOff);
+  });
+}
+
+namespace detail {
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file), line,
+               msg.c_str());
+}
+
+}  // namespace detail
+}  // namespace sword

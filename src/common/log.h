@@ -1,0 +1,51 @@
+// Minimal leveled logger. Quiet by default (warnings+) so test and bench
+// output stays readable; set SWORD_LOG=debug|info|warn|error or call
+// SetLogLevel to change.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sword {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Initializes the level from the SWORD_LOG environment variable once.
+void InitLogFromEnv();
+
+namespace detail {
+void Emit(LogLevel level, const char* file, int line, const std::string& msg);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { Emit(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace sword
+
+#define SWORD_LOG(level)                                             \
+  if (static_cast<int>(level) < static_cast<int>(::sword::GetLogLevel())) {} else \
+    ::sword::detail::LogLine(level, __FILE__, __LINE__)
+
+#define SWORD_DEBUG() SWORD_LOG(::sword::LogLevel::kDebug)
+#define SWORD_INFO() SWORD_LOG(::sword::LogLevel::kInfo)
+#define SWORD_WARN() SWORD_LOG(::sword::LogLevel::kWarn)
+#define SWORD_ERROR() SWORD_LOG(::sword::LogLevel::kError)

@@ -1,0 +1,33 @@
+#include "common/memtrack.h"
+
+namespace sword {
+
+Status MemoryScope::Charge(uint64_t n) {
+  uint64_t cur = current_.load(std::memory_order_relaxed);
+  while (true) {
+    const uint64_t next = cur + n;
+    if (cap_ != 0 && next > cap_) {
+      return Status::Oom(name_ + ": cap " + std::to_string(cap_) +
+                         " bytes exceeded (would reach " + std::to_string(next) + ")");
+    }
+    if (current_.compare_exchange_weak(cur, next, std::memory_order_relaxed)) {
+      // Peak update may lose a race with a concurrent larger peak, which is
+      // fine: we only ever under-report by a transient amount.
+      uint64_t pk = peak_.load(std::memory_order_relaxed);
+      while (next > pk &&
+             !peak_.compare_exchange_weak(pk, next, std::memory_order_relaxed)) {
+      }
+      return Status::Ok();
+    }
+  }
+}
+
+void MemoryScope::Release(uint64_t n) {
+  uint64_t cur = current_.load(std::memory_order_relaxed);
+  while (true) {
+    const uint64_t next = cur >= n ? cur - n : 0;
+    if (current_.compare_exchange_weak(cur, next, std::memory_order_relaxed)) return;
+  }
+}
+
+}  // namespace sword

@@ -1,0 +1,80 @@
+// Race report record shared by the online HB baseline (src/hb) and the SWORD
+// offline analyzer (src/offline).
+//
+// Reports are deduplicated by unordered source-location pair: the same code
+// pair racing on many addresses (every element of an array) is one report,
+// which is how the paper counts races in Tables II and IV.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sword {
+
+struct RaceReport {
+  uint32_t pc1 = 0;        // interned source location of the first access
+  uint32_t pc2 = 0;        // ... and the conflicting one
+  uint64_t address = 0;    // a witness address they share
+  uint8_t size1 = 0;
+  uint8_t size2 = 0;
+  bool write1 = false;
+  bool write2 = false;
+
+  /// Order-insensitive dedup key over the code pair.
+  uint64_t Key() const {
+    const uint32_t a = std::min(pc1, pc2);
+    const uint32_t b = std::max(pc1, pc2);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  /// Renders via a pc -> "file:line" resolver.
+  std::string ToString(const std::function<std::string(uint32_t)>& pc_name) const {
+    std::string out = "data race: ";
+    out += write1 ? "write" : "read";
+    out += " of " + std::to_string(int(size1)) + " bytes at " + pc_name(pc1);
+    out += " vs ";
+    out += write2 ? "write" : "read";
+    out += " of " + std::to_string(int(size2)) + " bytes at " + pc_name(pc2);
+    out += " (addr 0x";
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%llx", static_cast<unsigned long long>(address));
+    out += buf;
+    out += ")";
+    return out;
+  }
+};
+
+/// Dedup accumulator: keeps the first report for each code pair.
+class RaceReportSet {
+ public:
+  /// Returns true if this is a new code pair.
+  bool Add(const RaceReport& report) {
+    if (!keys_.insert(report.Key()).second) return false;
+    reports_.push_back(report);
+    return true;
+  }
+
+  const std::vector<RaceReport>& reports() const { return reports_; }
+  size_t size() const { return reports_.size(); }
+  bool Contains(uint32_t pc1, uint32_t pc2) const {
+    RaceReport probe;
+    probe.pc1 = pc1;
+    probe.pc2 = pc2;
+    return keys_.count(probe.Key()) > 0;
+  }
+
+  void Clear() {
+    keys_.clear();
+    reports_.clear();
+  }
+
+ private:
+  std::set<uint64_t> keys_;
+  std::vector<RaceReport> reports_;
+};
+
+}  // namespace sword

@@ -1,0 +1,35 @@
+// Deterministic xoshiro256** RNG. All randomized tests, fuzzers, and workload
+// generators use this so results reproduce across runs and machines
+// (std::mt19937 distributions are not portable across standard libraries).
+#pragma once
+
+#include <cstdint>
+
+namespace sword {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound) via Lemire's rejection-free mapping; bound > 0.
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Chance(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace sword

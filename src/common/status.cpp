@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace sword {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kInvalidArgument:
+      return "invalid-argument";
+    case ErrorCode::kNotFound:
+      return "not-found";
+    case ErrorCode::kOutOfRange:
+      return "out-of-range";
+    case ErrorCode::kCorruptData:
+      return "corrupt-data";
+    case ErrorCode::kIoError:
+      return "io-error";
+    case ErrorCode::kOutOfMemory:
+      return "out-of-memory";
+    case ErrorCode::kUnsupported:
+      return "unsupported";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = ErrorCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace sword

@@ -1,0 +1,102 @@
+// Lightweight status / expected types used across the SWORD reproduction.
+//
+// We avoid exceptions on hot paths (trace collection runs inside instrumented
+// parallel regions); fallible operations return Status or Result<T>.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sword {
+
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kCorruptData,
+  kIoError,
+  kOutOfMemory,   // used by the HB baseline to signal the simulated node OOM
+  kUnsupported,
+  kInternal,
+};
+
+/// Human-readable name of an ErrorCode ("ok", "io-error", ...).
+const char* ErrorCodeName(ErrorCode code);
+
+/// A cheap, copyable status: an error code plus an optional message.
+/// The OK status carries no allocation.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(ErrorCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(ErrorCode::kNotFound, std::move(msg));
+  }
+  static Status Corrupt(std::string msg) {
+    return Status(ErrorCode::kCorruptData, std::move(msg));
+  }
+  static Status Io(std::string msg) {
+    return Status(ErrorCode::kIoError, std::move(msg));
+  }
+  static Status Oom(std::string msg) {
+    return Status(ErrorCode::kOutOfMemory, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(ErrorCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(ErrorCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}       // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) { // NOLINT(google-explicit-constructor)
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace sword
+
+/// Propagate a non-OK Status out of the enclosing function.
+#define SWORD_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::sword::Status sword_status_ = (expr);          \
+    if (!sword_status_.ok()) return sword_status_;   \
+  } while (0)

@@ -1,0 +1,50 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sword {
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); c++) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < width.size(); c++) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < width.size(); c++) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += cell;
+      if (c + 1 < width.size()) line += std::string(width[c] - cell.size() + 2, ' ');
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); c++) total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  out += std::string(total, '-') + '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TextTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FmtX(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*fx", precision, v);
+  return buf;
+}
+
+}  // namespace sword

@@ -1,0 +1,32 @@
+// Plain-text table formatter used by the bench binaries to print paper-style
+// tables (Table II/III/IV/V rows, figure series).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sword {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders with a header rule and right-padded columns.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+std::string Fmt(double v, int precision = 2);
+std::string FmtX(double v, int precision = 2);  // "3.21x"
+
+}  // namespace sword

@@ -1,0 +1,34 @@
+#include "common/timer.h"
+
+#include <cstdio>
+
+namespace sword {
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= (1ULL << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", b / (1ULL << 30));
+  } else if (bytes >= (1ULL << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", b / (1ULL << 20));
+  } else if (bytes >= (1ULL << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", b / (1ULL << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace sword

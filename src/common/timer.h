@@ -1,0 +1,40 @@
+// Wall-clock timing helpers used by the harness to measure dynamic-analysis
+// slowdown and offline-analysis latency (paper Figs. 6-8, Tables III/V).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace sword {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// "1.234 s", "12.3 ms", "456 us" - human-friendly duration formatting for the
+/// table printers.
+std::string FormatSeconds(double seconds);
+
+/// "1.2 GB", "3.4 MB", "512 B".
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace sword

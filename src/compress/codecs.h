@@ -1,0 +1,14 @@
+// Accessors for the built-in codec singletons. Internal to src/compress;
+// everything else goes through FindCompressor()/DefaultCompressor().
+#pragma once
+
+#include "compress/compressor.h"
+
+namespace sword {
+
+const Compressor* GetRawCompressor();
+const Compressor* GetRleCompressor();
+const Compressor* GetLzsCompressor();
+const Compressor* GetLzfCompressor();
+
+}  // namespace sword

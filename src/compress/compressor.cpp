@@ -1,0 +1,19 @@
+#include "compress/compressor.h"
+
+#include "compress/codecs.h"
+
+namespace sword {
+
+const Compressor* FindCompressor(const std::string& name) {
+  if (name == "raw") return GetRawCompressor();
+  if (name == "rle") return GetRleCompressor();
+  if (name == "lzs") return GetLzsCompressor();
+  if (name == "lzf") return GetLzfCompressor();
+  return nullptr;
+}
+
+std::vector<std::string> CompressorNames() { return {"raw", "rle", "lzs", "lzf"}; }
+
+const Compressor* DefaultCompressor() { return GetLzfCompressor(); }
+
+}  // namespace sword

@@ -1,0 +1,48 @@
+// Block compressor interface.
+//
+// The paper flushes each thread's full trace buffer through a compressor
+// before writing it to the log file, and reports that LZO, Snappy, and LZ4
+// performed interchangeably (SWORD shipped LZO). This repo substitutes three
+// from-scratch codecs behind the same interface:
+//   raw  - identity (the "compression off" baseline)
+//   rle  - byte-level run-length encoding
+//   lzs  - LZ77-style with a hash-chain match finder (the default, standing
+//          in for LZO-class codecs)
+// bench_ablation_compression reproduces the paper's codec comparison.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace sword {
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  /// Stable codec name used in the frame header ("raw", "rle", "lzs").
+  virtual const char* Name() const = 0;
+
+  /// Compresses `input` appending to `out` (which is not cleared).
+  virtual Status Compress(const uint8_t* input, size_t n, Bytes* out) const = 0;
+
+  /// Decompresses exactly `decompressed_size` bytes into `out`.
+  virtual Status Decompress(const uint8_t* input, size_t n, size_t decompressed_size,
+                            Bytes* out) const = 0;
+};
+
+/// Returns the codec registered under `name`, or nullptr. Codecs are
+/// stateless singletons; the returned pointer is never owned by the caller.
+const Compressor* FindCompressor(const std::string& name);
+
+/// All registered codec names, in registration order.
+std::vector<std::string> CompressorNames();
+
+/// The default codec used by the trace writer ("lzf", the fast LZ).
+const Compressor* DefaultCompressor();
+
+}  // namespace sword

@@ -1,0 +1,67 @@
+#include "compress/frame.h"
+
+namespace sword {
+namespace {
+
+Status ReadFrameHeader(ByteReader& reader, std::string* codec_name,
+                       uint64_t* raw_size, uint64_t* payload_size, uint64_t* checksum) {
+  uint32_t magic;
+  SWORD_RETURN_IF_ERROR(reader.GetU32(&magic));
+  if (magic != kFrameMagic) return Status::Corrupt("bad frame magic");
+  SWORD_RETURN_IF_ERROR(reader.GetString(codec_name));
+  SWORD_RETURN_IF_ERROR(reader.GetVarU64(raw_size));
+  SWORD_RETURN_IF_ERROR(reader.GetVarU64(payload_size));
+  SWORD_RETURN_IF_ERROR(reader.GetU64(checksum));
+  if (reader.remaining() < *payload_size) return Status::Corrupt("truncated frame payload");
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteFrame(const Compressor& codec, const uint8_t* data, size_t n, Bytes* out) {
+  Bytes payload;
+  SWORD_RETURN_IF_ERROR(codec.Compress(data, n, &payload));
+
+  ByteWriter w(out);
+  w.PutU32(kFrameMagic);
+  w.PutString(codec.Name());
+  w.PutVarU64(n);
+  w.PutVarU64(payload.size());
+  w.PutU64(Fnv1a64(payload.data(), payload.size()));
+  w.PutRaw(payload.data(), payload.size());
+  return Status::Ok();
+}
+
+Status ReadFrame(ByteReader& reader, FrameView* out) {
+  const size_t frame_start = reader.position();
+  std::string codec_name;
+  uint64_t raw_size, payload_size, checksum;
+  SWORD_RETURN_IF_ERROR(
+      ReadFrameHeader(reader, &codec_name, &raw_size, &payload_size, &checksum));
+
+  const Compressor* codec = FindCompressor(codec_name);
+  if (!codec) return Status::Corrupt("unknown codec in frame: " + codec_name);
+
+  if (Fnv1a64(reader.cursor(), payload_size) != checksum) {
+    return Status::Corrupt("frame checksum mismatch");
+  }
+
+  out->data.clear();
+  out->data.reserve(raw_size);
+  SWORD_RETURN_IF_ERROR(
+      codec->Decompress(reader.cursor(), payload_size, raw_size, &out->data));
+  SWORD_RETURN_IF_ERROR(reader.Skip(payload_size));
+  out->raw_size = raw_size;
+  out->frame_size = reader.position() - frame_start;
+  return Status::Ok();
+}
+
+Status SkipFrame(ByteReader& reader, uint64_t* raw_size) {
+  std::string codec_name;
+  uint64_t payload_size, checksum;
+  SWORD_RETURN_IF_ERROR(
+      ReadFrameHeader(reader, &codec_name, raw_size, &payload_size, &checksum));
+  return reader.Skip(payload_size);
+}
+
+}  // namespace sword

@@ -1,0 +1,41 @@
+// Framed compressed-block format: the on-disk unit of the trace log files.
+//
+// Each buffer flush produces one frame:
+//   magic (u32) | codec name (len-prefixed) | raw_size (varu64)
+//   | payload_size (varu64) | fnv1a64(payload) (u64) | payload bytes
+//
+// Frames are self-describing so the offline streaming reader can walk a log
+// file frame by frame, decompress each into a bounded scratch buffer, and
+// never hold more than one decompressed frame in memory (paper SIII-B:
+// "streaming algorithm that reads access information from log files in small
+// chunks").
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "compress/compressor.h"
+
+namespace sword {
+
+constexpr uint32_t kFrameMagic = 0x53574446;  // "SWDF"
+
+/// Compresses `data` with `codec` and appends a complete frame to `out`.
+Status WriteFrame(const Compressor& codec, const uint8_t* data, size_t n, Bytes* out);
+
+struct FrameView {
+  uint64_t raw_size = 0;        // decompressed payload size
+  uint64_t frame_size = 0;      // total encoded frame size in bytes
+  Bytes data;                   // decompressed payload
+};
+
+/// Reads and decompresses one frame starting at reader's position. Verifies
+/// the checksum. On success the reader is positioned at the next frame.
+Status ReadFrame(ByteReader& reader, FrameView* out);
+
+/// Parses only the frame header to learn sizes without decompressing.
+/// Leaves the reader positioned past the whole frame.
+Status SkipFrame(ByteReader& reader, uint64_t* raw_size);
+
+}  // namespace sword

@@ -1,0 +1,146 @@
+#include <cstring>
+
+#include "compress/codecs.h"
+
+namespace sword {
+namespace {
+
+// LZ77-style codec with a hash-chain match finder; this is the default trace
+// codec, standing in for the LZO-class libraries the paper evaluated.
+//
+// Token stream format:
+//   literal token:  0x00 | varint(len)        then `len` literal bytes
+//   match token:    0x01 | varint(len) varint(dist)
+// Matches have len >= kMinMatch and dist in [1, position]. Varints are LEB128.
+// Trace event buffers are highly repetitive (same pc/size/flags with striding
+// addresses), which this format captures well.
+class LzsCompressor final : public Compressor {
+ public:
+  static constexpr size_t kMinMatch = 4;
+  static constexpr size_t kMaxChainSteps = 32;
+  static constexpr size_t kHashBits = 15;
+  static constexpr size_t kHashSize = 1u << kHashBits;
+  static constexpr uint32_t kNoPos = 0xffffffffu;
+
+  const char* Name() const override { return "lzs"; }
+
+  Status Compress(const uint8_t* input, size_t n, Bytes* out) const override {
+    ByteWriter w(out);
+    if (n == 0) return Status::Ok();
+
+    std::vector<uint32_t> head(kHashSize, kNoPos);
+    std::vector<uint32_t> prev(n, kNoPos);
+
+    size_t i = 0;
+    size_t literal_start = 0;
+
+    auto flush_literals = [&](size_t end) {
+      if (end > literal_start) {
+        w.PutU8(0x00);
+        w.PutVarU64(end - literal_start);
+        w.PutRaw(input + literal_start, end - literal_start);
+      }
+    };
+
+    while (i + kMinMatch <= n) {
+      const uint32_t h = Hash(input + i);
+      // Walk the chain of prior positions with the same hash looking for the
+      // longest match.
+      size_t best_len = 0;
+      size_t best_dist = 0;
+      uint32_t cand = head[h];
+      size_t steps = 0;
+      while (cand != kNoPos && steps < kMaxChainSteps) {
+        const size_t dist = i - cand;
+        size_t len = 0;
+        const size_t max_len = n - i;
+        while (len < max_len && input[cand + len] == input[i + len]) len++;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = dist;
+        }
+        cand = prev[cand];
+        steps++;
+      }
+
+      if (best_len >= kMinMatch) {
+        flush_literals(i);
+        w.PutU8(0x01);
+        w.PutVarU64(best_len);
+        w.PutVarU64(best_dist);
+        // Insert the skipped positions into the chains so later matches can
+        // reference inside this match.
+        const size_t match_end = i + best_len;
+        while (i < match_end && i + kMinMatch <= n) {
+          const uint32_t hh = Hash(input + i);
+          prev[i] = head[hh];
+          head[hh] = static_cast<uint32_t>(i);
+          i++;
+        }
+        i = match_end;
+        literal_start = i;
+      } else {
+        prev[i] = head[h];
+        head[h] = static_cast<uint32_t>(i);
+        i++;
+      }
+    }
+    flush_literals(n);
+    return Status::Ok();
+  }
+
+  Status Decompress(const uint8_t* input, size_t n, size_t decompressed_size,
+                    Bytes* out) const override {
+    const size_t start = out->size();
+    ByteReader r(input, n);
+    while (!r.AtEnd()) {
+      uint8_t tag;
+      SWORD_RETURN_IF_ERROR(r.GetU8(&tag));
+      if (tag == 0x00) {
+        uint64_t len;
+        SWORD_RETURN_IF_ERROR(r.GetVarU64(&len));
+        if (r.remaining() < len) return Status::Corrupt("lzs: truncated literals");
+        if (out->size() - start + len > decompressed_size) {
+          return Status::Corrupt("lzs: literal overruns declared size");
+        }
+        out->insert(out->end(), r.cursor(), r.cursor() + len);
+        SWORD_RETURN_IF_ERROR(r.Skip(len));
+      } else if (tag == 0x01) {
+        uint64_t len, dist;
+        SWORD_RETURN_IF_ERROR(r.GetVarU64(&len));
+        SWORD_RETURN_IF_ERROR(r.GetVarU64(&dist));
+        const size_t produced = out->size() - start;
+        if (dist == 0 || dist > produced) return Status::Corrupt("lzs: bad distance");
+        if (produced + len > decompressed_size) {
+          return Status::Corrupt("lzs: match overruns declared size");
+        }
+        // Byte-by-byte copy: overlapping matches (dist < len) replicate, which
+        // is the RLE-like case.
+        size_t src = out->size() - dist;
+        for (uint64_t k = 0; k < len; k++) out->push_back((*out)[src + k]);
+      } else {
+        return Status::Corrupt("lzs: unknown token tag");
+      }
+    }
+    if (out->size() - start != decompressed_size) {
+      return Status::Corrupt("lzs: output size mismatch");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static uint32_t Hash(const uint8_t* p) {
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    return (v * 2654435761u) >> (32 - kHashBits);
+  }
+};
+
+}  // namespace
+
+const Compressor* GetLzsCompressor() {
+  static const LzsCompressor instance;
+  return &instance;
+}
+
+}  // namespace sword

@@ -1,0 +1,33 @@
+#include "compress/codecs.h"
+
+namespace sword {
+namespace {
+
+/// Identity codec: the "no compression" baseline for the codec ablation.
+class RawCompressor final : public Compressor {
+ public:
+  const char* Name() const override { return "raw"; }
+
+  Status Compress(const uint8_t* input, size_t n, Bytes* out) const override {
+    out->insert(out->end(), input, input + n);
+    return Status::Ok();
+  }
+
+  Status Decompress(const uint8_t* input, size_t n, size_t decompressed_size,
+                    Bytes* out) const override {
+    if (n != decompressed_size) {
+      return Status::Corrupt("raw: size mismatch");
+    }
+    out->insert(out->end(), input, input + n);
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+const Compressor* GetRawCompressor() {
+  static const RawCompressor instance;
+  return &instance;
+}
+
+}  // namespace sword

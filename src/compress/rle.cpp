@@ -1,0 +1,81 @@
+#include "compress/codecs.h"
+
+namespace sword {
+namespace {
+
+// Byte-level run-length encoding with literal packets.
+//
+// Packet format (one control byte):
+//   0x00..0x7f  -> literal run of (ctrl + 1) bytes follows
+//   0x80..0xff  -> repeat run: the next byte repeats (ctrl - 0x80 + 2) times
+// Runs longer than the packet maxima are split across packets.
+class RleCompressor final : public Compressor {
+ public:
+  static constexpr size_t kMaxLiteral = 128;
+  static constexpr size_t kMaxRun = 129;  // 2..129 encodable
+
+  const char* Name() const override { return "rle"; }
+
+  Status Compress(const uint8_t* input, size_t n, Bytes* out) const override {
+    size_t i = 0;
+    while (i < n) {
+      // Measure the run starting at i.
+      size_t run = 1;
+      while (i + run < n && input[i + run] == input[i] && run < kMaxRun) run++;
+      if (run >= 2) {
+        out->push_back(static_cast<uint8_t>(0x80 + (run - 2)));
+        out->push_back(input[i]);
+        i += run;
+        continue;
+      }
+      // Collect literals until the next run of >= 3 (a 2-run is cheaper kept
+      // literal than breaking the literal packet).
+      size_t lit_start = i;
+      while (i < n && (i - lit_start) < kMaxLiteral) {
+        size_t ahead = 1;
+        while (i + ahead < n && input[i + ahead] == input[i] && ahead < 3) ahead++;
+        if (ahead >= 3) break;
+        i++;
+      }
+      const size_t lit_len = i - lit_start;
+      out->push_back(static_cast<uint8_t>(lit_len - 1));
+      out->insert(out->end(), input + lit_start, input + lit_start + lit_len);
+    }
+    return Status::Ok();
+  }
+
+  Status Decompress(const uint8_t* input, size_t n, size_t decompressed_size,
+                    Bytes* out) const override {
+    const size_t start = out->size();
+    size_t i = 0;
+    while (i < n) {
+      const uint8_t ctrl = input[i++];
+      if (ctrl < 0x80) {
+        const size_t lit_len = static_cast<size_t>(ctrl) + 1;
+        if (i + lit_len > n) return Status::Corrupt("rle: truncated literal packet");
+        out->insert(out->end(), input + i, input + i + lit_len);
+        i += lit_len;
+      } else {
+        if (i >= n) return Status::Corrupt("rle: truncated run packet");
+        const size_t run = static_cast<size_t>(ctrl - 0x80) + 2;
+        out->insert(out->end(), run, input[i++]);
+      }
+      if (out->size() - start > decompressed_size) {
+        return Status::Corrupt("rle: output overruns declared size");
+      }
+    }
+    if (out->size() - start != decompressed_size) {
+      return Status::Corrupt("rle: output underruns declared size");
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+const Compressor* GetRleCompressor() {
+  static const RleCompressor instance;
+  return &instance;
+}
+
+}  // namespace sword

@@ -1,0 +1,179 @@
+#include "core/sword_tool.h"
+
+#include <cassert>
+
+#include "compress/compressor.h"
+
+namespace sword::core {
+
+namespace {
+
+/// TLS handle: which tool instance this thread is registered with, and its
+/// state there. Keyed by a process-unique instance id, NOT the tool's
+/// address - a later tool allocated at a recycled address must not match.
+struct TlsHandle {
+  uint64_t owner_id = 0;
+  void* state = nullptr;
+};
+thread_local TlsHandle tls_handle;
+
+std::atomic<uint64_t> g_next_instance_id{1};
+
+trace::IntervalMeta MetaFrom(const somp::Ctx& ctx) {
+  trace::IntervalMeta meta;
+  meta.region = ctx.region();
+  meta.parent_region = ctx.parent_region() == ~0ULL ? trace::IntervalMeta::kNoParent
+                                                    : ctx.parent_region();
+  meta.phase = ctx.barrier_phase();
+  meta.label = ctx.label();
+  meta.level = ctx.level();
+  meta.lane = ctx.thread_num();
+  meta.lockset = ctx.held_mutexes();
+  return meta;
+}
+
+}  // namespace
+
+SwordTool::SwordTool(SwordConfig config)
+    : config_(std::move(config)),
+      memory_("sword-rt"),
+      flusher_(config_.async_flush),
+      instance_id_(g_next_instance_id.fetch_add(1)) {
+  assert(!config_.out_dir.empty());
+}
+
+SwordTool::~SwordTool() { (void)Finalize(); }
+
+SwordTool::ThreadState& SwordTool::State() {
+  if (tls_handle.owner_id == instance_id_) {
+    return *static_cast<ThreadState*>(tls_handle.state);
+  }
+  auto state = std::make_unique<ThreadState>();
+  ThreadState* raw = state.get();
+  uint32_t tid;
+  {
+    std::lock_guard lock(states_mutex_);
+    tid = static_cast<uint32_t>(states_.size());
+    states_.push_back(std::move(state));
+  }
+  trace::WriterConfig wc;
+  wc.log_path = config_.out_dir + "/sword_t" + std::to_string(tid) + ".log";
+  wc.meta_path = config_.out_dir + "/sword_t" + std::to_string(tid) + ".meta";
+  wc.buffer_bytes = config_.buffer_bytes;
+  wc.codec = FindCompressor(config_.codec);
+  wc.flusher = &flusher_;
+  wc.memory = &memory_;
+  raw->writer = std::make_unique<trace::ThreadTraceWriter>(tid, wc);
+  // The modeled fixed auxiliary overhead (OMPT + thread-local state).
+  (void)memory_.Charge(kAuxBytesPerThread);
+
+  tls_handle.owner_id = instance_id_;
+  tls_handle.state = raw;
+  return *raw;
+}
+
+void SwordTool::BeginSegmentFor(ThreadState& ts, somp::Ctx& ctx) {
+  ts.writer->BeginSegment(MetaFrom(ctx));
+}
+
+void SwordTool::OnImplicitTaskBegin(somp::Ctx& ctx) {
+  ThreadState& ts = State();
+  // Pause the parent's segment when a nested region starts on this thread.
+  if (ts.writer->HasOpenSegment()) ts.writer->EndSegment();
+  ts.ctx_stack.push_back(&ctx);
+  BeginSegmentFor(ts, ctx);
+}
+
+void SwordTool::OnImplicitTaskEnd(somp::Ctx& ctx) {
+  ThreadState& ts = State();
+  assert(!ts.ctx_stack.empty() && ts.ctx_stack.back() == &ctx);
+  (void)ctx;
+  ts.ctx_stack.pop_back();
+  // Resume the paused parent segment, if any.
+  if (!ts.ctx_stack.empty()) BeginSegmentFor(ts, *ts.ctx_stack.back());
+}
+
+void SwordTool::OnBarrierEnter(somp::Ctx& ctx, uint64_t phase, somp::BarrierKind kind) {
+  (void)ctx;
+  (void)phase;
+  (void)kind;
+  ThreadState& ts = State();
+  if (ts.writer->HasOpenSegment()) ts.writer->EndSegment();
+}
+
+void SwordTool::OnBarrierExit(somp::Ctx& ctx, uint64_t phase) {
+  (void)phase;
+  ThreadState& ts = State();
+  BeginSegmentFor(ts, ctx);  // ctx's label/phase already advanced
+}
+
+void SwordTool::OnMutexAcquired(somp::Ctx& ctx, somp::MutexId mutex) {
+  (void)ctx;
+  ThreadState& ts = State();
+  ts.writer->Append(trace::RawEvent::MutexAcquire(mutex));
+  events_logged_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SwordTool::OnMutexReleased(somp::Ctx& ctx, somp::MutexId mutex) {
+  (void)ctx;
+  ThreadState& ts = State();
+  ts.writer->Append(trace::RawEvent::MutexRelease(mutex));
+  events_logged_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SwordTool::OnAccess(somp::Ctx& ctx, uint64_t addr, uint8_t size, uint8_t flags,
+                         somp::PcId pc) {
+  (void)ctx;
+  ThreadState& ts = State();
+  assert(ts.writer->HasOpenSegment());
+  ts.writer->Append(trace::RawEvent::Access(addr, size, flags, pc));
+  events_logged_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SwordTool::OnRuntimeShutdown() { (void)Finalize(); }
+
+Status SwordTool::Finalize() {
+  std::lock_guard lock(states_mutex_);
+  if (finalized_) return status_;
+  finalized_ = true;
+  for (auto& ts : states_) {
+    const Status s = ts->writer->Finish();
+    if (!s.ok() && status_.ok()) status_ = s;
+  }
+  flusher_.Drain();
+  const Status fs = flusher_.status();
+  if (!fs.ok() && status_.ok()) status_ = fs;
+  return status_;
+}
+
+std::vector<std::string> SwordTool::LogPaths() const {
+  std::lock_guard lock(states_mutex_);
+  std::vector<std::string> paths;
+  for (size_t i = 0; i < states_.size(); i++) {
+    paths.push_back(config_.out_dir + "/sword_t" + std::to_string(i) + ".log");
+  }
+  return paths;
+}
+
+std::vector<std::string> SwordTool::MetaPaths() const {
+  std::lock_guard lock(states_mutex_);
+  std::vector<std::string> paths;
+  for (size_t i = 0; i < states_.size(); i++) {
+    paths.push_back(config_.out_dir + "/sword_t" + std::to_string(i) + ".meta");
+  }
+  return paths;
+}
+
+uint32_t SwordTool::ThreadCount() const {
+  std::lock_guard lock(states_mutex_);
+  return static_cast<uint32_t>(states_.size());
+}
+
+uint64_t SwordTool::Flushes() const {
+  std::lock_guard lock(states_mutex_);
+  uint64_t total = 0;
+  for (const auto& ts : states_) total += ts->writer->flushes();
+  return total;
+}
+
+}  // namespace sword::core

@@ -1,0 +1,160 @@
+#include "hb/archer_tool.h"
+
+namespace sword::hb {
+
+namespace {
+
+// Keyed by a process-unique instance id so a tool allocated at a recycled
+// address never matches a stale handle.
+struct TlsHandle {
+  uint64_t owner_id = 0;
+  void* state = nullptr;
+  Slot slot = 0;
+};
+thread_local TlsHandle tls_handle;
+
+std::atomic<uint64_t> g_next_instance_id{1};
+
+}  // namespace
+
+ArcherTool::ArcherTool(ArcherConfig config)
+    : config_(config),
+      memory_("archer-shadow", config.memory_cap_bytes),
+      shadow_(config.shadow_cells, &memory_),
+      instance_id_(g_next_instance_id.fetch_add(1)) {}
+
+ArcherTool::~ArcherTool() = default;
+
+ArcherTool::SlotState& ArcherTool::State() {
+  if (tls_handle.owner_id == instance_id_) {
+    return *static_cast<SlotState*>(tls_handle.state);
+  }
+  auto state = std::make_unique<SlotState>();
+  SlotState* raw = state.get();
+  Slot slot;
+  {
+    std::lock_guard lock(slots_mutex_);
+    slot = static_cast<Slot>(slots_.size());
+    slots_.push_back(std::move(state));
+  }
+  raw->clock.Tick(slot);  // own component starts at 1
+  tls_handle.owner_id = instance_id_;
+  tls_handle.state = raw;
+  tls_handle.slot = slot;
+  return *raw;
+}
+
+void ArcherTool::OnParallelBegin(somp::Ctx* parent, somp::RegionId region,
+                                 uint32_t span) {
+  (void)parent;
+  (void)span;
+  SlotState& st = State();  // the encountering thread's clock, parent or root
+  std::lock_guard lock(sync_mutex_);
+  fork_clocks_[region] = st.clock;
+}
+
+void ArcherTool::OnParallelEnd(somp::Ctx* parent, somp::RegionId region) {
+  (void)parent;
+  SlotState& st = State();
+  {
+    std::lock_guard lock(sync_mutex_);
+    auto it = join_clocks_.find(region);
+    if (it != join_clocks_.end()) {
+      st.clock.Join(it->second);
+      join_clocks_.erase(it);
+    }
+    fork_clocks_.erase(region);
+  }
+  st.clock.Tick(tls_handle.slot);
+
+  // archer-low: release shadow between independent outermost regions. The
+  // clocks above already order cross-region accesses, so this only saves
+  // memory (and costs the flush time) - exactly the paper's description.
+  if (config_.flush_shadow && parent == nullptr) shadow_.Flush();
+}
+
+void ArcherTool::OnImplicitTaskBegin(somp::Ctx& ctx) {
+  SlotState& st = State();
+  {
+    std::lock_guard lock(sync_mutex_);
+    auto it = fork_clocks_.find(ctx.region());
+    if (it != fork_clocks_.end()) st.clock.Join(it->second);
+  }
+  st.clock.Tick(tls_handle.slot);
+}
+
+void ArcherTool::OnImplicitTaskEnd(somp::Ctx& ctx) {
+  SlotState& st = State();
+  {
+    std::lock_guard lock(sync_mutex_);
+    join_clocks_[ctx.region()].Join(st.clock);
+  }
+  st.clock.Tick(tls_handle.slot);
+}
+
+void ArcherTool::OnBarrierEnter(somp::Ctx& ctx, uint64_t phase, somp::BarrierKind kind) {
+  if (kind == somp::BarrierKind::kRegionEnd) return;  // join handles ordering
+  SlotState& st = State();
+  {
+    std::lock_guard lock(sync_mutex_);
+    BarrierPot& pot = barrier_pots_[{ctx.region(), phase}];
+    pot.span = ctx.num_threads();
+    pot.clock.Join(st.clock);
+  }
+  st.clock.Tick(tls_handle.slot);
+}
+
+void ArcherTool::OnBarrierExit(somp::Ctx& ctx, uint64_t phase) {
+  SlotState& st = State();
+  std::lock_guard lock(sync_mutex_);
+  auto it = barrier_pots_.find({ctx.region(), phase});
+  if (it == barrier_pots_.end()) return;
+  st.clock.Join(it->second.clock);
+  if (++it->second.exits == it->second.span) barrier_pots_.erase(it);
+}
+
+void ArcherTool::OnMutexAcquired(somp::Ctx& ctx, somp::MutexId mutex) {
+  (void)ctx;
+  SlotState& st = State();
+  std::lock_guard lock(sync_mutex_);
+  auto it = lock_clocks_.find(mutex);
+  if (it != lock_clocks_.end()) st.clock.Join(it->second);
+}
+
+void ArcherTool::OnMutexReleased(somp::Ctx& ctx, somp::MutexId mutex) {
+  (void)ctx;
+  SlotState& st = State();
+  {
+    std::lock_guard lock(sync_mutex_);
+    lock_clocks_[mutex].Join(st.clock);
+  }
+  st.clock.Tick(tls_handle.slot);
+}
+
+void ArcherTool::OnAccess(somp::Ctx& ctx, uint64_t addr, uint8_t size, uint8_t flags,
+                          somp::PcId pc) {
+  (void)ctx;
+  if (oom_.load(std::memory_order_relaxed)) return;  // analysis already dead
+  SlotState& st = State();
+  const Slot slot = tls_handle.slot;
+
+  AccessRecord record;
+  record.slot = slot;
+  record.epoch = st.clock.Get(slot);
+  record.addr = addr;
+  record.size = size;
+  record.flags = flags;
+  record.pc = pc;
+
+  const Status status =
+      shadow_.ProcessAccess(record, st.clock, [&](const RaceReport& report) {
+        std::lock_guard lock(races_mutex_);
+        races_.Add(report);
+      });
+  if (!status.ok()) {
+    // Memory cap exceeded: the tool "OOMs" like ARCHER on AMG2013_40.
+    oom_.store(true, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace sword::hb

@@ -1,0 +1,103 @@
+// ArcherTool - the happens-before baseline detector (ARCHER's TSan engine).
+//
+// This is the comparator the paper evaluates SWORD against: a FastTrack-style
+// online race detector with
+//  - vector clocks transferred at fork/join, barriers, and lock
+//    release->acquire (the release->acquire edge is precisely what produces
+//    the schedule-dependent race MASKING of Fig. 1);
+//  - 4-cell shadow memory with round-robin eviction (the information loss
+//    that misses races in SII's example and Table IV);
+//  - application-proportional memory, charged byte-exact and optionally
+//    CAPPED to model a compute node's limit: when AMG2013_40's shadow
+//    exceeds the cap the analysis aborts with out-of-memory, reproducing
+//    Table IV's OOM entries;
+//  - a "flush shadow" mode (the paper's archer-low): shadow lines are
+//    dropped between outermost parallel regions, trading runtime for memory.
+//
+// Detected races are deduplicated by source-location pair, like SWORD's
+// reports, so the per-benchmark counts are directly comparable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/memtrack.h"
+#include "common/race_report.h"
+#include "common/status.h"
+#include "hb/shadow.h"
+#include "hb/vectorclock.h"
+#include "somp/runtime.h"
+#include "somp/tool.h"
+
+namespace sword::hb {
+
+struct ArcherConfig {
+  bool flush_shadow = false;      // archer-low
+  uint32_t shadow_cells = 4;      // cells per 8-byte granule
+  uint64_t memory_cap_bytes = 0;  // 0 = unlimited; else OOM when exceeded
+};
+
+class ArcherTool final : public somp::Tool {
+ public:
+  explicit ArcherTool(ArcherConfig config = {});
+  ~ArcherTool() override;
+
+  // --- somp::Tool ---
+  void OnParallelBegin(somp::Ctx* parent, somp::RegionId region, uint32_t span) override;
+  void OnParallelEnd(somp::Ctx* parent, somp::RegionId region) override;
+  void OnImplicitTaskBegin(somp::Ctx& ctx) override;
+  void OnImplicitTaskEnd(somp::Ctx& ctx) override;
+  void OnBarrierEnter(somp::Ctx& ctx, uint64_t phase, somp::BarrierKind kind) override;
+  void OnBarrierExit(somp::Ctx& ctx, uint64_t phase) override;
+  void OnMutexAcquired(somp::Ctx& ctx, somp::MutexId mutex) override;
+  void OnMutexReleased(somp::Ctx& ctx, somp::MutexId mutex) override;
+  void OnAccess(somp::Ctx& ctx, uint64_t addr, uint8_t size, uint8_t flags,
+                somp::PcId pc) override;
+
+  /// True once the memory cap was exceeded; detection stopped there
+  /// (Table IV's "OOM").
+  bool OutOfMemory() const { return oom_.load(); }
+
+  const RaceReportSet& Races() const { return races_; }
+  uint64_t MemoryBytes() const { return memory_.current(); }
+  uint64_t PeakMemoryBytes() const { return memory_.peak(); }
+  uint64_t GranuleCount() const { return shadow_.GranuleCount(); }
+
+ private:
+  struct SlotState {
+    VectorClock clock;
+  };
+
+  SlotState& State();
+
+  ArcherConfig config_;
+  MemoryScope memory_;
+  ShadowMemory shadow_;
+  std::atomic<bool> oom_{false};
+
+  std::mutex slots_mutex_;
+  std::vector<std::unique_ptr<SlotState>> slots_;
+
+  // Synchronization-object clocks; guarded by sync_mutex_ (sync events are
+  // orders of magnitude rarer than accesses).
+  std::mutex sync_mutex_;
+  std::map<somp::RegionId, VectorClock> fork_clocks_;
+  std::map<somp::RegionId, VectorClock> join_clocks_;
+  struct BarrierPot {
+    VectorClock clock;
+    uint32_t exits = 0;
+    uint32_t span = 0;
+  };
+  std::map<std::pair<somp::RegionId, uint64_t>, BarrierPot> barrier_pots_;
+  std::map<somp::MutexId, VectorClock> lock_clocks_;
+
+  std::mutex races_mutex_;
+  RaceReportSet races_;
+  uint64_t instance_id_ = 0;
+};
+
+}  // namespace sword::hb

@@ -1,0 +1,178 @@
+#include "hb/eraser_tool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace sword::hb {
+
+namespace {
+
+struct TlsHandle {
+  uint64_t owner_id = 0;
+  void* state = nullptr;
+};
+thread_local TlsHandle tls_handle;
+
+std::atomic<uint64_t> g_next_instance_id{1};
+
+/// Modeled bytes per tracked granule (state + map overhead), for the
+/// comparison bench's memory column.
+constexpr uint64_t kChargePerGranule = 24;
+
+}  // namespace
+
+EraserTool::EraserTool()
+    : memory_("eraser"), instance_id_(g_next_instance_id.fetch_add(1)) {}
+
+EraserTool::~EraserTool() = default;
+
+EraserTool::ThreadState& EraserTool::State_() {
+  if (tls_handle.owner_id == instance_id_) {
+    return *static_cast<ThreadState*>(tls_handle.state);
+  }
+  auto state = std::make_unique<ThreadState>();
+  ThreadState* raw = state.get();
+  {
+    std::lock_guard lock(slots_mutex_);
+    raw->id = static_cast<uint32_t>(slots_.size());
+    slots_.push_back(std::move(state));
+  }
+  tls_handle.owner_id = instance_id_;
+  tls_handle.state = raw;
+  return *raw;
+}
+
+void EraserTool::OnImplicitTaskBegin(somp::Ctx& ctx) {
+  // Re-sync the cached lockset with the context (locks can be held across
+  // region entry only by the encountering thread; the ctx knows).
+  ThreadState& ts = State_();
+  ts.held = mutexes_.Intern(std::vector<itree::MutexId>(ctx.held_mutexes().begin(),
+                                                        ctx.held_mutexes().end()));
+}
+
+void EraserTool::OnParallelEnd(somp::Ctx* parent, somp::RegionId region) {
+  (void)region;
+  // The join edge of a TOP-LEVEL region sequences everything before against
+  // everything after; lockset derivatives model thread lifetimes this way
+  // (otherwise every pair of sequential regions would false-alarm). Barriers
+  // inside a region remain invisible - the interesting weakness.
+  if (parent == nullptr) {
+    std::lock_guard lock(table_mutex_);
+    memory_.Release(granules_.size() * kChargePerGranule);
+    granules_.clear();
+  }
+}
+
+void EraserTool::OnMutexAcquired(somp::Ctx& ctx, somp::MutexId mutex) {
+  (void)ctx;
+  ThreadState& ts = State_();
+  ts.held = mutexes_.WithMutex(ts.held, mutex);
+}
+
+void EraserTool::OnMutexReleased(somp::Ctx& ctx, somp::MutexId mutex) {
+  (void)ctx;
+  ThreadState& ts = State_();
+  ts.held = mutexes_.WithoutMutex(ts.held, mutex);
+}
+
+/// Virtual lock representing hardware atomicity: two atomic accesses hold
+/// it "in common", so atomic-atomic pairs never empty the candidate set.
+constexpr itree::MutexId kVirtualAtomicMutex = 0xfffffffe;
+
+void EraserTool::OnAccess(somp::Ctx& ctx, uint64_t addr, uint8_t size, uint8_t flags,
+                          somp::PcId pc) {
+  (void)ctx;
+  ThreadState& ts = State_();
+  const bool is_write = flags & 1;
+  const itree::MutexSetId held =
+      (flags & 2) ? mutexes_.WithMutex(ts.held, kVirtualAtomicMutex) : ts.held;
+
+  uint64_t remaining = size;
+  uint64_t a = addr;
+  while (remaining > 0) {
+    const uint64_t granule = a >> 3;
+    const uint64_t in_this = std::min<uint64_t>(remaining, 8 - (a & 7));
+    a += in_this;
+    remaining -= in_this;
+
+    std::lock_guard lock(table_mutex_);
+    auto [it, inserted] = granules_.try_emplace(granule);
+    if (inserted) (void)memory_.Charge(kChargePerGranule);
+    GranuleState& g = it->second;
+
+    switch (g.state) {
+      case State::kVirgin:
+        g.state = State::kExclusive;
+        g.owner = ts.id;
+        g.last_pc = pc;
+        break;
+      case State::kExclusive:
+        if (g.owner == ts.id) {
+          g.last_pc = pc;
+          break;
+        }
+        g.state = is_write ? State::kSharedModified : State::kShared;
+        g.candidates = held;  // C(v) initialized at first sharing
+        g.candidates_valid = true;
+        // Report at the transition too: a lock-free write that shares a
+        // previously-exclusive granule already has an empty candidate set.
+        if (g.state == State::kSharedModified &&
+            g.candidates == itree::kEmptyMutexSet && !g.reported) {
+          g.reported = true;
+          RaceReport report;
+          report.pc1 = g.last_pc;
+          report.pc2 = pc;
+          report.address = granule << 3;
+          report.size1 = size;
+          report.size2 = size;
+          report.write1 = true;
+          report.write2 = is_write;
+          std::lock_guard races_lock(races_mutex_);
+          races_.Add(report);
+        }
+        g.last_pc = pc;
+        break;
+      case State::kShared:
+        if (is_write) g.state = State::kSharedModified;
+        [[fallthrough]];
+      case State::kSharedModified: {
+        // C(v) := C(v) intersect held(t).
+        if (g.candidates_valid) {
+          std::vector<itree::MutexId> intersection;
+          const auto held_set = mutexes_.Get(held);
+          for (itree::MutexId m : mutexes_.Get(g.candidates)) {
+            if (std::find(held_set.begin(), held_set.end(), m) != held_set.end()) {
+              intersection.push_back(m);
+            }
+          }
+          g.candidates = mutexes_.Intern(std::move(intersection));
+        }
+        if (g.state == State::kSharedModified &&
+            g.candidates == itree::kEmptyMutexSet && !g.reported) {
+          g.reported = true;
+          RaceReport report;
+          report.pc1 = g.last_pc;
+          report.pc2 = pc;
+          report.address = granule << 3;
+          report.size1 = size;
+          report.size2 = size;
+          report.write1 = true;  // SharedModified implies a write happened
+          report.write2 = is_write;
+          std::lock_guard races_lock(races_mutex_);
+          races_.Add(report);
+        }
+        break;
+      }
+    }
+    if (g.state != State::kVirgin && g.state != State::kExclusive) {
+      g.last_pc = pc;
+    }
+  }
+}
+
+uint64_t EraserTool::GranuleCount() const {
+  std::lock_guard lock(table_mutex_);
+  return granules_.size();
+}
+
+}  // namespace sword::hb

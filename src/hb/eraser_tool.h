@@ -1,0 +1,87 @@
+// EraserTool - a pure lockset detector (Eraser, Savage et al. 1997).
+//
+// A third point in the detector design space, bracketing SWORD's position
+// (paper SII): pure happens-before detectors (ArcherTool) are
+// schedule-dependent and MASK races; pure lockset detectors are
+// schedule-INdependent but know nothing about barriers or fork/join, so
+// they FALSE-ALARM on perfectly synchronized OpenMP code (barrier-separated
+// phases, single+barrier initialization, ordered sections...). SWORD's
+// barrier-interval + lockset analysis takes the schedule independence
+// without the false alarms. bench_lockset_comparison quantifies all three
+// on the DataRaceBench suite.
+//
+// Algorithm (classic Eraser state machine, per 8-byte granule):
+//   Virgin -> Exclusive(first thread) -> Shared (second thread reads)
+//         -> SharedModified (second thread writes)
+//   The candidate set C(v) starts as the locks held at the first
+//   cross-thread access and is intersected with the holder's lockset on
+//   every later access; an empty C(v) in SharedModified reports a race.
+//   Fork/join IS respected at the region level (a new top-level region
+//   resets Exclusive ownership), as real Eraser derivatives do for
+//   thread-start edges - the false positives come from barriers, which
+//   locksets cannot express.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/memtrack.h"
+#include "common/race_report.h"
+#include "itree/mutexset.h"
+#include "somp/runtime.h"
+#include "somp/tool.h"
+
+namespace sword::hb {
+
+class EraserTool final : public somp::Tool {
+ public:
+  EraserTool();
+  ~EraserTool() override;
+
+  void OnImplicitTaskBegin(somp::Ctx& ctx) override;
+  void OnParallelEnd(somp::Ctx* parent, somp::RegionId region) override;
+  void OnMutexAcquired(somp::Ctx& ctx, somp::MutexId mutex) override;
+  void OnMutexReleased(somp::Ctx& ctx, somp::MutexId mutex) override;
+  void OnAccess(somp::Ctx& ctx, uint64_t addr, uint8_t size, uint8_t flags,
+                somp::PcId pc) override;
+
+  const RaceReportSet& Races() const { return races_; }
+  uint64_t MemoryBytes() const { return memory_.current(); }
+  uint64_t GranuleCount() const;
+
+ private:
+  enum class State : uint8_t { kVirgin, kExclusive, kShared, kSharedModified };
+
+  struct GranuleState {
+    State state = State::kVirgin;
+    uint32_t owner = 0;               // thread id while Exclusive
+    itree::MutexSetId candidates = itree::kEmptyMutexSet;
+    bool candidates_valid = false;    // false until first cross-thread access
+    uint32_t last_pc = 0;
+    bool reported = false;
+  };
+
+  struct ThreadState {
+    uint32_t id = 0;
+    itree::MutexSetId held = itree::kEmptyMutexSet;
+  };
+
+  ThreadState& State_();
+
+  MemoryScope memory_;
+  itree::MutexSetTable mutexes_;
+
+  mutable std::mutex table_mutex_;
+  std::unordered_map<uint64_t, GranuleState> granules_;
+
+  std::mutex races_mutex_;
+  RaceReportSet races_;
+
+  std::mutex slots_mutex_;
+  std::vector<std::unique_ptr<ThreadState>> slots_;
+  const uint64_t instance_id_;
+};
+
+}  // namespace sword::hb

@@ -1,0 +1,114 @@
+#include "hb/shadow.h"
+
+#include <functional>
+
+namespace sword::hb {
+
+ShadowMemory::ShadowMemory(uint32_t cells_per_granule, MemoryScope* memory)
+    : cells_per_granule_(cells_per_granule), memory_(memory) {}
+
+Status ShadowMemory::ProcessAccess(const AccessRecord& access, const VectorClock& clock,
+                                   const std::function<void(const RaceReport&)>& on_race) {
+  // Split the byte range [addr, addr+size) across 8-byte granules.
+  uint64_t addr = access.addr;
+  uint64_t remaining = access.size;
+  while (remaining > 0) {
+    const uint64_t granule = addr >> 3;
+    const uint8_t offset = static_cast<uint8_t>(addr & 7);
+    const uint8_t in_this =
+        static_cast<uint8_t>(std::min<uint64_t>(remaining, 8 - offset));
+    SWORD_RETURN_IF_ERROR(
+        ProcessGranule(granule, offset, in_this, access, clock, on_race));
+    addr += in_this;
+    remaining -= in_this;
+  }
+  return Status::Ok();
+}
+
+Status ShadowMemory::ProcessGranule(
+    uint64_t granule, uint8_t offset, uint8_t size, const AccessRecord& access,
+    const VectorClock& clock, const std::function<void(const RaceReport&)>& on_race) {
+  Shard& shard = ShardFor(granule);
+  std::lock_guard lock(shard.mutex);
+
+  auto it = shard.lines.find(granule);
+  if (it == shard.lines.end()) {
+    if (memory_) SWORD_RETURN_IF_ERROR(memory_->Charge(ChargePerGranule()));
+    it = shard.lines.try_emplace(granule).first;
+    it->second.cells.resize(cells_per_granule_);
+  }
+  Line& line = it->second;
+
+  const bool cur_write = access.flags & 1;
+  const bool cur_atomic = access.flags & 2;
+
+  // Race check against every live cell.
+  for (const ShadowCell& cell : line.cells) {
+    if (cell.empty()) continue;
+    if (cell.slot == access.slot) continue;           // same thread: ordered
+    if (!cell.Overlaps(offset, size)) continue;       // disjoint bytes
+    if (!cell.is_write() && !cur_write) continue;     // read-read
+    if (cell.is_atomic() && cur_atomic) continue;     // atomic pair
+    if (clock.Covers(cell.slot, cell.epoch)) continue;  // happens-before
+    RaceReport report;
+    report.pc1 = cell.pc;
+    report.pc2 = access.pc;
+    report.address = (granule << 3) + std::max(cell.offset, offset);
+    report.size1 = cell.size;
+    report.size2 = size;
+    report.write1 = cell.is_write();
+    report.write2 = cur_write;
+    on_race(report);
+  }
+
+  // Record the access, mirroring TSan's store policy: an access identical to
+  // a stored cell (same thread, same epoch, same bytes, same kind) is NOT
+  // re-stored; anything else takes a free cell or EVICTS round-robin. In
+  // particular, the same thread re-reading a location at later epochs (e.g.
+  // across critical sections) occupies additional cells - the "multiple
+  // reads by the same thread" that purge a write record in SIV-A.
+  ShadowCell* target = nullptr;
+  for (ShadowCell& cell : line.cells) {
+    if (!cell.empty() && cell.slot == access.slot && cell.epoch == access.epoch &&
+        cell.offset == offset && cell.size == size && cell.flags == access.flags) {
+      return Status::Ok();  // exact duplicate already recorded
+    }
+  }
+  for (ShadowCell& cell : line.cells) {
+    if (cell.empty()) {
+      target = &cell;
+      break;
+    }
+  }
+  if (!target) {
+    // Eviction: the paper's information loss. Deterministic round-robin.
+    target = &line.cells[line.next_victim % cells_per_granule_];
+    line.next_victim++;
+  }
+  target->epoch = access.epoch;
+  target->slot = access.slot;
+  target->offset = offset;
+  target->size = size;
+  target->flags = access.flags;
+  target->pc = access.pc;
+  return Status::Ok();
+}
+
+void ShadowMemory::Flush() {
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    if (memory_) memory_->Release(shard.lines.size() * ChargePerGranule());
+    shard.lines.clear();
+  }
+}
+
+uint64_t ShadowMemory::GranuleCount() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    total += shard.lines.size();
+  }
+  return total;
+}
+
+}  // namespace sword::hb

@@ -1,0 +1,111 @@
+// Shadow memory with a fixed number of cells per 8-byte granule.
+//
+// This reproduces the TSan/ARCHER design the paper critiques (SI, SII):
+//  - every 8-byte application word that is ever accessed in a parallel
+//    region acquires a shadow line of kCellsPerGranule (default 4) cells;
+//  - each cell records one previous access (slot, epoch, byte range within
+//    the granule, write/atomic bits);
+//  - when a fifth distinct access arrives, a cell is EVICTED round-robin -
+//    deterministic here so the paper's missed-race examples reproduce
+//    exactly (a write record purged by a stream of reads is forgotten, and
+//    later conflicting reads no longer race with anything: SII's
+//    "a[i] = a[i] + a[0]" example, DataRaceBench nowait/privatemissing, and
+//    the 10 extra AMG races of Table IV);
+//  - memory is charged per granule to a capped MemoryScope: the application-
+//    proportional overhead that OOMs AMG2013_40 in Table IV.
+//
+// Shards reduce lock contention; everything is byte-exact accounted.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/memtrack.h"
+#include "common/race_report.h"
+#include "hb/vectorclock.h"
+
+namespace sword::hb {
+
+struct ShadowCell {
+  Epoch epoch = 0;
+  Slot slot = 0;
+  uint8_t offset = 0;  // first byte within the granule
+  uint8_t size = 0;    // 0 = empty cell
+  uint8_t flags = 0;   // somp::AccessFlags (write/atomic)
+  uint32_t pc = 0;
+
+  bool empty() const { return size == 0; }
+  bool is_write() const { return flags & 1; }
+  bool is_atomic() const { return flags & 2; }
+  bool Overlaps(uint8_t other_offset, uint8_t other_size) const {
+    return offset < other_offset + other_size && other_offset < offset + size;
+  }
+};
+
+struct AccessRecord {
+  Slot slot;
+  Epoch epoch;
+  uint64_t addr;
+  uint8_t size;
+  uint8_t flags;
+  uint32_t pc;
+};
+
+class ShadowMemory {
+ public:
+  /// `memory` carries the cap that models node OOM; may be null (uncapped).
+  ShadowMemory(uint32_t cells_per_granule, MemoryScope* memory);
+
+  /// Checks `access` against the recorded cells of its granule(s), reports
+  /// conflicts through `on_race`, then records the access (possibly evicting
+  /// the round-robin victim). `clock` is the accessing thread's current
+  /// vector clock (used for the happens-before test). Returns kOutOfMemory
+  /// when the memory cap is hit; the caller stops analysis.
+  Status ProcessAccess(const AccessRecord& access, const VectorClock& clock,
+                       const std::function<void(const RaceReport&)>& on_race);
+
+  /// Drops every shadow line (the "archer-low" flush between independent
+  /// parallel regions). Releases the charged memory.
+  void Flush();
+
+  uint64_t GranuleCount() const;
+  uint64_t MemoryBytes() const { return memory_ ? memory_->current() : 0; }
+
+  /// Modeled bytes charged per granule with the DEFAULT 4 cells: 4 packed
+  /// 8-byte cells plus map overhead, mirroring TSan's "4 shadow words per
+  /// application word" (the 5-7x of Fig. 7/8).
+  static constexpr uint64_t kChargePerGranule = 40;
+
+  /// The general form: 8 bytes per cell + 8 bytes map overhead, so widening
+  /// the shadow (bench_eviction's ablation) costs proportionally more.
+  uint64_t ChargePerGranule() const { return 8ull * cells_per_granule_ + 8; }
+
+ private:
+  struct Line {
+    std::vector<ShadowCell> cells;
+    uint32_t next_victim = 0;  // round-robin eviction cursor
+  };
+
+  static constexpr size_t kShards = 64;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<uint64_t, Line> lines;
+  };
+
+  Shard& ShardFor(uint64_t granule) {
+    return shards_[(granule * 0x9e3779b97f4a7c15ULL) >> 58];
+  }
+
+  Status ProcessGranule(uint64_t granule, uint8_t offset, uint8_t size,
+                        const AccessRecord& access, const VectorClock& clock,
+                        const std::function<void(const RaceReport&)>& on_race);
+
+  const uint32_t cells_per_granule_;
+  MemoryScope* memory_;
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace sword::hb

@@ -1,0 +1,2 @@
+// VectorClock is header-only; see vectorclock.h.
+#include "hb/vectorclock.h"

@@ -1,0 +1,67 @@
+// Vector clocks for the happens-before baseline.
+//
+// The baseline models ARCHER's TSan engine: every synchronization event
+// (fork, join, barrier, lock release/acquire) transfers clocks, and two
+// accesses race iff neither is ordered before the other. Clock components
+// are indexed by SLOT - one per OS worker thread, reused across parallel
+// regions like TSan reuses thread contexts - so clocks stay small even for
+// workloads with hundreds of thousands of regions.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sword::hb {
+
+using Slot = uint32_t;
+using Epoch = uint64_t;
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  Epoch Get(Slot slot) const {
+    return slot < ticks_.size() ? ticks_[slot] : 0;
+  }
+
+  void Set(Slot slot, Epoch epoch) {
+    if (slot >= ticks_.size()) ticks_.resize(slot + 1, 0);
+    ticks_[slot] = epoch;
+  }
+
+  void Tick(Slot slot) { Set(slot, Get(slot) + 1); }
+
+  /// Pointwise maximum (the join used at every synchronization edge).
+  void Join(const VectorClock& other) {
+    if (other.ticks_.size() > ticks_.size()) ticks_.resize(other.ticks_.size(), 0);
+    for (size_t i = 0; i < other.ticks_.size(); i++) {
+      ticks_[i] = std::max(ticks_[i], other.ticks_[i]);
+    }
+  }
+
+  /// True iff an event at (slot, epoch) happens-before a thread whose clock
+  /// is *this (i.e. this clock has already absorbed that epoch).
+  bool Covers(Slot slot, Epoch epoch) const { return Get(slot) >= epoch; }
+
+  void Clear() { ticks_.clear(); }
+  size_t size() const { return ticks_.size(); }
+  uint64_t MemoryBytes() const { return ticks_.capacity() * sizeof(Epoch); }
+
+  std::string ToString() const {
+    std::string out = "[";
+    for (size_t i = 0; i < ticks_.size(); i++) {
+      if (i) out += ",";
+      out += std::to_string(ticks_[i]);
+    }
+    return out + "]";
+  }
+
+  friend bool operator==(const VectorClock&, const VectorClock&) = default;
+
+ private:
+  std::vector<Epoch> ticks_;
+};
+
+}  // namespace sword::hb

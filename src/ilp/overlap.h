@@ -1,0 +1,60 @@
+// Strided-interval overlap queries (paper SIII-B).
+//
+// A summarized access interval covers the addresses
+//   { b + delta*x + s : 0 <= x <= n, 0 <= s < z }
+// (b = first element address, delta = stride, n = element count - 1,
+// z = access size in bytes). Two intervals conflict iff they share at least
+// one byte address:
+//   delta0*x0 + b0 + s0 == delta1*x1 + b1 + s1     (the paper's constraint)
+// A plain [lo,hi] range check is necessary but NOT sufficient - interleaved
+// strided accesses (Fig. 4) overlap as ranges while touching disjoint bytes.
+//
+// Two exact engines decide the constraint:
+//   kDiophantine - closed form: for each byte-offset difference d = s1 - s0
+//                  (|d| < max(z0,z1), at most z0+z1-1 values) solve the
+//                  bounded Diophantine equation delta0*x0 - delta1*x1 = b1-b0+d.
+//   kIlp         - branch & bound ILP on the equivalent inequality system,
+//                  mirroring the paper's GLPK formulation.
+// Both return identical answers (property-tested); kDiophantine is the
+// default because it is allocation-free and O(z) per query.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace sword::ilp {
+
+/// A strided run of same-sized accesses.
+struct StridedInterval {
+  uint64_t base = 0;    // address of the first element
+  uint64_t stride = 0;  // bytes between consecutive element starts (0 => single)
+  uint64_t count = 1;   // number of elements (>= 1)
+  uint32_t size = 1;    // bytes touched per element (>= 1)
+
+  /// First byte touched.
+  uint64_t lo() const { return base; }
+  /// Last byte touched (inclusive).
+  uint64_t hi() const { return base + stride * (count - 1) + size - 1; }
+};
+
+enum class OverlapEngine { kDiophantine, kIlp };
+
+/// A witness conflict: element indices and the shared byte address.
+struct OverlapWitness {
+  uint64_t x0 = 0;
+  uint64_t x1 = 0;
+  uint64_t address = 0;
+};
+
+/// Decides whether the two intervals share any byte address; if so, returns
+/// a witness. Exact for all inputs.
+std::optional<OverlapWitness> Intersect(const StridedInterval& a,
+                                        const StridedInterval& b,
+                                        OverlapEngine engine = OverlapEngine::kDiophantine);
+
+/// Cheap necessary condition used to pre-filter tree queries.
+inline bool RangesTouch(const StridedInterval& a, const StridedInterval& b) {
+  return a.lo() <= b.hi() && b.lo() <= a.hi();
+}
+
+}  // namespace sword::ilp

@@ -1,0 +1,82 @@
+#include "itree/mutexset.h"
+
+#include <algorithm>
+
+namespace sword::itree {
+
+MutexSetTable::MutexSetTable() {
+  sets_.emplace_back();  // id 0 = empty set
+  index_.emplace(std::vector<MutexId>{}, kEmptyMutexSet);
+}
+
+MutexSetId MutexSetTable::Intern(std::vector<MutexId> mutexes) {
+  std::sort(mutexes.begin(), mutexes.end());
+  mutexes.erase(std::unique(mutexes.begin(), mutexes.end()), mutexes.end());
+  {
+    std::shared_lock lock(mutex_);
+    auto it = index_.find(mutexes);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto it = index_.find(mutexes);
+  if (it != index_.end()) return it->second;
+  const MutexSetId id = static_cast<MutexSetId>(sets_.size());
+  index_.emplace(mutexes, id);
+  sets_.push_back(std::move(mutexes));
+  return id;
+}
+
+MutexSetId MutexSetTable::WithMutex(MutexSetId id, MutexId mutex) {
+  std::vector<MutexId> set = Get(id);
+  set.push_back(mutex);
+  return Intern(std::move(set));
+}
+
+MutexSetId MutexSetTable::WithoutMutex(MutexSetId id, MutexId mutex) {
+  std::vector<MutexId> set = Get(id);
+  set.erase(std::remove(set.begin(), set.end(), mutex), set.end());
+  return Intern(std::move(set));
+}
+
+std::vector<MutexId> MutexSetTable::Get(MutexSetId id) const {
+  std::shared_lock lock(mutex_);
+  return sets_[id];
+}
+
+size_t MutexSetTable::size() const {
+  std::shared_lock lock(mutex_);
+  return sets_.size();
+}
+
+bool MutexSetTable::Intersects(MutexSetId a, MutexSetId b) const {
+  if (a == kEmptyMutexSet || b == kEmptyMutexSet) return false;
+  if (a == b) return true;  // identical non-empty sets
+  if (a > b) std::swap(a, b);
+  const uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+  {
+    std::lock_guard lock(cache_mutex_);
+    auto it = intersect_cache_.find(key);
+    if (it != intersect_cache_.end()) return it->second;
+  }
+
+  bool result = false;
+  {
+    std::shared_lock lock(mutex_);
+    const auto& sa = sets_[a];
+    const auto& sb = sets_[b];
+    size_t i = 0, j = 0;
+    while (i < sa.size() && j < sb.size()) {
+      if (sa[i] == sb[j]) {
+        result = true;
+        break;
+      }
+      if (sa[i] < sb[j]) i++;
+      else j++;
+    }
+  }
+  std::lock_guard lock(cache_mutex_);
+  intersect_cache_.emplace(key, result);
+  return result;
+}
+
+}  // namespace sword::itree

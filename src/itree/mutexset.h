@@ -1,0 +1,58 @@
+// Interned sets of held mutexes.
+//
+// Every summarized access node carries the set of locks (critical sections,
+// runtime locks) the thread held when performing the access; two conflicting
+// accesses only race if their mutex sets are disjoint. Threads hold few locks
+// and the same sets recur millions of times, so sets are deduplicated into a
+// table and referenced by a 32-bit id. Intersection tests are answered from
+// the sorted representations and memoized.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace sword::itree {
+
+using MutexId = uint32_t;
+using MutexSetId = uint32_t;
+
+/// Id of the empty set; always valid on any table.
+constexpr MutexSetId kEmptyMutexSet = 0;
+
+/// Thread-safe: the offline analyzer interns from one builder thread per
+/// trace and queries intersections from many checker threads.
+class MutexSetTable {
+ public:
+  MutexSetTable();
+
+  /// Interns the set; `mutexes` need not be sorted or unique.
+  MutexSetId Intern(std::vector<MutexId> mutexes);
+
+  /// Interns (set(id) + mutex).
+  MutexSetId WithMutex(MutexSetId id, MutexId mutex);
+
+  /// Interns (set(id) - mutex).
+  MutexSetId WithoutMutex(MutexSetId id, MutexId mutex);
+
+  /// Returns a copy (the backing storage may move under concurrent Intern).
+  std::vector<MutexId> Get(MutexSetId id) const;
+
+  /// True iff the two sets share at least one mutex.
+  bool Intersects(MutexSetId a, MutexSetId b) const;
+
+  size_t size() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::vector<std::vector<MutexId>> sets_;           // id -> sorted unique set
+  std::map<std::vector<MutexId>, MutexSetId> index_; // sorted set -> id
+  mutable std::mutex cache_mutex_;
+  mutable std::unordered_map<uint64_t, bool> intersect_cache_;
+};
+
+}  // namespace sword::itree

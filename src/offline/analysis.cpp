@@ -1,0 +1,258 @@
+#include "offline/analysis.h"
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/timer.h"
+#include "itree/interval_tree.h"
+#include "itree/mutexset.h"
+#include "offline/racecheck.h"
+#include "osl/label.h"
+#include "trace/event.h"
+
+namespace sword::offline {
+namespace {
+
+/// Serialized label bytes; used as an ordered map key for grouping.
+std::string LabelKey(const osl::Label& label) {
+  ByteWriter w;
+  label.Serialize(w);
+  return std::string(reinterpret_cast<const char*>(w.buffer().data()),
+                     w.buffer().size());
+}
+
+struct Group {
+  uint32_t thread_idx;
+  osl::Label label;
+  std::vector<const trace::IntervalMeta*> segments;
+  itree::IntervalTree tree;
+};
+
+/// Streams one segment's events into the group's tree, recovering the
+/// lockset from mutex events (paper: "synchronization recovery"). `cache`
+/// avoids re-decompressing a frame shared by many small segments.
+Status BuildSegment(const TraceStore& store, Group& group,
+                    const trace::IntervalMeta& meta, itree::MutexSetTable& mutexes,
+                    AnalysisStats& stats, trace::FrameCache* cache) {
+  std::vector<itree::MutexId> initial(meta.lockset.begin(), meta.lockset.end());
+  itree::MutexSetId cur = mutexes.Intern(std::move(initial));
+
+  const auto& thread = store.threads()[group.thread_idx];
+  uint64_t events = 0;
+  const Status s = thread.log->StreamRange(
+      meta.data_begin, meta.data_size,
+      [&](const trace::RawEvent& e) {
+        events++;
+        switch (e.kind) {
+          case trace::EventKind::kMutexAcquire:
+            cur = mutexes.WithMutex(cur, static_cast<itree::MutexId>(e.addr));
+            break;
+          case trace::EventKind::kMutexRelease:
+            cur = mutexes.WithoutMutex(cur, static_cast<itree::MutexId>(e.addr));
+            break;
+          case trace::EventKind::kAccess: {
+            itree::AccessKey key;
+            key.pc = e.pc;
+            key.flags = e.flags;
+            key.size = e.size;
+            key.mutexset = cur;
+            group.tree.AddAccess(e.addr, key);
+            break;
+          }
+        }
+      },
+      cache);
+  stats.raw_events += events;
+  return s;
+}
+
+}  // namespace
+
+AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
+  AnalysisResult result;
+  Timer total_timer;
+  itree::MutexSetTable mutexes;
+
+  // --- 1+2: bucket interval segments by top-level region (root pair offset).
+  // Cross-bucket interval pairs are sequential by OSL case 2 on the root
+  // pair, so they are pruned wholesale.
+  std::map<uint32_t, std::vector<std::pair<uint32_t, const trace::IntervalMeta*>>>
+      buckets;
+  for (uint32_t t = 0; t < store.thread_count(); t++) {
+    for (const auto& meta : store.threads()[t].meta.intervals) {
+      result.stats.intervals++;
+      const auto& pairs = meta.label.pairs();
+      if (pairs.empty()) {
+        result.status = Status::Corrupt("interval with empty label");
+        return result;
+      }
+      buckets[pairs.front().offset].push_back({t, &meta});
+    }
+  }
+  result.stats.buckets = buckets.size();
+
+  std::mutex races_mutex;
+  // Frame caches live across buckets so consecutive buckets whose segments
+  // share a frame (the common case: many tiny top-level regions per frame)
+  // reuse the decompression. One cache map per builder worker; groups are
+  // assigned to workers by a stable modulo so the same lane's frames keep
+  // hitting the same worker's cache bucket after bucket.
+  std::vector<std::map<uint32_t, trace::FrameCache>> worker_caches(
+      std::max<uint32_t>(1, config.threads));
+
+  uint64_t bucket_ordinal = ~0ULL;
+  for (auto& [root_offset, segments] : buckets) {
+    (void)root_offset;
+    bucket_ordinal++;
+    if (config.shard_count > 1 &&
+        bucket_ordinal % config.shard_count != config.shard_index) {
+      continue;  // another shard's bucket
+    }
+    Timer bucket_timer;
+
+    // --- 3: group by (thread, label); stream logs into per-group trees.
+    Timer build_timer;
+    std::map<std::pair<uint32_t, std::string>, std::unique_ptr<Group>> group_map;
+    for (auto& [thread_idx, meta] : segments) {
+      auto key = std::make_pair(thread_idx, LabelKey(meta->label));
+      auto [it, inserted] = group_map.try_emplace(std::move(key));
+      if (inserted) {
+        it->second = std::make_unique<Group>();
+        it->second->thread_idx = thread_idx;
+        it->second->label = meta->label;
+      }
+      it->second->segments.push_back(meta);
+    }
+    std::vector<Group*> groups;
+    groups.reserve(group_map.size());
+    for (auto& [key, group] : group_map) groups.push_back(group.get());
+
+    // Tree construction parallelizes per GROUP without locks: each
+    // (thread, label) tree is private to its builder, log readers are
+    // stateless, and the mutex-set table is thread-safe. (The paper calls
+    // this out as future work - "the tree generation cannot be efficiently
+    // parallelized since it would require the use of locks" - which the
+    // per-group decomposition sidesteps.)
+    {
+      std::mutex status_mutex;
+      auto build_group = [&](Group* group, AnalysisStats* stats,
+                             std::map<uint32_t, trace::FrameCache>* caches) {
+        // One decompressed-frame cache per trace thread per builder: small
+        // segments sharing a frame decode it once, not once per segment.
+        trace::FrameCache& cache = (*caches)[group->thread_idx];
+        for (const trace::IntervalMeta* meta : group->segments) {
+          const Status s = BuildSegment(store, *group, *meta, mutexes, *stats, &cache);
+          if (!s.ok()) {
+            std::lock_guard lock(status_mutex);
+            if (result.status.ok()) result.status = s;
+            return;
+          }
+        }
+        stats->trees_built++;
+        stats->tree_nodes += group->tree.NodeCount();
+      };
+
+      if (config.threads <= 1 || groups.size() < 2) {
+        for (Group* group : groups) {
+          build_group(group, &result.stats, &worker_caches[0]);
+        }
+      } else {
+        const uint32_t workers =
+            std::min<uint32_t>(config.threads, static_cast<uint32_t>(groups.size()));
+        std::vector<AnalysisStats> stats(workers);
+        std::vector<std::thread> threads;
+        for (uint32_t w = 0; w < workers; w++) {
+          threads.emplace_back([&, w] {
+            // Stable modulo assignment keeps lane k on worker k%workers, so
+            // each worker's frame cache stays hot across buckets.
+            for (size_t k = w; k < groups.size(); k += workers) {
+              build_group(groups[k], &stats[w], &worker_caches[w]);
+            }
+          });
+        }
+        for (auto& th : threads) th.join();
+        for (const auto& s : stats) {
+          result.stats.trees_built += s.trees_built;
+          result.stats.tree_nodes += s.tree_nodes;
+          result.stats.raw_events += s.raw_events;
+        }
+      }
+      if (!result.status.ok()) return result;
+    }
+    result.stats.build_seconds += build_timer.ElapsedSeconds();
+
+    uint64_t bucket_tree_bytes = 0;
+    for (Group* group : groups) bucket_tree_bytes += group->tree.MemoryBytes();
+    result.stats.peak_tree_bytes =
+        std::max(result.stats.peak_tree_bytes, bucket_tree_bytes);
+
+    // --- 4: concurrency judgment per label pair, then tree comparison.
+    Timer compare_timer;
+    std::vector<std::pair<Group*, Group*>> concurrent;
+    // Concurrency is judged purely on labels: one OS thread may have hosted
+    // two different lanes back to back (worker reuse), and those lanes'
+    // intervals still race in the OpenMP abstract machine even though this
+    // particular schedule serialized them. Equal labels (the same logical
+    // execution point) come out Sequential, so self-pairs prune themselves.
+    for (size_t i = 0; i < groups.size(); i++) {
+      for (size_t j = i + 1; j < groups.size(); j++) {
+        result.stats.label_pairs_checked++;
+        if (osl::Concurrent(groups[i]->label, groups[j]->label)) {
+          concurrent.push_back({groups[i], groups[j]});
+        }
+      }
+    }
+    result.stats.concurrent_pairs += concurrent.size();
+
+    auto check_range = [&](size_t begin, size_t end, CheckStats* stats) {
+      for (size_t k = begin; k < end; k++) {
+        CheckTreePair(concurrent[k].first->tree, concurrent[k].second->tree, mutexes,
+                      config.engine,
+                      [&](const RaceReport& report) {
+                        std::lock_guard lock(races_mutex);
+                        result.races.Add(report);
+                      },
+                      stats);
+      }
+    };
+
+    if (config.threads <= 1 || concurrent.size() < 2) {
+      CheckStats stats;
+      check_range(0, concurrent.size(), &stats);
+      result.stats.node_pairs_ranged += stats.node_pairs_ranged;
+      result.stats.solver_calls += stats.solver_calls;
+    } else {
+      const uint32_t workers =
+          std::min<uint32_t>(config.threads, static_cast<uint32_t>(concurrent.size()));
+      std::vector<CheckStats> stats(workers);
+      std::vector<std::thread> threads;
+      std::atomic<size_t> next{0};
+      for (uint32_t w = 0; w < workers; w++) {
+        threads.emplace_back([&, w] {
+          while (true) {
+            const size_t k = next.fetch_add(1);
+            if (k >= concurrent.size()) break;
+            check_range(k, k + 1, &stats[w]);
+          }
+        });
+      }
+      for (auto& th : threads) th.join();
+      for (const auto& s : stats) {
+        result.stats.node_pairs_ranged += s.node_pairs_ranged;
+        result.stats.solver_calls += s.solver_calls;
+      }
+    }
+    result.stats.compare_seconds += compare_timer.ElapsedSeconds();
+
+    result.stats.max_bucket_seconds =
+        std::max(result.stats.max_bucket_seconds, bucket_timer.ElapsedSeconds());
+  }
+
+  result.stats.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace sword::offline

@@ -1,0 +1,74 @@
+// The SWORD offline analysis driver (paper SIII-B).
+//
+// Pipeline, per the paper:
+//   1. read meta files; recover the concurrency structure from the stored
+//      offset-span labels (synchronization recovery);
+//   2. bucket barrier intervals by top-level region - intervals of different
+//      top-level regions are provably sequential (the root label pair
+//      orders them, OSL case 2), so only intra-bucket pairs are candidates;
+//   3. per bucket: stream each interval's events from the log files
+//      (decompressing one frame at a time), recover locksets from the
+//      acquire/release events, and build one summarizing red-black interval
+//      tree per (thread, label);
+//   4. for every CONCURRENT label pair (OSL judgment - no happens-before,
+//      hence no Fig. 1 masking), compare the two trees with the exact
+//      ILP-backed overlap check;
+//   5. deduplicate races by source-location pair.
+//
+// Buckets are processed one at a time so resident memory is bounded by the
+// largest top-level region, not the whole execution; within a bucket, tree
+// comparisons fan out across `threads` checker threads (the paper's
+// distributed mode - Table III's MT column is the per-bucket maximum).
+#pragma once
+
+#include <cstdint>
+
+#include "common/race_report.h"
+#include "common/status.h"
+#include "ilp/overlap.h"
+#include "offline/tracestore.h"
+
+namespace sword::offline {
+
+struct AnalysisConfig {
+  ilp::OverlapEngine engine = ilp::OverlapEngine::kDiophantine;
+  uint32_t threads = 1;  // checker threads for tree-pair comparisons
+
+  // Distributed sharding (the paper's cluster mode: "we distributed the
+  // offline analysis across a cluster of nodes"). Buckets - top-level
+  // regions - are the unit of distribution because no race can span two of
+  // them; shard i of n analyzes buckets with ordinal % n == i, and the
+  // union of all shards' reports equals the full analysis.
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 1;
+};
+
+struct AnalysisStats {
+  uint64_t intervals = 0;            // meta records analyzed
+  uint64_t buckets = 0;              // top-level regions
+  uint64_t trees_built = 0;          // (thread, label) groups
+  uint64_t tree_nodes = 0;           // summarized interval nodes
+  uint64_t raw_events = 0;           // events streamed from logs
+  uint64_t label_pairs_checked = 0;  // OSL concurrency judgments
+  uint64_t concurrent_pairs = 0;     // pairs that proceeded to tree compare
+  uint64_t node_pairs_ranged = 0;
+  uint64_t solver_calls = 0;
+  double build_seconds = 0;
+  double compare_seconds = 0;
+  double total_seconds = 0;
+  /// Longest single-bucket time: the paper's distributed-analysis (MT)
+  /// latency proxy - with one node per region, the slowest region bounds
+  /// the wall clock.
+  double max_bucket_seconds = 0;
+  uint64_t peak_tree_bytes = 0;  // largest per-bucket tree footprint
+};
+
+struct AnalysisResult {
+  Status status;
+  RaceReportSet races;
+  AnalysisStats stats;
+};
+
+AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config = {});
+
+}  // namespace sword::offline

@@ -1,0 +1,48 @@
+#include "offline/racecheck.h"
+
+namespace sword::offline {
+
+void CheckTreePair(const itree::IntervalTree& a, const itree::IntervalTree& b,
+                   const itree::MutexSetTable& mutexes, ilp::OverlapEngine engine,
+                   const std::function<void(const RaceReport&)>& on_race,
+                   CheckStats* stats) {
+  if (a.Empty() || b.Empty()) return;
+  // Iterate the smaller tree, range-query the larger: O(M log M') with
+  // M <= M' (the paper's comparison bound).
+  const bool a_smaller = a.NodeCount() <= b.NodeCount();
+  const itree::IntervalTree& outer = a_smaller ? a : b;
+  const itree::IntervalTree& inner = a_smaller ? b : a;
+
+  outer.ForEach([&](const itree::AccessNode& x) {
+    inner.QueryRange(x.interval.lo(), x.interval.hi(),
+                     [&](const itree::AccessNode& y) {
+      if (stats) stats->node_pairs_ranged++;
+
+      // Filter: at least one write.
+      if (!x.key.is_write() && !y.key.is_write()) return true;
+      // Filter: two atomics synchronize with each other.
+      if (x.key.is_atomic() && y.key.is_atomic()) return true;
+      // Filter: common lock.
+      if (mutexes.Intersects(x.key.mutexset, y.key.mutexset)) return true;
+
+      // Exact strided intersection (the ILP constraint of SIII-B).
+      if (stats) stats->solver_calls++;
+      const auto witness = ilp::Intersect(x.interval, y.interval, engine);
+      if (!witness) return true;
+
+      RaceReport report;
+      report.pc1 = a_smaller ? x.key.pc : y.key.pc;
+      report.pc2 = a_smaller ? y.key.pc : x.key.pc;
+      report.address = witness->address;
+      report.size1 = a_smaller ? x.key.size : y.key.size;
+      report.size2 = a_smaller ? y.key.size : x.key.size;
+      report.write1 = a_smaller ? x.key.is_write() : y.key.is_write();
+      report.write2 = a_smaller ? y.key.is_write() : x.key.is_write();
+      if (stats) stats->races_found++;
+      on_race(report);
+      return true;
+    });
+  });
+}
+
+}  // namespace sword::offline

@@ -1,0 +1,83 @@
+#include "offline/report.h"
+
+#include <cstdio>
+
+namespace sword::offline {
+namespace {
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 8);
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderText(const AnalysisResult& result, const PcNamer& pc_namer) {
+  std::string out;
+  out += std::to_string(result.races.size()) + " data race(s)\n";
+  for (const RaceReport& race : result.races.reports()) {
+    out += "  " + race.ToString(pc_namer) + "\n";
+  }
+  const auto& s = result.stats;
+  out += "analyzed " + std::to_string(s.intervals) + " interval(s) in " +
+         std::to_string(s.buckets) + " region(s), " + std::to_string(s.raw_events) +
+         " event(s) -> " + std::to_string(s.tree_nodes) + " tree node(s)\n";
+  return out;
+}
+
+std::string RenderJson(const AnalysisResult& result, const PcNamer& pc_namer) {
+  std::string out = "{\"races\":[";
+  bool first = true;
+  for (const RaceReport& race : result.races.reports()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{";
+    out += "\"pc1\":" + std::to_string(race.pc1);
+    out += ",\"loc1\":\"" + JsonEscape(pc_namer(race.pc1)) + "\"";
+    out += ",\"pc2\":" + std::to_string(race.pc2);
+    out += ",\"loc2\":\"" + JsonEscape(pc_namer(race.pc2)) + "\"";
+    out += ",\"address\":\"" + std::to_string(race.address) + "\"";
+    out += ",\"write1\":" + std::string(race.write1 ? "true" : "false");
+    out += ",\"write2\":" + std::string(race.write2 ? "true" : "false");
+    out += ",\"size1\":" + std::to_string(int(race.size1));
+    out += ",\"size2\":" + std::to_string(int(race.size2));
+    out += "}";
+  }
+  out += "],\"stats\":{";
+  const auto& s = result.stats;
+  out += "\"intervals\":" + std::to_string(s.intervals);
+  out += ",\"buckets\":" + std::to_string(s.buckets);
+  out += ",\"trees_built\":" + std::to_string(s.trees_built);
+  out += ",\"tree_nodes\":" + std::to_string(s.tree_nodes);
+  out += ",\"raw_events\":" + std::to_string(s.raw_events);
+  out += ",\"label_pairs_checked\":" + std::to_string(s.label_pairs_checked);
+  out += ",\"concurrent_pairs\":" + std::to_string(s.concurrent_pairs);
+  out += ",\"solver_calls\":" + std::to_string(s.solver_calls);
+  out += ",\"total_seconds\":" + std::to_string(s.total_seconds);
+  out += "}}";
+  return out;
+}
+
+}  // namespace sword::offline

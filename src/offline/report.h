@@ -1,0 +1,27 @@
+// Race-report rendering: text and JSON writers for analysis results, used
+// by the sword-offline CLI and available to downstream consumers (the real
+// SWORD feeds a desktop GUI; a stable JSON schema is the equivalent here).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/race_report.h"
+#include "offline/analysis.h"
+
+namespace sword::offline {
+
+/// Resolves an interned pc to a human-readable location. The default used
+/// by the CLI falls back to "pc#N" when the analyzing process never
+/// executed the program (ids are process-local).
+using PcNamer = std::function<std::string(uint32_t)>;
+
+/// Multi-line human-readable report: one line per race plus a summary.
+std::string RenderText(const AnalysisResult& result, const PcNamer& pc_namer);
+
+/// Stable JSON: {"races":[{pc1,loc1,pc2,loc2,address,write1,write2,
+/// size1,size2}...],"stats":{...}}. Addresses are decimal strings (JSON
+/// numbers lose 64-bit precision).
+std::string RenderJson(const AnalysisResult& result, const PcNamer& pc_namer);
+
+}  // namespace sword::offline

@@ -1,0 +1,57 @@
+#include "offline/tracestore.h"
+
+#include "common/fsutil.h"
+
+namespace sword::offline {
+
+Result<TraceStore> TraceStore::Open(const std::vector<std::string>& log_paths,
+                                    const std::vector<std::string>& meta_paths) {
+  if (log_paths.size() != meta_paths.size()) {
+    return Status::Invalid("log/meta path count mismatch");
+  }
+  TraceStore store;
+  for (size_t i = 0; i < log_paths.size(); i++) {
+    ThreadTrace tt;
+    auto meta_bytes = ReadFileBytes(meta_paths[i]);
+    if (!meta_bytes.ok()) return meta_bytes.status();
+    SWORD_RETURN_IF_ERROR(trace::MetaFile::Decode(meta_bytes.value(), &tt.meta));
+    tt.tid = tt.meta.thread_id;
+
+    auto reader = trace::LogReader::Open(log_paths[i]);
+    if (!reader.ok()) return reader.status();
+    tt.log = std::make_unique<trace::LogReader>(std::move(reader).value());
+    store.threads_.push_back(std::move(tt));
+  }
+  return store;
+}
+
+Result<TraceStore> TraceStore::OpenDir(const std::string& dir) {
+  std::vector<std::string> logs, metas;
+  for (uint32_t k = 0;; k++) {
+    const std::string log = dir + "/sword_t" + std::to_string(k) + ".log";
+    const std::string meta = dir + "/sword_t" + std::to_string(k) + ".meta";
+    if (!FileExists(log) || !FileExists(meta)) break;
+    logs.push_back(log);
+    metas.push_back(meta);
+  }
+  if (logs.empty()) return Status::NotFound("no sword_t*.log traces in " + dir);
+  return Open(logs, metas);
+}
+
+uint64_t TraceStore::TotalIntervals() const {
+  uint64_t total = 0;
+  for (const auto& t : threads_) total += t.meta.intervals.size();
+  return total;
+}
+
+uint64_t TraceStore::TotalLogBytes() const {
+  uint64_t total = 0;
+  for (const auto& t : threads_) {
+    // Sum of on-disk frame sizes == logical file size; approximate with the
+    // reader's knowledge of frames.
+    total += t.log->total_logical_bytes();
+  }
+  return total;
+}
+
+}  // namespace sword::offline

@@ -1,0 +1,43 @@
+// Loading of a SWORD trace directory (one .log + .meta pair per thread) into
+// the structures the analyzer walks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "trace/meta.h"
+#include "trace/reader.h"
+
+namespace sword::offline {
+
+/// One thread's collected data: its parsed meta file and an open streaming
+/// reader over its log file.
+struct ThreadTrace {
+  uint32_t tid = 0;
+  trace::MetaFile meta;
+  std::unique_ptr<trace::LogReader> log;
+};
+
+class TraceStore {
+ public:
+  /// Opens pairwise (log_paths[i], meta_paths[i]).
+  static Result<TraceStore> Open(const std::vector<std::string>& log_paths,
+                                 const std::vector<std::string>& meta_paths);
+
+  /// Opens every sword_t<k>.{log,meta} pair in `dir`, k = 0,1,2,...
+  static Result<TraceStore> OpenDir(const std::string& dir);
+
+  const std::vector<ThreadTrace>& threads() const { return threads_; }
+  size_t thread_count() const { return threads_.size(); }
+
+  uint64_t TotalIntervals() const;
+  uint64_t TotalLogBytes() const;  // compressed, on disk
+
+ private:
+  std::vector<ThreadTrace> threads_;
+};
+
+}  // namespace sword::offline

@@ -1,0 +1,109 @@
+// Offset-span labels (Mellor-Crummey), extended with barrier phases - the
+// concurrency judgment SWORD's offline analysis is built on (paper SII).
+//
+// A label is a sequence of [offset, span @ phase] components tracing a
+// thread's lineage through nested fork/join regions and barrier phases:
+//   - the initial (master) thread has label [0,1@0];
+//   - a fork of span s from a thread with label L gives child i the label
+//     L.[i,s@0];
+//   - a TEAM BARRIER advances the innermost phase: [o,s@p] -> [o,s@p+1].
+//     Every member advances together, so phase order across ANY two lanes
+//     implies barrier ordering (the paper's Fig. 2: "accesses within
+//     sequentially ordered barrier intervals cannot race", e.g. Thread 3 in
+//     Barrier Interval 1 vs Thread 4 in Barrier Interval 3);
+//   - a JOIN of a nested region advances the ENCOUNTERING thread's own
+//     innermost offset: [o,s@p] -> [o+s,s@p]. Only that lane moves, so join
+//     ordering is visible to the original mod-span rule but NOT mistaken
+//     for a barrier (its teammates are still concurrent with the joined
+//     subtree).
+//
+// Two labels are SEQUENTIAL iff
+//   case 1: one is a prefix of the other (ancestor ordering), or
+//   case 2: at the first differing component, spans match and either
+//       (a) the phases differ             - a team barrier separates them, or
+//       (b) offset_x = offset_y (mod span) - the same lane's continuation
+//                                           across nested joins
+//           (Mellor-Crummey's original rule).
+// Otherwise they are CONCURRENT.
+//
+// Note on fidelity: the paper states case 2 with the mod-span rule only and
+// encodes barrier ordering separately through the meta-data's bid column;
+// folding the phase into the label (2b above) is the equivalent,
+// self-contained formulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace sword::osl {
+
+struct Pair {
+  uint32_t offset = 0;
+  uint32_t span = 1;
+  uint32_t phase = 0;
+
+  friend bool operator==(const Pair&, const Pair&) = default;
+};
+
+class Label {
+ public:
+  Label() = default;
+  explicit Label(std::vector<Pair> pairs) : pairs_(std::move(pairs)) {}
+
+  /// The master thread's label: [0,1@0].
+  static Label Initial() { return Label({Pair{0, 1, 0}}); }
+
+  /// Label of child `index` in a fork of `span` threads from this label.
+  /// Requires index < span and span >= 1.
+  Label Fork(uint32_t index, uint32_t span) const;
+
+  /// Label after a team barrier: innermost [o,s@p] becomes [o,s@p+1].
+  Label AfterBarrier() const;
+
+  /// The encountering thread's label after a nested region joins back:
+  /// innermost [o,s@p] becomes [o+s,s@p].
+  Label AfterJoin() const;
+
+  /// Label of the parent context: drops the innermost component.
+  /// Requires depth() > 1.
+  Label Parent() const;
+
+  /// Lane within the innermost team (offset mod span).
+  uint32_t Lane() const;
+
+  /// Barrier phase within the innermost team.
+  uint32_t Phase() const;
+
+  /// Span of the innermost team.
+  uint32_t Span() const;
+
+  size_t depth() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+  const std::vector<Pair>& pairs() const { return pairs_; }
+
+  /// "[0,1@0][2,4@1]" - offset, span, phase per component.
+  std::string ToString() const;
+
+  void Serialize(ByteWriter& w) const;
+  static Status Deserialize(ByteReader& r, Label* out);
+
+  friend bool operator==(const Label&, const Label&) = default;
+
+ private:
+  std::vector<Pair> pairs_;
+};
+
+/// True iff the executions tagged by the two labels are ordered (case 1 or
+/// case 2 above). Symmetric. Equal labels denote the same execution point
+/// and are treated as sequential (a thread does not race with itself).
+bool Sequential(const Label& a, const Label& b);
+
+/// True iff neither ordering case applies; accesses under concurrent labels
+/// may race.
+bool Concurrent(const Label& a, const Label& b);
+
+}  // namespace sword::osl

@@ -1,0 +1,111 @@
+#include "somp/pool.h"
+
+namespace sword::somp {
+
+WorkerPool::WorkerPool() = default;
+
+struct WorkerPool::Ticket::State {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+};
+
+void WorkerPool::Ticket::Wait() {
+  if (!state_) return;
+  std::unique_lock lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->done; });
+}
+
+struct WorkerPool::Worker {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::function<void()> task;
+  std::shared_ptr<Ticket::State> ticket;
+  bool stop = false;
+  std::thread thread;
+
+  void Run(WorkerPool* pool) {
+    while (true) {
+      std::function<void()> current;
+      std::shared_ptr<Ticket::State> current_ticket;
+      {
+        std::unique_lock lock(mutex);
+        cv.wait(lock, [&] { return stop || task; });
+        if (stop && !task) return;
+        current = std::move(task);
+        task = nullptr;
+        current_ticket = std::move(ticket);
+        ticket = nullptr;
+      }
+      current();
+      // Return to the free list BEFORE signalling completion, so a waiter
+      // that immediately submits again can reuse this worker.
+      {
+        std::lock_guard pool_lock(pool->mutex_);
+        pool->idle_.push_back(this);
+      }
+      {
+        std::lock_guard lock(current_ticket->mutex);
+        current_ticket->done = true;
+      }
+      current_ticket->cv.notify_all();
+    }
+  }
+};
+
+WorkerPool::~WorkerPool() {
+  std::vector<std::unique_ptr<Worker>> workers;
+  {
+    std::lock_guard lock(mutex_);
+    workers.swap(workers_);
+    idle_.clear();
+  }
+  for (auto& w : workers) {
+    {
+      std::lock_guard lock(w->mutex);
+      w->stop = true;
+    }
+    w->cv.notify_all();
+  }
+  for (auto& w : workers) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+WorkerPool::Ticket WorkerPool::Submit(std::function<void()> task) {
+  Ticket ticket;
+  ticket.state_ = std::make_shared<Ticket::State>();
+
+  Worker* worker = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    if (!idle_.empty()) {
+      worker = idle_.back();
+      idle_.pop_back();
+    } else {
+      workers_.push_back(std::make_unique<Worker>());
+      worker = workers_.back().get();
+      worker->thread = std::thread([this, worker] { worker->Run(this); });
+    }
+  }
+
+  {
+    std::lock_guard lock(worker->mutex);
+    worker->task = std::move(task);
+    worker->ticket = ticket.state_;
+  }
+  worker->cv.notify_one();
+  return ticket;
+}
+
+size_t WorkerPool::WorkerCount() const {
+  std::lock_guard lock(mutex_);
+  return workers_.size();
+}
+
+WorkerPool& GlobalPool() {
+  static WorkerPool* pool = new WorkerPool();  // leaked: workers outlive main
+  return *pool;
+}
+
+}  // namespace sword::somp

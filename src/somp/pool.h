@@ -1,0 +1,57 @@
+// Reusable worker-thread pool for fork/join teams.
+//
+// OpenMP runtimes keep their workers alive between parallel regions; spawning
+// OS threads per region would dominate runtime for workloads like LULESH that
+// open hundreds of thousands of tiny regions. Workers are parked on a
+// condition variable, handed one task at a time, and returned to the free
+// list when it completes. The pool grows on demand (nested regions may need
+// more workers than the outer team width) and joins everything on destruction.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sword::somp {
+
+class WorkerPool {
+ public:
+  WorkerPool();
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs `task` on a pooled worker thread. Returns a completion handle;
+  /// Wait() blocks until the task finished and the worker is back in the
+  /// free list.
+  class Ticket {
+   public:
+    void Wait();
+
+   private:
+    friend class WorkerPool;
+    struct State;
+    std::shared_ptr<State> state_;
+  };
+
+  Ticket Submit(std::function<void()> task);
+
+  /// Workers ever created (monotone; tests and memory accounting).
+  size_t WorkerCount() const;
+
+ private:
+  struct Worker;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<Worker*> idle_;
+};
+
+/// The process-wide pool used by the somp runtime.
+WorkerPool& GlobalPool();
+
+}  // namespace sword::somp

@@ -1,0 +1,3 @@
+// Sequencer is header-only; this translation unit exists so the target has a
+// stable archive even if the header becomes implementation-heavy later.
+#include "somp/sequencer.h"

@@ -1,0 +1,52 @@
+// Deterministic cross-thread ordering for schedule-sensitive experiments.
+//
+// Fig. 1 of the paper shows the same program producing two interleavings: in
+// one, Thread 0's write is not ordered with Thread 1's critical section and a
+// happens-before detector reports the race; in the other, lock release ->
+// acquire creates a happens-before path that MASKS the race. Reproducing
+// both deterministically requires forcing which thread wins the lock first.
+// A Sequencer is a turn counter: each thread blocks until the global step
+// reaches its turn, so a test can pin any total order of marked points.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace sword::somp {
+
+class Sequencer {
+ public:
+  /// Blocks until the step counter reaches `turn`, executes nothing, and
+  /// advances the counter to turn + 1.
+  void Await(uint64_t turn) {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return step_ == turn; });
+    step_++;
+    cv_.notify_all();
+  }
+
+  /// Blocks until the counter reaches `turn` without consuming it (observer).
+  void WaitUntil(uint64_t turn) {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return step_ >= turn; });
+  }
+
+  uint64_t current() {
+    std::lock_guard lock(mutex_);
+    return step_;
+  }
+
+  void Reset() {
+    std::lock_guard lock(mutex_);
+    step_ = 0;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  uint64_t step_ = 0;
+};
+
+}  // namespace sword::somp

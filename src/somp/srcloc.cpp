@@ -1,0 +1,86 @@
+#include "somp/srcloc.h"
+
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+namespace sword::somp {
+namespace {
+
+struct SiteKey {
+  const char* file;  // source_location file_name pointers are stable per site
+  uint32_t line;
+  uint32_t column;
+  friend bool operator==(const SiteKey&, const SiteKey&) = default;
+};
+
+struct SiteKeyHash {
+  size_t operator()(const SiteKey& k) const {
+    uint64_t h = reinterpret_cast<uintptr_t>(k.file);
+    h = h * 0x9e3779b97f4a7c15ULL + k.line;
+    h = h * 0x9e3779b97f4a7c15ULL + k.column;
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+};
+
+struct GlobalTable {
+  std::shared_mutex mutex;
+  std::unordered_map<SiteKey, PcId, SiteKeyHash> index;
+  std::deque<SrcLoc> locs;  // deque: stable references across growth
+};
+
+GlobalTable& Table() {
+  static GlobalTable table;
+  return table;
+}
+
+}  // namespace
+
+std::string SrcLoc::ToString() const {
+  // Strip the directory part; reports stay readable.
+  const size_t slash = file.rfind('/');
+  const std::string base = slash == std::string::npos ? file : file.substr(slash + 1);
+  return base + ":" + std::to_string(line);
+}
+
+PcId InternSrcLoc(const std::source_location& loc) {
+  const SiteKey key{loc.file_name(), loc.line(), loc.column()};
+
+  thread_local std::unordered_map<SiteKey, PcId, SiteKeyHash> cache;
+  if (auto it = cache.find(key); it != cache.end()) return it->second;
+
+  GlobalTable& table = Table();
+  {
+    std::shared_lock lock(table.mutex);
+    if (auto it = table.index.find(key); it != table.index.end()) {
+      cache.emplace(key, it->second);
+      return it->second;
+    }
+  }
+  std::unique_lock lock(table.mutex);
+  if (auto it = table.index.find(key); it != table.index.end()) {
+    cache.emplace(key, it->second);
+    return it->second;
+  }
+  const PcId id = static_cast<PcId>(table.locs.size());
+  table.locs.push_back(SrcLoc{loc.file_name(), loc.function_name(), loc.line(),
+                              loc.column()});
+  table.index.emplace(key, id);
+  cache.emplace(key, id);
+  return id;
+}
+
+const SrcLoc& LookupSrcLoc(PcId id) {
+  GlobalTable& table = Table();
+  std::shared_lock lock(table.mutex);
+  return table.locs.at(id);
+}
+
+size_t SrcLocCount() {
+  GlobalTable& table = Table();
+  std::shared_lock lock(table.mutex);
+  return table.locs.size();
+}
+
+}  // namespace sword::somp

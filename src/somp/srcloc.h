@@ -1,0 +1,40 @@
+// Source-location interning.
+//
+// The LLVM pass in the paper tags every instrumented load/store with its
+// program counter; race reports then map PCs back to file:line. Our
+// instrumentation shim uses std::source_location instead, interned into
+// dense 32-bit PcIds. Interning is on the access hot path, so each thread
+// keeps a local cache keyed on the (stable) file-name pointer + line +
+// column; the shared table is only touched on a site's first access from a
+// thread.
+#pragma once
+
+#include <cstdint>
+#include <source_location>
+#include <string>
+
+namespace sword::somp {
+
+using PcId = uint32_t;
+
+struct SrcLoc {
+  std::string file;
+  std::string function;
+  uint32_t line = 0;
+  uint32_t column = 0;
+
+  /// "file.cpp:42" - what race reports print.
+  std::string ToString() const;
+};
+
+/// Interns `loc`, returning a process-wide dense id. Thread-safe, O(1)
+/// amortized via a thread-local cache.
+PcId InternSrcLoc(const std::source_location& loc);
+
+/// Reverse lookup; ids are never recycled. Returns a stable reference.
+const SrcLoc& LookupSrcLoc(PcId id);
+
+/// Number of interned sites (tests).
+size_t SrcLocCount();
+
+}  // namespace sword::somp

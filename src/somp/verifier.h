@@ -1,0 +1,147 @@
+// VerifierTool: an online self-check of the runtime's concurrency
+// bookkeeping - the invariants every detector in this repo depends on.
+//
+// Registered like any analysis tool, it validates on every callback that
+//   - a context's label lane equals its thread number and the label span
+//     equals the team width;
+//   - the label's innermost phase equals the context's barrier phase;
+//   - all team members enter a barrier instance with the SAME phase, and
+//     exactly `span` of them do so;
+//   - mutex acquire/release events nest (no release without acquire);
+//   - accesses only arrive between task begin and task end.
+// Violations are collected, not thrown, so tests can assert emptiness.
+// tests/test_somp.cpp runs whole workloads under it.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "somp/runtime.h"
+#include "somp/tool.h"
+
+namespace sword::somp {
+
+class VerifierTool final : public Tool {
+ public:
+  void OnImplicitTaskBegin(Ctx& ctx) override {
+    CheckLabelShape(ctx, "task-begin");
+    std::lock_guard lock(mutex_);
+    live_tasks_.insert(&ctx);
+  }
+
+  void OnImplicitTaskEnd(Ctx& ctx) override {
+    std::lock_guard lock(mutex_);
+    if (!live_tasks_.erase(&ctx)) {
+      errors_.push_back("task-end without matching task-begin");
+    }
+  }
+
+  void OnBarrierEnter(Ctx& ctx, uint64_t phase, BarrierKind kind) override {
+    CheckLabelShape(ctx, "barrier-enter");
+    if (phase != ctx.barrier_phase()) {
+      Error("barrier-enter phase mismatch: callback " + std::to_string(phase) +
+            " vs ctx " + std::to_string(ctx.barrier_phase()));
+    }
+    if (kind == BarrierKind::kRegionEnd) return;  // no exit follows
+    std::lock_guard lock(mutex_);
+    BarrierInstance& b = barriers_[{ctx.region(), phase}];
+    b.span = ctx.num_threads();
+    b.entered++;
+    if (b.entered > b.span) {
+      errors_.push_back("more barrier entries than team members");
+    }
+  }
+
+  void OnBarrierExit(Ctx& ctx, uint64_t phase) override {
+    // The exit-side label must already be advanced past `phase`.
+    if (ctx.label().Phase() != phase + 1) {
+      Error("barrier-exit label phase not advanced");
+    }
+    std::lock_guard lock(mutex_);
+    BarrierInstance& b = barriers_[{ctx.region(), phase}];
+    b.exited++;
+    if (b.exited > b.entered) {
+      errors_.push_back("barrier exit before all entries (phase " +
+                        std::to_string(phase) + ")");
+    }
+  }
+
+  void OnMutexAcquired(Ctx& ctx, MutexId mutex) override {
+    // The runtime updates held_mutexes() before the callback.
+    const auto& held = ctx.held_mutexes();
+    if (std::find(held.begin(), held.end(), mutex) == held.end()) {
+      Error("acquired mutex not in held set");
+    }
+  }
+
+  void OnMutexReleased(Ctx& ctx, MutexId mutex) override {
+    const auto& held = ctx.held_mutexes();
+    if (std::find(held.begin(), held.end(), mutex) == held.end()) {
+      Error("released mutex was not held");
+    }
+  }
+
+  void OnAccess(Ctx& ctx, uint64_t addr, uint8_t size, uint8_t, PcId) override {
+    if (size == 0) Error("zero-sized access");
+    if (addr == 0) Error("null access address");
+    std::lock_guard lock(mutex_);
+    if (!live_tasks_.count(&ctx)) {
+      errors_.push_back("access outside task begin/end");
+    }
+    accesses_++;
+  }
+
+  std::vector<std::string> errors() const {
+    std::lock_guard lock(mutex_);
+    return errors_;
+  }
+  uint64_t accesses() const {
+    std::lock_guard lock(mutex_);
+    return accesses_;
+  }
+
+ private:
+  struct BarrierInstance {
+    uint32_t span = 0;
+    uint32_t entered = 0;
+    uint32_t exited = 0;
+  };
+
+  void CheckLabelShape(Ctx& ctx, const char* where) {
+    const osl::Label& label = ctx.label();
+    if (label.empty()) {
+      Error(std::string(where) + ": empty label");
+      return;
+    }
+    if (label.Lane() != ctx.thread_num()) {
+      Error(std::string(where) + ": label lane != thread_num");
+    }
+    if (label.Span() != ctx.num_threads()) {
+      Error(std::string(where) + ": label span != num_threads");
+    }
+    if (label.Phase() != ctx.barrier_phase()) {
+      Error(std::string(where) + ": label phase != barrier_phase");
+    }
+    if (label.depth() != ctx.level() + 1) {  // +1 for the root component
+      Error(std::string(where) + ": label depth != nesting level + 1");
+    }
+  }
+
+  void Error(std::string message) {
+    std::lock_guard lock(mutex_);
+    errors_.push_back(std::move(message));
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<std::string> errors_;
+  std::set<const Ctx*> live_tasks_;
+  std::map<std::pair<RegionId, uint64_t>, BarrierInstance> barriers_;
+  uint64_t accesses_ = 0;
+};
+
+}  // namespace sword::somp

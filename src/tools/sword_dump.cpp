@@ -1,0 +1,74 @@
+// sword-dump: inspect SWORD trace files.
+//
+//   sword-dump <trace-dir> [--events] [--thread N] [--limit K]
+//
+// Prints each thread's meta file as a Table-I-style listing (pid, ppid,
+// bid, offset, span, level, data offsets, offset-span label) and, with
+// --events, the decoded event stream per interval.
+#include <cstdio>
+
+#include "common/args.h"
+#include "common/timer.h"
+#include "offline/tracestore.h"
+
+using namespace sword;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const bool dump_events = args.GetBool("events");
+  const int64_t only_thread = args.GetInt("thread", -1);
+  const int64_t limit = args.GetInt("limit", 32);
+
+  if (args.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "usage: sword-dump <trace-dir> [--events] [--thread N] "
+                 "[--limit K]\n");
+    return 1;
+  }
+
+  auto store = offline::TraceStore::OpenDir(args.positional()[0]);
+  if (!store.ok()) {
+    std::fprintf(stderr, "error: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+
+  for (const auto& thread : store.value().threads()) {
+    if (only_thread >= 0 && thread.tid != static_cast<uint32_t>(only_thread)) continue;
+    std::printf("=== thread %u: %zu interval(s), %s logical log ===\n", thread.tid,
+                thread.meta.intervals.size(),
+                FormatBytes(thread.log->total_logical_bytes()).c_str());
+    for (const auto& meta : thread.meta.intervals) {
+      std::printf("  %s\n", meta.ToString().c_str());
+      if (!dump_events) continue;
+      int64_t shown = 0;
+      const Status s = thread.log->StreamRange(
+          meta.data_begin, meta.data_size, [&](const trace::RawEvent& e) {
+            if (shown++ >= limit) return;
+            switch (e.kind) {
+              case trace::EventKind::kAccess:
+                std::printf("    %s%s size=%u pc=%u addr=0x%llx\n",
+                            (e.flags & 1) ? "write" : "read",
+                            (e.flags & 2) ? "(atomic)" : "", e.size, e.pc,
+                            static_cast<unsigned long long>(e.addr));
+                break;
+              case trace::EventKind::kMutexAcquire:
+                std::printf("    acquire mutex %llu\n",
+                            static_cast<unsigned long long>(e.addr));
+                break;
+              case trace::EventKind::kMutexRelease:
+                std::printf("    release mutex %llu\n",
+                            static_cast<unsigned long long>(e.addr));
+                break;
+            }
+          });
+      if (!s.ok()) {
+        std::fprintf(stderr, "  (stream error: %s)\n", s.ToString().c_str());
+      }
+      if (shown > limit) {
+        std::printf("    ... %lld more event(s)\n",
+                    static_cast<long long>(shown - limit));
+      }
+    }
+  }
+  return 0;
+}

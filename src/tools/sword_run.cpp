@@ -1,0 +1,92 @@
+// sword-run: execute a registered benchmark under a detector configuration.
+//
+//   sword-run --list
+//   sword-run --suite drb --name nowait-orig-yes --tool sword [--threads 8]
+//             [--size N] [--trace-dir DIR] [--buffer-kb K] [--codec C]
+//             [--cap-mb M]
+//
+// The workbench the comparative tables are built from, exposed as a CLI so
+// individual configurations can be reproduced by hand. With --trace-dir the
+// sword run leaves its trace files behind for sword-offline / sword-dump.
+#include <cstdio>
+
+#include "common/args.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "harness/harness.h"
+#include "somp/srcloc.h"
+#include "workloads/workload.h"
+
+using namespace sword;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+
+  if (args.GetBool("list")) {
+    TextTable table({"suite", "name", "documented", "real races", "description"});
+    for (const auto* w : workloads::WorkloadRegistry::Get().All()) {
+      table.AddRow({w->suite, w->name, std::to_string(w->documented_races),
+                    std::to_string(w->total_races), w->description});
+    }
+    table.Print();
+    return 0;
+  }
+
+  const std::string suite = args.GetString("suite");
+  const std::string name = args.GetString("name");
+  const std::string tool_name = args.GetString("tool", "sword");
+  if (suite.empty() || name.empty()) {
+    std::fprintf(stderr,
+                 "usage: sword-run --suite S --name N [--tool "
+                 "baseline|archer|archer-low|sword|eraser] [--threads K] [--size N]\n"
+                 "       sword-run --list\n");
+    return 1;
+  }
+
+  harness::RunConfig config;
+  if (tool_name == "baseline") config.tool = harness::ToolKind::kBaseline;
+  else if (tool_name == "archer") config.tool = harness::ToolKind::kArcher;
+  else if (tool_name == "archer-low") config.tool = harness::ToolKind::kArcherLow;
+  else if (tool_name == "sword") config.tool = harness::ToolKind::kSword;
+  else if (tool_name == "eraser") config.tool = harness::ToolKind::kEraser;
+  else {
+    std::fprintf(stderr, "unknown tool %s\n", tool_name.c_str());
+    return 1;
+  }
+  config.params.threads = static_cast<uint32_t>(args.GetInt("threads", 8));
+  config.params.size = static_cast<uint64_t>(args.GetInt("size", 0));
+  config.buffer_bytes = static_cast<uint64_t>(args.GetInt("buffer-kb", 2048)) * 1024;
+  config.codec = args.GetString("codec", "lzf");
+  config.trace_dir = args.GetString("trace-dir", "");
+  config.archer_memory_cap =
+      static_cast<uint64_t>(args.GetInt("cap-mb", 0)) * 1024 * 1024;
+  config.offline_threads = static_cast<uint32_t>(args.GetInt("offline-threads", 1));
+
+  auto result = harness::RunByName(suite, name, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const harness::RunResult& r = result.value();
+
+  std::printf("%s/%s under %s, %u threads\n", suite.c_str(), name.c_str(),
+              harness::ToolName(r.tool), config.params.threads);
+  std::printf("  dynamic time:    %s\n", FormatSeconds(r.dynamic_seconds).c_str());
+  if (r.tool == harness::ToolKind::kSword) {
+    std::printf("  offline time:    %s (slowest bucket %s)\n",
+                FormatSeconds(r.offline_seconds).c_str(),
+                FormatSeconds(r.offline_max_bucket).c_str());
+    std::printf("  events logged:   %llu (%llu flushes, %s on disk)\n",
+                static_cast<unsigned long long>(r.events),
+                static_cast<unsigned long long>(r.flushes),
+                FormatBytes(r.log_bytes_on_disk).c_str());
+  }
+  std::printf("  app footprint:   %s\n", FormatBytes(r.baseline_bytes).c_str());
+  std::printf("  detector memory: %s%s\n", FormatBytes(r.tool_peak_bytes).c_str(),
+              r.oom ? "  ** OUT OF MEMORY **" : "");
+  std::printf("  races:           %llu\n", static_cast<unsigned long long>(r.races));
+  if (!r.status.ok()) {
+    std::printf("  status:          %s\n", r.status.ToString().c_str());
+  }
+  return r.oom ? 3 : (r.races ? 2 : 0);
+}

@@ -1,0 +1,31 @@
+#include "trace/event.h"
+
+namespace sword::trace {
+
+void EncodeEvent(const RawEvent& e, ByteWriter& w) {
+  w.PutU8(static_cast<uint8_t>(e.kind));
+  w.PutU8(e.flags);
+  w.PutU8(e.size);
+  w.PutU8(0);  // reserved
+  w.PutU32(e.pc);
+  w.PutU64(e.addr);
+}
+
+Status DecodeEvent(ByteReader& r, RawEvent* out) {
+  uint8_t kind, flags, size, pad;
+  SWORD_RETURN_IF_ERROR(r.GetU8(&kind));
+  SWORD_RETURN_IF_ERROR(r.GetU8(&flags));
+  SWORD_RETURN_IF_ERROR(r.GetU8(&size));
+  SWORD_RETURN_IF_ERROR(r.GetU8(&pad));
+  SWORD_RETURN_IF_ERROR(r.GetU32(&out->pc));
+  SWORD_RETURN_IF_ERROR(r.GetU64(&out->addr));
+  if (kind > static_cast<uint8_t>(EventKind::kMutexRelease)) {
+    return Status::Corrupt("unknown event kind");
+  }
+  out->kind = static_cast<EventKind>(kind);
+  out->flags = flags;
+  out->size = size;
+  return Status::Ok();
+}
+
+}  // namespace sword::trace

@@ -1,0 +1,71 @@
+// Trace event encoding.
+//
+// Each thread's log file is a sequence of compressed frames whose decompressed
+// payload is a dense array of 16-byte events. Offsets in the meta file are
+// *logical* (decompressed-stream) byte offsets, so the writer knows every
+// interval's position without waiting for compression, and the reader can
+// skip frames using only their headers (paper SIII-B's streaming reads).
+//
+// Event kinds:
+//   kAccess        - one instrumented load/store; addr/size/flags/pc
+//   kMutexAcquire  - lock id in `addr`
+//   kMutexRelease  - lock id in `addr`
+// Barrier and region boundaries are not log events: they are exactly the
+// meta-file interval boundaries (Table I).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace sword::trace {
+
+enum class EventKind : uint8_t {
+  kAccess = 0,
+  kMutexAcquire = 1,
+  kMutexRelease = 2,
+};
+
+struct RawEvent {
+  EventKind kind = EventKind::kAccess;
+  uint8_t flags = 0;  // somp::AccessFlags for kAccess
+  uint8_t size = 0;   // access size in bytes for kAccess
+  uint32_t pc = 0;    // interned source location for kAccess
+  uint64_t addr = 0;  // address for kAccess; mutex id for kMutex*
+
+  static RawEvent Access(uint64_t addr, uint8_t size, uint8_t flags, uint32_t pc) {
+    RawEvent e;
+    e.kind = EventKind::kAccess;
+    e.flags = flags;
+    e.size = size;
+    e.pc = pc;
+    e.addr = addr;
+    return e;
+  }
+  static RawEvent MutexAcquire(uint32_t mutex) {
+    RawEvent e;
+    e.kind = EventKind::kMutexAcquire;
+    e.addr = mutex;
+    return e;
+  }
+  static RawEvent MutexRelease(uint32_t mutex) {
+    RawEvent e;
+    e.kind = EventKind::kMutexRelease;
+    e.addr = mutex;
+    return e;
+  }
+
+  friend bool operator==(const RawEvent&, const RawEvent&) = default;
+};
+
+/// Encoded size of one event in the log stream.
+constexpr uint64_t kEventBytes = 16;
+
+/// Appends the 16-byte little-endian encoding of `e`.
+void EncodeEvent(const RawEvent& e, ByteWriter& w);
+
+/// Decodes one event; fails on truncation or unknown kind.
+Status DecodeEvent(ByteReader& r, RawEvent* out);
+
+}  // namespace sword::trace

@@ -1,0 +1,102 @@
+#include "trace/flusher.h"
+
+#include "common/fsutil.h"
+#include "compress/frame.h"
+
+namespace sword::trace {
+
+Flusher::Flusher(bool async) : async_(async) {
+  if (async_) thread_ = std::thread([this] { Run(); });
+}
+
+Flusher::~Flusher() {
+  if (async_) {
+    {
+      std::lock_guard lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+}
+
+void Flusher::AppendFrame(const std::string& path, Bytes raw, const Compressor* codec) {
+  Enqueue(Job{path, std::move(raw), codec ? codec : DefaultCompressor()});
+}
+
+void Flusher::Append(const std::string& path, Bytes data) {
+  Enqueue(Job{path, std::move(data), nullptr});
+}
+
+void Flusher::Enqueue(Job job) {
+  if (!async_) {
+    DoJob(job);
+    return;
+  }
+  {
+    std::unique_lock lock(mutex_);
+    space_cv_.wait(lock, [&] { return queue_.size() < kMaxQueuedJobs; });
+    queue_.push_back(std::move(job));
+    in_flight_++;
+  }
+  cv_.notify_one();
+}
+
+void Flusher::Drain() {
+  if (!async_) return;
+  std::unique_lock lock(mutex_);
+  drained_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+Status Flusher::status() const {
+  std::lock_guard lock(mutex_);
+  return status_;
+}
+
+void Flusher::Run() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      space_cv_.notify_one();
+    }
+    DoJob(job);
+    {
+      std::lock_guard lock(mutex_);
+      in_flight_--;
+      if (in_flight_ == 0) drained_cv_.notify_all();
+    }
+  }
+}
+
+void Flusher::DoJob(const Job& job) {
+  Status status;
+  size_t written = 0;
+  if (job.codec) {
+    Bytes frame;
+    status = WriteFrame(*job.codec, job.data.data(), job.data.size(), &frame);
+    if (status.ok()) {
+      status = AppendFile(job.path, frame.data(), frame.size());
+      written = frame.size();
+    }
+  } else {
+    status = AppendFile(job.path, job.data.data(), job.data.size());
+    written = job.data.size();
+  }
+  if (!status.ok()) {
+    std::lock_guard lock(mutex_);
+    if (status_.ok()) status_ = status;
+    return;
+  }
+  bytes_written_.fetch_add(written);
+  appends_.fetch_add(1);
+}
+
+}  // namespace sword::trace

@@ -1,0 +1,85 @@
+// Asynchronous log flusher.
+//
+// When a thread's trace buffer fills, the buffer is handed to a dedicated
+// I/O thread which COMPRESSES it and appends the framed result to the
+// thread's log file - the application thread resumes immediately, which is
+// the paper's "compressed and asynchronously written out" design. Appends to
+// any single file happen in submission order because one thread performs
+// them all.
+//
+// Backpressure keeps memory bounded: at most kMaxQueuedJobs raw buffers may
+// be in flight; producers block once the queue is full (on a machine with
+// spare cores this never happens; on an oversubscribed one it bounds the
+// trace memory to queue_depth x buffer_size instead of growing without
+// limit). Drain() blocks until everything reached the filesystem.
+//
+// A synchronous mode compresses+writes inline, for the buffer-size ablation
+// which wants I/O on the critical path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "compress/compressor.h"
+
+namespace sword::trace {
+
+class Flusher {
+ public:
+  static constexpr size_t kMaxQueuedJobs = 16;
+
+  explicit Flusher(bool async = true);
+  ~Flusher();
+  Flusher(const Flusher&) = delete;
+  Flusher& operator=(const Flusher&) = delete;
+
+  /// Queues "compress `raw` with `codec` and append the frame to `path`".
+  /// Blocks when the queue is full (backpressure). Sync mode does the work
+  /// inline.
+  void AppendFrame(const std::string& path, Bytes raw, const Compressor* codec);
+
+  /// Queues a raw (pre-encoded) append with no compression.
+  void Append(const std::string& path, Bytes data);
+
+  /// Blocks until every queued job has hit the filesystem.
+  void Drain();
+
+  /// First I/O error encountered, if any (sticky).
+  Status status() const;
+
+  uint64_t bytes_written() const { return bytes_written_.load(); }
+  uint64_t appends() const { return appends_.load(); }
+
+ private:
+  struct Job {
+    std::string path;
+    Bytes data;
+    const Compressor* codec = nullptr;  // null = raw append
+  };
+
+  void Enqueue(Job job);
+  void Run();
+  void DoJob(const Job& job);
+
+  const bool async_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable drained_cv_;
+  std::condition_variable space_cv_;
+  std::deque<Job> queue_;
+  bool stop_ = false;
+  size_t in_flight_ = 0;
+  Status status_;
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> appends_{0};
+  std::thread thread_;
+};
+
+}  // namespace sword::trace

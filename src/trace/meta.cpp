@@ -1,0 +1,85 @@
+#include "trace/meta.h"
+
+namespace sword::trace {
+
+void IntervalMeta::Serialize(ByteWriter& w) const {
+  w.PutVarU64(region);
+  w.PutVarU64(parent_region);
+  w.PutVarU64(phase);
+  label.Serialize(w);
+  w.PutVarU64(level);
+  w.PutVarU64(lane);
+  w.PutVarU64(data_begin);
+  w.PutVarU64(data_size);
+  w.PutVarU64(lockset.size());
+  for (uint32_t m : lockset) w.PutVarU64(m);
+}
+
+Status IntervalMeta::Deserialize(ByteReader& r, IntervalMeta* out) {
+  SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->region));
+  SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->parent_region));
+  SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->phase));
+  SWORD_RETURN_IF_ERROR(osl::Label::Deserialize(r, &out->label));
+  uint64_t level, lane;
+  SWORD_RETURN_IF_ERROR(r.GetVarU64(&level));
+  SWORD_RETURN_IF_ERROR(r.GetVarU64(&lane));
+  out->level = static_cast<uint32_t>(level);
+  out->lane = static_cast<uint32_t>(lane);
+  SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->data_begin));
+  SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->data_size));
+  uint64_t n;
+  SWORD_RETURN_IF_ERROR(r.GetVarU64(&n));
+  out->lockset.clear();
+  out->lockset.reserve(n);
+  for (uint64_t i = 0; i < n; i++) {
+    uint64_t m;
+    SWORD_RETURN_IF_ERROR(r.GetVarU64(&m));
+    out->lockset.push_back(static_cast<uint32_t>(m));
+  }
+  return Status::Ok();
+}
+
+std::string IntervalMeta::ToString() const {
+  std::string out = "pid=" + std::to_string(region);
+  out += " ppid=" +
+         (parent_region == kNoParent ? std::string("-") : std::to_string(parent_region));
+  out += " bid=" + std::to_string(phase);
+  out += " offset=" + std::to_string(TableOffset());
+  out += " span=" + std::to_string(TableSpan());
+  out += " level=" + std::to_string(level);
+  out += " data_begin=" + std::to_string(data_begin);
+  out += " size=" + std::to_string(data_size);
+  out += " label=" + label.ToString();
+  return out;
+}
+
+Bytes MetaFile::Encode() const {
+  ByteWriter w;
+  w.PutU32(kMetaMagic);
+  w.PutVarU64(thread_id);
+  w.PutVarU64(intervals.size());
+  for (const auto& m : intervals) m.Serialize(w);
+  return w.buffer();
+}
+
+Status MetaFile::Decode(const Bytes& data, MetaFile* out) {
+  ByteReader r(data);
+  uint32_t magic;
+  SWORD_RETURN_IF_ERROR(r.GetU32(&magic));
+  if (magic != kMetaMagic) return Status::Corrupt("bad meta magic");
+  uint64_t tid, n;
+  SWORD_RETURN_IF_ERROR(r.GetVarU64(&tid));
+  out->thread_id = static_cast<uint32_t>(tid);
+  SWORD_RETURN_IF_ERROR(r.GetVarU64(&n));
+  out->intervals.clear();
+  out->intervals.reserve(n);
+  for (uint64_t i = 0; i < n; i++) {
+    IntervalMeta m;
+    SWORD_RETURN_IF_ERROR(IntervalMeta::Deserialize(r, &m));
+    out->intervals.push_back(std::move(m));
+  }
+  if (!r.AtEnd()) return Status::Corrupt("trailing bytes in meta file");
+  return Status::Ok();
+}
+
+}  // namespace sword::trace

@@ -1,0 +1,67 @@
+// Per-thread meta-data file (paper Table I).
+//
+// Each line of a thread's meta file describes one barrier-interval segment:
+// which parallel region it belongs to, its position in the concurrency
+// structure, and where its event data lives in the thread's log file. The
+// paper's columns are all here - pid, ppid, bid, offset, span, level,
+// data_begin, size - plus the full serialized offset-span label (the paper
+// reconstructs it from the ppid chain; storing it directly is equivalent and
+// self-contained) and the lockset held when the segment opened (so lock
+// ownership that spans a buffer flush or barrier is never lost).
+//
+// "Segment" vs "interval": with nested parallelism, lane 0 of an inner team
+// runs on the same OS thread as its parent, so a parent's barrier interval
+// can be split around the nested region into multiple segments. Segments of
+// one interval share (region, phase, label); the analyzer may treat them
+// independently because equal labels yield identical concurrency judgments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "osl/label.h"
+
+namespace sword::trace {
+
+struct IntervalMeta {
+  uint64_t region = 0;          // pid: parallel region id
+  uint64_t parent_region = 0;   // ppid (kNoParent at the outermost level)
+  uint64_t phase = 0;           // bid: barrier interval index within region
+  osl::Label label;             // full offset-span label of this interval
+  uint32_t level = 0;           // nesting depth (1 = outermost)
+  uint32_t lane = 0;            // thread num within the team
+  uint64_t data_begin = 0;      // logical byte offset into the log stream
+  uint64_t data_size = 0;       // bytes of event data in this segment
+  std::vector<uint32_t> lockset;  // mutexes held when the segment opened
+
+  static constexpr uint64_t kNoParent = ~0ULL;
+
+  /// Table I "offset" column: innermost label pair offset.
+  uint32_t TableOffset() const { return label.pairs().back().offset; }
+  /// Table I "span" column: innermost label pair span.
+  uint32_t TableSpan() const { return label.pairs().back().span; }
+
+  uint64_t EventCount() const { return data_size / 16; }
+
+  void Serialize(ByteWriter& w) const;
+  static Status Deserialize(ByteReader& r, IntervalMeta* out);
+
+  /// One Table-I-style text line (debugging and the quickstart example).
+  std::string ToString() const;
+};
+
+/// Whole meta file: header + interval records.
+struct MetaFile {
+  uint32_t thread_id = 0;  // dense SWORD thread id (not an OS id)
+  std::vector<IntervalMeta> intervals;
+
+  Bytes Encode() const;
+  static Status Decode(const Bytes& data, MetaFile* out);
+};
+
+constexpr uint32_t kMetaMagic = 0x53574d46;  // "SWMF"
+
+}  // namespace sword::trace

@@ -1,0 +1,123 @@
+#include "trace/reader.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/fsutil.h"
+#include "compress/frame.h"
+
+namespace sword::trace {
+
+Result<LogReader> LogReader::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::Io("cannot open log: " + path);
+
+  LogReader reader;
+  reader.path_ = path;
+
+  // Walk frame headers without reading payloads. Headers are tiny; 64 bytes
+  // always covers magic + codec name + three varints + checksum.
+  uint64_t file_offset = 0;
+  uint64_t logical = 0;
+  while (true) {
+    uint8_t header[64];
+    if (std::fseek(f, static_cast<long>(file_offset), SEEK_SET) != 0) {
+      std::fclose(f);
+      return Status::Io("seek failed: " + path);
+    }
+    const size_t got = std::fread(header, 1, sizeof(header), f);
+    if (got == 0) break;  // clean EOF
+
+    ByteReader r(header, got);
+    uint32_t magic;
+    std::string codec;
+    uint64_t raw_size, payload_size, checksum;
+    Status s = r.GetU32(&magic);
+    if (s.ok() && magic != kFrameMagic) s = Status::Corrupt("bad frame magic");
+    if (s.ok()) s = r.GetString(&codec);
+    if (s.ok()) s = r.GetVarU64(&raw_size);
+    if (s.ok()) s = r.GetVarU64(&payload_size);
+    if (s.ok()) s = r.GetU64(&checksum);
+    if (!s.ok()) {
+      std::fclose(f);
+      return Status::Corrupt("frame header at offset " + std::to_string(file_offset) +
+                             ": " + s.ToString());
+    }
+    const uint64_t header_size = r.position();
+    const uint64_t frame_size = header_size + payload_size;
+    reader.frames_.push_back(FrameIndex{logical, raw_size, file_offset, frame_size});
+    logical += raw_size;
+    file_offset += frame_size;
+  }
+  std::fclose(f);
+  reader.total_logical_ = logical;
+  return reader;
+}
+
+Status LogReader::StreamRange(uint64_t begin, uint64_t size,
+                              const std::function<void(const RawEvent&)>& fn,
+                              FrameCache* cache) const {
+  if (size == 0) return Status::Ok();
+  const uint64_t end = begin + size;
+  if (end > total_logical_) return Status::Corrupt("range past end of log");
+  if (begin % kEventBytes != 0 || size % kEventBytes != 0) {
+    return Status::Invalid("range not event-aligned");
+  }
+
+  // First frame whose logical range may overlap [begin, end).
+  auto it = std::upper_bound(frames_.begin(), frames_.end(), begin,
+                             [](uint64_t v, const FrameIndex& fi) {
+                               return v < fi.logical_begin;
+                             });
+  if (it != frames_.begin()) --it;
+
+  Bytes local;  // decompressed frame when no cache is supplied
+  for (; it != frames_.end() && it->logical_begin < end; ++it) {
+    const Bytes* frame_data = nullptr;
+    if (cache && cache->reader == this && cache->logical_begin == it->logical_begin) {
+      cache->hits++;
+      frame_data = &cache->data;
+    } else {
+      auto raw = ReadFileRange(path_, it->file_offset, it->file_size);
+      if (!raw.ok()) return raw.status();
+      ByteReader frame_reader(raw.value());
+      FrameView view;
+      SWORD_RETURN_IF_ERROR(ReadFrame(frame_reader, &view));
+      if (view.raw_size != it->raw_size) {
+        return Status::Corrupt("frame size changed under reader");
+      }
+      if (cache) {
+        cache->reader = this;
+        cache->logical_begin = it->logical_begin;
+        cache->data = std::move(view.data);
+        cache->misses++;
+        frame_data = &cache->data;
+      } else {
+        local = std::move(view.data);
+        frame_data = &local;
+      }
+    }
+    // Slice the overlap of this frame with the requested range.
+    const uint64_t frame_lo = it->logical_begin;
+    const uint64_t frame_hi = frame_lo + frame_data->size();
+    const uint64_t slice_lo = std::max(begin, frame_lo);
+    const uint64_t slice_hi = std::min(end, frame_hi);
+    ByteReader events(frame_data->data() + (slice_lo - frame_lo),
+                      slice_hi - slice_lo);
+    while (!events.AtEnd()) {
+      RawEvent e;
+      SWORD_RETURN_IF_ERROR(DecodeEvent(events, &e));
+      fn(e);
+    }
+  }
+  return Status::Ok();
+}
+
+Status LogReader::ReadRange(uint64_t begin, uint64_t size,
+                            std::vector<RawEvent>* out) const {
+  out->clear();
+  out->reserve(size / kEventBytes);
+  return StreamRange(begin, size, [&](const RawEvent& e) { out->push_back(e); });
+}
+
+}  // namespace sword::trace

@@ -1,0 +1,89 @@
+#include "trace/writer.h"
+
+#include <cassert>
+
+#include "common/fsutil.h"
+#include "compress/frame.h"
+
+namespace sword::trace {
+
+ThreadTraceWriter::ThreadTraceWriter(uint32_t thread_id, const WriterConfig& config)
+    : thread_id_(thread_id),
+      config_(config),
+      capacity_events_(config.buffer_bytes / kEventBytes) {
+  assert(config_.flusher && "a Flusher is required");
+  assert(capacity_events_ > 0 && "buffer too small for a single event");
+  if (!config_.codec) config_.codec = DefaultCompressor();
+  buffer_.reserve(capacity_events_ * kEventBytes);
+  meta_.thread_id = thread_id;
+  if (config_.memory) {
+    // The bounded charge: the buffer itself. This never grows.
+    (void)config_.memory->Charge(capacity_events_ * kEventBytes);
+  }
+  // Start the log file empty so appends from a previous run never leak in.
+  (void)WriteFile(config_.log_path, Bytes{});
+}
+
+ThreadTraceWriter::~ThreadTraceWriter() {
+  (void)Finish();
+  if (config_.memory) config_.memory->Release(capacity_events_ * kEventBytes);
+}
+
+void ThreadTraceWriter::Append(const RawEvent& event) {
+  if (buffer_.size() + kEventBytes > capacity_events_ * kEventBytes) {
+    FlushBuffer();
+  }
+  // Hot path: one 16-byte append, little-endian (this is EncodeEvent's
+  // layout, open-coded so the per-access cost stays in the nanoseconds).
+  const size_t offset = buffer_.size();
+  buffer_.resize(offset + kEventBytes);
+  uint8_t* p = buffer_.data() + offset;
+  p[0] = static_cast<uint8_t>(event.kind);
+  p[1] = event.flags;
+  p[2] = event.size;
+  p[3] = 0;
+  for (int i = 0; i < 4; i++) p[4 + i] = static_cast<uint8_t>(event.pc >> (8 * i));
+  for (int i = 0; i < 8; i++) p[8 + i] = static_cast<uint8_t>(event.addr >> (8 * i));
+  logical_offset_ += kEventBytes;
+  events_logged_++;
+}
+
+void ThreadTraceWriter::FlushBuffer() {
+  if (buffer_.empty()) return;
+  // Hand the raw buffer to the flusher; compression happens off-thread
+  // (paper SIII-A: "compressed and asynchronously written out").
+  Bytes raw;
+  raw.swap(buffer_);
+  buffer_.reserve(capacity_events_ * kEventBytes);
+  config_.flusher->AppendFrame(config_.log_path, std::move(raw), config_.codec);
+  flushes_++;
+}
+
+void ThreadTraceWriter::BeginSegment(const IntervalMeta& meta) {
+  assert(!open_segment_ && "close the previous segment first");
+  meta_.intervals.push_back(meta);
+  meta_.intervals.back().data_begin = logical_offset_;
+  meta_.intervals.back().data_size = 0;
+  open_segment_ = true;
+}
+
+void ThreadTraceWriter::EndSegment() {
+  assert(open_segment_);
+  IntervalMeta& m = meta_.intervals.back();
+  m.data_size = logical_offset_ - m.data_begin;
+  open_segment_ = false;
+  // Empty segments carry no accesses and cannot participate in a race;
+  // dropping them keeps meta files proportional to useful data.
+  if (m.data_size == 0) meta_.intervals.pop_back();
+}
+
+Status ThreadTraceWriter::Finish() {
+  if (finished_) return Status::Ok();
+  finished_ = true;
+  if (open_segment_) EndSegment();
+  FlushBuffer();
+  SWORD_RETURN_IF_ERROR(WriteFile(config_.meta_path, meta_.Encode()));
+  return Status::Ok();
+}
+
+}  // namespace sword::trace

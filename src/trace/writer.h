@@ -1,0 +1,83 @@
+// Per-thread trace writer: the bounded-memory collection core (paper SIII-A).
+//
+// One ThreadTraceWriter exists per SWORD thread. It owns
+//  - a fixed-capacity event buffer (default 2 MB; user-adjustable, the
+//    paper's central knob) that is compressed and handed to the Flusher when
+//    full - NEVER grown, which is what bounds memory;
+//  - the accumulating meta records (one per barrier-interval segment);
+//  - the logical write offset, which is independent of compression and gives
+//    every interval its (data_begin, size) coordinates up front.
+//
+// Thread-compatibility: a writer is driven by exactly one OS thread; only
+// the Flusher is shared.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/memtrack.h"
+#include "common/status.h"
+#include "compress/compressor.h"
+#include "trace/event.h"
+#include "trace/flusher.h"
+#include "trace/meta.h"
+
+namespace sword::trace {
+
+struct WriterConfig {
+  std::string log_path;
+  std::string meta_path;
+  uint64_t buffer_bytes = 2 * 1024 * 1024;  // the paper's default bound
+  const Compressor* codec = nullptr;        // null = DefaultCompressor()
+  Flusher* flusher = nullptr;               // required
+  MemoryScope* memory = nullptr;            // optional accounting scope
+};
+
+class ThreadTraceWriter {
+ public:
+  ThreadTraceWriter(uint32_t thread_id, const WriterConfig& config);
+  ~ThreadTraceWriter();
+  ThreadTraceWriter(const ThreadTraceWriter&) = delete;
+  ThreadTraceWriter& operator=(const ThreadTraceWriter&) = delete;
+
+  uint32_t thread_id() const { return thread_id_; }
+
+  /// Appends one event, flushing the buffer to the log file first if full.
+  void Append(const RawEvent& event);
+
+  /// Opens a new barrier-interval segment; data_begin is captured from the
+  /// current logical offset. Any open segment must be closed first.
+  void BeginSegment(const IntervalMeta& meta);
+
+  /// Closes the open segment, fixing its data_size.
+  void EndSegment();
+
+  bool HasOpenSegment() const { return open_segment_; }
+
+  /// Flushes remaining events and writes the meta file. Idempotent.
+  Status Finish();
+
+  // Statistics for the overhead benches.
+  uint64_t events_logged() const { return events_logged_; }
+  uint64_t flushes() const { return flushes_; }
+  uint64_t logical_bytes() const { return logical_offset_; }
+
+ private:
+  void FlushBuffer();
+
+  const uint32_t thread_id_;
+  WriterConfig config_;
+  const uint64_t capacity_events_;
+
+  Bytes buffer_;                 // encoded events, capacity fixed
+  uint64_t logical_offset_ = 0;  // total event bytes ever appended
+  MetaFile meta_;
+  bool open_segment_ = false;
+  bool finished_ = false;
+
+  uint64_t events_logged_ = 0;
+  uint64_t flushes_ = 0;
+};
+
+}  // namespace sword::trace

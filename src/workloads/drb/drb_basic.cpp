@@ -1,0 +1,256 @@
+// DataRaceBench-style kernels, part 1: the classic racy patterns.
+//
+// Every kernel mirrors a DataRaceBench family (the suffix convention is
+// theirs: "-yes" = contains a race). Ground truth is documented per kernel;
+// the undocumented-but-real extra races in plusplus/privatemissing are the
+// ones the paper reports (SIV-A: "not false alarms, but rather real races
+// that the authors of the benchmarks have failed to document").
+#include "workloads/drb/drb_common.h"
+
+namespace sword::workloads {
+namespace {
+
+using namespace drb;
+using somp::Ctx;
+
+// plusplus-orig-yes: unsynchronized increments of TWO shared counters from a
+// parallel loop. The suite documents the race on `count`; the race on
+// `index` is the real-but-undocumented one every tool additionally reports.
+void PlusPlus(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> input(n, 1.0);
+  int64_t count = 0;  // documented race
+  int64_t index = 0;  // undocumented race (the "unknown race" of SIV-A)
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n), [&](int64_t i) {
+      if (input[static_cast<size_t>(i)] > 0) {
+        instr::racy_increment(index);
+        instr::racy_increment(count);
+      }
+    });
+  });
+}
+
+// antidep1-orig-yes: a[i] = a[i+1] + 1 - the read of a neighbour element
+// races with its write by the adjacent thread.
+void AntiDep(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> a(n + 1, 1.0);
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n), [&](int64_t i) {
+      const double next = instr::load(a[static_cast<size_t>(i) + 1]);
+      instr::store(a[static_cast<size_t>(i)], next + 1.0);
+    });
+  });
+}
+
+// truedep1-orig-yes: the paper's own interval-tree example (SIII-B):
+// a[i] = a[i-1] with two threads.
+void TrueDep(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<int64_t> a(n, 7);
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(1, static_cast<int64_t>(n), [&](int64_t i) {
+      const int64_t prev = instr::load(a[static_cast<size_t>(i) - 1]);
+      instr::store(a[static_cast<size_t>(i)], prev);
+    });
+  });
+}
+
+// outputdep-orig-yes: every iteration writes the same shared scalar.
+void OutputDep(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> c(n, 2.0);
+  double x = 0.0;
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n), [&](int64_t i) {
+      instr::store(x, c[static_cast<size_t>(i)]);
+    });
+  });
+  (void)x;
+}
+
+// lastprivatemissing-orig-yes: x should have been lastprivate.
+void LastPrivateMissing(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  int64_t x = 0;
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n), [&](int64_t i) {
+      instr::store(x, i);
+    });
+  });
+  (void)x;
+}
+
+// simdtruedep-orig-yes: a[i+1] = a[i] + b[i], a forward dependence.
+void SimdTrueDep(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> a(n + 1, 0.0), b(n, 0.5);
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n), [&](int64_t i) {
+      const double cur = instr::load(a[static_cast<size_t>(i)]);
+      instr::store(a[static_cast<size_t>(i) + 1], cur + b[static_cast<size_t>(i)]);
+    });
+  });
+}
+
+// master-orig-yes: master initializes a shared flag while the other threads
+// read it without an intervening barrier.
+void MasterNoBarrier(const WorkloadParams& p) {
+  int64_t flag = 0;
+  int64_t observed = 0;
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.Master([&] { instr::store(flag, int64_t{1}); });
+    // no barrier here: the read below races with the master's write
+    const int64_t f = instr::load(flag);
+    if (f != 0) {
+      ctx.Critical("master-obs", [&] { instr::racy_increment(observed); });
+    }
+  });
+  (void)observed;
+}
+
+// sections-orig-yes: both sections write the same scalar. Static section
+// distribution pins the sections to different lanes so the race manifests
+// on every run (FCFS dispensing could hand both to one thread).
+void SectionsRace(const WorkloadParams& p) {
+  double shared_val = 0.0;
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.Sections(
+        {
+            [&] { instr::store(shared_val, 1.0); },
+            [&] { instr::store(shared_val, 2.0); },
+        },
+        /*nowait=*/false, /*static_dist=*/true);
+  });
+  (void)shared_val;
+}
+
+// criticalmissing-orig-yes: lane 0's update bypasses the critical section
+// that protects everyone else's updates. Lane 0 never touches the lock, so
+// no release->acquire chain can cover its write.
+void CriticalMissing(const WorkloadParams& p) {
+  int64_t sum = 0;
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    if (ctx.thread_num() == 0) {
+      instr::racy_increment(sum);  // forgot the critical here
+    } else {
+      for (int k = 0; k < 8; k++) {
+        ctx.Critical("cm-sum", [&] { instr::racy_increment(sum); });
+      }
+    }
+  });
+  (void)sum;
+}
+
+// atomicmissing-orig-yes: lane 0 updates atomically, everyone else plainly.
+// Two real races: plain-vs-plain and plain-vs-atomic (the documentation only
+// lists one).
+void AtomicMissing(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  int64_t counter = 0;
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n), [&](int64_t i) {
+      if (ctx.thread_num() == 0) {
+        instr::atomic_add(counter, int64_t{1});
+      } else {
+        instr::racy_increment(counter);
+      }
+      (void)i;
+    });
+  });
+  (void)counter;
+}
+
+// nobarrier-orig-yes: producer/consumer without the barrier in between.
+void NoBarrier(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> a(n, 0.0);
+  double total = 0.0;
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n),
+            [&](int64_t i) { instr::store(a[static_cast<size_t>(i)], 1.0); },
+            {.nowait = true});
+    // missing ctx.Barrier();
+    double local = 0.0;
+    ctx.For(0, static_cast<int64_t>(n),
+            [&](int64_t i) { local += instr::load(a[static_cast<size_t>(i)]); },
+            {.schedule = somp::Schedule::kDynamic, .nowait = true});
+    ctx.Critical("nb-total", [&] { instr::atomic_add(total, local); });
+  });
+  (void)total;
+}
+
+// staticchunk1-orig-yes: schedule(static,1) assigns adjacent iterations to
+// different lanes, and each iteration also writes its right neighbour - so
+// every boundary element is written by two threads, regardless of timing.
+void StaticChunk1Race(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> a(n + 1, 0.0);
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n),
+            [&](int64_t i) {
+              instr::store(a[static_cast<size_t>(i)], 1.0);
+              instr::store(a[static_cast<size_t>(i) + 1], 2.0);
+            },
+            {.schedule = somp::Schedule::kStatic, .chunk = 1});
+  });
+}
+
+// nestedparallel-orig-yes: Fig. 2's R2 - sibling nested teams write one
+// shared variable.
+void NestedParallelRace(const WorkloadParams& p) {
+  double y = 0.0;
+  const uint32_t outer = p.threads >= 4 ? 2 : p.threads;
+  somp::Parallel(outer, [&](Ctx& ctx) {
+    ctx.Parallel(2, [&](Ctx& inner) {
+      (void)inner;
+      instr::store(y, 1.0);
+    });
+  });
+  (void)y;
+}
+
+}  // namespace
+
+void RegisterDrbBasic(WorkloadRegistry& r) {
+  auto add = [&](const char* name, const char* desc, int doc, int total, int archer,
+                 std::function<void(const WorkloadParams&)> run, int arrays = 1) {
+    Workload w;
+    w.suite = "drb";
+    w.name = name;
+    w.description = desc;
+    w.documented_races = doc;
+    w.total_races = total;
+    w.archer_expected = archer;
+    w.run = std::move(run);
+    w.baseline_bytes = drb::DoubleArrays(arrays);
+    w.default_size = drb::kDefaultN;
+    r.Register(std::move(w));
+  };
+
+  add("plusplus-orig-yes", "two unsynchronized shared counters (one undocumented)",
+      1, 2, 2, PlusPlus);
+  add("antidep1-orig-yes", "a[i] = a[i+1] + 1", 1, 1, 1, AntiDep, 1);
+  add("truedep1-orig-yes", "a[i] = a[i-1] (paper SIII-B example)", 1, 1, 1, TrueDep);
+  add("outputdep-orig-yes", "shared scalar written every iteration", 1, 1, 1,
+      OutputDep);
+  add("lastprivatemissing-orig-yes", "missing lastprivate(x)", 1, 1, 1,
+      LastPrivateMissing);
+  add("simdtruedep-orig-yes", "a[i+1] = a[i] + b[i]", 1, 1, 1, SimdTrueDep, 2);
+  add("master-orig-yes", "master write vs unbarriered reads", 1, 1, 1,
+      MasterNoBarrier);
+  add("sections-orig-yes", "both sections write one scalar", 1, 1, 1, SectionsRace);
+  add("criticalmissing-orig-yes", "one update outside the critical", 1, 1, 1,
+      CriticalMissing);
+  add("atomicmissing-orig-yes", "plain updates race with atomic ones (2 real races)",
+      1, 2, 2, AtomicMissing);
+  add("nobarrier-orig-yes", "missing barrier between produce and consume", 1, 1, 1,
+      NoBarrier);
+  add("staticchunk1-orig-yes", "static,1 chunks write overlapping neighbours", 1, 1, 1,
+      StaticChunk1Race);
+  add("nestedparallel-orig-yes", "sibling nested teams write one variable (Fig. 2 R2)",
+      1, 1, 1, NestedParallelRace);
+}
+
+}  // namespace sword::workloads

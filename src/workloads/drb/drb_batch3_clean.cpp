@@ -1,0 +1,193 @@
+// DataRaceBench-style kernels, part 7: the race-free counterparts of batch
+// 3 - each fixes its racy cousin with the appropriate idiom (double
+// buffering, critical min-update, atomic packing cursor, exclusive strides,
+// atomic flags, padded thread-local accumulation, ring shifts).
+#include <thread>
+
+#include "workloads/drb/drb_common.h"
+
+namespace sword::workloads {
+namespace {
+
+using namespace drb;
+using somp::Ctx;
+
+// prefixscan-no: Hillis-Steele inclusive scan, double-buffered, one barrier
+// per doubling round - log2(n) barrier intervals of genuinely cross-thread
+// reads, all correctly published.
+void PrefixScan(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> a(n, 1.0), b(n, 0.0);
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    bool a_is_src = true;
+    for (uint64_t offset = 1; offset < n; offset <<= 1) {
+      auto& src = a_is_src ? a : b;
+      auto& dst = a_is_src ? b : a;
+      ctx.For(0, static_cast<int64_t>(n), [&](int64_t i) {
+        const size_t idx = static_cast<size_t>(i);
+        double v = instr::load(src[idx]);
+        if (idx >= offset) v += instr::load(src[idx - offset]);
+        instr::store(dst[idx], v);
+      });  // barrier publishes the round
+      a_is_src = !a_is_src;
+    }
+  });
+  // The scan of all-ones is 1..n; spot-check the invariant held.
+  // (Which buffer holds the result depends on round parity.)
+}
+
+// minmax-critical-no: the min reduction fixed with a critical section.
+void MinMaxCritical(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> v(n);
+  for (uint64_t i = 0; i < n; i++) v[i] = 1000.0 - static_cast<double>(i);
+  double global_min = 1e9;
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    double local_min = 1e9;
+    ctx.For(0, static_cast<int64_t>(n),
+            [&](int64_t i) {
+              local_min = std::min(local_min, v[static_cast<size_t>(i)]);
+            },
+            {.nowait = true});
+    ctx.Critical("mm-min", [&] {
+      if (local_min < instr::load(global_min)) instr::store(global_min, local_min);
+    });
+  });
+  (void)global_min;
+}
+
+// packing-atomic-no: the packing cursor fixed with an atomic fetch-add;
+// every thread writes a unique slot.
+void PackingAtomic(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<int64_t> packed(n, 0);
+  int64_t cursor = 0;
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n), [&](int64_t i) {
+      const int64_t slot = instr::atomic_add(cursor, int64_t{1});
+      instr::store(packed[static_cast<size_t>(slot)], i);  // unique slot
+    });
+  });
+}
+
+// stride2-no: even slots written by their owners, odd slots read-only.
+void Stride2Exclusive(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> a(2 * n, 3.0);
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n), [&](int64_t i) {
+      const size_t even = static_cast<size_t>(2 * i);
+      instr::store(a[even], instr::load(a[even + 1]) * 2.0);
+    });
+  });
+}
+
+// exitflag-atomic-no: the completion flag done properly.
+void ExitFlagAtomic(const WorkloadParams& p) {
+  int64_t done = 0;
+  somp::Parallel(std::max(2u, p.threads), [&](Ctx& ctx) {
+    if (ctx.thread_num() == 0) {
+      instr::atomic_store(done, int64_t{1});
+    } else {
+      for (int spin = 0; spin < 50; spin++) {
+        if (instr::atomic_load(done) != 0) break;
+        std::this_thread::yield();
+      }
+    }
+  });
+}
+
+// threadlocalaccum-no: per-thread padded accumulators combined by the
+// master after a barrier.
+void ThreadLocalAccum(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> data(n, 0.5);
+  std::vector<double> partials(static_cast<size_t>(p.threads) * 8, 0.0);
+  double total = 0.0;
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    double& mine = partials[static_cast<size_t>(ctx.thread_num()) * 8];
+    ctx.For(0, static_cast<int64_t>(n),
+            [&](int64_t i) {
+              instr::racy_increment(mine, data[static_cast<size_t>(i)]);
+            },
+            {.nowait = true});
+    ctx.Barrier();
+    ctx.Master([&] {
+      double acc = 0.0;
+      for (uint32_t t = 0; t < ctx.num_threads(); t++) {
+        acc += instr::load(partials[static_cast<size_t>(t) * 8]);
+      }
+      instr::store(total, acc);
+    });
+  });
+  (void)total;
+}
+
+// ringshift-no: a'[i] = a[(i+1) mod n], double-buffered with the loop's
+// implicit barrier - every element is read by a DIFFERENT thread than the
+// one that wrote it, always a phase apart.
+void RingShift(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> a(n), b(n, 0.0);
+  for (uint64_t i = 0; i < n; i++) a[i] = static_cast<double>(i);
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    for (int round = 0; round < 4; round++) {
+      auto& src = (round % 2 == 0) ? a : b;
+      auto& dst = (round % 2 == 0) ? b : a;
+      ctx.For(0, static_cast<int64_t>(n), [&](int64_t i) {
+        const size_t idx = static_cast<size_t>(i);
+        instr::store(dst[idx], instr::load(src[(idx + 1) % n]));
+      });
+    }
+  });
+}
+
+// masterpoll-atomic-no: master publishes progress atomically; workers
+// observe atomically. Plain data is only read after the final barrier.
+void MasterPollAtomic(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> table(n, 0.0);
+  int64_t progress = 0;
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.Master([&] {
+      for (uint64_t i = 0; i < n; i++) instr::store(table[i], 1.0);
+      instr::atomic_store(progress, int64_t{1});
+    });
+    while (instr::atomic_load(progress) == 0) std::this_thread::yield();
+    ctx.Barrier();  // the barrier (not the flag) publishes the table data
+    double acc = 0.0;
+    ctx.For(0, static_cast<int64_t>(n),
+            [&](int64_t i) { acc += instr::load(table[static_cast<size_t>(i)]); },
+            {.nowait = true});
+    (void)acc;
+  });
+}
+
+}  // namespace
+
+void RegisterDrbBatch3Clean(WorkloadRegistry& r) {
+  auto add = [&](const char* name, const char* desc,
+                 std::function<void(const WorkloadParams&)> run) {
+    Workload w;
+    w.suite = "drb";
+    w.name = name;
+    w.description = desc;
+    w.run = std::move(run);
+    w.baseline_bytes = drb::DoubleArrays(2);
+    w.default_size = drb::kDefaultN;
+    r.Register(std::move(w));
+  };
+
+  add("prefixscan-no", "Hillis-Steele scan, barrier per round", PrefixScan);
+  add("minmax-critical-no", "min reduction via local + critical", MinMaxCritical);
+  add("packing-atomic-no", "atomic cursor gives exclusive slots", PackingAtomic);
+  add("stride2-no", "even writers, odd read-only", Stride2Exclusive);
+  add("exitflag-atomic-no", "atomic completion flag", ExitFlagAtomic);
+  add("threadlocalaccum-no", "padded per-thread partials + master combine",
+      ThreadLocalAccum);
+  add("ringshift-no", "double-buffered ring shift", RingShift);
+  add("masterpoll-atomic-no", "atomic progress flag + barrier publication",
+      MasterPollAtomic);
+}
+
+}  // namespace sword::workloads

@@ -1,0 +1,227 @@
+// DataRaceBench-style kernels, part 6: additional racy patterns - tree
+// dependences, min/max reductions, packing through a shared cursor,
+// memoization tables, missing double buffers, strided boundary writes,
+// small shared-counter arrays, unbarriered master init, and exit-flag
+// polling. None of them use locks, so the HB baseline catches them all
+// deterministically (no release->acquire edges to mask through).
+#include <algorithm>
+#include <thread>
+
+#include "workloads/drb/drb_common.h"
+
+namespace sword::workloads {
+namespace {
+
+using namespace drb;
+using somp::Ctx;
+
+// treedep-orig-yes: a[i] += a[i/2] - the tree-shaped dependence; upper-half
+// elements read lower-half elements owned by other threads.
+void TreeDep(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> a(n, 1.0);
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(1, static_cast<int64_t>(n), [&](int64_t i) {
+      const double parent = instr::load(a[static_cast<size_t>(i) / 2]);
+      instr::racy_increment(a[static_cast<size_t>(i)], parent);
+    });
+  });
+}
+
+// minmaxreduction-orig-yes: the classic racy global-minimum update; the
+// check and the update are two distinct racing statements (documented as
+// one race, two real pc pairs).
+void MinMaxMissing(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> v(n);
+  // Strictly decreasing data: every thread's block contains new minima, so
+  // every thread writes and the races manifest on every schedule.
+  for (uint64_t i = 0; i < n; i++) v[i] = 1000.0 - static_cast<double>(i);
+  double global_min = 1e9;
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n), [&](int64_t i) {
+      // The racy read-min-write update. (Unconditional store rather than a
+      // guarded one so BOTH real pc pairs - read/write and write/write -
+      // manifest on every schedule; a guarded store would only write from
+      // whichever threads happened to observe a stale minimum.)
+      const double cur = instr::load(global_min);          // racy read
+      instr::store(global_min,
+                   std::min(cur, v[static_cast<size_t>(i)]));  // racy update
+    });
+  });
+  (void)global_min;
+}
+
+// packing-orig-yes: a shared output cursor bumped without atomicity, and
+// collided writes through it into a small table.
+void PackingRace(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<int64_t> table(8, 0);
+  int64_t cursor = 0;
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n), [&](int64_t i) {
+      instr::racy_increment(cursor);  // race 1: the cursor itself
+      // race 2: slots collide because the cursor values repeat across
+      // threads (pigeonhole over 8 slots guarantees it).
+      instr::store(table[static_cast<size_t>(i) % table.size()],
+                   instr::load(cursor));
+    });
+  });
+}
+
+// fibtable-orig-yes: memoization filled in parallel; f[i] needs f[i-1] and
+// f[i-2], which cross chunk boundaries (two real pc pairs).
+void FibTable(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> f(n, 0.0);
+  f[0] = 0.0;
+  f[1] = 1.0;
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(2, static_cast<int64_t>(n), [&](int64_t i) {
+      const double f1 = instr::load(f[static_cast<size_t>(i) - 1]);
+      const double f2 = instr::load(f[static_cast<size_t>(i) - 2]);
+      instr::store(f[static_cast<size_t>(i)], 0.5 * f1 + 0.25 * f2);
+    });
+  });
+}
+
+// doublebuffer-missing-yes: a stencil sweep updating IN PLACE - reads of
+// neighbours race with their in-place updates (the bug the jacobi kernel's
+// second buffer exists to prevent).
+void DoubleBufferMissing(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> u(n, 1.0);
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(1, static_cast<int64_t>(n) - 1, [&](int64_t i) {
+      const size_t idx = static_cast<size_t>(i);
+      const double left = instr::load(u[idx - 1]);
+      const double right = instr::load(u[idx + 1]);
+      instr::store(u[idx], 0.5 * (left + right));
+    });
+  });
+}
+
+// stride2boundary-orig-yes: each chunk-1 iteration writes its even slot and
+// the NEXT even slot - adjacent iterations live on different lanes, so the
+// shared slot races on every run.
+void Stride2Boundary(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> a(2 * n + 4, 0.0);
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n),
+            [&](int64_t i) {
+              instr::store(a[static_cast<size_t>(2 * i)], 1.0);
+              instr::store(a[static_cast<size_t>(2 * i) + 2], 2.0);
+            },
+            {.schedule = somp::Schedule::kStatic, .chunk = 1});
+  });
+}
+
+// sharedcounters-orig-yes: a small array of counters hashed by iteration -
+// every counter is bumped from many threads.
+void SharedCounters(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<int64_t> counters(4, 0);
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n), [&](int64_t i) {
+      instr::racy_increment(counters[static_cast<size_t>(i) % counters.size()]);
+    });
+  });
+}
+
+// masterinit-orig-yes: master initializes the table while the workers are
+// already reading it (the missing-barrier variant of broadcast).
+void MasterInit(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> table(n, 0.0);
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.Master([&] {
+      for (uint64_t i = 0; i < n; i++) instr::store(table[i], 1.0);
+    });
+    // no barrier: workers read while the master still writes
+    double acc = 0.0;
+    ctx.For(0, static_cast<int64_t>(n),
+            [&](int64_t i) { acc += instr::load(table[static_cast<size_t>(i)]); },
+            {.nowait = true});
+    (void)acc;
+  });
+}
+
+// exitflag-orig-yes: workers poll a completion flag the master sets with a
+// plain (non-atomic) store.
+void ExitFlag(const WorkloadParams& p) {
+  int64_t done = 0;
+  somp::Parallel(std::max(2u, p.threads), [&](Ctx& ctx) {
+    if (ctx.thread_num() == 0) {
+      instr::store(done, int64_t{1});  // plain store: races with the polls
+    } else {
+      for (int spin = 0; spin < 50; spin++) {
+        if (instr::load(done) != 0) break;
+        std::this_thread::yield();
+      }
+    }
+  });
+}
+
+// wrongorderwrite-orig-yes: two phases separated by a nowait loop; the
+// second phase re-writes elements the first phase's laggards still touch.
+void WrongOrderWrite(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> a(n, 0.0);
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n),
+            [&](int64_t i) { instr::store(a[static_cast<size_t>(i)], 1.0); },
+            {.schedule = somp::Schedule::kStatic, .chunk = 1, .nowait = true});
+    // no barrier; chunk-1 interleaving means another lane's slot is written
+    // below while that lane may still be in the first loop.
+    ctx.For(0, static_cast<int64_t>(n),
+            [&](int64_t i) {
+              instr::racy_increment(a[static_cast<size_t>(i)], 2.0);
+            },
+            {.nowait = true});
+  });
+}
+
+}  // namespace
+
+void RegisterDrbBatch3Racy(WorkloadRegistry& r) {
+  auto add = [&](const char* name, const char* desc, int doc, int total, int archer,
+                 std::function<void(const WorkloadParams&)> run) {
+    Workload w;
+    w.suite = "drb";
+    w.name = name;
+    w.description = desc;
+    w.documented_races = doc;
+    w.total_races = total;
+    w.archer_expected = archer;
+    w.run = std::move(run);
+    w.baseline_bytes = drb::DoubleArrays(1);
+    w.default_size = drb::kDefaultN;
+    r.Register(std::move(w));
+  };
+
+  add("treedep-orig-yes", "a[i] += a[i/2] tree dependence", 1, 1, 1, TreeDep);
+  add("minmaxreduction-orig-yes", "racy global-min check+update (2 real pairs)",
+      1, 2, 2, MinMaxMissing);
+  // Three real pc pairs: cursor RMW vs itself, cursor RMW vs the publishing
+  // load, and the collided table writes.
+  add("packing-orig-yes", "shared cursor + collided table writes", 1, 3, 3,
+      PackingRace);
+  add("fibtable-orig-yes", "memoized recurrence needs two predecessors",
+      1, 2, 2, FibTable);
+  // Two pairs: the left-neighbour read and the right-neighbour read each
+  // race with the in-place store at chunk boundaries.
+  add("doublebuffer-missing-yes", "in-place stencil without the second buffer",
+      1, 2, 2, DoubleBufferMissing);
+  add("stride2boundary-orig-yes", "even-slot writes overlap at chunk boundaries",
+      1, 1, 1, Stride2Boundary);
+  add("sharedcounters-orig-yes", "hashed counter array bumped racily", 1, 1, 1,
+      SharedCounters);
+  add("masterinit-orig-yes", "master init vs unbarriered reads", 1, 1, 1,
+      MasterInit);
+  add("exitflag-orig-yes", "non-atomic completion flag polling", 1, 1, 1, ExitFlag);
+  add("wrongorderwrite-orig-yes", "phase 2 re-writes behind a nowait", 1, 1, 1,
+      WrongOrderWrite);
+}
+
+}  // namespace sword::workloads

@@ -1,0 +1,251 @@
+// DataRaceBench-style kernels, part 4: race-free ("-no") kernels.
+//
+// These guard the FALSE-ALARM side of the evaluation: the paper stresses
+// that neither tool reports false positives on any DataRaceBench or OmpSCR
+// benchmark. Each kernel pairs with a racy cousin and fixes it with the
+// appropriate construct (critical, atomic, barrier, privatization,
+// reduction, locks, disjoint partitioning).
+#include "workloads/drb/drb_common.h"
+
+namespace sword::workloads {
+namespace {
+
+using namespace drb;
+using somp::Ctx;
+
+// plusplus-critical-no: the counter race fixed with a critical section.
+void PlusPlusCritical(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  int64_t count = 0;
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n), [&](int64_t i) {
+      (void)i;
+      ctx.Critical("ppc-count", [&] { instr::racy_increment(count); });
+    });
+  });
+}
+
+// plusplus-atomic-no: fixed with an atomic update.
+void PlusPlusAtomic(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  int64_t count = 0;
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n), [&](int64_t i) {
+      (void)i;
+      instr::atomic_add(count, int64_t{1});
+    });
+  });
+}
+
+// lock-no: explicit runtime locks protect the shared counter.
+void LockProtected(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  int64_t count = 0;
+  somp::Lock lock;
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n), [&](int64_t i) {
+      (void)i;
+      somp::Lock::Guard guard(lock);
+      instr::racy_increment(count);
+    });
+  });
+}
+
+// privateclause-no: each thread works on stack-local state.
+void PrivateClause(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> out(n, 0.0);
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    double tmp = 0.0;  // properly "private": one per team member
+    ctx.For(0, static_cast<int64_t>(n), [&](int64_t i) {
+      instr::store(tmp, static_cast<double>(i));
+      instr::store(out[static_cast<size_t>(i)], instr::load(tmp) * 2.0);
+    });
+  });
+}
+
+// barrier-no: producer and consumer separated by an explicit barrier.
+void BarrierSeparated(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> a(n, 0.0);
+  double total = 0.0;
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n),
+            [&](int64_t i) { instr::store(a[static_cast<size_t>(i)], 1.0); },
+            {.nowait = true});
+    ctx.Barrier();  // orders every write before every read below
+    double local = 0.0;
+    ctx.For(0, static_cast<int64_t>(n),
+            [&](int64_t i) {
+              local += instr::load(a[static_cast<size_t>(n - 1 - i)]);
+            },
+            {.nowait = true});
+    ctx.Critical("bn-total", [&] { instr::atomic_add(total, local); });
+  });
+  (void)total;
+}
+
+// single-no: one thread initializes, the workshare barrier publishes.
+void SingleInit(const WorkloadParams& p) {
+  double config_value = 0.0;
+  double sink = 0.0;
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.Single([&] { instr::store(config_value, 42.0); });
+    // Single's implicit barrier orders the write before these reads.
+    const double v = instr::load(config_value);
+    ctx.Critical("sn-sink", [&] { instr::atomic_add(sink, v); });
+  });
+  (void)sink;
+}
+
+// master-barrier-no: master's write published by an explicit barrier
+// (the fixed version of master-orig-yes).
+void MasterBarrier(const WorkloadParams& p) {
+  int64_t flag = 0;
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.Master([&] { instr::store(flag, int64_t{1}); });
+    ctx.Barrier();
+    (void)instr::load(flag);
+  });
+}
+
+// sections-no: the two sections touch different variables.
+void SectionsDisjoint(const WorkloadParams& p) {
+  double va = 0.0, vb = 0.0;
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.Sections(
+        {
+            [&] { instr::store(va, 1.0); },
+            [&] { instr::store(vb, 2.0); },
+        },
+        /*nowait=*/false, /*static_dist=*/true);
+  });
+  (void)va;
+  (void)vb;
+}
+
+// reduction-no: manual reduction - private partials combined in a critical.
+void ManualReduction(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> data(n, 0.5);
+  double sum = 0.0;
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    double partial = 0.0;
+    ctx.For(0, static_cast<int64_t>(n),
+            [&](int64_t i) { partial += data[static_cast<size_t>(i)]; },
+            {.nowait = true});
+    ctx.Critical("red-sum", [&] {
+      const double cur = instr::load(sum);
+      instr::store(sum, cur + partial);
+    });
+  });
+  (void)sum;
+}
+
+// indep-loop-no: the canonical disjoint parallel-for.
+void IndependentLoop(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> a(n, 0.0), b(n, 3.0);
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n), [&](int64_t i) {
+      instr::store(a[static_cast<size_t>(i)], b[static_cast<size_t>(i)] + 1.0);
+    });
+  });
+}
+
+// dynamicdisjoint-no: dynamic scheduling interleaves each thread's elements
+// through the whole array. The per-thread summarized intervals RANGE-overlap
+// heavily while touching disjoint addresses - the exact ILP check (Fig. 4)
+// is what keeps this kernel false-alarm-free.
+void DynamicDisjoint(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<int64_t> a(n, 0);
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n),
+            [&](int64_t i) { instr::store(a[static_cast<size_t>(i)], i); },
+            {.schedule = somp::Schedule::kDynamic, .chunk = 1});
+  });
+}
+
+// nestedparallel-no: nested teams write disjoint slices (Fig. 2 without the
+// races).
+void NestedParallelDisjoint(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p) & ~uint64_t{3};
+  std::vector<double> a(n, 0.0);
+  const uint32_t outer = p.threads >= 4 ? 2 : 2;
+  somp::Parallel(outer, [&](Ctx& ctx) {
+    const uint64_t outer_lane = ctx.thread_num();
+    ctx.Parallel(2, [&](Ctx& inner) {
+      const uint64_t quarter = n / 4;
+      const uint64_t slice = outer_lane * 2 + inner.thread_num();
+      for (uint64_t i = slice * quarter; i < (slice + 1) * quarter; i++) {
+        instr::store(a[i], 1.0);
+      }
+    });
+  });
+}
+
+// guided-no: guided scheduling, still disjoint writes.
+void GuidedDisjoint(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> a(n, 0.0);
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n),
+            [&](int64_t i) { instr::store(a[static_cast<size_t>(i)], 2.0); },
+            {.schedule = somp::Schedule::kGuided});
+  });
+}
+
+}  // namespace
+
+void RegisterDrbClean(WorkloadRegistry& r) {
+  auto add = [&](const char* name, const char* desc,
+                 std::function<void(const WorkloadParams&)> run, int arrays = 1) {
+    Workload w;
+    w.suite = "drb";
+    w.name = name;
+    w.description = desc;
+    w.documented_races = 0;
+    w.total_races = 0;
+    w.archer_expected = 0;
+    w.run = std::move(run);
+    w.baseline_bytes = drb::DoubleArrays(arrays);
+    w.default_size = drb::kDefaultN;
+    r.Register(std::move(w));
+  };
+
+  add("plusplus-critical-no", "counter protected by critical", PlusPlusCritical);
+  add("plusplus-atomic-no", "counter updated atomically", PlusPlusAtomic);
+  add("lock-no", "counter protected by a runtime lock", LockProtected);
+  add("privateclause-no", "temporary properly privatized", PrivateClause);
+  add("barrier-no", "produce/consume separated by a barrier", BarrierSeparated);
+  add("single-no", "single + implicit barrier publishes the init", SingleInit);
+  add("master-barrier-no", "master write published by explicit barrier",
+      MasterBarrier);
+  add("sections-no", "sections touch disjoint variables", SectionsDisjoint);
+  add("reduction-no", "manual reduction with critical combine", ManualReduction);
+  add("indep-loop-no", "disjoint parallel-for", IndependentLoop, 2);
+  add("dynamicdisjoint-no", "dynamic,1 interleaving; exact ILP avoids false alarms",
+      DynamicDisjoint);
+  add("nestedparallel-no", "nested teams on disjoint slices", NestedParallelDisjoint);
+  add("guided-no", "guided schedule, disjoint writes", GuidedDisjoint);
+}
+
+void RegisterDrbBasic(WorkloadRegistry& r);
+void RegisterDrbEviction(WorkloadRegistry& r);
+void RegisterDrbIndirect(WorkloadRegistry& r);
+void RegisterDrbExtra(WorkloadRegistry& r);
+void RegisterDrbBatch3Racy(WorkloadRegistry& r);
+void RegisterDrbBatch3Clean(WorkloadRegistry& r);
+
+void RegisterDrb(WorkloadRegistry& r) {
+  RegisterDrbBasic(r);
+  RegisterDrbEviction(r);
+  RegisterDrbIndirect(r);
+  RegisterDrbClean(r);
+  RegisterDrbExtra(r);
+  RegisterDrbBatch3Racy(r);
+  RegisterDrbBatch3Clean(r);
+}
+
+}  // namespace sword::workloads

@@ -1,0 +1,27 @@
+// Shared helpers for the DataRaceBench-style kernels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "somp/instr.h"
+#include "somp/runtime.h"
+#include "somp/sequencer.h"
+#include "workloads/workload.h"
+
+namespace sword::workloads::drb {
+
+/// Default element count for array kernels; small enough that the whole
+/// suite runs in milliseconds, large enough that every thread gets work.
+constexpr uint64_t kDefaultN = 400;
+
+inline uint64_t SizeOf(const WorkloadParams& p) {
+  return p.size ? p.size : kDefaultN;
+}
+
+/// Footprint helper for kernels over k double arrays of n elements.
+inline std::function<uint64_t(const WorkloadParams&)> DoubleArrays(int k) {
+  return [k](const WorkloadParams& p) { return SizeOf(p) * sizeof(double) * k; };
+}
+
+}  // namespace sword::workloads::drb

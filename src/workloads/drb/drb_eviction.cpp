@@ -1,0 +1,180 @@
+// DataRaceBench-style kernels, part 2: the races ARCHER misses (paper SII,
+// SIV-A) and SWORD catches.
+//
+// Two miss mechanisms are reproduced deterministically:
+//
+//  SHADOW-CELL EVICTION ("nowait", "privatemissing", "evictionshowcase"):
+//    thread 0 writes a shared variable, then re-reads it from inside a
+//    critical section several times. Each release ticks thread 0's epoch, so
+//    every re-read is a DISTINCT shadow cell (TSan never merges same-thread
+//    accesses from different epochs) - four of them purge the write record.
+//    A later unordered read by another thread then finds only read cells:
+//    read-read, no race reported. The offline analysis still sees the write
+//    (SWORD logs every access), so SWORD reports it.
+//
+//  HAPPENS-BEFORE MASKING ("fig1-schedule-a/b"):
+//    the two interleavings of Fig. 1, pinned with a Sequencer. In schedule
+//    (b) thread 0's lock release happens-before thread 1's acquire, covering
+//    the unprotected write - the HB detector stays silent. The offset-span
+//    judgment is schedule-independent, so SWORD reports the race under both
+//    schedules.
+#include "workloads/drb/drb_common.h"
+
+namespace sword::workloads {
+namespace {
+
+using namespace drb;
+using somp::Ctx;
+
+/// The eviction pattern described above, parameterized so several kernels
+/// (and the shadow-cell ablation bench) can share it. `extra_reads` controls
+/// how many distinct-epoch same-thread reads flood the shadow line. The
+/// racy write/read locations are taken from the CALLER so that two uses of
+/// the pattern in one kernel count as two distinct races.
+void EvictionPattern(Ctx& ctx, somp::Sequencer& seq, double& x, int extra_reads,
+                     const char* lock_name, uint64_t gate,
+                     const std::source_location& write_loc,
+                     const std::source_location& read_loc) {
+  if (ctx.thread_num() == 0) {
+    instr::store(x, 1.0, write_loc);  // the racy write; evicted from shadow below
+    double acc = 0.0;
+    for (int k = 0; k < extra_reads; k++) {
+      // Same-thread reads at distinct epochs (the release after each
+      // critical ticks the epoch): each one occupies a fresh shadow cell.
+      ctx.Critical(lock_name, [&] { acc += instr::load(x); });
+    }
+    (void)acc;
+    seq.Await(gate);  // open the gate for the unordered reader
+  } else if (ctx.thread_num() == 1) {
+    seq.WaitUntil(gate + 1);
+    (void)instr::load(x, read_loc);  // races with thread 0's write; HB misses
+  }
+}
+
+// nowait-orig-yes: the first loop's write escapes past the nowait; the
+// paper reports ARCHER missing this read-write race via cell eviction.
+void NowaitRace(const WorkloadParams& p) {
+  double x = 0.0;
+  somp::Sequencer seq;
+  somp::Parallel(std::max(2u, p.threads), [&](Ctx& ctx) {
+    EvictionPattern(ctx, seq, x, 6, "nowait-red", 0,
+                    std::source_location::current(),
+                    std::source_location::current());
+  });
+}
+
+// privatemissing-orig-yes: a temporary that should have been private. TWO
+// real races (the documentation lists one; the second is the undocumented
+// one SWORD additionally reports in SIV-A). Both use the eviction pattern,
+// so ARCHER misses both.
+void PrivateMissing(const WorkloadParams& p) {
+  double tmp = 0.0;    // documented race
+  double tmp2 = 0.0;   // undocumented race
+  somp::Sequencer seq1, seq2;
+  somp::Parallel(std::max(2u, p.threads), [&](Ctx& ctx) {
+    EvictionPattern(ctx, seq1, tmp, 6, "pm-red1", 0,
+                    std::source_location::current(),
+                    std::source_location::current());
+    ctx.Barrier();
+    EvictionPattern(ctx, seq2, tmp2, 6, "pm-red2", 0,
+                    std::source_location::current(),
+                    std::source_location::current());
+  });
+}
+
+// evictionshowcase-yes: SII's "a[i] = a[i] + a[0]" shape, engineered so the
+// write record of a[0] is deterministically purged before the unordered
+// reads arrive. Used by bench_eviction to sweep the cell count: with enough
+// cells the HB detector finds the race again.
+void EvictionShowcase(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> a(n, 1.0);
+  somp::Sequencer seq;
+  somp::Parallel(std::max(2u, p.threads), [&](Ctx& ctx) {
+    if (ctx.thread_num() == 0) {
+      instr::store(a[0], 3.0);  // the write every other thread races with
+      double acc = 0.0;
+      for (int k = 0; k < 8; k++) {
+        ctx.Critical("ev-red", [&] { acc += instr::load(a[0]); });
+      }
+      (void)acc;
+      seq.Await(0);
+    } else {
+      seq.WaitUntil(1);
+      // Every other thread reads a[0] while updating its own block. The
+      // nowait keeps thread 0 (which skips this loop) from deadlocking the
+      // workshare barrier.
+      ctx.For(0, static_cast<int64_t>(n),
+              [&](int64_t i) {
+                const double base = instr::load(a[0]);
+                if (i > 0) instr::store(a[static_cast<size_t>(i)], base + 1.0);
+              },
+              {.nowait = true});
+    }
+  });
+}
+
+// fig1 program: T0 writes x unprotected, then uses the lock; T1 reads and
+// writes x under the lock. `mask` pins which thread wins the lock first.
+void Fig1(const WorkloadParams& p, bool mask) {
+  double x = 0.0;
+  somp::Sequencer seq;
+  somp::Parallel(std::max(2u, p.threads), [&](Ctx& ctx) {
+    if (ctx.thread_num() == 0) {
+      if (mask) {
+        // Schedule (b): T0 entirely first; release->acquire covers the write.
+        instr::store(x, 1.0);
+        ctx.Critical("fig1-L", [&] { (void)instr::load(x); });
+        seq.Await(0);
+      } else {
+        // Schedule (a): T1's critical section completes BEFORE T0's write,
+        // so no happens-before path covers the conflict.
+        seq.WaitUntil(1);
+        instr::store(x, 1.0);
+        ctx.Critical("fig1-L", [&] { (void)instr::load(x); });
+      }
+    } else if (ctx.thread_num() == 1) {
+      if (mask) seq.WaitUntil(1);
+      // Load+store share one source location so the write-read and
+      // write-write conflicts with T0's store count as ONE race.
+      ctx.Critical("fig1-L", [&] { instr::racy_increment(x, 2.0); });
+      if (!mask) seq.Await(0);
+    }
+  });
+}
+
+void Fig1ScheduleA(const WorkloadParams& p) { Fig1(p, /*mask=*/false); }
+void Fig1ScheduleB(const WorkloadParams& p) { Fig1(p, /*mask=*/true); }
+
+}  // namespace
+
+void RegisterDrbEviction(WorkloadRegistry& r) {
+  auto add = [&](const char* name, const char* desc, int doc, int total, int archer,
+                 std::function<void(const WorkloadParams&)> run) {
+    Workload w;
+    w.suite = "drb";
+    w.name = name;
+    w.description = desc;
+    w.documented_races = doc;
+    w.total_races = total;
+    w.archer_expected = archer;
+    w.run = std::move(run);
+    w.baseline_bytes = drb::DoubleArrays(1);
+    w.default_size = drb::kDefaultN;
+    r.Register(std::move(w));
+  };
+
+  add("nowait-orig-yes", "write escapes nowait; HB misses via cell eviction",
+      1, 1, 0, NowaitRace);
+  add("privatemissing-orig-yes",
+      "missing private(tmp); 2 real races (1 undocumented), HB misses both",
+      1, 2, 0, PrivateMissing);
+  add("evictionshowcase-yes", "SII's a[i]=a[i]+a[0] with deterministic eviction",
+      1, 1, 0, EvictionShowcase);
+  add("fig1-schedule-a-yes", "Fig. 1(a): no HB path, both tools report",
+      1, 1, 1, Fig1ScheduleA);
+  add("fig1-schedule-b-yes", "Fig. 1(b): release->acquire masks the HB tool",
+      1, 1, 0, Fig1ScheduleB);
+}
+
+}  // namespace sword::workloads

@@ -1,0 +1,187 @@
+// DataRaceBench-style kernels, part 5: coverage of the remaining runtime
+// features - the reduction construct, locks held across barriers (the
+// meta-file lockset column), deep nesting, read-only sharing, and
+// phase-crossing nowait escapes.
+#include "somp/reduce.h"
+#include "workloads/drb/drb_common.h"
+
+namespace sword::workloads {
+namespace {
+
+using namespace drb;
+using somp::Ctx;
+
+// forreduce-no: the reduction construct, race-free by construction.
+void ForReduceClean(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> data(n, 0.25);
+  double sum = 0.0;
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    somp::ForReduce<double>(
+        ctx, 0, static_cast<int64_t>(n), sum, 0.0,
+        [](double a, double b) { return a + b; },
+        [&](int64_t i, double& acc) { acc += data[static_cast<size_t>(i)]; });
+    // Safe to read the combined result after the construct's barrier.
+    (void)instr::load(sum);
+  });
+}
+
+// lockacrossbarrier-no: thread 0 acquires a lock BEFORE a barrier and
+// accesses the shared variable AFTER it, so the access's barrier-interval
+// segment opens with the lock already held - exercising the meta file's
+// initial-lockset column end to end. Thread 1 accesses under the same lock.
+void LockAcrossBarrier(const WorkloadParams& p) {
+  double x = 0.0;
+  somp::Lock lock;
+  somp::Parallel(std::max(2u, p.threads), [&](Ctx& ctx) {
+    if (ctx.thread_num() == 0) lock.Acquire();
+    ctx.Barrier();
+    if (ctx.thread_num() == 0) {
+      instr::store(x, 1.0);  // segment opened with `lock` held
+      lock.Release();
+    } else if (ctx.thread_num() == 1) {
+      lock.Acquire();  // blocks until thread 0 releases
+      (void)instr::load(x);
+      lock.Release();
+    }
+  });
+}
+
+// readonly-no: shared data read by everyone, written by no one.
+void ReadOnlyShared(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> table(n, 1.5);
+  std::vector<double> out(n, 0.0);
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n), [&](int64_t i) {
+      const size_t idx = static_cast<size_t>(i);
+      // Every thread reads the SAME few hot entries plus its own: all reads.
+      const double hot = instr::load(table[0]) + instr::load(table[n / 2]);
+      instr::store(out[idx], hot * table[idx]);
+    });
+  });
+}
+
+// minusminus-orig-yes: the decrement twin of plusplus (DataRaceBench has
+// both); one unsynchronized shared countdown.
+void MinusMinus(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  int64_t remaining = static_cast<int64_t>(n);
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n), [&](int64_t i) {
+      (void)i;
+      instr::racy_increment(remaining, int64_t{-1});
+    });
+  });
+  (void)remaining;
+}
+
+// nestedlevel3-yes: a race between leaves of a depth-3 region tree - the
+// offset-span judgment must see through three label components.
+void NestedLevel3(const WorkloadParams& p) {
+  (void)p;
+  double shared_leaf = 0.0;
+  somp::Parallel(2, [&](Ctx& outer) {
+    outer.Parallel(2, [&](Ctx& mid) {
+      mid.Parallel(2, [&](Ctx& inner) {
+        if (inner.thread_num() == 0) instr::store(shared_leaf, 1.0);
+      });
+    });
+  });
+  (void)shared_leaf;
+}
+
+// nowaitphases-yes: loop 1's writes escape a nowait while the other threads
+// are already in phase-2 work - a cross-PHASE race that only exists because
+// the escaping thread never crossed the barrier in between. (The escaping
+// lane skips the barrier via nowait loops; the reader lane proceeds through
+// an explicit barrier of its own.) Kept simple: lane 0 writes late, lane 1
+// reads in what it thinks is a later interval, with NO barrier between them.
+void NowaitPhases(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> a(n, 0.0);
+  somp::Sequencer seq;
+  somp::Parallel(std::max(2u, p.threads), [&](Ctx& ctx) {
+    if (ctx.thread_num() == 0) {
+      seq.WaitUntil(1);  // write LATE, after lane 1 already read
+      instr::store(a[0], 1.0);
+    } else if (ctx.thread_num() == 1) {
+      ctx.For(1, static_cast<int64_t>(n),
+              [&](int64_t i) { instr::store(a[static_cast<size_t>(i)], 2.0); },
+              {.nowait = true});
+      (void)instr::load(a[0]);
+      seq.Await(0);
+    }
+  });
+}
+
+// memsetrace-orig-yes: a bulk clear (ranged write, like an instrumented
+// memset) racing with element reads - exercises the >8-byte range events
+// through the whole pipeline (shadow granule splitting, interval nodes with
+// size 128, ILP overlap on mixed sizes).
+void MemsetRace(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p);
+  std::vector<double> buffer(n, 1.0);
+  somp::Sequencer seq;
+  somp::Parallel(std::max(2u, p.threads), [&](Ctx& ctx) {
+    if (ctx.thread_num() == 0) {
+      seq.WaitUntil(1);  // clear AFTER the reader sampled: no HB either way
+      instr::write_range(buffer.data(), n * sizeof(double));
+    } else if (ctx.thread_num() == 1) {
+      (void)instr::load(buffer[n / 2]);
+      seq.Await(0);
+    }
+  });
+}
+
+// memsetdisjoint-no: bulk clears of per-thread slices - ranged writes that
+// are provably disjoint.
+void MemsetDisjoint(const WorkloadParams& p) {
+  const uint64_t n = SizeOf(p) & ~uint64_t{7};
+  std::vector<double> buffer(n, 1.0);
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    const uint64_t slice = n / ctx.num_threads();
+    const uint64_t begin = slice * ctx.thread_num();
+    const uint64_t end =
+        ctx.thread_num() + 1 == ctx.num_threads() ? n : begin + slice;
+    if (end > begin) {
+      instr::write_range(&buffer[begin], (end - begin) * sizeof(double));
+    }
+  });
+}
+
+}  // namespace
+
+void RegisterDrbExtra(WorkloadRegistry& r) {
+  auto add = [&](const char* name, const char* desc, int doc, int total, int archer,
+                 std::function<void(const WorkloadParams&)> run, int arrays = 1) {
+    Workload w;
+    w.suite = "drb";
+    w.name = name;
+    w.description = desc;
+    w.documented_races = doc;
+    w.total_races = total;
+    w.archer_expected = archer;
+    w.run = std::move(run);
+    w.baseline_bytes = drb::DoubleArrays(arrays);
+    w.default_size = drb::kDefaultN;
+    r.Register(std::move(w));
+  };
+
+  add("forreduce-no", "the ForReduce construct; race-free by construction", 0, 0, 0,
+      ForReduceClean);
+  add("lockacrossbarrier-no", "lock held across a barrier (meta lockset column)",
+      0, 0, 0, LockAcrossBarrier);
+  add("readonly-no", "hot read-only shared data", 0, 0, 0, ReadOnlyShared, 2);
+  add("minusminus-orig-yes", "unsynchronized shared countdown", 1, 1, 1, MinusMinus);
+  add("nestedlevel3-yes", "race across depth-3 nested regions", 1, 1, 1,
+      NestedLevel3);
+  add("nowaitphases-yes", "write escapes past a nowait into a reader", 1, 1, 1,
+      NowaitPhases);
+  add("memsetrace-orig-yes", "bulk ranged clear races with an element read",
+      1, 1, 1, MemsetRace);
+  add("memsetdisjoint-no", "per-thread bulk clears, provably disjoint", 0, 0, 0,
+      MemsetDisjoint);
+}
+
+}  // namespace sword::workloads

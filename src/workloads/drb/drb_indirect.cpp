@@ -1,0 +1,104 @@
+// DataRaceBench-style kernels, part 3: indirectaccess1-4.
+//
+// These kernels write through an index array: a[idx[i]] += b[i]. The race is
+// real in general (two iterations may alias), but on the DEFAULT input the
+// index map is collision-free, so the race never manifests in the executed
+// trace. The paper (SIV-A): "These data races do not manifest along all
+// program paths, and given that both SWORD and ARCHER are dynamic analysis
+// tools that analyze only the executed control flow, they can miss such
+// races" - ALL tools miss all four, and so must we (documented=1,
+// manifesting total=0).
+#include "workloads/drb/drb_common.h"
+
+namespace sword::workloads {
+namespace {
+
+using namespace drb;
+using somp::Ctx;
+
+/// Shared shape: a[perm(i)] += b[i] where perm is a collision-free
+/// permutation for the default input (mirroring the benchmarks' provided
+/// input files, which happen to avoid aliasing).
+void IndirectKernel(const WorkloadParams& p, uint64_t multiplier, uint64_t offset) {
+  const uint64_t n = SizeOf(p) | 1;  // odd so the multiplicative maps permute
+  std::vector<int64_t> a(n, 0), b(n, 1);
+  std::vector<uint64_t> idx(n);
+  for (uint64_t i = 0; i < n; i++) idx[i] = (i * multiplier + offset) % n;
+
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n), [&](int64_t i) {
+      int64_t& target = a[idx[static_cast<size_t>(i)]];
+      const int64_t cur = instr::load(target);
+      instr::store(target, cur + b[static_cast<size_t>(i)]);
+    });
+  });
+}
+
+void Indirect1(const WorkloadParams& p) { IndirectKernel(p, 2, 0); }
+void Indirect2(const WorkloadParams& p) { IndirectKernel(p, 4, 1); }
+void Indirect3(const WorkloadParams& p) { IndirectKernel(p, 8, 3); }
+void Indirect4(const WorkloadParams& p) { IndirectKernel(p, 16, 7); }
+
+// inputdep-var-yes: DataRaceBench's "-var-" family - whether the race
+// manifests depends on the RUNTIME input size. Small inputs use a
+// collision-free index map; past the threshold the map wraps and two
+// iterations on different threads hit the same element. Dynamic tools see
+// the race only when the executed input exposes it
+// (tests/test_detection.cpp sweeps both sides of the threshold).
+constexpr uint64_t kInputDepThreshold = 512;
+
+void InputDepVar(const WorkloadParams& p) {
+  const uint64_t n = p.size ? p.size : 1024;  // default input: collisions
+  std::vector<int64_t> a(n, 0);
+  std::vector<uint64_t> idx(n);
+  for (uint64_t i = 0; i < n; i++) {
+    idx[i] = (n <= kInputDepThreshold) ? i : i % (n / 2);
+  }
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(n), [&](int64_t i) {
+      instr::racy_increment(a[idx[static_cast<size_t>(i)]]);
+    });
+  });
+}
+
+}  // namespace
+
+void RegisterDrbIndirect(WorkloadRegistry& r) {
+  auto add = [&](const char* name, std::function<void(const WorkloadParams&)> run) {
+    Workload w;
+    w.suite = "drb";
+    w.name = name;
+    w.description = "indirect writes; race does not manifest on default input";
+    w.documented_races = 1;
+    w.total_races = 0;  // not manifesting in the executed trace
+    w.archer_expected = 0;
+    w.run = std::move(run);
+    w.baseline_bytes = [](const WorkloadParams& p) {
+      return drb::SizeOf(p) * (2 * sizeof(int64_t) + sizeof(uint64_t));
+    };
+    w.default_size = drb::kDefaultN;
+    r.Register(std::move(w));
+  };
+  add("indirectaccess1-orig-yes", Indirect1);
+  add("indirectaccess2-orig-yes", Indirect2);
+  add("indirectaccess3-orig-yes", Indirect3);
+  add("indirectaccess4-orig-yes", Indirect4);
+
+  {
+    Workload w;
+    w.suite = "drb";
+    w.name = "inputdep-var-yes";
+    w.description = "race manifests only for inputs above the wrap threshold";
+    w.documented_races = 1;
+    w.total_races = 1;  // at the DEFAULT (racy) input size
+    w.archer_expected = 1;
+    w.run = InputDepVar;
+    w.baseline_bytes = [](const WorkloadParams& p) {
+      return (p.size ? p.size : 1024) * 16;
+    };
+    w.default_size = 1024;
+    r.Register(std::move(w));
+  }
+}
+
+}  // namespace sword::workloads

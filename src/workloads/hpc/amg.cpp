@@ -1,0 +1,229 @@
+// AMG-mini: geometric multigrid V-cycle solver (the AMG2013 stand-in).
+//
+// Two roles in the paper's evaluation:
+//
+//  RACES (Table IV): AMG2013 carries 14 read-write races inside one large
+//  parallel region; ARCHER finds only 4 of them - "it maintains only a
+//  limited number of previous accesses, while SWORD detects them since it
+//  logs every memory access". Here the same structure is seeded explicitly:
+//  4 pinned races any HB detector sees, plus 10 whose write record is purged
+//  by shadow-cell eviction (deterministically - see drb_eviction.cpp).
+//
+//  MEMORY (Fig. 8): the problem-size knob (10..40, mirroring the paper's
+//  10^3..40^3 grids) scales the grid as size^3, so the HB baseline's
+//  shadow memory grows with the application footprint while SWORD's stays
+//  at N_threads * 3.3 MB; past the simulated node cap the HB analysis OOMs,
+//  reproducing Table IV's OOM row.
+#include <cassert>
+#include <cmath>
+
+#include "workloads/hpc/hpc_common.h"
+#include "workloads/ompscr/ompscr_common.h"
+
+namespace sword::workloads {
+namespace {
+
+using namespace hpc;
+using somp::Ctx;
+
+struct Level {
+  std::vector<double> u, unew, f, r;
+  int64_t n;
+};
+
+/// Weighted-Jacobi smoothing sweeps for -u'' = f, tridiag(1, -2, 1) scaled.
+void Smooth(Ctx& ctx, Level& lv, int sweeps) {
+  for (int s = 0; s < sweeps; s++) {
+    auto& src = (s % 2 == 0) ? lv.u : lv.unew;
+    auto& dst = (s % 2 == 0) ? lv.unew : lv.u;
+    ctx.For(1, lv.n - 1, [&](int64_t i) {
+      const size_t idx = static_cast<size_t>(i);
+      const double left = instr::load(src[idx - 1]);
+      const double right = instr::load(src[idx + 1]);
+      const double fi = instr::load(lv.f[idx]);
+      const double jac = 0.5 * (left + right + fi);
+      const double old = instr::load(src[idx]);
+      instr::store(dst[idx], old + 0.8 * (jac - old));
+    });
+  }
+  if (sweeps % 2 == 1) {
+    // Copy back so u always holds the latest iterate.
+    ctx.For(0, lv.n, [&](int64_t i) {
+      instr::store(lv.u[static_cast<size_t>(i)],
+                   instr::load(lv.unew[static_cast<size_t>(i)]));
+    });
+  }
+}
+
+/// r = f - A u.
+void Residual(Ctx& ctx, Level& lv) {
+  ctx.For(1, lv.n - 1, [&](int64_t i) {
+    const size_t idx = static_cast<size_t>(i);
+    const double au = 2.0 * instr::load(lv.u[idx]) - instr::load(lv.u[idx - 1]) -
+                      instr::load(lv.u[idx + 1]);
+    instr::store(lv.r[idx], instr::load(lv.f[idx]) - au);
+  });
+}
+
+void AmgRun(const WorkloadParams& p) {
+  const uint64_t s = p.size ? p.size : 20;
+  const int64_t n_fine = static_cast<int64_t>(s * s * s);  // the paper's s^3 grid
+  const int cycles = 2;
+
+  // Build the level hierarchy down to ~32 points.
+  std::vector<Level> levels;
+  for (int64_t n = n_fine; n >= 32; n /= 2) {
+    Level lv;
+    lv.n = n;
+    lv.u.assign(static_cast<size_t>(n), 0.0);
+    lv.unew.assign(static_cast<size_t>(n), 0.0);
+    lv.f.assign(static_cast<size_t>(n), 0.0);
+    lv.r.assign(static_cast<size_t>(n), 0.0);
+    levels.push_back(std::move(lv));
+  }
+  // Smooth forcing on the fine grid.
+  for (int64_t i = 0; i < n_fine; i++) {
+    levels[0].f[static_cast<size_t>(i)] =
+        std::sin(3.14159 * static_cast<double>(i) / static_cast<double>(n_fine)) /
+        static_cast<double>(n_fine);
+  }
+
+  const double initial_res = [&] {
+    double acc = 0.0;
+    for (int64_t i = 1; i + 1 < n_fine; i++) acc += std::abs(levels[0].f[i]);
+    return acc;
+  }();
+
+  // The 14 seeded race targets (one large parallel region, like AMG2013's
+  // ~400-LOC region).
+  double doc_race[4] = {0, 0, 0, 0};
+  double evict_race[10] = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  somp::Sequencer doc_seq[4];
+  somp::Sequencer ev_seq[10];
+
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    using std::source_location;
+    // -- 4 races the HB baseline catches (Table IV "archer: 4").
+    ompscr::PinnedDocRace(ctx, doc_seq[0], doc_race[0],
+                          source_location::current(), source_location::current());
+    ompscr::PinnedDocRace(ctx, doc_seq[1], doc_race[1],
+                          source_location::current(), source_location::current());
+    ompscr::PinnedDocRace(ctx, doc_seq[2], doc_race[2],
+                          source_location::current(), source_location::current());
+    ompscr::PinnedDocRace(ctx, doc_seq[3], doc_race[3],
+                          source_location::current(), source_location::current());
+    // -- 10 races only SWORD reports (shadow-cell eviction purges the write).
+    ompscr::EvictionUndocRace(ctx, ev_seq[0], evict_race[0], "amg-e0",
+                              source_location::current(), source_location::current());
+    ompscr::EvictionUndocRace(ctx, ev_seq[1], evict_race[1], "amg-e1",
+                              source_location::current(), source_location::current());
+    ompscr::EvictionUndocRace(ctx, ev_seq[2], evict_race[2], "amg-e2",
+                              source_location::current(), source_location::current());
+    ompscr::EvictionUndocRace(ctx, ev_seq[3], evict_race[3], "amg-e3",
+                              source_location::current(), source_location::current());
+    ompscr::EvictionUndocRace(ctx, ev_seq[4], evict_race[4], "amg-e4",
+                              source_location::current(), source_location::current());
+    ompscr::EvictionUndocRace(ctx, ev_seq[5], evict_race[5], "amg-e5",
+                              source_location::current(), source_location::current());
+    ompscr::EvictionUndocRace(ctx, ev_seq[6], evict_race[6], "amg-e6",
+                              source_location::current(), source_location::current());
+    ompscr::EvictionUndocRace(ctx, ev_seq[7], evict_race[7], "amg-e7",
+                              source_location::current(), source_location::current());
+    ompscr::EvictionUndocRace(ctx, ev_seq[8], evict_race[8], "amg-e8",
+                              source_location::current(), source_location::current());
+    ompscr::EvictionUndocRace(ctx, ev_seq[9], evict_race[9], "amg-e9",
+                              source_location::current(), source_location::current());
+    ctx.Barrier();
+
+    // -- The multigrid V-cycles.
+    for (int cycle = 0; cycle < cycles; cycle++) {
+      // Downstroke: smooth, compute residual, restrict.
+      for (size_t lev = 0; lev + 1 < levels.size(); lev++) {
+        Smooth(ctx, levels[lev], 2);
+        Residual(ctx, levels[lev]);
+        Level& coarse = levels[lev + 1];
+        Level& fine = levels[lev];
+        ctx.For(1, coarse.n - 1, [&](int64_t i) {
+          const size_t ci = static_cast<size_t>(i);
+          const size_t fi2 = 2 * ci;
+          const double rv = 0.25 * (instr::load(fine.r[fi2 - 1]) +
+                                    2.0 * instr::load(fine.r[fi2]) +
+                                    instr::load(fine.r[fi2 + 1]));
+          instr::store(coarse.f[ci], rv);
+          instr::store(coarse.u[ci], 0.0);
+          instr::store(coarse.unew[ci], 0.0);
+        });
+      }
+      // Coarse solve: heavy smoothing.
+      Smooth(ctx, levels.back(), 16);
+      // Upstroke: prolong + correct, then post-smooth.
+      for (size_t lev = levels.size() - 1; lev-- > 0;) {
+        Level& coarse = levels[lev + 1];
+        Level& fine = levels[lev];
+        ctx.For(1, coarse.n - 1, [&](int64_t i) {
+          const size_t ci = static_cast<size_t>(i);
+          const size_t fi2 = 2 * ci;
+          const double uc = instr::load(coarse.u[ci]);
+          const double un = instr::load(coarse.u[ci + 1]);
+          const double cur0 = instr::load(fine.u[fi2]);
+          instr::store(fine.u[fi2], cur0 + uc);
+          const double cur1 = instr::load(fine.u[fi2 + 1]);
+          instr::store(fine.u[fi2 + 1], cur1 + 0.5 * (uc + un));
+        });
+        Smooth(ctx, fine, 2);
+      }
+    }
+  });
+
+  // The V-cycles must have reduced the fine-grid residual.
+  double final_res = 0.0;
+  {
+    Level& lv = levels[0];
+    for (int64_t i = 1; i + 1 < n_fine; i++) {
+      const double au = 2.0 * lv.u[i] - lv.u[i - 1] - lv.u[i + 1];
+      final_res += std::abs(lv.f[i] - au);
+    }
+  }
+  assert(final_res < initial_res);
+  (void)final_res;
+  (void)initial_res;
+}
+
+}  // namespace
+
+void RegisterAmg(WorkloadRegistry& r) {
+  // One registration per problem size, matching Table IV / Fig. 8's rows.
+  for (uint64_t s : {uint64_t{10}, uint64_t{20}, uint64_t{30}, uint64_t{40}}) {
+    Workload w;
+    w.suite = "hpc";
+    w.name = "AMG2013_" + std::to_string(s);
+    w.description = "multigrid V-cycle, grid " + std::to_string(s) + "^3; 14 races";
+    w.documented_races = 4;   // the 4 previously known ones
+    w.total_races = 14;
+    w.archer_expected = 4;
+    w.run = [s](const WorkloadParams& p) {
+      WorkloadParams q = p;
+      q.size = s;
+      AmgRun(q);
+    };
+    w.baseline_bytes = [s](const WorkloadParams&) {
+      // 4 arrays per level, levels sum to ~2x the fine grid.
+      return s * s * s * 4 * 2 * sizeof(double);
+    };
+    w.default_size = s;
+    r.Register(std::move(w));
+  }
+}
+
+void RegisterHpccg(WorkloadRegistry& r);
+void RegisterMiniFe(WorkloadRegistry& r);
+void RegisterLulesh(WorkloadRegistry& r);
+
+void RegisterHpc(WorkloadRegistry& r) {
+  RegisterHpccg(r);
+  RegisterMiniFe(r);
+  RegisterLulesh(r);
+  RegisterAmg(r);
+}
+
+}  // namespace sword::workloads

@@ -1,0 +1,62 @@
+// Shared pieces for the mini HPC applications (paper SIV-C).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "somp/instr.h"
+#include "somp/runtime.h"
+#include "somp/sequencer.h"
+#include "workloads/workload.h"
+
+namespace sword::workloads::hpc {
+
+/// Instrumented dot product: private partials + critical combine + barrier;
+/// race-free. `scratch` is the shared accumulator (reset by Single).
+/// Returns the completed dot product (read after the ordering barrier).
+inline double Dot(somp::Ctx& ctx, const std::vector<double>& a,
+                  const std::vector<double>& b, int64_t n, double& scratch,
+                  const char* lock_name) {
+  ctx.Single([&] { instr::store(scratch, 0.0); });  // implicit barrier
+  double partial = 0.0;
+  ctx.For(0, n,
+          [&](int64_t i) {
+            partial += instr::load(a[static_cast<size_t>(i)]) *
+                       instr::load(b[static_cast<size_t>(i)]);
+          },
+          {.nowait = true});
+  ctx.Critical(lock_name, [&] {
+    const double cur = instr::load(scratch);
+    instr::store(scratch, cur + partial);
+  });
+  ctx.Barrier();  // all contributions visible below
+  const double result = instr::load(scratch);
+  ctx.Barrier();  // protect the reads from the next caller's reset
+  return result;
+}
+
+/// y[i] = alpha*x[i] + y[i] over static blocks; implicit barrier.
+inline void Axpy(somp::Ctx& ctx, double alpha, const std::vector<double>& x,
+                 std::vector<double>& y, int64_t n) {
+  ctx.For(0, n, [&](int64_t i) {
+    const size_t idx = static_cast<size_t>(i);
+    const double yi = instr::load(y[idx]);
+    instr::store(y[idx], alpha * instr::load(x[idx]) + yi);
+  });
+}
+
+/// q = A*p for the 1D Laplacian tridiag(-1, 2+shift, -1); implicit barrier.
+inline void TridiagMatVec(somp::Ctx& ctx, const std::vector<double>& p,
+                          std::vector<double>& q, int64_t n, double shift) {
+  ctx.For(0, n, [&](int64_t i) {
+    const size_t idx = static_cast<size_t>(i);
+    double v = (2.0 + shift) * instr::load(p[idx]);
+    if (idx > 0) v -= instr::load(p[idx - 1]);
+    if (idx + 1 < static_cast<size_t>(n)) v -= instr::load(p[idx + 1]);
+    instr::store(q[idx], v);
+  });
+}
+
+}  // namespace sword::workloads::hpc

@@ -1,0 +1,98 @@
+// HPCCG-mini: conjugate gradient on a 1D Laplacian (Mantevo's HPCCG shape).
+//
+// Carries exactly one race, the one the paper reports (SIV-C): "a parallel
+// region where all threads are writing the same value into a shared
+// variable. While this race may seem harmless, it in fact results in
+// undefined behavior" - here, every team member stores the freshly computed
+// residual norm into a shared `normr` scalar each iteration. Both detectors
+// are expected to report it (Table IV: archer 1, sword 1).
+#include <cassert>
+
+#include "workloads/hpc/hpc_common.h"
+
+namespace sword::workloads {
+namespace {
+
+using namespace hpc;
+using somp::Ctx;
+
+void Hpccg(const WorkloadParams& p) {
+  const int64_t n = static_cast<int64_t>(p.size ? p.size : 20000);
+  const int max_iters = 12;
+
+  // System: A = tridiag(-1, 3.0, -1), b = A * ones -> solution is ones.
+  std::vector<double> x(n, 0.0), b(n), r(n), pvec(n), q(n, 0.0);
+  {
+    std::vector<double> ones(n, 1.0);
+    for (int64_t i = 0; i < n; i++) {
+      double v = 3.0 * ones[i];
+      if (i > 0) v -= 1.0;
+      if (i + 1 < n) v -= 1.0;
+      b[i] = v;
+    }
+  }
+
+  double scratch = 0.0;
+  double normr = 0.0;  // the benign-but-UB shared write target
+
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    // r = b (x starts at 0), p = r.
+    ctx.For(0, n, [&](int64_t i) {
+      const size_t idx = static_cast<size_t>(i);
+      instr::store(r[idx], b[idx]);
+      instr::store(pvec[idx], b[idx]);
+    });
+
+    double rtrans = Dot(ctx, r, r, n, scratch, "cg-dot");
+
+    for (int iter = 0; iter < max_iters; iter++) {
+      TridiagMatVec(ctx, pvec, q, n, 1.0);
+      const double pq = Dot(ctx, pvec, q, n, scratch, "cg-dot");
+      const double alpha = rtrans / pq;
+
+      Axpy(ctx, alpha, pvec, x, n);    // x += alpha p
+      Axpy(ctx, -alpha, q, r, n);      // r -= alpha q
+
+      const double new_rtrans = Dot(ctx, r, r, n, scratch, "cg-dot");
+      const double beta = new_rtrans / rtrans;
+      rtrans = new_rtrans;
+
+      // HPCCG's race: every thread writes the same norm value, unprotected.
+      instr::store(normr, new_rtrans);
+
+      // p = r + beta p.
+      ctx.For(0, n, [&](int64_t i) {
+        const size_t idx = static_cast<size_t>(i);
+        const double pi = instr::load(pvec[idx]);
+        instr::store(pvec[idx], instr::load(r[idx]) + beta * pi);
+      });
+    }
+  });
+
+  // CG on this SPD system converges well within max_iters.
+  double err = 0.0;
+  for (int64_t i = 0; i < n; i++) err += (x[i] - 1.0) * (x[i] - 1.0);
+  assert(err < 1e-6 * static_cast<double>(n));
+  (void)err;
+  (void)normr;
+}
+
+}  // namespace
+
+void RegisterHpccg(WorkloadRegistry& r) {
+  Workload w;
+  w.suite = "hpc";
+  w.name = "HPCCG";
+  w.description = "mini conjugate gradient; one benign-but-UB shared write race";
+  w.documented_races = 1;
+  w.total_races = 1;
+  w.archer_expected = 1;
+  w.run = Hpccg;
+  w.baseline_bytes = [](const WorkloadParams& p) {
+    return (p.size ? p.size : 20000) * 5 * sizeof(double);
+  };
+  w.default_size = 20000;
+  r.Register(std::move(w));
+}
+
+}  // namespace sword::workloads

@@ -1,0 +1,108 @@
+// LULESH-mini: explicit shock-hydrodynamics skeleton; race-free.
+//
+// What matters for the paper's evaluation is LULESH's STRUCTURE, not its
+// physics: it "executes a large number of parallel regions and barriers
+// that significantly increase the number of I/O operations during the log
+// collection phase" (SIV-C) and "generates almost 300,000 independent
+// parallel regions" that blow up SWORD's offline analysis time (Table V).
+// This mini version runs a time-step loop that opens SIX tiny parallel
+// regions per step - scaled down in count, identical in shape: regions
+// dominate, per-region work is small.
+#include <cassert>
+
+#include "workloads/hpc/hpc_common.h"
+
+namespace sword::workloads {
+namespace {
+
+using somp::Ctx;
+
+void Lulesh(const WorkloadParams& p) {
+  // size = number of time steps; elements per mesh kept modest so region
+  // overhead dominates, like the real code's many tiny regions.
+  const int64_t steps = static_cast<int64_t>(p.size ? p.size : 60);
+  const int64_t nelem = 1500;
+  const int64_t nnode = nelem + 1;
+
+  std::vector<double> coord(nnode), vel(nnode, 0.0), accel(nnode, 0.0);
+  std::vector<double> force(nnode, 0.0), energy(nelem, 1.0), pressure(nelem, 0.0);
+  for (int64_t i = 0; i < nnode; i++) coord[i] = static_cast<double>(i);
+  const double dt = 1e-4;
+
+  for (int64_t s = 0; s < steps; s++) {
+    // 1. Element pressure from energy (EOS).
+    somp::Parallel(p.threads, [&](Ctx& ctx) {
+      ctx.For(0, nelem, [&](int64_t e) {
+        const double en = instr::load(energy[static_cast<size_t>(e)]);
+        instr::store(pressure[static_cast<size_t>(e)], 0.4 * en);
+      });
+    });
+    // 2. Nodal forces from element pressures (gather: node reads its two
+    // adjacent elements; writes are node-disjoint).
+    somp::Parallel(p.threads, [&](Ctx& ctx) {
+      ctx.For(0, nnode, [&](int64_t i) {
+        double f = 0.0;
+        if (i > 0) f += instr::load(pressure[static_cast<size_t>(i) - 1]);
+        if (i < nelem) f -= instr::load(pressure[static_cast<size_t>(i)]);
+        instr::store(force[static_cast<size_t>(i)], f);
+      });
+    });
+    // 3. Acceleration.
+    somp::Parallel(p.threads, [&](Ctx& ctx) {
+      ctx.For(0, nnode, [&](int64_t i) {
+        instr::store(accel[static_cast<size_t>(i)],
+                     instr::load(force[static_cast<size_t>(i)]));
+      });
+    });
+    // 4. Velocity update.
+    somp::Parallel(p.threads, [&](Ctx& ctx) {
+      ctx.For(0, nnode, [&](int64_t i) {
+        const double v = instr::load(vel[static_cast<size_t>(i)]);
+        instr::store(vel[static_cast<size_t>(i)],
+                     v + dt * instr::load(accel[static_cast<size_t>(i)]));
+      });
+    });
+    // 5. Position update.
+    somp::Parallel(p.threads, [&](Ctx& ctx) {
+      ctx.For(0, nnode, [&](int64_t i) {
+        const double c = instr::load(coord[static_cast<size_t>(i)]);
+        instr::store(coord[static_cast<size_t>(i)],
+                     c + dt * instr::load(vel[static_cast<size_t>(i)]));
+      });
+    });
+    // 6. Element energy update (work done by nodal motion; element reads
+    // its two nodes, writes itself).
+    somp::Parallel(p.threads, [&](Ctx& ctx) {
+      ctx.For(0, nelem, [&](int64_t e) {
+        const size_t idx = static_cast<size_t>(e);
+        const double dv = instr::load(vel[idx + 1]) - instr::load(vel[idx]);
+        const double en = instr::load(energy[idx]);
+        instr::store(energy[idx],
+                     en - dt * instr::load(pressure[idx]) * dv);
+      });
+    });
+  }
+
+  // Sanity: energies stay finite and positive under this mild forcing.
+  for (int64_t e = 0; e < nelem; e++) assert(energy[e] > 0.0);
+}
+
+}  // namespace
+
+void RegisterLulesh(WorkloadRegistry& r) {
+  Workload w;
+  w.suite = "hpc";
+  w.name = "LULESH";
+  w.description = "hydro skeleton: six tiny regions per step; race-free";
+  w.documented_races = 0;
+  w.total_races = 0;
+  w.archer_expected = 0;
+  w.run = Lulesh;
+  w.baseline_bytes = [](const WorkloadParams&) {
+    return uint64_t{1500 * 6 * sizeof(double)};
+  };
+  w.default_size = 60;  // steps -> 360 parallel regions
+  r.Register(std::move(w));
+}
+
+}  // namespace sword::workloads

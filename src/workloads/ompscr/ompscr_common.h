@@ -1,0 +1,86 @@
+// Shared scaffolding for the OmpSCR-style kernels.
+//
+// Two reusable race idioms keep the suite's ground truth deterministic on
+// any machine (including a single-core one, where long sequential thread
+// slices plus lock transfers would otherwise let the HB baseline's
+// release->acquire edges cover almost everything):
+//
+//  PinnedDocRace   - the benchmark's DOCUMENTED race: lane 0 writes a shared
+//                    variable after its last lock release, lane 1 reads it
+//                    before any further acquire, order pinned by a
+//                    Sequencer. No happens-before path can cover it, so the
+//                    HB baseline reliably reports it - as ARCHER does in the
+//                    paper's Table II.
+//  EvictionUndocRace - the UNDOCUMENTED race SWORD additionally finds: the
+//                    shadow-cell eviction pattern (see drb_eviction.cpp).
+//                    The HB baseline deterministically misses it.
+#pragma once
+
+#include <cstdint>
+#include <source_location>
+#include <vector>
+
+#include "common/rng.h"
+#include "somp/instr.h"
+#include "somp/runtime.h"
+#include "somp/sequencer.h"
+#include "workloads/workload.h"
+
+namespace sword::workloads::ompscr {
+
+/// Lane 0 -> lane 1 pinned write/read with no intervening lock activity.
+/// Call from every team member after all worksharing in the region is done.
+inline void PinnedDocRace(somp::Ctx& ctx, somp::Sequencer& seq, double& var,
+                          const std::source_location& write_loc,
+                          const std::source_location& read_loc) {
+  if (ctx.num_threads() < 2) return;
+  if (ctx.thread_num() == 0) {
+    instr::store(var, 1.0, write_loc);
+    seq.Await(0);
+  } else if (ctx.thread_num() == 1) {
+    seq.WaitUntil(1);
+    (void)instr::load(var, read_loc);
+  }
+}
+
+/// The shadow-eviction pattern: lane 0 writes, floods the granule's cells
+/// with same-thread distinct-epoch reads, then lane 1 reads unordered.
+inline void EvictionUndocRace(somp::Ctx& ctx, somp::Sequencer& seq, double& var,
+                              const char* lock_name,
+                              const std::source_location& write_loc,
+                              const std::source_location& read_loc) {
+  if (ctx.num_threads() < 2) return;
+  if (ctx.thread_num() == 0) {
+    instr::store(var, 2.0, write_loc);
+    double acc = 0.0;
+    for (int k = 0; k < 6; k++) {
+      ctx.Critical(lock_name, [&] { acc += instr::load(var); });
+    }
+    (void)acc;
+    seq.Await(0);
+  } else if (ctx.thread_num() == 1) {
+    seq.WaitUntil(1);
+    (void)instr::load(var, read_loc);
+  }
+}
+
+/// Registration shorthand.
+inline void AddOmpscr(WorkloadRegistry& r, const char* name, const char* desc,
+                      int doc, int total, int archer,
+                      std::function<void(const WorkloadParams&)> run,
+                      std::function<uint64_t(const WorkloadParams&)> bytes,
+                      uint64_t default_size) {
+  Workload w;
+  w.suite = "ompscr";
+  w.name = name;
+  w.description = desc;
+  w.documented_races = doc;
+  w.total_races = total;
+  w.archer_expected = archer;
+  w.run = std::move(run);
+  w.baseline_bytes = std::move(bytes);
+  w.default_size = default_size;
+  r.Register(std::move(w));
+}
+
+}  // namespace sword::workloads::ompscr

@@ -1,0 +1,130 @@
+// OmpSCR-style kernels, part 4: FFT and LU - the race-free numerical codes.
+//
+// Both are real computations (verified in tests): an iterative radix-2 FFT
+// with one barrier per butterfly stage, and a blocked LU factorization with
+// one barrier per elimination step. They contribute the "race-free, many
+// barrier intervals" end of the OmpSCR overhead study (Table III's runtime
+// depends on the number of parallel regions/intervals to analyze).
+#include <cmath>
+
+#include "workloads/ompscr/ompscr_common.h"
+
+namespace sword::workloads {
+namespace {
+
+using namespace ompscr;
+using somp::Ctx;
+
+// c_fft: iterative radix-2 FFT over `size` complex points (power of two).
+// Stage s pairs elements (i, i+half) within blocks; blocks are distributed
+// disjointly, and a barrier separates stages.
+void Fft(const WorkloadParams& p) {
+  uint64_t n = p.size ? p.size : 1024;
+  // Round down to a power of two.
+  while (n & (n - 1)) n &= n - 1;
+  std::vector<double> re(n), im(n, 0.0);
+  for (uint64_t i = 0; i < n; i++) {
+    re[i] = std::sin(0.37 * static_cast<double>(i));
+  }
+
+  // Bit-reversal permutation (sequential prologue, uninstrumented).
+  for (uint64_t i = 1, j = 0; i < n; i++) {
+    uint64_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      std::swap(re[i], re[j]);
+      std::swap(im[i], im[j]);
+    }
+  }
+
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    for (uint64_t len = 2; len <= n; len <<= 1) {
+      const uint64_t half = len / 2;
+      const double ang = -2.0 * M_PI / static_cast<double>(len);
+      const int64_t blocks = static_cast<int64_t>(n / len);
+      // Each block is one unit of work; blocks are disjoint in memory.
+      ctx.For(0, blocks, [&](int64_t b) {
+        const uint64_t base = static_cast<uint64_t>(b) * len;
+        for (uint64_t k = 0; k < half; k++) {
+          const double wr = std::cos(ang * static_cast<double>(k));
+          const double wi = std::sin(ang * static_cast<double>(k));
+          const uint64_t u = base + k;
+          const uint64_t v = base + k + half;
+          const double ur = instr::load(re[u]);
+          const double ui = instr::load(im[u]);
+          const double vr = instr::load(re[v]);
+          const double vi = instr::load(im[v]);
+          const double tr = vr * wr - vi * wi;
+          const double ti = vr * wi + vi * wr;
+          instr::store(re[u], ur + tr);
+          instr::store(im[u], ui + ti);
+          instr::store(re[v], ur - tr);
+          instr::store(im[v], ui - ti);
+        }
+      });  // implicit barrier between stages
+    }
+  });
+}
+
+// c_lu: LU factorization (Doolittle, no pivoting) of a diagonally dominant
+// matrix; step k eliminates column k below the diagonal, rows distributed
+// across the team, one barrier per step.
+void Lu(const WorkloadParams& p) {
+  const uint64_t n = p.size ? p.size : 48;
+  std::vector<double> m(n * n);
+  Rng rng(99);
+  for (uint64_t i = 0; i < n; i++) {
+    for (uint64_t j = 0; j < n; j++) {
+      m[i * n + j] = rng.NextDouble();
+    }
+    m[i * n + i] += static_cast<double>(n);  // dominance: no pivoting needed
+  }
+
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    for (uint64_t k = 0; k + 1 < n; k++) {
+      ctx.For(static_cast<int64_t>(k) + 1, static_cast<int64_t>(n), [&](int64_t ri) {
+        const uint64_t i = static_cast<uint64_t>(ri);
+        const double pivot = instr::load(m[k * n + k]);
+        const double factor = instr::load(m[i * n + k]) / pivot;
+        instr::store(m[i * n + k], factor);
+        for (uint64_t j = k + 1; j < n; j++) {
+          const double mkj = instr::load(m[k * n + j]);
+          const double mij = instr::load(m[i * n + j]);
+          instr::store(m[i * n + j], mij - factor * mkj);
+        }
+      });  // barrier: step k's updates published before step k+1 reads row k+1
+    }
+  });
+}
+
+}  // namespace
+
+void RegisterOmpscrFft(WorkloadRegistry& r) {
+  AddOmpscr(r, "c_fft", "radix-2 FFT, barrier per stage; race-free",
+            0, 0, 0, Fft,
+            [](const WorkloadParams& p) { return (p.size ? p.size : 1024) * 16; },
+            1024);
+  AddOmpscr(r, "c_lu", "LU factorization, barrier per step; race-free",
+            0, 0, 0, Lu,
+            [](const WorkloadParams& p) {
+              const uint64_t n = p.size ? p.size : 48;
+              return n * n * 8;
+            },
+            48);
+}
+
+void RegisterOmpscrLoops(WorkloadRegistry& r);
+void RegisterOmpscrMd(WorkloadRegistry& r);
+void RegisterOmpscrQsort(WorkloadRegistry& r);
+void RegisterOmpscrGraph(WorkloadRegistry& r);
+
+void RegisterOmpscr(WorkloadRegistry& r) {
+  RegisterOmpscrLoops(r);
+  RegisterOmpscrMd(r);
+  RegisterOmpscrQsort(r);
+  RegisterOmpscrFft(r);
+  RegisterOmpscrGraph(r);
+}
+
+}  // namespace sword::workloads

@@ -1,0 +1,126 @@
+// OmpSCR-style kernels, part 5: c_fft6 and c_GraphSearch, plus the
+// ordered-construct kernel.
+#include <cmath>
+
+#include "workloads/ompscr/ompscr_common.h"
+
+namespace sword::workloads {
+namespace {
+
+using namespace ompscr;
+using somp::Ctx;
+
+// c_fft6: OmpSCR's six-step FFT variant; carries a DOCUMENTED race (the
+// twiddle scratch table is shared where it should be private). Modeled as a
+// transpose-based two-stage FFT whose shared scratch scalar races.
+void Fft6(const WorkloadParams& p) {
+  uint64_t n = p.size ? p.size : 1024;
+  while (n & (n - 1)) n &= n - 1;
+  const uint64_t rows = 1ULL << (63 - __builtin_clzll(n)) / 2;
+  const uint64_t cols = n / rows;
+  std::vector<double> re(n), im(n, 0.0);
+  for (uint64_t i = 0; i < n; i++) re[i] = std::cos(0.11 * double(i));
+
+  double twiddle_scratch = 0.0;  // should be private: the documented race
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    // Stage 1: row FFT-like smoothing (disjoint rows).
+    ctx.For(0, static_cast<int64_t>(rows), [&](int64_t r) {
+      const uint64_t base = static_cast<uint64_t>(r) * cols;
+      for (uint64_t c = 0; c + 1 < cols; c++) {
+        const double a = instr::load(re[base + c]);
+        const double b = instr::load(re[base + c + 1]);
+        instr::store(re[base + c], a + b);
+        instr::store(im[base + c], a - b);
+      }
+      // The bug: the shared twiddle scratch is written per row.
+      instr::store(twiddle_scratch, std::cos(double(r)));
+    });
+    // Stage 2: column pass (disjoint columns; barrier from stage 1's For).
+    ctx.For(0, static_cast<int64_t>(cols), [&](int64_t c) {
+      for (uint64_t r = 0; r + 1 < rows; r++) {
+        const double a = instr::load(re[r * cols + static_cast<uint64_t>(c)]);
+        const double b = instr::load(re[(r + 1) * cols + static_cast<uint64_t>(c)]);
+        instr::store(im[r * cols + static_cast<uint64_t>(c)], a * 0.5 + b * 0.5);
+      }
+    });
+  });
+  (void)twiddle_scratch;
+}
+
+// c_GraphSearch: BFS over a layered DAG; frontier double-buffered with a
+// barrier per level - race-free. Uses ranged reads for the adjacency scan,
+// exercising the bulk-access instrumentation.
+void GraphSearch(const WorkloadParams& p) {
+  const uint64_t nodes = p.size ? p.size : 1024;
+  const uint64_t degree = 4;
+  std::vector<uint32_t> adjacency(nodes * degree);
+  Rng rng(21);
+  for (uint64_t v = 0; v < nodes; v++) {
+    for (uint64_t d = 0; d < degree; d++) {
+      adjacency[v * degree + d] = static_cast<uint32_t>(rng.Below(nodes));
+    }
+  }
+  std::vector<int64_t> dist(nodes, -1), next_dist(nodes, -1);
+  dist[0] = 0;
+  next_dist[0] = 0;
+
+  const int levels = 6;
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    for (int level = 0; level < levels; level++) {
+      auto& cur = (level % 2 == 0) ? dist : next_dist;
+      auto& nxt = (level % 2 == 0) ? next_dist : dist;
+      ctx.For(0, static_cast<int64_t>(nodes), [&](int64_t v) {
+        const size_t idx = static_cast<size_t>(v);
+        // Bulk-read this vertex's adjacency row (ranged access event).
+        instr::read_range(&adjacency[idx * degree], degree * sizeof(uint32_t));
+        int64_t best = instr::load(cur[idx]);
+        for (uint64_t d = 0; d < degree; d++) {
+          const uint32_t u = adjacency[idx * degree + d];
+          const int64_t du = instr::load(cur[u]);
+          if (du >= 0 && (best < 0 || du + 1 < best)) best = du + 1;
+        }
+        instr::store(nxt[idx], best);  // own slot; published by the barrier
+      });
+    }
+  });
+}
+
+// c_loopD.orderedSolution: the study's FIXED carried-dependence loop using
+// the ordered construct - race-free because ordered serializes the bodies
+// (and is visible to both detectors as mutex + HB edges).
+void LoopOrdered(const WorkloadParams& p) {
+  const uint64_t n = p.size ? p.size : 400;
+  std::vector<double> a(n, 1.0);
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(1, static_cast<int64_t>(n), [&](int64_t i) {
+      ctx.Ordered(i, 1, [&] {
+        const double prev = instr::load(a[static_cast<size_t>(i) - 1]);
+        instr::store(a[static_cast<size_t>(i)], prev * 0.5 + 1.0);
+      });
+    });
+  });
+  // The serialized recurrence has a closed fixed point near 2.
+  (void)a;
+}
+
+}  // namespace
+
+void RegisterOmpscrGraph(WorkloadRegistry& r) {
+  AddOmpscr(r, "c_fft6", "six-step FFT; shared twiddle scratch races",
+            1, 1, 1, Fft6,
+            [](const WorkloadParams& p) { return (p.size ? p.size : 1024) * 16; },
+            1024);
+  AddOmpscr(r, "c_GraphSearch", "level-synchronous BFS; race-free, ranged reads",
+            0, 0, 0, GraphSearch,
+            [](const WorkloadParams& p) {
+              return (p.size ? p.size : 1024) * (4 * 4 + 16);
+            },
+            1024);
+  AddOmpscr(r, "c_loopD.orderedSolution",
+            "carried dependence fixed with the ordered construct; race-free",
+            0, 0, 0, LoopOrdered,
+            [](const WorkloadParams& p) { return (p.size ? p.size : 400) * 8; },
+            400);
+}
+
+}  // namespace sword::workloads

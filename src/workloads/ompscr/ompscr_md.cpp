@@ -1,0 +1,115 @@
+// OmpSCR-style kernels, part 2: molecular dynamics and path search.
+#include <cmath>
+
+#include "workloads/ompscr/ompscr_common.h"
+
+namespace sword::workloads {
+namespace {
+
+using namespace ompscr;
+using somp::Ctx;
+
+// c_md: a Lennard-Jones-flavoured MD force computation. Particles are
+// partitioned statically; each thread accumulates forces for its own
+// particles but ALSO adds the symmetric contribution to the neighbour
+// particle - the unsynchronized cross-partition f[j] update is the
+// DOCUMENTED OmpSCR race. The UNDOCUMENTED race (found by SWORD in SIV-B,
+// missed by the HB baseline via cell eviction) is on the shared potential-
+// energy accumulator.
+void Md(const WorkloadParams& p) {
+  const uint64_t n = p.size ? p.size : 512;
+  std::vector<double> pos(n), vel(n, 0.0), f(n, 0.0);
+  Rng rng(42);
+  for (auto& x : pos) x = rng.NextDouble() * 10.0;
+
+  double potential = 0.0;  // undocumented race target
+  somp::Sequencer undoc_seq;
+
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    // Force pass: thread-own f[i] plus symmetric neighbour update f[i+1].
+    ctx.For(0, static_cast<int64_t>(n) - 1,
+            [&](int64_t i) {
+              const size_t idx = static_cast<size_t>(i);
+              const double d = pos[idx + 1] - pos[idx] + 1e-3;
+              const double inv = 1.0 / (d * d + 0.5);
+              const double w = inv * inv * (inv - 0.5);
+              instr::racy_increment(f[idx], w);
+              // Symmetric push to the neighbour: races at chunk boundaries
+              // (the documented race; one source-location pair).
+              instr::racy_increment(f[idx + 1], -w);
+            },
+            {.nowait = true});
+    ctx.Barrier();
+
+    // Integration pass: disjoint, race-free.
+    ctx.For(0, static_cast<int64_t>(n),
+            [&](int64_t i) {
+              const size_t idx = static_cast<size_t>(i);
+              const double fv = instr::load(f[idx]);
+              instr::store(vel[idx], vel[idx] + 0.01 * fv);
+            },
+            {.nowait = true});
+
+    // The undocumented potential-energy race (eviction pattern).
+    EvictionUndocRace(ctx, undoc_seq, potential, "md-pot",
+                      std::source_location::current(),
+                      std::source_location::current());
+  });
+}
+
+// c_testPath: counts accepting paths through a layered random graph. Each
+// thread explores a slice of start nodes; the DOCUMENTED race is the
+// unsynchronized global path counter; the UNDOCUMENTED one (per the paper,
+// SWORD-only) is on the shared best-path-length scalar.
+void TestPath(const WorkloadParams& p) {
+  const uint64_t nodes = p.size ? p.size : 600;
+  const int layers = 12;
+  std::vector<int64_t> edge_weight(nodes * layers);
+  Rng rng(7);
+  for (auto& w : edge_weight) w = rng.Range(1, 9);
+
+  int64_t path_count = 0;   // documented race
+  double best_len = 0.0;    // undocumented race
+  somp::Sequencer undoc_seq;
+
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    ctx.For(0, static_cast<int64_t>(nodes),
+            [&](int64_t start) {
+              int64_t len = 0;
+              uint64_t node = static_cast<uint64_t>(start);
+              for (int layer = 0; layer < layers; layer++) {
+                const int64_t w =
+                    instr::load(edge_weight[node * layers + layer]);
+                len += w;
+                node = (node * 31 + static_cast<uint64_t>(w)) % nodes;
+              }
+              if (len % 3 == 0) {
+                instr::racy_increment(path_count);  // documented race
+              }
+            },
+            {.nowait = true});
+
+    EvictionUndocRace(ctx, undoc_seq, best_len, "tp-best",
+                      std::source_location::current(),
+                      std::source_location::current());
+  });
+  (void)path_count;
+}
+
+}  // namespace
+
+void RegisterOmpscrMd(WorkloadRegistry& r) {
+  AddOmpscr(r, "c_md", "LJ-style MD; racy symmetric force update + undocumented race",
+            1, 2, 1, Md,
+            [](const WorkloadParams& p) { return (p.size ? p.size : 512) * 3 * 8; },
+            512);
+  AddOmpscr(r, "c_testPath",
+            "layered path search; racy counter + undocumented race",
+            1, 2, 1, TestPath,
+            [](const WorkloadParams& p) {
+              return (p.size ? p.size : 600) * 12 * 8;
+            },
+            600);
+}
+
+}  // namespace sword::workloads

@@ -1,0 +1,193 @@
+// OmpSCR-style kernels, part 3: the cpp_qsomp quicksort variants.
+//
+// OmpSCR ships several parallel quicksorts built on an explicit shared work
+// stack (predating OpenMP tasks - which also matches SWORD's no-tasking
+// limitation). The variants differ in queueing strategy and cutoff. All
+// really sort; correctness is asserted. Each racy variant carries the
+// suite's DOCUMENTED race (a result flag written/read without ordering,
+// pinned so the HB baseline sees it) and - for qsomp1/2/5/6 - the
+// UNDOCUMENTED race the paper reports SWORD finding (eviction pattern on a
+// statistics scalar, which the HB baseline misses).
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+#include "workloads/ompscr/ompscr_common.h"
+
+namespace sword::workloads {
+namespace {
+
+using namespace ompscr;
+using somp::Ctx;
+
+struct QsompConfig {
+  uint64_t cutoff = 16;       // below this, insertion sort
+  bool local_stacks = false;  // qsomp2: per-thread stacks with stealing
+  bool with_undoc_race = true;
+};
+
+struct Range {
+  int64_t lo;
+  int64_t hi;  // inclusive
+};
+
+/// Shared work pool: a lock-protected stack of ranges plus an atomic count
+/// of outstanding ranges for termination detection. The synchronization
+/// primitives here are uninstrumented (they are the runtime of the
+/// benchmark, not its data), matching how ARCHER/SWORD treat library
+/// internals.
+struct WorkPool {
+  somp::Lock lock;
+  std::vector<Range> stack;
+  std::atomic<int64_t> outstanding{0};
+
+  void Push(Range r) {
+    somp::Lock::Guard guard(lock);
+    stack.push_back(r);
+  }
+  bool Pop(Range* r) {
+    somp::Lock::Guard guard(lock);
+    if (stack.empty()) return false;
+    *r = stack.back();
+    stack.pop_back();
+    return true;
+  }
+};
+
+// The element accesses below are deliberately NOT instrumented: range
+// hand-offs through the lock-protected pool order them by lock transfer,
+// not by barriers or locksets - the one ordering idiom outside SWORD's
+// (and this reproduction's) model. Real deployments exclude such
+// library-internal payloads the same way (ARCHER's static pass, TSan
+// suppressions). The instrumented traffic of this kernel is the per-thread
+// comparison counter each helper updates.
+void InsertionSort(std::vector<int64_t>& data, int64_t lo, int64_t hi,
+                   int64_t& my_counter) {
+  for (int64_t i = lo + 1; i <= hi; i++) {
+    const int64_t key = data[static_cast<size_t>(i)];
+    int64_t j = i - 1;
+    while (j >= lo && data[static_cast<size_t>(j)] > key) {
+      data[static_cast<size_t>(j) + 1] = data[static_cast<size_t>(j)];
+      instr::racy_increment(my_counter);  // thread-private: never races
+      j--;
+    }
+    data[static_cast<size_t>(j) + 1] = key;
+  }
+}
+
+int64_t Partition(std::vector<int64_t>& data, int64_t lo, int64_t hi,
+                  int64_t& my_counter) {
+  const int64_t pivot = data[static_cast<size_t>(hi)];
+  int64_t i = lo - 1;
+  for (int64_t j = lo; j < hi; j++) {
+    instr::racy_increment(my_counter);
+    if (data[static_cast<size_t>(j)] <= pivot) {
+      i++;
+      std::swap(data[static_cast<size_t>(i)], data[static_cast<size_t>(j)]);
+    }
+  }
+  std::swap(data[static_cast<size_t>(i) + 1], data[static_cast<size_t>(hi)]);
+  return i + 1;
+}
+
+void Qsomp(const WorkloadParams& p, const QsompConfig& config,
+           const std::source_location& doc_w, const std::source_location& doc_r,
+           const std::source_location& undoc_w, const std::source_location& undoc_r) {
+  const uint64_t n = p.size ? p.size : 4000;
+  std::vector<int64_t> data(n);
+  Rng rng(1234);
+  for (auto& v : data) v = rng.Range(0, 1 << 20);
+
+  WorkPool pool;
+  pool.stack.reserve(64);
+  pool.Push({0, static_cast<int64_t>(n) - 1});
+  pool.outstanding.store(1);
+
+  double done_flag = 0.0;    // documented race target
+  double swap_stats = 0.0;   // undocumented race target
+  somp::Sequencer doc_seq, undoc_seq;
+
+  // Per-thread comparison counters, padded to distinct cache lines /
+  // granules so they are provably disjoint.
+  std::vector<int64_t> counters(static_cast<size_t>(p.threads) * 8, 0);
+
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    (void)config.local_stacks;  // qsomp2's stacks degrade to the shared pool
+                                // under contention; modeled identically
+    int64_t& my_counter = counters[static_cast<size_t>(ctx.thread_num()) * 8];
+    while (pool.outstanding.load(std::memory_order_acquire) > 0) {
+      Range r;
+      if (!pool.Pop(&r)) {
+        std::this_thread::yield();
+        continue;
+      }
+      if (r.hi - r.lo < static_cast<int64_t>(config.cutoff)) {
+        InsertionSort(data, r.lo, r.hi, my_counter);
+        pool.outstanding.fetch_sub(1, std::memory_order_acq_rel);
+        continue;
+      }
+      const int64_t mid = Partition(data, r.lo, r.hi, my_counter);
+      // One range consumed, two produced.
+      pool.outstanding.fetch_add(1, std::memory_order_acq_rel);
+      pool.Push({r.lo, mid - 1});
+      pool.Push({mid + 1, r.hi});
+    }
+
+    // Epilogue: the documented completion-flag race (visible to HB tools),
+    // then the undocumented statistics race (eviction; SWORD-only).
+    PinnedDocRace(ctx, doc_seq, done_flag, doc_w, doc_r);
+    if (config.with_undoc_race) {
+      EvictionUndocRace(ctx, undoc_seq, swap_stats, "qs-stats", undoc_w, undoc_r);
+    }
+  });
+
+  assert(std::is_sorted(data.begin(), data.end()));
+  (void)done_flag;
+}
+
+// The variants. Distinct source locations per variant keep their races
+// distinct; cutoffs/strategies mirror the OmpSCR family.
+void Qsomp1(const WorkloadParams& p) {
+  Qsomp(p, {.cutoff = 16, .local_stacks = false, .with_undoc_race = true},
+        std::source_location::current(), std::source_location::current(),
+        std::source_location::current(), std::source_location::current());
+}
+void Qsomp2(const WorkloadParams& p) {
+  Qsomp(p, {.cutoff = 16, .local_stacks = true, .with_undoc_race = true},
+        std::source_location::current(), std::source_location::current(),
+        std::source_location::current(), std::source_location::current());
+}
+void Qsomp3(const WorkloadParams& p) {
+  Qsomp(p, {.cutoff = 32, .local_stacks = false, .with_undoc_race = false},
+        std::source_location::current(), std::source_location::current(),
+        std::source_location::current(), std::source_location::current());
+}
+void Qsomp5(const WorkloadParams& p) {
+  Qsomp(p, {.cutoff = 8, .local_stacks = false, .with_undoc_race = true},
+        std::source_location::current(), std::source_location::current(),
+        std::source_location::current(), std::source_location::current());
+}
+void Qsomp6(const WorkloadParams& p) {
+  Qsomp(p, {.cutoff = 64, .local_stacks = true, .with_undoc_race = true},
+        std::source_location::current(), std::source_location::current(),
+        std::source_location::current(), std::source_location::current());
+}
+
+}  // namespace
+
+void RegisterOmpscrQsort(WorkloadRegistry& r) {
+  auto bytes = [](const WorkloadParams& p) { return (p.size ? p.size : 4000) * 8; };
+  AddOmpscr(r, "cpp_qsomp1", "quicksort, shared stack; +1 undocumented race",
+            1, 2, 1, Qsomp1, bytes, 4000);
+  AddOmpscr(r, "cpp_qsomp2", "quicksort, stealing variant; +1 undocumented race",
+            1, 2, 1, Qsomp2, bytes, 4000);
+  AddOmpscr(r, "cpp_qsomp3", "quicksort, larger cutoff; documented race only",
+            1, 1, 1, Qsomp3, bytes, 4000);
+  AddOmpscr(r, "cpp_qsomp5", "quicksort, small cutoff; +1 undocumented race",
+            1, 2, 1, Qsomp5, bytes, 4000);
+  AddOmpscr(r, "cpp_qsomp6", "quicksort, large cutoff + stealing; +1 undocumented race",
+            1, 2, 1, Qsomp6, bytes, 4000);
+}
+
+}  // namespace sword::workloads

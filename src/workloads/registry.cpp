@@ -1,0 +1,45 @@
+#include "workloads/workload.h"
+
+#include <mutex>
+
+namespace sword::workloads {
+
+WorkloadRegistry& WorkloadRegistry::Get() {
+  static WorkloadRegistry* registry = [] {
+    auto* r = new WorkloadRegistry();
+    RegisterDrb(*r);
+    RegisterOmpscr(*r);
+    RegisterHpc(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void WorkloadRegistry::Register(Workload workload) {
+  workloads_.push_back(std::move(workload));
+}
+
+const Workload* WorkloadRegistry::Find(const std::string& suite,
+                                       const std::string& name) const {
+  for (const auto& w : workloads_) {
+    if (w.suite == suite && w.name == name) return &w;
+  }
+  return nullptr;
+}
+
+std::vector<const Workload*> WorkloadRegistry::BySuite(const std::string& suite) const {
+  std::vector<const Workload*> out;
+  for (const auto& w : workloads_) {
+    if (w.suite == suite) out.push_back(&w);
+  }
+  return out;
+}
+
+std::vector<const Workload*> WorkloadRegistry::All() const {
+  std::vector<const Workload*> out;
+  out.reserve(workloads_.size());
+  for (const auto& w : workloads_) out.push_back(&w);
+  return out;
+}
+
+}  // namespace sword::workloads

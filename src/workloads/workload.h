@@ -1,0 +1,76 @@
+// Workload framework: every benchmark program the paper evaluates on is
+// registered here with its ground truth, so detectors can be scored
+// mechanically (the methodology of DataRaceBench / the paper's SIV).
+//
+// Suites:
+//   "drb"    - DataRaceBench-style microkernels, one known property each
+//              (racy kernels end in "-yes", race-free in "-no");
+//   "ompscr" - OmpSCR-style application kernels (md, quicksorts, fft, ...)
+//              with documented and UNdocumented real races;
+//   "hpc"    - mini HPC apps (hpccg, minife, lulesh, amg) for the
+//              performance/memory evaluation.
+//
+// Ground truth per workload:
+//   documented_races - races the original suite authors documented;
+//   total_races      - real distinct races (pc pairs), including the
+//                      undocumented ones the paper reports SWORD finding;
+//   archer_expected  - races the HB baseline is expected to catch given its
+//                      eviction/masking blind spots (paper Tables II/IV).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sword::workloads {
+
+struct WorkloadParams {
+  uint32_t threads = 8;
+  uint64_t size = 0;  // problem-size knob; 0 = workload default
+};
+
+struct Workload {
+  std::string suite;
+  std::string name;
+  std::string description;
+
+  int documented_races = 0;
+  int total_races = 0;
+  int archer_expected = 0;
+
+  /// Runs the workload under whatever Tool is configured on the somp
+  /// runtime. Must be deterministic given params.
+  std::function<void(const WorkloadParams&)> run;
+
+  /// Application data footprint in bytes for the given params (the
+  /// "baseline" of the memory-overhead figures).
+  std::function<uint64_t(const WorkloadParams&)> baseline_bytes;
+
+  uint64_t default_size = 0;
+
+  bool racy() const { return total_races > 0; }
+};
+
+class WorkloadRegistry {
+ public:
+  /// The process-wide registry; all suites are registered on first use.
+  static WorkloadRegistry& Get();
+
+  void Register(Workload workload);
+
+  const Workload* Find(const std::string& suite, const std::string& name) const;
+  std::vector<const Workload*> BySuite(const std::string& suite) const;
+  std::vector<const Workload*> All() const;
+
+ private:
+  WorkloadRegistry() = default;
+  std::vector<Workload> workloads_;
+};
+
+// Suite registration hooks (called once by WorkloadRegistry::Get).
+void RegisterDrb(WorkloadRegistry& registry);
+void RegisterOmpscr(WorkloadRegistry& registry);
+void RegisterHpc(WorkloadRegistry& registry);
+
+}  // namespace sword::workloads

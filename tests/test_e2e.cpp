@@ -1,0 +1,71 @@
+// End-to-end pipeline tests: workload -> trace collection -> offline
+// analysis, and workload -> HB baseline, checking the paper's headline
+// detection behaviours on a few canonical kernels.
+#include <gtest/gtest.h>
+
+#include "harness/harness.h"
+#include "workloads/workload.h"
+
+namespace sword {
+namespace {
+
+using harness::RunConfig;
+using harness::RunResult;
+using harness::RunWorkload;
+using harness::ToolKind;
+using workloads::WorkloadRegistry;
+
+RunResult RunOne(const std::string& suite, const std::string& name, ToolKind tool,
+              uint32_t threads = 4) {
+  const workloads::Workload* w = WorkloadRegistry::Get().Find(suite, name);
+  EXPECT_NE(w, nullptr) << suite << "/" << name;
+  RunConfig config;
+  config.tool = tool;
+  config.params.threads = threads;
+  return RunWorkload(*w, config);
+}
+
+TEST(EndToEnd, TrueDepDetectedByBoth) {
+  const RunResult sword = RunOne("drb", "truedep1-orig-yes", ToolKind::kSword);
+  ASSERT_TRUE(sword.status.ok()) << sword.status.ToString();
+  EXPECT_EQ(sword.races, 1u);
+
+  const RunResult archer = RunOne("drb", "truedep1-orig-yes", ToolKind::kArcher);
+  ASSERT_TRUE(archer.status.ok()) << archer.status.ToString();
+  EXPECT_EQ(archer.races, 1u);
+}
+
+TEST(EndToEnd, CleanKernelNoFalseAlarms) {
+  const RunResult sword = RunOne("drb", "indep-loop-no", ToolKind::kSword);
+  ASSERT_TRUE(sword.status.ok()) << sword.status.ToString();
+  EXPECT_EQ(sword.races, 0u);
+
+  const RunResult archer = RunOne("drb", "indep-loop-no", ToolKind::kArcher);
+  EXPECT_EQ(archer.races, 0u);
+}
+
+TEST(EndToEnd, EvictionMakesArcherMissAndSwordCatch) {
+  const RunResult sword = RunOne("drb", "nowait-orig-yes", ToolKind::kSword);
+  ASSERT_TRUE(sword.status.ok()) << sword.status.ToString();
+  EXPECT_EQ(sword.races, 1u);
+
+  const RunResult archer = RunOne("drb", "nowait-orig-yes", ToolKind::kArcher);
+  EXPECT_EQ(archer.races, 0u);
+}
+
+TEST(EndToEnd, HbMaskingScheduleDependence) {
+  EXPECT_EQ(RunOne("drb", "fig1-schedule-a-yes", ToolKind::kArcher).races, 1u);
+  EXPECT_EQ(RunOne("drb", "fig1-schedule-b-yes", ToolKind::kArcher).races, 0u);
+  EXPECT_EQ(RunOne("drb", "fig1-schedule-a-yes", ToolKind::kSword).races, 1u);
+  EXPECT_EQ(RunOne("drb", "fig1-schedule-b-yes", ToolKind::kSword).races, 1u);
+}
+
+TEST(EndToEnd, BaselineRunsWithoutTool) {
+  const RunResult r = RunOne("drb", "plusplus-orig-yes", ToolKind::kBaseline);
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_GT(r.dynamic_seconds, 0.0);
+  EXPECT_EQ(r.races, 0u);
+}
+
+}  // namespace
+}  // namespace sword

@@ -1,0 +1,100 @@
+// Detection + behaviour tests for the mini HPC applications (paper SIV-C,
+// Table IV): HPCCG's single benign-but-UB race, miniFE/LULESH clean, AMG's
+// 14 races of which the HB baseline sees only 4, and the OOM behaviour under
+// a memory cap.
+#include <gtest/gtest.h>
+
+#include "harness/harness.h"
+#include "workloads/workload.h"
+
+namespace sword {
+namespace {
+
+using harness::RunConfig;
+using harness::RunResult;
+using harness::RunWorkload;
+using harness::ToolKind;
+using workloads::Workload;
+using workloads::WorkloadRegistry;
+
+RunResult RunHpc(const std::string& name, ToolKind tool, uint64_t size = 0,
+                 uint64_t archer_cap = 0) {
+  const Workload* w = WorkloadRegistry::Get().Find("hpc", name);
+  EXPECT_NE(w, nullptr) << name;
+  RunConfig config;
+  config.tool = tool;
+  config.params.threads = 8;
+  config.params.size = size;
+  config.archer_memory_cap = archer_cap;
+  return RunWorkload(*w, config);
+}
+
+TEST(HpcDetection, HpccgHasTheOneBenignRace) {
+  const RunResult sword = RunHpc("HPCCG", ToolKind::kSword, 4000);
+  ASSERT_TRUE(sword.status.ok()) << sword.status.ToString();
+  EXPECT_EQ(sword.races, 1u);
+
+  const RunResult archer = RunHpc("HPCCG", ToolKind::kArcher, 4000);
+  EXPECT_EQ(archer.races, 1u);
+}
+
+TEST(HpcDetection, MiniFeIsRaceFree) {
+  const RunResult sword = RunHpc("miniFE", ToolKind::kSword, 3000);
+  ASSERT_TRUE(sword.status.ok()) << sword.status.ToString();
+  EXPECT_EQ(sword.races, 0u);
+  EXPECT_EQ(RunHpc("miniFE", ToolKind::kArcher, 3000).races, 0u);
+}
+
+TEST(HpcDetection, LuleshIsRaceFree) {
+  const RunResult sword = RunHpc("LULESH", ToolKind::kSword, 15);
+  ASSERT_TRUE(sword.status.ok()) << sword.status.ToString();
+  EXPECT_EQ(sword.races, 0u);
+  EXPECT_EQ(RunHpc("LULESH", ToolKind::kArcher, 15).races, 0u);
+}
+
+TEST(HpcDetection, AmgSwordFindsAll14ArcherOnly4) {
+  const RunResult sword = RunHpc("AMG2013_10", ToolKind::kSword);
+  ASSERT_TRUE(sword.status.ok()) << sword.status.ToString();
+  EXPECT_EQ(sword.races, 14u);
+
+  const RunResult archer = RunHpc("AMG2013_10", ToolKind::kArcher);
+  EXPECT_EQ(archer.races, 4u);
+  EXPECT_FALSE(archer.oom);
+}
+
+TEST(HpcDetection, ArcherOomsUnderMemoryCapSwordDoesNot) {
+  // A cap far below AMG_20's shadow footprint: the HB run dies with OOM.
+  const RunResult archer =
+      RunHpc("AMG2013_20", ToolKind::kArcher, 0, /*cap=*/256 * 1024);
+  EXPECT_TRUE(archer.oom);
+  EXPECT_EQ(archer.status.code(), ErrorCode::kOutOfMemory);
+
+  // SWORD's bounded collection is unaffected by application size.
+  const RunResult sword = RunHpc("AMG2013_20", ToolKind::kSword);
+  ASSERT_TRUE(sword.status.ok()) << sword.status.ToString();
+  EXPECT_EQ(sword.races, 14u);
+}
+
+TEST(HpcBehaviour, SwordMemoryIsPerThreadBounded) {
+  const RunResult small = RunHpc("AMG2013_10", ToolKind::kSword);
+  const RunResult large = RunHpc("AMG2013_20", ToolKind::kSword);
+  ASSERT_TRUE(small.status.ok());
+  ASSERT_TRUE(large.status.ok());
+  // An 8x bigger problem must not change SWORD's collection memory.
+  EXPECT_EQ(small.tool_peak_bytes, large.tool_peak_bytes);
+  // ... while the HB baseline's shadow grows with the problem.
+  const RunResult archer_small = RunHpc("AMG2013_10", ToolKind::kArcher);
+  const RunResult archer_large = RunHpc("AMG2013_20", ToolKind::kArcher);
+  EXPECT_GT(archer_large.tool_peak_bytes, 4 * archer_small.tool_peak_bytes);
+}
+
+TEST(HpcBehaviour, ArcherLowUsesLessMemoryThanArcher) {
+  const RunResult archer = RunHpc("LULESH", ToolKind::kArcher, 15);
+  const RunResult low = RunHpc("LULESH", ToolKind::kArcherLow, 15);
+  // Flushing between regions strictly reduces PEAK shadow residency for a
+  // many-region workload.
+  EXPECT_LT(low.tool_peak_bytes, archer.tool_peak_bytes);
+}
+
+}  // namespace
+}  // namespace sword

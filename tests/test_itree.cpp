@@ -1,0 +1,255 @@
+// Tests for src/itree: mutex-set interning, red-black interval tree
+// invariants under randomized insertion, strided-run summarization, and
+// range-query correctness against a naive oracle.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "itree/interval_tree.h"
+#include "itree/mutexset.h"
+
+namespace sword::itree {
+namespace {
+
+TEST(MutexSet, EmptySetIsIdZero) {
+  MutexSetTable table;
+  EXPECT_EQ(table.Intern({}), kEmptyMutexSet);
+  EXPECT_TRUE(table.Get(kEmptyMutexSet).empty());
+}
+
+TEST(MutexSet, InterningDedupsAndNormalizes) {
+  MutexSetTable table;
+  const MutexSetId a = table.Intern({3, 1, 2});
+  const MutexSetId b = table.Intern({1, 2, 3});
+  const MutexSetId c = table.Intern({2, 1, 1, 3, 3});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(table.Get(a), (std::vector<MutexId>{1, 2, 3}));
+}
+
+TEST(MutexSet, WithAndWithout) {
+  MutexSetTable table;
+  const MutexSetId s1 = table.WithMutex(kEmptyMutexSet, 7);
+  const MutexSetId s2 = table.WithMutex(s1, 9);
+  EXPECT_EQ(table.Get(s2), (std::vector<MutexId>{7, 9}));
+  const MutexSetId s3 = table.WithoutMutex(s2, 7);
+  EXPECT_EQ(table.Get(s3), (std::vector<MutexId>{9}));
+  EXPECT_EQ(table.WithoutMutex(s3, 9), kEmptyMutexSet);
+}
+
+TEST(MutexSet, Intersection) {
+  MutexSetTable table;
+  const MutexSetId ab = table.Intern({1, 2});
+  const MutexSetId bc = table.Intern({2, 3});
+  const MutexSetId cd = table.Intern({3, 4});
+  EXPECT_TRUE(table.Intersects(ab, bc));
+  EXPECT_TRUE(table.Intersects(bc, cd));
+  EXPECT_FALSE(table.Intersects(ab, cd));
+  EXPECT_FALSE(table.Intersects(ab, kEmptyMutexSet));
+  EXPECT_TRUE(table.Intersects(ab, ab));
+  // Repeat to exercise the memo cache.
+  EXPECT_TRUE(table.Intersects(ab, bc));
+  EXPECT_FALSE(table.Intersects(cd, ab));
+}
+
+AccessKey Key(uint32_t pc, uint8_t flags = kWrite, uint8_t size = 8,
+              MutexSetId ms = kEmptyMutexSet) {
+  AccessKey k;
+  k.pc = pc;
+  k.flags = flags;
+  k.size = size;
+  k.mutexset = ms;
+  return k;
+}
+
+TEST(IntervalTree, EmptyTreeValidates) {
+  IntervalTree tree;
+  EXPECT_TRUE(tree.Validate());
+  EXPECT_TRUE(tree.Empty());
+}
+
+TEST(IntervalTree, ContiguousWalkSummarizesToOneNode) {
+  IntervalTree tree;
+  const AccessKey key = Key(1);
+  for (uint64_t i = 0; i < 100; i++) tree.AddAccess(1000 + i * 8, key);
+  EXPECT_EQ(tree.NodeCount(), 1u);
+  EXPECT_EQ(tree.TotalAccesses(), 100u);
+  tree.ForEach([&](const AccessNode& n) {
+    EXPECT_EQ(n.interval.base, 1000u);
+    EXPECT_EQ(n.interval.stride, 8u);
+    EXPECT_EQ(n.interval.count, 100u);
+    EXPECT_EQ(n.hits, 100u);
+  });
+  EXPECT_TRUE(tree.Validate());
+}
+
+TEST(IntervalTree, ArbitraryStrideWalkSummarizes) {
+  IntervalTree tree;
+  const AccessKey key = Key(2, kRead, 4);
+  for (uint64_t i = 0; i < 50; i++) tree.AddAccess(2000 + i * 24, key);
+  EXPECT_EQ(tree.NodeCount(), 1u);
+  tree.ForEach([&](const AccessNode& n) { EXPECT_EQ(n.interval.stride, 24u); });
+}
+
+TEST(IntervalTree, RepeatedScalarAccessFoldsIntoHits) {
+  IntervalTree tree;
+  const AccessKey key = Key(3);
+  for (int i = 0; i < 1000; i++) tree.AddAccess(4096, key);
+  EXPECT_EQ(tree.NodeCount(), 1u);
+  tree.ForEach([&](const AccessNode& n) {
+    EXPECT_EQ(n.interval.count, 1u);
+    EXPECT_EQ(n.hits, 1000u);
+  });
+}
+
+TEST(IntervalTree, DifferentKeysDoNotMerge) {
+  IntervalTree tree;
+  tree.AddAccess(100, Key(1, kWrite));
+  tree.AddAccess(108, Key(2, kWrite));           // different pc
+  tree.AddAccess(116, Key(1, kRead));            // different op
+  tree.AddAccess(124, Key(1, kWrite, 4));        // different size
+  EXPECT_EQ(tree.NodeCount(), 4u);
+  EXPECT_TRUE(tree.Validate());
+}
+
+TEST(IntervalTree, InterruptedRunsSplit) {
+  IntervalTree tree;
+  const AccessKey a = Key(1);
+  const AccessKey b = Key(2);
+  // a-run interrupted by b-accesses still extends (per-key continuations).
+  tree.AddAccess(1000, a);
+  tree.AddAccess(5000, b);
+  tree.AddAccess(1008, a);
+  tree.AddAccess(5008, b);
+  tree.AddAccess(1016, a);
+  EXPECT_EQ(tree.NodeCount(), 2u);
+  uint64_t max_count = 0;
+  tree.ForEach([&](const AccessNode& n) {
+    max_count = std::max(max_count, n.interval.count);
+  });
+  EXPECT_EQ(max_count, 3u);
+}
+
+TEST(IntervalTree, RandomizedStructuralInvariants) {
+  Rng rng(606);
+  IntervalTree tree;
+  for (int i = 0; i < 5000; i++) {
+    const AccessKey key = Key(static_cast<uint32_t>(rng.Below(5)),
+                              rng.Chance(0.5) ? kWrite : kRead,
+                              static_cast<uint8_t>(1 + rng.Below(8)));
+    tree.AddAccess(10000 + rng.Below(4000), key);
+    if (i % 512 == 0) {
+      std::string why;
+      ASSERT_TRUE(tree.Validate(&why)) << why << " at insert " << i;
+    }
+  }
+  std::string why;
+  EXPECT_TRUE(tree.Validate(&why)) << why;
+  EXPECT_EQ(tree.TotalAccesses(), 5000u);
+}
+
+TEST(IntervalTree, QueryRangeMatchesNaiveOracle) {
+  Rng rng(707);
+  IntervalTree tree;
+  std::vector<ilp::StridedInterval> inserted;
+  for (int i = 0; i < 400; i++) {
+    ilp::StridedInterval iv;
+    iv.base = 100000 + rng.Below(10000);
+    iv.stride = 8;
+    iv.count = 1 + rng.Below(20);
+    iv.size = 8;
+    tree.AddInterval(iv, Key(static_cast<uint32_t>(i)));
+    inserted.push_back(iv);
+  }
+  ASSERT_TRUE(tree.Validate());
+
+  for (int q = 0; q < 200; q++) {
+    const uint64_t lo = 100000 + rng.Below(10000);
+    const uint64_t hi = lo + rng.Below(500);
+    std::multiset<uint64_t> expected;
+    for (const auto& iv : inserted) {
+      if (iv.lo() <= hi && iv.hi() >= lo) expected.insert(iv.base);
+    }
+    std::multiset<uint64_t> actual;
+    tree.QueryRange(lo, hi, [&](const AccessNode& n) {
+      actual.insert(n.interval.base);
+      return true;
+    });
+    EXPECT_EQ(actual, expected) << "query [" << lo << "," << hi << "]";
+  }
+}
+
+TEST(IntervalTree, QueryEarlyExit) {
+  IntervalTree tree;
+  for (uint64_t i = 0; i < 50; i++) {
+    tree.AddInterval({1000 + i, 0, 1, 1}, Key(static_cast<uint32_t>(i)));
+  }
+  int visits = 0;
+  tree.QueryRange(0, 1 << 20, [&](const AccessNode&) {
+    visits++;
+    return visits < 3;  // stop after 3
+  });
+  EXPECT_EQ(visits, 3);
+}
+
+TEST(IntervalTree, CoverageExactnessUnderRandomStreams) {
+  // Soundness AND completeness of summarization: the union of the byte
+  // addresses represented by all nodes must EXACTLY equal the set of bytes
+  // actually accessed - a fabricated byte would be a potential false
+  // positive, a dropped byte a potential miss. Streams mix contiguous
+  // walks, strided walks, repeats, and random jumps.
+  Rng rng(909);
+  for (int trial = 0; trial < 20; trial++) {
+    IntervalTree tree;
+    std::set<uint64_t> truth;  // byte addresses accessed
+
+    const AccessKey key = Key(static_cast<uint32_t>(trial), kWrite, 4);
+    uint64_t cursor = 1 << 16;
+    for (int step = 0; step < 400; step++) {
+      switch (rng.Below(4)) {
+        case 0:  // contiguous element walk
+          cursor += 4;
+          break;
+        case 1:  // strided jump forward
+          cursor += 4 * (1 + rng.Below(8));
+          break;
+        case 2:  // repeat the same address
+          break;
+        default:  // random relocation
+          cursor = (1 << 16) + rng.Below(1 << 12) * 4;
+          break;
+      }
+      tree.AddAccess(cursor, key);
+      for (uint64_t b = 0; b < key.size; b++) truth.insert(cursor + b);
+    }
+
+    std::set<uint64_t> covered;
+    tree.ForEach([&](const AccessNode& n) {
+      for (uint64_t e = 0; e < n.interval.count; e++) {
+        const uint64_t base = n.interval.base + e * n.interval.stride;
+        for (uint64_t b = 0; b < n.interval.size; b++) covered.insert(base + b);
+      }
+    });
+    ASSERT_EQ(covered, truth) << "trial " << trial;
+    std::string why;
+    ASSERT_TRUE(tree.Validate(&why)) << why;
+  }
+}
+
+TEST(IntervalTree, MemoryGrowsWithNodesNotAccesses) {
+  IntervalTree dense, sparse;
+  const AccessKey key = Key(1);
+  for (uint64_t i = 0; i < 10000; i++) dense.AddAccess(1 << 20 | (i * 8), key);
+  Rng rng(808);
+  for (uint64_t i = 0; i < 300; i++) {
+    sparse.AddAccess((2 << 20) + rng.Below(1 << 18) * 16, Key(uint32_t(i % 7)));
+  }
+  // 10000 summarized accesses -> 1 node; 300 scattered -> many nodes.
+  EXPECT_EQ(dense.NodeCount(), 1u);
+  EXPECT_GT(sparse.NodeCount(), 100u);
+  EXPECT_LT(dense.MemoryBytes(), sparse.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace sword::itree

@@ -1,0 +1,338 @@
+// Tests for src/offline: trace loading, tree-pair race checking, the full
+// analysis pipeline over hand-written traces, engine equivalence, and
+// parallel-analysis determinism.
+#include <gtest/gtest.h>
+
+#include "common/fsutil.h"
+#include "offline/analysis.h"
+#include "offline/racecheck.h"
+#include "offline/tracestore.h"
+#include "trace/writer.h"
+
+namespace sword::offline {
+namespace {
+
+using itree::AccessKey;
+using itree::IntervalTree;
+using itree::MutexSetTable;
+
+AccessKey Key(uint32_t pc, uint8_t flags, uint8_t size = 8,
+              itree::MutexSetId ms = itree::kEmptyMutexSet) {
+  AccessKey k;
+  k.pc = pc;
+  k.flags = flags;
+  k.size = size;
+  k.mutexset = ms;
+  return k;
+}
+
+TEST(CheckTreePair, WriteReadOverlapIsARace) {
+  IntervalTree a, b;
+  a.AddInterval({1000, 8, 10, 8}, Key(1, itree::kWrite));
+  b.AddInterval({1040, 8, 10, 8}, Key(2, itree::kRead));
+  MutexSetTable mutexes;
+  RaceReportSet races;
+  CheckStats stats;
+  CheckTreePair(a, b, mutexes, ilp::OverlapEngine::kDiophantine,
+                [&](const RaceReport& r) { races.Add(r); }, &stats);
+  EXPECT_EQ(races.size(), 1u);
+  EXPECT_GT(stats.solver_calls, 0u);
+}
+
+TEST(CheckTreePair, ReadReadIsNot) {
+  IntervalTree a, b;
+  a.AddInterval({1000, 8, 10, 8}, Key(1, itree::kRead));
+  b.AddInterval({1000, 8, 10, 8}, Key(2, itree::kRead));
+  MutexSetTable mutexes;
+  RaceReportSet races;
+  CheckTreePair(a, b, mutexes, ilp::OverlapEngine::kDiophantine,
+                [&](const RaceReport& r) { races.Add(r); });
+  EXPECT_EQ(races.size(), 0u);
+}
+
+TEST(CheckTreePair, CommonMutexProtects) {
+  MutexSetTable mutexes;
+  const auto lock_set = mutexes.Intern({7});
+  IntervalTree a, b;
+  a.AddInterval({1000, 0, 1, 8}, Key(1, itree::kWrite, 8, lock_set));
+  b.AddInterval({1000, 0, 1, 8}, Key(2, itree::kWrite, 8, lock_set));
+  RaceReportSet races;
+  CheckTreePair(a, b, mutexes, ilp::OverlapEngine::kDiophantine,
+                [&](const RaceReport& r) { races.Add(r); });
+  EXPECT_EQ(races.size(), 0u);
+}
+
+TEST(CheckTreePair, AtomicPairSkippedMixedPairNot) {
+  MutexSetTable mutexes;
+  IntervalTree a, b;
+  a.AddInterval({2000, 0, 1, 8},
+                Key(1, itree::kWrite | itree::kAtomic));
+  b.AddInterval({2000, 0, 1, 8},
+                Key(2, itree::kWrite | itree::kAtomic));
+  b.AddInterval({2008, 0, 1, 8}, Key(3, itree::kWrite));
+  a.AddInterval({2008, 0, 1, 8},
+                Key(4, itree::kWrite | itree::kAtomic));
+  RaceReportSet races;
+  CheckTreePair(a, b, mutexes, ilp::OverlapEngine::kDiophantine,
+                [&](const RaceReport& r) { races.Add(r); });
+  EXPECT_EQ(races.size(), 1u);  // only the atomic-vs-plain pair at 2008
+}
+
+TEST(CheckTreePair, InterleavedStridesNeedExactCheck) {
+  // Fig. 4: range overlap without address overlap must NOT race.
+  IntervalTree a, b;
+  a.AddInterval({10, 8, 5, 4}, Key(1, itree::kWrite, 4));
+  b.AddInterval({14, 8, 5, 4}, Key(2, itree::kWrite, 4));
+  MutexSetTable mutexes;
+  RaceReportSet races;
+  CheckStats stats;
+  CheckTreePair(a, b, mutexes, ilp::OverlapEngine::kDiophantine,
+                [&](const RaceReport& r) { races.Add(r); }, &stats);
+  EXPECT_EQ(races.size(), 0u);
+  EXPECT_GT(stats.node_pairs_ranged, 0u) << "ranges DO overlap";
+}
+
+// ---------------------------------------------------------------------------
+// Full pipeline over hand-written traces.
+
+struct SyntheticTrace {
+  TempDir dir;
+  trace::Flusher flusher{/*async=*/false};
+
+  /// Writes one thread's trace: a list of (meta, events) segments.
+  void WriteThread(uint32_t tid,
+                   const std::vector<std::pair<trace::IntervalMeta,
+                                               std::vector<trace::RawEvent>>>& segs) {
+    trace::WriterConfig wc;
+    wc.log_path = dir.path() + "/sword_t" + std::to_string(tid) + ".log";
+    wc.meta_path = dir.path() + "/sword_t" + std::to_string(tid) + ".meta";
+    wc.flusher = &flusher;
+    trace::ThreadTraceWriter writer(tid, wc);
+    for (const auto& [meta, events] : segs) {
+      writer.BeginSegment(meta);
+      for (const auto& e : events) writer.Append(e);
+      writer.EndSegment();
+    }
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+
+  AnalysisResult Analyze(const AnalysisConfig& config = {}) {
+    auto store = TraceStore::OpenDir(dir.path());
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+    return offline::Analyze(store.value(), config);
+  }
+};
+
+trace::IntervalMeta Meta(uint32_t lane, uint32_t span, uint64_t phase = 0) {
+  trace::IntervalMeta m;
+  m.region = 0;
+  m.parent_region = trace::IntervalMeta::kNoParent;
+  m.phase = phase;
+  osl::Label label = osl::Label::Initial().Fork(lane, span);
+  for (uint64_t p = 0; p < phase; p++) label = label.AfterBarrier();
+  m.label = label;
+  m.level = 1;
+  m.lane = lane;
+  return m;
+}
+
+TEST(Analysis, DetectsCrossThreadWriteReadRace) {
+  SyntheticTrace t;
+  t.WriteThread(0, {{Meta(0, 2), {trace::RawEvent::Access(0x1000, 8, 1, 11)}}});
+  t.WriteThread(1, {{Meta(1, 2), {trace::RawEvent::Access(0x1000, 8, 0, 22)}}});
+  const AnalysisResult result = t.Analyze();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.races.size(), 1u);
+  EXPECT_TRUE(result.races.Contains(11, 22));
+  EXPECT_EQ(result.stats.intervals, 2u);
+  EXPECT_EQ(result.stats.trees_built, 2u);
+}
+
+TEST(Analysis, BarrierSeparatedIntervalsDoNotRace) {
+  SyntheticTrace t;
+  t.WriteThread(0, {{Meta(0, 2, 0), {trace::RawEvent::Access(0x1000, 8, 1, 11)}}});
+  t.WriteThread(1, {{Meta(1, 2, 1), {trace::RawEvent::Access(0x1000, 8, 1, 22)}}});
+  const AnalysisResult result = t.Analyze();
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.races.size(), 0u);
+  EXPECT_EQ(result.stats.concurrent_pairs, 0u);
+}
+
+TEST(Analysis, LocksetRecoveryFromMutexEvents) {
+  SyntheticTrace t;
+  // Thread 0 writes under lock 5; thread 1 writes under lock 5 too.
+  t.WriteThread(0, {{Meta(0, 2),
+                     {trace::RawEvent::MutexAcquire(5),
+                      trace::RawEvent::Access(0x1000, 8, 1, 11),
+                      trace::RawEvent::MutexRelease(5)}}});
+  t.WriteThread(1, {{Meta(1, 2),
+                     {trace::RawEvent::MutexAcquire(5),
+                      trace::RawEvent::Access(0x1000, 8, 1, 22),
+                      trace::RawEvent::MutexRelease(5)}}});
+  const AnalysisResult result = t.Analyze();
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.races.size(), 0u);
+}
+
+TEST(Analysis, LocksetFromMetaInitialSet) {
+  SyntheticTrace t;
+  // Thread 0's segment OPENS with lock 9 already held (recorded in meta).
+  trace::IntervalMeta m0 = Meta(0, 2);
+  m0.lockset = {9};
+  t.WriteThread(0, {{m0, {trace::RawEvent::Access(0x2000, 8, 1, 11)}}});
+  trace::IntervalMeta m1 = Meta(1, 2);
+  m1.lockset = {9};
+  t.WriteThread(1, {{m1, {trace::RawEvent::Access(0x2000, 8, 1, 22)}}});
+  const AnalysisResult result = t.Analyze();
+  EXPECT_EQ(result.races.size(), 0u);
+}
+
+TEST(Analysis, MismatchedLocksStillRace) {
+  SyntheticTrace t;
+  t.WriteThread(0, {{Meta(0, 2),
+                     {trace::RawEvent::MutexAcquire(5),
+                      trace::RawEvent::Access(0x1000, 8, 1, 11),
+                      trace::RawEvent::MutexRelease(5)}}});
+  t.WriteThread(1, {{Meta(1, 2),
+                     {trace::RawEvent::MutexAcquire(6),  // different lock
+                      trace::RawEvent::Access(0x1000, 8, 1, 22),
+                      trace::RawEvent::MutexRelease(6)}}});
+  const AnalysisResult result = t.Analyze();
+  EXPECT_EQ(result.races.size(), 1u);
+}
+
+TEST(Analysis, SegmentsOfOneIntervalMergeIntoOneTree) {
+  SyntheticTrace t;
+  // Two segments with the SAME label (nested-region interruption shape).
+  t.WriteThread(0, {{Meta(0, 2), {trace::RawEvent::Access(0x1000, 8, 1, 11)}},
+                    {Meta(0, 2), {trace::RawEvent::Access(0x1008, 8, 1, 11)}}});
+  t.WriteThread(1, {{Meta(1, 2), {trace::RawEvent::Access(0x1008, 8, 0, 22)}}});
+  const AnalysisResult result = t.Analyze();
+  EXPECT_EQ(result.stats.trees_built, 2u);  // one per thread, segments merged
+  EXPECT_EQ(result.races.size(), 1u);
+}
+
+TEST(Analysis, CrossTopLevelRegionsPruned) {
+  SyntheticTrace t;
+  // Thread 0's interval in top-level region 0; thread 1's in region 1
+  // (root label advanced by a join in between).
+  trace::IntervalMeta m0 = Meta(0, 2);
+  trace::IntervalMeta m1 = Meta(1, 2);
+  m1.region = 1;
+  m1.label = osl::Label(
+      {osl::Pair{1, 1, 0}, osl::Pair{1, 2, 0}});  // root advanced by join
+  t.WriteThread(0, {{m0, {trace::RawEvent::Access(0x1000, 8, 1, 11)}}});
+  t.WriteThread(1, {{m1, {trace::RawEvent::Access(0x1000, 8, 1, 22)}}});
+  const AnalysisResult result = t.Analyze();
+  EXPECT_EQ(result.races.size(), 0u);
+  EXPECT_EQ(result.stats.buckets, 2u);
+  EXPECT_EQ(result.stats.label_pairs_checked, 0u);  // pruned before judgment
+}
+
+TEST(Analysis, ParallelAnalysisMatchesSerial) {
+  SyntheticTrace t;
+  // Many threads racing pairwise on scattered addresses.
+  for (uint32_t tid = 0; tid < 6; tid++) {
+    std::vector<trace::RawEvent> events;
+    for (uint64_t i = 0; i < 50; i++) {
+      events.push_back(
+          trace::RawEvent::Access(0x1000 + (i % 10) * 8, 8, 1, 100 + tid));
+    }
+    t.WriteThread(tid, {{Meta(tid, 6), events}});
+  }
+  AnalysisConfig serial;
+  serial.threads = 1;
+  AnalysisConfig parallel;
+  parallel.threads = 4;
+  const AnalysisResult r1 = t.Analyze(serial);
+  const AnalysisResult r2 = t.Analyze(parallel);
+  ASSERT_TRUE(r1.status.ok());
+  ASSERT_TRUE(r2.status.ok());
+  EXPECT_EQ(r1.races.size(), r2.races.size());
+  EXPECT_EQ(r1.races.size(), 15u);  // C(6,2) pc pairs
+}
+
+TEST(Analysis, IlpEngineMatchesDiophantine) {
+  SyntheticTrace t;
+  // Strided writes: thread 0 even slots, thread 1 odd slots (no race), plus
+  // one genuine collision.
+  std::vector<trace::RawEvent> e0, e1;
+  for (uint64_t i = 0; i < 20; i++) {
+    e0.push_back(trace::RawEvent::Access(0x1000 + i * 16, 8, 1, 11));
+    e1.push_back(trace::RawEvent::Access(0x1008 + i * 16, 8, 1, 22));
+  }
+  e1.push_back(trace::RawEvent::Access(0x1000, 4, 0, 33));  // collides
+  t.WriteThread(0, {{Meta(0, 2), e0}});
+  t.WriteThread(1, {{Meta(1, 2), e1}});
+
+  AnalysisConfig dio;
+  dio.engine = ilp::OverlapEngine::kDiophantine;
+  AnalysisConfig ilp_cfg;
+  ilp_cfg.engine = ilp::OverlapEngine::kIlp;
+  const AnalysisResult r1 = t.Analyze(dio);
+  const AnalysisResult r2 = t.Analyze(ilp_cfg);
+  EXPECT_EQ(r1.races.size(), 1u);
+  EXPECT_EQ(r2.races.size(), 1u);
+  EXPECT_TRUE(r1.races.Contains(11, 33));
+  EXPECT_TRUE(r2.races.Contains(11, 33));
+}
+
+TEST(Analysis, ShardUnionEqualsFullAnalysis) {
+  // Distributed mode: every shard analyzes a disjoint subset of top-level
+  // regions; the union of their reports must equal the full run. Build a
+  // trace with 5 top-level regions, each carrying a distinct race.
+  SyntheticTrace t;
+  std::vector<std::pair<trace::IntervalMeta, std::vector<trace::RawEvent>>> t0_segs,
+      t1_segs;
+  for (uint32_t region = 0; region < 5; region++) {
+    trace::IntervalMeta m0 = Meta(0, 2);
+    m0.region = region;
+    m0.label = osl::Label({osl::Pair{region, 1, 0}, osl::Pair{0, 2, 0}});
+    trace::IntervalMeta m1 = Meta(1, 2);
+    m1.region = region;
+    m1.label = osl::Label({osl::Pair{region, 1, 0}, osl::Pair{1, 2, 0}});
+    const uint64_t addr = 0x1000 + region * 64;
+    t0_segs.push_back({m0, {trace::RawEvent::Access(addr, 8, 1, 100 + region)}});
+    t1_segs.push_back({m1, {trace::RawEvent::Access(addr, 8, 0, 200 + region)}});
+  }
+  t.WriteThread(0, t0_segs);
+  t.WriteThread(1, t1_segs);
+
+  AnalysisConfig full;
+  const AnalysisResult everything = t.Analyze(full);
+  ASSERT_TRUE(everything.status.ok());
+  EXPECT_EQ(everything.races.size(), 5u);
+
+  RaceReportSet merged;
+  uint64_t shard_total = 0;
+  for (uint32_t shard = 0; shard < 3; shard++) {
+    AnalysisConfig config;
+    config.shard_index = shard;
+    config.shard_count = 3;
+    const AnalysisResult result = t.Analyze(config);
+    ASSERT_TRUE(result.status.ok());
+    shard_total += result.races.size();
+    for (const RaceReport& r : result.races.reports()) merged.Add(r);
+    EXPECT_LT(result.stats.intervals == 0 ? 0 : result.races.size(), 5u);
+  }
+  EXPECT_EQ(shard_total, 5u);  // buckets are disjoint: no double reports
+  EXPECT_EQ(merged.size(), everything.races.size());
+}
+
+TEST(TraceStoreTest, OpenDirFindsAllThreads) {
+  SyntheticTrace t;
+  t.WriteThread(0, {{Meta(0, 3), {trace::RawEvent::Access(1, 1, 0, 1)}}});
+  t.WriteThread(1, {{Meta(1, 3), {trace::RawEvent::Access(2, 1, 0, 2)}}});
+  t.WriteThread(2, {{Meta(2, 3), {trace::RawEvent::Access(3, 1, 0, 3)}}});
+  auto store = TraceStore::OpenDir(t.dir.path());
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store.value().thread_count(), 3u);
+  EXPECT_EQ(store.value().TotalIntervals(), 3u);
+}
+
+TEST(TraceStoreTest, MissingDirErrors) {
+  EXPECT_FALSE(TraceStore::OpenDir("/nonexistent-sword-dir").ok());
+}
+
+}  // namespace
+}  // namespace sword::offline

@@ -1,0 +1,97 @@
+// Tests for the worker pool and the sequencer - the two somp support
+// pieces not covered through the runtime's public constructs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "somp/pool.h"
+#include "somp/sequencer.h"
+
+namespace sword::somp {
+namespace {
+
+TEST(WorkerPool, RunsTasksToCompletion) {
+  WorkerPool pool;
+  std::atomic<int> done{0};
+  std::vector<WorkerPool::Ticket> tickets;
+  for (int i = 0; i < 16; i++) {
+    tickets.push_back(pool.Submit([&] { done++; }));
+  }
+  for (auto& t : tickets) t.Wait();
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(WorkerPool, ReusesIdleWorkers) {
+  WorkerPool pool;
+  // Sequential submissions: one worker should serve them all.
+  for (int i = 0; i < 50; i++) {
+    pool.Submit([] {}).Wait();
+  }
+  EXPECT_LE(pool.WorkerCount(), 2u);  // 1 expected; 2 allows a startup race
+}
+
+TEST(WorkerPool, GrowsForConcurrentWork) {
+  WorkerPool pool;
+  // Every task blocks until all six have arrived: this can only complete if
+  // six workers coexist, i.e. the pool grew instead of serializing.
+  std::atomic<int> arrived{0};
+  std::vector<WorkerPool::Ticket> tickets;
+  for (int i = 0; i < 6; i++) {
+    tickets.push_back(pool.Submit([&] {
+      arrived++;
+      while (arrived.load() < 6) std::this_thread::yield();
+    }));
+  }
+  for (auto& t : tickets) t.Wait();
+  EXPECT_GE(pool.WorkerCount(), 6u);
+  EXPECT_EQ(arrived.load(), 6);
+}
+
+TEST(WorkerPool, WaitIsIdempotentAndDefaultTicketSafe) {
+  WorkerPool pool;
+  auto ticket = pool.Submit([] {});
+  ticket.Wait();
+  ticket.Wait();  // second wait returns immediately
+  WorkerPool::Ticket empty;
+  empty.Wait();  // default-constructed: no-op
+}
+
+TEST(Sequencer, EnforcesTotalOrder) {
+  // Turn-taking protocol: each thread appends only inside its own turn
+  // window (after WaitUntil(k), before Await(k)), so the appends are both
+  // race-free and totally ordered.
+  Sequencer seq;
+  std::vector<int> order;
+  std::thread t1([&] {
+    seq.WaitUntil(1);
+    order.push_back(1);
+    seq.Await(1);
+    seq.WaitUntil(3);
+    order.push_back(3);
+    seq.Await(3);
+  });
+  std::thread t2([&] {
+    order.push_back(0);
+    seq.Await(0);
+    seq.WaitUntil(2);
+    order.push_back(2);
+    seq.Await(2);
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Sequencer, ResetRestartsTheCounter) {
+  Sequencer seq;
+  seq.Await(0);
+  EXPECT_EQ(seq.current(), 1u);
+  seq.Reset();
+  EXPECT_EQ(seq.current(), 0u);
+  seq.Await(0);  // usable again
+  EXPECT_EQ(seq.current(), 1u);
+}
+
+}  // namespace
+}  // namespace sword::somp

@@ -1,0 +1,219 @@
+// Randomized end-to-end property test: generate random parallel programs
+// (accesses to a small address pool, barriers, critical sections, atomics),
+// execute them under the full SWORD pipeline, and compare the reported race
+// set against a STRUCTURAL ORACLE computed directly from the program spec:
+//
+//   two accesses race iff they are in the same barrier phase on different
+//   lanes, touch the same address, at least one writes, their lock sets are
+//   disjoint, and they are not both atomic.
+//
+// SWORD must report EXACTLY the oracle's pc pairs (sound and complete for
+// programs without data-dependent branches - the paper's guarantee). The HB
+// baseline must report a SUBSET (sound, but may miss via masking/eviction).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/fsutil.h"
+#include "common/rng.h"
+#include "core/sword_tool.h"
+#include "hb/archer_tool.h"
+#include "offline/analysis.h"
+#include "offline/tracestore.h"
+#include "somp/instr.h"
+#include "somp/runtime.h"
+
+namespace sword {
+namespace {
+
+// --- Program spec ----------------------------------------------------------
+
+struct AccessOp {
+  uint32_t addr_idx;   // index into the shared variable pool
+  bool write;
+  bool atomic;
+  uint32_t site;       // which instrumentation site performs it (-> pc)
+  uint32_t lock;       // ~0u = no lock; else held during the access
+};
+
+struct LaneSpec {
+  // ops[phase] = accesses this lane performs in that barrier interval.
+  std::vector<std::vector<AccessOp>> ops;
+};
+
+struct ProgramSpec {
+  uint32_t lanes;
+  uint32_t phases;
+  uint32_t pool_size;
+  std::vector<LaneSpec> lane_specs;
+};
+
+ProgramSpec GenerateProgram(Rng& rng) {
+  ProgramSpec spec;
+  spec.lanes = 2 + static_cast<uint32_t>(rng.Below(3));       // 2..4
+  spec.phases = 1 + static_cast<uint32_t>(rng.Below(3));      // 1..3
+  spec.pool_size = 2 + static_cast<uint32_t>(rng.Below(4));   // 2..5
+  for (uint32_t lane = 0; lane < spec.lanes; lane++) {
+    LaneSpec ls;
+    ls.ops.resize(spec.phases);
+    for (uint32_t phase = 0; phase < spec.phases; phase++) {
+      const uint32_t n = static_cast<uint32_t>(rng.Below(5));  // 0..4 accesses
+      for (uint32_t k = 0; k < n; k++) {
+        AccessOp op;
+        op.addr_idx = static_cast<uint32_t>(rng.Below(spec.pool_size));
+        op.write = rng.Chance(0.5);
+        op.atomic = rng.Chance(0.2);
+        op.site = static_cast<uint32_t>(rng.Below(8));
+        op.lock = rng.Chance(0.3) ? static_cast<uint32_t>(rng.Below(2)) : ~0u;
+        ls.ops[phase].push_back(op);
+      }
+    }
+    spec.lane_specs.push_back(std::move(ls));
+  }
+  return spec;
+}
+
+// --- Interpreter with 8 distinct instrumentation sites ----------------------
+
+/// Each site is a distinct source location, so races between different
+/// sites are distinct pc pairs, like distinct statements in a real program.
+const std::array<std::source_location, 8>& Sites() {
+  using std::source_location;
+  static const std::array<source_location, 8> kSites = {
+      source_location::current(), source_location::current(),
+      source_location::current(), source_location::current(),
+      source_location::current(), source_location::current(),
+      source_location::current(), source_location::current()};
+  return kSites;
+}
+
+/// site -> interned pc, computed up front so attribution never depends on
+/// which sites a particular random program happened to execute.
+std::map<somp::PcId, uint32_t> PcToSite() {
+  std::map<somp::PcId, uint32_t> map;
+  for (uint32_t s = 0; s < 8; s++) map[somp::InternSrcLoc(Sites()[s])] = s;
+  return map;
+}
+
+void DoAccess(double& target, const AccessOp& op) {
+  const std::source_location& loc = Sites()[op.site];
+  if (op.atomic) {
+    if (op.write) instr::atomic_store(target, 1.0, loc);
+    else (void)instr::atomic_load(target, loc);
+  } else {
+    if (op.write) instr::store(target, 1.0, loc);
+    else (void)instr::load(target, loc);
+  }
+}
+
+void RunProgram(const ProgramSpec& spec, std::vector<double>& pool) {
+  somp::Parallel(spec.lanes, [&](somp::Ctx& ctx) {
+    const LaneSpec& ls = spec.lane_specs[ctx.thread_num()];
+    for (uint32_t phase = 0; phase < spec.phases; phase++) {
+      for (const AccessOp& op : ls.ops[phase]) {
+        if (op.lock != ~0u) {
+          ctx.Critical("prop-lock-" + std::to_string(op.lock), [&] {
+            DoAccess(pool[op.addr_idx], op);
+          });
+        } else {
+          DoAccess(pool[op.addr_idx], op);
+        }
+      }
+      if (phase + 1 < spec.phases) ctx.Barrier();
+    }
+  });
+}
+
+// --- Oracle -----------------------------------------------------------------
+
+std::set<std::pair<uint32_t, uint32_t>> OracleRaces(const ProgramSpec& spec) {
+  std::set<std::pair<uint32_t, uint32_t>> races;  // site pairs (ordered min,max)
+  for (uint32_t i = 0; i < spec.lanes; i++) {
+    for (uint32_t j = i + 1; j < spec.lanes; j++) {
+      for (uint32_t phase = 0; phase < spec.phases; phase++) {
+        for (const AccessOp& a : spec.lane_specs[i].ops[phase]) {
+          for (const AccessOp& b : spec.lane_specs[j].ops[phase]) {
+            if (a.addr_idx != b.addr_idx) continue;
+            if (!a.write && !b.write) continue;
+            if (a.atomic && b.atomic) continue;
+            if (a.lock != ~0u && a.lock == b.lock) continue;
+            races.insert({std::min(a.site, b.site), std::max(a.site, b.site)});
+          }
+        }
+      }
+    }
+  }
+  return races;
+}
+
+// --- The property -----------------------------------------------------------
+
+class PipelineProperty : public testing::TestWithParam<int> {};
+
+TEST_P(PipelineProperty, SwordMatchesOracleArcherIsSubset) {
+  Rng rng(9000 + static_cast<uint64_t>(GetParam()));
+  const ProgramSpec spec = GenerateProgram(rng);
+  // The pool is padded so distinct variables never share an 8-byte granule.
+  std::vector<double> pool(spec.pool_size * 2, 0.0);
+  std::vector<double> dense_pool(spec.pool_size);
+
+  // --- SWORD run.
+  TempDir dir("prop");
+  core::SwordConfig sc;
+  sc.out_dir = dir.path();
+  std::set<std::pair<uint32_t, uint32_t>> sword_pairs;
+  const std::map<somp::PcId, uint32_t> pc_to_site = PcToSite();
+  {
+    core::SwordTool tool(sc);
+    somp::RuntimeConfig rc;
+    rc.tool = &tool;
+    somp::Runtime::Get().ResetIds();
+    somp::Runtime::Get().Configure(rc);
+    RunProgram(spec, pool);
+    ASSERT_TRUE(tool.Finalize().ok());
+    somp::Runtime::Get().Configure({});
+
+    auto store = offline::TraceStore::OpenDir(dir.path());
+    ASSERT_TRUE(store.ok());
+    const offline::AnalysisResult result = offline::Analyze(store.value());
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    for (const RaceReport& r : result.races.reports()) {
+      ASSERT_TRUE(pc_to_site.count(r.pc1)) << "unknown pc in report";
+      ASSERT_TRUE(pc_to_site.count(r.pc2));
+      const uint32_t s1 = pc_to_site.at(r.pc1);
+      const uint32_t s2 = pc_to_site.at(r.pc2);
+      sword_pairs.insert({std::min(s1, s2), std::max(s1, s2)});
+    }
+  }
+
+  // Oracle site pairs, restricted to sites that actually executed (a site
+  // id maps to a pc only if some access used it).
+  const auto oracle = OracleRaces(spec);
+  EXPECT_EQ(sword_pairs, oracle)
+      << "seed " << GetParam() << ": sword must be sound AND complete";
+
+  // --- HB baseline: subset property (may miss, must not invent).
+  {
+    hb::ArcherTool tool;
+    somp::RuntimeConfig rc;
+    rc.tool = &tool;
+    somp::Runtime::Get().ResetIds();
+    somp::Runtime::Get().Configure(rc);
+    RunProgram(spec, pool);
+    somp::Runtime::Get().Configure({});
+
+    for (const RaceReport& r : tool.Races().reports()) {
+      ASSERT_TRUE(pc_to_site.count(r.pc1));
+      ASSERT_TRUE(pc_to_site.count(r.pc2));
+      const uint32_t s1 = pc_to_site.at(r.pc1);
+      const uint32_t s2 = pc_to_site.at(r.pc2);
+      EXPECT_TRUE(oracle.count({std::min(s1, s2), std::max(s1, s2)}))
+          << "seed " << GetParam() << ": HB baseline reported a false positive";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, PipelineProperty, testing::Range(0, 40));
+
+}  // namespace
+}  // namespace sword

