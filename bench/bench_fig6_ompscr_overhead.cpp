@@ -23,6 +23,7 @@ int main() {
   for (const uint32_t threads : thread_counts) {
     std::map<harness::ToolKind, std::vector<double>> runtimes;
     std::map<harness::ToolKind, std::vector<double>> memories;
+    trace::FlusherStats flush;  // sword flush-pipeline work across the suite
 
     for (const auto* w : workloads::WorkloadRegistry::Get().BySuite("ompscr")) {
       double baseline_time = 0;
@@ -35,6 +36,7 @@ int main() {
         if (tool == harness::ToolKind::kBaseline) {
           baseline_time = std::max(r.dynamic_seconds, 1e-6);
         }
+        if (tool == harness::ToolKind::kSword) Accumulate(&flush, r.flusher);
         runtimes[tool].push_back(
             std::max(r.dynamic_seconds, 1e-6) / baseline_time);
         memories[tool].push_back(
@@ -52,6 +54,7 @@ int main() {
                     Fmt(mem[tool]) + " MB"});
     }
     table.Print();
+    std::printf("sword flush pipeline: %s\n", FlusherSummary(flush).c_str());
 
     // The paper runs on 24 cores where the flusher thread is free; on a
     // single-core host it competes with the program, so "comparable"

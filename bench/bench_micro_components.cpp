@@ -4,6 +4,9 @@
 // joins. These are the constants behind every macro number in the tables.
 #include <benchmark/benchmark.h>
 
+#include <thread>
+#include <vector>
+
 #include "common/rng.h"
 #include "compress/compressor.h"
 #include "hb/shadow.h"
@@ -37,6 +40,59 @@ void BM_EventEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_EventEncode);
 
+void BM_EventEncodeV2(benchmark::State& state) {
+  // Delta/varint encoding of a strided access stream - the hot loop of every
+  // v2 buffer flush. bytes_per_event is the compression the format itself
+  // provides before the codec ever runs (acceptance: >= 2x vs the 16-byte v1).
+  Bytes buffer;
+  buffer.reserve(1 << 20);
+  ByteWriter w(&buffer);
+  trace::EventCodecState codec_state;
+  uint64_t addr = 0x1000;
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    const size_t before = buffer.size();
+    trace::EncodeEventV2(trace::RawEvent::Access(addr, 8, 1, 42), codec_state, w);
+    bytes += buffer.size() - before;
+    addr += 8;
+    if (buffer.size() > (1 << 20) - trace::kMaxEventBytesV2) {
+      buffer.clear();
+      codec_state = trace::EventCodecState{};
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["bytes_per_event"] =
+      benchmark::Counter(static_cast<double>(bytes) / state.iterations());
+}
+BENCHMARK(BM_EventEncodeV2);
+
+void BM_EventDecodeV2(benchmark::State& state) {
+  // Decode throughput of the offline reader's v2 hot loop.
+  Bytes buffer;
+  ByteWriter w(&buffer);
+  trace::EventCodecState enc_state;
+  constexpr uint64_t kEvents = 1 << 16;
+  for (uint64_t i = 0; i < kEvents; i++) {
+    trace::EncodeEventV2(trace::RawEvent::Access(0x1000 + i * 8, 8, 1, 42),
+                         enc_state, w);
+  }
+  for (auto _ : state) {
+    ByteReader r(buffer);
+    trace::EventCodecState dec_state;
+    trace::RawEvent e;
+    uint64_t n = 0;
+    while (!r.AtEnd()) {
+      if (!trace::DecodeEventV2(r, dec_state, &e).ok()) std::abort();
+      n++;
+    }
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kEvents);
+  state.counters["bytes_per_event"] =
+      benchmark::Counter(static_cast<double>(buffer.size()) / kEvents);
+}
+BENCHMARK(BM_EventDecodeV2);
+
 void BM_TraceAppend(benchmark::State& state) {
   TempDir dir("bm-trace");
   trace::Flusher flusher(/*async=*/true);
@@ -44,6 +100,7 @@ void BM_TraceAppend(benchmark::State& state) {
   wc.log_path = dir.File("t.log");
   wc.meta_path = dir.File("t.meta");
   wc.flusher = &flusher;
+  wc.format = static_cast<uint8_t>(state.range(0));
   trace::ThreadTraceWriter writer(0, wc);
   trace::IntervalMeta meta;
   meta.label = osl::Label::Initial().Fork(0, 2);
@@ -55,8 +112,61 @@ void BM_TraceAppend(benchmark::State& state) {
   }
   writer.EndSegment();
   state.SetItemsProcessed(state.iterations());
+  state.SetLabel(state.range(0) == trace::kTraceFormatV1 ? "v1" : "v2");
 }
-BENCHMARK(BM_TraceAppend);
+BENCHMARK(BM_TraceAppend)->Arg(trace::kTraceFormatV1)->Arg(trace::kTraceFormatV2);
+
+void BM_FlusherThroughput(benchmark::State& state) {
+  // End-to-end pipeline throughput: 8 producers handing pool-acquired
+  // buffers to the worker pool for compress+append. The worker count is the
+  // arg; scaling past 1 worker is the tentpole's reason to exist (8
+  // producers through the parallel pool >= 2x one worker on a multi-core
+  // host; on a single-core host the worker counts tie, like the other
+  // parallel-phase benches).
+  constexpr int kProducers = 8;
+  constexpr int kJobsPerProducer = 24;
+  constexpr size_t kBufferBytes = 256 * 1024;
+  const Compressor* codec = FindCompressor("lzs");
+
+  // Compressible, trace-like payload template.
+  Bytes pattern;
+  ByteWriter w(&pattern);
+  trace::EventCodecState cs;
+  while (pattern.size() + trace::kMaxEventBytesV2 <= kBufferBytes) {
+    trace::EncodeEventV2(
+        trace::RawEvent::Access(0x1000 + pattern.size() * 8, 8, 1, 42), cs, w);
+  }
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    TempDir dir("bm-flush");
+    state.ResumeTiming();
+    trace::FlusherConfig fc;
+    fc.async = true;
+    fc.workers = static_cast<uint32_t>(state.range(0));
+    trace::Flusher flusher(fc);
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; p++) {
+      producers.emplace_back([&, p] {
+        const std::string path = dir.File("p" + std::to_string(p) + ".log");
+        for (int j = 0; j < kJobsPerProducer; j++) {
+          Bytes buf = flusher.pool().Acquire(kBufferBytes);
+          buf.assign(pattern.begin(), pattern.end());
+          flusher.AppendFrame(path, std::move(buf), codec,
+                              trace::kTraceFormatV2);
+        }
+      });
+    }
+    for (auto& t : producers) t.join();
+    flusher.Drain();
+    if (!flusher.status().ok()) std::abort();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kProducers *
+                          kJobsPerProducer * static_cast<int64_t>(pattern.size()));
+  state.SetLabel(std::to_string(state.range(0)) + " worker(s)");
+}
+BENCHMARK(BM_FlusherThroughput)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_ShadowProcessAccess(benchmark::State& state) {
   MemoryScope memory("bm-shadow");

@@ -25,6 +25,7 @@ int main() {
                    "sword MT", "regions", "races (a/s)"});
 
   double lulesh_oa_per_interval = 0, others_max_oa_per_interval = 0;
+  trace::FlusherStats flush;  // sword pipeline work across the table
 
   for (const App& app : apps) {
     const auto& w = Find("hpc", app.name);
@@ -37,6 +38,7 @@ int main() {
     sc.params.size = app.size;
     sc.offline_threads = 8;
     const auto sword_run = harness::RunWorkload(w, sc);
+    Accumulate(&flush, sword_run.flusher);
 
     table.AddRow({app.name, FormatSeconds(base.dynamic_seconds),
                   FormatSeconds(archer.dynamic_seconds),
@@ -58,7 +60,7 @@ int main() {
   }
 
   table.Print();
-  std::printf("\n");
+  std::printf("sword flush pipeline: %s\n\n", FlusherSummary(flush).c_str());
   Check(lulesh_oa_per_interval > 0,
         "LULESH offline analysis measured across its many regions (the "
         "paper's worst case, scaled down)");

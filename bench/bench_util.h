@@ -14,6 +14,7 @@
 #include "common/table.h"
 #include "common/timer.h"
 #include "harness/harness.h"
+#include "trace/flusher.h"
 #include "workloads/workload.h"
 
 namespace sword::bench {
@@ -50,6 +51,37 @@ inline void Banner(const char* title, const char* claim) {
 /// Prints PASS/CHECK lines so bench output doubles as a shape check.
 inline void Check(bool ok, const std::string& what) {
   std::printf("[%s] %s\n", ok ? "REPRODUCED" : "MISMATCH  ", what.c_str());
+}
+
+/// Accumulates flush-pipeline counters across runs, for the overhead tables
+/// that aggregate many workloads into one row.
+inline void Accumulate(trace::FlusherStats* into, const trace::FlusherStats& s) {
+  into->jobs_enqueued += s.jobs_enqueued;
+  into->jobs_completed += s.jobs_completed;
+  into->producer_blocks += s.producer_blocks;
+  into->blocked_nanos += s.blocked_nanos;
+  into->bytes_in += s.bytes_in;
+  into->bytes_written += s.bytes_written;
+  into->appends += s.appends;
+  if (into->worker_bytes_in.size() < s.worker_bytes_in.size()) {
+    into->worker_bytes_in.resize(s.worker_bytes_in.size());
+  }
+  for (size_t i = 0; i < s.worker_bytes_in.size(); i++) {
+    into->worker_bytes_in[i] += s.worker_bytes_in[i];
+  }
+}
+
+/// One-line rendering of the flush-pipeline counters: volume through the
+/// worker pool and whether backpressure ever stalled a producer (producer
+/// stalls are exactly the overhead the paper's async design claims to avoid,
+/// so the overhead tables surface them next to the slowdown numbers).
+inline std::string FlusherSummary(const trace::FlusherStats& s) {
+  return std::to_string(s.worker_bytes_in.size()) + " worker(s), " +
+         std::to_string(s.jobs_completed) + " flush job(s), " +
+         FormatBytes(s.bytes_in) + " raw -> " + FormatBytes(s.bytes_written) +
+         " framed, " + std::to_string(s.producer_blocks) + " stall(s) (" +
+         FormatSeconds(static_cast<double>(s.blocked_nanos) * 1e-9) +
+         " blocked)";
 }
 
 }  // namespace sword::bench

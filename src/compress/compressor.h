@@ -20,6 +20,19 @@
 
 namespace sword {
 
+/// Reusable per-worker compression state. Codecs that need heap-allocated
+/// working memory (lzs's hash-chain arrays) resize-and-reuse these vectors
+/// instead of allocating per call; the flusher keeps one scratch per worker
+/// so a steady stream of buffer flushes performs zero compression-side
+/// allocations. `payload` is staging space for frame assembly
+/// (compress/frame.*). Passing nullptr everywhere falls back to per-call
+/// allocation, so scratch is purely an optimization.
+struct CompressScratch {
+  std::vector<uint32_t> chain_head;
+  std::vector<uint32_t> chain_prev;
+  Bytes payload;
+};
+
 class Compressor {
  public:
   virtual ~Compressor() = default;
@@ -27,8 +40,10 @@ class Compressor {
   /// Stable codec name used in the frame header ("raw", "rle", "lzs").
   virtual const char* Name() const = 0;
 
-  /// Compresses `input` appending to `out` (which is not cleared).
-  virtual Status Compress(const uint8_t* input, size_t n, Bytes* out) const = 0;
+  /// Compresses `input` appending to `out` (which is not cleared). `scratch`
+  /// optionally provides reusable working memory (see CompressScratch).
+  virtual Status Compress(const uint8_t* input, size_t n, Bytes* out,
+                          CompressScratch* scratch = nullptr) const = 0;
 
   /// Decompresses exactly `decompressed_size` bytes into `out`.
   virtual Status Decompress(const uint8_t* input, size_t n, size_t decompressed_size,

@@ -3,27 +3,43 @@
 namespace sword {
 namespace {
 
-Status ReadFrameHeader(ByteReader& reader, std::string* codec_name,
-                       uint64_t* raw_size, uint64_t* payload_size, uint64_t* checksum) {
+Status ReadFrameHeader(ByteReader& reader, uint8_t* payload_format,
+                       std::string* codec_name, uint64_t* raw_size,
+                       uint64_t* payload_size, uint64_t* checksum) {
   uint32_t magic;
   SWORD_RETURN_IF_ERROR(reader.GetU32(&magic));
-  if (magic != kFrameMagic) return Status::Corrupt("bad frame magic");
+  if (magic == kFrameMagic) {
+    *payload_format = 1;
+  } else if (magic == kFrameMagicV2) {
+    *payload_format = 2;
+  } else {
+    return Status::Corrupt("bad frame magic");
+  }
   SWORD_RETURN_IF_ERROR(reader.GetString(codec_name));
   SWORD_RETURN_IF_ERROR(reader.GetVarU64(raw_size));
   SWORD_RETURN_IF_ERROR(reader.GetVarU64(payload_size));
   SWORD_RETURN_IF_ERROR(reader.GetU64(checksum));
+  if (*raw_size > kMaxFrameRawBytes) {
+    return Status::Corrupt("implausible frame raw size");
+  }
   if (reader.remaining() < *payload_size) return Status::Corrupt("truncated frame payload");
   return Status::Ok();
 }
 
 }  // namespace
 
-Status WriteFrame(const Compressor& codec, const uint8_t* data, size_t n, Bytes* out) {
-  Bytes payload;
-  SWORD_RETURN_IF_ERROR(codec.Compress(data, n, &payload));
+Status WriteFrame(const Compressor& codec, const uint8_t* data, size_t n, Bytes* out,
+                  uint8_t payload_format, CompressScratch* scratch) {
+  if (payload_format != 1 && payload_format != 2) {
+    return Status::Invalid("unknown frame payload format");
+  }
+  Bytes local_payload;
+  Bytes& payload = scratch ? scratch->payload : local_payload;
+  payload.clear();
+  SWORD_RETURN_IF_ERROR(codec.Compress(data, n, &payload, scratch));
 
   ByteWriter w(out);
-  w.PutU32(kFrameMagic);
+  w.PutU32(payload_format == 1 ? kFrameMagic : kFrameMagicV2);
   w.PutString(codec.Name());
   w.PutVarU64(n);
   w.PutVarU64(payload.size());
@@ -36,8 +52,8 @@ Status ReadFrame(ByteReader& reader, FrameView* out) {
   const size_t frame_start = reader.position();
   std::string codec_name;
   uint64_t raw_size, payload_size, checksum;
-  SWORD_RETURN_IF_ERROR(
-      ReadFrameHeader(reader, &codec_name, &raw_size, &payload_size, &checksum));
+  SWORD_RETURN_IF_ERROR(ReadFrameHeader(reader, &out->payload_format, &codec_name,
+                                        &raw_size, &payload_size, &checksum));
 
   const Compressor* codec = FindCompressor(codec_name);
   if (!codec) return Status::Corrupt("unknown codec in frame: " + codec_name);
@@ -56,11 +72,13 @@ Status ReadFrame(ByteReader& reader, FrameView* out) {
   return Status::Ok();
 }
 
-Status SkipFrame(ByteReader& reader, uint64_t* raw_size) {
+Status SkipFrame(ByteReader& reader, uint64_t* raw_size, uint8_t* payload_format) {
+  uint8_t format;
   std::string codec_name;
   uint64_t payload_size, checksum;
   SWORD_RETURN_IF_ERROR(
-      ReadFrameHeader(reader, &codec_name, raw_size, &payload_size, &checksum));
+      ReadFrameHeader(reader, &format, &codec_name, raw_size, &payload_size, &checksum));
+  if (payload_format) *payload_format = format;
   return reader.Skip(payload_size);
 }
 

@@ -4,6 +4,12 @@
 //   magic (u32) | codec name (len-prefixed) | raw_size (varu64)
 //   | payload_size (varu64) | fnv1a64(payload) (u64) | payload bytes
 //
+// The magic doubles as the PAYLOAD FORMAT version tag: "SWDF" frames carry
+// format-v1 payloads (fixed 16-byte events), "SWF2" frames carry format-v2
+// payloads (delta/varint events, see src/trace/event.h). Readers dispatch
+// per frame, so one log file may legally mix versions (e.g. a trace resumed
+// by a newer writer).
+//
 // Frames are self-describing so the offline streaming reader can walk a log
 // file frame by frame, decompress each into a bounded scratch buffer, and
 // never hold more than one decompressed frame in memory (paper SIII-B:
@@ -19,12 +25,25 @@
 
 namespace sword {
 
-constexpr uint32_t kFrameMagic = 0x53574446;  // "SWDF"
+constexpr uint32_t kFrameMagic = 0x53574446;    // "SWDF": format-v1 payload
+constexpr uint32_t kFrameMagicV2 = 0x53574632;  // "SWF2": format-v2 payload
+
+/// Hard cap on a frame's decompressed size. Writers flush one bounded trace
+/// buffer per frame (2 MB by default), so any header claiming more than this
+/// is corrupt. The checksum only covers the payload, so raw_size must be
+/// sanity-checked before it sizes an allocation.
+constexpr uint64_t kMaxFrameRawBytes = 64ull << 20;
 
 /// Compresses `data` with `codec` and appends a complete frame to `out`.
-Status WriteFrame(const Compressor& codec, const uint8_t* data, size_t n, Bytes* out);
+/// `payload_format` selects the magic (1 or 2). `scratch` optionally
+/// provides reusable compression staging (see CompressScratch): the
+/// compressed payload is built in scratch->payload instead of a fresh
+/// allocation.
+Status WriteFrame(const Compressor& codec, const uint8_t* data, size_t n, Bytes* out,
+                  uint8_t payload_format = 1, CompressScratch* scratch = nullptr);
 
 struct FrameView {
+  uint8_t payload_format = 1;   // event encoding version (from the magic)
   uint64_t raw_size = 0;        // decompressed payload size
   uint64_t frame_size = 0;      // total encoded frame size in bytes
   Bytes data;                   // decompressed payload
@@ -36,6 +55,7 @@ Status ReadFrame(ByteReader& reader, FrameView* out);
 
 /// Parses only the frame header to learn sizes without decompressing.
 /// Leaves the reader positioned past the whole frame.
-Status SkipFrame(ByteReader& reader, uint64_t* raw_size);
+Status SkipFrame(ByteReader& reader, uint64_t* raw_size,
+                 uint8_t* payload_format = nullptr);
 
 }  // namespace sword

@@ -23,7 +23,9 @@ class LzfCompressor final : public Compressor {
 
   const char* Name() const override { return "lzf"; }
 
-  Status Compress(const uint8_t* input, size_t n, Bytes* out) const override {
+  Status Compress(const uint8_t* input, size_t n, Bytes* out,
+                  CompressScratch* /*scratch*/ = nullptr) const override {
+    // The probe table lives on the stack (32 KB); no scratch needed.
     ByteWriter w(out);
     if (n == 0) return Status::Ok();
     out->reserve(out->size() + n / 2 + 64);

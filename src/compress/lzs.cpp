@@ -24,12 +24,19 @@ class LzsCompressor final : public Compressor {
 
   const char* Name() const override { return "lzs"; }
 
-  Status Compress(const uint8_t* input, size_t n, Bytes* out) const override {
+  Status Compress(const uint8_t* input, size_t n, Bytes* out,
+                  CompressScratch* scratch = nullptr) const override {
     ByteWriter w(out);
     if (n == 0) return Status::Ok();
 
-    std::vector<uint32_t> head(kHashSize, kNoPos);
-    std::vector<uint32_t> prev(n, kNoPos);
+    // Hash chains: reuse the caller's scratch vectors when provided (the
+    // flusher workers pass per-worker scratch so steady-state compression
+    // allocates nothing), else allocate locally.
+    std::vector<uint32_t> local_head, local_prev;
+    std::vector<uint32_t>& head = scratch ? scratch->chain_head : local_head;
+    std::vector<uint32_t>& prev = scratch ? scratch->chain_prev : local_prev;
+    head.assign(kHashSize, kNoPos);
+    prev.assign(n, kNoPos);
 
     size_t i = 0;
     size_t literal_start = 0;

@@ -8,7 +8,8 @@ class RawCompressor final : public Compressor {
  public:
   const char* Name() const override { return "raw"; }
 
-  Status Compress(const uint8_t* input, size_t n, Bytes* out) const override {
+  Status Compress(const uint8_t* input, size_t n, Bytes* out,
+                  CompressScratch* /*scratch*/ = nullptr) const override {
     out->insert(out->end(), input, input + n);
     return Status::Ok();
   }

@@ -16,7 +16,8 @@ class RleCompressor final : public Compressor {
 
   const char* Name() const override { return "rle"; }
 
-  Status Compress(const uint8_t* input, size_t n, Bytes* out) const override {
+  Status Compress(const uint8_t* input, size_t n, Bytes* out,
+                  CompressScratch* /*scratch*/ = nullptr) const override {
     size_t i = 0;
     while (i < n) {
       // Measure the run starting at i.

@@ -37,7 +37,10 @@ trace::IntervalMeta MetaFrom(const somp::Ctx& ctx) {
 SwordTool::SwordTool(SwordConfig config)
     : config_(std::move(config)),
       memory_("sword-rt"),
-      flusher_(config_.async_flush),
+      flusher_(trace::FlusherConfig{.async = config_.async_flush,
+                                    .workers = config_.flush_workers,
+                                    .max_queued_jobs = config_.flush_queue_depth,
+                                    .memory = &memory_}),
       instance_id_(g_next_instance_id.fetch_add(1)) {
   assert(!config_.out_dir.empty());
 }
@@ -62,7 +65,7 @@ SwordTool::ThreadState& SwordTool::State() {
   wc.buffer_bytes = config_.buffer_bytes;
   wc.codec = FindCompressor(config_.codec);
   wc.flusher = &flusher_;
-  wc.memory = &memory_;
+  wc.format = config_.trace_format;
   raw->writer = std::make_unique<trace::ThreadTraceWriter>(tid, wc);
   // The modeled fixed auxiliary overhead (OMPT + thread-local state).
   (void)memory_.Charge(kAuxBytesPerThread);

@@ -38,6 +38,9 @@ struct SwordConfig {
   uint64_t buffer_bytes = 2 * 1024 * 1024;   // per-thread trace buffer
   std::string codec = "lzf";                 // "raw", "rle", "lzs", or "lzf"
   bool async_flush = true;
+  uint32_t flush_workers = 0;                // 0 = min(4, hw_concurrency)
+  size_t flush_queue_depth = trace::Flusher::kDefaultMaxQueuedJobs;
+  uint8_t trace_format = trace::kTraceFormatV2;  // event encoding version
 };
 
 /// The paper's measured per-thread auxiliary overhead (thread-local state +
@@ -78,6 +81,10 @@ class SwordTool final : public somp::Tool {
   uint64_t EventsLogged() const { return events_logged_.load(); }
   uint64_t BytesWritten() const { return flusher_.bytes_written(); }
   uint64_t Flushes() const;
+
+  /// Flush-pipeline observability (queue pressure, producer stalls,
+  /// per-worker throughput) for the overhead tables.
+  trace::FlusherStats FlushStats() const { return flusher_.stats(); }
 
  private:
   struct ThreadState {

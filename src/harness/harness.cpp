@@ -106,6 +106,8 @@ RunResult RunWorkload(const workloads::Workload& workload, const RunConfig& conf
       sc.buffer_bytes = config.buffer_bytes;
       sc.codec = config.codec;
       sc.async_flush = config.async_flush;
+      sc.flush_workers = config.flush_workers;
+      sc.trace_format = config.trace_format;
 
       {
         core::SwordTool tool(sc);
@@ -118,6 +120,7 @@ RunResult RunWorkload(const workloads::Workload& workload, const RunConfig& conf
         result.events = tool.EventsLogged();
         result.flushes = tool.Flushes();
         result.trace_threads = tool.ThreadCount();
+        result.flusher = tool.FlushStats();
         if (!fin.ok()) {
           result.status = fin;
           UnconfigureRuntime();

@@ -19,6 +19,7 @@
 
 #include "common/status.h"
 #include "offline/analysis.h"
+#include "trace/flusher.h"
 #include "workloads/workload.h"
 
 namespace sword::harness {
@@ -38,6 +39,8 @@ struct RunConfig {
   uint64_t buffer_bytes = 2 * 1024 * 1024;
   std::string codec = "lzf";
   bool async_flush = true;
+  uint32_t flush_workers = 0;          // flusher pool size; 0 = auto
+  uint8_t trace_format = trace::kTraceFormatV2;
   bool run_offline = true;             // run the offline analysis afterwards
   uint32_t offline_threads = 1;
   ilp::OverlapEngine engine = ilp::OverlapEngine::kDiophantine;
@@ -67,6 +70,7 @@ struct RunResult {
   uint64_t events = 0;              // events logged (sword) / accesses seen
   uint64_t flushes = 0;             // buffer flushes (sword)
   uint64_t trace_threads = 0;       // sword threads (for N*(B+C))
+  trace::FlusherStats flusher;      // flush-pipeline counters (sword)
 
   offline::AnalysisStats analysis;  // populated for sword runs
 

@@ -97,11 +97,13 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
   std::mutex races_mutex;
   // Frame caches live across buckets so consecutive buckets whose segments
   // share a frame (the common case: many tiny top-level regions per frame)
-  // reuse the decompression. One cache map per builder worker; groups are
-  // assigned to workers by a stable modulo so the same lane's frames keep
-  // hitting the same worker's cache bucket after bucket.
-  std::vector<std::map<uint32_t, trace::FrameCache>> worker_caches(
-      std::max<uint32_t>(1, config.threads));
+  // reuse the decompression. One bounded LRU cache per builder worker -
+  // entries are keyed by (log reader, frame), so a single cache serves every
+  // trace thread the worker touches while its byte cap keeps a long analysis
+  // from retaining every frame it ever decompressed. Groups are assigned to
+  // workers by a stable modulo so the same lane's frames keep hitting the
+  // same worker's cache bucket after bucket.
+  std::vector<trace::FrameCache> worker_caches(std::max<uint32_t>(1, config.threads));
 
   uint64_t bucket_ordinal = ~0ULL;
   for (auto& [root_offset, segments] : buckets) {
@@ -139,12 +141,11 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
     {
       std::mutex status_mutex;
       auto build_group = [&](Group* group, AnalysisStats* stats,
-                             std::map<uint32_t, trace::FrameCache>* caches) {
-        // One decompressed-frame cache per trace thread per builder: small
-        // segments sharing a frame decode it once, not once per segment.
-        trace::FrameCache& cache = (*caches)[group->thread_idx];
+                             trace::FrameCache* cache) {
+        // Small segments sharing a frame decode it once, not once per
+        // segment, courtesy of the worker's LRU frame cache.
         for (const trace::IntervalMeta* meta : group->segments) {
-          const Status s = BuildSegment(store, *group, *meta, mutexes, *stats, &cache);
+          const Status s = BuildSegment(store, *group, *meta, mutexes, *stats, cache);
           if (!s.ok()) {
             std::lock_guard lock(status_mutex);
             if (result.status.ok()) result.status = s;
@@ -164,6 +165,7 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
             std::min<uint32_t>(config.threads, static_cast<uint32_t>(groups.size()));
         std::vector<AnalysisStats> stats(workers);
         std::vector<std::thread> threads;
+        threads.reserve(workers);
         for (uint32_t w = 0; w < workers; w++) {
           threads.emplace_back([&, w] {
             // Stable modulo assignment keeps lane k on worker k%workers, so
@@ -192,6 +194,7 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
     // --- 4: concurrency judgment per label pair, then tree comparison.
     Timer compare_timer;
     std::vector<std::pair<Group*, Group*>> concurrent;
+    concurrent.reserve(groups.size());
     // Concurrency is judged purely on labels: one OS thread may have hosted
     // two different lanes back to back (worker reuse), and those lanes'
     // intervals still race in the OpenMP abstract machine even though this
@@ -229,6 +232,7 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
           std::min<uint32_t>(config.threads, static_cast<uint32_t>(concurrent.size()));
       std::vector<CheckStats> stats(workers);
       std::vector<std::thread> threads;
+      threads.reserve(workers);
       std::atomic<size_t> next{0};
       for (uint32_t w = 0; w < workers; w++) {
         threads.emplace_back([&, w] {

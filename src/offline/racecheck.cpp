@@ -4,7 +4,7 @@ namespace sword::offline {
 
 void CheckTreePair(const itree::IntervalTree& a, const itree::IntervalTree& b,
                    const itree::MutexSetTable& mutexes, ilp::OverlapEngine engine,
-                   const std::function<void(const RaceReport&)>& on_race,
+                   FunctionRef<void(const RaceReport&)> on_race,
                    CheckStats* stats) {
   if (a.Empty() || b.Empty()) return;
   // Iterate the smaller tree, range-query the larger: O(M log M') with

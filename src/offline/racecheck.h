@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "common/function_ref.h"
 #include "common/race_report.h"
 #include "ilp/overlap.h"
 #include "itree/interval_tree.h"
@@ -25,12 +26,14 @@ struct CheckStats {
 };
 
 /// Compares two interval trees from concurrent barrier intervals; reports
-/// every racing node pair through `on_race`. Thread-safe for concurrent
-/// calls on distinct tree pairs (the mutex table is shared and thread-safe).
+/// every racing node pair through `on_race` (a non-owning view - this is the
+/// hottest callback in the analyzer and must not allocate). Thread-safe for
+/// concurrent calls on distinct tree pairs (the mutex table is shared and
+/// thread-safe).
 void CheckTreePair(const itree::IntervalTree& a, const itree::IntervalTree& b,
                    const itree::MutexSetTable& mutexes,
                    ilp::OverlapEngine engine,
-                   const std::function<void(const RaceReport&)>& on_race,
+                   FunctionRef<void(const RaceReport&)> on_race,
                    CheckStats* stats = nullptr);
 
 }  // namespace sword::offline

@@ -34,9 +34,10 @@ int main(int argc, char** argv) {
 
   for (const auto& thread : store.value().threads()) {
     if (only_thread >= 0 && thread.tid != static_cast<uint32_t>(only_thread)) continue;
-    std::printf("=== thread %u: %zu interval(s), %s logical log ===\n", thread.tid,
-                thread.meta.intervals.size(),
-                FormatBytes(thread.log->total_logical_bytes()).c_str());
+    std::printf("=== thread %u: %zu interval(s), %s logical log, format v%u ===\n",
+                thread.tid, thread.meta.intervals.size(),
+                FormatBytes(thread.log->total_logical_bytes()).c_str(),
+                thread.meta.log_format);
     for (const auto& meta : thread.meta.intervals) {
       std::printf("  %s\n", meta.ToString().c_str());
       if (!dump_events) continue;

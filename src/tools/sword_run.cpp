@@ -3,7 +3,7 @@
 //   sword-run --list
 //   sword-run --suite drb --name nowait-orig-yes --tool sword [--threads 8]
 //             [--size N] [--trace-dir DIR] [--buffer-kb K] [--codec C]
-//             [--cap-mb M]
+//             [--cap-mb M] [--flush-workers W] [--format 1|2]
 //
 // The workbench the comparative tables are built from, exposed as a CLI so
 // individual configurations can be reproduced by hand. With --trace-dir the
@@ -15,6 +15,7 @@
 #include "common/timer.h"
 #include "harness/harness.h"
 #include "somp/srcloc.h"
+#include "trace/event.h"
 #include "workloads/workload.h"
 
 using namespace sword;
@@ -58,6 +59,14 @@ int main(int argc, char** argv) {
   config.buffer_bytes = static_cast<uint64_t>(args.GetInt("buffer-kb", 2048)) * 1024;
   config.codec = args.GetString("codec", "lzf");
   config.trace_dir = args.GetString("trace-dir", "");
+  config.flush_workers = static_cast<uint32_t>(args.GetInt("flush-workers", 0));
+  const int64_t format = args.GetInt("format", trace::kTraceFormatV2);
+  if (format != trace::kTraceFormatV1 && format != trace::kTraceFormatV2) {
+    std::fprintf(stderr, "unknown trace format %lld (use 1 or 2)\n",
+                 static_cast<long long>(format));
+    return 1;
+  }
+  config.trace_format = static_cast<uint8_t>(format);
   config.archer_memory_cap =
       static_cast<uint64_t>(args.GetInt("cap-mb", 0)) * 1024 * 1024;
   config.offline_threads = static_cast<uint32_t>(args.GetInt("offline-threads", 1));
@@ -80,6 +89,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.events),
                 static_cast<unsigned long long>(r.flushes),
                 FormatBytes(r.log_bytes_on_disk).c_str());
+    std::printf("  flush pipeline:  %zu worker(s), %llu job(s), %s in, "
+                "%llu stall(s) (%s blocked)\n",
+                r.flusher.worker_bytes_in.size(),
+                static_cast<unsigned long long>(r.flusher.jobs_completed),
+                FormatBytes(r.flusher.bytes_in).c_str(),
+                static_cast<unsigned long long>(r.flusher.producer_blocks),
+                FormatSeconds(static_cast<double>(r.flusher.blocked_nanos) * 1e-9)
+                    .c_str());
   }
   std::printf("  app footprint:   %s\n", FormatBytes(r.baseline_bytes).c_str());
   std::printf("  detector memory: %s%s\n", FormatBytes(r.tool_peak_bytes).c_str(),

@@ -1,10 +1,21 @@
 // Trace event encoding.
 //
-// Each thread's log file is a sequence of compressed frames whose decompressed
-// payload is a dense array of 16-byte events. Offsets in the meta file are
+// Each thread's log file is a sequence of compressed frames whose
+// decompressed payload is a stream of events. Offsets in the meta file are
 // *logical* (decompressed-stream) byte offsets, so the writer knows every
 // interval's position without waiting for compression, and the reader can
 // skip frames using only their headers (paper SIII-B's streaming reads).
+//
+// Two payload formats exist, tagged by the frame magic (compress/frame.h):
+//
+//   v1 - a dense array of fixed 16-byte events (the original layout).
+//   v2 - variable-length events: one packed tag byte (kind / flags / size
+//        code), a varint pc, and the ADDRESS DELTA against the previous
+//        access in the same frame as a zigzag varint. Typical access events
+//        take 3-5 bytes instead of 16 before compression, and the delta
+//        stream compresses far better (strided loops become runs of
+//        identical bytes). Delta state resets at every frame boundary, so
+//        frames stay independently decodable.
 //
 // Event kinds:
 //   kAccess        - one instrumented load/store; addr/size/flags/pc
@@ -20,6 +31,10 @@
 #include "common/status.h"
 
 namespace sword::trace {
+
+/// Trace event-encoding format versions (the frame magic carries the tag).
+constexpr uint8_t kTraceFormatV1 = 1;
+constexpr uint8_t kTraceFormatV2 = 2;
 
 enum class EventKind : uint8_t {
   kAccess = 0,
@@ -59,13 +74,35 @@ struct RawEvent {
   friend bool operator==(const RawEvent&, const RawEvent&) = default;
 };
 
-/// Encoded size of one event in the log stream.
+// ---------------------------------------------------------------- format v1
+
+/// Encoded size of one v1 event in the log stream.
 constexpr uint64_t kEventBytes = 16;
 
-/// Appends the 16-byte little-endian encoding of `e`.
+/// Appends the 16-byte little-endian v1 encoding of `e`.
 void EncodeEvent(const RawEvent& e, ByteWriter& w);
 
-/// Decodes one event; fails on truncation or unknown kind.
+/// Decodes one v1 event; fails on truncation or unknown kind.
 Status DecodeEvent(ByteReader& r, RawEvent* out);
+
+// ---------------------------------------------------------------- format v2
+
+/// Upper bound on one v2 event's encoded size: tag (1) + extended flags (1)
+/// + explicit size varint (2) + pc varint (5) + address-delta varint (10).
+constexpr uint64_t kMaxEventBytesV2 = 19;
+
+/// Delta-coder state: the previous ACCESS address seen in the current frame.
+/// Encoder and decoder must carry matching state and reset it at every frame
+/// boundary (the writer resets on flush; frames stay self-contained).
+struct EventCodecState {
+  uint64_t prev_addr = 0;
+};
+
+/// Appends the variable-length v2 encoding of `e`, updating `state`.
+void EncodeEventV2(const RawEvent& e, EventCodecState& state, ByteWriter& w);
+
+/// Decodes one v2 event, updating `state`; fails on truncation, unknown
+/// kind, or a reserved tag layout.
+Status DecodeEventV2(ByteReader& r, EventCodecState& state, RawEvent* out);
 
 }  // namespace sword::trace

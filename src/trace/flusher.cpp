@@ -1,49 +1,155 @@
 #include "trace/flusher.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "common/fsutil.h"
 #include "compress/frame.h"
 
 namespace sword::trace {
 
-Flusher::Flusher(bool async) : async_(async) {
-  if (async_) thread_ = std::thread([this] { Run(); });
+// ----------------------------------------------------------------- BufferPool
+
+BufferPool::~BufferPool() {
+  if (!memory_) return;
+  for (const Bytes& b : free_) memory_->Release(b.capacity());
+}
+
+Bytes BufferPool::Acquire(size_t capacity) {
+  {
+    std::lock_guard lock(mutex_);
+    if (!free_.empty()) {
+      Bytes b = std::move(free_.back());
+      free_.pop_back();
+      recycles_.fetch_add(1, std::memory_order_relaxed);
+      b.clear();
+      if (b.capacity() < capacity) {
+        const size_t before = b.capacity();
+        b.reserve(capacity);
+        if (memory_) (void)memory_->Charge(b.capacity() - before);
+      }
+      return b;
+    }
+  }
+  Bytes b;
+  b.reserve(capacity);
+  if (memory_) (void)memory_->Charge(b.capacity());
+  allocations_.fetch_add(1, std::memory_order_relaxed);
+  return b;
+}
+
+void BufferPool::Release(Bytes buffer) {
+  if (buffer.capacity() == 0) return;
+  {
+    std::lock_guard lock(mutex_);
+    if (free_.size() < max_free_) {
+      free_.push_back(std::move(buffer));
+      return;
+    }
+  }
+  // Free list full: let the buffer die and un-charge it.
+  if (memory_) memory_->Release(buffer.capacity());
+}
+
+size_t BufferPool::free_count() const {
+  std::lock_guard lock(mutex_);
+  return free_.size();
+}
+
+// -------------------------------------------------------------------- Flusher
+
+namespace {
+
+uint32_t DefaultWorkers() {
+  const uint32_t hw = std::thread::hardware_concurrency();
+  return std::min(4u, std::max(1u, hw));
+}
+
+}  // namespace
+
+Flusher::Flusher(const FlusherConfig& config)
+    : async_(config.async),
+      max_queued_jobs_(std::max<size_t>(1, config.max_queued_jobs)),
+      pool_(config.max_pooled_buffers, config.memory) {
+  if (!async_) return;
+  const uint32_t n = config.workers ? config.workers : DefaultWorkers();
+  workers_.reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Threads start only after the vector is fully built: Run() indexes it.
+  for (uint32_t i = 0; i < n; i++) {
+    workers_[i]->thread = std::thread([this, i] { Run(i); });
+  }
 }
 
 Flusher::~Flusher() {
-  if (async_) {
-    {
-      std::lock_guard lock(mutex_);
-      stop_ = true;
-    }
-    cv_.notify_all();
-    thread_.join();
+  if (!async_) return;
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
   }
+  for (auto& w : workers_) w->cv.notify_all();
+  for (auto& w : workers_) w->thread.join();
 }
 
-void Flusher::AppendFrame(const std::string& path, Bytes raw, const Compressor* codec) {
-  Enqueue(Job{path, std::move(raw), codec ? codec : DefaultCompressor()});
+void Flusher::AppendFrame(const std::string& path, Bytes raw, const Compressor* codec,
+                          uint8_t payload_format) {
+  Job job;
+  job.path = path;
+  job.data = std::move(raw);
+  job.codec = codec ? codec : DefaultCompressor();
+  job.payload_format = payload_format;
+  job.recycle = true;
+  Enqueue(std::move(job));
 }
 
 void Flusher::Append(const std::string& path, Bytes data) {
-  Enqueue(Job{path, std::move(data), nullptr});
+  Job job;
+  job.path = path;
+  job.data = std::move(data);
+  Enqueue(std::move(job));
+}
+
+size_t Flusher::LaneFor(const std::string& path) const {
+  // Stable shard: every frame for one file lands in the same FIFO lane, so
+  // per-file append order is submission order.
+  return Fnv1a64(path.data(), path.size()) % workers_.size();
 }
 
 void Flusher::Enqueue(Job job) {
+  const size_t raw_bytes = job.data.size();
   if (!async_) {
-    DoJob(job);
+    DoJob(job, nullptr);
+    if (job.recycle) pool_.Release(std::move(job.data));
+    std::lock_guard lock(mutex_);
+    jobs_enqueued_++;
+    jobs_completed_++;
+    bytes_in_ += raw_bytes;
     return;
   }
+
+  const size_t lane = LaneFor(job.path);
   {
     std::unique_lock lock(mutex_);
-    space_cv_.wait(lock, [&] { return queue_.size() < kMaxQueuedJobs; });
-    queue_.push_back(std::move(job));
+    if (queued_ >= max_queued_jobs_) {
+      producer_blocks_++;
+      const auto t0 = std::chrono::steady_clock::now();
+      space_cv_.wait(lock, [&] { return queued_ < max_queued_jobs_; });
+      blocked_nanos_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    }
+    workers_[lane]->lane.push_back(std::move(job));
+    queued_++;
     in_flight_++;
+    jobs_enqueued_++;
+    bytes_in_ += raw_bytes;
   }
-  cv_.notify_one();
+  workers_[lane]->cv.notify_one();
 }
 
 void Flusher::Drain() {
-  if (!async_) return;
   std::unique_lock lock(mutex_);
   drained_cv_.wait(lock, [&] { return in_flight_ == 0; });
 }
@@ -53,35 +159,43 @@ Status Flusher::status() const {
   return status_;
 }
 
-void Flusher::Run() {
+void Flusher::Run(uint32_t index) {
+  Worker& me = *workers_[index];
+  std::unique_lock lock(mutex_);
   while (true) {
-    Job job;
-    {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stop_) return;
-        continue;
-      }
-      job = std::move(queue_.front());
-      queue_.pop_front();
-      space_cv_.notify_one();
+    me.cv.wait(lock, [&] { return stop_ || !me.lane.empty(); });
+    if (me.lane.empty()) {
+      if (stop_) return;
+      continue;
     }
-    DoJob(job);
-    {
-      std::lock_guard lock(mutex_);
-      in_flight_--;
-      if (in_flight_ == 0) drained_cv_.notify_all();
-    }
+    Job job = std::move(me.lane.front());
+    me.lane.pop_front();
+    queued_--;
+    space_cv_.notify_one();
+    lock.unlock();
+
+    const size_t raw_bytes = job.data.size();
+    const bool compressed = job.codec != nullptr;
+    DoJob(job, &me);
+    if (job.recycle) pool_.Release(std::move(job.data));
+
+    lock.lock();
+    if (compressed) me.bytes_in += raw_bytes;
+    jobs_completed_++;
+    in_flight_--;
+    if (in_flight_ == 0) drained_cv_.notify_all();
   }
 }
 
-void Flusher::DoJob(const Job& job) {
+void Flusher::DoJob(const Job& job, Worker* worker) {
   Status status;
   size_t written = 0;
   if (job.codec) {
-    Bytes frame;
-    status = WriteFrame(*job.codec, job.data.data(), job.data.size(), &frame);
+    Bytes local_frame;
+    Bytes& frame = worker ? worker->frame : local_frame;
+    frame.clear();
+    status = WriteFrame(*job.codec, job.data.data(), job.data.size(), &frame,
+                        job.payload_format, worker ? &worker->scratch : nullptr);
     if (status.ok()) {
       status = AppendFile(job.path, frame.data(), frame.size());
       written = frame.size();
@@ -97,6 +211,22 @@ void Flusher::DoJob(const Job& job) {
   }
   bytes_written_.fetch_add(written);
   appends_.fetch_add(1);
+}
+
+FlusherStats Flusher::stats() const {
+  FlusherStats s;
+  std::lock_guard lock(mutex_);
+  s.jobs_enqueued = jobs_enqueued_;
+  s.jobs_completed = jobs_completed_;
+  s.producer_blocks = producer_blocks_;
+  s.blocked_nanos = blocked_nanos_;
+  s.bytes_in = bytes_in_;
+  s.bytes_written = bytes_written_.load();
+  s.appends = appends_.load();
+  s.queued_now = queued_;
+  s.worker_bytes_in.reserve(workers_.size());
+  for (const auto& w : workers_) s.worker_bytes_in.push_back(w->bytes_in);
+  return s;
 }
 
 }  // namespace sword::trace

@@ -1,20 +1,32 @@
-// Asynchronous log flusher.
+// Asynchronous log-flush pipeline.
 //
-// When a thread's trace buffer fills, the buffer is handed to a dedicated
-// I/O thread which COMPRESSES it and appends the framed result to the
-// thread's log file - the application thread resumes immediately, which is
-// the paper's "compressed and asynchronously written out" design. Appends to
-// any single file happen in submission order because one thread performs
-// them all.
+// When a thread's trace buffer fills, the buffer is handed to a pool of I/O
+// workers which COMPRESS it and append the framed result to the thread's log
+// file - the application thread resumes immediately, which is the paper's
+// "compressed and asynchronously written out" design, scaled past the single
+// flusher thread: with many producer threads one compressor becomes the
+// bottleneck and backpressure stalls the application, which is exactly the
+// overhead the paper claims to avoid.
 //
-// Backpressure keeps memory bounded: at most kMaxQueuedJobs raw buffers may
-// be in flight; producers block once the queue is full (on a machine with
-// spare cores this never happens; on an oversubscribed one it bounds the
-// trace memory to queue_depth x buffer_size instead of growing without
-// limit). Drain() blocks until everything reached the filesystem.
+// Ordering: jobs are sharded by destination path (stable hash -> per-worker
+// FIFO lane), so appends to any single log file happen in submission order
+// while different threads' files compress and write in parallel.
 //
-// A synchronous mode compresses+writes inline, for the buffer-size ablation
-// which wants I/O on the critical path.
+// Memory is bounded end to end:
+//  - global backpressure: at most `max_queued_jobs` buffers may be queued
+//    across all lanes; producers block once the queue is full, which bounds
+//    trace memory to ~queue_depth x buffer_size instead of growing without
+//    limit. Block count and blocked time are surfaced in FlusherStats.
+//  - a BufferPool recycles event buffers: writers swap their full buffer in
+//    and take a recycled one back, so steady-state flushing performs no
+//    2 MB allocations; every pooled buffer is charged to the configured
+//    MemoryScope, and the free list is capped.
+//  - per-worker CompressScratch reuses the codec working memory (lzs hash
+//    chains, frame staging) across jobs.
+//
+// Drain() blocks until everything reached the filesystem. A synchronous mode
+// compresses+writes inline on the calling thread, for the buffer-size
+// ablation which wants I/O on the critical path.
 #pragma once
 
 #include <atomic>
@@ -24,28 +36,96 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/bytes.h"
+#include "common/memtrack.h"
 #include "common/status.h"
 #include "compress/compressor.h"
 
 namespace sword::trace {
 
+/// Recycles byte buffers between trace writers and flusher workers. All
+/// buffers that exist because of the pool (handed out or free-listed) are
+/// charged to `memory`, so the bounded-memory accounting sees the real
+/// buffer population, not just the writers' nominal capacity. Thread-safe.
+class BufferPool {
+ public:
+  static constexpr size_t kDefaultMaxFree = 16;
+
+  explicit BufferPool(size_t max_free = kDefaultMaxFree,
+                      MemoryScope* memory = nullptr)
+      : max_free_(max_free), memory_(memory) {}
+  ~BufferPool();
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns an empty buffer with capacity >= `capacity`: a recycled one
+  /// when available, else a fresh allocation (charged to the scope).
+  Bytes Acquire(size_t capacity);
+
+  /// Returns a buffer to the pool. Kept (still charged) while the free list
+  /// holds < max_free buffers; freed (and un-charged) beyond that.
+  void Release(Bytes buffer);
+
+  uint64_t allocations() const { return allocations_.load(); }
+  uint64_t recycles() const { return recycles_.load(); }
+  size_t free_count() const;
+
+ private:
+  const size_t max_free_;
+  MemoryScope* const memory_;
+  mutable std::mutex mutex_;
+  std::vector<Bytes> free_;
+  std::atomic<uint64_t> allocations_{0};
+  std::atomic<uint64_t> recycles_{0};
+};
+
+struct FlusherConfig {
+  bool async = true;
+  /// Worker threads; 0 = min(4, hardware_concurrency). Ignored in sync mode.
+  uint32_t workers = 0;
+  /// Global backpressure bound across all lanes.
+  size_t max_queued_jobs = 16;
+  /// Cap on the buffer pool's free list.
+  size_t max_pooled_buffers = BufferPool::kDefaultMaxFree;
+  /// Accounting scope for pooled buffers (the trace memory bound).
+  MemoryScope* memory = nullptr;
+};
+
+/// Observability counters (satellite telemetry for the overhead tables; all
+/// values are cumulative since construction unless noted).
+struct FlusherStats {
+  uint64_t jobs_enqueued = 0;
+  uint64_t jobs_completed = 0;
+  uint64_t producer_blocks = 0;  // producers that hit backpressure
+  uint64_t blocked_nanos = 0;    // total producer wait under backpressure
+  uint64_t bytes_in = 0;         // raw bytes submitted
+  uint64_t bytes_written = 0;    // framed bytes on disk
+  uint64_t appends = 0;
+  size_t queued_now = 0;               // snapshot: jobs waiting in lanes
+  std::vector<uint64_t> worker_bytes_in;  // raw bytes compressed per worker
+};
+
 class Flusher {
  public:
-  static constexpr size_t kMaxQueuedJobs = 16;
+  static constexpr size_t kDefaultMaxQueuedJobs = 16;
 
-  explicit Flusher(bool async = true);
+  explicit Flusher(const FlusherConfig& config);
+  /// Convenience: default config with the given mode.
+  explicit Flusher(bool async = true) : Flusher(FlusherConfig{.async = async}) {}
   ~Flusher();
   Flusher(const Flusher&) = delete;
   Flusher& operator=(const Flusher&) = delete;
 
-  /// Queues "compress `raw` with `codec` and append the frame to `path`".
-  /// Blocks when the queue is full (backpressure). Sync mode does the work
-  /// inline.
-  void AppendFrame(const std::string& path, Bytes raw, const Compressor* codec);
+  /// Queues "compress `raw` with `codec`, frame it tagged `payload_format`,
+  /// and append to `path`". Blocks when the queue is full (backpressure).
+  /// Sync mode does the work inline. The buffer is recycled into pool()
+  /// after the frame is written.
+  void AppendFrame(const std::string& path, Bytes raw, const Compressor* codec,
+                   uint8_t payload_format = 1);
 
-  /// Queues a raw (pre-encoded) append with no compression.
+  /// Queues a raw (pre-encoded) append with no compression or framing.
   void Append(const std::string& path, Bytes data);
 
   /// Blocks until every queued job has hit the filesystem.
@@ -54,32 +134,60 @@ class Flusher {
   /// First I/O error encountered, if any (sticky).
   Status status() const;
 
+  bool async() const { return async_; }
+  uint32_t workers() const { return static_cast<uint32_t>(workers_.size()); }
+  BufferPool& pool() { return pool_; }
+
   uint64_t bytes_written() const { return bytes_written_.load(); }
   uint64_t appends() const { return appends_.load(); }
+
+  /// Snapshot of the observability counters.
+  FlusherStats stats() const;
 
  private:
   struct Job {
     std::string path;
     Bytes data;
     const Compressor* codec = nullptr;  // null = raw append
+    uint8_t payload_format = 1;
+    bool recycle = false;  // return `data` to the pool afterwards
+  };
+
+  struct Worker {
+    std::thread thread;
+    std::condition_variable cv;
+    std::deque<Job> lane;  // FIFO per worker: per-path order is preserved
+    CompressScratch scratch;
+    Bytes frame;  // reusable frame staging
+    uint64_t bytes_in = 0;
   };
 
   void Enqueue(Job job);
-  void Run();
-  void DoJob(const Job& job);
+  void Run(uint32_t index);
+  /// Compress+write one job. `worker` supplies reusable scratch (null in
+  /// sync mode, where concurrent producers would contend on it).
+  void DoJob(const Job& job, Worker* worker);
+  size_t LaneFor(const std::string& path) const;
 
   const bool async_;
+  const size_t max_queued_jobs_;
+  BufferPool pool_;
+
   mutable std::mutex mutex_;
-  std::condition_variable cv_;
   std::condition_variable drained_cv_;
   std::condition_variable space_cv_;
-  std::deque<Job> queue_;
+  std::vector<std::unique_ptr<Worker>> workers_;
   bool stop_ = false;
-  size_t in_flight_ = 0;
+  size_t queued_ = 0;     // jobs waiting in lanes (gates producers)
+  size_t in_flight_ = 0;  // queued + executing (gates Drain)
   Status status_;
+  uint64_t jobs_enqueued_ = 0;
+  uint64_t jobs_completed_ = 0;
+  uint64_t producer_blocks_ = 0;
+  uint64_t blocked_nanos_ = 0;
+  uint64_t bytes_in_ = 0;
   std::atomic<uint64_t> bytes_written_{0};
   std::atomic<uint64_t> appends_{0};
-  std::thread thread_;
 };
 
 }  // namespace sword::trace

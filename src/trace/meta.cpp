@@ -2,7 +2,7 @@
 
 namespace sword::trace {
 
-void IntervalMeta::Serialize(ByteWriter& w) const {
+void IntervalMeta::Serialize(ByteWriter& w, uint8_t version) const {
   w.PutVarU64(region);
   w.PutVarU64(parent_region);
   w.PutVarU64(phase);
@@ -11,11 +11,12 @@ void IntervalMeta::Serialize(ByteWriter& w) const {
   w.PutVarU64(lane);
   w.PutVarU64(data_begin);
   w.PutVarU64(data_size);
+  if (version >= 2) w.PutVarU64(event_count);
   w.PutVarU64(lockset.size());
   for (uint32_t m : lockset) w.PutVarU64(m);
 }
 
-Status IntervalMeta::Deserialize(ByteReader& r, IntervalMeta* out) {
+Status IntervalMeta::Deserialize(ByteReader& r, IntervalMeta* out, uint8_t version) {
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->region));
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->parent_region));
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->phase));
@@ -27,6 +28,8 @@ Status IntervalMeta::Deserialize(ByteReader& r, IntervalMeta* out) {
   out->lane = static_cast<uint32_t>(lane);
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->data_begin));
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->data_size));
+  out->event_count = 0;
+  if (version >= 2) SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->event_count));
   uint64_t n;
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&n));
   out->lockset.clear();
@@ -49,16 +52,18 @@ std::string IntervalMeta::ToString() const {
   out += " level=" + std::to_string(level);
   out += " data_begin=" + std::to_string(data_begin);
   out += " size=" + std::to_string(data_size);
+  out += " events=" + std::to_string(EventCount());
   out += " label=" + label.ToString();
   return out;
 }
 
 Bytes MetaFile::Encode() const {
   ByteWriter w;
-  w.PutU32(kMetaMagic);
+  w.PutU32(kMetaMagicV2);
   w.PutVarU64(thread_id);
+  w.PutU8(log_format);
   w.PutVarU64(intervals.size());
-  for (const auto& m : intervals) m.Serialize(w);
+  for (const auto& m : intervals) m.Serialize(w, /*version=*/2);
   return w.buffer();
 }
 
@@ -66,16 +71,31 @@ Status MetaFile::Decode(const Bytes& data, MetaFile* out) {
   ByteReader r(data);
   uint32_t magic;
   SWORD_RETURN_IF_ERROR(r.GetU32(&magic));
-  if (magic != kMetaMagic) return Status::Corrupt("bad meta magic");
+  uint8_t version;
+  if (magic == kMetaMagic) {
+    version = 1;
+  } else if (magic == kMetaMagicV2) {
+    version = 2;
+  } else {
+    return Status::Corrupt("bad meta magic");
+  }
   uint64_t tid, n;
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&tid));
   out->thread_id = static_cast<uint32_t>(tid);
+  if (version >= 2) {
+    SWORD_RETURN_IF_ERROR(r.GetU8(&out->log_format));
+    if (out->log_format != kTraceFormatV1 && out->log_format != kTraceFormatV2) {
+      return Status::Corrupt("unknown log format in meta file");
+    }
+  } else {
+    out->log_format = kTraceFormatV1;  // v1 metas only ever paired v1 logs
+  }
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&n));
   out->intervals.clear();
   out->intervals.reserve(n);
   for (uint64_t i = 0; i < n; i++) {
     IntervalMeta m;
-    SWORD_RETURN_IF_ERROR(IntervalMeta::Deserialize(r, &m));
+    SWORD_RETURN_IF_ERROR(IntervalMeta::Deserialize(r, &m, version));
     out->intervals.push_back(std::move(m));
   }
   if (!r.AtEnd()) return Status::Corrupt("trailing bytes in meta file");

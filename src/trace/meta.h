@@ -23,6 +23,7 @@
 #include "common/bytes.h"
 #include "common/status.h"
 #include "osl/label.h"
+#include "trace/event.h"
 
 namespace sword::trace {
 
@@ -35,6 +36,7 @@ struct IntervalMeta {
   uint32_t lane = 0;            // thread num within the team
   uint64_t data_begin = 0;      // logical byte offset into the log stream
   uint64_t data_size = 0;       // bytes of event data in this segment
+  uint64_t event_count = 0;     // events in this segment (0 in v1 metas)
   std::vector<uint32_t> lockset;  // mutexes held when the segment opened
 
   static constexpr uint64_t kNoParent = ~0ULL;
@@ -44,10 +46,16 @@ struct IntervalMeta {
   /// Table I "span" column: innermost label pair span.
   uint32_t TableSpan() const { return label.pairs().back().span; }
 
-  uint64_t EventCount() const { return data_size / 16; }
+  /// Events in this segment. v2 metas record the count explicitly (required
+  /// for variable-length event encodings); v1 metas derive it from the fixed
+  /// 16-byte event size.
+  uint64_t EventCount() const {
+    return event_count ? event_count : data_size / kEventBytes;
+  }
 
-  void Serialize(ByteWriter& w) const;
-  static Status Deserialize(ByteReader& r, IntervalMeta* out);
+  /// `version` is the meta-file format (1 omits event_count, 2 records it).
+  void Serialize(ByteWriter& w, uint8_t version = 2) const;
+  static Status Deserialize(ByteReader& r, IntervalMeta* out, uint8_t version = 2);
 
   /// One Table-I-style text line (debugging and the quickstart example).
   std::string ToString() const;
@@ -56,12 +64,18 @@ struct IntervalMeta {
 /// Whole meta file: header + interval records.
 struct MetaFile {
   uint32_t thread_id = 0;  // dense SWORD thread id (not an OS id)
+  /// Event-encoding format of the companion .log file (kTraceFormatV*).
+  /// Informational: the log's frames are self-tagging; tools print this.
+  uint8_t log_format = kTraceFormatV2;
   std::vector<IntervalMeta> intervals;
 
+  /// Always writes the current (v2) meta format.
   Bytes Encode() const;
+  /// Decodes v1 ("SWMF") and v2 ("SWM2") meta files.
   static Status Decode(const Bytes& data, MetaFile* out);
 };
 
-constexpr uint32_t kMetaMagic = 0x53574d46;  // "SWMF"
+constexpr uint32_t kMetaMagic = 0x53574d46;    // "SWMF" (meta format v1)
+constexpr uint32_t kMetaMagicV2 = 0x53574d32;  // "SWM2" (meta format v2)
 
 }  // namespace sword::trace

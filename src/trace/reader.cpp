@@ -8,12 +8,42 @@
 
 namespace sword::trace {
 
+const Bytes* FrameCache::Lookup(const void* reader, uint64_t logical_begin) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->reader == reader && it->logical_begin == logical_begin) {
+      entries_.splice(entries_.begin(), entries_, it);  // bump to MRU
+      hits++;
+      return &entries_.front().data;
+    }
+  }
+  return nullptr;
+}
+
+const Bytes* FrameCache::Insert(const void* reader, uint64_t logical_begin, Bytes data) {
+  bytes_ += data.size();
+  entries_.push_front(Entry{reader, logical_begin, std::move(data)});
+  misses++;
+  // Evict LRU past the cap; the entry just inserted always survives so an
+  // over-cap frame still gets served from the cache it was stored into.
+  while (bytes_ > max_bytes_ && entries_.size() > 1) {
+    bytes_ -= entries_.back().data.size();
+    entries_.pop_back();
+  }
+  return &entries_.front().data;
+}
+
 Result<LogReader> LogReader::Open(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (!f) return Status::Io("cannot open log: " + path);
 
   LogReader reader;
   reader.path_ = path;
+
+  // Header sizes are attacker-controlled until the payload checksum is
+  // verified, so every claimed size is validated against the physical file
+  // before it can size an allocation.
+  std::fseek(f, 0, SEEK_END);
+  const uint64_t file_size = static_cast<uint64_t>(std::ftell(f));
 
   // Walk frame headers without reading payloads. Headers are tiny; 64 bytes
   // always covers magic + codec name + three varints + checksum.
@@ -30,14 +60,29 @@ Result<LogReader> LogReader::Open(const std::string& path) {
 
     ByteReader r(header, got);
     uint32_t magic;
+    uint8_t format = 1;
     std::string codec;
     uint64_t raw_size, payload_size, checksum;
     Status s = r.GetU32(&magic);
-    if (s.ok() && magic != kFrameMagic) s = Status::Corrupt("bad frame magic");
+    if (s.ok()) {
+      if (magic == kFrameMagic) {
+        format = 1;
+      } else if (magic == kFrameMagicV2) {
+        format = 2;
+      } else {
+        s = Status::Corrupt("bad frame magic");
+      }
+    }
     if (s.ok()) s = r.GetString(&codec);
     if (s.ok()) s = r.GetVarU64(&raw_size);
     if (s.ok()) s = r.GetVarU64(&payload_size);
     if (s.ok()) s = r.GetU64(&checksum);
+    if (s.ok() && raw_size > kMaxFrameRawBytes) {
+      s = Status::Corrupt("implausible frame raw size");
+    }
+    if (s.ok() && payload_size > file_size - file_offset) {
+      s = Status::Corrupt("frame payload overruns file");
+    }
     if (!s.ok()) {
       std::fclose(f);
       return Status::Corrupt("frame header at offset " + std::to_string(file_offset) +
@@ -45,7 +90,8 @@ Result<LogReader> LogReader::Open(const std::string& path) {
     }
     const uint64_t header_size = r.position();
     const uint64_t frame_size = header_size + payload_size;
-    reader.frames_.push_back(FrameIndex{logical, raw_size, file_offset, frame_size});
+    reader.frames_.push_back(
+        FrameIndex{logical, raw_size, file_offset, frame_size, format});
     logical += raw_size;
     file_offset += frame_size;
   }
@@ -55,14 +101,11 @@ Result<LogReader> LogReader::Open(const std::string& path) {
 }
 
 Status LogReader::StreamRange(uint64_t begin, uint64_t size,
-                              const std::function<void(const RawEvent&)>& fn,
+                              FunctionRef<void(const RawEvent&)> fn,
                               FrameCache* cache) const {
   if (size == 0) return Status::Ok();
   const uint64_t end = begin + size;
   if (end > total_logical_) return Status::Corrupt("range past end of log");
-  if (begin % kEventBytes != 0 || size % kEventBytes != 0) {
-    return Status::Invalid("range not event-aligned");
-  }
 
   // First frame whose logical range may overlap [begin, end).
   auto it = std::upper_bound(frames_.begin(), frames_.end(), begin,
@@ -74,10 +117,8 @@ Status LogReader::StreamRange(uint64_t begin, uint64_t size,
   Bytes local;  // decompressed frame when no cache is supplied
   for (; it != frames_.end() && it->logical_begin < end; ++it) {
     const Bytes* frame_data = nullptr;
-    if (cache && cache->reader == this && cache->logical_begin == it->logical_begin) {
-      cache->hits++;
-      frame_data = &cache->data;
-    } else {
+    if (cache) frame_data = cache->Lookup(this, it->logical_begin);
+    if (!frame_data) {
       auto raw = ReadFileRange(path_, it->file_offset, it->file_size);
       if (!raw.ok()) return raw.status();
       ByteReader frame_reader(raw.value());
@@ -87,27 +128,52 @@ Status LogReader::StreamRange(uint64_t begin, uint64_t size,
         return Status::Corrupt("frame size changed under reader");
       }
       if (cache) {
-        cache->reader = this;
-        cache->logical_begin = it->logical_begin;
-        cache->data = std::move(view.data);
-        cache->misses++;
-        frame_data = &cache->data;
+        frame_data = cache->Insert(this, it->logical_begin, std::move(view.data));
       } else {
         local = std::move(view.data);
         frame_data = &local;
       }
     }
-    // Slice the overlap of this frame with the requested range.
     const uint64_t frame_lo = it->logical_begin;
     const uint64_t frame_hi = frame_lo + frame_data->size();
     const uint64_t slice_lo = std::max(begin, frame_lo);
     const uint64_t slice_hi = std::min(end, frame_hi);
-    ByteReader events(frame_data->data() + (slice_lo - frame_lo),
-                      slice_hi - slice_lo);
-    while (!events.AtEnd()) {
-      RawEvent e;
-      SWORD_RETURN_IF_ERROR(DecodeEvent(events, &e));
-      fn(e);
+
+    if (it->payload_format == kTraceFormatV1) {
+      // Fixed-size events: slice the overlap directly.
+      if ((slice_lo - frame_lo) % kEventBytes != 0 ||
+          (slice_hi - slice_lo) % kEventBytes != 0) {
+        return Status::Invalid("range not event-aligned");
+      }
+      ByteReader events(frame_data->data() + (slice_lo - frame_lo),
+                        slice_hi - slice_lo);
+      while (!events.AtEnd()) {
+        RawEvent e;
+        SWORD_RETURN_IF_ERROR(DecodeEvent(events, &e));
+        fn(e);
+      }
+    } else {
+      // Variable-length delta events: the coder state is only valid from the
+      // frame start, so decode from there and discard events before the
+      // slice. Interval boundaries always fall on event boundaries; anything
+      // else means the meta and log disagree.
+      ByteReader events(frame_data->data(), frame_data->size());
+      EventCodecState state;
+      uint64_t pos = frame_lo;
+      while (pos < slice_hi && !events.AtEnd()) {
+        RawEvent e;
+        SWORD_RETURN_IF_ERROR(DecodeEventV2(events, state, &e));
+        const uint64_t next = frame_lo + events.position();
+        if (next <= slice_lo) {
+          pos = next;
+          continue;  // wholly before the range
+        }
+        if (pos < slice_lo || next > slice_hi) {
+          return Status::Invalid("range not event-aligned");
+        }
+        fn(e);
+        pos = next;
+      }
     }
   }
   return Status::Ok();
@@ -116,7 +182,10 @@ Status LogReader::StreamRange(uint64_t begin, uint64_t size,
 Status LogReader::ReadRange(uint64_t begin, uint64_t size,
                             std::vector<RawEvent>* out) const {
   out->clear();
-  out->reserve(size / kEventBytes);
+  // Heuristic: exact for v1 (16 bytes/event); a safe floor for the denser v2.
+  // Clamped so a corrupt index claiming a huge logical range cannot force an
+  // enormous allocation before streaming even starts.
+  out->reserve(std::min<uint64_t>(size / kEventBytes, 1u << 20));
   return StreamRange(begin, size, [&](const RawEvent& e) { out->push_back(e); });
 }
 

@@ -6,30 +6,67 @@
 // interval's byte range then decompresses just the overlapping frames, one at
 // a time, invoking the visitor per event - the paper's "streaming algorithm
 // that reads access information from log files in small chunks".
+//
+// Frames self-tag their payload format (the frame magic, see
+// compress/frame.h): v1 frames hold fixed 16-byte events and can be sliced
+// at any event boundary; v2 frames hold delta-coded variable-length events
+// whose decoder state starts fresh at the frame boundary, so a mid-frame
+// range is served by decoding from the frame start and discarding the
+// prefix. One file may mix formats; the reader dispatches per frame.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <list>
 #include <string>
 #include <vector>
 
+#include "common/function_ref.h"
 #include "common/status.h"
 #include "trace/event.h"
 
 namespace sword::trace {
 
-/// Single-frame decompression cache. A frame typically holds MANY barrier
-/// intervals (128K events per 2 MB frame vs a few hundred events per
+/// Bounded LRU cache of decompressed frames. A frame typically holds MANY
+/// barrier intervals (128K events per 2 MB frame vs a few hundred events per
 /// interval in region-heavy programs like LULESH); without a cache every
-/// interval read would decompress its whole frame again. One cache per
-/// analyzer thread keeps reads lock-free. Memory: one decompressed frame.
-struct FrameCache {
-  const void* reader = nullptr;     // identity of the owning LogReader
-  uint64_t logical_begin = ~0ull;   // frame key
-  Bytes data;
+/// interval read would decompress its whole frame again. The byte cap keeps
+/// a long analysis from retaining every frame it ever touched - the cache
+/// holds a few frames, not the trace. One cache per analyzer thread keeps
+/// reads lock-free; entries are keyed by (reader identity, frame offset) so
+/// one cache may serve several threads' logs.
+class FrameCache {
+ public:
+  /// Default cap: a handful of 2 MB frames.
+  static constexpr size_t kDefaultMaxBytes = 8 * 1024 * 1024;
+
+  explicit FrameCache(size_t max_bytes = kDefaultMaxBytes) : max_bytes_(max_bytes) {}
+
+  /// Returns the cached decompressed frame, bumping it to most-recent, or
+  /// null. Counts a hit on success (the caller counts the miss via Insert).
+  const Bytes* Lookup(const void* reader, uint64_t logical_begin);
+
+  /// Inserts a decompressed frame (evicting least-recently-used entries past
+  /// the byte cap; the newest entry always stays) and returns a pointer to
+  /// the cached copy, valid until the next Lookup/Insert.
+  const Bytes* Insert(const void* reader, uint64_t logical_begin, Bytes data);
+
+  size_t entry_count() const { return entries_.size(); }
+  size_t byte_size() const { return bytes_; }
+  size_t max_bytes() const { return max_bytes_; }
 
   uint64_t hits = 0;
   uint64_t misses = 0;
+
+ private:
+  struct Entry {
+    const void* reader;
+    uint64_t logical_begin;
+    Bytes data;
+  };
+
+  size_t max_bytes_;
+  size_t bytes_ = 0;
+  std::list<Entry> entries_;  // front = most recently used
 };
 
 class LogReader {
@@ -40,10 +77,10 @@ class LogReader {
 
   /// Decompresses the frames covering logical range [begin, begin+size) and
   /// calls `fn` for each event in it, in order. At most one decompressed
-  /// frame is held in memory at a time. With `cache`, a frame already
-  /// decompressed by the previous call (through the same cache) is reused.
+  /// frame is held in memory at a time. With `cache`, frames decompressed by
+  /// previous calls (through the same cache) are reused.
   Status StreamRange(uint64_t begin, uint64_t size,
-                     const std::function<void(const RawEvent&)>& fn,
+                     FunctionRef<void(const RawEvent&)> fn,
                      FrameCache* cache = nullptr) const;
 
   /// Convenience: materializes a range (tests, small intervals).
@@ -58,6 +95,7 @@ class LogReader {
     uint64_t raw_size;       // decompressed size
     uint64_t file_offset;    // where the frame starts in the file
     uint64_t file_size;      // encoded frame size
+    uint8_t payload_format;  // event encoding (kTraceFormatV*)
   };
 
   LogReader() = default;

@@ -10,52 +10,69 @@ namespace sword::trace {
 ThreadTraceWriter::ThreadTraceWriter(uint32_t thread_id, const WriterConfig& config)
     : thread_id_(thread_id),
       config_(config),
-      capacity_events_(config.buffer_bytes / kEventBytes) {
+      capacity_events_(config.buffer_bytes / kEventBytes),
+      capacity_bytes_(capacity_events_ * kEventBytes) {
   assert(config_.flusher && "a Flusher is required");
   assert(capacity_events_ > 0 && "buffer too small for a single event");
+  assert((config_.format == kTraceFormatV1 || config_.format == kTraceFormatV2) &&
+         "unknown trace format");
+  assert((config_.format == kTraceFormatV1 || capacity_bytes_ >= kMaxEventBytesV2) &&
+         "buffer too small for one v2 event");
   if (!config_.codec) config_.codec = DefaultCompressor();
-  buffer_.reserve(capacity_events_ * kEventBytes);
+  // The bounded charge: one fixed buffer, owned by the flusher's pool so the
+  // accounting follows the buffer through the flush pipeline.
+  buffer_ = config_.flusher->pool().Acquire(capacity_bytes_);
   meta_.thread_id = thread_id;
-  if (config_.memory) {
-    // The bounded charge: the buffer itself. This never grows.
-    (void)config_.memory->Charge(capacity_events_ * kEventBytes);
-  }
+  meta_.log_format = config_.format;
   // Start the log file empty so appends from a previous run never leak in.
   (void)WriteFile(config_.log_path, Bytes{});
 }
 
-ThreadTraceWriter::~ThreadTraceWriter() {
-  (void)Finish();
-  if (config_.memory) config_.memory->Release(capacity_events_ * kEventBytes);
-}
+ThreadTraceWriter::~ThreadTraceWriter() { (void)Finish(); }
 
 void ThreadTraceWriter::Append(const RawEvent& event) {
-  if (buffer_.size() + kEventBytes > capacity_events_ * kEventBytes) {
-    FlushBuffer();
+  if (config_.format == kTraceFormatV1) {
+    if (buffer_.size() + kEventBytes > capacity_bytes_) FlushBuffer(true);
+    // Hot path: one 16-byte append, little-endian (this is EncodeEvent's
+    // layout, open-coded so the per-access cost stays in the nanoseconds).
+    const size_t offset = buffer_.size();
+    buffer_.resize(offset + kEventBytes);
+    uint8_t* p = buffer_.data() + offset;
+    p[0] = static_cast<uint8_t>(event.kind);
+    p[1] = event.flags;
+    p[2] = event.size;
+    p[3] = 0;
+    for (int i = 0; i < 4; i++) p[4 + i] = static_cast<uint8_t>(event.pc >> (8 * i));
+    for (int i = 0; i < 8; i++) p[8 + i] = static_cast<uint8_t>(event.addr >> (8 * i));
+    logical_offset_ += kEventBytes;
+  } else {
+    // Flush on the logical event-count capacity (the paper's knob) or when
+    // the next event might not fit the reserved bytes (tiny-buffer guard).
+    if (buffer_events_ >= capacity_events_ ||
+        buffer_.size() + kMaxEventBytesV2 > capacity_bytes_) {
+      FlushBuffer(true);
+    }
+    const size_t before = buffer_.size();
+    ByteWriter w(&buffer_);
+    EncodeEventV2(event, codec_state_, w);
+    logical_offset_ += buffer_.size() - before;
   }
-  // Hot path: one 16-byte append, little-endian (this is EncodeEvent's
-  // layout, open-coded so the per-access cost stays in the nanoseconds).
-  const size_t offset = buffer_.size();
-  buffer_.resize(offset + kEventBytes);
-  uint8_t* p = buffer_.data() + offset;
-  p[0] = static_cast<uint8_t>(event.kind);
-  p[1] = event.flags;
-  p[2] = event.size;
-  p[3] = 0;
-  for (int i = 0; i < 4; i++) p[4 + i] = static_cast<uint8_t>(event.pc >> (8 * i));
-  for (int i = 0; i < 8; i++) p[8 + i] = static_cast<uint8_t>(event.addr >> (8 * i));
-  logical_offset_ += kEventBytes;
+  buffer_events_++;
   events_logged_++;
 }
 
-void ThreadTraceWriter::FlushBuffer() {
+void ThreadTraceWriter::FlushBuffer(bool reacquire) {
   if (buffer_.empty()) return;
   // Hand the raw buffer to the flusher; compression happens off-thread
-  // (paper SIII-A: "compressed and asynchronously written out").
+  // (paper SIII-A: "compressed and asynchronously written out"). The buffer
+  // returns to the pool once written, and we take a recycled one back.
   Bytes raw;
   raw.swap(buffer_);
-  buffer_.reserve(capacity_events_ * kEventBytes);
-  config_.flusher->AppendFrame(config_.log_path, std::move(raw), config_.codec);
+  config_.flusher->AppendFrame(config_.log_path, std::move(raw), config_.codec,
+                               config_.format);
+  if (reacquire) buffer_ = config_.flusher->pool().Acquire(capacity_bytes_);
+  buffer_events_ = 0;
+  codec_state_ = EventCodecState{};  // frames are independently decodable
   flushes_++;
 }
 
@@ -64,6 +81,8 @@ void ThreadTraceWriter::BeginSegment(const IntervalMeta& meta) {
   meta_.intervals.push_back(meta);
   meta_.intervals.back().data_begin = logical_offset_;
   meta_.intervals.back().data_size = 0;
+  meta_.intervals.back().event_count = 0;
+  segment_begin_events_ = events_logged_;
   open_segment_ = true;
 }
 
@@ -71,6 +90,7 @@ void ThreadTraceWriter::EndSegment() {
   assert(open_segment_);
   IntervalMeta& m = meta_.intervals.back();
   m.data_size = logical_offset_ - m.data_begin;
+  m.event_count = events_logged_ - segment_begin_events_;
   open_segment_ = false;
   // Empty segments carry no accesses and cannot participate in a race;
   // dropping them keeps meta files proportional to useful data.
@@ -81,7 +101,10 @@ Status ThreadTraceWriter::Finish() {
   if (finished_) return Status::Ok();
   finished_ = true;
   if (open_segment_) EndSegment();
-  FlushBuffer();
+  FlushBuffer(/*reacquire=*/false);
+  // Return the (possibly never-flushed) buffer to the pool so its memory
+  // charge is dropped or recycled.
+  if (buffer_.capacity() != 0) config_.flusher->pool().Release(std::move(buffer_));
   SWORD_RETURN_IF_ERROR(WriteFile(config_.meta_path, meta_.Encode()));
   return Status::Ok();
 }

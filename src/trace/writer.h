@@ -3,10 +3,19 @@
 // One ThreadTraceWriter exists per SWORD thread. It owns
 //  - a fixed-capacity event buffer (default 2 MB; user-adjustable, the
 //    paper's central knob) that is compressed and handed to the Flusher when
-//    full - NEVER grown, which is what bounds memory;
+//    full - NEVER grown, which is what bounds memory. The buffer comes from
+//    the Flusher's BufferPool (which charges it to the tool's MemoryScope);
+//    on flush the full buffer is swapped into the pipeline and a recycled
+//    one is taken back, so steady-state tracing allocates nothing;
 //  - the accumulating meta records (one per barrier-interval segment);
 //  - the logical write offset, which is independent of compression and gives
 //    every interval its (data_begin, size) coordinates up front.
+//
+// The buffer's LOGICAL capacity is counted in events - buffer_bytes /
+// kEventBytes - regardless of encoding format, so the paper's "2 MB buffer
+// = 128K events" knob means the same thing for v1 and v2 traces. With the
+// v2 encoding the same event count occupies far fewer bytes, which is the
+// point: fewer flushes, smaller logs.
 //
 // Thread-compatibility: a writer is driven by exactly one OS thread; only
 // the Flusher is shared.
@@ -16,7 +25,6 @@
 #include <memory>
 #include <string>
 
-#include "common/memtrack.h"
 #include "common/status.h"
 #include "compress/compressor.h"
 #include "trace/event.h"
@@ -31,7 +39,7 @@ struct WriterConfig {
   uint64_t buffer_bytes = 2 * 1024 * 1024;  // the paper's default bound
   const Compressor* codec = nullptr;        // null = DefaultCompressor()
   Flusher* flusher = nullptr;               // required
-  MemoryScope* memory = nullptr;            // optional accounting scope
+  uint8_t format = kTraceFormatV2;          // event encoding (kTraceFormatV*)
 };
 
 class ThreadTraceWriter {
@@ -42,6 +50,7 @@ class ThreadTraceWriter {
   ThreadTraceWriter& operator=(const ThreadTraceWriter&) = delete;
 
   uint32_t thread_id() const { return thread_id_; }
+  uint8_t format() const { return config_.format; }
 
   /// Appends one event, flushing the buffer to the log file first if full.
   void Append(const RawEvent& event);
@@ -50,7 +59,7 @@ class ThreadTraceWriter {
   /// current logical offset. Any open segment must be closed first.
   void BeginSegment(const IntervalMeta& meta);
 
-  /// Closes the open segment, fixing its data_size.
+  /// Closes the open segment, fixing its data_size and event_count.
   void EndSegment();
 
   bool HasOpenSegment() const { return open_segment_; }
@@ -64,16 +73,20 @@ class ThreadTraceWriter {
   uint64_t logical_bytes() const { return logical_offset_; }
 
  private:
-  void FlushBuffer();
+  void FlushBuffer(bool reacquire);
 
   const uint32_t thread_id_;
   WriterConfig config_;
-  const uint64_t capacity_events_;
+  const uint64_t capacity_events_;  // logical capacity: buffer_bytes / 16
+  const uint64_t capacity_bytes_;
 
-  Bytes buffer_;                 // encoded events, capacity fixed
-  uint64_t logical_offset_ = 0;  // total event bytes ever appended
+  Bytes buffer_;                  // encoded events; acquired from the pool
+  uint64_t buffer_events_ = 0;    // events currently in buffer_
+  EventCodecState codec_state_;   // v2 delta state; reset at each flush
+  uint64_t logical_offset_ = 0;   // total event bytes ever appended
   MetaFile meta_;
   bool open_segment_ = false;
+  uint64_t segment_begin_events_ = 0;
   bool finished_ = false;
 
   uint64_t events_logged_ = 0;

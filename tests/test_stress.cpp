@@ -33,8 +33,17 @@ TEST(Stress, MillionEventTraceThroughTinyBuffer) {
   EXPECT_GT(r.events, 1000000u);
   EXPECT_GT(r.flushes, 200u);
   EXPECT_EQ(r.races, 1u);  // detection unaffected by flush pressure
-  // Memory stayed at N x (64 KB + aux) despite millions of events.
-  EXPECT_EQ(r.tool_peak_bytes, 4u * (64 * 1024 + 1340 * 1024));
+  // Memory stayed bounded despite millions of events: N x (64 KB + aux) for
+  // the writers, plus at most queue_depth + N extra buffers for frames that
+  // are in flight through the async pipeline (the pool recycles them, so the
+  // population never grows past held + queued). Before the flush pipeline
+  // charged its in-flight copies this was pinned to exact equality; the bound
+  // is now honest about the double-buffering the async design always had.
+  const uint64_t buffer = 64 * 1024;
+  const uint64_t base = 4u * (buffer + 1340 * 1024);
+  EXPECT_GE(r.tool_peak_bytes, base);
+  EXPECT_LE(r.tool_peak_bytes,
+            base + (trace::Flusher::kDefaultMaxQueuedJobs + 4) * buffer);
 }
 
 TEST(Stress, NoFalsePositivesAtAnyThreadWidth) {

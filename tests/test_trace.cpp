@@ -1,9 +1,14 @@
-// Tests for src/trace: event codec, meta files, the async flusher, the
+// Tests for src/trace: event codecs (v1 fixed-width and v2 delta/varint),
+// meta files, the multi-worker async flusher and its buffer pool, the
 // bounded writer (flush-on-full, fixed memory), and the streaming reader.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "common/fsutil.h"
 #include "common/rng.h"
+#include "compress/frame.h"
 #include "trace/event.h"
 #include "trace/flusher.h"
 #include "trace/meta.h"
@@ -94,6 +99,141 @@ TEST(Meta, CorruptFileRejected) {
   EXPECT_FALSE(MetaFile::Decode(Bytes{1, 2, 3}, &out).ok());
 }
 
+TEST(Meta, V2RecordsEventCountAndLogFormat) {
+  MetaFile file;
+  file.thread_id = 1;
+  file.log_format = kTraceFormatV2;
+  IntervalMeta m;
+  m.label = osl::Label::Initial().Fork(0, 2);
+  m.data_begin = 0;
+  m.data_size = 123;  // NOT a multiple of 16: only valid with explicit count
+  m.event_count = 40;
+  file.intervals.push_back(m);
+
+  MetaFile out;
+  ASSERT_TRUE(MetaFile::Decode(file.Encode(), &out).ok());
+  EXPECT_EQ(out.log_format, kTraceFormatV2);
+  ASSERT_EQ(out.intervals.size(), 1u);
+  EXPECT_EQ(out.intervals[0].EventCount(), 40u);
+}
+
+TEST(Meta, V1RecordsCrossReadWithDerivedEventCount) {
+  // A v1 serialization (no event_count field) must still read back, with
+  // the count derived from the fixed 16-byte event size.
+  IntervalMeta m;
+  m.label = osl::Label::Initial().Fork(1, 4);
+  m.data_begin = 32;
+  m.data_size = 10 * kEventBytes;
+  ByteWriter w;
+  m.Serialize(w, /*version=*/1);
+  ByteReader r(w.buffer());
+  IntervalMeta out;
+  ASSERT_TRUE(IntervalMeta::Deserialize(r, &out, /*version=*/1).ok());
+  EXPECT_EQ(out.event_count, 0u);
+  EXPECT_EQ(out.EventCount(), 10u);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+// ---------------------------------------------------------------- format v2
+
+TEST(EventV2, RoundTripAllKinds) {
+  const RawEvent cases[] = {
+      RawEvent::Access(0xdeadbeefcafeULL, 4, 3, 777),
+      RawEvent::Access(0x1000, 8, 1, 12),     // pow2 size, write
+      RawEvent::Access(0x0ff8, 8, 0, 12),     // negative delta
+      RawEvent::Access(0x1000, 3, 0, 1),      // non-pow2 size: explicit varint
+      RawEvent::Access(0x1000, 8, 0x91, 1),   // flags beyond 2 bits: extended
+      RawEvent::Access(0, 1, 0, 0),
+      RawEvent::MutexAcquire(5),
+      RawEvent::MutexRelease(131071),
+      RawEvent::Access(~0ULL, 128, 2, 0xffffffffu),  // extremes
+  };
+  EventCodecState enc, dec;
+  ByteWriter w;
+  for (const RawEvent& e : cases) EncodeEventV2(e, enc, w);
+  ByteReader r(w.buffer());
+  for (const RawEvent& e : cases) {
+    RawEvent out;
+    ASSERT_TRUE(DecodeEventV2(r, dec, &out).ok());
+    EXPECT_EQ(out, e);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(EventV2, StridedAccessesEncodeDenselyUnderMaxBound) {
+  // The motivating case: a strided loop. Tag + 1-byte pc + small delta
+  // should land far below v1's 16 bytes/event (acceptance: >= 2x denser).
+  EventCodecState enc;
+  ByteWriter w;
+  const int n = 1000;
+  for (int i = 0; i < n; i++) {
+    EncodeEventV2(RawEvent::Access(0x10000 + 8 * static_cast<uint64_t>(i), 8, 1, 3),
+                  enc, w);
+  }
+  EXPECT_LE(w.size(), n * kEventBytes / 2);
+  EXPECT_LE(w.size(), 4u * n);  // in practice ~3 bytes/event here
+}
+
+TEST(EventV2, SingleEventNeverExceedsMaxBytes) {
+  Rng rng(99);
+  for (int trial = 0; trial < 2000; trial++) {
+    EventCodecState enc;
+    enc.prev_addr = rng.Next();
+    RawEvent e = RawEvent::Access(rng.Next(), static_cast<uint8_t>(rng.Below(256)),
+                                  static_cast<uint8_t>(rng.Below(256)),
+                                  static_cast<uint32_t>(rng.Next()));
+    ByteWriter w;
+    EncodeEventV2(e, enc, w);
+    EXPECT_LE(w.size(), kMaxEventBytesV2);
+  }
+}
+
+TEST(EventV2, DeltaStateResetMatchesFrameBoundaries) {
+  // Encoding with fresh state must decode with fresh state: simulate two
+  // frames and make sure crossing the boundary with stale state would skew
+  // the address (i.e. the reset is load-bearing).
+  EventCodecState enc1;
+  ByteWriter f1;
+  EncodeEventV2(RawEvent::Access(0x5000, 8, 0, 1), enc1, f1);
+  EventCodecState enc2;  // new frame: state resets
+  ByteWriter f2;
+  EncodeEventV2(RawEvent::Access(0x5008, 8, 0, 1), enc2, f2);
+
+  EventCodecState dec;  // fresh per frame
+  ByteReader r1(f1.buffer());
+  RawEvent out;
+  ASSERT_TRUE(DecodeEventV2(r1, dec, &out).ok());
+  EXPECT_EQ(out.addr, 0x5000u);
+  dec = EventCodecState{};
+  ByteReader r2(f2.buffer());
+  ASSERT_TRUE(DecodeEventV2(r2, dec, &out).ok());
+  EXPECT_EQ(out.addr, 0x5008u);
+}
+
+TEST(EventV2, MalformedTagsRejected) {
+  {
+    Bytes bad = {0x03};  // kind 3: reserved
+    ByteReader r(bad);
+    EventCodecState dec;
+    RawEvent out;
+    EXPECT_FALSE(DecodeEventV2(r, dec, &out).ok());
+  }
+  {
+    Bytes bad = {static_cast<uint8_t>(0x01 | (1u << 4)), 5};  // mutex with size bits
+    ByteReader r(bad);
+    EventCodecState dec;
+    RawEvent out;
+    EXPECT_FALSE(DecodeEventV2(r, dec, &out).ok());
+  }
+  for (uint8_t code = 9; code <= 14; code++) {  // reserved size codes
+    Bytes bad = {static_cast<uint8_t>(code << 4), 0, 0};
+    ByteReader r(bad);
+    EventCodecState dec;
+    RawEvent out;
+    EXPECT_FALSE(DecodeEventV2(r, dec, &out).ok());
+  }
+}
+
 TEST(Flusher, AsyncAppendsInOrder) {
   TempDir dir;
   const std::string path = dir.File("f.log");
@@ -130,16 +270,17 @@ TEST(Flusher, SurfacesIoErrors) {
 
 struct WriterFixture {
   TempDir dir;
-  Flusher flusher{/*async=*/false};
   MemoryScope memory{"trace-test"};
+  Flusher flusher{FlusherConfig{.async = false, .memory = &memory}};
 
-  WriterConfig Config(uint64_t buffer_bytes = 4096) {
+  // Legacy tests pin v1's fixed 16-byte event math; v2 tests opt in.
+  WriterConfig Config(uint64_t buffer_bytes = 4096, uint8_t format = kTraceFormatV1) {
     WriterConfig wc;
     wc.log_path = dir.File("t0.log");
     wc.meta_path = dir.File("t0.meta");
     wc.buffer_bytes = buffer_bytes;
     wc.flusher = &flusher;
-    wc.memory = &memory;
+    wc.format = format;
     return wc;
   }
 
@@ -354,6 +495,292 @@ TEST(ReaderTest, CorruptLogDetected) {
     EXPECT_FALSE(
         reader.value().ReadRange(0, reader.value().total_logical_bytes(), &out).ok());
   }
+}
+
+// ------------------------------------------------------- v2 writer + reader
+
+TEST(WriterV2, RoundTripSegmentsAcrossFrameBoundaries) {
+  // Tiny buffer: segments straddle frames, so mid-frame v2 reads (decode
+  // from frame start, discard the prefix) are exercised heavily.
+  WriterFixture fx;
+  std::vector<std::vector<RawEvent>> segs;
+  Rng rng(77);
+  {
+    ThreadTraceWriter writer(0, fx.Config(256, kTraceFormatV2));
+    for (uint64_t s = 0; s < 6; s++) {
+      writer.BeginSegment(fx.Meta(0, s));
+      segs.emplace_back();
+      const int n = 20 + static_cast<int>(rng.Below(50));
+      for (int i = 0; i < n; i++) {
+        RawEvent e;
+        if (rng.Chance(0.1)) {
+          e = rng.Chance(0.5)
+                  ? RawEvent::MutexAcquire(static_cast<uint32_t>(rng.Below(8)))
+                  : RawEvent::MutexRelease(static_cast<uint32_t>(rng.Below(8)));
+        } else {
+          e = RawEvent::Access(0x100000 + rng.Below(1 << 20),
+                               static_cast<uint8_t>(1u << rng.Below(4)),
+                               rng.Chance(0.5) ? 1 : 0,
+                               static_cast<uint32_t>(rng.Below(500)));
+        }
+        writer.Append(e);
+        segs.back().push_back(e);
+      }
+      writer.EndSegment();
+    }
+    ASSERT_TRUE(writer.Finish().ok());
+    ASSERT_TRUE(fx.flusher.status().ok());
+    EXPECT_GE(writer.flushes(), 2u);
+  }
+
+  auto meta_bytes = ReadFileBytes(fx.dir.File("t0.meta"));
+  ASSERT_TRUE(meta_bytes.ok());
+  MetaFile meta;
+  ASSERT_TRUE(MetaFile::Decode(meta_bytes.value(), &meta).ok());
+  EXPECT_EQ(meta.log_format, kTraceFormatV2);
+  ASSERT_EQ(meta.intervals.size(), segs.size());
+
+  auto reader = LogReader::Open(fx.dir.File("t0.log"));
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  FrameCache cache;
+  for (size_t s = 0; s < segs.size(); s++) {
+    const IntervalMeta& m = meta.intervals[s];
+    EXPECT_EQ(m.EventCount(), segs[s].size());
+    std::vector<RawEvent> got;
+    ASSERT_TRUE(reader.value()
+                    .StreamRange(m.data_begin, m.data_size,
+                                 [&](const RawEvent& e) { got.push_back(e); }, &cache)
+                    .ok());
+    EXPECT_EQ(got, segs[s]) << "segment " << s;
+  }
+}
+
+TEST(WriterV2, SameEventsBothFormatsDecodeIdentically) {
+  // Cross-version acceptance: v1 and v2 traces of the same execution must
+  // decode to identical event streams, with v2 at least 2x denser.
+  WriterFixture fx;
+  std::vector<RawEvent> logged;
+  Rng rng(4242);
+  for (int i = 0; i < 800; i++) {
+    logged.push_back(RawEvent::Access(0x20000 + rng.Below(1 << 16), 8,
+                                      rng.Chance(0.3) ? 1 : 0,
+                                      static_cast<uint32_t>(rng.Below(64))));
+  }
+  uint64_t logical[3] = {0, 0, 0};
+  for (uint8_t format : {kTraceFormatV1, kTraceFormatV2}) {
+    WriterConfig wc;
+    wc.log_path = fx.dir.File("f" + std::to_string(format) + ".log");
+    wc.meta_path = fx.dir.File("f" + std::to_string(format) + ".meta");
+    wc.buffer_bytes = 2048;
+    wc.flusher = &fx.flusher;
+    wc.format = format;
+    ThreadTraceWriter writer(0, wc);
+    writer.BeginSegment(fx.Meta());
+    for (const RawEvent& e : logged) writer.Append(e);
+    writer.EndSegment();
+    ASSERT_TRUE(writer.Finish().ok());
+    logical[format] = writer.logical_bytes();
+
+    auto reader = LogReader::Open(wc.log_path);
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    std::vector<RawEvent> back;
+    ASSERT_TRUE(
+        reader.value().ReadRange(0, reader.value().total_logical_bytes(), &back).ok());
+    EXPECT_EQ(back, logged) << "format v" << int(format);
+  }
+  EXPECT_LE(logical[kTraceFormatV2] * 2, logical[kTraceFormatV1])
+      << "v2 should be at least 2x denser pre-compression";
+}
+
+TEST(ReaderV2, FuzzedMutationsNeverCrash) {
+  WriterFixture fx;
+  {
+    ThreadTraceWriter writer(0, fx.Config(512, kTraceFormatV2));
+    writer.BeginSegment(fx.Meta());
+    for (uint64_t i = 0; i < 300; i++) {
+      writer.Append(RawEvent::Access(0x1000 + i * 8, 8, 1, 7));
+    }
+    writer.EndSegment();
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  auto pristine = ReadFileBytes(fx.dir.File("t0.log"));
+  ASSERT_TRUE(pristine.ok());
+
+  Rng rng(2718);
+  for (int trial = 0; trial < 120; trial++) {
+    Bytes mutated = pristine.value();
+    const int flips = 1 + static_cast<int>(rng.Below(8));
+    for (int f = 0; f < flips; f++) {
+      mutated[rng.Below(mutated.size())] ^= static_cast<uint8_t>(1 + rng.Below(255));
+    }
+    if (rng.Chance(0.3)) mutated.resize(rng.Below(mutated.size() + 1));
+
+    const std::string path = fx.dir.File("fuzz2.log");
+    ASSERT_TRUE(WriteFile(path, mutated).ok());
+    auto reader = LogReader::Open(path);
+    if (!reader.ok()) continue;
+    std::vector<RawEvent> out;
+    (void)reader.value().ReadRange(0, reader.value().total_logical_bytes(), &out);
+  }
+}
+
+// --------------------------------------------------- multi-worker pipeline
+
+TEST(FlusherPool, MultiProducerStressKeepsPerFileFrameOrder) {
+  // N producers x M files each, through a small queue so producers hit
+  // backpressure, with a mid-run Drain. Every file must afterwards hold its
+  // frames in exactly submission order.
+  constexpr int kProducers = 8;
+  constexpr int kFilesPerProducer = 3;
+  constexpr int kFramesPerFile = 25;
+
+  TempDir dir;
+  MemoryScope mem{"stress"};
+  FlusherConfig fc;
+  fc.async = true;
+  fc.workers = 3;
+  fc.max_queued_jobs = 2;  // force backpressure
+  fc.memory = &mem;
+  Flusher flusher(fc);
+  EXPECT_EQ(flusher.workers(), 3u);
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; p++) {
+    producers.emplace_back([&, p] {
+      for (int seq = 0; seq < kFramesPerFile; seq++) {
+        for (int f = 0; f < kFilesPerProducer; f++) {
+          const std::string path =
+              dir.File("p" + std::to_string(p) + "_f" + std::to_string(f) + ".log");
+          // Payload carries the sequence number; big enough to compress.
+          // Acquired from the pool like the real writer path, so buffers
+          // recycle through AppendFrame and stay charged to the scope.
+          Bytes payload = flusher.pool().Acquire(256);
+          payload.assign(256, static_cast<uint8_t>(seq));
+          flusher.AppendFrame(path, std::move(payload), nullptr);
+        }
+        if (seq == kFramesPerFile / 2 && p == 0) flusher.Drain();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  flusher.Drain();
+  ASSERT_TRUE(flusher.status().ok()) << flusher.status().ToString();
+
+  const FlusherStats stats = flusher.stats();
+  EXPECT_EQ(stats.jobs_enqueued,
+            uint64_t(kProducers) * kFilesPerProducer * kFramesPerFile);
+  EXPECT_EQ(stats.jobs_completed, stats.jobs_enqueued);
+  EXPECT_EQ(stats.queued_now, 0u);
+  EXPECT_EQ(stats.worker_bytes_in.size(), 3u);
+  uint64_t worker_total = 0;
+  for (uint64_t b : stats.worker_bytes_in) worker_total += b;
+  EXPECT_EQ(worker_total, stats.bytes_in);
+
+  for (int p = 0; p < kProducers; p++) {
+    for (int f = 0; f < kFilesPerProducer; f++) {
+      const std::string path =
+          dir.File("p" + std::to_string(p) + "_f" + std::to_string(f) + ".log");
+      auto data = ReadFileBytes(path);
+      ASSERT_TRUE(data.ok());
+      ByteReader r(data.value());
+      for (int seq = 0; seq < kFramesPerFile; seq++) {
+        FrameView view;
+        ASSERT_TRUE(ReadFrame(r, &view).ok()) << path << " frame " << seq;
+        ASSERT_EQ(view.data.size(), 256u);
+        EXPECT_EQ(view.data[0], static_cast<uint8_t>(seq))
+            << path << ": frame order violated";
+      }
+      EXPECT_TRUE(r.AtEnd());
+    }
+  }
+  // All pooled/recycled buffer memory is released when pool + writers die.
+  // (Checked after the flusher goes out of scope in the destructor test
+  // below; here just confirm accounting stayed active.)
+  EXPECT_GT(mem.peak(), 0u);
+}
+
+TEST(FlusherPool, BackpressureBoundsQueueAndCountsStalls) {
+  TempDir dir;
+  FlusherConfig fc;
+  fc.async = true;
+  fc.workers = 1;
+  fc.max_queued_jobs = 2;
+  Flusher flusher(fc);
+  // Many large compress jobs through a depth-2 queue from one producer:
+  // the producer must have been stalled at least once.
+  for (int i = 0; i < 64; i++) {
+    flusher.AppendFrame(dir.File("bp.log"), Bytes(64 * 1024, 0xab), nullptr);
+  }
+  flusher.Drain();
+  ASSERT_TRUE(flusher.status().ok());
+  const FlusherStats stats = flusher.stats();
+  EXPECT_GT(stats.producer_blocks, 0u);
+  EXPECT_GT(stats.blocked_nanos, 0u);
+  EXPECT_EQ(stats.jobs_completed, 64u);
+}
+
+TEST(BufferPoolTest, RecyclesAndChargesScope) {
+  MemoryScope mem{"pool-test"};
+  BufferPool pool(/*max_free=*/1, &mem);
+  Bytes a = pool.Acquire(100);
+  Bytes b = pool.Acquire(200);
+  EXPECT_GE(a.capacity(), 100u);
+  EXPECT_EQ(pool.allocations(), 2u);
+  const uint64_t both = mem.current();
+  EXPECT_GE(both, 300u);
+
+  pool.Release(std::move(a));  // kept on the free list, still charged
+  EXPECT_EQ(pool.free_count(), 1u);
+  EXPECT_EQ(mem.current(), both);
+
+  pool.Release(std::move(b));  // free list full: freed and un-charged
+  EXPECT_EQ(pool.free_count(), 1u);
+  EXPECT_LT(mem.current(), both);
+
+  Bytes c = pool.Acquire(50);  // recycled, no new allocation
+  EXPECT_EQ(pool.recycles(), 1u);
+  EXPECT_EQ(pool.allocations(), 2u);
+  EXPECT_TRUE(c.empty());
+  pool.Release(std::move(c));
+}
+
+TEST(BufferPoolTest, DestructorReleasesFreeListCharges) {
+  MemoryScope mem{"pool-dtor"};
+  {
+    BufferPool pool(/*max_free=*/4, &mem);
+    for (int i = 0; i < 3; i++) pool.Release(pool.Acquire(1024));
+    EXPECT_GT(mem.current(), 0u);
+  }
+  EXPECT_EQ(mem.current(), 0u);
+}
+
+TEST(FrameCacheTest, LruEvictionStaysUnderByteCap) {
+  FrameCache cache(/*max_bytes=*/100);
+  int owner;  // any stable address works as the reader identity
+  cache.Insert(&owner, 0, Bytes(60, 0));
+  EXPECT_NE(cache.Lookup(&owner, 0), nullptr);
+  cache.Insert(&owner, 60, Bytes(60, 1));  // 120 bytes: evicts LRU (offset 0)
+  EXPECT_LE(cache.byte_size(), 100u);
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.Lookup(&owner, 0), nullptr);
+  EXPECT_NE(cache.Lookup(&owner, 60), nullptr);
+
+  // An over-cap frame still gets cached (the newest entry always survives).
+  cache.Insert(&owner, 120, Bytes(500, 2));
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_NE(cache.Lookup(&owner, 120), nullptr);
+
+  // Lookup refreshes recency: with room for two, touching the older entry
+  // makes the untouched one the eviction victim.
+  FrameCache lru(/*max_bytes=*/120);
+  lru.Insert(&owner, 0, Bytes(50, 0));
+  lru.Insert(&owner, 50, Bytes(50, 1));
+  ASSERT_NE(lru.Lookup(&owner, 0), nullptr);   // offset 0 is now MRU
+  lru.Insert(&owner, 100, Bytes(50, 2));       // evicts offset 50
+  EXPECT_NE(lru.Lookup(&owner, 0), nullptr);
+  EXPECT_EQ(lru.Lookup(&owner, 50), nullptr);
+  EXPECT_NE(lru.Lookup(&owner, 100), nullptr);
 }
 
 }  // namespace
