@@ -1,0 +1,152 @@
+#include "common/faultfs.h"
+
+#include <algorithm>
+
+namespace sword {
+namespace testing {
+
+void FaultFile::TransientErrors(uint32_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  transient_left_ = count;
+}
+
+void FaultFile::ShortWrites(size_t max_bytes_per_call) {
+  std::lock_guard<std::mutex> lock(mu_);
+  short_write_max_ = max_bytes_per_call;
+}
+
+void FaultFile::EnospcAfterBytes(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_at_ = n;
+  fail_code_ = ErrorCode::kNoSpace;
+}
+
+void FaultFile::FailAfterBytes(uint64_t n, ErrorCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_at_ = n;
+  fail_code_ = code;
+}
+
+void FaultFile::FlipBit(uint64_t stream_offset, uint8_t mask) {
+  std::lock_guard<std::mutex> lock(mu_);
+  flips_.push_back({stream_offset, mask});
+}
+
+void FaultFile::TruncateAfterBytes(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  truncate_at_ = n;
+}
+
+void FaultFile::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  transient_left_ = 0;
+  short_write_max_ = 0;
+  fail_at_ = UINT64_MAX;
+  fail_code_ = ErrorCode::kNoSpace;
+  truncate_at_ = UINT64_MAX;
+  flips_.clear();
+  bytes_written_ = 0;
+  bytes_lost_ = 0;
+}
+
+uint64_t FaultFile::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_written_;
+}
+
+uint64_t FaultFile::bytes_lost() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_lost_;
+}
+
+Status FaultFile::Append(const std::string& path, const uint8_t* data,
+                         size_t n, size_t* written) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *written = 0;
+
+  if (transient_left_ > 0) {
+    --transient_left_;
+    return Status::Unavailable("injected transient error: " + path);
+  }
+
+  size_t allow = n;
+  bool fail_after = false;
+  if (bytes_written_ + allow > fail_at_) {
+    // Write only the prefix that fits below the failure threshold.
+    allow = fail_at_ > bytes_written_
+                ? static_cast<size_t>(fail_at_ - bytes_written_)
+                : 0;
+    fail_after = true;
+  }
+  bool short_after = false;
+  if (short_write_max_ > 0 && allow > short_write_max_) {
+    allow = short_write_max_;
+    short_after = true;
+  }
+
+  // Apply bit flips inside the window, then split around the truncation
+  // threshold: bytes below it are forwarded, bytes above are swallowed but
+  // still reported as written.
+  Bytes chunk(data, data + allow);
+  for (const BitFlip& f : flips_) {
+    if (f.offset >= bytes_written_ && f.offset < bytes_written_ + allow) {
+      chunk[static_cast<size_t>(f.offset - bytes_written_)] ^= f.mask;
+    }
+  }
+  size_t forward = chunk.size();
+  if (bytes_written_ + forward > truncate_at_) {
+    forward = truncate_at_ > bytes_written_
+                  ? static_cast<size_t>(truncate_at_ - bytes_written_)
+                  : 0;
+  }
+
+  if (forward > 0) {
+    size_t got = 0;
+    Status st = base_->Append(path, chunk.data(), forward, &got);
+    *written = got;
+    bytes_written_ += got;
+    if (!st.ok() || got < forward) return st;
+  }
+  // Swallowed tail: pretend it was written.
+  const size_t swallowed = chunk.size() - forward;
+  *written += swallowed;
+  bytes_written_ += swallowed;
+  bytes_lost_ += swallowed;
+
+  if (fail_after) {
+    if (fail_code_ == ErrorCode::kNoSpace) {
+      return Status::NoSpace("injected ENOSPC: " + path);
+    }
+    return Status(fail_code_, "injected failure: " + path);
+  }
+  if (short_after) return Status::Ok();  // short success; caller continues
+  return Status::Ok();
+}
+
+Status FaultFile::WriteWhole(const std::string& path, const Bytes& data) {
+  // Whole-file writes (meta checkpoints) bypass the byte-stream faults --
+  // they model a different file. Only the transient knob applies, so tests
+  // can exercise checkpoint failure too.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (transient_left_ > 0) {
+      --transient_left_;
+      return Status::Unavailable("injected transient error: " + path);
+    }
+  }
+  return base_->WriteWhole(path, data);
+}
+
+Status FaultFile::Rename(const std::string& from, const std::string& to) {
+  return base_->Rename(from, to);
+}
+
+Status FaultFile::Truncate(const std::string& path, uint64_t size) {
+  // The cumulative stream position deliberately does NOT rewind: a disk
+  // that hit ENOSPC stays full after the roll-back truncation, so retries
+  // keep failing at offset zero until the test lifts the threshold.
+  return base_->Truncate(path, size);
+}
+
+}  // namespace testing
+}  // namespace sword

@@ -1,0 +1,80 @@
+// Deterministic fault-injecting FileBackend for tests.
+//
+// FaultFile wraps another backend (the real filesystem by default) and
+// injects failures keyed on the cumulative number of bytes appended through
+// it — not on wall-clock time — so every fault test is exactly reproducible.
+// Supported faults:
+//   - TransientErrors(k): next k Append calls fail with kUnavailable before
+//     writing anything (EINTR/EAGAIN simulation; exercises retry).
+//   - ShortWrites(max): each Append call writes at most `max` bytes,
+//     reporting the short count (exercises continue-from-prefix logic).
+//   - EnospcAfterBytes(n): appends succeed until the cumulative stream
+//     offset reaches n, then fail with kNoSpace after writing the prefix
+//     that still fits (exercises drop-with-accounting).
+//   - FailAfterBytes(n, code): like EnospcAfterBytes but with an arbitrary
+//     error code, and the failing call writes nothing past offset n.
+//   - FlipBit(offset, mask): XORs `mask` into the byte at stream offset
+//     `offset` as it passes through (silent corruption).
+//   - TruncateAfterBytes(n): bytes past stream offset n are reported as
+//     written but never reach the file (crash-style torn tail: the process
+//     believed the write happened).
+// All knobs compose; Reset() clears them and the byte counter.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/fsutil.h"
+
+namespace sword {
+namespace testing {
+
+class FaultFile final : public FileBackend {
+ public:
+  explicit FaultFile(FileBackend* base = nullptr)
+      : base_(base ? base : &RealFileBackend()) {}
+
+  // --- knobs (call before the writes they should affect) ---
+  void TransientErrors(uint32_t count);
+  void ShortWrites(size_t max_bytes_per_call);
+  void EnospcAfterBytes(uint64_t n);
+  void FailAfterBytes(uint64_t n, ErrorCode code);
+  void FlipBit(uint64_t stream_offset, uint8_t mask);
+  void TruncateAfterBytes(uint64_t n);
+  void Reset();
+
+  /// Cumulative bytes the caller believes were appended (includes bytes
+  /// swallowed by TruncateAfterBytes).
+  uint64_t bytes_written() const;
+  /// Bytes silently dropped by TruncateAfterBytes.
+  uint64_t bytes_lost() const;
+
+  // --- FileBackend ---
+  Status Append(const std::string& path, const uint8_t* data, size_t n,
+                size_t* written) override;
+  Status WriteWhole(const std::string& path, const Bytes& data) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+
+ private:
+  struct BitFlip {
+    uint64_t offset;
+    uint8_t mask;
+  };
+
+  FileBackend* base_;
+  mutable std::mutex mu_;
+  uint32_t transient_left_ = 0;
+  size_t short_write_max_ = 0;       // 0 = off
+  uint64_t fail_at_ = UINT64_MAX;    // cumulative-offset threshold
+  ErrorCode fail_code_ = ErrorCode::kNoSpace;
+  uint64_t truncate_at_ = UINT64_MAX;
+  std::vector<BitFlip> flips_;
+  uint64_t bytes_written_ = 0;
+  uint64_t bytes_lost_ = 0;
+};
+
+}  // namespace testing
+}  // namespace sword

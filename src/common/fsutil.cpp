@@ -1,15 +1,147 @@
 #include "common/fsutil.h"
 
+#include <errno.h>
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <system_error>
 
 namespace sword {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+Status StatusFromErrno(int err, const std::string& what,
+                       const std::string& path) {
+  std::string msg = what + ": " + path + " (" + std::strerror(err) + ")";
+  switch (err) {
+    case EINTR:
+    case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+      return Status::Unavailable(std::move(msg));
+    case ENOSPC:
+#ifdef EDQUOT
+    case EDQUOT:
+#endif
+      return Status::NoSpace(std::move(msg));
+    default:
+      return Status::Io(std::move(msg));
+  }
+}
+
+/// The real-filesystem backend: POSIX open/write so errno survives to be
+/// classified (stdio folds everything into ferror).
+class PosixFileBackend final : public FileBackend {
+ public:
+  Status Append(const std::string& path, const uint8_t* data, size_t n,
+                size_t* written) override {
+    *written = 0;
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) return StatusFromErrno(errno, "open for append", path);
+    Status st = Status::Ok();
+    while (*written < n) {
+      const ssize_t got = ::write(fd, data + *written, n - *written);
+      if (got < 0) {
+        st = StatusFromErrno(errno, "append", path);
+        break;
+      }
+      *written += static_cast<size_t>(got);
+      // A zero-byte write would loop forever; treat it as transient.
+      if (got == 0) {
+        st = Status::Unavailable("zero-byte write: " + path);
+        break;
+      }
+    }
+    ::close(fd);
+    return st;
+  }
+
+  Status WriteWhole(const std::string& path, const Bytes& data) override {
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return StatusFromErrno(errno, "open for write", path);
+    size_t written = 0;
+    Status st = Status::Ok();
+    while (written < data.size()) {
+      const ssize_t got =
+          ::write(fd, data.data() + written, data.size() - written);
+      if (got < 0) {
+        if (errno == EINTR) continue;  // whole-file writes just retry inline
+        st = StatusFromErrno(errno, "write", path);
+        break;
+      }
+      written += static_cast<size_t>(got);
+    }
+    ::close(fd);
+    return st;
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return StatusFromErrno(errno, "rename to " + to, from);
+    }
+    return Status::Ok();
+  }
+
+  Status Truncate(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return StatusFromErrno(errno, "truncate", path);
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+FileBackend& RealFileBackend() {
+  static PosixFileBackend backend;
+  return backend;
+}
+
+AppendOutcome AppendWithRetry(FileBackend& backend, const std::string& path,
+                              const uint8_t* data, size_t n,
+                              const RetryPolicy& policy) {
+  AppendOutcome out;
+  uint32_t backoff = policy.backoff_us;
+  uint32_t attempts = 0;
+  while (true) {
+    size_t got = 0;
+    out.status =
+        backend.Append(path, data + out.written, n - out.written, &got);
+    out.written += got;
+    if (out.status.ok() && out.written < n) {
+      // Successful short write: keep going from the written prefix without
+      // burning an attempt (the backend made progress).
+      continue;
+    }
+    if (out.status.ok()) return out;
+    ++attempts;
+    const bool retryable = out.status.code() == ErrorCode::kUnavailable;
+    if (!retryable || attempts >= policy.max_attempts) return out;
+    ++out.retries;
+    if (backoff > 0) {
+      ::usleep(backoff);
+      backoff = backoff * 2 > policy.max_backoff_us ? policy.max_backoff_us
+                                                    : backoff * 2;
+    }
+  }
+}
+
+Status WriteFileAtomic(const std::string& path, const Bytes& data,
+                       FileBackend* backend) {
+  FileBackend& b = backend ? *backend : RealFileBackend();
+  const std::string tmp = path + ".tmp";
+  SWORD_RETURN_IF_ERROR(b.WriteWhole(tmp, data));
+  return b.Rename(tmp, path);
+}
 
 Status WriteFile(const std::string& path, const Bytes& data) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
@@ -23,12 +155,8 @@ Status WriteFile(const std::string& path, const Bytes& data) {
 }
 
 Status AppendFile(const std::string& path, const uint8_t* data, size_t n) {
-  std::FILE* f = std::fopen(path.c_str(), "ab");
-  if (!f) return Status::Io("cannot open for append: " + path);
-  size_t written = n == 0 ? 0 : std::fwrite(data, 1, n, f);
-  const int rc = std::fclose(f);
-  if (written != n || rc != 0) return Status::Io("short append: " + path);
-  return Status::Ok();
+  size_t written = 0;
+  return RealFileBackend().Append(path, data, n, &written);
 }
 
 Result<Bytes> ReadFileBytes(const std::string& path) {
@@ -76,6 +204,20 @@ Status RemoveFile(const std::string& path) {
   std::error_code ec;
   fs::remove(path, ec);
   if (ec) return Status::Io("remove failed: " + path);
+  return Status::Ok();
+}
+
+Status MakeDirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) return Status::Io("mkdir failed: " + path + " (" + ec.message() + ")");
+  return Status::Ok();
+}
+
+Status TruncateFile(const std::string& path, uint64_t n) {
+  if (::truncate(path.c_str(), static_cast<off_t>(n)) != 0) {
+    return StatusFromErrno(errno, "truncate", path);
+  }
   return Status::Ok();
 }
 

@@ -1,5 +1,7 @@
-// Filesystem helpers for the trace log/meta files: whole-file read/write and
-// a self-cleaning temporary directory for tests and benches.
+// Filesystem helpers for the trace log/meta files: whole-file read/write, a
+// pluggable write backend (so tests can inject I/O faults below the flush
+// pipeline), crash-consistent atomic file replacement, and a self-cleaning
+// temporary directory for tests and benches.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +12,67 @@
 
 namespace sword {
 
+/// The raw file-write layer the trace pipeline sits on. One implementation
+/// talks to the real filesystem; sword::testing::FaultFile wraps it to
+/// inject deterministic failures (ENOSPC, EINTR, short writes, bit flips,
+/// crash-style truncation). Methods are single-attempt: transient errors
+/// (kUnavailable) and short writes are reported to the caller, which owns
+/// the retry policy - that keeps retries testable instead of buried.
+class FileBackend {
+ public:
+  virtual ~FileBackend() = default;
+
+  /// Appends up to `n` bytes to `path`, creating it if needed. `*written`
+  /// (required) receives how many bytes actually reached the file, which on
+  /// failure may be any prefix of `n` - exactly the short-write case a
+  /// crashed or signal-interrupted writer leaves behind. Error codes:
+  /// kUnavailable = transient (EINTR/EAGAIN), retry; kNoSpace = ENOSPC.
+  virtual Status Append(const std::string& path, const uint8_t* data, size_t n,
+                        size_t* written) = 0;
+
+  /// Replaces `path`'s contents wholesale (truncate + write).
+  virtual Status WriteWhole(const std::string& path, const Bytes& data) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  /// Truncates `path` to `size` bytes. The flusher uses this to roll back a
+  /// partial append so a failed frame never leaves a torn tail.
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+};
+
+/// The process-wide real-filesystem backend.
+FileBackend& RealFileBackend();
+
+/// Retry policy for transient append failures. Retries apply to
+/// kUnavailable errors and to short writes (continuing from the written
+/// prefix); kNoSpace and hard I/O errors are surfaced immediately.
+struct RetryPolicy {
+  uint32_t max_attempts = 5;   // total attempts, including the first
+  uint32_t backoff_us = 200;   // base backoff; doubles per retry, capped
+  uint32_t max_backoff_us = 10 * 1000;
+};
+
+struct AppendOutcome {
+  Status status;
+  size_t written = 0;   // bytes that reached the file (prefix on failure)
+  uint32_t retries = 0; // extra attempts beyond the first
+};
+
+/// Appends with retry-on-transient-failure per `policy`. Short successful
+/// writes continue from the written prefix without consuming an attempt's
+/// backoff. Gives up with the last error once attempts are exhausted.
+AppendOutcome AppendWithRetry(FileBackend& backend, const std::string& path,
+                              const uint8_t* data, size_t n,
+                              const RetryPolicy& policy = {});
+
+/// Crash-consistent whole-file replacement: writes `path`.tmp, then renames
+/// it over `path`. A reader (or a rebooted machine) sees either the old or
+/// the new contents, never a torn mix - this is what makes incremental meta
+/// checkpoints safe against mid-write death.
+Status WriteFileAtomic(const std::string& path, const Bytes& data,
+                       FileBackend* backend = nullptr);
+
 Status WriteFile(const std::string& path, const Bytes& data);
 Status AppendFile(const std::string& path, const uint8_t* data, size_t n);
 Result<Bytes> ReadFileBytes(const std::string& path);
@@ -18,6 +81,11 @@ Result<Bytes> ReadFileRange(const std::string& path, uint64_t offset, uint64_t n
 Result<uint64_t> FileSize(const std::string& path);
 bool FileExists(const std::string& path);
 Status RemoveFile(const std::string& path);
+/// Truncates the file to `n` bytes (crash/corruption simulation in tests).
+Status TruncateFile(const std::string& path, uint64_t n);
+
+/// Creates `path` and any missing parents; ok if it already exists.
+Status MakeDirs(const std::string& path);
 
 /// Creates a unique directory under the system temp dir; removes it (and all
 /// contents) on destruction.

@@ -22,6 +22,10 @@ const char* ErrorCodeName(ErrorCode code) {
       return "unsupported";
     case ErrorCode::kInternal:
       return "internal";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
+    case ErrorCode::kNoSpace:
+      return "no-space";
   }
   return "unknown";
 }

@@ -21,6 +21,8 @@ enum class ErrorCode : uint8_t {
   kOutOfMemory,   // used by the HB baseline to signal the simulated node OOM
   kUnsupported,
   kInternal,
+  kUnavailable,   // transient I/O failure (EINTR/EAGAIN); safe to retry
+  kNoSpace,       // ENOSPC/EDQUOT; retrying immediately is pointless
 };
 
 /// Human-readable name of an ErrorCode ("ok", "io-error", ...).
@@ -55,6 +57,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(ErrorCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(ErrorCode::kUnavailable, std::move(msg));
+  }
+  static Status NoSpace(std::string msg) {
+    return Status(ErrorCode::kNoSpace, std::move(msg));
   }
 
   bool ok() const { return code_ == ErrorCode::kOk; }

@@ -3,11 +3,31 @@
 namespace sword {
 namespace {
 
-Status ReadFrameHeader(ByteReader& reader, uint8_t* payload_format,
-                       std::string* codec_name, uint64_t* raw_size,
-                       uint64_t* payload_size, uint64_t* checksum) {
-  uint32_t magic;
-  SWORD_RETURN_IF_ERROR(reader.GetU32(&magic));
+/// Parses a gap frame body (magic already consumed): raw_bytes varu64 |
+/// event_count varu64 | u64 checksum over the two varints' encoded bytes.
+Status ReadGapBody(ByteReader& reader, uint64_t* raw_bytes,
+                   uint64_t* event_count) {
+  const size_t body_start = reader.position();
+  SWORD_RETURN_IF_ERROR(reader.GetVarU64(raw_bytes));
+  SWORD_RETURN_IF_ERROR(reader.GetVarU64(event_count));
+  const size_t body_len = reader.position() - body_start;
+  uint64_t checksum;
+  SWORD_RETURN_IF_ERROR(reader.GetU64(&checksum));
+  const uint8_t* body = reader.cursor() - 8 - body_len;
+  if (Fnv1a64(body, body_len) != checksum) {
+    return Status::Corrupt("gap frame checksum mismatch");
+  }
+  if (*raw_bytes > kMaxFrameRawBytes) {
+    return Status::Corrupt("implausible gap frame size");
+  }
+  return Status::Ok();
+}
+
+/// Parses a data-frame header. `magic` has already been consumed.
+Status ReadFrameHeader(ByteReader& reader, uint32_t magic,
+                       uint8_t* payload_format, std::string* codec_name,
+                       uint64_t* raw_size, uint64_t* payload_size,
+                       uint64_t* checksum) {
   if (magic == kFrameMagic) {
     *payload_format = 1;
   } else if (magic == kFrameMagicV2) {
@@ -48,12 +68,38 @@ Status WriteFrame(const Compressor& codec, const uint8_t* data, size_t n, Bytes*
   return Status::Ok();
 }
 
+void WriteGapFrame(Bytes* out, uint64_t raw_bytes, uint64_t event_count) {
+  ByteWriter w(out);
+  w.PutU32(kFrameMagicGap);
+  const size_t body_start = out->size();
+  w.PutVarU64(raw_bytes);
+  w.PutVarU64(event_count);
+  const size_t body_len = out->size() - body_start;
+  w.PutU64(Fnv1a64(out->data() + body_start, body_len));
+}
+
 Status ReadFrame(ByteReader& reader, FrameView* out) {
   const size_t frame_start = reader.position();
+  uint32_t magic;
+  SWORD_RETURN_IF_ERROR(reader.GetU32(&magic));
+  out->is_gap = false;
+  out->dropped_events = 0;
+  if (magic == kFrameMagicGap) {
+    uint64_t raw_bytes, events;
+    SWORD_RETURN_IF_ERROR(ReadGapBody(reader, &raw_bytes, &events));
+    out->payload_format = 0;
+    out->is_gap = true;
+    out->dropped_events = events;
+    out->raw_size = raw_bytes;
+    out->frame_size = reader.position() - frame_start;
+    out->data.clear();
+    return Status::Ok();
+  }
   std::string codec_name;
   uint64_t raw_size, payload_size, checksum;
-  SWORD_RETURN_IF_ERROR(ReadFrameHeader(reader, &out->payload_format, &codec_name,
-                                        &raw_size, &payload_size, &checksum));
+  SWORD_RETURN_IF_ERROR(ReadFrameHeader(reader, magic, &out->payload_format,
+                                        &codec_name, &raw_size, &payload_size,
+                                        &checksum));
 
   const Compressor* codec = FindCompressor(codec_name);
   if (!codec) return Status::Corrupt("unknown codec in frame: " + codec_name);
@@ -73,11 +119,19 @@ Status ReadFrame(ByteReader& reader, FrameView* out) {
 }
 
 Status SkipFrame(ByteReader& reader, uint64_t* raw_size, uint8_t* payload_format) {
+  uint32_t magic;
+  SWORD_RETURN_IF_ERROR(reader.GetU32(&magic));
+  if (magic == kFrameMagicGap) {
+    uint64_t events;
+    SWORD_RETURN_IF_ERROR(ReadGapBody(reader, raw_size, &events));
+    if (payload_format) *payload_format = 0;  // 0 = gap marker, no payload
+    return Status::Ok();
+  }
   uint8_t format;
   std::string codec_name;
   uint64_t payload_size, checksum;
-  SWORD_RETURN_IF_ERROR(
-      ReadFrameHeader(reader, &format, &codec_name, raw_size, &payload_size, &checksum));
+  SWORD_RETURN_IF_ERROR(ReadFrameHeader(reader, magic, &format, &codec_name,
+                                        raw_size, &payload_size, &checksum));
   if (payload_format) *payload_format = format;
   return reader.Skip(payload_size);
 }

@@ -27,6 +27,7 @@ namespace sword {
 
 constexpr uint32_t kFrameMagic = 0x53574446;    // "SWDF": format-v1 payload
 constexpr uint32_t kFrameMagicV2 = 0x53574632;  // "SWF2": format-v2 payload
+constexpr uint32_t kFrameMagicGap = 0x53574750; // "SWGP": drop marker, no payload
 
 /// Hard cap on a frame's decompressed size. Writers flush one bounded trace
 /// buffer per frame (2 MB by default), so any header claiming more than this
@@ -42,10 +43,20 @@ constexpr uint64_t kMaxFrameRawBytes = 64ull << 20;
 Status WriteFrame(const Compressor& codec, const uint8_t* data, size_t n, Bytes* out,
                   uint8_t payload_format = 1, CompressScratch* scratch = nullptr);
 
+/// Appends a gap frame to `out`: a drop marker the flusher writes after it
+/// had to discard data (ENOSPC). It records how many logical (decompressed)
+/// bytes and events went missing so every later frame's logical offset stays
+/// trustworthy. Layout:
+///   kFrameMagicGap (u32) | raw_bytes (varu64) | event_count (varu64)
+///   | fnv1a64(the two varints) (u64)
+void WriteGapFrame(Bytes* out, uint64_t raw_bytes, uint64_t event_count);
+
 struct FrameView {
   uint8_t payload_format = 1;   // event encoding version (from the magic)
-  uint64_t raw_size = 0;        // decompressed payload size
+  uint64_t raw_size = 0;        // decompressed payload size (gap: bytes lost)
   uint64_t frame_size = 0;      // total encoded frame size in bytes
+  bool is_gap = false;          // drop marker; `data` is empty
+  uint64_t dropped_events = 0;  // gap frames only
   Bytes data;                   // decompressed payload
 };
 

@@ -1,10 +1,68 @@
 #include "core/sword_tool.h"
 
+#include <csignal>
+#include <cstdlib>
+
 #include <cassert>
 
+#include "common/fsutil.h"
 #include "compress/compressor.h"
 
 namespace sword::core {
+
+namespace {
+
+/// Live tools, for the crash-drain hooks. Registration happens in the
+/// SwordTool ctor/dtor, so the list never holds a dangling pointer.
+std::mutex g_live_tools_mutex;
+std::vector<SwordTool*> g_live_tools;
+
+void RegisterLiveTool(SwordTool* tool) {
+  std::lock_guard lock(g_live_tools_mutex);
+  g_live_tools.push_back(tool);
+}
+
+void UnregisterLiveTool(SwordTool* tool) {
+  std::lock_guard lock(g_live_tools_mutex);
+  for (auto it = g_live_tools.begin(); it != g_live_tools.end(); ++it) {
+    if (*it == tool) {
+      g_live_tools.erase(it);
+      return;
+    }
+  }
+}
+
+/// Finalizes every live tool. Called from the atexit hook and (best-effort,
+/// knowingly async-signal-unsafe - see InstallCrashDrain's contract) from
+/// the termination-signal handler.
+void DrainAllLiveTools() {
+  std::vector<SwordTool*> tools;
+  {
+    std::lock_guard lock(g_live_tools_mutex);
+    tools = g_live_tools;
+  }
+  for (SwordTool* tool : tools) (void)tool->Finalize();
+}
+
+void CrashDrainSignalHandler(int signo) {
+  DrainAllLiveTools();
+  // Re-raise with the default disposition so the exit status still says
+  // "killed by signal" - the drain must not make a SIGTERM look clean.
+  std::signal(signo, SIG_DFL);
+  std::raise(signo);
+}
+
+}  // namespace
+
+void InstallCrashDrain() {
+  static bool installed = [] {
+    std::atexit([] { DrainAllLiveTools(); });
+    std::signal(SIGTERM, CrashDrainSignalHandler);
+    std::signal(SIGINT, CrashDrainSignalHandler);
+    return true;
+  }();
+  (void)installed;
+}
 
 namespace {
 
@@ -40,12 +98,20 @@ SwordTool::SwordTool(SwordConfig config)
       flusher_(trace::FlusherConfig{.async = config_.async_flush,
                                     .workers = config_.flush_workers,
                                     .max_queued_jobs = config_.flush_queue_depth,
-                                    .memory = &memory_}),
+                                    .memory = &memory_,
+                                    .backend = config_.backend}),
       instance_id_(g_next_instance_id.fetch_add(1)) {
   assert(!config_.out_dir.empty());
+  // Best-effort: a missing trace directory should not be fatal here; if it
+  // truly cannot be created, the first writer I/O reports the real error.
+  (void)MakeDirs(config_.out_dir);
+  RegisterLiveTool(this);
 }
 
-SwordTool::~SwordTool() { (void)Finalize(); }
+SwordTool::~SwordTool() {
+  (void)Finalize();
+  UnregisterLiveTool(this);
+}
 
 SwordTool::ThreadState& SwordTool::State() {
   if (tls_handle.owner_id == instance_id_) {
@@ -66,6 +132,8 @@ SwordTool::ThreadState& SwordTool::State() {
   wc.codec = FindCompressor(config_.codec);
   wc.flusher = &flusher_;
   wc.format = config_.trace_format;
+  wc.meta_checkpoint_interval = config_.meta_checkpoint_interval;
+  wc.backend = config_.backend;
   raw->writer = std::make_unique<trace::ThreadTraceWriter>(tid, wc);
   // The modeled fixed auxiliary overhead (OMPT + thread-local state).
   (void)memory_.Charge(kAuxBytesPerThread);
@@ -139,11 +207,17 @@ Status SwordTool::Finalize() {
   std::lock_guard lock(states_mutex_);
   if (finalized_) return status_;
   finalized_ = true;
+  // Order matters: push every writer's buffered events into the pipeline,
+  // wait for the pipeline to hit the disk (or give up and account drops),
+  // and only THEN write the final metas - whose v3 headers fold in the
+  // flusher's per-log drop totals, complete only after the drain.
+  for (auto& ts : states_) ts->writer->FlushEvents();
+  flusher_.Drain();
   for (auto& ts : states_) {
     const Status s = ts->writer->Finish();
     if (!s.ok() && status_.ok()) status_ = s;
   }
-  flusher_.Drain();
+  flusher_.Drain();  // Finish can flush a tail frame; settle it too
   const Status fs = flusher_.status();
   if (!fs.ok() && status_.ok()) status_ = fs;
   return status_;

@@ -41,6 +41,12 @@ struct SwordConfig {
   uint32_t flush_workers = 0;                // 0 = min(4, hw_concurrency)
   size_t flush_queue_depth = trace::Flusher::kDefaultMaxQueuedJobs;
   uint8_t trace_format = trace::kTraceFormatV2;  // event encoding version
+  /// Meta checkpoint cadence in closed segments (0 = only at Finalize); see
+  /// WriterConfig::meta_checkpoint_interval.
+  uint32_t meta_checkpoint_interval = 1;
+  /// Write layer for all trace I/O; null = real filesystem. Tests plug a
+  /// sword::testing::FaultFile here.
+  FileBackend* backend = nullptr;
 };
 
 /// The paper's measured per-thread auxiliary overhead (thread-local state +
@@ -67,6 +73,10 @@ class SwordTool final : public somp::Tool {
   /// Closes all writers, drains I/O, returns first error. Idempotent;
   /// called automatically by OnRuntimeShutdown.
   Status Finalize();
+
+  /// First I/O error the flush pipeline hit (sticky); Ok on a clean run.
+  /// Valid any time; complete after Finalize.
+  Status IoStatus() const { return flusher_.status(); }
 
   /// Paths of the per-thread trace files written so far (valid after
   /// Finalize).
@@ -108,5 +118,18 @@ class SwordTool final : public somp::Tool {
   bool finalized_ = false;
   Status status_;
 };
+
+/// Installs best-effort SIGTERM/SIGINT handlers and an atexit hook that
+/// Finalize() every live SwordTool, so a terminated production run leaves
+/// its logs and meta files analyzable up to the last flushed frame instead
+/// of losing everything after the final checkpoint. Idempotent.
+///
+/// Best-effort by design: Finalize takes locks and allocates, which is not
+/// async-signal-safe - a handler that fires while a flusher lock is held can
+/// deadlock or die. That is an acceptable trade: without the handler the
+/// trace tail is ALWAYS lost on SIGTERM; with it the tail is usually saved,
+/// and when the handler does die the on-disk state is no worse than the
+/// kill -9 case, which salvage-mode analysis already handles.
+void InstallCrashDrain();
 
 }  // namespace sword::core

@@ -42,6 +42,7 @@ Status BuildSegment(const TraceStore& store, Group& group,
 
   const auto& thread = store.threads()[group.thread_idx];
   uint64_t events = 0;
+  uint64_t bytes_skipped = 0;
   const Status s = thread.log->StreamRange(
       meta.data_begin, meta.data_size,
       [&](const trace::RawEvent& e) {
@@ -64,8 +65,14 @@ Status BuildSegment(const TraceStore& store, Group& group,
           }
         }
       },
-      cache);
+      cache, &bytes_skipped);
   stats.raw_events += events;
+  stats.bytes_skipped_read += bytes_skipped;
+  // Honest accounting for salvage runs: the meta claimed event_count events
+  // for this segment; whatever did not stream (holes, truncation) is missing.
+  if (s.ok() && meta.event_count > events) {
+    stats.events_missing += meta.event_count - events;
+  }
   return s;
 }
 
@@ -75,6 +82,11 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
   AnalysisResult result;
   Timer total_timer;
   itree::MutexSetTable mutexes;
+  result.stats.integrity = store.integrity();
+  // The store's opening discipline decides the analysis's failure policy:
+  // a salvage store degrades per segment/bucket with accounting, a strict
+  // store aborts on the first defect.
+  const bool salvage = store.integrity().salvaged;
 
   // --- 1+2: bucket interval segments by top-level region (root pair offset).
   // Cross-bucket interval pairs are sequential by OSL case 2 on the root
@@ -86,13 +98,21 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
       result.stats.intervals++;
       const auto& pairs = meta.label.pairs();
       if (pairs.empty()) {
-        result.status = Status::Corrupt("interval with empty label");
-        return result;
+        if (!salvage) {
+          result.status = Status::Corrupt("interval with empty label");
+          return result;
+        }
+        result.stats.integrity.meta_records_rejected++;
+        if (result.first_error.ok()) {
+          result.first_error = Status::Corrupt("interval with empty label");
+        }
+        continue;
       }
       buckets[pairs.front().offset].push_back({t, &meta});
     }
   }
   result.stats.buckets = buckets.size();
+  uint64_t buckets_attempted = 0;
 
   std::mutex races_mutex;
   // Frame caches live across buckets so consecutive buckets whose segments
@@ -113,6 +133,7 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
         bucket_ordinal % config.shard_count != config.shard_index) {
       continue;  // another shard's bucket
     }
+    buckets_attempted++;
     Timer bucket_timer;
 
     // --- 3: group by (thread, label); stream logs into per-group trees.
@@ -138,18 +159,29 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
     // this out as future work - "the tree generation cannot be efficiently
     // parallelized since it would require the use of locks" - which the
     // per-group decomposition sidesteps.)
+    std::atomic<uint64_t> bucket_segments{0};
+    std::atomic<uint64_t> bucket_segment_failures{0};
     {
       std::mutex status_mutex;
       auto build_group = [&](Group* group, AnalysisStats* stats,
                              trace::FrameCache* cache) {
         // Small segments sharing a frame decode it once, not once per
-        // segment, courtesy of the worker's LRU frame cache.
+        // segment, courtesy of the worker's LRU frame cache. A segment that
+        // fails to stream poisons only itself in salvage mode (the group's
+        // tree keeps every segment that did stream); a strict store aborts
+        // the whole analysis, as before.
         for (const trace::IntervalMeta* meta : group->segments) {
+          bucket_segments.fetch_add(1, std::memory_order_relaxed);
           const Status s = BuildSegment(store, *group, *meta, mutexes, *stats, cache);
           if (!s.ok()) {
             std::lock_guard lock(status_mutex);
-            if (result.status.ok()) result.status = s;
-            return;
+            if (result.first_error.ok()) result.first_error = s;
+            if (!salvage) {
+              if (result.status.ok()) result.status = s;
+              return;
+            }
+            bucket_segment_failures.fetch_add(1, std::memory_order_relaxed);
+            stats->segments_skipped++;
           }
         }
         stats->trees_built++;
@@ -180,11 +212,23 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
           result.stats.trees_built += s.trees_built;
           result.stats.tree_nodes += s.tree_nodes;
           result.stats.raw_events += s.raw_events;
+          result.stats.segments_skipped += s.segments_skipped;
+          result.stats.events_missing += s.events_missing;
+          result.stats.bytes_skipped_read += s.bytes_skipped_read;
         }
       }
       if (!result.status.ok()) return result;
     }
     result.stats.build_seconds += build_timer.ElapsedSeconds();
+    // A bucket where not a single segment streamed has nothing to compare;
+    // count it and move on (salvage only - strict never gets here damaged).
+    if (salvage && bucket_segments.load() > 0 &&
+        bucket_segment_failures.load() == bucket_segments.load()) {
+      result.stats.buckets_skipped++;
+      result.stats.max_bucket_seconds =
+          std::max(result.stats.max_bucket_seconds, bucket_timer.ElapsedSeconds());
+      continue;
+    }
 
     uint64_t bucket_tree_bytes = 0;
     for (Group* group : groups) bucket_tree_bytes += group->tree.MemoryBytes();
@@ -253,6 +297,16 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
 
     result.stats.max_bucket_seconds =
         std::max(result.stats.max_bucket_seconds, bucket_timer.ElapsedSeconds());
+  }
+
+  // Salvage policy: partial damage is reported through the stats while the
+  // status stays Ok - but an analysis where EVERY attempted bucket failed
+  // produced nothing, and pretending otherwise would be dishonest.
+  if (salvage && result.status.ok() && buckets_attempted > 0 &&
+      result.stats.buckets_skipped == buckets_attempted) {
+    result.status = result.first_error.ok()
+                        ? Status::Corrupt("no bucket survived salvage analysis")
+                        : result.first_error;
   }
 
   result.stats.total_seconds = total_timer.ElapsedSeconds();

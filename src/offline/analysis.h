@@ -61,10 +61,25 @@ struct AnalysisStats {
   /// the wall clock.
   double max_bucket_seconds = 0;
   uint64_t peak_tree_bytes = 0;  // largest per-bucket tree footprint
+
+  // Degraded-analysis accounting: what the analysis could NOT use, so a
+  // salvage run reports races from the surviving data without pretending
+  // the data was whole. All zero on a clean trace.
+  uint64_t segments_skipped = 0;    // meta records whose events failed to stream
+  uint64_t buckets_skipped = 0;     // regions where every segment failed
+  uint64_t events_missing = 0;      // claimed by meta but never streamed
+  uint64_t bytes_skipped_read = 0;  // logical bytes the reader skipped (holes)
+  TraceIntegrity integrity;         // store-open damage, copied at Analyze()
 };
 
 struct AnalysisResult {
+  /// Strict store: first failure (analysis aborted there). Salvage store:
+  /// Ok unless EVERY bucket failed - partial damage degrades the stats, not
+  /// the status.
   Status status;
+  /// First per-segment/per-bucket failure in a salvage run, preserved even
+  /// when `status` stays Ok. Ok when nothing failed.
+  Status first_error;
   RaceReportSet races;
   AnalysisStats stats;
 };

@@ -44,6 +44,40 @@ std::string RenderText(const AnalysisResult& result, const PcNamer& pc_namer) {
   out += "analyzed " + std::to_string(s.intervals) + " interval(s) in " +
          std::to_string(s.buckets) + " region(s), " + std::to_string(s.raw_events) +
          " event(s) -> " + std::to_string(s.tree_nodes) + " tree node(s)\n";
+  const auto& in = s.integrity;
+  const bool damaged = !in.clean() || s.segments_skipped > 0 ||
+                       s.buckets_skipped > 0 || s.events_missing > 0 ||
+                       s.bytes_skipped_read > 0;
+  if (damaged || in.salvaged) {
+    out += "trace integrity: ";
+    out += damaged ? "DAMAGED" : "clean";
+    out += in.salvaged ? " (salvage mode)\n" : "\n";
+  }
+  if (damaged) {
+    out += "  frames: " + std::to_string(in.frames_ok) + " ok, " +
+           std::to_string(in.frames_corrupt) + " corrupt, " +
+           std::to_string(in.frames_unaddressable) + " unaddressable, " +
+           std::to_string(in.gap_frames) + " gap(s)\n";
+    out += "  log damage: " + std::to_string(in.resyncs) + " resync(s), " +
+           std::to_string(in.bytes_skipped) + " byte(s) skipped, " +
+           std::to_string(in.truncated_tail_bytes) + " truncated tail byte(s)\n";
+    out += "  dropped at record time: " +
+           std::to_string(in.events_dropped_at_record) + " event(s), " +
+           std::to_string(in.bytes_dropped_at_record) + " byte(s)\n";
+    out += "  meta: " + std::to_string(in.meta_records_dropped) +
+           " record(s) torn, " + std::to_string(in.meta_records_rejected) +
+           " rejected, " + std::to_string(in.threads_missing_meta) +
+           " thread(s) missing meta, " + std::to_string(in.threads_missing_log) +
+           " missing log\n";
+    out += "  analysis: " + std::to_string(s.segments_skipped) +
+           " segment(s) skipped, " + std::to_string(s.buckets_skipped) +
+           " bucket(s) skipped, " + std::to_string(s.events_missing) +
+           " event(s) missing, " + std::to_string(s.bytes_skipped_read) +
+           " byte(s) unread\n";
+    if (!result.first_error.ok()) {
+      out += "  first error: " + result.first_error.ToString() + "\n";
+    }
+  }
   return out;
 }
 
@@ -76,6 +110,32 @@ std::string RenderJson(const AnalysisResult& result, const PcNamer& pc_namer) {
   out += ",\"concurrent_pairs\":" + std::to_string(s.concurrent_pairs);
   out += ",\"solver_calls\":" + std::to_string(s.solver_calls);
   out += ",\"total_seconds\":" + std::to_string(s.total_seconds);
+  out += "}";
+  const auto& in = s.integrity;
+  out += ",\"integrity\":{";
+  out += "\"salvaged\":" + std::string(in.salvaged ? "true" : "false");
+  out += ",\"frames_ok\":" + std::to_string(in.frames_ok);
+  out += ",\"frames_corrupt\":" + std::to_string(in.frames_corrupt);
+  out += ",\"frames_unaddressable\":" + std::to_string(in.frames_unaddressable);
+  out += ",\"gap_frames\":" + std::to_string(in.gap_frames);
+  out += ",\"events_dropped_at_record\":" +
+         std::to_string(in.events_dropped_at_record);
+  out += ",\"bytes_dropped_at_record\":" +
+         std::to_string(in.bytes_dropped_at_record);
+  out += ",\"resyncs\":" + std::to_string(in.resyncs);
+  out += ",\"bytes_skipped\":" + std::to_string(in.bytes_skipped);
+  out += ",\"truncated_tail_bytes\":" + std::to_string(in.truncated_tail_bytes);
+  out += ",\"meta_records_dropped\":" + std::to_string(in.meta_records_dropped);
+  out += ",\"meta_records_rejected\":" + std::to_string(in.meta_records_rejected);
+  out += ",\"threads_missing_meta\":" + std::to_string(in.threads_missing_meta);
+  out += ",\"threads_missing_log\":" + std::to_string(in.threads_missing_log);
+  out += ",\"segments_skipped\":" + std::to_string(s.segments_skipped);
+  out += ",\"buckets_skipped\":" + std::to_string(s.buckets_skipped);
+  out += ",\"events_missing\":" + std::to_string(s.events_missing);
+  out += ",\"bytes_skipped_read\":" + std::to_string(s.bytes_skipped_read);
+  out += ",\"first_error\":\"" +
+         JsonEscape(result.first_error.ok() ? "" : result.first_error.ToString()) +
+         "\"";
   out += "}}";
   return out;
 }

@@ -29,7 +29,10 @@ void PrintUsage() {
                "  --stats          print analysis statistics\n"
                "  --json           machine-readable output\n"
                "  --shard I        analyze only shard I (with --shards)\n"
-               "  --shards N       total shards for distributed analysis\n");
+               "  --shards N       total shards for distributed analysis\n"
+               "  --salvage        analyze damaged traces (crashed/killed runs):\n"
+               "                   resynchronize past corruption and report races\n"
+               "                   from surviving data, with integrity accounting\n");
 }
 
 }  // namespace
@@ -42,6 +45,7 @@ int main(int argc, char** argv) {
   const bool json = args.GetBool("json");
   const int64_t shard = args.GetInt("shard", 0);
   const int64_t shards = args.GetInt("shards", 1);
+  const bool salvage = args.GetBool("salvage");
 
   if (args.positional().size() != 1) {
     PrintUsage();
@@ -53,9 +57,16 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto store = offline::TraceStore::OpenDir(args.positional()[0]);
+  offline::StoreOptions store_options;
+  store_options.salvage = salvage;
+  auto store = offline::TraceStore::OpenDir(args.positional()[0], store_options);
   if (!store.ok()) {
     std::fprintf(stderr, "error: %s\n", store.status().ToString().c_str());
+    if (!salvage) {
+      std::fprintf(stderr,
+                   "(if this trace came from a crashed or killed run, retry "
+                   "with --salvage)\n");
+    }
     return 1;
   }
   if (!json) {
@@ -73,6 +84,11 @@ int main(int argc, char** argv) {
   const offline::AnalysisResult result = offline::Analyze(store.value(), config);
   if (!result.status.ok()) {
     std::fprintf(stderr, "analysis error: %s\n", result.status.ToString().c_str());
+    if (!salvage) {
+      std::fprintf(stderr,
+                   "(if this trace came from a crashed or killed run, retry "
+                   "with --salvage)\n");
+    }
     return 1;
   }
 

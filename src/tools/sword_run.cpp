@@ -13,6 +13,7 @@
 #include "common/args.h"
 #include "common/table.h"
 #include "common/timer.h"
+#include "core/sword_tool.h"
 #include "harness/harness.h"
 #include "somp/srcloc.h"
 #include "trace/event.h"
@@ -21,6 +22,10 @@
 using namespace sword;
 
 int main(int argc, char** argv) {
+  // A terminated run (SIGTERM/SIGINT) drains live trace writers before
+  // dying, so --trace-dir output stays analyzable; kill -9 is covered by
+  // salvage-mode analysis instead.
+  core::InstallCrashDrain();
   ArgParser args(argc, argv);
 
   if (args.GetBool("list")) {
@@ -105,5 +110,12 @@ int main(int argc, char** argv) {
   if (!r.status.ok()) {
     std::printf("  status:          %s\n", r.status.ToString().c_str());
   }
-  return r.oom ? 3 : (r.races ? 2 : 0);
+  if (r.oom) return 3;
+  // Trace I/O or analysis failure: the run is not trustworthy, and silently
+  // exiting 0 would let a lossy trace masquerade as a clean one.
+  if (!r.status.ok()) {
+    std::fprintf(stderr, "error: %s\n", r.status.ToString().c_str());
+    return 4;
+  }
+  return r.races ? 2 : 0;
 }

@@ -70,6 +70,10 @@ uint32_t DefaultWorkers() {
 Flusher::Flusher(const FlusherConfig& config)
     : async_(config.async),
       max_queued_jobs_(std::max<size_t>(1, config.max_queued_jobs)),
+      backend_(config.backend ? config.backend : &RealFileBackend()),
+      retry_policy_{/*max_attempts=*/config.max_io_retries + 1,
+                    /*backoff_us=*/config.retry_backoff_us,
+                    /*max_backoff_us=*/10 * 1000},
       pool_(config.max_pooled_buffers, config.memory) {
   if (!async_) return;
   const uint32_t n = config.workers ? config.workers : DefaultWorkers();
@@ -94,12 +98,13 @@ Flusher::~Flusher() {
 }
 
 void Flusher::AppendFrame(const std::string& path, Bytes raw, const Compressor* codec,
-                          uint8_t payload_format) {
+                          uint8_t payload_format, uint64_t event_count) {
   Job job;
   job.path = path;
   job.data = std::move(raw);
   job.codec = codec ? codec : DefaultCompressor();
   job.payload_format = payload_format;
+  job.event_count = event_count;
   job.recycle = true;
   Enqueue(std::move(job));
 }
@@ -159,6 +164,12 @@ Status Flusher::status() const {
   return status_;
 }
 
+DropRecord Flusher::DroppedFor(const std::string& path) const {
+  std::lock_guard lock(mutex_);
+  auto it = dropped_.find(path);
+  return it == dropped_.end() ? DropRecord{} : it->second;
+}
+
 void Flusher::Run(uint32_t index) {
   Worker& me = *workers_[index];
   std::unique_lock lock(mutex_);
@@ -187,30 +198,78 @@ void Flusher::Run(uint32_t index) {
   }
 }
 
+Status Flusher::AppendChecked(const std::string& path, const uint8_t* data,
+                              size_t n) {
+  // Remember the pre-append size so an ultimately-failed append can be
+  // rolled back: a torn half-frame would cost the reader its offset trust
+  // for everything after it, which is far worse than the lost frame.
+  auto before = FileSize(path);
+  const uint64_t old_size = before.ok() ? before.value() : 0;
+  AppendOutcome out = AppendWithRetry(*backend_, path, data, n, retry_policy_);
+  if (out.retries > 0) io_retries_.fetch_add(out.retries);
+  if (out.status.ok()) {
+    bytes_written_.fetch_add(n);
+    appends_.fetch_add(1);
+    return Status::Ok();
+  }
+  if (out.written > 0) (void)backend_->Truncate(path, old_size);
+  return out.status;
+}
+
+Status Flusher::WritePathData(const Job& job, const uint8_t* data, size_t n) {
+  // If earlier frames for this path were dropped, their gap marker must land
+  // before this frame - otherwise every logical offset after the hole would
+  // silently shift and the analyzer would attribute events to the wrong
+  // intervals. Per-path jobs are serialized (one FIFO lane per path), so
+  // this read-then-erase is race-free.
+  DropRecord gap;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = pending_gaps_.find(job.path);
+    if (it != pending_gaps_.end()) gap = it->second;
+  }
+  if (gap.frames > 0) {
+    Bytes gap_frame;
+    WriteGapFrame(&gap_frame, gap.raw_bytes, gap.events);
+    SWORD_RETURN_IF_ERROR(
+        AppendChecked(job.path, gap_frame.data(), gap_frame.size()));
+    gap_frames_.fetch_add(1);
+    std::lock_guard lock(mutex_);
+    pending_gaps_.erase(job.path);
+  }
+  return AppendChecked(job.path, data, n);
+}
+
+void Flusher::RecordDrop(const Job& job, const Status& status) {
+  frames_dropped_.fetch_add(1);
+  events_dropped_.fetch_add(job.event_count);
+  bytes_dropped_.fetch_add(job.data.size());
+  std::lock_guard lock(mutex_);
+  if (status_.ok()) status_ = status;
+  for (auto* map : {&pending_gaps_, &dropped_}) {
+    DropRecord& rec = (*map)[job.path];
+    rec.raw_bytes += job.data.size();
+    rec.events += job.event_count;
+    rec.frames += 1;
+  }
+}
+
 void Flusher::DoJob(const Job& job, Worker* worker) {
   Status status;
-  size_t written = 0;
   if (job.codec) {
     Bytes local_frame;
     Bytes& frame = worker ? worker->frame : local_frame;
     frame.clear();
     status = WriteFrame(*job.codec, job.data.data(), job.data.size(), &frame,
                         job.payload_format, worker ? &worker->scratch : nullptr);
-    if (status.ok()) {
-      status = AppendFile(job.path, frame.data(), frame.size());
-      written = frame.size();
-    }
+    if (status.ok()) status = WritePathData(job, frame.data(), frame.size());
   } else {
-    status = AppendFile(job.path, job.data.data(), job.data.size());
-    written = job.data.size();
+    status = WritePathData(job, job.data.data(), job.data.size());
   }
-  if (!status.ok()) {
-    std::lock_guard lock(mutex_);
-    if (status_.ok()) status_ = status;
-    return;
-  }
-  bytes_written_.fetch_add(written);
-  appends_.fetch_add(1);
+  // Unrecoverable failure: the frame is discarded, but with exact accounting
+  // and a pending gap marker - NOT silently, and NOT taking every later
+  // frame down with it (the next job for this path tries the disk again).
+  if (!status.ok()) RecordDrop(job, status);
 }
 
 FlusherStats Flusher::stats() const {
@@ -223,6 +282,11 @@ FlusherStats Flusher::stats() const {
   s.bytes_in = bytes_in_;
   s.bytes_written = bytes_written_.load();
   s.appends = appends_.load();
+  s.io_retries = io_retries_.load();
+  s.frames_dropped = frames_dropped_.load();
+  s.events_dropped = events_dropped_.load();
+  s.bytes_dropped = bytes_dropped_.load();
+  s.gap_frames = gap_frames_.load();
   s.queued_now = queued_;
   s.worker_bytes_in.reserve(workers_.size());
   for (const auto& w : workers_) s.worker_bytes_in.push_back(w->bytes_in);

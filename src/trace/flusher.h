@@ -36,9 +36,11 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/fsutil.h"
 #include "common/memtrack.h"
 #include "common/status.h"
 #include "compress/compressor.h"
@@ -91,6 +93,14 @@ struct FlusherConfig {
   size_t max_pooled_buffers = BufferPool::kDefaultMaxFree;
   /// Accounting scope for pooled buffers (the trace memory bound).
   MemoryScope* memory = nullptr;
+  /// Write layer; null = the real filesystem. Tests plug a
+  /// sword::testing::FaultFile here to inject I/O failures.
+  FileBackend* backend = nullptr;
+  /// Transient-failure (EINTR/EAGAIN, short write) retries per append.
+  uint32_t max_io_retries = 4;
+  /// Base backoff between retries; doubles per retry. 0 = no sleeping,
+  /// which is what the deterministic fault tests use.
+  uint32_t retry_backoff_us = 100;
 };
 
 /// Observability counters (satellite telemetry for the overhead tables; all
@@ -103,8 +113,20 @@ struct FlusherStats {
   uint64_t bytes_in = 0;         // raw bytes submitted
   uint64_t bytes_written = 0;    // framed bytes on disk
   uint64_t appends = 0;
+  uint64_t io_retries = 0;       // transient-append retries that happened
+  uint64_t frames_dropped = 0;   // frames discarded after unrecoverable I/O
+  uint64_t events_dropped = 0;   // events inside dropped frames
+  uint64_t bytes_dropped = 0;    // raw (logical) bytes inside dropped frames
+  uint64_t gap_frames = 0;       // drop markers successfully written
   size_t queued_now = 0;               // snapshot: jobs waiting in lanes
   std::vector<uint64_t> worker_bytes_in;  // raw bytes compressed per worker
+};
+
+/// Per-path drop totals (what a writer folds into its meta file).
+struct DropRecord {
+  uint64_t raw_bytes = 0;  // logical bytes that never reached the log
+  uint64_t events = 0;
+  uint64_t frames = 0;
 };
 
 class Flusher {
@@ -121,9 +143,12 @@ class Flusher {
   /// Queues "compress `raw` with `codec`, frame it tagged `payload_format`,
   /// and append to `path`". Blocks when the queue is full (backpressure).
   /// Sync mode does the work inline. The buffer is recycled into pool()
-  /// after the frame is written.
+  /// after the frame is written. `event_count` is how many events `raw`
+  /// encodes - the writer knows, the flusher cannot recover it from the
+  /// encoded bytes - and it is what makes dropped-event accounting exact
+  /// when an unrecoverable I/O error forces the frame to be discarded.
   void AppendFrame(const std::string& path, Bytes raw, const Compressor* codec,
-                   uint8_t payload_format = 1);
+                   uint8_t payload_format = 1, uint64_t event_count = 0);
 
   /// Queues a raw (pre-encoded) append with no compression or framing.
   void Append(const std::string& path, Bytes data);
@@ -131,8 +156,16 @@ class Flusher {
   /// Blocks until every queued job has hit the filesystem.
   void Drain();
 
-  /// First I/O error encountered, if any (sticky).
+  /// First I/O error encountered, if any (sticky). Note that after an
+  /// unrecoverable error the flusher keeps accepting and writing frames
+  /// (drop-with-accounting, not drop-everything-after): the status records
+  /// that SOMETHING was lost, the drop counters record exactly what.
   Status status() const;
+
+  /// Cumulative drops for one log file (zeroes if none). The writer folds
+  /// this into the meta file at Finish so the offline side sees the loss
+  /// even when FlusherStats are gone.
+  DropRecord DroppedFor(const std::string& path) const;
 
   bool async() const { return async_; }
   uint32_t workers() const { return static_cast<uint32_t>(workers_.size()); }
@@ -150,6 +183,7 @@ class Flusher {
     Bytes data;
     const Compressor* codec = nullptr;  // null = raw append
     uint8_t payload_format = 1;
+    uint64_t event_count = 0;  // events encoded in `data` (framed jobs)
     bool recycle = false;  // return `data` to the pool afterwards
   };
 
@@ -168,9 +202,19 @@ class Flusher {
   /// sync mode, where concurrent producers would contend on it).
   void DoJob(const Job& job, Worker* worker);
   size_t LaneFor(const std::string& path) const;
+  /// Appends with retry; rolls the file back to its pre-append size when the
+  /// append ultimately fails, so a torn frame never reaches the log.
+  Status AppendChecked(const std::string& path, const uint8_t* data, size_t n);
+  /// Writes any pending gap marker for `path`, then the frame itself.
+  Status WritePathData(const Job& job, const uint8_t* data, size_t n);
+  /// Books a discarded frame: sticky status + exact drop accounting, and a
+  /// pending gap marker so later frames keep their logical offsets.
+  void RecordDrop(const Job& job, const Status& status);
 
   const bool async_;
   const size_t max_queued_jobs_;
+  FileBackend* const backend_;
+  const RetryPolicy retry_policy_;
   BufferPool pool_;
 
   mutable std::mutex mutex_;
@@ -188,6 +232,15 @@ class Flusher {
   uint64_t bytes_in_ = 0;
   std::atomic<uint64_t> bytes_written_{0};
   std::atomic<uint64_t> appends_{0};
+  std::atomic<uint64_t> io_retries_{0};
+  std::atomic<uint64_t> gap_frames_{0};
+  std::atomic<uint64_t> frames_dropped_{0};
+  std::atomic<uint64_t> events_dropped_{0};
+  std::atomic<uint64_t> bytes_dropped_{0};
+  // Guarded by mutex_. pending_: drops not yet covered by an on-disk gap
+  // marker; dropped_: cumulative per-path totals for DroppedFor().
+  std::unordered_map<std::string, DropRecord> pending_gaps_;
+  std::unordered_map<std::string, DropRecord> dropped_;
 };
 
 }  // namespace sword::trace

@@ -57,17 +57,30 @@ std::string IntervalMeta::ToString() const {
   return out;
 }
 
-Bytes MetaFile::Encode() const {
-  ByteWriter w;
-  w.PutU32(kMetaMagicV2);
+void EncodeMetaHeader(ByteWriter& w, uint32_t thread_id, uint8_t log_format,
+                      uint64_t events_dropped, uint64_t bytes_dropped,
+                      uint64_t record_count) {
+  w.PutU32(kMetaMagicV3);
   w.PutVarU64(thread_id);
   w.PutU8(log_format);
-  w.PutVarU64(intervals.size());
+  // v3 additions: record-time drop totals, before the interval records so a
+  // torn tail cannot hide them.
+  w.PutVarU64(events_dropped);
+  w.PutVarU64(bytes_dropped);
+  w.PutVarU64(record_count);
+}
+
+Bytes MetaFile::Encode() const {
+  ByteWriter w;
+  EncodeMetaHeader(w, thread_id, log_format, events_dropped, bytes_dropped,
+                   intervals.size());
   for (const auto& m : intervals) m.Serialize(w, /*version=*/2);
   return w.buffer();
 }
 
-Status MetaFile::Decode(const Bytes& data, MetaFile* out) {
+Status MetaFile::Decode(const Bytes& data, MetaFile* out, bool salvage,
+                        uint64_t* records_dropped) {
+  if (records_dropped) *records_dropped = 0;
   ByteReader r(data);
   uint32_t magic;
   SWORD_RETURN_IF_ERROR(r.GetU32(&magic));
@@ -76,6 +89,8 @@ Status MetaFile::Decode(const Bytes& data, MetaFile* out) {
     version = 1;
   } else if (magic == kMetaMagicV2) {
     version = 2;
+  } else if (magic == kMetaMagicV3) {
+    version = 3;
   } else {
     return Status::Corrupt("bad meta magic");
   }
@@ -90,15 +105,28 @@ Status MetaFile::Decode(const Bytes& data, MetaFile* out) {
   } else {
     out->log_format = kTraceFormatV1;  // v1 metas only ever paired v1 logs
   }
+  out->events_dropped = 0;
+  out->bytes_dropped = 0;
+  if (version >= 3) {
+    SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->events_dropped));
+    SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->bytes_dropped));
+  }
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&n));
   out->intervals.clear();
   out->intervals.reserve(n);
   for (uint64_t i = 0; i < n; i++) {
     IntervalMeta m;
-    SWORD_RETURN_IF_ERROR(IntervalMeta::Deserialize(r, &m, version));
+    Status s = IntervalMeta::Deserialize(r, &m, version >= 2 ? 2 : 1);
+    if (!s.ok()) {
+      if (!salvage) return s;
+      // The interval list is written in order; a parse failure means the
+      // file was cut mid-record. Everything before it is intact.
+      if (records_dropped) *records_dropped = n - i;
+      return Status::Ok();
+    }
     out->intervals.push_back(std::move(m));
   }
-  if (!r.AtEnd()) return Status::Corrupt("trailing bytes in meta file");
+  if (!r.AtEnd() && !salvage) return Status::Corrupt("trailing bytes in meta file");
   return Status::Ok();
 }
 

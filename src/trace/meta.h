@@ -67,15 +67,35 @@ struct MetaFile {
   /// Event-encoding format of the companion .log file (kTraceFormatV*).
   /// Informational: the log's frames are self-tagging; tools print this.
   uint8_t log_format = kTraceFormatV2;
+  /// Record-time loss (v3 metas): events/logical bytes the flusher had to
+  /// discard for this thread's log (ENOSPC etc). Mirrors the log's gap
+  /// frames so the loss is visible even from the meta alone.
+  uint64_t events_dropped = 0;
+  uint64_t bytes_dropped = 0;
   std::vector<IntervalMeta> intervals;
 
-  /// Always writes the current (v2) meta format.
+  /// Always writes the current (v3) meta format.
   Bytes Encode() const;
-  /// Decodes v1 ("SWMF") and v2 ("SWM2") meta files.
-  static Status Decode(const Bytes& data, MetaFile* out);
+  /// Decodes v1 ("SWMF"), v2 ("SWM2"), and v3 ("SWM3") meta files.
+  ///
+  /// With `salvage`, a record-level parse failure keeps the cleanly-decoded
+  /// prefix instead of failing the whole file (a crashed run's checkpoint
+  /// can be torn mid-record despite the atomic rename if the filesystem
+  /// itself was damaged); `*records_dropped` receives how many of the
+  /// header's claimed records could not be recovered.
+  static Status Decode(const Bytes& data, MetaFile* out, bool salvage = false,
+                       uint64_t* records_dropped = nullptr);
 };
+
+/// Serializes the v3 meta header (everything before the interval records).
+/// Shared by MetaFile::Encode and the writer's incremental checkpoints,
+/// which append pre-serialized records after it.
+void EncodeMetaHeader(ByteWriter& w, uint32_t thread_id, uint8_t log_format,
+                      uint64_t events_dropped, uint64_t bytes_dropped,
+                      uint64_t record_count);
 
 constexpr uint32_t kMetaMagic = 0x53574d46;    // "SWMF" (meta format v1)
 constexpr uint32_t kMetaMagicV2 = 0x53574d32;  // "SWM2" (meta format v2)
+constexpr uint32_t kMetaMagicV3 = 0x53574d33;  // "SWM3" (meta format v3)
 
 }  // namespace sword::trace

@@ -13,6 +13,18 @@
 // whose decoder state starts fresh at the frame boundary, so a mid-frame
 // range is served by decoding from the frame start and discarding the
 // prefix. One file may mix formats; the reader dispatches per frame.
+//
+// Salvage mode (SalvagePolicy): a production run can be killed mid-flush or
+// hit disk corruption; strict open would reject the whole file at the first
+// bad byte. With salvage enabled the open scan RESYNCHRONIZES instead: on a
+// bad header, checksum mismatch, or truncated tail it scans forward for the
+// next frame magic and keeps indexing, recording what it skipped in
+// SalvageStats. The offset-trust rules (docs/FORMAT.md) decide whether the
+// frames after a hole still have known logical offsets: a corrupt frame
+// whose claimed size lands on a valid next frame keeps the logical stream
+// addressable (known-size hole); an unparseable header does not, and every
+// frame after it becomes "unaddressable" - decodable for sword-dump --verify
+// but excluded from interval reads. Strict mode stays the default.
 #pragma once
 
 #include <cstdint>
@@ -69,33 +81,102 @@ class FrameCache {
   std::list<Entry> entries_;  // front = most recently used
 };
 
+/// How to treat damage found while opening/streaming a log.
+struct SalvagePolicy {
+  /// Off (default): any corruption fails the open/read - the right behavior
+  /// for tests and healthy traces. On: resynchronize and keep going,
+  /// accounting for every byte skipped.
+  bool enabled = false;
+  /// Verify frame payload checksums during the open scan. Costs a full file
+  /// read but catches bit flips before analysis trusts the frame.
+  bool verify_payloads = true;
+};
+
+/// What salvage found (all zero for a clean log).
+struct SalvageStats {
+  uint64_t frames_ok = 0;
+  uint64_t frames_corrupt = 0;           // bad header/checksum regions
+  uint64_t frames_unaddressable = 0;     // parseable but logical offset unknown
+  uint64_t gap_frames = 0;               // record-time drop markers seen
+  uint64_t events_dropped_at_record = 0; // from gap frames
+  uint64_t bytes_dropped_at_record = 0;  // logical bytes, from gap frames
+  uint64_t resyncs = 0;                  // forward scans for the next magic
+  uint64_t bytes_skipped = 0;            // file bytes passed over by resyncs
+  uint64_t truncated_tail_bytes = 0;     // incomplete final frame
+
+  bool clean() const {
+    return frames_corrupt == 0 && frames_unaddressable == 0 &&
+           gap_frames == 0 && resyncs == 0 && bytes_skipped == 0 &&
+           truncated_tail_bytes == 0;
+  }
+};
+
+/// One frame (or damaged region) seen by VerifyLog, in file order.
+struct FrameRecord {
+  uint64_t index = 0;        // ordinal in the walk
+  uint64_t file_offset = 0;
+  uint64_t encoded_size = 0; // on-disk bytes (skipped bytes for bad regions)
+  uint64_t raw_size = 0;     // decompressed size (0 if unknown)
+  uint8_t payload_format = 0;  // kTraceFormatV*; 0 for gaps/unknown
+  std::string codec;
+  bool is_gap = false;
+  uint64_t dropped_events = 0;
+  bool offset_trusted = false;  // logical_begin is meaningful
+  uint64_t logical_begin = 0;
+  Status status;  // ok, or why the frame is corrupt
+};
+
 class LogReader {
  public:
-  /// Scans frame headers and builds the offset index. Fails on corrupt or
-  /// truncated files.
-  static Result<LogReader> Open(const std::string& path);
+  /// Scans frame headers and builds the offset index. The default (strict)
+  /// policy fails on corrupt or truncated files; with salvage enabled it
+  /// resynchronizes past damage instead and records it in salvage_stats().
+  static Result<LogReader> Open(const std::string& path,
+                                const SalvagePolicy& policy = {});
 
   /// Decompresses the frames covering logical range [begin, begin+size) and
   /// calls `fn` for each event in it, in order. At most one decompressed
   /// frame is held in memory at a time. With `cache`, frames decompressed by
   /// previous calls (through the same cache) are reused.
+  ///
+  /// In strict mode a range touching a hole (corrupt frame, record-time gap,
+  /// truncated tail) is an error. In salvage mode the hole's overlap is
+  /// added to `*bytes_skipped` (when provided) and streaming continues with
+  /// the surviving frames.
   Status StreamRange(uint64_t begin, uint64_t size,
                      FunctionRef<void(const RawEvent&)> fn,
-                     FrameCache* cache = nullptr) const;
+                     FrameCache* cache = nullptr,
+                     uint64_t* bytes_skipped = nullptr) const;
 
   /// Convenience: materializes a range (tests, small intervals).
   Status ReadRange(uint64_t begin, uint64_t size, std::vector<RawEvent>* out) const;
 
+  /// Walks every frame of `path` with full header+checksum validation,
+  /// calling `fn` per frame (and per damaged region) in file order. Never
+  /// fails on corruption - damage is reported in the records and the
+  /// returned stats. Powers `sword-dump --verify`.
+  static Result<SalvageStats> VerifyLog(const std::string& path,
+                                        FunctionRef<void(const FrameRecord&)> fn);
+
   uint64_t total_logical_bytes() const { return total_logical_; }
   size_t frame_count() const { return frames_.size(); }
+  const SalvageStats& salvage_stats() const { return stats_; }
+  bool salvage_enabled() const { return policy_.enabled; }
 
  private:
+  enum class FrameState : uint8_t {
+    kOk,       // intact, streamable
+    kCorrupt,  // known-size hole: checksum failed but the size is trusted
+    kGap,      // record-time drop marker: events never reached the disk
+  };
+
   struct FrameIndex {
     uint64_t logical_begin;  // first logical byte in this frame
-    uint64_t raw_size;       // decompressed size
+    uint64_t raw_size;       // decompressed size (hole size for kCorrupt/kGap)
     uint64_t file_offset;    // where the frame starts in the file
     uint64_t file_size;      // encoded frame size
     uint8_t payload_format;  // event encoding (kTraceFormatV*)
+    FrameState state;
   };
 
   LogReader() = default;
@@ -103,6 +184,8 @@ class LogReader {
   std::string path_;
   std::vector<FrameIndex> frames_;
   uint64_t total_logical_ = 0;
+  SalvagePolicy policy_;
+  SalvageStats stats_;
 };
 
 }  // namespace sword::trace

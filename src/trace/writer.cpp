@@ -19,18 +19,28 @@ ThreadTraceWriter::ThreadTraceWriter(uint32_t thread_id, const WriterConfig& con
   assert((config_.format == kTraceFormatV1 || capacity_bytes_ >= kMaxEventBytesV2) &&
          "buffer too small for one v2 event");
   if (!config_.codec) config_.codec = DefaultCompressor();
+  if (!config_.backend) config_.backend = &RealFileBackend();
   // The bounded charge: one fixed buffer, owned by the flusher's pool so the
   // accounting follows the buffer through the flush pipeline.
   buffer_ = config_.flusher->pool().Acquire(capacity_bytes_);
   meta_.thread_id = thread_id;
   meta_.log_format = config_.format;
-  // Start the log file empty so appends from a previous run never leak in.
-  (void)WriteFile(config_.log_path, Bytes{});
+  // Start the log file empty so appends from a previous run never leak in,
+  // and drop an empty meta checkpoint so a process killed before the first
+  // barrier interval still leaves a well-formed (if empty) trace.
+  (void)config_.backend->WriteWhole(config_.log_path, Bytes{});
+  if (config_.meta_checkpoint_interval > 0) {
+    (void)WriteFileAtomic(config_.meta_path, EncodeMetaSnapshot(),
+                          config_.backend);
+  }
 }
 
 ThreadTraceWriter::~ThreadTraceWriter() { (void)Finish(); }
 
 void ThreadTraceWriter::Append(const RawEvent& event) {
+  if (buffer_.capacity() == 0) {
+    buffer_ = config_.flusher->pool().Acquire(capacity_bytes_);
+  }
   if (config_.format == kTraceFormatV1) {
     if (buffer_.size() + kEventBytes > capacity_bytes_) FlushBuffer(true);
     // Hot path: one 16-byte append, little-endian (this is EncodeEvent's
@@ -65,15 +75,35 @@ void ThreadTraceWriter::FlushBuffer(bool reacquire) {
   if (buffer_.empty()) return;
   // Hand the raw buffer to the flusher; compression happens off-thread
   // (paper SIII-A: "compressed and asynchronously written out"). The buffer
-  // returns to the pool once written, and we take a recycled one back.
+  // returns to the pool once written, and we take a recycled one back. The
+  // event count rides along so a frame the flusher cannot get onto the disk
+  // is accounted for exactly.
   Bytes raw;
   raw.swap(buffer_);
   config_.flusher->AppendFrame(config_.log_path, std::move(raw), config_.codec,
-                               config_.format);
+                               config_.format, buffer_events_);
   if (reacquire) buffer_ = config_.flusher->pool().Acquire(capacity_bytes_);
   buffer_events_ = 0;
   codec_state_ = EventCodecState{};  // frames are independently decodable
   flushes_++;
+}
+
+void ThreadTraceWriter::FlushEvents() {
+  if (finished_) return;
+  // No reacquire: this is the drain path (Finalize, the crash handler),
+  // where grabbing a fresh buffer while the flushed one is still in flight
+  // would transiently double the pool charge. If the thread does log again,
+  // Append lazily takes a new buffer.
+  FlushBuffer(/*reacquire=*/false);
+}
+
+Bytes ThreadTraceWriter::EncodeMetaSnapshot() const {
+  const DropRecord dropped = config_.flusher->DroppedFor(config_.log_path);
+  ByteWriter w;
+  EncodeMetaHeader(w, thread_id_, config_.format, dropped.events,
+                   dropped.raw_bytes, serialized_count_);
+  w.PutRaw(serialized_records_.data(), serialized_records_.size());
+  return std::move(w.buffer());
 }
 
 void ThreadTraceWriter::BeginSegment(const IntervalMeta& meta) {
@@ -94,7 +124,24 @@ void ThreadTraceWriter::EndSegment() {
   open_segment_ = false;
   // Empty segments carry no accesses and cannot participate in a race;
   // dropping them keeps meta files proportional to useful data.
-  if (m.data_size == 0) meta_.intervals.pop_back();
+  if (m.data_size == 0) {
+    meta_.intervals.pop_back();
+    return;
+  }
+  ByteWriter w(&serialized_records_);
+  m.Serialize(w, /*version=*/2);
+  serialized_count_++;
+  // Crash-consistency: checkpoint the meta at barrier-interval granularity.
+  // The atomic replace means a reader (or the offline analyzer after a
+  // kill -9) sees a complete previous checkpoint, never a torn file. The
+  // write is best-effort - a failing checkpoint must not take down the
+  // traced application; Finish() surfaces persistent meta-write errors.
+  if (config_.meta_checkpoint_interval > 0 &&
+      ++segments_since_checkpoint_ >= config_.meta_checkpoint_interval) {
+    segments_since_checkpoint_ = 0;
+    (void)WriteFileAtomic(config_.meta_path, EncodeMetaSnapshot(),
+                          config_.backend);
+  }
 }
 
 Status ThreadTraceWriter::Finish() {
@@ -105,8 +152,12 @@ Status ThreadTraceWriter::Finish() {
   // Return the (possibly never-flushed) buffer to the pool so its memory
   // charge is dropped or recycled.
   if (buffer_.capacity() != 0) config_.flusher->pool().Release(std::move(buffer_));
-  SWORD_RETURN_IF_ERROR(WriteFile(config_.meta_path, meta_.Encode()));
-  return Status::Ok();
+  // The final meta folds in the flusher's drop totals for this log. They are
+  // only complete once the flusher has drained; SwordTool::Finalize orders
+  // FlushEvents -> Drain -> Finish for exactly that reason (a sync flusher
+  // is always complete here).
+  return WriteFileAtomic(config_.meta_path, EncodeMetaSnapshot(),
+                         config_.backend);
 }
 
 }  // namespace sword::trace

@@ -40,6 +40,14 @@ struct WriterConfig {
   const Compressor* codec = nullptr;        // null = DefaultCompressor()
   Flusher* flusher = nullptr;               // required
   uint8_t format = kTraceFormatV2;          // event encoding (kTraceFormatV*)
+  /// Checkpoint the meta file (write-temp + atomic rename) every N closed
+  /// segments, so a killed process leaves its trace analyzable up to the
+  /// last checkpoint instead of losing the whole meta. 0 = only at Finish
+  /// (the pre-crash-tolerance behavior).
+  uint32_t meta_checkpoint_interval = 1;
+  /// Write layer for meta checkpoints and log-file initialization; null =
+  /// the real filesystem (the flusher has its own backend knob).
+  FileBackend* backend = nullptr;
 };
 
 class ThreadTraceWriter {
@@ -64,6 +72,12 @@ class ThreadTraceWriter {
 
   bool HasOpenSegment() const { return open_segment_; }
 
+  /// Pushes any buffered events into the flush pipeline without closing the
+  /// trace. With an async flusher, call this on every writer, then
+  /// Flusher::Drain(), then Finish() - that order lets the final meta see
+  /// the complete drop totals for events that failed to hit the disk.
+  void FlushEvents();
+
   /// Flushes remaining events and writes the meta file. Idempotent.
   Status Finish();
 
@@ -74,6 +88,9 @@ class ThreadTraceWriter {
 
  private:
   void FlushBuffer(bool reacquire);
+  /// Current meta file image: v3 header (with the flusher's drop totals for
+  /// this log so far) + the incrementally serialized interval records.
+  Bytes EncodeMetaSnapshot() const;
 
   const uint32_t thread_id_;
   WriterConfig config_;
@@ -85,6 +102,12 @@ class ThreadTraceWriter {
   EventCodecState codec_state_;   // v2 delta state; reset at each flush
   uint64_t logical_offset_ = 0;   // total event bytes ever appended
   MetaFile meta_;
+  // Each kept record is serialized once, when its segment closes; a meta
+  // checkpoint is then header + this byte blob, not an O(records)
+  // re-serialization per barrier interval.
+  Bytes serialized_records_;
+  uint64_t serialized_count_ = 0;
+  uint32_t segments_since_checkpoint_ = 0;
   bool open_segment_ = false;
   uint64_t segment_begin_events_ = 0;
   bool finished_ = false;
