@@ -143,6 +143,9 @@ RunResult RunWorkload(const workloads::Workload& workload, const RunConfig& conf
         offline::AnalysisConfig ac;
         ac.engine = config.engine;
         ac.threads = config.offline_threads;
+        if (config.journal_offline) {
+          ac.journal_path = dir + "/sword_analysis_0of1.journal";
+        }
         offline::AnalysisResult analysis = offline::Analyze(store.value(), ac);
         result.status = analysis.status;
         result.races = analysis.races.size();

@@ -44,6 +44,7 @@ struct RunConfig {
   bool run_offline = true;             // run the offline analysis afterwards
   uint32_t offline_threads = 1;
   ilp::OverlapEngine engine = ilp::OverlapEngine::kDiophantine;
+  bool journal_offline = false;        // checkpoint each analysis bucket
   std::string trace_dir;               // empty = fresh temp dir per run
 
   // HB-baseline knobs.

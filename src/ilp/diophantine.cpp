@@ -52,7 +52,9 @@ ExtGcdResult ExtGcd(int64_t a, int64_t b) {
 
 std::optional<DioSolution> SolveBoundedDiophantine(int64_t A, int64_t B, int64_t C,
                                                    int64_t lo_x, int64_t hi_x,
-                                                   int64_t lo_y, int64_t hi_y) {
+                                                   int64_t lo_y, int64_t hi_y,
+                                                   DioStats* stats) {
+  if (stats) stats->steps++;
   if (lo_x > hi_x || lo_y > hi_y) return std::nullopt;
 
   // Degenerate axes reduce to one-variable divisibility checks.
@@ -74,6 +76,7 @@ std::optional<DioSolution> SolveBoundedDiophantine(int64_t A, int64_t B, int64_t
   }
 
   const ExtGcdResult e = ExtGcd(A, B);
+  if (stats) stats->steps++;  // the gcd + particular-solution stage
   if (C % e.g != 0) return std::nullopt;
 
   // Particular solution, then the general family

@@ -31,11 +31,20 @@ struct DioSolution {
   int64_t y;
 };
 
+/// Work accounting for budgeted callers (ilp/overlap.h): the solve is closed
+/// form, so steps count its constant-cost stages (entry, gcd + bound
+/// intersection), giving the overlap engine a concrete unit to charge its
+/// step budget against - one unit is roughly one equation considered.
+struct DioStats {
+  uint64_t steps = 0;
+};
+
 /// Finds any integer solution of A*x + B*y == C with lo_x<=x<=hi_x and
 /// lo_y<=y<=hi_y, or nullopt if none exists. Exact for all inputs whose
 /// intermediate products fit in 128 bits (true for any address arithmetic).
 std::optional<DioSolution> SolveBoundedDiophantine(int64_t A, int64_t B, int64_t C,
                                                    int64_t lo_x, int64_t hi_x,
-                                                   int64_t lo_y, int64_t hi_y);
+                                                   int64_t lo_y, int64_t hi_y,
+                                                   DioStats* stats = nullptr);
 
 }  // namespace sword::ilp

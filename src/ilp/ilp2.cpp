@@ -89,22 +89,41 @@ std::optional<RatPoint> SolveLp2(const std::vector<Ineq>& cs) {
   return std::nullopt;
 }
 
-std::optional<Point> Branch(const Ilp2Problem& p, Ilp2Stats* stats, int depth) {
-  // Depth bound: each branch halves a variable's fractional window; 2D
-  // problems close within a handful of levels, but stay safe.
-  if (depth > 128) return std::nullopt;
-  if (p.lo_x > p.hi_x || p.lo_y > p.hi_y) return std::nullopt;
+/// Shared search state: node accounting against the budget. A zero budget
+/// means unlimited.
+struct Search {
+  Ilp2Stats* stats = nullptr;
+  int64_t max_nodes = 0;
+  int64_t nodes = 0;
+  bool exhausted = false;
+};
 
-  if (stats) stats->nodes_explored++;
+Ilp2Result Branch(const Ilp2Problem& p, Search& search, int depth) {
+  // Depth backstop: each branch halves a variable's fractional window; 2D
+  // problems close within a handful of levels. Hitting it anyway means the
+  // search was cut short, which must surface as a budget bail-out (treating
+  // it as "infeasible" would silently drop a potential race).
+  if (depth > 128) {
+    search.exhausted = true;
+    return {Ilp2Outcome::kBudgetExhausted, {0, 0}};
+  }
+  if (p.lo_x > p.hi_x || p.lo_y > p.hi_y) return {Ilp2Outcome::kInfeasible, {0, 0}};
+
+  search.nodes++;
+  if (search.stats) search.stats->nodes_explored++;
+  if (search.max_nodes > 0 && search.nodes > search.max_nodes) {
+    search.exhausted = true;
+    return {Ilp2Outcome::kBudgetExhausted, {0, 0}};
+  }
 
   const std::vector<Ineq> cs = AllConstraints(p);
-  if (stats) stats->lp_solves++;
+  if (search.stats) search.stats->lp_solves++;
   const auto relax = SolveLp2(cs);
-  if (!relax) return std::nullopt;
+  if (!relax) return {Ilp2Outcome::kInfeasible, {0, 0}};
 
   // Integral vertex: done.
   if (relax->x.IsInteger() && relax->y.IsInteger()) {
-    return Point{relax->x.Floor(), relax->y.Floor()};
+    return {Ilp2Outcome::kFeasible, Point{relax->x.Floor(), relax->y.Floor()}};
   }
 
   // Round the relaxation point and probe nearby integer points first; this
@@ -116,32 +135,44 @@ std::optional<Point> Branch(const Ilp2Problem& p, Ilp2Stats* stats, int depth) {
       RatPoint cand{Rat::FromInt(ix), Rat::FromInt(iy)};
       if (ix >= p.lo_x && ix <= p.hi_x && iy >= p.lo_y && iy <= p.hi_y &&
           SatisfiesAll(cs, cand)) {
-        return Point{ix, iy};
+        return {Ilp2Outcome::kFeasible, Point{ix, iy}};
       }
     }
   }
 
-  // Branch on the first fractional variable.
+  // Branch on the first fractional variable. A subtree that exhausted the
+  // budget poisons the whole answer: the sibling may still find a feasible
+  // point (feasible stays trustworthy), but "infeasible" no longer is.
+  Ilp2Problem left = p, right = p;
   if (!relax->x.IsInteger()) {
-    Ilp2Problem left = p;
     left.hi_x = std::min(left.hi_x, relax->x.Floor());
-    if (auto r = Branch(left, stats, depth + 1)) return r;
-    Ilp2Problem right = p;
     right.lo_x = std::max(right.lo_x, relax->x.Floor() + 1);
-    return Branch(right, stats, depth + 1);
+  } else {
+    left.hi_y = std::min(left.hi_y, relax->y.Floor());
+    right.lo_y = std::max(right.lo_y, relax->y.Floor() + 1);
   }
-  Ilp2Problem left = p;
-  left.hi_y = std::min(left.hi_y, relax->y.Floor());
-  if (auto r = Branch(left, stats, depth + 1)) return r;
-  Ilp2Problem right = p;
-  right.lo_y = std::max(right.lo_y, relax->y.Floor() + 1);
-  return Branch(right, stats, depth + 1);
+  const Ilp2Result l = Branch(left, search, depth + 1);
+  if (l.outcome == Ilp2Outcome::kFeasible) return l;
+  const Ilp2Result r = Branch(right, search, depth + 1);
+  if (r.outcome == Ilp2Outcome::kFeasible) return r;
+  if (search.exhausted) return {Ilp2Outcome::kBudgetExhausted, {0, 0}};
+  return {Ilp2Outcome::kInfeasible, {0, 0}};
 }
 
 }  // namespace
 
+Ilp2Result SolveIlp2Bounded(const Ilp2Problem& problem, const Ilp2Limits& limits,
+                            Ilp2Stats* stats) {
+  Search search;
+  search.stats = stats;
+  search.max_nodes = limits.max_nodes;
+  return Branch(problem, search, 0);
+}
+
 std::optional<Point> SolveIlp2(const Ilp2Problem& problem, Ilp2Stats* stats) {
-  return Branch(problem, stats, 0);
+  const Ilp2Result r = SolveIlp2Bounded(problem, {}, stats);
+  if (r.outcome == Ilp2Outcome::kFeasible) return r.point;
+  return std::nullopt;
 }
 
 }  // namespace sword::ilp

@@ -43,11 +43,35 @@ struct Ilp2Stats {
   int lp_solves = 0;
 };
 
-/// Decides integer feasibility by branch & bound on the LP relaxation.
-/// Returns a feasible integer point or nullopt. The relaxation is solved
-/// exactly by vertex enumeration over constraint pairs (the problem has two
-/// variables, so every LP vertex is the intersection of two tight
-/// constraints, including the box bounds).
+/// Search budget. Branch & bound on adversarial inputs can explore an
+/// unbounded number of nodes; production analyses cap it so one pathological
+/// overlap query cannot stall a multi-hour run.
+struct Ilp2Limits {
+  int64_t max_nodes = 0;  // branch-and-bound nodes; 0 = unlimited
+};
+
+/// Tri-state result of a budgeted solve. kBudgetExhausted means the search
+/// was cut off before it could PROVE infeasibility - callers that need
+/// soundness must treat it as "may be feasible", never as "infeasible".
+enum class Ilp2Outcome : uint8_t { kFeasible, kInfeasible, kBudgetExhausted };
+
+struct Ilp2Result {
+  Ilp2Outcome outcome = Ilp2Outcome::kInfeasible;
+  Point point{0, 0};  // valid iff outcome == kFeasible
+};
+
+/// Decides integer feasibility by branch & bound on the LP relaxation, with
+/// a node budget. The relaxation is solved exactly by vertex enumeration
+/// over constraint pairs (the problem has two variables, so every LP vertex
+/// is the intersection of two tight constraints, including the box bounds).
+/// Exhausting the budget - or the internal recursion-depth backstop - yields
+/// kBudgetExhausted, never a claim of infeasibility.
+Ilp2Result SolveIlp2Bounded(const Ilp2Problem& problem, const Ilp2Limits& limits,
+                            Ilp2Stats* stats = nullptr);
+
+/// Unbudgeted convenience wrapper; returns a feasible point or nullopt.
+/// A depth-backstop bail-out maps to nullopt here, matching the historical
+/// behavior; budget-sensitive callers use SolveIlp2Bounded.
 std::optional<Point> SolveIlp2(const Ilp2Problem& problem, Ilp2Stats* stats = nullptr);
 
 }  // namespace sword::ilp

@@ -8,8 +8,10 @@
 namespace sword::ilp {
 namespace {
 
-std::optional<OverlapWitness> IntersectDiophantine(const StridedInterval& a,
-                                                   const StridedInterval& b) {
+OverlapResult IntersectDiophantine(const StridedInterval& a,
+                                   const StridedInterval& b,
+                                   const OverlapBudget& budget) {
+  OverlapResult result;
   // Dense intervals (stride <= size) cover their whole [lo,hi] range;
   // a range check is then exact and cheap.
   const bool a_dense = a.count == 1 || a.stride <= a.size;
@@ -21,7 +23,8 @@ std::optional<OverlapWitness> IntersectDiophantine(const StridedInterval& a,
       static_cast<int64_t>(b.base) - static_cast<int64_t>(a.base);
 
   if (a_dense && b_dense) {
-    if (!RangesTouch(a, b)) return std::nullopt;
+    result.steps = 1;
+    if (!RangesTouch(a, b)) return result;  // kDisjoint
     // Find a concrete witness address in the range intersection.
     const uint64_t addr = std::max(a.lo(), b.lo());
     auto index_of = [](const StridedInterval& iv, uint64_t ad) -> uint64_t {
@@ -30,43 +33,66 @@ std::optional<OverlapWitness> IntersectDiophantine(const StridedInterval& a,
       if (x >= iv.count) x = iv.count - 1;
       return x;
     };
-    return OverlapWitness{index_of(a, addr), index_of(b, addr), addr};
+    result.verdict = OverlapVerdict::kOverlap;
+    result.witness = OverlapWitness{index_of(a, addr), index_of(b, addr), addr};
+    return result;
   }
 
   // General case: a.base + A*x0 + s0 == b.base + B*x1 + s1
   //   =>  A*x0 - B*x1 == base_diff + (s1 - s0) == base_diff + d
-  // for some d in (-z0, z1). Solve one bounded Diophantine per d.
+  // for some d in (-z0, z1). Solve one bounded Diophantine per d, charging
+  // each equation's work against the budget. Exhaustion mid-enumeration
+  // means the remaining offsets were never ruled out: kUnknown, not
+  // kDisjoint.
   const int64_t z0 = a.size, z1 = b.size;
   for (int64_t d = -(z0 - 1); d <= z1 - 1; d++) {
+    if (budget.max_steps > 0 && result.steps >= budget.max_steps) {
+      result.verdict = OverlapVerdict::kUnknown;
+      return result;
+    }
+    DioStats dio;
     const auto sol = SolveBoundedDiophantine(
         A, -B, base_diff + d, 0, static_cast<int64_t>(a.count) - 1, 0,
-        static_cast<int64_t>(b.count) - 1);
+        static_cast<int64_t>(b.count) - 1, &dio);
+    result.steps += dio.steps;
     if (sol) {
       // Shared address: a.base + A*x + s0 where s0 - s1 = -d; pick s0 so that
       // both offsets are in range: s0 in [max(0,-d), min(z0-1, z1-1-d)].
       const int64_t s0 = std::max<int64_t>(0, -d);
       const uint64_t addr = a.base + a.stride * static_cast<uint64_t>(sol->x) +
                             static_cast<uint64_t>(s0);
-      return OverlapWitness{static_cast<uint64_t>(sol->x),
-                            static_cast<uint64_t>(sol->y), addr};
+      result.verdict = OverlapVerdict::kOverlap;
+      result.witness = OverlapWitness{static_cast<uint64_t>(sol->x),
+                                      static_cast<uint64_t>(sol->y), addr};
+      return result;
     }
   }
-  return std::nullopt;
+  return result;  // every offset ruled out: kDisjoint
 }
 
-std::optional<OverlapWitness> IntersectIlp(const StridedInterval& a,
-                                           const StridedInterval& b) {
+OverlapResult IntersectIlp(const StridedInterval& a, const StridedInterval& b,
+                           const OverlapBudget& budget) {
+  OverlapResult result;
   // Mirror the paper's formulation as an inequality system per (s0, s1) pair:
   //   A*x0 - B*x1 == base_diff + s1 - s0
   // encoded as <= and >= halves. Access sizes are tiny (<= 16 bytes), so the
-  // (s0, s1) enumeration is bounded by 256 small ILP solves.
+  // (s0, s1) enumeration is bounded by 256 small ILP solves, each charged
+  // against the shared step budget by branch-and-bound nodes explored.
   const int64_t A = static_cast<int64_t>(a.stride);
   const int64_t B = static_cast<int64_t>(b.stride);
   const int64_t base_diff =
       static_cast<int64_t>(b.base) - static_cast<int64_t>(a.base);
 
+  // A subproblem cut off by the budget (or the solver's depth backstop)
+  // leaves its offset pair undecided; if no later pair proves overlap, the
+  // honest answer is kUnknown.
+  bool undecided = false;
   for (int64_t s0 = 0; s0 < a.size; s0++) {
     for (int64_t s1 = 0; s1 < b.size; s1++) {
+      if (budget.max_steps > 0 && result.steps >= budget.max_steps) {
+        result.verdict = OverlapVerdict::kUnknown;
+        return result;
+      }
       const int64_t C = base_diff + s1 - s0;
       Ilp2Problem prob;
       prob.lo_x = 0;
@@ -75,25 +101,44 @@ std::optional<OverlapWitness> IntersectIlp(const StridedInterval& a,
       prob.hi_y = static_cast<int64_t>(b.count) - 1;
       prob.constraints.push_back({A, -B, C});    //  A*x - B*y <= C
       prob.constraints.push_back({-A, B, -C});   //  A*x - B*y >= C
-      if (auto pt = SolveIlp2(prob)) {
-        const uint64_t addr = a.base + a.stride * static_cast<uint64_t>(pt->x) +
-                              static_cast<uint64_t>(s0);
-        return OverlapWitness{static_cast<uint64_t>(pt->x),
-                              static_cast<uint64_t>(pt->y), addr};
+      Ilp2Limits limits;
+      if (budget.max_steps > 0) {
+        limits.max_nodes = static_cast<int64_t>(budget.max_steps - result.steps);
       }
+      Ilp2Stats stats;
+      const Ilp2Result sol = SolveIlp2Bounded(prob, limits, &stats);
+      result.steps += static_cast<uint64_t>(stats.nodes_explored);
+      if (sol.outcome == Ilp2Outcome::kFeasible) {
+        const uint64_t addr = a.base +
+                              a.stride * static_cast<uint64_t>(sol.point.x) +
+                              static_cast<uint64_t>(s0);
+        result.verdict = OverlapVerdict::kOverlap;
+        result.witness = OverlapWitness{static_cast<uint64_t>(sol.point.x),
+                                        static_cast<uint64_t>(sol.point.y), addr};
+        return result;
+      }
+      if (sol.outcome == Ilp2Outcome::kBudgetExhausted) undecided = true;
     }
   }
-  return std::nullopt;
+  if (undecided) result.verdict = OverlapVerdict::kUnknown;
+  return result;
 }
 
 }  // namespace
 
+OverlapResult IntersectBounded(const StridedInterval& a, const StridedInterval& b,
+                               OverlapEngine engine, const OverlapBudget& budget) {
+  if (!RangesTouch(a, b)) return {};  // kDisjoint, exact and free
+  if (engine == OverlapEngine::kIlp) return IntersectIlp(a, b, budget);
+  return IntersectDiophantine(a, b, budget);
+}
+
 std::optional<OverlapWitness> Intersect(const StridedInterval& a,
                                         const StridedInterval& b,
                                         OverlapEngine engine) {
-  if (!RangesTouch(a, b)) return std::nullopt;
-  if (engine == OverlapEngine::kIlp) return IntersectIlp(a, b);
-  return IntersectDiophantine(a, b);
+  const OverlapResult r = IntersectBounded(a, b, engine, {});
+  if (r.verdict == OverlapVerdict::kOverlap) return r.witness;
+  return std::nullopt;
 }
 
 }  // namespace sword::ilp

@@ -46,8 +46,33 @@ struct OverlapWitness {
   uint64_t address = 0;
 };
 
+/// Per-query work cap. The analyzer's resource governor sets this so one
+/// pathological node pair cannot stall a production analysis; 0 = unlimited.
+/// A "step" is one solver stage: one Diophantine equation considered, or one
+/// branch-and-bound node.
+struct OverlapBudget {
+  uint64_t max_steps = 0;
+};
+
+/// kUnknown: the step budget ran out before the query could be decided.
+/// SOUNDNESS CONTRACT: kDisjoint is only ever returned for a fully decided
+/// query - a budget bail-out degrades to kUnknown ("may overlap"), so a
+/// potential race is surfaced (as unproven), never silently dropped.
+enum class OverlapVerdict : uint8_t { kDisjoint, kOverlap, kUnknown };
+
+struct OverlapResult {
+  OverlapVerdict verdict = OverlapVerdict::kDisjoint;
+  OverlapWitness witness;  // valid iff verdict == kOverlap
+  uint64_t steps = 0;      // solver work actually spent
+};
+
+/// Budgeted form of Intersect: decides whether the two intervals share any
+/// byte address within `budget.max_steps` of solver work.
+OverlapResult IntersectBounded(const StridedInterval& a, const StridedInterval& b,
+                               OverlapEngine engine, const OverlapBudget& budget);
+
 /// Decides whether the two intervals share any byte address; if so, returns
-/// a witness. Exact for all inputs.
+/// a witness. Exact for all inputs (unlimited budget).
 std::optional<OverlapWitness> Intersect(const StridedInterval& a,
                                         const StridedInterval& b,
                                         OverlapEngine engine = OverlapEngine::kDiophantine);

@@ -1,14 +1,18 @@
 #include "offline/analysis.h"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "common/timer.h"
 #include "itree/interval_tree.h"
 #include "itree/mutexset.h"
+#include "offline/journal.h"
 #include "offline/racecheck.h"
 #include "osl/label.h"
 #include "trace/event.h"
@@ -30,6 +34,97 @@ struct Group {
   std::vector<const trace::IntervalMeta*> segments;
   itree::IntervalTree tree;
 };
+
+/// The per-bucket wall-clock governor. One background thread sleeps until
+/// the armed deadline; on expiry it sets `breach`, which the builders and
+/// checkers poll (one relaxed load) to abandon the bucket promptly. Armed
+/// once per bucket; disarmed when the bucket closes so an idle analyzer
+/// never wakes it.
+class BucketWatchdog {
+ public:
+  explicit BucketWatchdog(uint32_t deadline_ms)
+      : deadline_ms_(deadline_ms), thread_([this] { Run(); }) {}
+
+  ~BucketWatchdog() {
+    {
+      std::lock_guard lock(mutex_);
+      stop_ = true;
+      armed_ = false;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  void Arm() {
+    {
+      std::lock_guard lock(mutex_);
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(deadline_ms_);
+      armed_ = true;
+      breach_.store(false, std::memory_order_relaxed);
+    }
+    cv_.notify_all();
+  }
+
+  void Disarm() {
+    std::lock_guard lock(mutex_);
+    armed_ = false;
+  }
+
+  const std::atomic<bool>& breach() const { return breach_; }
+  bool breached() const { return breach_.load(std::memory_order_relaxed); }
+
+ private:
+  void Run() {
+    std::unique_lock lock(mutex_);
+    while (!stop_) {
+      if (!armed_) {
+        cv_.wait(lock);
+        continue;
+      }
+      if (cv_.wait_until(lock, deadline_) == std::cv_status::timeout &&
+          armed_ && !stop_) {
+        breach_.store(true, std::memory_order_relaxed);
+        armed_ = false;  // one breach per Arm(); next bucket re-arms
+      }
+    }
+  }
+
+  const uint32_t deadline_ms_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool armed_ = false;
+  bool stop_ = false;
+  std::atomic<bool> breach_{false};
+  std::thread thread_;
+};
+
+/// Folds one bucket's record into the global stats - the SINGLE merge path
+/// shared by freshly analyzed buckets and journal-replayed ones, which is
+/// what makes a resumed run's stats equal a clean run's.
+void ApplyBucketRecord(const JournalBucketRecord& rec, AnalysisStats& stats) {
+  stats.trees_built += rec.trees_built;
+  stats.tree_nodes += rec.tree_nodes;
+  stats.raw_events += rec.raw_events;
+  stats.label_pairs_checked += rec.label_pairs_checked;
+  stats.concurrent_pairs += rec.concurrent_pairs;
+  stats.node_pairs_ranged += rec.node_pairs_ranged;
+  stats.solver_calls += rec.solver_calls;
+  stats.solver_bailouts += rec.solver_bailouts;
+  stats.segments_skipped += rec.segments_skipped;
+  stats.events_missing += rec.events_missing;
+  stats.bytes_skipped_read += rec.bytes_skipped_read;
+  if (rec.flags & JournalBucketRecord::kDeadlineExceeded) {
+    stats.buckets_deadline_exceeded++;
+  }
+  if (rec.flags & JournalBucketRecord::kMemoryCapped) stats.buckets_memory_capped++;
+  if (rec.flags & JournalBucketRecord::kBucketSkipped) stats.buckets_skipped++;
+  if (rec.tree_bytes > stats.peak_tree_bytes) {
+    stats.peak_tree_bytes = rec.tree_bytes;
+    stats.peak_tree_bucket = rec.ordinal;
+  }
+}
 
 /// Streams one segment's events into the group's tree, recovering the
 /// lockset from mutex events (paper: "synchronization recovery"). `cache`
@@ -88,6 +183,57 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
   // store aborts on the first defect.
   const bool salvage = store.integrity().salvaged;
 
+  // --- Checkpoint/resume plumbing. The header binds the journal to this
+  // exact run: shard key, every result-affecting knob, and a fingerprint of
+  // the trace. Resume against anything else is refused outright.
+  JournalHeader journal_header;
+  journal_header.shard_index = config.shard_index;
+  journal_header.shard_count = config.shard_count;
+  journal_header.engine = static_cast<uint8_t>(config.engine);
+  journal_header.solver_step_budget = config.solver_step_budget;
+  journal_header.bucket_deadline_ms = config.bucket_deadline_ms;
+  journal_header.max_tree_bytes = config.max_tree_bytes;
+  journal_header.thread_count = static_cast<uint32_t>(store.thread_count());
+  journal_header.total_intervals = store.TotalIntervals();
+  journal_header.total_log_bytes = store.TotalLogBytes();
+
+  std::map<uint64_t, JournalBucketRecord> replay;
+  std::optional<JournalWriter> journal;
+  if (!config.journal_path.empty()) {
+    if (config.resume) {
+      auto loaded = LoadJournal(config.journal_path);
+      if (!loaded.ok()) {
+        result.status = loaded.status();
+        return result;
+      }
+      if (!(loaded.value().header == journal_header)) {
+        result.status = Status::Invalid(
+            "journal does not match this run (shard, analysis knobs, or "
+            "trace changed): " + config.journal_path);
+        return result;
+      }
+      result.stats.journal_records_dropped = loaded.value().records_dropped;
+      for (auto& rec : loaded.value().records) {
+        const uint64_t ordinal = rec.ordinal;
+        replay.insert_or_assign(ordinal, std::move(rec));
+      }
+      auto writer = JournalWriter::Continue(config.journal_path,
+                                            loaded.value().valid_bytes);
+      if (!writer.ok()) {
+        result.status = writer.status();
+        return result;
+      }
+      journal.emplace(std::move(writer.value()));
+    } else {
+      auto writer = JournalWriter::Create(config.journal_path, journal_header);
+      if (!writer.ok()) {
+        result.status = writer.status();
+        return result;
+      }
+      journal.emplace(std::move(writer.value()));
+    }
+  }
+
   // --- 1+2: bucket interval segments by top-level region (root pair offset).
   // Cross-bucket interval pairs are sequential by OSL case 2 on the root
   // pair, so they are pruned wholesale.
@@ -114,7 +260,6 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
   result.stats.buckets = buckets.size();
   uint64_t buckets_attempted = 0;
 
-  std::mutex races_mutex;
   // Frame caches live across buckets so consecutive buckets whose segments
   // share a frame (the common case: many tiny top-level regions per frame)
   // reuse the decompression. One bounded LRU cache per builder worker -
@@ -125,6 +270,11 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
   // same worker's cache bucket after bucket.
   std::vector<trace::FrameCache> worker_caches(std::max<uint32_t>(1, config.threads));
 
+  std::unique_ptr<BucketWatchdog> watchdog;
+  if (config.bucket_deadline_ms > 0) {
+    watchdog = std::make_unique<BucketWatchdog>(config.bucket_deadline_ms);
+  }
+
   uint64_t bucket_ordinal = ~0ULL;
   for (auto& [root_offset, segments] : buckets) {
     (void)root_offset;
@@ -134,7 +284,25 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
       continue;  // another shard's bucket
     }
     buckets_attempted++;
+
+    // Resume fast path: a bucket whose record survived in the journal is
+    // replayed, not re-analyzed. Its races go through the SAME AddReport
+    // sequence (record order == the clean run's deterministic merge order)
+    // and its stats through the same ApplyBucketRecord fold, so the final
+    // report is bit-identical to an uninterrupted run.
+    if (const auto it = replay.find(bucket_ordinal); it != replay.end()) {
+      for (const RaceReport& race : it->second.races) {
+        result.races.AddReport(race);
+      }
+      ApplyBucketRecord(it->second, result.stats);
+      result.stats.buckets_resumed++;
+      continue;
+    }
+
     Timer bucket_timer;
+    JournalBucketRecord rec;
+    rec.ordinal = bucket_ordinal;
+    AnalysisStats bucket_stats;  // this bucket's additive deltas only
 
     // --- 3: group by (thread, label); stream logs into per-group trees.
     Timer build_timer;
@@ -159,8 +327,16 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
     // this out as future work - "the tree generation cannot be efficiently
     // parallelized since it would require the use of locks" - which the
     // per-group decomposition sidesteps.)
+    //
+    // The memory governor runs synchronously inside the build: workers sum
+    // the bytes of CLOSED trees into one atomic and add their own group's
+    // live footprint per segment, so the cap is enforced while the trees
+    // grow, not after the damage is done.
     std::atomic<uint64_t> bucket_segments{0};
     std::atomic<uint64_t> bucket_segment_failures{0};
+    std::atomic<uint64_t> closed_tree_bytes{0};
+    std::atomic<bool> memory_capped{false};
+    if (watchdog) watchdog->Arm();
     {
       std::mutex status_mutex;
       auto build_group = [&](Group* group, AnalysisStats* stats,
@@ -171,6 +347,10 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
         // tree keeps every segment that did stream); a strict store aborts
         // the whole analysis, as before.
         for (const trace::IntervalMeta* meta : group->segments) {
+          if (memory_capped.load(std::memory_order_relaxed) ||
+              (watchdog && watchdog->breached())) {
+            return;  // governed bucket: stop feeding the trees
+          }
           bucket_segments.fetch_add(1, std::memory_order_relaxed);
           const Status s = BuildSegment(store, *group, *meta, mutexes, *stats, cache);
           if (!s.ok()) {
@@ -183,14 +363,24 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
             bucket_segment_failures.fetch_add(1, std::memory_order_relaxed);
             stats->segments_skipped++;
           }
+          if (config.max_tree_bytes > 0 &&
+              closed_tree_bytes.load(std::memory_order_relaxed) +
+                      group->tree.MemoryBytes() >
+                  config.max_tree_bytes) {
+            memory_capped.store(true, std::memory_order_relaxed);
+            return;
+          }
         }
+        closed_tree_bytes.fetch_add(group->tree.MemoryBytes(),
+                                    std::memory_order_relaxed);
         stats->trees_built++;
         stats->tree_nodes += group->tree.NodeCount();
       };
 
       if (config.threads <= 1 || groups.size() < 2) {
         for (Group* group : groups) {
-          build_group(group, &result.stats, &worker_caches[0]);
+          build_group(group, &bucket_stats, &worker_caches[0]);
+          if (!result.status.ok()) break;
         }
       } else {
         const uint32_t workers =
@@ -209,95 +399,158 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
         }
         for (auto& th : threads) th.join();
         for (const auto& s : stats) {
-          result.stats.trees_built += s.trees_built;
-          result.stats.tree_nodes += s.tree_nodes;
-          result.stats.raw_events += s.raw_events;
-          result.stats.segments_skipped += s.segments_skipped;
-          result.stats.events_missing += s.events_missing;
-          result.stats.bytes_skipped_read += s.bytes_skipped_read;
+          bucket_stats.trees_built += s.trees_built;
+          bucket_stats.tree_nodes += s.tree_nodes;
+          bucket_stats.raw_events += s.raw_events;
+          bucket_stats.segments_skipped += s.segments_skipped;
+          bucket_stats.events_missing += s.events_missing;
+          bucket_stats.bytes_skipped_read += s.bytes_skipped_read;
         }
       }
-      if (!result.status.ok()) return result;
+      if (!result.status.ok()) {
+        if (watchdog) watchdog->Disarm();
+        return result;
+      }
     }
     result.stats.build_seconds += build_timer.ElapsedSeconds();
+
+    // The bucket's full tree footprint: closed trees plus any group a
+    // governor abort left open (its bytes are real, and the peak should
+    // reflect what the governor actually saw).
+    uint64_t bucket_tree_bytes = closed_tree_bytes.load();
+    if (memory_capped.load() || (watchdog && watchdog->breached())) {
+      bucket_tree_bytes = 0;
+      for (Group* group : groups) bucket_tree_bytes += group->tree.MemoryBytes();
+    }
+    rec.tree_bytes = bucket_tree_bytes;
+
     // A bucket where not a single segment streamed has nothing to compare;
     // count it and move on (salvage only - strict never gets here damaged).
-    if (salvage && bucket_segments.load() > 0 &&
-        bucket_segment_failures.load() == bucket_segments.load()) {
-      result.stats.buckets_skipped++;
-      result.stats.max_bucket_seconds =
-          std::max(result.stats.max_bucket_seconds, bucket_timer.ElapsedSeconds());
-      continue;
-    }
+    const bool bucket_skipped =
+        salvage && bucket_segments.load() > 0 &&
+        bucket_segment_failures.load() == bucket_segments.load();
 
-    uint64_t bucket_tree_bytes = 0;
-    for (Group* group : groups) bucket_tree_bytes += group->tree.MemoryBytes();
-    result.stats.peak_tree_bytes =
-        std::max(result.stats.peak_tree_bytes, bucket_tree_bytes);
-
-    // --- 4: concurrency judgment per label pair, then tree comparison.
-    Timer compare_timer;
-    std::vector<std::pair<Group*, Group*>> concurrent;
-    concurrent.reserve(groups.size());
-    // Concurrency is judged purely on labels: one OS thread may have hosted
-    // two different lanes back to back (worker reuse), and those lanes'
-    // intervals still race in the OpenMP abstract machine even though this
-    // particular schedule serialized them. Equal labels (the same logical
-    // execution point) come out Sequential, so self-pairs prune themselves.
-    for (size_t i = 0; i < groups.size(); i++) {
-      for (size_t j = i + 1; j < groups.size(); j++) {
-        result.stats.label_pairs_checked++;
-        if (osl::Concurrent(groups[i]->label, groups[j]->label)) {
-          concurrent.push_back({groups[i], groups[j]});
+    if (bucket_skipped) {
+      rec.flags |= JournalBucketRecord::kBucketSkipped;
+    } else if (!memory_capped.load() && !(watchdog && watchdog->breached())) {
+      // --- 4: concurrency judgment per label pair, then tree comparison.
+      // A governed (capped or expired) bucket skips this phase: its trees
+      // are incomplete, and comparing half-built trees proves nothing.
+      Timer compare_timer;
+      std::vector<std::pair<Group*, Group*>> concurrent;
+      concurrent.reserve(groups.size());
+      // Concurrency is judged purely on labels: one OS thread may have hosted
+      // two different lanes back to back (worker reuse), and those lanes'
+      // intervals still race in the OpenMP abstract machine even though this
+      // particular schedule serialized them. Equal labels (the same logical
+      // execution point) come out Sequential, so self-pairs prune themselves.
+      for (size_t i = 0; i < groups.size(); i++) {
+        for (size_t j = i + 1; j < groups.size(); j++) {
+          bucket_stats.label_pairs_checked++;
+          if (osl::Concurrent(groups[i]->label, groups[j]->label)) {
+            concurrent.push_back({groups[i], groups[j]});
+          }
         }
       }
-    }
-    result.stats.concurrent_pairs += concurrent.size();
+      bucket_stats.concurrent_pairs += concurrent.size();
 
-    auto check_range = [&](size_t begin, size_t end, CheckStats* stats) {
-      for (size_t k = begin; k < end; k++) {
-        CheckTreePair(concurrent[k].first->tree, concurrent[k].second->tree, mutexes,
-                      config.engine,
+      const CheckLimits limits{config.solver_step_budget,
+                               watchdog ? &watchdog->breach() : nullptr};
+      // Each pair collects its races privately; the merge below walks pairs
+      // in index order, so the global report set's content and order do not
+      // depend on the checker thread count or schedule. The journal (and
+      // with it "resume == clean run") relies on exactly this determinism.
+      std::vector<std::vector<RaceReport>> pair_races(concurrent.size());
+      auto check_pair = [&](size_t k, CheckStats* stats) {
+        CheckTreePair(concurrent[k].first->tree, concurrent[k].second->tree,
+                      mutexes, config.engine,
                       [&](const RaceReport& report) {
-                        std::lock_guard lock(races_mutex);
-                        result.races.Add(report);
+                        pair_races[k].push_back(report);
                       },
-                      stats);
-      }
-    };
+                      stats, limits);
+      };
 
-    if (config.threads <= 1 || concurrent.size() < 2) {
-      CheckStats stats;
-      check_range(0, concurrent.size(), &stats);
-      result.stats.node_pairs_ranged += stats.node_pairs_ranged;
-      result.stats.solver_calls += stats.solver_calls;
-    } else {
-      const uint32_t workers =
-          std::min<uint32_t>(config.threads, static_cast<uint32_t>(concurrent.size()));
-      std::vector<CheckStats> stats(workers);
-      std::vector<std::thread> threads;
-      threads.reserve(workers);
-      std::atomic<size_t> next{0};
-      for (uint32_t w = 0; w < workers; w++) {
-        threads.emplace_back([&, w] {
-          while (true) {
-            const size_t k = next.fetch_add(1);
-            if (k >= concurrent.size()) break;
-            check_range(k, k + 1, &stats[w]);
+      if (config.threads <= 1 || concurrent.size() < 2) {
+        CheckStats stats;
+        for (size_t k = 0; k < concurrent.size(); k++) check_pair(k, &stats);
+        bucket_stats.node_pairs_ranged += stats.node_pairs_ranged;
+        bucket_stats.solver_calls += stats.solver_calls;
+        bucket_stats.solver_bailouts += stats.solver_bailouts;
+      } else {
+        const uint32_t workers =
+            std::min<uint32_t>(config.threads, static_cast<uint32_t>(concurrent.size()));
+        std::vector<CheckStats> stats(workers);
+        std::vector<std::thread> threads;
+        threads.reserve(workers);
+        std::atomic<size_t> next{0};
+        for (uint32_t w = 0; w < workers; w++) {
+          threads.emplace_back([&, w] {
+            while (true) {
+              const size_t k = next.fetch_add(1);
+              if (k >= concurrent.size()) break;
+              check_pair(k, &stats[w]);
+            }
+          });
+        }
+        for (auto& th : threads) th.join();
+        for (const auto& s : stats) {
+          bucket_stats.node_pairs_ranged += s.node_pairs_ranged;
+          bucket_stats.solver_calls += s.solver_calls;
+          bucket_stats.solver_bailouts += s.solver_bailouts;
+        }
+      }
+
+      // Deterministic merge: pair order, then report order within the pair
+      // (CheckTreePair's order is deterministic per pair). Only reports
+      // that changed the global set (new race or unproven->proven upgrade)
+      // enter the journal record - replaying them reproduces the set.
+      for (const auto& races : pair_races) {
+        for (const RaceReport& report : races) {
+          if (result.races.AddReport(report) !=
+              RaceReportSet::AddOutcome::kDuplicate) {
+            rec.races.push_back(report);
           }
-        });
+        }
       }
-      for (auto& th : threads) th.join();
-      for (const auto& s : stats) {
-        result.stats.node_pairs_ranged += s.node_pairs_ranged;
-        result.stats.solver_calls += s.solver_calls;
-      }
+      result.stats.compare_seconds += compare_timer.ElapsedSeconds();
     }
-    result.stats.compare_seconds += compare_timer.ElapsedSeconds();
+    if (watchdog) {
+      watchdog->Disarm();
+      if (watchdog->breached()) rec.flags |= JournalBucketRecord::kDeadlineExceeded;
+    }
+    if (memory_capped.load()) rec.flags |= JournalBucketRecord::kMemoryCapped;
+
+    rec.trees_built = bucket_stats.trees_built;
+    rec.tree_nodes = bucket_stats.tree_nodes;
+    rec.raw_events = bucket_stats.raw_events;
+    rec.label_pairs_checked = bucket_stats.label_pairs_checked;
+    rec.concurrent_pairs = bucket_stats.concurrent_pairs;
+    rec.node_pairs_ranged = bucket_stats.node_pairs_ranged;
+    rec.solver_calls = bucket_stats.solver_calls;
+    rec.solver_bailouts = bucket_stats.solver_bailouts;
+    rec.segments_skipped = bucket_stats.segments_skipped;
+    rec.events_missing = bucket_stats.events_missing;
+    rec.bytes_skipped_read = bucket_stats.bytes_skipped_read;
+    ApplyBucketRecord(rec, result.stats);
 
     result.stats.max_bucket_seconds =
         std::max(result.stats.max_bucket_seconds, bucket_timer.ElapsedSeconds());
+
+    // Checkpoint: the bucket is durable once its record lands. A failed
+    // append costs nothing but resume granularity - the bucket would simply
+    // be re-analyzed - so failures degrade (counted) instead of aborting.
+    if (journal) {
+      Timer journal_timer;
+      (void)journal->AppendBucket(rec);
+      result.stats.journal_seconds += journal_timer.ElapsedSeconds();
+    }
   }
+
+  if (journal) {
+    result.stats.journal_bytes = journal->bytes_appended();
+    result.stats.journal_write_failures = journal->write_failures();
+  }
+  result.stats.races_unproven = result.races.unproven_count();
 
   // Salvage policy: partial damage is reported through the stats while the
   // status stays Ok - but an analysis where EVERY attempted bucket failed

@@ -41,6 +41,33 @@ struct AnalysisConfig {
   // union of all shards' reports equals the full analysis.
   uint32_t shard_index = 0;
   uint32_t shard_count = 1;
+
+  // --- Resource governor (all 0 = ungoverned, the historical behavior).
+  // Production analyses run for hours; these caps guarantee that one
+  // pathological bucket degrades the answer (with exact accounting in
+  // AnalysisStats and the report's integrity section) instead of hanging
+  // or OOM-killing the whole run.
+  /// Wall-clock budget per bucket. On breach the watchdog aborts ONLY that
+  /// bucket (races already found stand) and counts it in
+  /// `buckets_deadline_exceeded`.
+  uint32_t bucket_deadline_ms = 0;
+  /// Cap on one bucket's summarized interval-tree footprint. On breach the
+  /// bucket is abandoned mid-build and counted in `buckets_memory_capped`.
+  uint64_t max_tree_bytes = 0;
+  /// Per-overlap-query solver step budget; an exhausted query reports the
+  /// node pair as an UNPROVEN race (RaceConfidence::kUnproven) - sound,
+  /// never a silent drop. 0 = unlimited.
+  uint64_t solver_step_budget = 0;
+
+  // --- Checkpoint/resume (see offline/journal.h).
+  /// When non-empty, append a progress record to this journal after every
+  /// completed bucket. Append failures degrade (counted in stats), never
+  /// abort the analysis.
+  std::string journal_path;
+  /// Replay completed buckets from `journal_path` instead of re-analyzing
+  /// them, then continue journaling new buckets. The journal's header must
+  /// match this run's shard key, governor knobs, and trace fingerprint.
+  bool resume = false;
 };
 
 struct AnalysisStats {
@@ -60,7 +87,27 @@ struct AnalysisStats {
   /// latency proxy - with one node per region, the slowest region bounds
   /// the wall clock.
   double max_bucket_seconds = 0;
-  uint64_t peak_tree_bytes = 0;  // largest per-bucket tree footprint
+  /// Largest per-bucket tree footprint. Tracked as a per-bucket high-water
+  /// mark (accumulated during the build, reset at bucket close) so the
+  /// governor can act on it mid-bucket; `peak_tree_bucket` names the
+  /// offending bucket ordinal.
+  uint64_t peak_tree_bytes = 0;
+  uint64_t peak_tree_bucket = 0;
+
+  // Resource-governor accounting (see AnalysisConfig). A governed bucket is
+  // degraded honestly: counted here and surfaced in the report's integrity
+  // section, while the process exits normally.
+  uint64_t buckets_deadline_exceeded = 0;  // aborted by the wall-clock watchdog
+  uint64_t buckets_memory_capped = 0;      // abandoned at the tree-byte cap
+  uint64_t solver_bailouts = 0;   // overlap queries whose step budget ran out
+  uint64_t races_unproven = 0;    // final reports tagged kUnproven
+
+  // Checkpoint/resume accounting (see offline/journal.h).
+  uint64_t buckets_resumed = 0;          // replayed from the journal
+  uint64_t journal_records_dropped = 0;  // torn-tail records ignored on resume
+  uint64_t journal_bytes = 0;            // journal bytes appended by this run
+  uint64_t journal_write_failures = 0;   // appends that failed (bucket re-analyzed on resume)
+  double journal_seconds = 0;            // wall clock spent appending records
 
   // Degraded-analysis accounting: what the analysis could NOT use, so a
   // salvage run reports races from the surviving data without pretending

@@ -1,0 +1,143 @@
+// The analysis progress journal: what makes `sword-offline` survivable.
+//
+// The offline phase is where SWORD spends hours on production traces
+// (Table III), and before this journal existed a SIGKILL or OOM at hour
+// three discarded every bucket already analyzed. The journal checkpoints
+// analysis progress at the natural unit - the bucket (top-level region;
+// no race spans buckets) - so `sword-offline --resume` replays completed
+// buckets from disk and re-analyzes only what is missing, producing a
+// report bit-identical to an uninterrupted run.
+//
+// On-disk shape (one file per shard, `sword_analysis_<I>of<N>.journal`
+// inside the trace directory):
+//
+//   header record   - written ONCE via fsutil write-temp+rename (atomic:
+//                     a crash during creation leaves either no journal or
+//                     a complete header, never a torn one). Carries the
+//                     shard key, the result-affecting analysis knobs, and
+//                     a fingerprint of the trace, so a journal can never
+//                     be replayed against the wrong trace or config.
+//   bucket records  - APPENDED after each bucket completes. Each is
+//                     self-framed like a log frame (magic | size | crc64 |
+//                     payload): a record torn by mid-append death fails
+//                     its checksum, is dropped on load, and its bucket is
+//                     simply re-analyzed. Every record carries the bucket
+//                     ordinal, the races that bucket contributed (in the
+//                     analyzer's deterministic merge order), its governor
+//                     flags, and its additive stats deltas.
+//
+// The journal is an optimization, never a source of wrong answers: any
+// subset of valid records resumes correctly, because the analyzer walks
+// buckets in ordinal order and replays or re-analyzes each independently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/race_report.h"
+#include "common/status.h"
+
+namespace sword::offline {
+
+constexpr uint32_t kJournalHeaderMagic = 0x53574148;  // "SWAH"
+constexpr uint32_t kJournalBucketMagic = 0x53574142;  // "SWAB"
+constexpr uint8_t kJournalVersion = 1;
+
+/// Identifies what a journal belongs to: shard key + the analysis knobs
+/// that change results + a cheap fingerprint of the trace itself. Resume
+/// refuses a journal whose header does not match the current run exactly -
+/// mixing configs would make "resume equals clean" silently false.
+struct JournalHeader {
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 1;
+  uint8_t engine = 0;                 // ilp::OverlapEngine as int
+  uint64_t solver_step_budget = 0;
+  uint64_t bucket_deadline_ms = 0;
+  uint64_t max_tree_bytes = 0;
+  // Trace fingerprint.
+  uint32_t thread_count = 0;
+  uint64_t total_intervals = 0;
+  uint64_t total_log_bytes = 0;
+
+  friend bool operator==(const JournalHeader&, const JournalHeader&) = default;
+};
+
+/// One completed bucket: its contributed races and additive stat deltas.
+struct JournalBucketRecord {
+  uint64_t ordinal = 0;
+
+  // Governor outcome flags.
+  static constexpr uint8_t kDeadlineExceeded = 1 << 0;
+  static constexpr uint8_t kMemoryCapped = 1 << 1;
+  static constexpr uint8_t kBucketSkipped = 1 << 2;  // salvage: no segment streamed
+  uint8_t flags = 0;
+
+  /// Races this bucket newly added to (or upgraded in) the global report
+  /// set, in the analyzer's deterministic merge order. Replaying them with
+  /// RaceReportSet::AddReport in record order reproduces the clean run's
+  /// set exactly - content, order, and confidence tiers.
+  std::vector<RaceReport> races;
+
+  // Additive AnalysisStats deltas for this bucket.
+  uint64_t trees_built = 0;
+  uint64_t tree_nodes = 0;
+  uint64_t raw_events = 0;
+  uint64_t label_pairs_checked = 0;
+  uint64_t concurrent_pairs = 0;
+  uint64_t node_pairs_ranged = 0;
+  uint64_t solver_calls = 0;
+  uint64_t solver_bailouts = 0;
+  uint64_t segments_skipped = 0;
+  uint64_t events_missing = 0;
+  uint64_t bytes_skipped_read = 0;
+  uint64_t tree_bytes = 0;  // bucket tree footprint (drives peak accounting)
+};
+
+struct JournalLoadResult {
+  JournalHeader header;
+  std::vector<JournalBucketRecord> records;  // valid records, file order
+  uint64_t valid_bytes = 0;       // prefix length covered by valid records
+  uint64_t records_dropped = 0;   // torn/corrupt tail records discarded
+};
+
+/// Canonical journal path for a shard, under the trace directory.
+std::string JournalPathFor(const std::string& trace_dir, uint32_t shard_index,
+                           uint32_t shard_count);
+
+/// Appends bucket records to a journal file. Append failures are counted,
+/// not fatal: a bucket whose record never landed is re-analyzed on resume,
+/// so a full disk degrades checkpoint granularity, not correctness.
+class JournalWriter {
+ public:
+  /// Starts a fresh journal: atomically writes the header (temp + rename),
+  /// truncating any previous journal at `path`.
+  static Result<JournalWriter> Create(const std::string& path,
+                                      const JournalHeader& header);
+
+  /// Continues an existing journal after a successful Load: truncates the
+  /// torn tail (if any) at `valid_bytes`, then appends after it.
+  static Result<JournalWriter> Continue(const std::string& path,
+                                        uint64_t valid_bytes);
+
+  Status AppendBucket(const JournalBucketRecord& record);
+
+  uint64_t bytes_appended() const { return bytes_appended_; }
+  uint64_t write_failures() const { return write_failures_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit JournalWriter(std::string path) : path_(std::move(path)) {}
+
+  std::string path_;
+  uint64_t bytes_appended_ = 0;
+  uint64_t write_failures_ = 0;
+};
+
+/// Parses a journal file: header first, then bucket records until the file
+/// ends or a record fails its frame checks (torn tail - everything after is
+/// dropped and counted). Fails only when the file is missing/unreadable or
+/// the HEADER is invalid; damaged bucket records degrade, not fail.
+Result<JournalLoadResult> LoadJournal(const std::string& path);
+
+}  // namespace sword::offline

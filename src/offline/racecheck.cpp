@@ -1,11 +1,13 @@
 #include "offline/racecheck.h"
 
+#include <algorithm>
+
 namespace sword::offline {
 
 void CheckTreePair(const itree::IntervalTree& a, const itree::IntervalTree& b,
                    const itree::MutexSetTable& mutexes, ilp::OverlapEngine engine,
                    FunctionRef<void(const RaceReport&)> on_race,
-                   CheckStats* stats) {
+                   CheckStats* stats, const CheckLimits& limits) {
   if (a.Empty() || b.Empty()) return;
   // Iterate the smaller tree, range-query the larger: O(M log M') with
   // M <= M' (the paper's comparison bound).
@@ -13,9 +15,24 @@ void CheckTreePair(const itree::IntervalTree& a, const itree::IntervalTree& b,
   const itree::IntervalTree& outer = a_smaller ? a : b;
   const itree::IntervalTree& inner = a_smaller ? b : a;
 
+  const ilp::OverlapBudget budget{limits.solver_step_budget};
+  bool cancelled = false;
+
   outer.ForEach([&](const itree::AccessNode& x) {
+    if (cancelled ||
+        (limits.cancel && limits.cancel->load(std::memory_order_relaxed))) {
+      cancelled = true;
+      return;
+    }
     inner.QueryRange(x.interval.lo(), x.interval.hi(),
                      [&](const itree::AccessNode& y) {
+      // The governor's breach flag is polled per candidate pair: cheap
+      // (one relaxed load) yet bounds the abort latency by a single solver
+      // query, so a runaway bucket stops promptly after its deadline.
+      if (limits.cancel && limits.cancel->load(std::memory_order_relaxed)) {
+        cancelled = true;
+        return false;
+      }
       if (stats) stats->node_pairs_ranged++;
 
       // Filter: at least one write.
@@ -25,19 +42,30 @@ void CheckTreePair(const itree::IntervalTree& a, const itree::IntervalTree& b,
       // Filter: common lock.
       if (mutexes.Intersects(x.key.mutexset, y.key.mutexset)) return true;
 
-      // Exact strided intersection (the ILP constraint of SIII-B).
+      // Exact strided intersection (the ILP constraint of SIII-B), under
+      // the per-query step budget.
       if (stats) stats->solver_calls++;
-      const auto witness = ilp::Intersect(x.interval, y.interval, engine);
-      if (!witness) return true;
+      const ilp::OverlapResult overlap =
+          ilp::IntersectBounded(x.interval, y.interval, engine, budget);
+      if (overlap.verdict == ilp::OverlapVerdict::kDisjoint) return true;
 
       RaceReport report;
       report.pc1 = a_smaller ? x.key.pc : y.key.pc;
       report.pc2 = a_smaller ? y.key.pc : x.key.pc;
-      report.address = witness->address;
       report.size1 = a_smaller ? x.key.size : y.key.size;
       report.size2 = a_smaller ? y.key.size : x.key.size;
       report.write1 = a_smaller ? x.key.is_write() : y.key.is_write();
       report.write2 = a_smaller ? y.key.is_write() : x.key.is_write();
+      if (overlap.verdict == ilp::OverlapVerdict::kOverlap) {
+        report.address = overlap.witness.address;
+      } else {
+        // Budget exhausted: the pair MAY overlap. Report it - conservatively
+        // sound - tagged unproven, with the range-intersection start as the
+        // best available address hint (no proven shared byte exists).
+        if (stats) stats->solver_bailouts++;
+        report.address = std::max(x.interval.lo(), y.interval.lo());
+        report.confidence = RaceConfidence::kUnproven;
+      }
       if (stats) stats->races_found++;
       on_race(report);
       return true;

@@ -9,6 +9,7 @@
 //   3. surviving pairs are data races, reported at the two source locations.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/function_ref.h"
@@ -22,18 +23,31 @@ namespace sword::offline {
 struct CheckStats {
   uint64_t node_pairs_ranged = 0;   // pairs surviving the tree range query
   uint64_t solver_calls = 0;        // exact intersection decisions
+  uint64_t solver_bailouts = 0;     // queries whose step budget ran out
   uint64_t races_found = 0;         // before global dedup
+};
+
+/// Caps the resource governor imposes on one tree-pair comparison.
+struct CheckLimits {
+  /// Per-overlap-query solver step budget; 0 = unlimited. An exhausted
+  /// query reports the node pair as an UNPROVEN race (sound: never dropped).
+  uint64_t solver_step_budget = 0;
+  /// When non-null and set (by the watchdog on a deadline/memory breach),
+  /// the comparison stops at the next node pair. Races already reported
+  /// stand; the bucket is accounted as governed in AnalysisStats.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Compares two interval trees from concurrent barrier intervals; reports
 /// every racing node pair through `on_race` (a non-owning view - this is the
 /// hottest callback in the analyzer and must not allocate). Thread-safe for
 /// concurrent calls on distinct tree pairs (the mutex table is shared and
-/// thread-safe).
+/// thread-safe). Report order is deterministic for a given tree pair, which
+/// the checkpoint/resume journal relies on.
 void CheckTreePair(const itree::IntervalTree& a, const itree::IntervalTree& b,
                    const itree::MutexSetTable& mutexes,
                    ilp::OverlapEngine engine,
                    FunctionRef<void(const RaceReport&)> on_race,
-                   CheckStats* stats = nullptr);
+                   CheckStats* stats = nullptr, const CheckLimits& limits = {});
 
 }  // namespace sword::offline

@@ -44,6 +44,19 @@ std::string RenderText(const AnalysisResult& result, const PcNamer& pc_namer) {
   out += "analyzed " + std::to_string(s.intervals) + " interval(s) in " +
          std::to_string(s.buckets) + " region(s), " + std::to_string(s.raw_events) +
          " event(s) -> " + std::to_string(s.tree_nodes) + " tree node(s)\n";
+  // Resource-governor outcomes are part of the answer's integrity: a capped
+  // bucket or an unproven race means the report is sound but not exhaustive.
+  // (Journal/resume accounting is deliberately NOT rendered here - a resumed
+  // run's report must be bit-identical to an uninterrupted one.)
+  if (s.buckets_deadline_exceeded > 0 || s.buckets_memory_capped > 0 ||
+      s.solver_bailouts > 0 || s.races_unproven > 0) {
+    out += "resource governor: DEGRADED\n";
+    out += "  " + std::to_string(s.buckets_deadline_exceeded) +
+           " bucket(s) over deadline, " + std::to_string(s.buckets_memory_capped) +
+           " memory-capped, " + std::to_string(s.solver_bailouts) +
+           " solver bail-out(s), " + std::to_string(s.races_unproven) +
+           " unproven race(s)\n";
+  }
   const auto& in = s.integrity;
   const bool damaged = !in.clean() || s.segments_skipped > 0 ||
                        s.buckets_skipped > 0 || s.events_missing > 0 ||
@@ -97,7 +110,9 @@ std::string RenderJson(const AnalysisResult& result, const PcNamer& pc_namer) {
     out += ",\"write2\":" + std::string(race.write2 ? "true" : "false");
     out += ",\"size1\":" + std::to_string(int(race.size1));
     out += ",\"size2\":" + std::to_string(int(race.size2));
-    out += "}";
+    out += ",\"confidence\":\"";
+    out += race.confidence == RaceConfidence::kUnproven ? "unproven" : "proven";
+    out += "\"}";
   }
   out += "],\"stats\":{";
   const auto& s = result.stats;
@@ -109,7 +124,21 @@ std::string RenderJson(const AnalysisResult& result, const PcNamer& pc_namer) {
   out += ",\"label_pairs_checked\":" + std::to_string(s.label_pairs_checked);
   out += ",\"concurrent_pairs\":" + std::to_string(s.concurrent_pairs);
   out += ",\"solver_calls\":" + std::to_string(s.solver_calls);
+  out += ",\"solver_bailouts\":" + std::to_string(s.solver_bailouts);
+  out += ",\"races_unproven\":" + std::to_string(s.races_unproven);
+  out += ",\"buckets_deadline_exceeded\":" +
+         std::to_string(s.buckets_deadline_exceeded);
+  out += ",\"buckets_memory_capped\":" + std::to_string(s.buckets_memory_capped);
+  out += ",\"peak_tree_bytes\":" + std::to_string(s.peak_tree_bytes);
+  out += ",\"peak_tree_bucket\":" + std::to_string(s.peak_tree_bucket);
   out += ",\"total_seconds\":" + std::to_string(s.total_seconds);
+  out += "}";
+  out += ",\"journal\":{";
+  out += "\"buckets_resumed\":" + std::to_string(s.buckets_resumed);
+  out += ",\"records_dropped\":" + std::to_string(s.journal_records_dropped);
+  out += ",\"bytes_appended\":" + std::to_string(s.journal_bytes);
+  out += ",\"write_failures\":" + std::to_string(s.journal_write_failures);
+  out += ",\"journal_seconds\":" + std::to_string(s.journal_seconds);
   out += "}";
   const auto& in = s.integrity;
   out += ",\"integrity\":{";

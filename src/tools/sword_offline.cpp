@@ -1,18 +1,29 @@
 // sword-offline: the offline race-detection command-line tool.
 //
 //   sword-offline <trace-dir> [--threads N] [--engine dio|ilp] [--stats]
-//                 [--json] [--shard I --shards N]
+//                 [--json] [--shard I --shards N] [--salvage]
+//                 [--journal [PATH]] [--resume]
+//                 [--bucket-deadline-ms N] [--max-tree-mb N] [--solver-budget N]
 //
 // Reads a trace directory produced by SwordTool (sword_t*.log/.meta),
 // recovers the concurrency structure, and prints the deduplicated race
-// reports. Exit code: 0 = no races, 2 = races found, 1 = error.
+// reports.
+//
+// Exit-code contract (stable; scripts depend on it):
+//   0 = analysis completed, no races
+//   2 = analysis completed, races found
+//   4 = I/O or analysis failure (unreadable trace, journal mismatch, ...)
+//   1 = usage error (bad flags)
+//
 // This is the analogue of the sword-offline-analysis driver the real SWORD
 // distributes for cluster use.
 #include <cstdio>
 
 #include "common/args.h"
+#include "common/fsutil.h"
 #include "common/timer.h"
 #include "offline/analysis.h"
+#include "offline/journal.h"
 #include "offline/report.h"
 #include "offline/tracestore.h"
 #include "somp/srcloc.h"
@@ -20,6 +31,11 @@
 using namespace sword;
 
 namespace {
+
+constexpr int kExitClean = 0;
+constexpr int kExitUsage = 1;
+constexpr int kExitRaces = 2;
+constexpr int kExitFailure = 4;
 
 void PrintUsage() {
   std::fprintf(stderr,
@@ -32,7 +48,22 @@ void PrintUsage() {
                "  --shards N       total shards for distributed analysis\n"
                "  --salvage        analyze damaged traces (crashed/killed runs):\n"
                "                   resynchronize past corruption and report races\n"
-               "                   from surviving data, with integrity accounting\n");
+               "                   from surviving data, with integrity accounting\n"
+               "  --journal [PATH] checkpoint progress after every bucket; default\n"
+               "                   PATH is sword_analysis_<I>of<N>.journal in the\n"
+               "                   trace directory\n"
+               "  --resume         replay completed buckets from the journal and\n"
+               "                   analyze only the rest; the final report is\n"
+               "                   bit-identical to an uninterrupted run\n"
+               "  --bucket-deadline-ms N  abort any single bucket after N ms of\n"
+               "                   wall clock (0 = no deadline)\n"
+               "  --max-tree-mb N  abandon a bucket whose interval trees exceed\n"
+               "                   N MiB (0 = no cap)\n"
+               "  --solver-budget N  per-query overlap-solver step budget; an\n"
+               "                   exhausted query reports an UNPROVEN race\n"
+               "                   (default 4000000, 0 = unlimited)\n"
+               "exit codes: 0 no races, 2 races found, 4 I/O or analysis\n"
+               "failure, 1 usage error\n");
 }
 
 }  // namespace
@@ -46,20 +77,76 @@ int main(int argc, char** argv) {
   const int64_t shard = args.GetInt("shard", 0);
   const int64_t shards = args.GetInt("shards", 1);
   const bool salvage = args.GetBool("salvage");
+  const bool journal_requested = args.Has("journal");
+  const std::string journal_flag = args.GetString("journal", "");
+  const bool resume = args.GetBool("resume");
+  const int64_t bucket_deadline_ms = args.GetInt("bucket-deadline-ms", 0);
+  const int64_t max_tree_mb = args.GetInt("max-tree-mb", 0);
+  const int64_t solver_budget = args.GetInt("solver-budget", 4000000);
 
+  if (args.GetBool("help")) {
+    PrintUsage();
+    return kExitClean;
+  }
   if (args.positional().size() != 1) {
     PrintUsage();
-    return 1;
+    return kExitUsage;
   }
   for (const auto& flag : args.UnknownFlags()) {
     std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
     PrintUsage();
-    return 1;
+    return kExitUsage;
+  }
+  // Flag validation up front: a misconfigured run must die with a usage
+  // error before touching the trace, not hours into an analysis.
+  if (threads < 1) {
+    std::fprintf(stderr, "error: --threads must be >= 1 (got %lld)\n",
+                 (long long)threads);
+    return kExitUsage;
+  }
+  if (engine_name != "dio" && engine_name != "ilp") {
+    std::fprintf(stderr, "error: --engine must be dio or ilp (got %s)\n",
+                 engine_name.c_str());
+    return kExitUsage;
+  }
+  if (shards < 1) {
+    std::fprintf(stderr, "error: --shards must be >= 1 (got %lld)\n",
+                 (long long)shards);
+    return kExitUsage;
+  }
+  if (shard < 0 || shard >= shards) {
+    std::fprintf(stderr,
+                 "error: --shard must be in [0, --shards); got shard %lld of "
+                 "%lld\n",
+                 (long long)shard, (long long)shards);
+    return kExitUsage;
+  }
+  if (bucket_deadline_ms < 0 || max_tree_mb < 0 || solver_budget < 0) {
+    std::fprintf(stderr, "error: governor budgets must be >= 0\n");
+    return kExitUsage;
+  }
+
+  const std::string& trace_dir = args.positional()[0];
+  // --resume implies --journal (resume replays it, then keeps appending).
+  std::string journal_path;
+  if (journal_requested || resume) {
+    journal_path = journal_flag.empty()
+                       ? offline::JournalPathFor(trace_dir,
+                                                 static_cast<uint32_t>(shard),
+                                                 static_cast<uint32_t>(shards))
+                       : journal_flag;
+  }
+  if (resume && !FileExists(journal_path)) {
+    std::fprintf(stderr,
+                 "error: --resume but no journal at %s\n"
+                 "(run with --journal first; each shard keeps its own journal)\n",
+                 journal_path.c_str());
+    return kExitFailure;
   }
 
   offline::StoreOptions store_options;
   store_options.salvage = salvage;
-  auto store = offline::TraceStore::OpenDir(args.positional()[0], store_options);
+  auto store = offline::TraceStore::OpenDir(trace_dir, store_options);
   if (!store.ok()) {
     std::fprintf(stderr, "error: %s\n", store.status().ToString().c_str());
     if (!salvage) {
@@ -67,7 +154,7 @@ int main(int argc, char** argv) {
                    "(if this trace came from a crashed or killed run, retry "
                    "with --salvage)\n");
     }
-    return 1;
+    return kExitFailure;
   }
   if (!json) {
     std::printf("loaded %zu thread trace(s), %llu barrier interval(s)\n",
@@ -80,7 +167,12 @@ int main(int argc, char** argv) {
   config.engine = engine_name == "ilp" ? ilp::OverlapEngine::kIlp
                                        : ilp::OverlapEngine::kDiophantine;
   config.shard_index = static_cast<uint32_t>(shard);
-  config.shard_count = static_cast<uint32_t>(shards > 0 ? shards : 1);
+  config.shard_count = static_cast<uint32_t>(shards);
+  config.bucket_deadline_ms = static_cast<uint32_t>(bucket_deadline_ms);
+  config.max_tree_bytes = static_cast<uint64_t>(max_tree_mb) * 1024 * 1024;
+  config.solver_step_budget = static_cast<uint64_t>(solver_budget);
+  config.journal_path = journal_path;
+  config.resume = resume;
   const offline::AnalysisResult result = offline::Analyze(store.value(), config);
   if (!result.status.ok()) {
     std::fprintf(stderr, "analysis error: %s\n", result.status.ToString().c_str());
@@ -89,7 +181,7 @@ int main(int argc, char** argv) {
                    "(if this trace came from a crashed or killed run, retry "
                    "with --salvage)\n");
     }
-    return 1;
+    return kExitFailure;
   }
 
   // PCs are process-local ids; if this analyzer process did not execute the
@@ -101,7 +193,7 @@ int main(int argc, char** argv) {
 
   if (json) {
     std::printf("%s\n", offline::RenderJson(result, pc_name).c_str());
-    return result.races.size() ? 2 : 0;
+    return result.races.size() ? kExitRaces : kExitClean;
   }
   std::printf("\n%s", offline::RenderText(result, pc_name).c_str());
 
@@ -116,17 +208,35 @@ int main(int argc, char** argv) {
     std::printf("  label pairs judged:           %llu (%llu concurrent)\n",
                 (unsigned long long)s.label_pairs_checked,
                 (unsigned long long)s.concurrent_pairs);
-    std::printf("  node pairs range-matched:     %llu (%llu solver calls)\n",
+    std::printf("  node pairs range-matched:     %llu (%llu solver calls, %llu bail-outs)\n",
                 (unsigned long long)s.node_pairs_ranged,
-                (unsigned long long)s.solver_calls);
+                (unsigned long long)s.solver_calls,
+                (unsigned long long)s.solver_bailouts);
     std::printf("  build / compare / total:      %s / %s / %s\n",
                 FormatSeconds(s.build_seconds).c_str(),
                 FormatSeconds(s.compare_seconds).c_str(),
                 FormatSeconds(s.total_seconds).c_str());
     std::printf("  slowest bucket (MT proxy):    %s\n",
                 FormatSeconds(s.max_bucket_seconds).c_str());
-    std::printf("  peak tree memory:             %s\n",
-                FormatBytes(s.peak_tree_bytes).c_str());
+    std::printf("  peak tree memory:             %s (bucket %llu)\n",
+                FormatBytes(s.peak_tree_bytes).c_str(),
+                (unsigned long long)s.peak_tree_bucket);
+    if (s.buckets_deadline_exceeded || s.buckets_memory_capped) {
+      std::printf("  governed buckets:             %llu over deadline, %llu memory-capped\n",
+                  (unsigned long long)s.buckets_deadline_exceeded,
+                  (unsigned long long)s.buckets_memory_capped);
+    }
+    if (!journal_path.empty()) {
+      std::printf("  journal:                      %llu bucket(s) resumed, %llu byte(s) appended, %llu write failure(s), %s\n",
+                  (unsigned long long)s.buckets_resumed,
+                  (unsigned long long)s.journal_bytes,
+                  (unsigned long long)s.journal_write_failures,
+                  FormatSeconds(s.journal_seconds).c_str());
+      if (s.journal_records_dropped) {
+        std::printf("  journal torn tail:            %llu record(s) dropped\n",
+                    (unsigned long long)s.journal_records_dropped);
+      }
+    }
   }
-  return result.races.size() ? 2 : 0;
+  return result.races.size() ? kExitRaces : kExitClean;
 }

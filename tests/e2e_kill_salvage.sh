@@ -2,7 +2,7 @@
 # End-to-end crash tolerance: kill -9 a tracing sword-run mid-flight, add a
 # deterministic dose of damage on top of whatever the kill left behind, and
 # check that
-#   - strict sword-offline refuses the trace (exit 1),
+#   - strict sword-offline refuses the trace (exit 4, the I/O-failure code),
 #   - sword-offline --salvage analyzes it and reports integrity accounting,
 #   - sword-dump --verify flags the damage (exit 2).
 #
@@ -42,7 +42,7 @@ printf 'XXX' >> "$DIR/sword_t0.log"
 # 3. Strict analysis must refuse the damaged trace.
 "$OFFLINE" "$DIR" >/dev/null 2>&1
 rc=$?
-[ "$rc" -eq 1 ] || { echo "FAIL: strict sword-offline: want exit 1, got $rc"; exit 1; }
+[ "$rc" -eq 4 ] || { echo "FAIL: strict sword-offline: want exit 4, got $rc"; exit 1; }
 
 # 4. Salvage analysis must complete (0 = no races, 2 = races) and the JSON
 #    report must carry the integrity section.

@@ -271,6 +271,71 @@ INSTANTIATE_TEST_SUITE_P(BothEngines, OverlapEngineTest,
                                       : "Ilp";
                          });
 
+// ---------------------------------------------------------------------------
+// Budgeted solves: exhaustion must be reported, never mistaken for a
+// decision (the soundness contract behind RaceConfidence::kUnproven).
+
+TEST(Ilp2, BudgetExhaustionIsReportedNotInfeasible) {
+  // 2x - 4y == 1 is infeasible by parity, but proving it takes branch &
+  // bound a walk along the whole (fractional) constraint line.
+  Ilp2Problem prob;
+  prob.lo_x = 0;
+  prob.hi_x = 50;
+  prob.lo_y = 0;
+  prob.hi_y = 50;
+  prob.constraints.push_back({2, -4, 1});
+  prob.constraints.push_back({-2, 4, -1});
+
+  Ilp2Stats stats;
+  const Ilp2Result full = SolveIlp2Bounded(prob, {}, &stats);
+  EXPECT_EQ(full.outcome, Ilp2Outcome::kInfeasible);
+  ASSERT_GT(stats.nodes_explored, 1);
+
+  Ilp2Limits tiny;
+  tiny.max_nodes = 1;
+  const Ilp2Result cut = SolveIlp2Bounded(prob, tiny, nullptr);
+  EXPECT_EQ(cut.outcome, Ilp2Outcome::kBudgetExhausted);
+
+  // A budget at least as large as the full search changes nothing.
+  Ilp2Limits roomy;
+  roomy.max_nodes = stats.nodes_explored + 1;
+  EXPECT_EQ(SolveIlp2Bounded(prob, roomy, nullptr).outcome,
+            Ilp2Outcome::kInfeasible);
+}
+
+TEST(OverlapProperty, TinyBudgetIsSoundOnBothEngines) {
+  // Under ANY budget, kDisjoint must only ever be claimed when the byte sets
+  // really are disjoint, and kOverlap witnesses must be real. kUnknown is
+  // always permitted - it is the honest "ran out of budget" answer.
+  Rng rng(707);
+  uint64_t unknowns = 0;
+  for (int trial = 0; trial < 1500; trial++) {
+    StridedInterval a{1000 + rng.Below(64), rng.Below(12), 1 + rng.Below(10),
+                      static_cast<uint32_t>(1 + rng.Below(8))};
+    if (a.count > 1 && a.stride == 0) a.count = 1;
+    StridedInterval b{1000 + rng.Below(64), rng.Below(12), 1 + rng.Below(10),
+                      static_cast<uint32_t>(1 + rng.Below(8))};
+    if (b.count > 1 && b.stride == 0) b.count = 1;
+    const bool brute = BruteOverlap(a, b);
+    OverlapBudget budget;
+    budget.max_steps = 1 + rng.Below(3);
+
+    for (const auto engine : {OverlapEngine::kDiophantine, OverlapEngine::kIlp}) {
+      const OverlapResult r = IntersectBounded(a, b, engine, budget);
+      if (r.verdict == OverlapVerdict::kDisjoint) {
+        EXPECT_FALSE(brute) << "budget claimed disjoint on overlapping pair";
+      } else if (r.verdict == OverlapVerdict::kOverlap) {
+        EXPECT_TRUE(brute);
+        EXPECT_TRUE(BruteOverlap({r.witness.address, 0, 1, 1}, a));
+        EXPECT_TRUE(BruteOverlap({r.witness.address, 0, 1, 1}, b));
+      } else {
+        unknowns++;
+      }
+    }
+  }
+  EXPECT_GT(unknowns, 0u) << "budget never bit - the test proves nothing";
+}
+
 TEST(OverlapProperty, EnginesAgreeOnAdversarialStrides) {
   Rng rng(505);
   for (int trial = 0; trial < 500; trial++) {

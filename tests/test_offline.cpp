@@ -3,8 +3,12 @@
 // parallel-analysis determinism.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdio>
+
 #include "common/fsutil.h"
 #include "offline/analysis.h"
+#include "offline/journal.h"
 #include "offline/racecheck.h"
 #include "offline/tracestore.h"
 #include "trace/writer.h"
@@ -359,6 +363,424 @@ TEST(Analysis, IdenticalRaceSetsOnV1AndV2Traces) {
         << "race " << r.pc1 << "/" << r.pc2 << " missing from v2 analysis";
   }
   EXPECT_EQ(r1.stats.raw_events, r2.stats.raw_events);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/resume journal, resource governor, solver bail-out.
+
+/// Five top-level regions, each with a distinct cross-thread race (the
+/// ShardUnionEqualsFullAnalysis shape) - the bucket structure the journal
+/// and governor tests need.
+void WriteFiveRegionTrace(SyntheticTrace& t, uint64_t events_per_segment = 1) {
+  std::vector<std::pair<trace::IntervalMeta, std::vector<trace::RawEvent>>> t0_segs,
+      t1_segs;
+  for (uint32_t region = 0; region < 5; region++) {
+    trace::IntervalMeta m0 = Meta(0, 2);
+    m0.region = region;
+    m0.label = osl::Label({osl::Pair{region, 1, 0}, osl::Pair{0, 2, 0}});
+    trace::IntervalMeta m1 = Meta(1, 2);
+    m1.region = region;
+    m1.label = osl::Label({osl::Pair{region, 1, 0}, osl::Pair{1, 2, 0}});
+    const uint64_t addr = 0x1000 + region * 0x100;
+    std::vector<trace::RawEvent> e0, e1;
+    for (uint64_t i = 0; i < events_per_segment; i++) {
+      e0.push_back(trace::RawEvent::Access(addr + i * 8, 8, 1, 100 + region));
+      e1.push_back(trace::RawEvent::Access(addr + i * 8, 8, 0, 200 + region));
+    }
+    t0_segs.push_back({m0, e0});
+    t1_segs.push_back({m1, e1});
+  }
+  t.WriteThread(0, t0_segs);
+  t.WriteThread(1, t1_segs);
+}
+
+/// Element-wise report equality: content AND order (the resume contract is
+/// bit-identical reports, not merely equal sets).
+void ExpectSameReports(const RaceReportSet& got, const RaceReportSet& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); i++) {
+    const RaceReport& a = got.reports()[i];
+    const RaceReport& b = want.reports()[i];
+    EXPECT_EQ(a.pc1, b.pc1) << "report " << i;
+    EXPECT_EQ(a.pc2, b.pc2) << "report " << i;
+    EXPECT_EQ(a.address, b.address) << "report " << i;
+    EXPECT_EQ(a.write1, b.write1) << "report " << i;
+    EXPECT_EQ(a.write2, b.write2) << "report " << i;
+    EXPECT_EQ(a.confidence, b.confidence) << "report " << i;
+  }
+}
+
+TEST(Journal, RoundTrip) {
+  TempDir dir("journal-test");
+  const std::string path = JournalPathFor(dir.path(), 0, 1);
+  JournalHeader header;
+  header.shard_index = 0;
+  header.shard_count = 1;
+  header.engine = 1;
+  header.solver_step_budget = 42;
+  header.thread_count = 2;
+  header.total_intervals = 10;
+  header.total_log_bytes = 1234;
+  auto writer = JournalWriter::Create(path, header);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+
+  JournalBucketRecord rec;
+  rec.ordinal = 7;
+  rec.flags = JournalBucketRecord::kMemoryCapped;
+  rec.trees_built = 3;
+  rec.tree_nodes = 99;
+  rec.solver_calls = 12;
+  rec.solver_bailouts = 2;
+  rec.tree_bytes = 4096;
+  RaceReport r1;
+  r1.pc1 = 11;
+  r1.pc2 = 22;
+  r1.address = 0x1000;
+  r1.write1 = true;
+  RaceReport r2;
+  r2.pc1 = 33;
+  r2.pc2 = 44;
+  r2.address = 0x2000;
+  r2.write1 = r2.write2 = true;
+  r2.confidence = RaceConfidence::kUnproven;
+  rec.races = {r1, r2};
+  ASSERT_TRUE(writer.value().AppendBucket(rec).ok());
+
+  auto loaded = LoadJournal(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded.value().header == header);
+  EXPECT_EQ(loaded.value().records_dropped, 0u);
+  ASSERT_EQ(loaded.value().records.size(), 1u);
+  const JournalBucketRecord& got = loaded.value().records[0];
+  EXPECT_EQ(got.ordinal, 7u);
+  EXPECT_EQ(got.flags, JournalBucketRecord::kMemoryCapped);
+  EXPECT_EQ(got.trees_built, 3u);
+  EXPECT_EQ(got.tree_nodes, 99u);
+  EXPECT_EQ(got.solver_calls, 12u);
+  EXPECT_EQ(got.solver_bailouts, 2u);
+  EXPECT_EQ(got.tree_bytes, 4096u);
+  ASSERT_EQ(got.races.size(), 2u);
+  EXPECT_EQ(got.races[0].pc1, 11u);
+  EXPECT_EQ(got.races[0].confidence, RaceConfidence::kProven);
+  EXPECT_EQ(got.races[1].pc2, 44u);
+  EXPECT_EQ(got.races[1].confidence, RaceConfidence::kUnproven);
+}
+
+TEST(Journal, TornTailDroppedAndContinueRepairs) {
+  TempDir dir("journal-torn");
+  const std::string path = dir.path() + "/t.journal";
+  auto writer = JournalWriter::Create(path, JournalHeader{});
+  ASSERT_TRUE(writer.ok());
+  JournalBucketRecord rec;
+  rec.ordinal = 0;
+  rec.tree_nodes = 5;
+  ASSERT_TRUE(writer.value().AppendBucket(rec).ok());
+  rec.ordinal = 1;
+  ASSERT_TRUE(writer.value().AppendBucket(rec).ok());
+
+  // Tear the last record: a mid-append SIGKILL leaves a short tail whose
+  // frame fails validation. Everything before it must survive.
+  const auto size = FileSize(path);
+  ASSERT_TRUE(size.ok());
+  ASSERT_TRUE(TruncateFile(path, size.value() - 1).ok());
+  auto loaded = LoadJournal(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().records.size(), 1u);
+  EXPECT_EQ(loaded.value().records[0].ordinal, 0u);
+  EXPECT_EQ(loaded.value().records_dropped, 1u);
+
+  // Continue trims the torn tail; new appends land on a clean boundary.
+  auto cont = JournalWriter::Continue(path, loaded.value().valid_bytes);
+  ASSERT_TRUE(cont.ok());
+  rec.ordinal = 2;
+  ASSERT_TRUE(cont.value().AppendBucket(rec).ok());
+  auto reloaded = LoadJournal(path);
+  ASSERT_TRUE(reloaded.ok());
+  ASSERT_EQ(reloaded.value().records.size(), 2u);
+  EXPECT_EQ(reloaded.value().records[1].ordinal, 2u);
+  EXPECT_EQ(reloaded.value().records_dropped, 0u);
+
+  // Trailing garbage (crash wrote junk) is likewise dropped, not fatal.
+  {
+    FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("XYZ", f);
+    std::fclose(f);
+  }
+  auto garbled = LoadJournal(path);
+  ASSERT_TRUE(garbled.ok());
+  EXPECT_EQ(garbled.value().records.size(), 2u);
+  EXPECT_EQ(garbled.value().records_dropped, 1u);
+}
+
+TEST(Analysis, ResumeEqualsCleanRun) {
+  SyntheticTrace t;
+  WriteFiveRegionTrace(t);
+  const AnalysisResult clean = t.Analyze();
+  ASSERT_TRUE(clean.status.ok());
+  ASSERT_EQ(clean.races.size(), 5u);
+
+  // Journal a full run, then tear its last record to simulate a SIGKILL
+  // after four of five buckets checkpointed.
+  AnalysisConfig journaled;
+  journaled.journal_path = t.dir.path() + "/resume.journal";
+  const AnalysisResult full = t.Analyze(journaled);
+  ASSERT_TRUE(full.status.ok());
+  ExpectSameReports(full.races, clean.races);
+  const auto size = FileSize(journaled.journal_path);
+  ASSERT_TRUE(size.ok());
+  ASSERT_TRUE(TruncateFile(journaled.journal_path, size.value() - 1).ok());
+
+  AnalysisConfig resume = journaled;
+  resume.resume = true;
+  const AnalysisResult resumed = t.Analyze(resume);
+  ASSERT_TRUE(resumed.status.ok()) << resumed.status.ToString();
+  ExpectSameReports(resumed.races, clean.races);
+  EXPECT_EQ(resumed.stats.buckets_resumed, 4u);
+  EXPECT_EQ(resumed.stats.journal_records_dropped, 1u);
+  // The resumed run's result-bearing stats equal the clean run's: replay
+  // and re-analysis fold through the same accounting.
+  EXPECT_EQ(resumed.stats.tree_nodes, clean.stats.tree_nodes);
+  EXPECT_EQ(resumed.stats.raw_events, clean.stats.raw_events);
+  EXPECT_EQ(resumed.stats.label_pairs_checked, clean.stats.label_pairs_checked);
+  EXPECT_EQ(resumed.stats.concurrent_pairs, clean.stats.concurrent_pairs);
+  EXPECT_EQ(resumed.stats.solver_calls, clean.stats.solver_calls);
+  EXPECT_EQ(resumed.stats.peak_tree_bytes, clean.stats.peak_tree_bytes);
+
+  // Resuming the repaired journal again replays everything.
+  const AnalysisResult all_replayed = t.Analyze(resume);
+  ASSERT_TRUE(all_replayed.status.ok());
+  ExpectSameReports(all_replayed.races, clean.races);
+  EXPECT_EQ(all_replayed.stats.buckets_resumed, 5u);
+}
+
+TEST(Analysis, ResumeComposesWithSharding) {
+  SyntheticTrace t;
+  WriteFiveRegionTrace(t);
+  for (uint32_t shard = 0; shard < 2; shard++) {
+    AnalysisConfig base;
+    base.shard_index = shard;
+    base.shard_count = 2;
+    const AnalysisResult clean = t.Analyze(base);
+    ASSERT_TRUE(clean.status.ok());
+
+    AnalysisConfig journaled = base;
+    journaled.journal_path = JournalPathFor(t.dir.path(), shard, 2);
+    ASSERT_TRUE(t.Analyze(journaled).status.ok());
+    const auto size = FileSize(journaled.journal_path);
+    ASSERT_TRUE(size.ok());
+    ASSERT_TRUE(TruncateFile(journaled.journal_path, size.value() - 1).ok());
+
+    AnalysisConfig resume = journaled;
+    resume.resume = true;
+    const AnalysisResult resumed = t.Analyze(resume);
+    ASSERT_TRUE(resumed.status.ok());
+    ExpectSameReports(resumed.races, clean.races);
+    EXPECT_GT(resumed.stats.buckets_resumed, 0u);
+  }
+}
+
+TEST(Analysis, ResumeRefusesMismatchedJournal) {
+  SyntheticTrace t;
+  WriteFiveRegionTrace(t);
+  AnalysisConfig journaled;
+  journaled.journal_path = t.dir.path() + "/mismatch.journal";
+  ASSERT_TRUE(t.Analyze(journaled).status.ok());
+
+  // Same journal, different engine: replaying it would fake the other
+  // engine's results, so resume must refuse.
+  AnalysisConfig resume = journaled;
+  resume.resume = true;
+  resume.engine = ilp::OverlapEngine::kIlp;
+  const AnalysisResult result = t.Analyze(resume);
+  EXPECT_FALSE(result.status.ok());
+
+  // Different shard key is refused too.
+  AnalysisConfig wrong_shard = journaled;
+  wrong_shard.resume = true;
+  wrong_shard.shard_index = 1;
+  wrong_shard.shard_count = 2;
+  EXPECT_FALSE(t.Analyze(wrong_shard).status.ok());
+}
+
+TEST(Analysis, MemoryCapAbandonsBucketHonestly) {
+  SyntheticTrace t;
+  WriteFiveRegionTrace(t, /*events_per_segment=*/8);
+  AnalysisConfig config;
+  config.max_tree_bytes = 1;  // every bucket's trees exceed one byte
+  const AnalysisResult result = t.Analyze(config);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.races.size(), 0u);  // no compare on half-built trees
+  EXPECT_EQ(result.stats.buckets_memory_capped, 5u);
+  EXPECT_GT(result.stats.peak_tree_bytes, 0u);
+
+  // A generous cap changes nothing.
+  AnalysisConfig roomy;
+  roomy.max_tree_bytes = 64ull * 1024 * 1024;
+  const AnalysisResult ok = t.Analyze(roomy);
+  ASSERT_TRUE(ok.status.ok());
+  EXPECT_EQ(ok.races.size(), 5u);
+  EXPECT_EQ(ok.stats.buckets_memory_capped, 0u);
+}
+
+TEST(Analysis, DeadlineWatchdogAbortsOnlyThatBucket) {
+  SyntheticTrace t;
+  // Region 0: three heavyweight groups (200k events each) whose build alone
+  // takes far longer than the deadline. Region 1: a two-event race that
+  // finishes far inside it.
+  std::vector<std::pair<trace::IntervalMeta, std::vector<trace::RawEvent>>> segs[3];
+  for (uint32_t tid = 0; tid < 3; tid++) {
+    trace::IntervalMeta heavy = Meta(tid, 3);
+    heavy.label = osl::Label({osl::Pair{0, 1, 0}, osl::Pair{tid, 3, 0}});
+    std::vector<trace::RawEvent> events;
+    events.reserve(200000);
+    for (uint64_t i = 0; i < 200000; i++) {
+      events.push_back(trace::RawEvent::Access(0x10000 + i * 8, 8, 1, 10 + tid));
+    }
+    segs[tid].push_back({heavy, events});
+  }
+  for (uint32_t tid = 0; tid < 2; tid++) {
+    trace::IntervalMeta light = Meta(tid, 3);
+    light.region = 1;
+    light.label = osl::Label({osl::Pair{1, 1, 0}, osl::Pair{tid, 3, 0}});
+    segs[tid].push_back(
+        {light, {trace::RawEvent::Access(0x9000, 8, 1, 50 + tid)}});
+  }
+  for (uint32_t tid = 0; tid < 3; tid++) t.WriteThread(tid, segs[tid]);
+
+  AnalysisConfig config;
+  // Sanitizer builds run the light bucket an order of magnitude slower;
+  // widen the deadline there so only the heavy bucket can breach it.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  config.bucket_deadline_ms = 200;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+  config.bucket_deadline_ms = 200;
+#else
+  config.bucket_deadline_ms = 10;
+#endif
+#else
+  config.bucket_deadline_ms = 10;
+#endif
+  const AnalysisResult result = t.Analyze(config);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.stats.buckets_deadline_exceeded, 1u);
+  // The light bucket's race survives: the governor aborted ONLY the
+  // runaway bucket.
+  EXPECT_TRUE(result.races.Contains(50, 51));
+}
+
+TEST(Analysis, SolverBudgetYieldsUnprovenNeverDropped) {
+  SyntheticTrace t;
+  // Interleaved strides (no true overlap) plus one genuine collision - the
+  // shape where an exhausted solver must say "unproven", not "no race".
+  std::vector<trace::RawEvent> e0, e1;
+  for (uint64_t i = 0; i < 40; i++) {
+    e0.push_back(trace::RawEvent::Access(0x1000 + i * 16, 8, 1, 11));
+    e1.push_back(trace::RawEvent::Access(0x1008 + i * 16, 8, 1, 22));
+  }
+  e1.push_back(trace::RawEvent::Access(0x1000, 4, 0, 33));
+  t.WriteThread(0, {{Meta(0, 2), e0}});
+  t.WriteThread(1, {{Meta(1, 2), e1}});
+
+  const AnalysisResult unlimited = t.Analyze();
+  ASSERT_TRUE(unlimited.status.ok());
+  EXPECT_EQ(unlimited.stats.races_unproven, 0u);
+
+  AnalysisConfig starved;
+  starved.solver_step_budget = 1;
+  const AnalysisResult budgeted = t.Analyze(starved);
+  ASSERT_TRUE(budgeted.status.ok());
+  EXPECT_GT(budgeted.stats.solver_bailouts, 0u);
+  EXPECT_GT(budgeted.stats.races_unproven, 0u);
+  // Soundness: every race the exact run proves is still reported (possibly
+  // as unproven) by the starved run - bail-out may over-report, never drop.
+  for (const RaceReport& r : unlimited.races.reports()) {
+    EXPECT_TRUE(budgeted.races.Contains(r.pc1, r.pc2))
+        << "race " << r.pc1 << "/" << r.pc2 << " dropped under budget";
+  }
+}
+
+TEST(Analysis, PeakTreeBytesNamesTheBucket) {
+  SyntheticTrace t;
+  std::vector<std::pair<trace::IntervalMeta, std::vector<trace::RawEvent>>> segs;
+  for (uint32_t region = 0; region < 4; region++) {
+    trace::IntervalMeta m = Meta(0, 2);
+    m.region = region;
+    m.label = osl::Label({osl::Pair{region, 1, 0}, osl::Pair{0, 2, 0}});
+    std::vector<trace::RawEvent> events;
+    const uint64_t count = region == 2 ? 512 : 1;  // region 2 dominates
+    for (uint64_t i = 0; i < count; i++) {
+      // Distinct pcs defeat strided summarization, so region 2's tree
+      // really holds ~512 nodes instead of one coalesced interval.
+      events.push_back(trace::RawEvent::Access(
+          0x1000 + i * 64, 8, 1, static_cast<uint32_t>(11 + i)));
+    }
+    segs.push_back({m, events});
+  }
+  t.WriteThread(0, segs);
+  const AnalysisResult result = t.Analyze();
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_GT(result.stats.peak_tree_bytes, 0u);
+  EXPECT_EQ(result.stats.peak_tree_bucket, 2u);
+}
+
+TEST(CheckTreePair, SolverBudgetReportsUnprovenOnTrees) {
+  // Fig. 4 interleaved strides: truly disjoint, but proving it needs more
+  // than one solver step - a one-step budget must yield an UNPROVEN report.
+  IntervalTree a, b;
+  a.AddInterval({10, 8, 5, 4}, Key(1, itree::kWrite, 4));
+  b.AddInterval({14, 8, 5, 4}, Key(2, itree::kWrite, 4));
+  MutexSetTable mutexes;
+  RaceReportSet races;
+  CheckStats stats;
+  CheckLimits limits;
+  limits.solver_step_budget = 1;
+  CheckTreePair(a, b, mutexes, ilp::OverlapEngine::kDiophantine,
+                [&](const RaceReport& r) { races.Add(r); }, &stats, limits);
+  EXPECT_EQ(stats.solver_bailouts, 1u);
+  ASSERT_EQ(races.size(), 1u);
+  EXPECT_EQ(races.reports()[0].confidence, RaceConfidence::kUnproven);
+}
+
+TEST(CheckTreePair, CancelFlagStopsComparison) {
+  IntervalTree a, b;
+  for (uint64_t i = 0; i < 32; i++) {
+    a.AddInterval({i * 64, 8, 4, 8}, Key(1, itree::kWrite));
+    b.AddInterval({i * 64, 8, 4, 8}, Key(2, itree::kWrite));
+  }
+  MutexSetTable mutexes;
+  RaceReportSet races;
+  CheckStats stats;
+  std::atomic<bool> cancel{true};  // pre-breached watchdog
+  CheckLimits limits;
+  limits.cancel = &cancel;
+  CheckTreePair(a, b, mutexes, ilp::OverlapEngine::kDiophantine,
+                [&](const RaceReport& r) { races.Add(r); }, &stats, limits);
+  EXPECT_EQ(races.size(), 0u);
+  EXPECT_EQ(stats.node_pairs_ranged, 0u);
+}
+
+TEST(RaceReportSetTest, ProvenUpgradesUnprovenInPlace) {
+  RaceReportSet set;
+  RaceReport unproven;
+  unproven.pc1 = 1;
+  unproven.pc2 = 2;
+  unproven.confidence = RaceConfidence::kUnproven;
+  EXPECT_EQ(set.AddReport(unproven), RaceReportSet::AddOutcome::kNew);
+
+  RaceReport proven = unproven;
+  proven.confidence = RaceConfidence::kProven;
+  proven.address = 0x1234;
+  EXPECT_EQ(set.AddReport(proven), RaceReportSet::AddOutcome::kUpgraded);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.reports()[0].confidence, RaceConfidence::kProven);
+  EXPECT_EQ(set.reports()[0].address, 0x1234u);
+  EXPECT_EQ(set.unproven_count(), 0u);
+
+  // Once proven, a later unproven sighting is a duplicate, not a downgrade.
+  EXPECT_EQ(set.AddReport(unproven), RaceReportSet::AddOutcome::kDuplicate);
+  EXPECT_EQ(set.reports()[0].confidence, RaceConfidence::kProven);
 }
 
 TEST(TraceStoreTest, OpenDirFindsAllThreads) {

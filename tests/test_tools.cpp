@@ -97,11 +97,53 @@ TEST_F(ToolsTest, DumpToolPrintsTableIColumns) {
 }
 
 TEST_F(ToolsTest, OfflineToolRejectsBadInput) {
+  // Exit-code contract: 4 = I/O/analysis failure, 1 = usage error.
   const auto [rc, out] = RunCommand(ToolPath("sword-offline") + " /nonexistent-dir");
-  EXPECT_EQ(rc, 1) << out;
+  EXPECT_EQ(rc, 4) << out;
   const auto [rc2, out2] =
       RunCommand(ToolPath("sword-offline") + " " + dir_.path() + " --bogus-flag");
   EXPECT_EQ(rc2, 1) << out2;
+}
+
+TEST_F(ToolsTest, OfflineToolValidatesFlagCombinations) {
+  // Misconfigurations die with a usage error (1) before touching the trace.
+  const auto [rc, out] = RunCommand(ToolPath("sword-offline") + " " + dir_.path() +
+                                    " --shard 2 --shards 2");
+  EXPECT_EQ(rc, 1) << out;
+  EXPECT_NE(out.find("--shard must be in [0, --shards)"), std::string::npos) << out;
+
+  const auto [rc2, out2] =
+      RunCommand(ToolPath("sword-offline") + " " + dir_.path() + " --threads 0");
+  EXPECT_EQ(rc2, 1) << out2;
+  EXPECT_NE(out2.find("--threads must be >= 1"), std::string::npos) << out2;
+
+  const auto [rc3, out3] =
+      RunCommand(ToolPath("sword-offline") + " " + dir_.path() + " --engine qp");
+  EXPECT_EQ(rc3, 1) << out3;
+
+  // --resume with no journal on disk is an I/O failure (4), not usage: the
+  // flags are fine, the state is missing.
+  const auto [rc4, out4] =
+      RunCommand(ToolPath("sword-offline") + " " + dir_.path() + " --resume");
+  EXPECT_EQ(rc4, 4) << out4;
+  EXPECT_NE(out4.find("no journal"), std::string::npos) << out4;
+}
+
+TEST_F(ToolsTest, OfflineToolJournalAndResumeMatchCleanRun) {
+  const std::string base = ToolPath("sword-offline") + " " + dir_.path();
+  const auto [rc_clean, out_clean] = RunCommand(base);
+  EXPECT_EQ(rc_clean, 2) << out_clean;
+
+  // Journal a run, then resume it: every bucket replays, and the report is
+  // byte-identical to the clean run (the journal adds nothing to stdout).
+  const auto [rc_j, out_j] = RunCommand(base + " --journal");
+  EXPECT_EQ(rc_j, 2) << out_j;
+  EXPECT_EQ(out_j, out_clean);
+  EXPECT_TRUE(FileExists(dir_.path() + "/sword_analysis_0of1.journal"));
+
+  const auto [rc_r, out_r] = RunCommand(base + " --resume");
+  EXPECT_EQ(rc_r, 2) << out_r;
+  EXPECT_EQ(out_r, out_clean);
 }
 
 TEST_F(ToolsTest, RunToolListsAndRuns) {
