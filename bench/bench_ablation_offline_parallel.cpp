@@ -1,41 +1,81 @@
-// Offline-analysis parallelization ablation (paper SIV-C / Table V
-// discussion + SVI future work).
+// Offline-analysis parallelization + hot-path ablation (paper SIV-C /
+// Table V discussion + SVI future work).
 //
 // The paper distributes tree COMPARISONS across cores but notes that "the
 // tree generation cannot be efficiently parallelized since it would require
 // the use of locks", and lists faster parallel offline algorithms as future
-// work. This reproduction parallelizes BOTH phases lock-free (per-group
-// trees; thread-safe mutex-set table) - this bench sweeps the analysis
-// thread count on a region-heavy trace and checks that (1) the race set is
-// invariant and (2) the slowest-single-bucket time (the distributed MT
-// latency bound) is much smaller than the single-node total.
+// work. This reproduction parallelizes BOTH phases lock-free on a
+// persistent work-stealing checker pool, and adds two independently
+// ablatable hot-path optimizations (frozen-set sweep enumeration and
+// closed-form overlap fast paths). The bench checks that
+//   1. the race set is invariant under thread count AND under every
+//      sweep/fastpath ablation (byte-identical reports);
+//   2. the slowest-single-bucket time (the distributed MT latency bound)
+//      is much smaller than the single-node total;
+//   3. the default configuration is not slower than the fully-ablated one.
+//
+// Flags: --quick (smaller sizes for CI), --json FILE (metrics for the
+// perf-smoke regression gate).
+#include <fstream>
+#include <tuple>
+#include <vector>
+
 #include "bench/bench_util.h"
+#include "common/args.h"
 #include "common/fsutil.h"
 #include "offline/tracestore.h"
 
 using namespace sword;
 using namespace sword::bench;
 
-int main() {
-  Banner("offline-analysis parallelization (paper SVI future work)",
-         "race set invariant under analysis parallelism; per-region max "
-         "(MT) << single-node total (OA)");
+namespace {
 
-  // A region-heavy workload (the LULESH shape) and an interval-heavy one.
+using ReportTuple = std::tuple<uint32_t, uint32_t, uint64_t, uint8_t, uint8_t,
+                               bool, bool, uint8_t>;
+
+std::vector<ReportTuple> Tuples(const std::vector<RaceReport>& rs) {
+  std::vector<ReportTuple> out;
+  out.reserve(rs.size());
+  for (const RaceReport& r : rs) {
+    out.push_back({r.pc1, r.pc2, r.address, r.size1, r.size2, r.write1,
+                   r.write2, static_cast<uint8_t>(r.confidence)});
+  }
+  return out;
+}
+
+double PairsPerSec(const offline::AnalysisStats& s) {
+  return static_cast<double>(s.node_pairs_ranged) /
+         std::max(s.freeze_seconds + s.compare_seconds, 1e-9);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const bool quick = args.GetBool("quick");
+  const std::string json_path = args.GetString("json", "");
+
+  Banner("offline-analysis parallelization + hot-path ablation",
+         "race set invariant under parallelism and sweep/fastpath ablations; "
+         "per-region max (MT) << single-node total (OA)");
+
   struct Case {
     const char* suite;
     const char* name;
     uint64_t size;
   };
-  const Case cases[] = {{"hpc", "LULESH", 40}, {"ompscr", "c_lu", 64}};
+  const Case cases[] = {{"hpc", "LULESH", quick ? 24u : 40u},
+                        {"ompscr", "c_lu", quick ? 32u : 64u}};
 
   bool invariant = true;
   bool mt_much_smaller = true;
+  bool default_not_slower = true;
+  double default_pps = 0, ablated_pps = 0;
 
   for (const Case& c : cases) {
     const auto& w = Find(c.suite, c.name);
 
-    // Collect the trace ONCE; re-analyze with different thread counts.
+    // Collect the trace ONCE; re-analyze under every configuration.
     TempDir dir("offpar");
     harness::RunConfig collect;
     collect.tool = harness::ToolKind::kSword;
@@ -52,9 +92,11 @@ int main() {
       return 1;
     }
 
+    // --- Thread sweep under the default configuration.
     TextTable table({std::string(c.name) + " analysis threads", "OA total",
-                     "build", "compare", "MT (slowest region)", "races"});
-    uint64_t first_races = ~0ull;
+                     "build", "freeze+compare", "MT (slowest region)", "races"});
+    std::vector<ReportTuple> reference;
+    bool have_reference = false;
     for (uint32_t threads : {1u, 2u, 4u, 8u}) {
       offline::AnalysisConfig config;
       config.threads = threads;
@@ -62,11 +104,16 @@ int main() {
       table.AddRow({std::to_string(threads),
                     FormatSeconds(result.stats.total_seconds),
                     FormatSeconds(result.stats.build_seconds),
-                    FormatSeconds(result.stats.compare_seconds),
+                    FormatSeconds(result.stats.freeze_seconds +
+                                  result.stats.compare_seconds),
                     FormatSeconds(result.stats.max_bucket_seconds),
                     std::to_string(result.races.size())});
-      if (first_races == ~0ull) first_races = result.races.size();
-      if (result.races.size() != first_races) invariant = false;
+      if (!have_reference) {
+        reference = Tuples(result.races.reports());
+        have_reference = true;
+      } else if (Tuples(result.races.reports()) != reference) {
+        invariant = false;
+      }
       if (result.stats.buckets > 4 &&
           result.stats.max_bucket_seconds > result.stats.total_seconds / 2) {
         mt_much_smaller = false;
@@ -74,11 +121,62 @@ int main() {
     }
     table.Print();
     std::printf("\n");
+
+    // --- Sweep/fastpath ablation grid at a fixed thread count: identical
+    // reports, and the optimized path pays off.
+    TextTable ablation({std::string(c.name) + " configuration", "freeze+compare",
+                        "pairs/s", "fastpath hits", "solver calls", "races"});
+    const struct {
+      const char* label;
+      bool use_sweep, use_fastpath;
+    } configs[] = {
+        {"default (sweep+fastpath)", true, true},
+        {"--no-sweep", false, true},
+        {"--no-fastpath", true, false},
+        {"--no-sweep --no-fastpath", false, false},
+    };
+    for (const auto& cfg : configs) {
+      offline::AnalysisConfig config;
+      config.threads = 4;
+      config.use_sweep = cfg.use_sweep;
+      config.use_fastpath = cfg.use_fastpath;
+      const auto result = offline::Analyze(store.value(), config);
+      const double pps = PairsPerSec(result.stats);
+      ablation.AddRow(
+          {cfg.label,
+           FormatSeconds(result.stats.freeze_seconds +
+                         result.stats.compare_seconds),
+           std::to_string(static_cast<uint64_t>(pps)),
+           std::to_string(result.stats.fastpath_hits),
+           std::to_string(result.stats.solver_calls),
+           std::to_string(result.races.size())});
+      if (Tuples(result.races.reports()) != reference) invariant = false;
+      if (cfg.use_sweep && cfg.use_fastpath) default_pps += pps;
+      if (!cfg.use_sweep && !cfg.use_fastpath) ablated_pps += pps;
+    }
+    ablation.Print();
+    std::printf("\n");
   }
 
-  Check(invariant, "race set invariant under analysis thread count");
+  if (default_pps < ablated_pps) default_not_slower = false;
+
+  Check(invariant,
+        "race reports byte-identical under thread count and every "
+        "sweep/fastpath ablation");
   Check(mt_much_smaller,
         "slowest single region (MT) well below single-node total (OA) - the "
         "distributed-analysis headroom of Table V");
-  return 0;
+  Check(default_not_slower,
+        "frozen sweep + fast paths not slower than the ablated path (" +
+            FmtX(default_pps / std::max(ablated_pps, 1e-9), 2) + ")");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\"bench\":\"ablation_offline_parallel\",\"quick\":"
+        << (quick ? "true" : "false")
+        << ",\"default_pairs_per_sec\":" << default_pps
+        << ",\"ablated_pairs_per_sec\":" << ablated_pps << ",\"invariant\":"
+        << (invariant ? "true" : "false") << "}\n";
+  }
+  return invariant && default_not_slower ? 0 : 1;
 }

@@ -54,6 +54,14 @@ std::optional<DioSolution> SolveBoundedDiophantine(int64_t A, int64_t B, int64_t
                                                    int64_t lo_x, int64_t hi_x,
                                                    int64_t lo_y, int64_t hi_y,
                                                    DioStats* stats) {
+  const ExtGcdResult e = (A != 0 && B != 0) ? ExtGcd(A, B) : ExtGcdResult{0, 0, 0};
+  return SolveBoundedDiophantineHoisted(A, B, C, e, lo_x, hi_x, lo_y, hi_y,
+                                        stats);
+}
+
+std::optional<DioSolution> SolveBoundedDiophantineHoisted(
+    int64_t A, int64_t B, int64_t C, const ExtGcdResult& e, int64_t lo_x,
+    int64_t hi_x, int64_t lo_y, int64_t hi_y, DioStats* stats) {
   if (stats) stats->steps++;
   if (lo_x > hi_x || lo_y > hi_y) return std::nullopt;
 
@@ -75,7 +83,6 @@ std::optional<DioSolution> SolveBoundedDiophantine(int64_t A, int64_t B, int64_t
     return DioSolution{x, lo_y};
   }
 
-  const ExtGcdResult e = ExtGcd(A, B);
   if (stats) stats->steps++;  // the gcd + particular-solution stage
   if (C % e.g != 0) return std::nullopt;
 

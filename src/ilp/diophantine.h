@@ -47,4 +47,13 @@ std::optional<DioSolution> SolveBoundedDiophantine(int64_t A, int64_t B, int64_t
                                                    int64_t lo_y, int64_t hi_y,
                                                    DioStats* stats = nullptr);
 
+/// Same contract, same solution selection, and same step accounting as
+/// SolveBoundedDiophantine, but with ExtGcd(A, B) precomputed by the caller.
+/// The closed-form overlap fast paths (ilp/overlap.h) solve a family of
+/// equations that differ only in C, so they hoist the gcd out of the loop.
+/// `e` is only read when A != 0 and B != 0; the degenerate axes never need it.
+std::optional<DioSolution> SolveBoundedDiophantineHoisted(
+    int64_t A, int64_t B, int64_t C, const ExtGcdResult& e, int64_t lo_x,
+    int64_t hi_x, int64_t lo_y, int64_t hi_y, DioStats* stats = nullptr);
+
 }  // namespace sword::ilp

@@ -133,6 +133,91 @@ OverlapResult IntersectBounded(const StridedInterval& a, const StridedInterval& 
   return IntersectDiophantine(a, b, budget);
 }
 
+OverlapResult IntersectBounded(const StridedInterval& a, const StridedInterval& b,
+                               const OverlapOptions& options) {
+  if (!RangesTouch(a, b)) return {};  // kDisjoint, exact and free
+  if (options.allow_fastpath) {
+    if (const auto fast = IntersectClosedForm(a, b)) return *fast;
+  }
+  if (options.engine == OverlapEngine::kIlp) return IntersectIlp(a, b, options.budget);
+  return IntersectDiophantine(a, b, options.budget);
+}
+
+std::optional<OverlapResult> IntersectClosedForm(const StridedInterval& a,
+                                                 const StridedInterval& b) {
+  const bool a_dense = a.count == 1 || a.stride <= a.size;
+  const bool b_dense = b.count == 1 || b.stride <= b.size;
+
+  if (a_dense && b_dense) {
+    // Dense x dense (covers singleton x singleton): the intervals equal
+    // their byte ranges, so the range check is the whole decision. Same
+    // code as the kDiophantine dense branch, including witness selection.
+    OverlapResult result;
+    result.via_fastpath = true;
+    result.steps = 1;
+    if (!RangesTouch(a, b)) return result;  // kDisjoint
+    const uint64_t addr = std::max(a.lo(), b.lo());
+    auto index_of = [](const StridedInterval& iv, uint64_t ad) -> uint64_t {
+      if (iv.count == 1 || iv.stride == 0) return 0;
+      uint64_t x = (ad - iv.base) / iv.stride;
+      if (x >= iv.count) x = iv.count - 1;
+      return x;
+    };
+    result.verdict = OverlapVerdict::kOverlap;
+    result.witness = OverlapWitness{index_of(a, addr), index_of(b, addr), addr};
+    return result;
+  }
+
+  // Congruence walk, covering dense x sparse and equal-stride sparse pairs.
+  // The general engine tries every byte-offset difference d in the window
+  // (-z0, z1) and lets the solver reject the ones where base_diff + d is not
+  // divisible by g = gcd(stride_a, stride_b); here we enumerate only the
+  // divisible d (stepping by g) with the gcd hoisted, so an equal-stride-8
+  // pair solves at most 2 equations instead of 15. Candidate order is the
+  // engine's order restricted to solvable d, and each candidate runs the
+  // identical solver, so the first hit - and therefore the witness - matches
+  // the engine exactly.
+  if (!(a_dense != b_dense || a.stride == b.stride)) {
+    return std::nullopt;  // sparse x sparse, unequal strides: general engine
+  }
+
+  OverlapResult result;
+  result.via_fastpath = true;
+  const int64_t A = static_cast<int64_t>(a.stride);
+  const int64_t B = static_cast<int64_t>(b.stride);
+  const int64_t base_diff =
+      static_cast<int64_t>(b.base) - static_cast<int64_t>(a.base);
+  const int64_t z0 = a.size, z1 = b.size;
+  const int64_t d_min = -(z0 - 1), d_max = z1 - 1;
+
+  // The sparse side of the gate has stride > size >= 1, so A and B are never
+  // both zero and g > 0. The degenerate one-zero-stride cases reduce to
+  // divisibility by the non-zero stride, matching the solver's A==0 / B==0
+  // branches.
+  const ExtGcdResult e =
+      (A != 0 && B != 0) ? ExtGcd(A, -B) : ExtGcdResult{0, 0, 0};
+  const int64_t g = A == 0 ? std::abs(B) : (B == 0 ? std::abs(A) : e.g);
+
+  // Smallest d >= d_min with (base_diff + d) divisible by g.
+  const int64_t rem = ((base_diff + d_min) % g + g) % g;
+  for (int64_t d = d_min + (rem == 0 ? 0 : g - rem); d <= d_max; d += g) {
+    result.steps++;
+    const auto sol = SolveBoundedDiophantineHoisted(
+        A, -B, base_diff + d, e, 0, static_cast<int64_t>(a.count) - 1, 0,
+        static_cast<int64_t>(b.count) - 1);
+    if (sol) {
+      const int64_t s0 = std::max<int64_t>(0, -d);
+      const uint64_t addr = a.base + a.stride * static_cast<uint64_t>(sol->x) +
+                            static_cast<uint64_t>(s0);
+      result.verdict = OverlapVerdict::kOverlap;
+      result.witness = OverlapWitness{static_cast<uint64_t>(sol->x),
+                                      static_cast<uint64_t>(sol->y), addr};
+      return result;
+    }
+  }
+  return result;  // every solvable offset ruled out: kDisjoint
+}
+
 std::optional<OverlapWitness> Intersect(const StridedInterval& a,
                                         const StridedInterval& b,
                                         OverlapEngine engine) {

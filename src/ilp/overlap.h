@@ -64,12 +64,46 @@ struct OverlapResult {
   OverlapVerdict verdict = OverlapVerdict::kDisjoint;
   OverlapWitness witness;  // valid iff verdict == kOverlap
   uint64_t steps = 0;      // solver work actually spent
+  bool via_fastpath = false;  // decided by a closed-form fast path, no engine
 };
 
 /// Budgeted form of Intersect: decides whether the two intervals share any
-/// byte address within `budget.max_steps` of solver work.
+/// byte address within `budget.max_steps` of solver work. This legacy
+/// overload never takes a closed-form fast path - it is the pure-engine
+/// baseline that budget tests and the fast-path property tests compare
+/// against.
 OverlapResult IntersectBounded(const StridedInterval& a, const StridedInterval& b,
                                OverlapEngine engine, const OverlapBudget& budget);
+
+/// Knobs for the options overload of IntersectBounded.
+struct OverlapOptions {
+  OverlapEngine engine = OverlapEngine::kDiophantine;
+  OverlapBudget budget;
+  /// Try IntersectClosedForm before the general engine. The fast paths are
+  /// exact and budget-free; uncovered shapes fall through to `engine` under
+  /// `budget` as before.
+  bool allow_fastpath = true;
+};
+
+/// IntersectBounded with an optional closed-form fast-path stage in front of
+/// the general engine. With allow_fastpath == false this is exactly the
+/// legacy overload.
+OverlapResult IntersectBounded(const StridedInterval& a, const StridedInterval& b,
+                               const OverlapOptions& options);
+
+/// Closed-form fast paths for the access shapes that dominate real traces:
+///   - singleton x singleton and dense x dense (stride <= size: the interval
+///     covers its whole [lo,hi] range, so a range check is exact),
+///   - dense x anything and equal-stride sparse x sparse (a congruence walk
+///     that solves only the byte-offset differences divisible by the stride
+///     gcd, with the gcd hoisted out of the loop).
+/// Returns nullopt for shapes it does not cover (sparse x sparse with
+/// unequal strides) - the caller falls back to the general engine. When it
+/// does answer, the verdict AND the witness are identical to what the
+/// kDiophantine engine would produce for the same pair (property-tested);
+/// kUnknown is never returned.
+std::optional<OverlapResult> IntersectClosedForm(const StridedInterval& a,
+                                                 const StridedInterval& b);
 
 /// Decides whether the two intervals share any byte address; if so, returns
 /// a witness. Exact for all inputs (unlimited budget).

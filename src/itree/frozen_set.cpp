@@ -1,0 +1,110 @@
+#include "itree/frozen_set.h"
+
+#include <algorithm>
+
+namespace sword::itree {
+
+FrozenIntervalSet::FrozenIntervalSet(const IntervalTree& tree) {
+  const size_t n = tree.NodeCount();
+  lo_.reserve(n);
+  hi_.reserve(n);
+  nodes_.reserve(n);
+  // ForEach is the tree's in-order walk: ascending lo, insertion-stable on
+  // ties. The columns come out sorted for free - no sort pass needed.
+  tree.ForEach([this](const AccessNode& node) {
+    lo_.push_back(node.interval.lo());
+    hi_.push_back(node.interval.hi());
+    nodes_.push_back(node);
+  });
+  max_hi_.resize(nodes_.size());
+  if (!nodes_.empty()) BuildMaxHi(0, nodes_.size());
+}
+
+uint64_t FrozenIntervalSet::BuildMaxHi(size_t l, size_t r) {
+  if (l >= r) return 0;
+  const size_t mid = l + (r - l) / 2;
+  uint64_t m = hi_[mid];
+  if (l < mid) m = std::max(m, BuildMaxHi(l, mid));
+  if (mid + 1 < r) m = std::max(m, BuildMaxHi(mid + 1, r));
+  max_hi_[mid] = m;
+  return m;
+}
+
+bool FrozenIntervalSet::QueryRange(uint64_t query_lo, uint64_t query_hi,
+                                   FunctionRef<bool(uint32_t)> fn) const {
+  if (nodes_.empty()) return true;
+  return QueryRecurse(0, nodes_.size(), query_lo, query_hi, fn);
+}
+
+bool FrozenIntervalSet::QueryRecurse(size_t l, size_t r, uint64_t query_lo,
+                                     uint64_t query_hi,
+                                     FunctionRef<bool(uint32_t)>& fn) const {
+  if (l >= r) return true;
+  const size_t mid = l + (r - l) / 2;
+  // Same pruning rule as the pointer tree: if nothing in this subtree ends
+  // at or after query_lo, no interval here can touch the query.
+  if (max_hi_[mid] < query_lo) return true;
+  if (!QueryRecurse(l, mid, query_lo, query_hi, fn)) return false;
+  if (lo_[mid] <= query_hi) {
+    if (hi_[mid] >= query_lo) {
+      if (!fn(static_cast<uint32_t>(mid))) return false;
+    }
+    return QueryRecurse(mid + 1, r, query_lo, query_hi, fn);
+  }
+  // mid starts past the query; everything to its right starts even later.
+  return true;
+}
+
+uint64_t FrozenIntervalSet::MemoryBytes() const {
+  return static_cast<uint64_t>(lo_.capacity() * sizeof(uint64_t) +
+                               hi_.capacity() * sizeof(uint64_t) +
+                               max_hi_.capacity() * sizeof(uint64_t) +
+                               nodes_.capacity() * sizeof(AccessNode));
+}
+
+bool SweepMatchingPairs(const FrozenIntervalSet& a, const FrozenIntervalSet& b,
+                        FunctionRef<bool(uint32_t, uint32_t)> fn) {
+  const size_t na = a.size();
+  const size_t nb = b.size();
+  size_t i = 0;
+  size_t j = 0;
+  // Indices whose interval started already and may still touch a later start
+  // on the other side. Entries are expired lazily (hi < current start) the
+  // next time the list is scanned; each entry is appended once and removed
+  // once, and every scan of a surviving entry emits a pair, so the whole
+  // sweep is O(na + nb + matches).
+  std::vector<uint32_t> active_a;
+  std::vector<uint32_t> active_b;
+  while (i < na || j < nb) {
+    if (i >= na && active_a.empty()) break;  // nothing left for b to match
+    if (j >= nb && active_b.empty()) break;  // nothing left for a to match
+    // Tie-break lo(a) == lo(b) toward a: b's turn then finds a in its active
+    // list (hi >= lo always), so the pair is still emitted exactly once.
+    if (j >= nb || (i < na && a.lo(i) <= b.lo(j))) {
+      const uint64_t start = a.lo(i);
+      size_t keep = 0;
+      for (const uint32_t bi : active_b) {
+        if (b.hi(bi) < start) continue;  // expired: can never match again
+        active_b[keep++] = bi;
+        if (!fn(static_cast<uint32_t>(i), bi)) return false;
+      }
+      active_b.resize(keep);
+      active_a.push_back(static_cast<uint32_t>(i));
+      ++i;
+    } else {
+      const uint64_t start = b.lo(j);
+      size_t keep = 0;
+      for (const uint32_t ai : active_a) {
+        if (a.hi(ai) < start) continue;
+        active_a[keep++] = ai;
+        if (!fn(ai, static_cast<uint32_t>(j))) return false;
+      }
+      active_a.resize(keep);
+      active_b.push_back(static_cast<uint32_t>(j));
+      ++j;
+    }
+  }
+  return true;
+}
+
+}  // namespace sword::itree

@@ -1,0 +1,84 @@
+// Frozen flat interval sets: the immutable, cache-resident comparison form
+// of a summarized interval tree.
+//
+// Construction and comparison have opposite access patterns. Building wants
+// O(log N) insertion with stable handles, which the red-black IntervalTree
+// provides; comparison wants sequential scans over sorted data, which a
+// pointer-linked tree cannot. So once a (thread, label) tree is fully built,
+// the analyzer freezes it: one in-order walk copies the nodes into sorted
+// flat arrays (structure-of-arrays: a `lo` column, a `hi` column, and the
+// payload column), and every subsequent tree-vs-tree comparison runs on the
+// frozen form only. The RB-tree is never touched again.
+//
+// Two enumeration primitives cover the comparison shapes:
+//   - SweepMatchingPairs: a sort-merge sweep over two frozen sets that
+//     visits every range-touching pair in O(M + M' + matches) with purely
+//     sequential memory access - the analyzer's default.
+//   - QueryRange: an implicit-balanced-BST search over the sorted arrays
+//     (midpoint recursion + a subtree-max-hi column), O(log M + answer) per
+//     query - the fallback when one set is much smaller than the other, so
+//     the small side can gallop through the big one instead of paying a
+//     full linear merge.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/function_ref.h"
+#include "itree/interval_tree.h"
+
+namespace sword::itree {
+
+class FrozenIntervalSet {
+ public:
+  FrozenIntervalSet() = default;
+
+  /// Freezes `tree`: one in-order walk, O(M) time and memory. The frozen set
+  /// is an independent copy - the tree may be discarded afterwards.
+  explicit FrozenIntervalSet(const IntervalTree& tree);
+
+  size_t size() const { return nodes_.size(); }
+  bool Empty() const { return nodes_.empty(); }
+
+  /// Nodes are indexed in ascending `lo` order (ties keep the tree's stable
+  /// in-order position).
+  const AccessNode& node(size_t i) const { return nodes_[i]; }
+  uint64_t lo(size_t i) const { return lo_[i]; }
+  uint64_t hi(size_t i) const { return hi_[i]; }
+
+  /// Calls `fn(index)` for every node whose byte range [lo,hi] touches
+  /// [query_lo, query_hi], in ascending index (= lo) order. Stops early and
+  /// returns false if fn returns false. O(log M + answer) via the implicit
+  /// balanced-BST layout: node = midpoint of its index range, augmented with
+  /// the subtree max-hi, exactly the IntervalTree's pruning rule but over
+  /// flat arrays instead of pointer-linked nodes.
+  bool QueryRange(uint64_t query_lo, uint64_t query_hi,
+                  FunctionRef<bool(uint32_t)> fn) const;
+
+  /// Heap footprint of the frozen columns.
+  uint64_t MemoryBytes() const;
+
+ private:
+  bool QueryRecurse(size_t l, size_t r, uint64_t query_lo, uint64_t query_hi,
+                    FunctionRef<bool(uint32_t)>& fn) const;
+  uint64_t BuildMaxHi(size_t l, size_t r);
+
+  // SoA columns, all sorted by lo. max_hi_[mid(l,r)] = max hi over [l,r),
+  // the augmentation of the implicit midpoint BST.
+  std::vector<uint64_t> lo_;
+  std::vector<uint64_t> hi_;
+  std::vector<uint64_t> max_hi_;
+  std::vector<AccessNode> nodes_;
+};
+
+/// Enumerates every range-touching pair (ai, bi) between two frozen sets via
+/// a sort-merge sweep: both sets are walked once in ascending lo order; each
+/// start event scans the other side's active list, expiring dead intervals
+/// (amortized O(1) each) and emitting a pair for every survivor. Total cost
+/// O(|a| + |b| + matches), sequential. Pair emission order is deterministic
+/// but NOT grouped by either side - callers that need a canonical order must
+/// sort what they collect. Stops early and returns false if fn returns false.
+bool SweepMatchingPairs(const FrozenIntervalSet& a, const FrozenIntervalSet& b,
+                        FunctionRef<bool(uint32_t, uint32_t)> fn);
+
+}  // namespace sword::itree

@@ -220,7 +220,7 @@ void IntervalTree::InsertFixup(uint32_t z) {
 }
 
 void IntervalTree::QueryRange(uint64_t query_lo, uint64_t query_hi,
-                              const std::function<bool(const AccessNode&)>& fn) const {
+                              FunctionRef<bool(const AccessNode&)> fn) const {
   if (root_ == kNil) return;
   // Explicit stack; prune subtrees whose max_hi ends before the query and
   // right subtrees whose lo starts after it.
@@ -242,7 +242,7 @@ void IntervalTree::QueryRange(uint64_t query_lo, uint64_t query_hi,
   }
 }
 
-void IntervalTree::ForEach(const std::function<void(const AccessNode&)>& fn) const {
+void IntervalTree::ForEach(FunctionRef<void(const AccessNode&)> fn) const {
   // Morris-free iterative in-order using parent pointers.
   uint32_t n = root_;
   if (n == kNil) return;

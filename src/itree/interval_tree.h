@@ -17,11 +17,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/function_ref.h"
 #include "ilp/overlap.h"
 #include "itree/mutexset.h"
 
@@ -54,6 +54,26 @@ struct AccessNode {
   uint64_t hits = 0;  // raw accesses summarized into this node (>= count)
 };
 
+/// Mixes (addr, key) into a well-distributed 64-bit hash. All entropy reaches
+/// the low 32 bits, so the value survives truncation to a 32-bit size_t.
+/// Exposed (rather than kept inside the hasher functors) so tests can check
+/// the distribution directly.
+inline uint64_t HashAccess(uint64_t addr, const AccessKey& key) {
+  uint64_t h = addr * 0x9e3779b97f4a7c15ULL;
+  h ^= (static_cast<uint64_t>(key.pc) << 16) ^ key.flags ^
+       (static_cast<uint64_t>(key.size) << 8) ^
+       (static_cast<uint64_t>(key.mutexset) << 32);
+  // splitmix64 finalizer: without it, the high-half XOR above (notably the
+  // mutex-set bits at position 32+) never influences the low bits, and a
+  // 32-bit size_t target collides every mutex set sharing its low bits.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
 class IntervalTree {
  public:
   IntervalTree();
@@ -68,10 +88,11 @@ class IntervalTree {
   /// Calls `fn` for every node whose byte range [lo,hi] touches
   /// [query_lo, query_hi]. Stops early if fn returns false.
   void QueryRange(uint64_t query_lo, uint64_t query_hi,
-                  const std::function<bool(const AccessNode&)>& fn) const;
+                  FunctionRef<bool(const AccessNode&)> fn) const;
 
-  /// In-order traversal over all nodes.
-  void ForEach(const std::function<void(const AccessNode&)>& fn) const;
+  /// In-order traversal over all nodes (ascending lo; insertion-stable on
+  /// ties, because equal keys insert to the right).
+  void ForEach(FunctionRef<void(const AccessNode&)> fn) const;
 
   size_t NodeCount() const { return nodes_.size(); }
   uint64_t TotalAccesses() const { return total_accesses_; }
@@ -120,11 +141,7 @@ class IntervalTree {
   };
   struct ContKeyHash {
     size_t operator()(const ContKey& k) const {
-      uint64_t h = k.addr * 0x9e3779b97f4a7c15ULL;
-      h ^= (static_cast<uint64_t>(k.key.pc) << 16) ^ k.key.flags ^
-           (static_cast<uint64_t>(k.key.size) << 8) ^
-           (static_cast<uint64_t>(k.key.mutexset) << 32);
-      return static_cast<size_t>(h * 0xbf58476d1ce4e5b9ULL);
+      return static_cast<size_t>(HashAccess(k.addr, k.key));
     }
   };
   struct KeyHash {

@@ -7,11 +7,15 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <thread>
+#include <tuple>
 
 #include "common/timer.h"
+#include "itree/frozen_set.h"
 #include "itree/interval_tree.h"
 #include "itree/mutexset.h"
+#include "offline/checker_pool.h"
 #include "offline/journal.h"
 #include "offline/racecheck.h"
 #include "osl/label.h"
@@ -33,7 +37,22 @@ struct Group {
   osl::Label label;
   std::vector<const trace::IntervalMeta*> segments;
   itree::IntervalTree tree;
+  /// The tree's immutable comparison form, built once after the tree closes
+  /// (only for groups that appear in a concurrent pair). Comparisons run on
+  /// this; the RB-tree is never traversed again.
+  itree::FrozenIntervalSet frozen;
+  bool freeze_marked = false;
 };
+
+/// Full-identity key: two reports with equal keys are indistinguishable, so
+/// dropping the second is outcome-neutral for the global RaceReportSet.
+std::tuple<uint64_t, uint64_t, uint64_t> ReportIdentity(const RaceReport& r) {
+  return std::make_tuple(
+      (static_cast<uint64_t>(r.pc1) << 32) | r.pc2, r.address,
+      (static_cast<uint64_t>(r.size1) << 24) | (static_cast<uint64_t>(r.size2) << 16) |
+          (static_cast<uint64_t>(r.write1) << 2) | (static_cast<uint64_t>(r.write2) << 1) |
+          static_cast<uint64_t>(r.confidence));
+}
 
 /// The per-bucket wall-clock governor. One background thread sleeps until
 /// the armed deadline; on expiry it sets `breach`, which the builders and
@@ -111,6 +130,8 @@ void ApplyBucketRecord(const JournalBucketRecord& rec, AnalysisStats& stats) {
   stats.concurrent_pairs += rec.concurrent_pairs;
   stats.node_pairs_ranged += rec.node_pairs_ranged;
   stats.solver_calls += rec.solver_calls;
+  stats.fastpath_hits += rec.fastpath_hits;
+  stats.duplicates_suppressed += rec.duplicates_suppressed;
   stats.solver_bailouts += rec.solver_bailouts;
   stats.segments_skipped += rec.segments_skipped;
   stats.events_missing += rec.events_missing;
@@ -190,6 +211,8 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
   journal_header.shard_index = config.shard_index;
   journal_header.shard_count = config.shard_count;
   journal_header.engine = static_cast<uint8_t>(config.engine);
+  journal_header.use_sweep = config.use_sweep ? 1 : 0;
+  journal_header.use_fastpath = config.use_fastpath ? 1 : 0;
   journal_header.solver_step_budget = config.solver_step_budget;
   journal_header.bucket_deadline_ms = config.bucket_deadline_ms;
   journal_header.max_tree_bytes = config.max_tree_bytes;
@@ -269,6 +292,14 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
   // workers by a stable modulo so the same lane's frames keep hitting the
   // same worker's cache bucket after bucket.
   std::vector<trace::FrameCache> worker_caches(std::max<uint32_t>(1, config.threads));
+
+  // One persistent checker pool for the whole analysis: buckets are often
+  // tiny, and spawning + joining a std::thread batch per bucket (twice: once
+  // to build, once to compare) used to cost more than the bucket itself.
+  // The pool's workers idle between buckets and are fed per-bucket work
+  // lists; work stealing rebalances skewed pair blocks.
+  std::optional<CheckerPool> pool;
+  if (config.threads > 1) pool.emplace(config.threads);
 
   std::unique_ptr<BucketWatchdog> watchdog;
   if (config.bucket_deadline_ms > 0) {
@@ -377,27 +408,20 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
         stats->tree_nodes += group->tree.NodeCount();
       };
 
-      if (config.threads <= 1 || groups.size() < 2) {
+      if (!pool || groups.size() < 2) {
         for (Group* group : groups) {
           build_group(group, &bucket_stats, &worker_caches[0]);
           if (!result.status.ok()) break;
         }
       } else {
-        const uint32_t workers =
-            std::min<uint32_t>(config.threads, static_cast<uint32_t>(groups.size()));
-        std::vector<AnalysisStats> stats(workers);
-        std::vector<std::thread> threads;
-        threads.reserve(workers);
-        for (uint32_t w = 0; w < workers; w++) {
-          threads.emplace_back([&, w] {
-            // Stable modulo assignment keeps lane k on worker k%workers, so
-            // each worker's frame cache stays hot across buckets.
-            for (size_t k = w; k < groups.size(); k += workers) {
-              build_group(groups[k], &stats[w], &worker_caches[w]);
-            }
-          });
-        }
-        for (auto& th : threads) th.join();
+        // Block size 1 deals group k to worker k % workers - the stable
+        // modulo assignment that keeps each lane's frames hitting the same
+        // worker's cache bucket after bucket; stealing only kicks in when a
+        // worker runs dry.
+        std::vector<AnalysisStats> stats(pool->workers());
+        pool->ParallelFor(groups.size(), 1, [&](size_t k, uint32_t w) {
+          build_group(groups[k], &stats[w], &worker_caches[w]);
+        });
         for (const auto& s : stats) {
           bucket_stats.trees_built += s.trees_built;
           bucket_stats.tree_nodes += s.tree_nodes;
@@ -454,58 +478,116 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
       }
       bucket_stats.concurrent_pairs += concurrent.size();
 
-      const CheckLimits limits{config.solver_step_budget,
-                               watchdog ? &watchdog->breach() : nullptr};
+      // Adaptive back-end choice per pair: freezing two trees and setting
+      // up the sweep costs a full in-order walk plus flat-array builds, so
+      // it only pays off once the pair holds enough nodes to enumerate.
+      // Region-heavy traces produce thousands of tiny trees where the
+      // legacy per-node range query wins outright; both back ends emit
+      // byte-identical reports, so the cutover is invisible in the output.
+      constexpr size_t kSweepMinNodes = 128;
+      std::vector<char> sweep_pair(concurrent.size(), 0);
+      size_t pair_nodes_total = 0;
+      for (size_t k = 0; k < concurrent.size(); k++) {
+        const size_t nodes = concurrent[k].first->tree.NodeCount() +
+                             concurrent[k].second->tree.NodeCount();
+        pair_nodes_total += nodes;
+        sweep_pair[k] = config.use_sweep && nodes >= kSweepMinNodes;
+      }
+
+      // Freeze step: every group named by a sweep-eligible pair gets its
+      // immutable flat comparison form (one in-order walk per tree,
+      // parallel on the pool). Groups only tiny pairs touch stay on the
+      // tree back end and are never frozen.
+      Timer freeze_timer;
+      std::vector<Group*> to_freeze;
+      for (size_t k = 0; k < concurrent.size(); k++) {
+        if (!sweep_pair[k]) continue;
+        for (Group* g : {concurrent[k].first, concurrent[k].second}) {
+          if (!g->freeze_marked) {
+            g->freeze_marked = true;
+            to_freeze.push_back(g);
+          }
+        }
+      }
+      if (!to_freeze.empty()) {
+        if (pool && to_freeze.size() >= 2) {
+          pool->ParallelFor(to_freeze.size(), 1, [&](size_t k, uint32_t) {
+            to_freeze[k]->frozen = itree::FrozenIntervalSet(to_freeze[k]->tree);
+          });
+        } else {
+          for (Group* g : to_freeze) g->frozen = itree::FrozenIntervalSet(g->tree);
+        }
+        result.stats.freeze_seconds += freeze_timer.ElapsedSeconds();
+      }
+
+      CheckLimits limits;
+      limits.solver_step_budget = config.solver_step_budget;
+      limits.cancel = watchdog ? &watchdog->breach() : nullptr;
+      limits.use_fastpath = config.use_fastpath;
       // Each pair collects its races privately; the merge below walks pairs
       // in index order, so the global report set's content and order do not
       // depend on the checker thread count or schedule. The journal (and
       // with it "resume == clean run") relies on exactly this determinism.
       std::vector<std::vector<RaceReport>> pair_races(concurrent.size());
       auto check_pair = [&](size_t k, CheckStats* stats) {
-        CheckTreePair(concurrent[k].first->tree, concurrent[k].second->tree,
-                      mutexes, config.engine,
-                      [&](const RaceReport& report) {
-                        pair_races[k].push_back(report);
-                      },
-                      stats, limits);
+        auto on_race = [&](const RaceReport& report) {
+          pair_races[k].push_back(report);
+        };
+        if (sweep_pair[k]) {
+          CheckFrozenPair(concurrent[k].first->frozen,
+                          concurrent[k].second->frozen, mutexes, config.engine,
+                          on_race, stats, limits);
+        } else {
+          CheckTreePair(concurrent[k].first->tree, concurrent[k].second->tree,
+                        mutexes, config.engine, on_race, stats, limits);
+        }
       };
 
-      if (config.threads <= 1 || concurrent.size() < 2) {
+      // Tiny buckets run on the caller: waking the pool for a handful of
+      // near-empty pairs costs more than the comparisons themselves.
+      constexpr size_t kPoolMinPairNodes = 4096;
+      if (!pool || concurrent.size() < 2 ||
+          pair_nodes_total < kPoolMinPairNodes) {
         CheckStats stats;
         for (size_t k = 0; k < concurrent.size(); k++) check_pair(k, &stats);
         bucket_stats.node_pairs_ranged += stats.node_pairs_ranged;
         bucket_stats.solver_calls += stats.solver_calls;
+        bucket_stats.fastpath_hits += stats.fastpath_hits;
         bucket_stats.solver_bailouts += stats.solver_bailouts;
+        bucket_stats.duplicates_suppressed += stats.duplicates_suppressed;
       } else {
-        const uint32_t workers =
-            std::min<uint32_t>(config.threads, static_cast<uint32_t>(concurrent.size()));
-        std::vector<CheckStats> stats(workers);
-        std::vector<std::thread> threads;
-        threads.reserve(workers);
-        std::atomic<size_t> next{0};
-        for (uint32_t w = 0; w < workers; w++) {
-          threads.emplace_back([&, w] {
-            while (true) {
-              const size_t k = next.fetch_add(1);
-              if (k >= concurrent.size()) break;
-              check_pair(k, &stats[w]);
-            }
-          });
-        }
-        for (auto& th : threads) th.join();
+        // Pair blocks a few pairs wide: coarse enough to amortize the deque
+        // traffic, fine enough that stealing can still rebalance a bucket
+        // whose first blocks hold the big trees.
+        std::vector<CheckStats> stats(pool->workers());
+        const size_t block =
+            std::max<size_t>(1, concurrent.size() / (size_t{4} * pool->workers()));
+        pool->ParallelFor(concurrent.size(), block, [&](size_t k, uint32_t w) {
+          check_pair(k, &stats[w]);
+        });
         for (const auto& s : stats) {
           bucket_stats.node_pairs_ranged += s.node_pairs_ranged;
           bucket_stats.solver_calls += s.solver_calls;
+          bucket_stats.fastpath_hits += s.fastpath_hits;
           bucket_stats.solver_bailouts += s.solver_bailouts;
+          bucket_stats.duplicates_suppressed += s.duplicates_suppressed;
         }
       }
 
       // Deterministic merge: pair order, then report order within the pair
-      // (CheckTreePair's order is deterministic per pair). Only reports
-      // that changed the global set (new race or unproven->proven upgrade)
-      // enter the journal record - replaying them reproduces the set.
+      // (the checkers emit each pair's reports in one canonical sorted
+      // order). Reports identical to one already merged in this bucket are
+      // dropped here - they cannot change the global set - and counted.
+      // Only reports that changed the global set (new race or
+      // unproven->proven upgrade) enter the journal record - replaying them
+      // reproduces the set.
+      std::set<std::tuple<uint64_t, uint64_t, uint64_t>> bucket_seen;
       for (const auto& races : pair_races) {
         for (const RaceReport& report : races) {
+          if (!bucket_seen.insert(ReportIdentity(report)).second) {
+            bucket_stats.duplicates_suppressed++;
+            continue;
+          }
           if (result.races.AddReport(report) !=
               RaceReportSet::AddOutcome::kDuplicate) {
             rec.races.push_back(report);
@@ -527,6 +609,8 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
     rec.concurrent_pairs = bucket_stats.concurrent_pairs;
     rec.node_pairs_ranged = bucket_stats.node_pairs_ranged;
     rec.solver_calls = bucket_stats.solver_calls;
+    rec.fastpath_hits = bucket_stats.fastpath_hits;
+    rec.duplicates_suppressed = bucket_stats.duplicates_suppressed;
     rec.solver_bailouts = bucket_stats.solver_bailouts;
     rec.segments_skipped = bucket_stats.segments_skipped;
     rec.events_missing = bucket_stats.events_missing;

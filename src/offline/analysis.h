@@ -34,6 +34,16 @@ struct AnalysisConfig {
   ilp::OverlapEngine engine = ilp::OverlapEngine::kDiophantine;
   uint32_t threads = 1;  // checker threads for tree-pair comparisons
 
+  /// Compare frozen flat interval sets with the sort-merge sweep (or the
+  /// galloping fallback) instead of per-node QueryRange on the pointer
+  /// trees. Off = the legacy path (--no-sweep), kept for A/B comparison;
+  /// the confirmed-race output is byte-identical either way.
+  bool use_sweep = true;
+  /// Decide the dominant access shapes with the closed-form fast paths and
+  /// keep the general engine for the rest. Off = every surviving pair goes
+  /// to the engine (--no-fastpath); output is byte-identical either way.
+  bool use_fastpath = true;
+
   // Distributed sharding (the paper's cluster mode: "we distributed the
   // offline analysis across a cluster of nodes"). Buckets - top-level
   // regions - are the unit of distribution because no race can span two of
@@ -79,8 +89,13 @@ struct AnalysisStats {
   uint64_t label_pairs_checked = 0;  // OSL concurrency judgments
   uint64_t concurrent_pairs = 0;     // pairs that proceeded to tree compare
   uint64_t node_pairs_ranged = 0;
-  uint64_t solver_calls = 0;
+  uint64_t solver_calls = 0;    // general-engine intersection decisions
+  uint64_t fastpath_hits = 0;   // closed-form intersection decisions
+  /// Identical (pc, pc, address) reports dropped before the deterministic
+  /// merge (summarized runs re-colliding across node pairs).
+  uint64_t duplicates_suppressed = 0;
   double build_seconds = 0;
+  double freeze_seconds = 0;  // building frozen flat sets from the trees
   double compare_seconds = 0;
   double total_seconds = 0;
   /// Longest single-bucket time: the paper's distributed-analysis (MT)

@@ -1,0 +1,127 @@
+#include "offline/checker_pool.h"
+
+#include <algorithm>
+
+namespace sword::offline {
+
+CheckerPool::CheckerPool(uint32_t workers) {
+  if (workers == 0) workers = 1;
+  queues_.reserve(workers);
+  for (uint32_t i = 0; i < workers; i++) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads_.reserve(workers);
+  // Worker 0 is the ParallelFor caller; only 1..N-1 are pool threads, but
+  // workers() must report N, so thread slot 0 stays empty.
+  threads_.resize(1);
+  for (uint32_t id = 1; id < workers; id++) {
+    threads_.emplace_back([this, id] { WorkerLoop(id); });
+  }
+}
+
+CheckerPool::~CheckerPool() {
+  {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void CheckerPool::ParallelFor(size_t count, size_t block,
+                              FunctionRef<void(size_t, uint32_t)> fn) {
+  if (count == 0) return;
+  if (block == 0) block = 1;
+  const uint32_t n = workers();
+
+  // epoch_ is only written here, and ParallelFor is not reentrant, so the
+  // unlocked read is safe; workers read it under control_mu_.
+  const uint64_t tag = epoch_ + 1;
+
+  // Deal blocks round-robin: block k to worker k % n, the same stable
+  // modulo assignment the old spawn-per-bucket loops used.
+  size_t nblocks = 0;
+  for (size_t begin = 0; begin < count; begin += block, nblocks++) {
+    Block blk{begin, std::min(begin + block, count), tag};
+    WorkerQueue& q = *queues_[nblocks % n];
+    std::lock_guard<std::mutex> lock(q.mu);
+    q.blocks.push_back(blk);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    epoch_ = tag;
+    blocks_remaining_ = nblocks;
+    job_ = &fn;
+  }
+  work_cv_.notify_all();
+
+  // The caller works too, then waits for stolen/dealt blocks still running
+  // on other workers.
+  DrainAsWorker(0, tag, fn);
+  std::unique_lock<std::mutex> lock(control_mu_);
+  done_cv_.wait(lock, [&] { return blocks_remaining_ == 0; });
+  job_ = nullptr;  // fn dies with this frame; never leave a dangling view
+}
+
+void CheckerPool::WorkerLoop(uint32_t id) {
+  uint64_t seen_epoch = 0;
+  std::unique_lock<std::mutex> lock(control_mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || (epoch_ != seen_epoch && blocks_remaining_ > 0);
+    });
+    if (shutdown_) return;
+    seen_epoch = epoch_;
+    const FunctionRef<void(size_t, uint32_t)> fn = *job_;
+    lock.unlock();
+    DrainAsWorker(id, seen_epoch, fn);
+    lock.lock();
+  }
+}
+
+bool CheckerPool::TakeBlock(uint32_t id, uint64_t epoch, Block* out,
+                            bool* stolen) {
+  const uint32_t n = workers();
+  {
+    WorkerQueue& own = *queues_[id];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.blocks.empty()) {
+      // A block from a different epoch means this worker raced past its
+      // epoch's end; leave it for the workers of that epoch.
+      if (own.blocks.front().epoch != epoch) return false;
+      *out = own.blocks.front();
+      own.blocks.pop_front();
+      *stolen = false;
+      return true;
+    }
+  }
+  for (uint32_t k = 1; k < n; k++) {
+    WorkerQueue& victim = *queues_[(id + k) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (victim.blocks.empty()) continue;
+    if (victim.blocks.back().epoch != epoch) return false;
+    *out = victim.blocks.back();
+    victim.blocks.pop_back();
+    *stolen = true;
+    return true;
+  }
+  return false;
+}
+
+void CheckerPool::DrainAsWorker(uint32_t id, uint64_t epoch,
+                                FunctionRef<void(size_t, uint32_t)> fn) {
+  Block blk{0, 0, 0};
+  bool stolen = false;
+  while (TakeBlock(id, epoch, &blk, &stolen)) {
+    for (size_t i = blk.begin; i < blk.end; i++) fn(i, id);
+    std::lock_guard<std::mutex> lock(control_mu_);
+    blocks_executed_++;
+    if (stolen) blocks_stolen_++;
+    if (--blocks_remaining_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace sword::offline

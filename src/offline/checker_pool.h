@@ -1,0 +1,95 @@
+// Persistent work-stealing worker pool for the offline analyzer.
+//
+// The analyzer previously spawned and joined a fresh std::thread batch per
+// bucket, twice (tree build, then pair comparison). Real traces have many
+// small buckets, so thread start/join latency dominated them. The pool is
+// created once per Analyze() call and fed per-bucket work lists: ParallelFor
+// splits [0, count) into blocks, deals them round-robin onto per-worker
+// deques, and blocks until all are done. A worker drains its own deque from
+// the front and steals from the back of others when it runs dry, so a bucket
+// with one huge pair-block and many tiny ones still finishes at the speed of
+// the slowest single block, not the unluckiest initial deal.
+//
+// Determinism note: the analyzer's outputs never depend on which worker runs
+// which block - per-worker results are folded in index order by the caller -
+// so stealing is free to be timing-dependent.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/function_ref.h"
+
+namespace sword::offline {
+
+class CheckerPool {
+ public:
+  /// Starts `workers` (>= 1) persistent threads.
+  explicit CheckerPool(uint32_t workers);
+
+  /// Joins all workers. Must not be called while a ParallelFor is running.
+  ~CheckerPool();
+
+  uint32_t workers() const { return static_cast<uint32_t>(threads_.size()); }
+
+  /// Runs fn(index, worker) for every index in [0, count), where worker is
+  /// the id (< workers()) of the thread executing the call. Indices are
+  /// grouped into blocks of `block` consecutive indices; block k is dealt to
+  /// worker k % workers(), matching the stable modulo assignment the
+  /// spawn-per-bucket code used (so per-worker caches keep their locality),
+  /// and idle workers steal whole blocks from the back of busy workers'
+  /// deques. Blocks until every index has been processed. The calling thread
+  /// participates as worker 0. Not reentrant.
+  void ParallelFor(size_t count, size_t block,
+                   FunctionRef<void(size_t, uint32_t)> fn);
+
+  /// Lifetime counters (informational, for stats/benches).
+  uint64_t blocks_executed() const { return blocks_executed_; }
+  uint64_t blocks_stolen() const { return blocks_stolen_; }
+
+ private:
+  // Blocks are tagged with their epoch so a worker that raced past the end
+  // of one ParallelFor can never execute a block of the next one under the
+  // old callable.
+  struct Block {
+    size_t begin;
+    size_t end;
+    uint64_t epoch;
+  };
+  // Per-worker deque with its own lock: owners pop the front, thieves pop
+  // the back, so they contend only when a deque is nearly empty.
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Block> blocks;
+  };
+
+  void WorkerLoop(uint32_t id);
+  /// Pops the front of `id`'s own deque, else steals the back of another;
+  /// returns false when no block of `epoch` is available anywhere.
+  bool TakeBlock(uint32_t id, uint64_t epoch, Block* out, bool* stolen);
+  /// Runs available blocks of `epoch` until none remain, as worker `id`.
+  void DrainAsWorker(uint32_t id, uint64_t epoch,
+                     FunctionRef<void(size_t, uint32_t)> fn);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;  // workers 1..N-1 (0 is the caller)
+
+  // Epoch/fence state, guarded by control_mu_.
+  std::mutex control_mu_;
+  std::condition_variable work_cv_;   // workers: new epoch or shutdown
+  std::condition_variable done_cv_;   // caller: all blocks of the epoch done
+  uint64_t epoch_ = 0;
+  size_t blocks_remaining_ = 0;
+  FunctionRef<void(size_t, uint32_t)>* job_ = nullptr;
+  bool shutdown_ = false;
+
+  uint64_t blocks_executed_ = 0;  // guarded by control_mu_
+  uint64_t blocks_stolen_ = 0;    // guarded by control_mu_
+};
+
+}  // namespace sword::offline

@@ -44,6 +44,8 @@ void SerializeHeader(const JournalHeader& h, Bytes* out) {
   w.PutU32(h.shard_index);
   w.PutU32(h.shard_count);
   w.PutU8(h.engine);
+  w.PutU8(h.use_sweep);
+  w.PutU8(h.use_fastpath);
   w.PutVarU64(h.solver_step_budget);
   w.PutVarU64(h.bucket_deadline_ms);
   w.PutVarU64(h.max_tree_bytes);
@@ -62,6 +64,8 @@ Status ParseHeader(const Bytes& payload, JournalHeader* h) {
   SWORD_RETURN_IF_ERROR(r.GetU32(&h->shard_index));
   SWORD_RETURN_IF_ERROR(r.GetU32(&h->shard_count));
   SWORD_RETURN_IF_ERROR(r.GetU8(&h->engine));
+  SWORD_RETURN_IF_ERROR(r.GetU8(&h->use_sweep));
+  SWORD_RETURN_IF_ERROR(r.GetU8(&h->use_fastpath));
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&h->solver_step_budget));
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&h->bucket_deadline_ms));
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&h->max_tree_bytes));
@@ -94,6 +98,8 @@ void SerializeBucket(const JournalBucketRecord& rec, Bytes* out) {
   w.PutVarU64(rec.concurrent_pairs);
   w.PutVarU64(rec.node_pairs_ranged);
   w.PutVarU64(rec.solver_calls);
+  w.PutVarU64(rec.fastpath_hits);
+  w.PutVarU64(rec.duplicates_suppressed);
   w.PutVarU64(rec.solver_bailouts);
   w.PutVarU64(rec.segments_skipped);
   w.PutVarU64(rec.events_missing);
@@ -133,6 +139,8 @@ Status ParseBucket(const Bytes& payload, JournalBucketRecord* rec) {
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&rec->concurrent_pairs));
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&rec->node_pairs_ranged));
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&rec->solver_calls));
+  SWORD_RETURN_IF_ERROR(r.GetVarU64(&rec->fastpath_hits));
+  SWORD_RETURN_IF_ERROR(r.GetVarU64(&rec->duplicates_suppressed));
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&rec->solver_bailouts));
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&rec->segments_skipped));
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&rec->events_missing));

@@ -42,7 +42,10 @@ namespace sword::offline {
 
 constexpr uint32_t kJournalHeaderMagic = 0x53574148;  // "SWAH"
 constexpr uint32_t kJournalBucketMagic = 0x53574142;  // "SWAB"
-constexpr uint8_t kJournalVersion = 1;
+// v2: header binds use_sweep/use_fastpath; bucket records carry
+// fastpath_hits and duplicates_suppressed. v1 journals are refused (their
+// stats cannot be folded faithfully into a v2 run).
+constexpr uint8_t kJournalVersion = 2;
 
 /// Identifies what a journal belongs to: shard key + the analysis knobs
 /// that change results + a cheap fingerprint of the trace itself. Resume
@@ -52,6 +55,8 @@ struct JournalHeader {
   uint32_t shard_index = 0;
   uint32_t shard_count = 1;
   uint8_t engine = 0;                 // ilp::OverlapEngine as int
+  uint8_t use_sweep = 1;              // frozen-sweep comparison path
+  uint8_t use_fastpath = 1;           // closed-form overlap fast paths
   uint64_t solver_step_budget = 0;
   uint64_t bucket_deadline_ms = 0;
   uint64_t max_tree_bytes = 0;
@@ -87,6 +92,8 @@ struct JournalBucketRecord {
   uint64_t concurrent_pairs = 0;
   uint64_t node_pairs_ranged = 0;
   uint64_t solver_calls = 0;
+  uint64_t fastpath_hits = 0;
+  uint64_t duplicates_suppressed = 0;
   uint64_t solver_bailouts = 0;
   uint64_t segments_skipped = 0;
   uint64_t events_missing = 0;

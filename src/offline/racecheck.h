@@ -1,12 +1,24 @@
 // Tree-vs-tree race checking (paper SIII-B, Fig. 5).
 //
-// Given the interval trees of two CONCURRENT barrier intervals, every node of
-// one tree is checked against the range-overlapping nodes of the other:
+// Given the interval summaries of two CONCURRENT barrier intervals, every
+// node of one side is checked against the range-overlapping nodes of the
+// other:
 //   1. cheap filters: read-read pairs and atomic-atomic pairs cannot race;
 //      intersecting mutex sets mean common lock protection;
-//   2. exact strided-address intersection via the ILP/Diophantine engine -
-//      range overlap alone is NOT sufficient for strided accesses (Fig. 4);
+//   2. exact strided-address intersection - range overlap alone is NOT
+//      sufficient for strided accesses (Fig. 4) - via the closed-form fast
+//      paths (when enabled) with the ILP/Diophantine engine as fallback;
 //   3. surviving pairs are data races, reported at the two source locations.
+//
+// Two enumeration back ends produce the identical candidate-pair set:
+//   - CheckTreePair: the legacy path, per-node QueryRange on the pointer
+//     red-black tree (kept as the A/B baseline, reachable via --no-sweep);
+//   - CheckFrozenPair: the default path, a sort-merge sweep over two frozen
+//     flat sets (O(M + M' + matches), sequential memory), switching to
+//     galloping per-node queries when one set is much smaller.
+// Both buffer each pair's reports and emit them in one canonical order with
+// exact duplicates suppressed, so the confirmed-race output is byte-for-byte
+// independent of which back end enumerated the pairs.
 #pragma once
 
 #include <atomic>
@@ -15,6 +27,7 @@
 #include "common/function_ref.h"
 #include "common/race_report.h"
 #include "ilp/overlap.h"
+#include "itree/frozen_set.h"
 #include "itree/interval_tree.h"
 #include "itree/mutexset.h"
 
@@ -22,9 +35,11 @@ namespace sword::offline {
 
 struct CheckStats {
   uint64_t node_pairs_ranged = 0;   // pairs surviving the tree range query
-  uint64_t solver_calls = 0;        // exact intersection decisions
+  uint64_t solver_calls = 0;        // general-engine intersection decisions
+  uint64_t fastpath_hits = 0;       // closed-form intersection decisions
   uint64_t solver_bailouts = 0;     // queries whose step budget ran out
-  uint64_t races_found = 0;         // before global dedup
+  uint64_t races_found = 0;         // emitted reports, before global dedup
+  uint64_t duplicates_suppressed = 0;  // identical reports dropped pre-merge
 };
 
 /// Caps the resource governor imposes on one tree-pair comparison.
@@ -36,18 +51,34 @@ struct CheckLimits {
   /// the comparison stops at the next node pair. Races already reported
   /// stand; the bucket is accounted as governed in AnalysisStats.
   const std::atomic<bool>* cancel = nullptr;
+  /// Try the closed-form fast paths before the general engine (exact; the
+  /// verdicts and witnesses are engine-identical). Off by default so that
+  /// direct callers get the pure-engine baseline; the analyzer turns it on
+  /// unless --no-fastpath.
+  bool use_fastpath = false;
 };
 
 /// Compares two interval trees from concurrent barrier intervals; reports
-/// every racing node pair through `on_race` (a non-owning view - this is the
-/// hottest callback in the analyzer and must not allocate). Thread-safe for
-/// concurrent calls on distinct tree pairs (the mutex table is shared and
-/// thread-safe). Report order is deterministic for a given tree pair, which
-/// the checkpoint/resume journal relies on.
+/// every racing node pair through `on_race` (a non-owning view). Thread-safe
+/// for concurrent calls on distinct tree pairs (the mutex table is shared
+/// and thread-safe). Reports are emitted in a canonical sorted order with
+/// exact duplicates suppressed, so the output is deterministic and identical
+/// to CheckFrozenPair on the frozen forms of the same trees.
 void CheckTreePair(const itree::IntervalTree& a, const itree::IntervalTree& b,
                    const itree::MutexSetTable& mutexes,
                    ilp::OverlapEngine engine,
                    FunctionRef<void(const RaceReport&)> on_race,
                    CheckStats* stats = nullptr, const CheckLimits& limits = {});
+
+/// Same contract as CheckTreePair, over frozen flat sets: the sort-merge
+/// sweep enumerates range-touching pairs in O(M + M' + matches); when one
+/// set is >= 8x smaller it instead gallops - per-node O(log M) queries into
+/// the big set - so tiny-vs-huge comparisons don't pay a full linear merge.
+void CheckFrozenPair(const itree::FrozenIntervalSet& a,
+                     const itree::FrozenIntervalSet& b,
+                     const itree::MutexSetTable& mutexes,
+                     ilp::OverlapEngine engine,
+                     FunctionRef<void(const RaceReport&)> on_race,
+                     CheckStats* stats = nullptr, const CheckLimits& limits = {});
 
 }  // namespace sword::offline

@@ -123,7 +123,10 @@ std::string RenderJson(const AnalysisResult& result, const PcNamer& pc_namer) {
   out += ",\"raw_events\":" + std::to_string(s.raw_events);
   out += ",\"label_pairs_checked\":" + std::to_string(s.label_pairs_checked);
   out += ",\"concurrent_pairs\":" + std::to_string(s.concurrent_pairs);
+  out += ",\"node_pairs_ranged\":" + std::to_string(s.node_pairs_ranged);
   out += ",\"solver_calls\":" + std::to_string(s.solver_calls);
+  out += ",\"fastpath_hits\":" + std::to_string(s.fastpath_hits);
+  out += ",\"duplicates_suppressed\":" + std::to_string(s.duplicates_suppressed);
   out += ",\"solver_bailouts\":" + std::to_string(s.solver_bailouts);
   out += ",\"races_unproven\":" + std::to_string(s.races_unproven);
   out += ",\"buckets_deadline_exceeded\":" +

@@ -4,6 +4,7 @@
 //                 [--json] [--shard I --shards N] [--salvage]
 //                 [--journal [PATH]] [--resume]
 //                 [--bucket-deadline-ms N] [--max-tree-mb N] [--solver-budget N]
+//                 [--no-sweep] [--no-fastpath]
 //
 // Reads a trace directory produced by SwordTool (sword_t*.log/.meta),
 // recovers the concurrency structure, and prints the deduplicated race
@@ -62,6 +63,13 @@ void PrintUsage() {
                "  --solver-budget N  per-query overlap-solver step budget; an\n"
                "                   exhausted query reports an UNPROVEN race\n"
                "                   (default 4000000, 0 = unlimited)\n"
+               "  --no-sweep       compare trees with per-node range queries\n"
+               "                   instead of frozen-set sweep-merge (ablation;\n"
+               "                   race output is identical either way)\n"
+               "  --no-fastpath    disable closed-form overlap fast paths and\n"
+               "                   send every candidate pair to the solver\n"
+               "                   (ablation; race output is identical either\n"
+               "                   way at the default solver budget)\n"
                "exit codes: 0 no races, 2 races found, 4 I/O or analysis\n"
                "failure, 1 usage error\n");
 }
@@ -83,6 +91,8 @@ int main(int argc, char** argv) {
   const int64_t bucket_deadline_ms = args.GetInt("bucket-deadline-ms", 0);
   const int64_t max_tree_mb = args.GetInt("max-tree-mb", 0);
   const int64_t solver_budget = args.GetInt("solver-budget", 4000000);
+  const bool no_sweep = args.GetBool("no-sweep");
+  const bool no_fastpath = args.GetBool("no-fastpath");
 
   if (args.GetBool("help")) {
     PrintUsage();
@@ -173,6 +183,8 @@ int main(int argc, char** argv) {
   config.solver_step_budget = static_cast<uint64_t>(solver_budget);
   config.journal_path = journal_path;
   config.resume = resume;
+  config.use_sweep = !no_sweep;
+  config.use_fastpath = !no_fastpath;
   const offline::AnalysisResult result = offline::Analyze(store.value(), config);
   if (!result.status.ok()) {
     std::fprintf(stderr, "analysis error: %s\n", result.status.ToString().c_str());
@@ -212,8 +224,13 @@ int main(int argc, char** argv) {
                 (unsigned long long)s.node_pairs_ranged,
                 (unsigned long long)s.solver_calls,
                 (unsigned long long)s.solver_bailouts);
-    std::printf("  build / compare / total:      %s / %s / %s\n",
+    std::printf("  closed-form fast-path hits:   %llu\n",
+                (unsigned long long)s.fastpath_hits);
+    std::printf("  duplicate reports suppressed: %llu\n",
+                (unsigned long long)s.duplicates_suppressed);
+    std::printf("  build / freeze / compare / total: %s / %s / %s / %s\n",
                 FormatSeconds(s.build_seconds).c_str(),
+                FormatSeconds(s.freeze_seconds).c_str(),
                 FormatSeconds(s.compare_seconds).c_str(),
                 FormatSeconds(s.total_seconds).c_str());
     std::printf("  slowest bucket (MT proxy):    %s\n",

@@ -336,6 +336,90 @@ TEST(OverlapProperty, TinyBudgetIsSoundOnBothEngines) {
   EXPECT_GT(unknowns, 0u) << "budget never bit - the test proves nothing";
 }
 
+// ---------------------------------------------------------------------------
+// Closed-form fast paths: whenever IntersectClosedForm answers, it must be
+// byte-for-byte the kDiophantine engine's answer - verdict AND witness -
+// because the analyzer mixes the two paths inside one run and the race set
+// must not depend on which path decided a pair.
+
+StridedInterval RandomShape(Rng& rng) {
+  StridedInterval s;
+  s.base = 1000 + rng.Below(96);
+  s.stride = rng.Below(16);
+  s.count = 1 + rng.Below(12);
+  if (s.count > 1 && s.stride == 0) s.count = 1;
+  s.size = static_cast<uint32_t>(1 + rng.Below(8));
+  return s;
+}
+
+TEST(FastPathProperty, AgreesWithEngineVerdictAndWitness) {
+  Rng rng(9090);
+  uint64_t covered = 0, fallthrough = 0;
+  for (int trial = 0; trial < 4000; trial++) {
+    const StridedInterval a = RandomShape(rng);
+    const StridedInterval b = RandomShape(rng);
+    const auto fast = IntersectClosedForm(a, b);
+    if (!fast) {
+      fallthrough++;
+      // nullopt only for shapes the fast path does not cover: sparse x
+      // sparse with unequal strides (or range-disjoint handled upstream).
+      if (RangesTouch(a, b)) {
+        const bool a_dense = a.count == 1 || a.stride <= a.size;
+        const bool b_dense = b.count == 1 || b.stride <= b.size;
+        EXPECT_FALSE(a_dense || b_dense || a.stride == b.stride) << trial;
+      }
+      continue;
+    }
+    covered++;
+    EXPECT_NE(fast->verdict, OverlapVerdict::kUnknown) << trial;
+    EXPECT_TRUE(fast->via_fastpath);
+    const OverlapResult engine =
+        IntersectBounded(a, b, OverlapEngine::kDiophantine, {});
+    ASSERT_EQ(fast->verdict, engine.verdict)
+        << "a={" << a.base << "," << a.stride << "," << a.count << "," << a.size
+        << "} b={" << b.base << "," << b.stride << "," << b.count << "," << b.size
+        << "}";
+    if (fast->verdict == OverlapVerdict::kOverlap) {
+      EXPECT_EQ(fast->witness.address, engine.witness.address) << trial;
+      EXPECT_TRUE(BruteOverlap({fast->witness.address, 0, 1, 1}, a));
+      EXPECT_TRUE(BruteOverlap({fast->witness.address, 0, 1, 1}, b));
+    }
+  }
+  // The generator mixes shapes; both outcomes must actually occur for the
+  // property to mean anything.
+  EXPECT_GT(covered, 0u);
+  EXPECT_GT(fallthrough, 0u);
+}
+
+TEST(FastPath, CoversTheClosedFormShapes) {
+  // singleton x singleton
+  EXPECT_TRUE(IntersectClosedForm({100, 0, 1, 8}, {104, 0, 1, 8}).has_value());
+  // dense run (stride <= size) x sparse
+  EXPECT_TRUE(IntersectClosedForm({100, 8, 10, 8}, {104, 32, 4, 4}).has_value());
+  // equal-stride sparse x sparse
+  EXPECT_TRUE(IntersectClosedForm({100, 32, 8, 4}, {116, 32, 8, 4}).has_value());
+  // sparse x sparse with unequal strides: not covered, engine decides
+  EXPECT_FALSE(IntersectClosedForm({100, 32, 8, 4}, {102, 48, 8, 4}).has_value());
+}
+
+TEST(FastPath, OptionsOverloadRoutesAndAblates) {
+  const StridedInterval a{10, 8, 5, 4};
+  const StridedInterval b{14, 8, 5, 4};  // Fig. 4: range-touching, disjoint
+  OverlapOptions with;
+  const OverlapResult fast = IntersectBounded(a, b, with);
+  EXPECT_EQ(fast.verdict, OverlapVerdict::kDisjoint);
+  EXPECT_TRUE(fast.via_fastpath);
+
+  OverlapOptions without;
+  without.allow_fastpath = false;
+  const OverlapResult slow = IntersectBounded(a, b, without);
+  EXPECT_EQ(slow.verdict, OverlapVerdict::kDisjoint);
+  EXPECT_FALSE(slow.via_fastpath);
+
+  // The legacy overload is the pure-engine baseline.
+  EXPECT_FALSE(IntersectBounded(a, b, OverlapEngine::kDiophantine, {}).via_fastpath);
+}
+
 TEST(OverlapProperty, EnginesAgreeOnAdversarialStrides) {
   Rng rng(505);
   for (int trial = 0; trial < 500; trial++) {

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/rng.h"
+#include "itree/frozen_set.h"
 #include "itree/interval_tree.h"
 #include "itree/mutexset.h"
 
@@ -249,6 +250,149 @@ TEST(IntervalTree, MemoryGrowsWithNodesNotAccesses) {
   EXPECT_EQ(dense.NodeCount(), 1u);
   EXPECT_GT(sparse.NodeCount(), 100u);
   EXPECT_LT(dense.MemoryBytes(), sparse.MemoryBytes());
+}
+
+IntervalTree RandomTree(Rng& rng, int nodes, uint64_t base_lo = 100000,
+                        uint64_t spread = 10000) {
+  IntervalTree tree;
+  for (int i = 0; i < nodes; i++) {
+    ilp::StridedInterval iv;
+    iv.base = base_lo + rng.Below(spread);
+    iv.stride = 8 * (1 + rng.Below(3));
+    iv.count = 1 + rng.Below(20);
+    iv.size = 1 + rng.Below(8);
+    tree.AddInterval(iv, Key(static_cast<uint32_t>(i)));
+  }
+  return tree;
+}
+
+TEST(FrozenIntervalSet, FreezePreservesEveryNodeInLoOrder) {
+  Rng rng(4242);
+  const IntervalTree tree = RandomTree(rng, 300);
+  const FrozenIntervalSet frozen(tree);
+  ASSERT_EQ(frozen.size(), tree.NodeCount());
+
+  std::vector<const AccessNode*> in_order;
+  tree.ForEach([&](const AccessNode& n) { in_order.push_back(&n); });
+  for (uint32_t i = 0; i < frozen.size(); i++) {
+    EXPECT_EQ(frozen.lo(i), in_order[i]->interval.lo());
+    EXPECT_EQ(frozen.hi(i), in_order[i]->interval.hi());
+    EXPECT_EQ(frozen.node(i).key.pc, in_order[i]->key.pc);
+    if (i > 0) {
+      EXPECT_LE(frozen.lo(i - 1), frozen.lo(i));
+    }
+  }
+  EXPECT_GT(frozen.MemoryBytes(), 0u);
+}
+
+TEST(FrozenIntervalSet, QueryRangeMatchesTreeQueryRange) {
+  Rng rng(515);
+  const IntervalTree tree = RandomTree(rng, 400);
+  const FrozenIntervalSet frozen(tree);
+  for (int q = 0; q < 300; q++) {
+    const uint64_t lo = 100000 + rng.Below(11000);
+    const uint64_t hi = lo + rng.Below(600);
+    std::multiset<uint64_t> from_tree, from_frozen;
+    tree.QueryRange(lo, hi, [&](const AccessNode& n) {
+      from_tree.insert(n.interval.base);
+      return true;
+    });
+    frozen.QueryRange(lo, hi, [&](uint32_t idx) {
+      from_frozen.insert(frozen.node(idx).interval.base);
+      return true;
+    });
+    EXPECT_EQ(from_frozen, from_tree) << "query [" << lo << "," << hi << "]";
+  }
+}
+
+TEST(FrozenIntervalSet, QueryEarlyExit) {
+  IntervalTree tree;
+  for (uint64_t i = 0; i < 50; i++) {
+    tree.AddInterval({1000 + i, 0, 1, 1}, Key(static_cast<uint32_t>(i)));
+  }
+  const FrozenIntervalSet frozen(tree);
+  int visits = 0;
+  const bool completed = frozen.QueryRange(0, 1 << 20, [&](uint32_t) {
+    visits++;
+    return visits < 3;
+  });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(visits, 3);
+}
+
+TEST(FrozenIntervalSet, EmptyTreeFreezesEmpty) {
+  const IntervalTree tree;
+  const FrozenIntervalSet frozen(tree);
+  EXPECT_TRUE(frozen.Empty());
+  int visits = 0;
+  EXPECT_TRUE(frozen.QueryRange(0, ~0ull, [&](uint32_t) {
+    visits++;
+    return true;
+  }));
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(SweepMatchingPairs, MatchesNestedLoopOracle) {
+  Rng rng(616);
+  for (int trial = 0; trial < 20; trial++) {
+    // Vary density: overlapping address spreads in some trials, nearly
+    // disjoint ones in others, plus empty-side cases.
+    const int na = trial == 0 ? 0 : 1 + static_cast<int>(rng.Below(120));
+    const int nb = trial == 1 ? 0 : 1 + static_cast<int>(rng.Below(120));
+    const uint64_t spread = 200 + rng.Below(20000);
+    IntervalTree ta = RandomTree(rng, na, 100000, spread);
+    IntervalTree tb = RandomTree(rng, nb, 100000 + rng.Below(spread), spread);
+    const FrozenIntervalSet a(ta), b(tb);
+
+    std::multiset<std::pair<uint64_t, uint64_t>> expected;
+    for (uint32_t i = 0; i < a.size(); i++) {
+      for (uint32_t j = 0; j < b.size(); j++) {
+        if (a.lo(i) <= b.hi(j) && a.hi(i) >= b.lo(j)) {
+          expected.insert({a.node(i).interval.base, b.node(j).interval.base});
+        }
+      }
+    }
+    std::multiset<std::pair<uint64_t, uint64_t>> actual;
+    SweepMatchingPairs(a, b, [&](uint32_t i, uint32_t j) {
+      actual.insert({a.node(i).interval.base, b.node(j).interval.base});
+      return true;
+    });
+    EXPECT_EQ(actual, expected) << "trial " << trial;
+  }
+}
+
+TEST(SweepMatchingPairs, EarlyExitStopsEnumeration) {
+  IntervalTree ta, tb;
+  for (uint64_t i = 0; i < 40; i++) {
+    ta.AddInterval({1000, 0, 1, 100}, Key(static_cast<uint32_t>(i)));
+    tb.AddInterval({1050, 0, 1, 100}, Key(static_cast<uint32_t>(i)));
+  }
+  const FrozenIntervalSet a(ta), b(tb);
+  int pairs = 0;
+  const bool completed = SweepMatchingPairs(a, b, [&](uint32_t, uint32_t) {
+    pairs++;
+    return pairs < 5;
+  });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(pairs, 5);
+}
+
+TEST(HashAccess, MutexSetReachesLow32Bits) {
+  // The pre-fix hash mixed the mutex set in as `mutexset << 32`, which a
+  // 32-bit size_t truncation would discard entirely. After finalization,
+  // changing ONLY the mutex set must change the low 32 bits of the hash
+  // (virtually always; assert a high hit rate over many ids).
+  AccessKey base = Key(7, kWrite, 8, kEmptyMutexSet);
+  const uint64_t addr = 0xDEADBEEF;
+  const uint32_t h0 = static_cast<uint32_t>(HashAccess(addr, base));
+  int changed = 0;
+  const int kTrials = 1000;
+  for (int ms = 1; ms <= kTrials; ms++) {
+    AccessKey k = base;
+    k.mutexset = static_cast<MutexSetId>(ms);
+    if (static_cast<uint32_t>(HashAccess(addr, k)) != h0) changed++;
+  }
+  EXPECT_GT(changed, kTrials - 2);
 }
 
 }  // namespace

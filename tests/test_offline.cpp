@@ -4,10 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "common/fsutil.h"
 #include "offline/analysis.h"
+#include "offline/checker_pool.h"
 #include "offline/journal.h"
 #include "offline/racecheck.h"
 #include "offline/tracestore.h"
@@ -417,6 +420,8 @@ TEST(Journal, RoundTrip) {
   header.shard_index = 0;
   header.shard_count = 1;
   header.engine = 1;
+  header.use_sweep = 0;
+  header.use_fastpath = 0;
   header.solver_step_budget = 42;
   header.thread_count = 2;
   header.total_intervals = 10;
@@ -430,6 +435,8 @@ TEST(Journal, RoundTrip) {
   rec.trees_built = 3;
   rec.tree_nodes = 99;
   rec.solver_calls = 12;
+  rec.fastpath_hits = 8;
+  rec.duplicates_suppressed = 5;
   rec.solver_bailouts = 2;
   rec.tree_bytes = 4096;
   RaceReport r1;
@@ -457,6 +464,8 @@ TEST(Journal, RoundTrip) {
   EXPECT_EQ(got.trees_built, 3u);
   EXPECT_EQ(got.tree_nodes, 99u);
   EXPECT_EQ(got.solver_calls, 12u);
+  EXPECT_EQ(got.fastpath_hits, 8u);
+  EXPECT_EQ(got.duplicates_suppressed, 5u);
   EXPECT_EQ(got.solver_bailouts, 2u);
   EXPECT_EQ(got.tree_bytes, 4096u);
   ASSERT_EQ(got.races.size(), 2u);
@@ -649,18 +658,22 @@ TEST(Analysis, DeadlineWatchdogAbortsOnlyThatBucket) {
   for (uint32_t tid = 0; tid < 3; tid++) t.WriteThread(tid, segs[tid]);
 
   AnalysisConfig config;
-  // Sanitizer builds run the light bucket an order of magnitude slower;
-  // widen the deadline there so only the heavy bucket can breach it.
+  // The heavy bucket's build takes hundreds of milliseconds, so any
+  // deadline well below that breaches it reliably; the light bucket is two
+  // events and finishes in microseconds. 50ms leaves the light bucket real
+  // headroom on a loaded CI machine (parallel ctest) without letting the
+  // heavy bucket slip under. Sanitizer builds run the light bucket an
+  // order of magnitude slower still; widen the deadline further there.
 #if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
   config.bucket_deadline_ms = 200;
 #elif defined(__has_feature)
 #if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
   config.bucket_deadline_ms = 200;
 #else
-  config.bucket_deadline_ms = 10;
+  config.bucket_deadline_ms = 50;
 #endif
 #else
-  config.bucket_deadline_ms = 10;
+  config.bucket_deadline_ms = 50;
 #endif
   const AnalysisResult result = t.Analyze(config);
   ASSERT_TRUE(result.status.ok()) << result.status.ToString();
@@ -689,6 +702,10 @@ TEST(Analysis, SolverBudgetYieldsUnprovenNeverDropped) {
 
   AnalysisConfig starved;
   starved.solver_step_budget = 1;
+  // The closed-form fast path would decide these strided pairs exactly
+  // without spending solver steps; ablate it so the budget governor is
+  // actually exercised.
+  starved.use_fastpath = false;
   const AnalysisResult budgeted = t.Analyze(starved);
   ASSERT_TRUE(budgeted.status.ok());
   EXPECT_GT(budgeted.stats.solver_bailouts, 0u);
@@ -699,6 +716,17 @@ TEST(Analysis, SolverBudgetYieldsUnprovenNeverDropped) {
     EXPECT_TRUE(budgeted.races.Contains(r.pc1, r.pc2))
         << "race " << r.pc1 << "/" << r.pc2 << " dropped under budget";
   }
+
+  // With the fast path ON, the same starved budget never bails: every pair
+  // in this workload fits a closed form, which is exact at zero step cost.
+  AnalysisConfig starved_fast;
+  starved_fast.solver_step_budget = 1;
+  const AnalysisResult fast = t.Analyze(starved_fast);
+  ASSERT_TRUE(fast.status.ok());
+  EXPECT_EQ(fast.stats.solver_bailouts, 0u);
+  EXPECT_EQ(fast.stats.races_unproven, 0u);
+  EXPECT_GT(fast.stats.fastpath_hits, 0u);
+  EXPECT_EQ(fast.races.size(), unlimited.races.size());
 }
 
 TEST(Analysis, PeakTreeBytesNamesTheBucket) {
@@ -796,6 +824,251 @@ TEST(TraceStoreTest, OpenDirFindsAllThreads) {
 
 TEST(TraceStoreTest, MissingDirErrors) {
   EXPECT_FALSE(TraceStore::OpenDir("/nonexistent-sword-dir").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Frozen-set comparison back end: CheckFrozenPair must emit the exact report
+// SEQUENCE CheckTreePair emits, whichever enumeration strategy (sweep or
+// gallop) it picks.
+
+std::vector<RaceReport> CollectTree(const IntervalTree& a, const IntervalTree& b,
+                                    const MutexSetTable& mutexes,
+                                    CheckStats* stats = nullptr,
+                                    const CheckLimits& limits = {}) {
+  std::vector<RaceReport> out;
+  CheckTreePair(a, b, mutexes, ilp::OverlapEngine::kDiophantine,
+                [&](const RaceReport& r) { out.push_back(r); }, stats, limits);
+  return out;
+}
+
+std::vector<RaceReport> CollectFrozen(const IntervalTree& a, const IntervalTree& b,
+                                      const MutexSetTable& mutexes,
+                                      CheckStats* stats = nullptr,
+                                      const CheckLimits& limits = {}) {
+  const itree::FrozenIntervalSet fa(a), fb(b);
+  std::vector<RaceReport> out;
+  CheckFrozenPair(fa, fb, mutexes, ilp::OverlapEngine::kDiophantine,
+                  [&](const RaceReport& r) { out.push_back(r); }, stats, limits);
+  return out;
+}
+
+void ExpectSameReports(const std::vector<RaceReport>& x,
+                       const std::vector<RaceReport>& y) {
+  ASSERT_EQ(x.size(), y.size());
+  for (size_t i = 0; i < x.size(); i++) {
+    EXPECT_EQ(x[i].pc1, y[i].pc1) << i;
+    EXPECT_EQ(x[i].pc2, y[i].pc2) << i;
+    EXPECT_EQ(x[i].address, y[i].address) << i;
+    EXPECT_EQ(x[i].size1, y[i].size1) << i;
+    EXPECT_EQ(x[i].size2, y[i].size2) << i;
+    EXPECT_EQ(x[i].write1, y[i].write1) << i;
+    EXPECT_EQ(x[i].write2, y[i].write2) << i;
+    EXPECT_EQ(x[i].confidence, y[i].confidence) << i;
+  }
+}
+
+TEST(CheckFrozenPair, SweepMatchesTreeBackEnd) {
+  // Comparable sizes => the sweep path.
+  MutexSetTable mutexes;
+  IntervalTree a, b;
+  for (uint32_t i = 0; i < 30; i++) {
+    a.AddInterval({1000 + i * 40, 8, 4, 8}, Key(1 + i, itree::kWrite));
+    b.AddInterval({1004 + i * 36, 12, 4, 4}, Key(100 + i, itree::kRead, 4));
+  }
+  CheckStats st, sf;
+  const auto tree_reports = CollectTree(a, b, mutexes, &st);
+  const auto frozen_reports = CollectFrozen(a, b, mutexes, &sf);
+  EXPECT_GT(tree_reports.size(), 0u);
+  ExpectSameReports(tree_reports, frozen_reports);
+  EXPECT_EQ(st.node_pairs_ranged, sf.node_pairs_ranged);
+  EXPECT_EQ(st.solver_calls, sf.solver_calls);
+  EXPECT_EQ(st.races_found, sf.races_found);
+  EXPECT_EQ(st.duplicates_suppressed, sf.duplicates_suppressed);
+}
+
+TEST(CheckFrozenPair, GallopPathMatchesTreeBackEnd) {
+  // One side >= 8x smaller => the galloping per-node path.
+  MutexSetTable mutexes;
+  IntervalTree small, big;
+  small.AddInterval({5000, 16, 8, 8}, Key(1, itree::kWrite));
+  small.AddInterval({9000, 0, 1, 4}, Key(2, itree::kWrite, 4));
+  for (uint32_t i = 0; i < 64; i++) {
+    big.AddInterval({4000 + i * 80, 8, 6, 4}, Key(100 + i, itree::kRead, 4));
+  }
+  const auto tree_reports = CollectTree(small, big, mutexes);
+  const auto frozen_reports = CollectFrozen(small, big, mutexes);
+  EXPECT_GT(tree_reports.size(), 0u);
+  ExpectSameReports(tree_reports, frozen_reports);
+  // Symmetric argument order must agree too (outer/inner selection).
+  ExpectSameReports(CollectTree(big, small, mutexes),
+                    CollectFrozen(big, small, mutexes));
+}
+
+TEST(CheckFrozenPair, FastPathMatchesEngineDecisions) {
+  MutexSetTable mutexes;
+  IntervalTree a, b;
+  for (uint32_t i = 0; i < 20; i++) {
+    a.AddInterval({1000 + i * 64, 8, 8, 8}, Key(1 + i, itree::kWrite));
+    b.AddInterval({1004 + i * 64, 8, 8, 4}, Key(50 + i, itree::kRead, 4));
+  }
+  CheckLimits fast;
+  fast.use_fastpath = true;
+  CheckStats s_fast, s_engine;
+  const auto with_fast = CollectFrozen(a, b, mutexes, &s_fast, fast);
+  const auto engine_only = CollectFrozen(a, b, mutexes, &s_engine);
+  ExpectSameReports(engine_only, with_fast);
+  EXPECT_GT(s_fast.fastpath_hits, 0u);
+  // Every decision either took the fast path or the engine; totals match.
+  EXPECT_EQ(s_fast.fastpath_hits + s_fast.solver_calls, s_engine.solver_calls);
+}
+
+TEST(CheckTreePair, DuplicateReportsSuppressedAndCounted) {
+  // Two b-nodes identical except for (non-protecting) mutex sets produce two
+  // byte-identical reports against the same a-node; exactly one must be
+  // emitted, and the suppression must be counted.
+  MutexSetTable mutexes;
+  IntervalTree a, b;
+  a.AddInterval({1000, 0, 1, 8}, Key(1, itree::kWrite));
+  b.AddInterval({1000, 0, 1, 8}, Key(2, itree::kRead, 8, mutexes.Intern({3})));
+  b.AddInterval({1000, 0, 1, 8}, Key(2, itree::kRead, 8, mutexes.Intern({4})));
+  CheckStats stats;
+  const auto reports = CollectTree(a, b, mutexes, &stats);
+  EXPECT_EQ(reports.size(), 1u);
+  EXPECT_EQ(stats.races_found, 1u);
+  EXPECT_EQ(stats.duplicates_suppressed, 1u);
+  EXPECT_EQ(stats.node_pairs_ranged, 2u);
+  // The frozen back end agrees, dedup included.
+  CheckStats frozen_stats;
+  ExpectSameReports(reports, CollectFrozen(a, b, mutexes, &frozen_stats));
+  EXPECT_EQ(frozen_stats.duplicates_suppressed, 1u);
+}
+
+TEST(CheckFrozenPair, CancelFlagStopsComparison) {
+  MutexSetTable mutexes;
+  IntervalTree a, b;
+  for (uint32_t i = 0; i < 50; i++) {
+    a.AddInterval({1000 + i * 8, 0, 1, 8}, Key(1 + i, itree::kWrite));
+    b.AddInterval({1000 + i * 8, 0, 1, 8}, Key(100 + i, itree::kWrite));
+  }
+  const itree::FrozenIntervalSet fa(a), fb(b);
+  std::atomic<bool> cancel{true};  // cancelled before the first pair
+  CheckLimits limits;
+  limits.cancel = &cancel;
+  CheckStats stats;
+  size_t emitted = 0;
+  CheckFrozenPair(fa, fb, mutexes, ilp::OverlapEngine::kDiophantine,
+                  [&](const RaceReport&) { emitted++; }, &stats, limits);
+  EXPECT_EQ(stats.node_pairs_ranged, 0u);
+  EXPECT_EQ(emitted, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The persistent work-stealing pool.
+
+TEST(CheckerPool, ExecutesEveryIndexExactlyOnce) {
+  CheckerPool pool(4);
+  EXPECT_EQ(pool.workers(), 4u);
+  constexpr size_t kCount = 1013;  // not a multiple of any block size
+  std::vector<std::atomic<uint32_t>> hits(kCount);
+  pool.ParallelFor(kCount, 7, [&](size_t i, uint32_t worker) {
+    ASSERT_LT(worker, 4u);
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kCount; i++) {
+    EXPECT_EQ(hits[i].load(), 1u) << "index " << i;
+  }
+  EXPECT_EQ(pool.blocks_executed(), (kCount + 6) / 7);
+}
+
+TEST(CheckerPool, ReusableAcrossCallsAndEmptyCalls) {
+  CheckerPool pool(3);
+  for (int round = 0; round < 20; round++) {
+    const size_t count = static_cast<size_t>(round * 13 % 37);
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(count, 4, [&](size_t i, uint32_t) {
+      sum.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), count * (count + 1) / 2) << "round " << round;
+  }
+}
+
+TEST(CheckerPool, SingleWorkerRunsOnCaller) {
+  CheckerPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<uint32_t> workers_seen;
+  pool.ParallelFor(10, 3, [&](size_t, uint32_t worker) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    workers_seen.push_back(worker);
+  });
+  ASSERT_EQ(workers_seen.size(), 10u);
+  for (uint32_t w : workers_seen) EXPECT_EQ(w, 0u);
+}
+
+TEST(CheckerPool, UnevenWorkStillCompletes) {
+  // One pathological block plus many trivial ones: stealing (or the caller
+  // draining) must finish them all regardless of the initial deal.
+  CheckerPool pool(4);
+  std::atomic<size_t> done{0};
+  pool.ParallelFor(64, 1, [&](size_t i, uint32_t) {
+    if (i == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(done.load(), 64u);
+  EXPECT_EQ(pool.blocks_executed(), 64u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end ablation equivalence: the sweep and fast-path optimizations must
+// not change the analyzer's output in any way - same races, same order, same
+// confidences - serial or parallel.
+
+TEST(Analysis, SweepAndFastpathAblationsAreByteIdentical) {
+  SyntheticTrace t;
+  std::vector<trace::RawEvent> e0, e1;
+  for (uint64_t i = 0; i < 30; i++) {
+    e0.push_back(trace::RawEvent::Access(0x1000 + i * 16, 8, 1, 11));     // strided writes
+    e1.push_back(trace::RawEvent::Access(0x1008 + i * 16, 8, 1, 22));     // interleaved (no race)
+    e1.push_back(trace::RawEvent::Access(0x1000 + i * 16, 4, 0, 33));     // colliding reads
+    e1.push_back(trace::RawEvent::Access(0x9000 + i * 24, 8, 1, 44));     // disjoint writes
+  }
+  e0.push_back(trace::RawEvent::Access(0x9000, 8, 0, 55));  // one read hits t1's run
+  t.WriteThread(0, {{Meta(0, 2), e0}});
+  t.WriteThread(1, {{Meta(1, 2), e1}});
+
+  AnalysisConfig ablations[4];
+  ablations[1].use_sweep = false;
+  ablations[2].use_fastpath = false;
+  ablations[3].use_sweep = false;
+  ablations[3].use_fastpath = false;
+
+  const AnalysisResult base = t.Analyze(ablations[0]);
+  ASSERT_TRUE(base.status.ok());
+  ASSERT_GT(base.races.size(), 0u);
+  EXPECT_GT(base.stats.fastpath_hits, 0u);
+
+  for (int i = 1; i < 4; i++) {
+    const AnalysisResult alt = t.Analyze(ablations[i]);
+    ASSERT_TRUE(alt.status.ok());
+    ExpectSameReports(base.races.reports(), alt.races.reports());
+    EXPECT_EQ(base.stats.node_pairs_ranged, alt.stats.node_pairs_ranged) << i;
+    EXPECT_EQ(base.stats.duplicates_suppressed, alt.stats.duplicates_suppressed)
+        << i;
+    // With the fast path off, every decision goes to the engine.
+    if (!ablations[i].use_fastpath) {
+      EXPECT_EQ(alt.stats.fastpath_hits, 0u);
+      EXPECT_EQ(alt.stats.solver_calls,
+                base.stats.solver_calls + base.stats.fastpath_hits)
+          << i;
+    }
+    // And the pooled parallel path agrees with all of it.
+    AnalysisConfig parallel = ablations[i];
+    parallel.threads = 3;
+    const AnalysisResult par = t.Analyze(parallel);
+    ASSERT_TRUE(par.status.ok());
+    ExpectSameReports(base.races.reports(), par.races.reports());
+  }
 }
 
 }  // namespace

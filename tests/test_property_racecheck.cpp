@@ -1,0 +1,281 @@
+// Randomized equivalence properties for the race-check hot path rework:
+//
+//   1. CheckFrozenPair (frozen flat sets + sweep-merge/gallop enumeration,
+//      with and without the closed-form overlap fast paths) must emit the
+//      EXACT report sequence of the legacy CheckTreePair + general-engine
+//      path, over randomized strided workloads.
+//   2. Under a starved solver budget, the frozen path without fast paths is
+//      still byte-identical; with fast paths it may only be MORE precise -
+//      every pair the legacy path proves stays proven with the same witness,
+//      every pair the fast-path run reports was at least flagged (possibly
+//      unproven) by the legacy path, and nothing is invented or dropped.
+//   3. The full analyzer gives byte-identical reports (text rendering
+//      included) across every --no-sweep / --no-fastpath ablation and
+//      thread count, over randomized multi-threaded strided traces.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "common/fsutil.h"
+#include "common/rng.h"
+#include "offline/analysis.h"
+#include "offline/racecheck.h"
+#include "offline/report.h"
+#include "offline/tracestore.h"
+#include "trace/writer.h"
+
+namespace sword::offline {
+namespace {
+
+using itree::AccessKey;
+using itree::IntervalTree;
+using itree::MutexSetTable;
+
+using ReportTuple = std::tuple<uint32_t, uint32_t, uint64_t, uint8_t, uint8_t,
+                               bool, bool, uint8_t>;
+
+ReportTuple Tup(const RaceReport& r) {
+  return {r.pc1,    r.pc2,    r.address,
+          r.size1,  r.size2,  r.write1,
+          r.write2, static_cast<uint8_t>(r.confidence)};
+}
+
+std::vector<ReportTuple> Tuples(const std::vector<RaceReport>& rs) {
+  std::vector<ReportTuple> out;
+  out.reserve(rs.size());
+  for (const RaceReport& r : rs) out.push_back(Tup(r));
+  return out;
+}
+
+/// A random strided workload: a mix of singleton, dense-run, and sparse
+/// strided nodes with random rw/atomic flags and lock sets drawn from a
+/// small pool, clustered so ranges actually touch across the two trees.
+IntervalTree RandomWorkloadTree(Rng& rng, const MutexSetTable& /*mutexes*/,
+                                MutexSetTable* intern, uint32_t pc_base) {
+  IntervalTree tree;
+  const int nodes = 4 + static_cast<int>(rng.Below(40));
+  for (int i = 0; i < nodes; i++) {
+    ilp::StridedInterval iv;
+    iv.base = 0x1000 + rng.Below(2000);
+    switch (rng.Below(4)) {
+      case 0:  // singleton
+        iv.stride = 0;
+        iv.count = 1;
+        break;
+      case 1:  // dense run (stride <= size)
+        iv.stride = 8;
+        iv.count = 1 + rng.Below(24);
+        break;
+      default:  // sparse strided, adversarial strides
+        iv.stride = 9 + rng.Below(56);
+        iv.count = 1 + rng.Below(24);
+        break;
+    }
+    iv.size = static_cast<uint32_t>(1 + rng.Below(8));
+    if (iv.stride != 0 && iv.stride <= iv.size) iv.stride = iv.size + 1;
+    if (rng.Chance(0.3)) iv.stride = 8;  // frequent equal-stride pairs
+
+    AccessKey key;
+    key.pc = pc_base + static_cast<uint32_t>(rng.Below(6));
+    key.flags = rng.Chance(0.6) ? itree::kWrite : itree::kRead;
+    if (rng.Chance(0.15)) key.flags |= itree::kAtomic;
+    key.size = static_cast<uint8_t>(iv.size);
+    key.mutexset = rng.Chance(0.25)
+                       ? intern->Intern({1 + static_cast<uint32_t>(rng.Below(2))})
+                       : itree::kEmptyMutexSet;
+    tree.AddInterval(iv, key);
+  }
+  return tree;
+}
+
+struct RunOutput {
+  std::vector<RaceReport> reports;
+  CheckStats stats;
+};
+
+RunOutput RunTree(const IntervalTree& a, const IntervalTree& b,
+                  const MutexSetTable& mutexes, const CheckLimits& limits) {
+  RunOutput out;
+  CheckTreePair(a, b, mutexes, ilp::OverlapEngine::kDiophantine,
+                [&](const RaceReport& r) { out.reports.push_back(r); },
+                &out.stats, limits);
+  return out;
+}
+
+RunOutput RunFrozen(const IntervalTree& a, const IntervalTree& b,
+                    const MutexSetTable& mutexes, const CheckLimits& limits) {
+  const itree::FrozenIntervalSet fa(a), fb(b);
+  RunOutput out;
+  CheckFrozenPair(fa, fb, mutexes, ilp::OverlapEngine::kDiophantine,
+                  [&](const RaceReport& r) { out.reports.push_back(r); },
+                  &out.stats, limits);
+  return out;
+}
+
+class RacecheckProperty : public testing::TestWithParam<int> {};
+
+TEST_P(RacecheckProperty, FrozenAndFastpathMatchLegacyExactly) {
+  Rng rng(31000 + static_cast<uint64_t>(GetParam()));
+  MutexSetTable mutexes;
+  const IntervalTree a = RandomWorkloadTree(rng, mutexes, &mutexes, 100);
+  const IntervalTree b = RandomWorkloadTree(rng, mutexes, &mutexes, 200);
+
+  const RunOutput legacy = RunTree(a, b, mutexes, {});
+  const RunOutput sweep = RunFrozen(a, b, mutexes, {});
+  CheckLimits fast;
+  fast.use_fastpath = true;
+  const RunOutput fastpath = RunFrozen(a, b, mutexes, fast);
+
+  EXPECT_EQ(Tuples(legacy.reports), Tuples(sweep.reports)) << "sweep back end";
+  EXPECT_EQ(Tuples(legacy.reports), Tuples(fastpath.reports)) << "fast paths";
+
+  EXPECT_EQ(legacy.stats.node_pairs_ranged, sweep.stats.node_pairs_ranged);
+  EXPECT_EQ(legacy.stats.solver_calls, sweep.stats.solver_calls);
+  EXPECT_EQ(legacy.stats.duplicates_suppressed,
+            sweep.stats.duplicates_suppressed);
+  // Fast paths replace solver calls one-for-one, never skip decisions.
+  EXPECT_EQ(fastpath.stats.fastpath_hits + fastpath.stats.solver_calls,
+            legacy.stats.solver_calls);
+}
+
+TEST_P(RacecheckProperty, StarvedBudgetStaysSoundAndConsistent) {
+  Rng rng(47000 + static_cast<uint64_t>(GetParam()));
+  MutexSetTable mutexes;
+  const IntervalTree a = RandomWorkloadTree(rng, mutexes, &mutexes, 100);
+  const IntervalTree b = RandomWorkloadTree(rng, mutexes, &mutexes, 200);
+
+  CheckLimits starved;
+  starved.solver_step_budget = 1 + rng.Below(3);
+  const RunOutput legacy = RunTree(a, b, mutexes, starved);
+  const RunOutput sweep = RunFrozen(a, b, mutexes, starved);
+  // Without fast paths the frozen path makes the same starved decisions in
+  // the same canonical order: byte-identical, bail-outs included.
+  EXPECT_EQ(Tuples(legacy.reports), Tuples(sweep.reports));
+  EXPECT_EQ(legacy.stats.solver_bailouts, sweep.stats.solver_bailouts);
+
+  CheckLimits starved_fast = starved;
+  starved_fast.use_fastpath = true;
+  const RunOutput fastpath = RunFrozen(a, b, mutexes, starved_fast);
+
+  // The fast paths are exact and budget-free, so the starved fast-path run
+  // may only be MORE decided than legacy, never contradictory:
+  //   - every report it emits targets a pair legacy also flagged;
+  //   - every pair legacy PROVED is reported identically (the closed forms
+  //     reproduce engine witnesses bit-for-bit);
+  //   - anything it still reports unproven, legacy reported unproven too.
+  std::map<std::pair<uint32_t, uint32_t>, int> legacy_pairs;
+  std::map<ReportTuple, int> legacy_unproven;
+  for (const RaceReport& r : legacy.reports) {
+    legacy_pairs[{r.pc1, r.pc2}]++;
+    if (r.confidence == RaceConfidence::kUnproven) legacy_unproven[Tup(r)]++;
+  }
+  for (const RaceReport& r : fastpath.reports) {
+    ASSERT_TRUE(legacy_pairs.count({r.pc1, r.pc2}))
+        << "fast path invented pair " << r.pc1 << "/" << r.pc2;
+    if (r.confidence == RaceConfidence::kUnproven) {
+      // An unproven fast-path-run report is an engine-fallback decision the
+      // legacy run made identically - the exact tuple must exist there.
+      EXPECT_GT(legacy_unproven[Tup(r)], 0)
+          << "unproven report " << r.pc1 << "/" << r.pc2
+          << " has no legacy counterpart";
+      legacy_unproven[Tup(r)]--;
+    }
+  }
+  std::map<ReportTuple, int> fast_multiset;
+  for (const RaceReport& r : fastpath.reports) fast_multiset[Tup(r)]++;
+  for (const RaceReport& r : legacy.reports) {
+    if (r.confidence == RaceConfidence::kProven) {
+      EXPECT_GT(fast_multiset[Tup(r)], 0)
+          << "proven race " << r.pc1 << "/" << r.pc2
+          << " lost or altered by the fast path";
+      fast_multiset[Tup(r)]--;
+    }
+  }
+  EXPECT_LE(fastpath.stats.solver_bailouts, legacy.stats.solver_bailouts);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorkloads, RacecheckProperty,
+                         testing::Range(0, 30));
+
+// ---------------------------------------------------------------------------
+// Full-analyzer ablation identity over randomized multi-threaded traces.
+
+trace::IntervalMeta PropMeta(uint32_t lane, uint32_t span, uint64_t phase) {
+  trace::IntervalMeta m;
+  m.region = 0;
+  m.parent_region = trace::IntervalMeta::kNoParent;
+  m.phase = phase;
+  osl::Label label = osl::Label::Initial().Fork(lane, span);
+  for (uint64_t p = 0; p < phase; p++) label = label.AfterBarrier();
+  m.label = label;
+  m.level = 1;
+  m.lane = lane;
+  return m;
+}
+
+class AnalyzeAblationProperty : public testing::TestWithParam<int> {};
+
+TEST_P(AnalyzeAblationProperty, AllAblationsRenderIdentically) {
+  Rng rng(88000 + static_cast<uint64_t>(GetParam()));
+  TempDir dir("prop-ablate");
+  trace::Flusher flusher{/*async=*/false};
+  const uint32_t threads = 2 + static_cast<uint32_t>(rng.Below(2));
+  const uint32_t phases = 1 + static_cast<uint32_t>(rng.Below(2));
+  for (uint32_t tid = 0; tid < threads; tid++) {
+    trace::WriterConfig wc;
+    wc.log_path = dir.path() + "/sword_t" + std::to_string(tid) + ".log";
+    wc.meta_path = dir.path() + "/sword_t" + std::to_string(tid) + ".meta";
+    wc.flusher = &flusher;
+    trace::ThreadTraceWriter writer(tid, wc);
+    for (uint32_t phase = 0; phase < phases; phase++) {
+      writer.BeginSegment(PropMeta(tid, threads, phase));
+      const int events = static_cast<int>(rng.Below(120));
+      uint64_t cursor = 0x1000 + rng.Below(512) * 8;
+      for (int e = 0; e < events; e++) {
+        const uint32_t pc = 10 + static_cast<uint32_t>(rng.Below(8));
+        const uint8_t size = rng.Chance(0.5) ? 8 : 4;
+        const bool write = rng.Chance(0.5);
+        writer.Append(trace::RawEvent::Access(cursor, size, write, pc));
+        cursor += rng.Chance(0.7) ? 8 * (1 + rng.Below(4))
+                                  : (rng.Below(256) * 8);
+        if (cursor > 0x6000) cursor = 0x1000 + rng.Below(64) * 8;
+      }
+      writer.EndSegment();
+    }
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+
+  auto store = TraceStore::OpenDir(dir.path());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  const auto pc_name = [](uint32_t pc) { return "pc#" + std::to_string(pc); };
+
+  AnalysisConfig base_config;
+  const AnalysisResult base = Analyze(store.value(), base_config);
+  ASSERT_TRUE(base.status.ok()) << base.status.ToString();
+  const std::string base_text = RenderText(base, pc_name);
+
+  for (const bool use_sweep : {true, false}) {
+    for (const bool use_fastpath : {true, false}) {
+      for (const uint32_t nthreads : {1u, 3u}) {
+        AnalysisConfig config;
+        config.use_sweep = use_sweep;
+        config.use_fastpath = use_fastpath;
+        config.threads = nthreads;
+        const AnalysisResult alt = Analyze(store.value(), config);
+        ASSERT_TRUE(alt.status.ok());
+        EXPECT_EQ(RenderText(alt, pc_name), base_text)
+            << "sweep=" << use_sweep << " fastpath=" << use_fastpath
+            << " threads=" << nthreads;
+        EXPECT_EQ(Tuples(alt.races.reports()), Tuples(base.races.reports()));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTraces, AnalyzeAblationProperty,
+                         testing::Range(0, 12));
+
+}  // namespace
+}  // namespace sword::offline
