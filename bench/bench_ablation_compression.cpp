@@ -8,6 +8,8 @@
 #include "common/fsutil.h"
 #include "compress/compressor.h"
 #include "compress/frame.h"
+#include "osl/label.h"
+#include "trace/writer.h"
 
 using namespace sword;
 using namespace sword::bench;
@@ -80,6 +82,72 @@ int main() {
 
   table.Print();
   std::printf("\n");
+
+  // --- Format ablation: v2 delta/varint events vs v3 with the duplicate
+  // filter + strided-run coalescer, on the same sweep-heavy access stream
+  // (uncompressed, so the column isolates the FORMAT's contribution from
+  // the codec's). bytes/event and ns/event are per instrumented access.
+  TextTable fmt({"format", "accesses in", "events encoded", "bytes/event",
+                 "encode ns/event"});
+  double v2_bytes_per_event = 0, v3_bytes_per_event = 0;
+  double v2_ns = 0, v3_ns = 0;
+  for (const uint8_t format : {trace::kTraceFormatV2, trace::kTraceFormatV3}) {
+    TempDir fmt_dir("codec-fmt");
+    trace::Flusher flusher(/*async=*/false);
+    trace::WriterConfig wc;
+    wc.log_path = fmt_dir.File("t.log");
+    wc.meta_path = fmt_dir.File("t.meta");
+    wc.flusher = &flusher;
+    wc.codec = FindCompressor("raw");
+    wc.format = format;
+    uint64_t accesses = 0, encoded = 0;
+    double seconds = 0;
+    {
+      trace::ThreadTraceWriter writer(0, wc);
+      trace::IntervalMeta meta;
+      meta.label = osl::Label::Initial().Fork(0, 2);
+      writer.BeginSegment(meta);
+      Timer t;
+      // Sweep-heavy stream with an accumulator re-access and a lock per
+      // block - the shape array kernels actually log.
+      for (uint64_t block = 0; block < 200; block++) {
+        writer.Append(trace::RawEvent::MutexAcquire(1));
+        for (uint64_t i = 0; i < 2048; i++) {
+          writer.AppendAccess(0x100000 + i * 8, 8, /*flags=*/0, /*pc=*/21);
+          writer.AppendAccess(0x80000, 8, /*flags=*/1, /*pc=*/22);
+          accesses += 2;
+        }
+        writer.Append(trace::RawEvent::MutexRelease(1));
+      }
+      seconds = std::max(t.ElapsedSeconds(), 1e-9);
+      writer.EndSegment();
+      encoded = writer.events_logged();
+      if (!writer.Finish().ok()) return 1;
+    }
+    uint64_t log_bytes = 0;
+    if (auto size = FileSize(wc.log_path); size.ok()) log_bytes = size.value();
+    const double bytes_per_event = static_cast<double>(log_bytes) / accesses;
+    const double ns_per_event = seconds * 1e9 / static_cast<double>(accesses);
+    if (format == trace::kTraceFormatV2) {
+      v2_bytes_per_event = bytes_per_event;
+      v2_ns = ns_per_event;
+    } else {
+      v3_bytes_per_event = bytes_per_event;
+      v3_ns = ns_per_event;
+    }
+    fmt.AddRow({"v" + std::to_string(format), std::to_string(accesses),
+                std::to_string(encoded), Fmt(bytes_per_event, 3),
+                Fmt(ns_per_event)});
+  }
+  fmt.Print();
+  std::printf("\n");
+
   Check(best_ratio > 2.0, "the LZ-class codec compresses trace data > 2x");
+  Check(v3_bytes_per_event * 2 < v2_bytes_per_event,
+        "v3 coalescing+filtering halves bytes/event before the codec (" +
+            Fmt(v3_bytes_per_event, 3) + " vs " + Fmt(v2_bytes_per_event, 3) + ")");
+  Check(v3_ns < v2_ns,
+        "v3 encodes cheaper per access than v2 (" + Fmt(v3_ns) + " vs " +
+            Fmt(v2_ns) + " ns)");
   return 0;
 }

@@ -4,27 +4,53 @@
 // offline phase). Claims: small runtime overheads for every tool; sword's
 // collection cheaper than archer's online checking; sword memory constant
 // at ~3.3 MB/thread while archer's follows the application.
+//
+// Flags: --quick (2-thread column only, for CI), --json FILE
+// (machine-readable metrics for the perf-smoke regression gate; includes
+// the tracing-side per-access cost and fast-path suppression counters).
+#include <fstream>
 #include <map>
 
 #include "bench/bench_util.h"
+#include "common/args.h"
 
 using namespace sword;
 using namespace sword::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const bool quick = args.GetBool("quick");
+  const std::string json_path = args.GetString("json", "");
+
   Banner("Figure 6 - OmpSCR geometric-mean overheads (dynamic phase)",
          "sword collection is cheaper than archer online checking; sword "
          "memory is a per-thread constant");
 
-  const std::vector<uint32_t> thread_counts = {2, 4, 8};
+  const std::vector<uint32_t> thread_counts =
+      quick ? std::vector<uint32_t>{2} : std::vector<uint32_t>{2, 4, 8};
   const auto tools = {harness::ToolKind::kBaseline, harness::ToolKind::kArcher,
                       harness::ToolKind::kArcherLow, harness::ToolKind::kSword};
+
+  // Metrics captured at the first thread count for the JSON gate.
+  double json_sword_slow = 0, json_archer_slow = 0;
+  double json_per_access_ns = 0, json_accesses_per_sec = 0;
+  uint64_t json_suppressed = 0, json_coalesced = 0;
 
   for (const uint32_t threads : thread_counts) {
     std::map<harness::ToolKind, std::vector<double>> runtimes;
     std::map<harness::ToolKind, std::vector<double>> memories;
+    std::map<harness::ToolKind, double> seconds;  // suite total per tool
     trace::FlusherStats flush;  // sword flush-pipeline work across the suite
+    // The workloads' instrumented access count, measured by sword's own
+    // counters (logged + filter-suppressed + run-coalesced); it is a
+    // property of the suite, so it also serves as the per-access
+    // denominator for the other tools' columns.
+    uint64_t accesses = 0, suppressed = 0, coalesced = 0;
 
+    // The OmpSCR kernels are sub-millisecond at quick scale, so one run is
+    // scheduler noise; take the best of a few repetitions (the counters are
+    // deterministic across reps, only the wall time varies).
+    const int reps = quick ? 5 : 1;
     for (const auto* w : workloads::WorkloadRegistry::Get().BySuite("ompscr")) {
       double baseline_time = 0;
       for (const auto tool : tools) {
@@ -32,11 +58,21 @@ int main() {
         config.tool = tool;
         config.params.threads = threads;
         config.run_offline = false;  // Fig. 6 measures the dynamic phase
-        const auto r = harness::RunWorkload(*w, config);
+        auto r = harness::RunWorkload(*w, config);
+        for (int rep = 1; rep < reps; rep++) {
+          auto again = harness::RunWorkload(*w, config);
+          if (again.dynamic_seconds < r.dynamic_seconds) r = std::move(again);
+        }
         if (tool == harness::ToolKind::kBaseline) {
           baseline_time = std::max(r.dynamic_seconds, 1e-6);
         }
-        if (tool == harness::ToolKind::kSword) Accumulate(&flush, r.flusher);
+        if (tool == harness::ToolKind::kSword) {
+          Accumulate(&flush, r.flusher);
+          accesses += r.events + r.events_suppressed + r.events_coalesced;
+          suppressed += r.events_suppressed;
+          coalesced += r.events_coalesced;
+        }
+        seconds[tool] += r.dynamic_seconds;
         runtimes[tool].push_back(
             std::max(r.dynamic_seconds, 1e-6) / baseline_time);
         memories[tool].push_back(
@@ -45,13 +81,19 @@ int main() {
     }
 
     TextTable table({"tool (" + std::to_string(threads) + " threads)",
-                     "geo-mean slowdown", "geo-mean total memory"});
+                     "geo-mean slowdown", "geo-mean total memory",
+                     "per-access ns", "suppressed", "coalesced"});
     std::map<harness::ToolKind, double> slow, mem;
     for (const auto tool : tools) {
       slow[tool] = harness::GeometricMean(runtimes[tool]);
       mem[tool] = harness::GeometricMean(memories[tool]);
+      const double ns =
+          seconds[tool] * 1e9 / std::max<uint64_t>(1, accesses);
+      const bool is_sword = tool == harness::ToolKind::kSword;
       table.AddRow({harness::ToolName(tool), FmtX(slow[tool]),
-                    Fmt(mem[tool]) + " MB"});
+                    Fmt(mem[tool]) + " MB", Fmt(ns),
+                    is_sword ? std::to_string(suppressed) : "-",
+                    is_sword ? std::to_string(coalesced) : "-"});
     }
     table.Print();
     std::printf("sword flush pipeline: %s\n", FlusherSummary(flush).c_str());
@@ -67,6 +109,31 @@ int main() {
               3.0 * threads / 1.05 / 1.05,  // ~3.3 MB/thread, small tolerance
           "sword memory ~3.3 MB x " + std::to_string(threads) + " threads");
     std::printf("\n");
+
+    if (threads == thread_counts.front()) {
+      json_sword_slow = slow[harness::ToolKind::kSword];
+      json_archer_slow = slow[harness::ToolKind::kArcher];
+      const double sword_s =
+          std::max(seconds[harness::ToolKind::kSword], 1e-9);
+      json_per_access_ns = sword_s * 1e9 / std::max<uint64_t>(1, accesses);
+      json_accesses_per_sec = static_cast<double>(accesses) / sword_s;
+      json_suppressed = suppressed;
+      json_coalesced = coalesced;
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\"bench\":\"fig6_ompscr_overhead\",\"quick\":"
+        << (quick ? "true" : "false")
+        << ",\"sword_slowdown\":" << json_sword_slow
+        << ",\"archer_slowdown\":" << json_archer_slow
+        << ",\"overhead_ok\":"
+        << (json_sword_slow <= json_archer_slow * 1.6 ? "true" : "false")
+        << ",\"sword_per_access_ns\":" << json_per_access_ns
+        << ",\"sword_accesses_per_sec\":" << json_accesses_per_sec
+        << ",\"events_suppressed\":" << json_suppressed
+        << ",\"events_coalesced\":" << json_coalesced << "}\n";
   }
   return 0;
 }

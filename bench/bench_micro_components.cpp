@@ -2,10 +2,24 @@
 // per-access costs (trace append, shadow check), interval-tree operations,
 // OSL judgments, Diophantine/ILP solves, codec throughput, and vector-clock
 // joins. These are the constants behind every macro number in the tables.
+//
+// Two modes:
+//   (default)            the google-benchmark suite below
+//   --quick [--json F]   the online fast-path microbench: per-access ns on
+//                        strided-sweep and reduction workloads, format v3
+//                        default vs ablation (no filter, no coalescer) vs
+//                        v2, with suppressed/coalesced counters. This is the
+//                        perf-smoke gate's tracing-side metric source.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
 #include <thread>
 #include <vector>
+
+#include "bench/bench_util.h"
+#include "common/args.h"
+#include "common/table.h"
 
 #include "common/rng.h"
 #include "compress/compressor.h"
@@ -93,6 +107,65 @@ void BM_EventDecodeV2(benchmark::State& state) {
 }
 BENCHMARK(BM_EventDecodeV2);
 
+void BM_EventEncodeV3Run(benchmark::State& state) {
+  // One kAccessRun event standing for state.range(0) strided accesses - the
+  // v3 coalescer's output. bytes_per_access is the format-level compression
+  // a hot sweep loop gets before the codec runs.
+  const uint64_t count = static_cast<uint64_t>(state.range(0));
+  Bytes buffer;
+  buffer.reserve(1 << 20);
+  ByteWriter w(&buffer);
+  trace::EventCodecState codec_state;
+  uint64_t addr = 0x1000;
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    const size_t before = buffer.size();
+    trace::EncodeEventV3(trace::RawEvent::Run(addr, 8, count, 8, 1, 42),
+                         codec_state, w);
+    bytes += buffer.size() - before;
+    addr += count * 8;
+    if (buffer.size() > (1 << 20) - trace::kMaxEventBytesV3) {
+      buffer.clear();
+      codec_state = trace::EventCodecState{};
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(count));
+  state.counters["bytes_per_access"] = benchmark::Counter(
+      static_cast<double>(bytes) / state.iterations() / count);
+}
+BENCHMARK(BM_EventEncodeV3Run)->Arg(16)->Arg(256);
+
+void BM_EventDecodeV3Run(benchmark::State& state) {
+  // Decode throughput of the v3 reader hot loop on run-dense payloads,
+  // counted in represented accesses (count per run event).
+  constexpr uint64_t kRuns = 1 << 12;
+  constexpr uint64_t kCount = 64;
+  Bytes buffer;
+  ByteWriter w(&buffer);
+  trace::EventCodecState enc_state;
+  for (uint64_t i = 0; i < kRuns; i++) {
+    trace::EncodeEventV3(
+        trace::RawEvent::Run(0x1000 + i * kCount * 8, 8, kCount, 8, 1, 42),
+        enc_state, w);
+  }
+  for (auto _ : state) {
+    ByteReader r(buffer);
+    trace::EventCodecState dec_state;
+    trace::RawEvent e;
+    uint64_t accesses = 0;
+    while (!r.AtEnd()) {
+      if (!trace::DecodeEventV3(r, dec_state, &e).ok()) std::abort();
+      accesses += e.count;
+    }
+    benchmark::DoNotOptimize(accesses);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kRuns * kCount);
+  state.counters["bytes_per_access"] =
+      benchmark::Counter(static_cast<double>(buffer.size()) / (kRuns * kCount));
+}
+BENCHMARK(BM_EventDecodeV3Run);
+
 void BM_TraceAppend(benchmark::State& state) {
   TempDir dir("bm-trace");
   trace::Flusher flusher(/*async=*/true);
@@ -112,9 +185,42 @@ void BM_TraceAppend(benchmark::State& state) {
   }
   writer.EndSegment();
   state.SetItemsProcessed(state.iterations());
-  state.SetLabel(state.range(0) == trace::kTraceFormatV1 ? "v1" : "v2");
+  state.SetLabel("v" + std::to_string(state.range(0)));
 }
-BENCHMARK(BM_TraceAppend)->Arg(trace::kTraceFormatV1)->Arg(trace::kTraceFormatV2);
+BENCHMARK(BM_TraceAppend)
+    ->Arg(trace::kTraceFormatV1)
+    ->Arg(trace::kTraceFormatV2)
+    ->Arg(trace::kTraceFormatV3);
+
+void BM_TraceAppendAccess(benchmark::State& state) {
+  // The instrumented-access fast path on a strided sweep: format v3 with the
+  // duplicate filter + coalescer (arg 1) vs the same format with both
+  // ablated (arg 0). The gap is the per-access win the online tentpole
+  // claims; the --quick mode gates it in CI.
+  const bool fast = state.range(0) != 0;
+  TempDir dir("bm-appendaccess");
+  trace::Flusher flusher(/*async=*/true);
+  trace::WriterConfig wc;
+  wc.log_path = dir.File("t.log");
+  wc.meta_path = dir.File("t.meta");
+  wc.flusher = &flusher;
+  wc.format = trace::kTraceFormatV3;
+  wc.access_filter = fast;
+  wc.coalesce = fast;
+  trace::ThreadTraceWriter writer(0, wc);
+  trace::IntervalMeta meta;
+  meta.label = osl::Label::Initial().Fork(0, 2);
+  writer.BeginSegment(meta);
+  uint64_t addr = 0x4000;
+  for (auto _ : state) {
+    writer.AppendAccess(addr, 8, 1, 7);
+    addr += 8;
+  }
+  writer.EndSegment();
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(fast ? "filter+coalesce" : "ablated");
+}
+BENCHMARK(BM_TraceAppendAccess)->Arg(0)->Arg(1);
 
 void BM_FlusherThroughput(benchmark::State& state) {
   // End-to-end pipeline throughput: 8 producers handing pool-acquired
@@ -362,6 +468,198 @@ void BM_VectorClockJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_VectorClockJoin);
 
+// ---------------------------------------------------------------------------
+// --quick mode: the online fast-path microbench behind the perf-smoke gate.
+// Measures per-access ns at the ThreadTraceWriter layer (the exact code the
+// TLS event sink dispatches into) on two shapes:
+//   strided sweep   repeated ascending stride-8 store sweeps - pure
+//                   coalescer territory (each sweep folds into one run);
+//   reduction loop  a[i] load + accumulator load + accumulator store per
+//                   iteration - the accumulator re-accesses are duplicate-
+//                   filter territory, and suppressing them is also what
+//                   keeps the a[i] run unbroken.
+// Each shape runs under format v3 default, v3 with filter+coalescer ablated,
+// and v2, so the JSON carries both the speedup ratio (machine-independent)
+// and absolute accesses/sec (floor-gated with tolerance).
+
+struct SweepMetrics {
+  double ns_per_access = 0;
+  double accesses_per_sec = 0;
+  uint64_t accesses = 0;
+  uint64_t logged = 0;
+  uint64_t suppressed = 0;
+  uint64_t coalesced = 0;
+  uint64_t runs = 0;
+  uint64_t log_bytes = 0;
+};
+
+enum class SweepShape { kStrided, kReduction };
+
+SweepMetrics MeasureSweep(SweepShape shape, uint8_t format, bool filter,
+                          bool coalesce, uint64_t sweeps, uint64_t elems) {
+  TempDir dir("bm-fastpath");
+  trace::Flusher flusher(/*async=*/false);
+  trace::WriterConfig wc;
+  wc.log_path = dir.File("t.log");
+  wc.meta_path = dir.File("t.meta");
+  wc.flusher = &flusher;
+  wc.codec = FindCompressor("raw");  // measure the format, not the codec
+  wc.format = format;
+  wc.access_filter = filter;
+  wc.coalesce = coalesce;
+  SweepMetrics m;
+  {
+    trace::ThreadTraceWriter writer(0, wc);
+    trace::IntervalMeta meta;
+    meta.label = osl::Label::Initial().Fork(0, 2);
+    writer.BeginSegment(meta);
+    constexpr uint64_t kBase = 0x100000;
+    constexpr uint64_t kAcc = 0x80000;  // the reduction accumulator
+    Timer t;
+    if (shape == SweepShape::kStrided) {
+      for (uint64_t s = 0; s < sweeps; s++) {
+        for (uint64_t i = 0; i < elems; i++) {
+          writer.AppendAccess(kBase + i * 8, 8, /*flags=*/1, /*pc=*/7);
+        }
+      }
+      m.accesses = sweeps * elems;
+    } else {
+      for (uint64_t s = 0; s < sweeps; s++) {
+        for (uint64_t i = 0; i < elems; i++) {
+          writer.AppendAccess(kBase + i * 8, 8, /*flags=*/0, /*pc=*/11);
+          writer.AppendAccess(kAcc, 8, /*flags=*/0, /*pc=*/12);
+          writer.AppendAccess(kAcc, 8, /*flags=*/1, /*pc=*/13);
+        }
+      }
+      m.accesses = sweeps * elems * 3;
+    }
+    const double seconds = std::max(t.ElapsedSeconds(), 1e-9);
+    writer.EndSegment();
+    m.ns_per_access = seconds * 1e9 / static_cast<double>(m.accesses);
+    m.accesses_per_sec = static_cast<double>(m.accesses) / seconds;
+    m.logged = writer.events_logged();
+    m.suppressed = writer.events_suppressed();
+    m.coalesced = writer.events_coalesced();
+    m.runs = writer.runs_emitted();
+    if (!writer.Finish().ok()) std::abort();
+  }
+  auto size = FileSize(wc.log_path);
+  m.log_bytes = size.ok() ? size.value() : 0;
+  return m;
+}
+
+int RunFastPathQuick(const ArgParser& args) {
+  using sword::bench::Check;
+  const bool quick = args.GetBool("quick");
+  const std::string json_path = args.GetString("json", "");
+  const uint64_t sweeps = quick ? 200 : 2000;
+  const uint64_t elems = 4096;
+
+  sword::bench::Banner(
+      "Online fast path - per-access cost, v3 default vs ablation",
+      "duplicate filtering + strided-run coalescing >= 2x per-access "
+      "throughput on sweep loops, at fewer logged bytes");
+
+  struct Row {
+    const char* name;
+    SweepMetrics m;
+  };
+  auto measure = [&](SweepShape shape) {
+    return std::vector<Row>{
+        {"v3 default", MeasureSweep(shape, trace::kTraceFormatV3, true, true,
+                                    sweeps, elems)},
+        {"v3 ablated", MeasureSweep(shape, trace::kTraceFormatV3, false, false,
+                                    sweeps, elems)},
+        {"v2", MeasureSweep(shape, trace::kTraceFormatV2, false, false, sweeps,
+                            elems)},
+    };
+  };
+
+  SweepMetrics strided_default, strided_ablated, reduction_default,
+      reduction_ablated;
+  for (const SweepShape shape : {SweepShape::kStrided, SweepShape::kReduction}) {
+    const bool is_strided = shape == SweepShape::kStrided;
+    TextTable table({is_strided ? "strided sweep" : "reduction loop",
+                     "per-access ns", "accesses/s", "events logged",
+                     "suppressed", "coalesced", "runs", "log bytes"});
+    for (const Row& row : measure(shape)) {
+      table.AddRow({row.name, Fmt(row.m.ns_per_access),
+                    std::to_string(static_cast<uint64_t>(row.m.accesses_per_sec)),
+                    std::to_string(row.m.logged),
+                    std::to_string(row.m.suppressed),
+                    std::to_string(row.m.coalesced), std::to_string(row.m.runs),
+                    std::to_string(row.m.log_bytes)});
+      if (std::strcmp(row.name, "v3 default") == 0) {
+        (is_strided ? strided_default : reduction_default) = row.m;
+      } else if (std::strcmp(row.name, "v3 ablated") == 0) {
+        (is_strided ? strided_ablated : reduction_ablated) = row.m;
+      }
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  const double strided_speedup =
+      strided_ablated.ns_per_access / std::max(strided_default.ns_per_access, 1e-9);
+  const double reduction_speedup = reduction_ablated.ns_per_access /
+                                   std::max(reduction_default.ns_per_access, 1e-9);
+  const double bytes_default =
+      static_cast<double>(strided_default.log_bytes) /
+      std::max<uint64_t>(1, strided_default.accesses);
+  const double bytes_ablated =
+      static_cast<double>(strided_ablated.log_bytes) /
+      std::max<uint64_t>(1, strided_ablated.accesses);
+
+  Check(strided_speedup >= 2.0,
+        "strided sweep >= 2x per-access throughput (" +
+            FmtX(strided_speedup, 1) + ")");
+  Check(reduction_speedup >= 2.0,
+        "reduction loop >= 2x per-access throughput (" +
+            FmtX(reduction_speedup, 1) + ")");
+  Check(strided_default.log_bytes * 10 < strided_ablated.log_bytes,
+        "coalesced log >= 10x smaller on sweeps (" +
+            FormatBytes(strided_default.log_bytes) + " vs " +
+            FormatBytes(strided_ablated.log_bytes) + ")");
+  Check(reduction_default.suppressed > 0 && strided_default.coalesced > 0,
+        "both fast-path mechanisms engaged (suppressed=" +
+            std::to_string(reduction_default.suppressed) +
+            ", coalesced=" + std::to_string(strided_default.coalesced) + ")");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\"bench\":\"micro_components\",\"quick\":"
+        << (quick ? "true" : "false")
+        << ",\"strided_default_ns\":" << strided_default.ns_per_access
+        << ",\"strided_ablated_ns\":" << strided_ablated.ns_per_access
+        << ",\"reduction_default_ns\":" << reduction_default.ns_per_access
+        << ",\"reduction_ablated_ns\":" << reduction_ablated.ns_per_access
+        << ",\"fast_path_speedup\":" << strided_speedup
+        << ",\"reduction_speedup\":" << reduction_speedup
+        << ",\"default_accesses_per_sec\":" << strided_default.accesses_per_sec
+        << ",\"events_suppressed\":" << reduction_default.suppressed
+        << ",\"events_coalesced\":" << strided_default.coalesced
+        << ",\"runs_emitted\":" << strided_default.runs
+        << ",\"bytes_per_access_default\":" << bytes_default
+        << ",\"bytes_per_access_ablated\":" << bytes_ablated << "}\n";
+  }
+  return (strided_speedup >= 2.0 && reduction_speedup >= 2.0) ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --quick / --json bypass google-benchmark: the perf-smoke job wants one
+  // deterministic fast-path measurement with machine-readable output.
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--quick") == 0 ||
+        std::strcmp(argv[i], "--json") == 0) {
+      sword::ArgParser args(argc, argv);
+      return RunFastPathQuick(args);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

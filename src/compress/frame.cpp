@@ -32,6 +32,8 @@ Status ReadFrameHeader(ByteReader& reader, uint32_t magic,
     *payload_format = 1;
   } else if (magic == kFrameMagicV2) {
     *payload_format = 2;
+  } else if (magic == kFrameMagicV3) {
+    *payload_format = 3;
   } else {
     return Status::Corrupt("bad frame magic");
   }
@@ -50,7 +52,7 @@ Status ReadFrameHeader(ByteReader& reader, uint32_t magic,
 
 Status WriteFrame(const Compressor& codec, const uint8_t* data, size_t n, Bytes* out,
                   uint8_t payload_format, CompressScratch* scratch) {
-  if (payload_format != 1 && payload_format != 2) {
+  if (payload_format < 1 || payload_format > 3) {
     return Status::Invalid("unknown frame payload format");
   }
   Bytes local_payload;
@@ -59,7 +61,9 @@ Status WriteFrame(const Compressor& codec, const uint8_t* data, size_t n, Bytes*
   SWORD_RETURN_IF_ERROR(codec.Compress(data, n, &payload, scratch));
 
   ByteWriter w(out);
-  w.PutU32(payload_format == 1 ? kFrameMagic : kFrameMagicV2);
+  w.PutU32(payload_format == 1   ? kFrameMagic
+           : payload_format == 2 ? kFrameMagicV2
+                                 : kFrameMagicV3);
   w.PutString(codec.Name());
   w.PutVarU64(n);
   w.PutVarU64(payload.size());

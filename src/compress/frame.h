@@ -6,9 +6,17 @@
 //
 // The magic doubles as the PAYLOAD FORMAT version tag: "SWDF" frames carry
 // format-v1 payloads (fixed 16-byte events), "SWF2" frames carry format-v2
-// payloads (delta/varint events, see src/trace/event.h). Readers dispatch
-// per frame, so one log file may legally mix versions (e.g. a trace resumed
-// by a newer writer).
+// payloads (delta/varint events, see src/trace/event.h), "SW3F" frames carry
+// format-v3 payloads (v2 plus coalesced run events). Readers dispatch per
+// frame, so one log file may legally mix versions (e.g. a trace resumed by a
+// newer writer).
+//
+// The v3 magic is deliberately NOT "SWF3": that string is one bit away from
+// "SWF2", and because v3 payloads are a superset of v2 a bit-flipped v2
+// header would decode cleanly as v3 - the checksum only covers the payload,
+// so the corruption would go unnoticed. "SW3F" keeps every magic at Hamming
+// distance >= 2 from every other, so a single bit flip always lands on an
+// invalid magic and is caught.
 //
 // Frames are self-describing so the offline streaming reader can walk a log
 // file frame by frame, decompress each into a bounded scratch buffer, and
@@ -27,6 +35,7 @@ namespace sword {
 
 constexpr uint32_t kFrameMagic = 0x53574446;    // "SWDF": format-v1 payload
 constexpr uint32_t kFrameMagicV2 = 0x53574632;  // "SWF2": format-v2 payload
+constexpr uint32_t kFrameMagicV3 = 0x53573346;  // "SW3F": format-v3 payload
 constexpr uint32_t kFrameMagicGap = 0x53574750; // "SWGP": drop marker, no payload
 
 /// Hard cap on a frame's decompressed size. Writers flush one bounded trace
@@ -36,7 +45,7 @@ constexpr uint32_t kFrameMagicGap = 0x53574750; // "SWGP": drop marker, no paylo
 constexpr uint64_t kMaxFrameRawBytes = 64ull << 20;
 
 /// Compresses `data` with `codec` and appends a complete frame to `out`.
-/// `payload_format` selects the magic (1 or 2). `scratch` optionally
+/// `payload_format` selects the magic (1, 2, or 3). `scratch` optionally
 /// provides reusable compression staging (see CompressScratch): the
 /// compressed payload is built in scratch->payload instead of a fresh
 /// allocation.

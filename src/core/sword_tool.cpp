@@ -7,6 +7,7 @@
 
 #include "common/fsutil.h"
 #include "compress/compressor.h"
+#include "somp/sink.h"
 
 namespace sword::core {
 
@@ -77,6 +78,19 @@ thread_local TlsHandle tls_handle;
 
 std::atomic<uint64_t> g_next_instance_id{1};
 
+/// Sink trampolines: the instrumentation shim calls these through plain
+/// function pointers with the thread's own ThreadTraceWriter as state -
+/// no Runtime lookup, no virtual dispatch, no TLS handle re-check.
+void SinkAccessThunk(void* state, uint64_t addr, uint8_t size, uint8_t flags,
+                     somp::PcId pc) {
+  static_cast<trace::ThreadTraceWriter*>(state)->AppendAccess(addr, size, flags, pc);
+}
+
+void SinkRangeThunk(void* state, uint64_t addr, uint64_t bytes, uint8_t flags,
+                    somp::PcId pc) {
+  static_cast<trace::ThreadTraceWriter*>(state)->AppendRange(addr, bytes, flags, pc);
+}
+
 trace::IntervalMeta MetaFrom(const somp::Ctx& ctx) {
   trace::IntervalMeta meta;
   meta.region = ctx.region();
@@ -132,6 +146,8 @@ SwordTool::ThreadState& SwordTool::State() {
   wc.codec = FindCompressor(config_.codec);
   wc.flusher = &flusher_;
   wc.format = config_.trace_format;
+  wc.access_filter = config_.access_filter;
+  wc.coalesce = config_.coalesce;
   wc.meta_checkpoint_interval = config_.meta_checkpoint_interval;
   wc.backend = config_.backend;
   raw->writer = std::make_unique<trace::ThreadTraceWriter>(tid, wc);
@@ -145,6 +161,11 @@ SwordTool::ThreadState& SwordTool::State() {
 
 void SwordTool::BeginSegmentFor(ThreadState& ts, somp::Ctx& ctx) {
   ts.writer->BeginSegment(MetaFrom(ctx));
+  // (Re)install this thread's fast-path sink for the new segment. The epoch
+  // is sampled at install time; Configure/Finalize bump it to invalidate.
+  somp::tls_event_sink = somp::ThreadEventSink{
+      &SinkAccessThunk, &SinkRangeThunk, ts.writer.get(), &ctx,
+      somp::CurrentSinkEpoch()};
 }
 
 void SwordTool::OnImplicitTaskBegin(somp::Ctx& ctx) {
@@ -160,6 +181,7 @@ void SwordTool::OnImplicitTaskEnd(somp::Ctx& ctx) {
   assert(!ts.ctx_stack.empty() && ts.ctx_stack.back() == &ctx);
   (void)ctx;
   ts.ctx_stack.pop_back();
+  somp::ClearThreadSink();  // ctx is about to die; never let a sink outlive it
   // Resume the paused parent segment, if any.
   if (!ts.ctx_stack.empty()) BeginSegmentFor(ts, *ts.ctx_stack.back());
 }
@@ -170,6 +192,7 @@ void SwordTool::OnBarrierEnter(somp::Ctx& ctx, uint64_t phase, somp::BarrierKind
   (void)kind;
   ThreadState& ts = State();
   if (ts.writer->HasOpenSegment()) ts.writer->EndSegment();
+  somp::ClearThreadSink();  // no segment is open while waiting at the barrier
 }
 
 void SwordTool::OnBarrierExit(somp::Ctx& ctx, uint64_t phase) {
@@ -182,23 +205,26 @@ void SwordTool::OnMutexAcquired(somp::Ctx& ctx, somp::MutexId mutex) {
   (void)ctx;
   ThreadState& ts = State();
   ts.writer->Append(trace::RawEvent::MutexAcquire(mutex));
-  events_logged_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void SwordTool::OnMutexReleased(somp::Ctx& ctx, somp::MutexId mutex) {
   (void)ctx;
   ThreadState& ts = State();
   ts.writer->Append(trace::RawEvent::MutexRelease(mutex));
-  events_logged_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void SwordTool::OnAccess(somp::Ctx& ctx, uint64_t addr, uint8_t size, uint8_t flags,
                          somp::PcId pc) {
+  // Virtual-path fallback (stale or missing sink); same writer entry point
+  // as the sink thunk, so the logged stream is identical either way.
   (void)ctx;
-  ThreadState& ts = State();
-  assert(ts.writer->HasOpenSegment());
-  ts.writer->Append(trace::RawEvent::Access(addr, size, flags, pc));
-  events_logged_.fetch_add(1, std::memory_order_relaxed);
+  State().writer->AppendAccess(addr, size, flags, pc);
+}
+
+void SwordTool::OnRangeAccess(somp::Ctx& ctx, uint64_t addr, uint64_t bytes,
+                              uint8_t flags, somp::PcId pc) {
+  (void)ctx;
+  State().writer->AppendRange(addr, bytes, flags, pc);
 }
 
 void SwordTool::OnRuntimeShutdown() { (void)Finalize(); }
@@ -207,6 +233,10 @@ Status SwordTool::Finalize() {
   std::lock_guard lock(states_mutex_);
   if (finalized_) return status_;
   finalized_ = true;
+  // Writers are about to be finished; any thread still holding a sink into
+  // one must fall back to the virtual path (which this tool no-ops after
+  // finalization via the closed writers).
+  somp::InvalidateSinks();
   // Order matters: push every writer's buffered events into the pipeline,
   // wait for the pipeline to hit the disk (or give up and account drops),
   // and only THEN write the final metas - whose v3 headers fold in the
@@ -250,6 +280,41 @@ uint64_t SwordTool::Flushes() const {
   std::lock_guard lock(states_mutex_);
   uint64_t total = 0;
   for (const auto& ts : states_) total += ts->writer->flushes();
+  return total;
+}
+
+uint64_t SwordTool::EventsLogged() const {
+  std::lock_guard lock(states_mutex_);
+  uint64_t total = 0;
+  for (const auto& ts : states_) total += ts->writer->events_logged();
+  return total;
+}
+
+uint64_t SwordTool::EventsSuppressed() const {
+  std::lock_guard lock(states_mutex_);
+  uint64_t total = 0;
+  for (const auto& ts : states_) total += ts->writer->events_suppressed();
+  return total;
+}
+
+uint64_t SwordTool::EventsCoalesced() const {
+  std::lock_guard lock(states_mutex_);
+  uint64_t total = 0;
+  for (const auto& ts : states_) total += ts->writer->events_coalesced();
+  return total;
+}
+
+uint64_t SwordTool::RunsEmitted() const {
+  std::lock_guard lock(states_mutex_);
+  uint64_t total = 0;
+  for (const auto& ts : states_) total += ts->writer->runs_emitted();
+  return total;
+}
+
+uint64_t SwordTool::AccessesDropped() const {
+  std::lock_guard lock(states_mutex_);
+  uint64_t total = 0;
+  for (const auto& ts : states_) total += ts->writer->accesses_dropped();
   return total;
 }
 

@@ -40,7 +40,12 @@ struct SwordConfig {
   bool async_flush = true;
   uint32_t flush_workers = 0;                // 0 = min(4, hw_concurrency)
   size_t flush_queue_depth = trace::Flusher::kDefaultMaxQueuedJobs;
-  uint8_t trace_format = trace::kTraceFormatV2;  // event encoding version
+  uint8_t trace_format = trace::kTraceFormatV3;  // event encoding version
+  /// Online fast-path knobs (effective for trace format v3 only; see
+  /// WriterConfig). Both are ablations: race reports are byte-identical
+  /// with them on or off.
+  bool access_filter = true;
+  bool coalesce = true;
   /// Meta checkpoint cadence in closed segments (0 = only at Finalize); see
   /// WriterConfig::meta_checkpoint_interval.
   uint32_t meta_checkpoint_interval = 1;
@@ -68,6 +73,8 @@ class SwordTool final : public somp::Tool {
   void OnMutexReleased(somp::Ctx& ctx, somp::MutexId mutex) override;
   void OnAccess(somp::Ctx& ctx, uint64_t addr, uint8_t size, uint8_t flags,
                 somp::PcId pc) override;
+  void OnRangeAccess(somp::Ctx& ctx, uint64_t addr, uint64_t bytes,
+                     uint8_t flags, somp::PcId pc) override;
   void OnRuntimeShutdown() override;
 
   /// Closes all writers, drains I/O, returns first error. Idempotent;
@@ -88,7 +95,14 @@ class SwordTool final : public somp::Tool {
   uint64_t PeakMemoryBytes() const { return memory_.peak(); }
 
   uint32_t ThreadCount() const;
-  uint64_t EventsLogged() const { return events_logged_.load(); }
+  /// Aggregated per-thread writer counters, summed on demand - there is no
+  /// shared per-access atomic anywhere on the hot path. EventsLogged counts
+  /// ENCODED events (a coalesced run counts once).
+  uint64_t EventsLogged() const;
+  uint64_t EventsSuppressed() const;
+  uint64_t EventsCoalesced() const;
+  uint64_t RunsEmitted() const;
+  uint64_t AccessesDropped() const;
   uint64_t BytesWritten() const { return flusher_.bytes_written(); }
   uint64_t Flushes() const;
 
@@ -113,7 +127,6 @@ class SwordTool final : public somp::Tool {
 
   mutable std::mutex states_mutex_;
   std::vector<std::unique_ptr<ThreadState>> states_;
-  std::atomic<uint64_t> events_logged_{0};
   const uint64_t instance_id_;
   bool finalized_ = false;
   Status status_;

@@ -108,6 +108,8 @@ RunResult RunWorkload(const workloads::Workload& workload, const RunConfig& conf
       sc.async_flush = config.async_flush;
       sc.flush_workers = config.flush_workers;
       sc.trace_format = config.trace_format;
+      sc.access_filter = config.access_filter;
+      sc.coalesce = config.coalesce;
 
       {
         core::SwordTool tool(sc);
@@ -118,6 +120,10 @@ RunResult RunWorkload(const workloads::Workload& workload, const RunConfig& conf
         result.dynamic_seconds = timer.ElapsedSeconds();
         result.tool_peak_bytes = tool.PeakMemoryBytes();
         result.events = tool.EventsLogged();
+        result.events_suppressed = tool.EventsSuppressed();
+        result.events_coalesced = tool.EventsCoalesced();
+        result.runs_emitted = tool.RunsEmitted();
+        result.accesses_dropped = tool.AccessesDropped();
         result.flushes = tool.Flushes();
         result.trace_threads = tool.ThreadCount();
         result.flusher = tool.FlushStats();

@@ -40,7 +40,9 @@ struct RunConfig {
   std::string codec = "lzf";
   bool async_flush = true;
   uint32_t flush_workers = 0;          // flusher pool size; 0 = auto
-  uint8_t trace_format = trace::kTraceFormatV2;
+  uint8_t trace_format = trace::kTraceFormatV3;
+  bool access_filter = true;           // duplicate-access filter (v3 only)
+  bool coalesce = true;                // strided-run coalescing (v3 only)
   bool run_offline = true;             // run the offline analysis afterwards
   uint32_t offline_threads = 1;
   ilp::OverlapEngine engine = ilp::OverlapEngine::kDiophantine;
@@ -69,6 +71,10 @@ struct RunResult {
   uint64_t tool_peak_bytes = 0;     // detector peak memory
   uint64_t log_bytes_on_disk = 0;   // compressed trace size (sword)
   uint64_t events = 0;              // events logged (sword) / accesses seen
+  uint64_t events_suppressed = 0;   // duplicate accesses filtered (sword)
+  uint64_t events_coalesced = 0;    // accesses folded into runs (sword)
+  uint64_t runs_emitted = 0;        // strided run events written (sword)
+  uint64_t accesses_dropped = 0;    // accesses seen outside a segment (sword)
   uint64_t flushes = 0;             // buffer flushes (sword)
   uint64_t trace_threads = 0;       // sword threads (for N*(B+C))
   trace::FlusherStats flusher;      // flush-pipeline counters (sword)

@@ -83,6 +83,49 @@ uint32_t IntervalTree::AddAccess(uint64_t addr, const AccessKey& key) {
   return id;
 }
 
+uint32_t IntervalTree::AddRun(uint64_t base, uint64_t stride, uint64_t count,
+                              const AccessKey& key) {
+  // Degenerate shapes are defined by the element loop.
+  if (count == 0) return kNil;
+  if (stride == 0) {
+    uint32_t id = kNil;
+    for (uint64_t i = 0; i < count; i++) id = AddAccess(base, key);
+    return id;
+  }
+  uint32_t id = AddAccess(base, key);
+  if (count == 1) return id;
+  const uint32_t first = id;
+  id = AddAccess(base + stride, key);
+  if (count == 2) return id;
+
+  // Bulk fast path: the first two elements merged into one fresh-looking
+  // run node, and no other node shares the key, so every remaining element
+  // would take the continuation branch of AddAccess on this exact node.
+  // Apply the loop's net effect in O(1): grow the interval, move the
+  // continuation and last-address index entries to the run's new end, and
+  // bump the counters once.
+  const auto& iv = nodes_[id].payload.interval;
+  const auto kn = key_nodes_.find(key);
+  if (id == first && iv.base == base && iv.stride == stride && iv.count == 2 &&
+      kn != key_nodes_.end() && kn->second == 1) {
+    const uint64_t extra = count - 2;
+    EraseIfMapsTo(continuations_, ContKey{base + 2 * stride, key}, id);
+    EraseIfMapsTo(last_addr_, ContKey{base + stride, key}, id);
+    auto& run = nodes_[id].payload;
+    run.interval.count = count;
+    run.hits += extra;
+    total_accesses_ += extra;
+    continuations_.emplace(ContKey{base + stride * count, key}, id);
+    last_addr_.emplace(ContKey{base + stride * (count - 1), key}, id);
+    PropagateMaxHi(id);
+    return id;
+  }
+
+  // Aliasing with pre-existing same-key state: replay element by element.
+  for (uint64_t i = 2; i < count; i++) id = AddAccess(base + i * stride, key);
+  return id;
+}
+
 uint32_t IntervalTree::AddInterval(const ilp::StridedInterval& interval,
                                    const AccessKey& key) {
   total_accesses_ += interval.count;
@@ -99,6 +142,7 @@ uint32_t IntervalTree::InsertNode(const ilp::StridedInterval& interval,
   zn.payload.interval = interval;
   zn.payload.key = key;
   zn.max_hi = interval.hi();
+  key_nodes_[key]++;
 
   // Standard BST insert ordered by first byte (ties go right).
   uint32_t y = kNil;

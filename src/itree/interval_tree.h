@@ -82,6 +82,16 @@ class IntervalTree {
   /// possible, otherwise inserts a new node. Returns the node id touched.
   uint32_t AddAccess(uint64_t addr, const AccessKey& key);
 
+  /// Records a coalesced strided run: `count` accesses at base, base+stride,
+  /// ..., base+(count-1)*stride. EXACTLY equivalent to that many AddAccess
+  /// calls in ascending order - structure, hit counts, and summarization-
+  /// index state all match, so traces replay identically whether the writer
+  /// coalesced or not. O(log N + 1) when the run lands in a fresh node with
+  /// no same-key sibling (the common case); falls back to the per-element
+  /// loop otherwise. Returns the node id of the last element.
+  uint32_t AddRun(uint64_t base, uint64_t stride, uint64_t count,
+                  const AccessKey& key);
+
   /// Inserts a pre-summarized interval (used by tests and by tree merging).
   uint32_t AddInterval(const ilp::StridedInterval& interval, const AccessKey& key);
 
@@ -156,6 +166,11 @@ class IntervalTree {
   std::unordered_map<ContKey, uint32_t, ContKeyHash> continuations_;
   std::unordered_map<ContKey, uint32_t, ContKeyHash> last_addr_;
   std::unordered_map<AccessKey, uint32_t, KeyHash> open_single_;
+  // Nodes per key (never decremented; nodes are never removed). AddRun's
+  // bulk fast path is only safe when exactly ONE node carries the run's
+  // key: then no foreign same-key index entry can divert any per-element
+  // step, so the O(1) bulk extension provably equals the element loop.
+  std::unordered_map<AccessKey, uint32_t, KeyHash> key_nodes_;
 };
 
 }  // namespace sword::itree

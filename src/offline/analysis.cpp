@@ -179,6 +179,18 @@ Status BuildSegment(const TraceStore& store, Group& group,
             group.tree.AddAccess(e.addr, key);
             break;
           }
+          case trace::EventKind::kAccessRun: {
+            // A writer-coalesced strided run materializes directly as a
+            // strided interval - no per-element expansion (AddRun's bulk
+            // path), but replay-identical to one.
+            itree::AccessKey key;
+            key.pc = e.pc;
+            key.flags = e.flags;
+            key.size = e.size;
+            key.mutexset = cur;
+            group.tree.AddRun(e.addr, e.stride, e.count, key);
+            break;
+          }
         }
       },
       cache, &bytes_skipped);

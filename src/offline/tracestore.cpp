@@ -42,15 +42,20 @@ Status ValidateRecord(const trace::IntervalMeta& m, uint8_t log_format,
       return Status::Corrupt("v1 meta record event count mismatches size");
     }
   } else {
-    // v2 events are variable-size, 1..kMaxEventBytesV2 bytes each.
+    // v2/v3 events are variable-size, at least 1 byte and at most the
+    // format's per-event bound. event_count counts ENCODED events (a v3
+    // run counts once), matching the writer's accounting.
+    const uint64_t max_event = log_format >= trace::kTraceFormatV3
+                                   ? trace::kMaxEventBytesV3
+                                   : trace::kMaxEventBytesV2;
     if (m.event_count != 0) {
       if (m.event_count > m.data_size ||
-          m.event_count > UINT64_MAX / trace::kMaxEventBytesV2 ||
-          m.event_count * trace::kMaxEventBytesV2 < m.data_size) {
-        return Status::Corrupt("v2 meta record event count implausible for size");
+          m.event_count > UINT64_MAX / max_event ||
+          m.event_count * max_event < m.data_size) {
+        return Status::Corrupt("meta record event count implausible for size");
       }
     } else if (m.data_size != 0) {
-      return Status::Corrupt("v2 meta record has bytes but no events");
+      return Status::Corrupt("meta record has bytes but no events");
     }
   }
   return Status::Ok();

@@ -22,6 +22,7 @@
 #include <type_traits>
 
 #include "somp/runtime.h"
+#include "somp/sink.h"
 #include "somp/srcloc.h"
 #include "somp/tool.h"
 
@@ -33,10 +34,39 @@ template <typename T>
 inline void Record(const T& location, uint8_t flags, const std::source_location& loc) {
   somp::Ctx* const ctx = somp::CurrentCtx();
   if (!ctx) return;  // sequential code is not instrumented
+  // Fast path: the tool installed a per-thread sink for this context
+  // (somp/sink.h); one function-pointer call replaces the Runtime lookup +
+  // virtual dispatch + the tool's own TLS re-check.
+  somp::ThreadEventSink& sink = somp::tls_event_sink;
+  if (sink.on_access && sink.ctx == ctx &&
+      sink.epoch == somp::SinkEpoch().load(std::memory_order_relaxed)) {
+    sink.on_access(sink.state, reinterpret_cast<uint64_t>(&location),
+                   static_cast<uint8_t>(sizeof(T)), flags,
+                   somp::InternSrcLoc(loc));
+    return;
+  }
   somp::Tool* const tool = somp::Runtime::Get().tool();
   if (!tool) return;
   tool->OnAccess(*ctx, reinterpret_cast<uint64_t>(&location),
                  static_cast<uint8_t>(sizeof(T)), flags, somp::InternSrcLoc(loc));
+}
+
+/// Shared body of write_range/read_range: one range event through the sink
+/// or the tool's OnRangeAccess (whose default rechunks for legacy tools).
+inline void RecordRange(const void* ptr, size_t bytes, uint8_t flags,
+                        const std::source_location& loc) {
+  somp::Ctx* const ctx = somp::CurrentCtx();
+  if (!ctx) return;
+  const uint64_t addr = reinterpret_cast<uint64_t>(ptr);
+  somp::ThreadEventSink& sink = somp::tls_event_sink;
+  if (sink.on_range && sink.ctx == ctx &&
+      sink.epoch == somp::SinkEpoch().load(std::memory_order_relaxed)) {
+    sink.on_range(sink.state, addr, bytes, flags, somp::InternSrcLoc(loc));
+    return;
+  }
+  somp::Tool* const tool = somp::Runtime::Get().tool();
+  if (!tool) return;
+  tool->OnRangeAccess(*ctx, addr, bytes, flags, somp::InternSrcLoc(loc));
 }
 
 template <typename T>
@@ -111,42 +141,22 @@ inline void racy_increment(T& x, T delta = T{1},
   store(x, static_cast<T>(v + delta), loc);
 }
 
-/// Instrumented bulk write (memset/memcpy destinations). The range is
-/// reported in chunks of <= 128 bytes, like TSan's range-access events; the
-/// bytes themselves are written with plain memset (callers own the actual
-/// data movement when they need real contents).
+/// Instrumented bulk write (memset/memcpy destinations). Reported as ONE
+/// range event (tools with native range support log a single strided run;
+/// the Tool::OnRangeAccess default rechunks into <= 128-byte accesses, the
+/// TSan-style historical stream). The bytes themselves are written with
+/// plain memset (callers own the actual data movement when they need real
+/// contents).
 inline void write_range(void* ptr, size_t bytes, int fill = 0,
                         const std::source_location& loc = std::source_location::current()) {
   std::memset(ptr, fill, bytes);
-  somp::Ctx* const ctx = somp::CurrentCtx();
-  if (!ctx) return;
-  somp::Tool* const tool = somp::Runtime::Get().tool();
-  if (!tool) return;
-  const somp::PcId pc = somp::InternSrcLoc(loc);
-  uint64_t addr = reinterpret_cast<uint64_t>(ptr);
-  while (bytes > 0) {
-    const uint8_t chunk = static_cast<uint8_t>(std::min<size_t>(bytes, 128));
-    tool->OnAccess(*ctx, addr, chunk, somp::kAccessWrite, pc);
-    addr += chunk;
-    bytes -= chunk;
-  }
+  detail::RecordRange(ptr, bytes, somp::kAccessWrite, loc);
 }
 
 /// Instrumented bulk read (memcpy sources, checksum scans).
 inline void read_range(const void* ptr, size_t bytes,
                        const std::source_location& loc = std::source_location::current()) {
-  somp::Ctx* const ctx = somp::CurrentCtx();
-  if (!ctx) return;
-  somp::Tool* const tool = somp::Runtime::Get().tool();
-  if (!tool) return;
-  const somp::PcId pc = somp::InternSrcLoc(loc);
-  uint64_t addr = reinterpret_cast<uint64_t>(ptr);
-  while (bytes > 0) {
-    const uint8_t chunk = static_cast<uint8_t>(std::min<size_t>(bytes, 128));
-    tool->OnAccess(*ctx, addr, chunk, somp::kAccessRead, pc);
-    addr += chunk;
-    bytes -= chunk;
-  }
+  detail::RecordRange(ptr, bytes, somp::kAccessRead, loc);
 }
 
 }  // namespace sword::instr

@@ -10,8 +10,18 @@
 #include <unordered_map>
 
 #include "somp/pool.h"
+#include "somp/sink.h"
 
 namespace sword::somp {
+
+// Fast-path sink storage (somp/sink.h). The epoch lives behind an accessor
+// so every translation unit shares one instance regardless of link order.
+thread_local ThreadEventSink tls_event_sink;
+
+std::atomic<uint64_t>& SinkEpoch() {
+  static std::atomic<uint64_t> epoch{1};
+  return epoch;
+}
 
 namespace {
 
@@ -140,6 +150,10 @@ Runtime::Impl& Runtime::impl() {
 void Runtime::Configure(const RuntimeConfig& config) {
   assert(impl().active_regions.load() == 0 &&
          "Configure must not run during a parallel region");
+  // Sinks installed for the previous tool point at its per-thread state;
+  // invalidate them all (the threads themselves may be parked in a pool and
+  // unreachable from here).
+  InvalidateSinks();
   config_ = config;
 }
 

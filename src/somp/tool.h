@@ -101,6 +101,21 @@ class Tool {
     (void)pc;
   }
 
+  /// An instrumented bulk access over [addr, addr+bytes) (memset/memcpy
+  /// style). The default breaks the range into <= 128-byte chunk accesses,
+  /// so tools without a native range representation observe exactly the
+  /// historical per-chunk event stream; SWORD overrides this to log a
+  /// single strided run event.
+  virtual void OnRangeAccess(Ctx& ctx, uint64_t addr, uint64_t bytes,
+                             uint8_t flags, PcId pc) {
+    while (bytes > 0) {
+      const uint8_t chunk = bytes > 128 ? 128 : static_cast<uint8_t>(bytes);
+      OnAccess(ctx, addr, chunk, flags, pc);
+      addr += chunk;
+      bytes -= chunk;
+    }
+  }
+
   /// The outermost parallel work is done; flush any pending state.
   virtual void OnRuntimeShutdown() {}
 };

@@ -136,6 +136,16 @@ int main(int argc, char** argv) {
                 std::printf("    release mutex %llu\n",
                             static_cast<unsigned long long>(e.addr));
                 break;
+              case trace::EventKind::kAccessRun:
+                std::printf("    %s%s run base=0x%llx stride=%llu count=%llu "
+                            "size=%u pc=%u\n",
+                            (e.flags & 1) ? "write" : "read",
+                            (e.flags & 2) ? "(atomic)" : "",
+                            static_cast<unsigned long long>(e.addr),
+                            static_cast<unsigned long long>(e.stride),
+                            static_cast<unsigned long long>(e.count), e.size,
+                            e.pc);
+                break;
             }
           });
       if (!s.ok()) {

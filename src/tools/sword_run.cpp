@@ -3,7 +3,8 @@
 //   sword-run --list
 //   sword-run --suite drb --name nowait-orig-yes --tool sword [--threads 8]
 //             [--size N] [--trace-dir DIR] [--buffer-kb K] [--codec C]
-//             [--cap-mb M] [--flush-workers W] [--format 1|2]
+//             [--cap-mb M] [--flush-workers W] [--format 1|2|3]
+//             [--no-access-filter] [--no-coalesce]
 //
 // The workbench the comparative tables are built from, exposed as a CLI so
 // individual configurations can be reproduced by hand. With --trace-dir the
@@ -65,13 +66,16 @@ int main(int argc, char** argv) {
   config.codec = args.GetString("codec", "lzf");
   config.trace_dir = args.GetString("trace-dir", "");
   config.flush_workers = static_cast<uint32_t>(args.GetInt("flush-workers", 0));
-  const int64_t format = args.GetInt("format", trace::kTraceFormatV2);
-  if (format != trace::kTraceFormatV1 && format != trace::kTraceFormatV2) {
-    std::fprintf(stderr, "unknown trace format %lld (use 1 or 2)\n",
+  const int64_t format = args.GetInt("format", trace::kTraceFormatV3);
+  if (format < trace::kTraceFormatV1 || format > trace::kTraceFormatV3) {
+    std::fprintf(stderr, "unknown trace format %lld (use 1, 2 or 3)\n",
                  static_cast<long long>(format));
     return 1;
   }
   config.trace_format = static_cast<uint8_t>(format);
+  // Fast-path ablations (report-identical by construction; see FORMAT.md).
+  config.access_filter = !args.GetBool("no-access-filter");
+  config.coalesce = !args.GetBool("no-coalesce");
   config.archer_memory_cap =
       static_cast<uint64_t>(args.GetInt("cap-mb", 0)) * 1024 * 1024;
   config.offline_threads = static_cast<uint32_t>(args.GetInt("offline-threads", 1));
@@ -94,6 +98,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.events),
                 static_cast<unsigned long long>(r.flushes),
                 FormatBytes(r.log_bytes_on_disk).c_str());
+    std::printf("  fast path:       %llu suppressed, %llu coalesced into "
+                "%llu run(s), %llu dropped outside segments\n",
+                static_cast<unsigned long long>(r.events_suppressed),
+                static_cast<unsigned long long>(r.events_coalesced),
+                static_cast<unsigned long long>(r.runs_emitted),
+                static_cast<unsigned long long>(r.accesses_dropped));
     std::printf("  flush pipeline:  %zu worker(s), %llu job(s), %s in, "
                 "%llu stall(s) (%s blocked)\n",
                 r.flusher.worker_bytes_in.size(),

@@ -25,12 +25,15 @@ Status DecodeEvent(ByteReader& r, RawEvent* out) {
   out->kind = static_cast<EventKind>(kind);
   out->flags = flags;
   out->size = size;
+  out->stride = 0;
+  out->count = 1;
   return Status::Ok();
 }
 
-// v2 tag byte layout:
-//   bits 0-1  kind (0 access, 1 acquire, 2 release; 3 reserved)
-// for kAccess:
+// v2/v3 tag byte layout:
+//   bits 0-1  kind (0 access, 1 acquire, 2 release; 3 reserved in v2,
+//             kAccessRun in v3)
+// for kAccess (and v3 kAccessRun, which shares the access layout):
 //   bit 2     write flag   (somp::kAccessWrite)
 //   bit 3     atomic flag  (somp::kAccessAtomic)
 //   bits 4-7  size code: 1..8 -> size = 1 << (code-1); 0 -> explicit varint
@@ -40,6 +43,8 @@ Status DecodeEvent(ByteReader& r, RawEvent* out) {
 // for kMutex*: bits 2-7 must be zero.
 //
 // Then, for kAccess: varint pc, zigzag-varint (addr - prev_access_addr).
+// For kAccessRun (v3): varint pc, zigzag-varint (base - prev_access_addr),
+// varint stride, varint count; prev advances to the LAST element's address.
 // For kMutex*: varint mutex id (absolute - lock ids are small and unordered,
 // deltas would not help).
 namespace {
@@ -56,18 +61,12 @@ uint8_t SizeCode(uint8_t size) {
   return code;  // 1..8
 }
 
-}  // namespace
-
-void EncodeEventV2(const RawEvent& e, EventCodecState& state, ByteWriter& w) {
-  const uint8_t kind = static_cast<uint8_t>(e.kind);
-  if (e.kind != EventKind::kAccess) {
-    w.PutU8(kind);
-    w.PutVarU64(e.addr);
-    return;
-  }
+/// Emits the tag byte plus the optional extended-flags / explicit-size
+/// prefix shared by kAccess and kAccessRun.
+void EncodeAccessTag(const RawEvent& e, ByteWriter& w) {
   const bool extended = (e.flags & ~kInlineFlagsMask) != 0;
   const uint8_t code = extended ? kSizeCodeExtended : SizeCode(e.size);
-  uint8_t tag = kind;
+  uint8_t tag = static_cast<uint8_t>(e.kind);
   tag |= static_cast<uint8_t>((e.flags & kInlineFlagsMask) << 2);
   tag |= static_cast<uint8_t>(code << 4);
   w.PutU8(tag);
@@ -77,31 +76,12 @@ void EncodeEventV2(const RawEvent& e, EventCodecState& state, ByteWriter& w) {
   } else if (code == kSizeCodeExplicit) {
     w.PutVarU64(e.size);
   }
-  w.PutVarU64(e.pc);
-  w.PutVarI64(static_cast<int64_t>(e.addr - state.prev_addr));
-  state.prev_addr = e.addr;
 }
 
-Status DecodeEventV2(ByteReader& r, EventCodecState& state, RawEvent* out) {
-  uint8_t tag;
-  SWORD_RETURN_IF_ERROR(r.GetU8(&tag));
-  const uint8_t kind = tag & 0x03;
-  if (kind > static_cast<uint8_t>(EventKind::kMutexRelease)) {
-    return Status::Corrupt("unknown event kind");
-  }
-  out->kind = static_cast<EventKind>(kind);
-
-  if (out->kind != EventKind::kAccess) {
-    if ((tag & ~0x03u) != 0) return Status::Corrupt("nonzero mutex tag bits");
-    uint64_t id;
-    SWORD_RETURN_IF_ERROR(r.GetVarU64(&id));
-    out->flags = 0;
-    out->size = 0;
-    out->pc = 0;
-    out->addr = id;
-    return Status::Ok();
-  }
-
+/// Decodes the flags/size/pc/addr-delta payload shared by kAccess and
+/// kAccessRun, given the already-consumed tag byte.
+Status DecodeAccessPayload(uint8_t tag, ByteReader& r, RawEvent* out,
+                           int64_t* delta) {
   const uint8_t code = tag >> 4;
   uint64_t size = 0;
   uint8_t flags = (tag >> 2) & kInlineFlagsMask;
@@ -118,16 +98,103 @@ Status DecodeEventV2(ByteReader& r, EventCodecState& state, RawEvent* out) {
   if (size > 0xff) return Status::Corrupt("event size out of range");
 
   uint64_t pc;
-  int64_t delta;
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&pc));
   if (pc > 0xffffffffull) return Status::Corrupt("event pc out of range");
-  SWORD_RETURN_IF_ERROR(r.GetVarI64(&delta));
+  SWORD_RETURN_IF_ERROR(r.GetVarI64(delta));
 
   out->flags = flags;
   out->size = static_cast<uint8_t>(size);
   out->pc = static_cast<uint32_t>(pc);
+  return Status::Ok();
+}
+
+Status DecodeMutexPayload(uint8_t tag, ByteReader& r, RawEvent* out) {
+  if ((tag & ~0x03u) != 0) return Status::Corrupt("nonzero mutex tag bits");
+  uint64_t id;
+  SWORD_RETURN_IF_ERROR(r.GetVarU64(&id));
+  out->flags = 0;
+  out->size = 0;
+  out->pc = 0;
+  out->addr = id;
+  return Status::Ok();
+}
+
+}  // namespace
+
+void EncodeEventV2(const RawEvent& e, EventCodecState& state, ByteWriter& w) {
+  if (e.kind != EventKind::kAccess) {
+    w.PutU8(static_cast<uint8_t>(e.kind));
+    w.PutVarU64(e.addr);
+    return;
+  }
+  EncodeAccessTag(e, w);
+  w.PutVarU64(e.pc);
+  w.PutVarI64(static_cast<int64_t>(e.addr - state.prev_addr));
+  state.prev_addr = e.addr;
+}
+
+Status DecodeEventV2(ByteReader& r, EventCodecState& state, RawEvent* out) {
+  uint8_t tag;
+  SWORD_RETURN_IF_ERROR(r.GetU8(&tag));
+  const uint8_t kind = tag & 0x03;
+  if (kind > static_cast<uint8_t>(EventKind::kMutexRelease)) {
+    return Status::Corrupt("unknown event kind");
+  }
+  out->kind = static_cast<EventKind>(kind);
+  out->stride = 0;
+  out->count = 1;
+
+  if (out->kind != EventKind::kAccess) return DecodeMutexPayload(tag, r, out);
+
+  int64_t delta;
+  SWORD_RETURN_IF_ERROR(DecodeAccessPayload(tag, r, out, &delta));
   out->addr = state.prev_addr + static_cast<uint64_t>(delta);
   state.prev_addr = out->addr;
+  return Status::Ok();
+}
+
+void EncodeEventV3(const RawEvent& e, EventCodecState& state, ByteWriter& w) {
+  if (e.kind != EventKind::kAccessRun) {
+    EncodeEventV2(e, state, w);
+    return;
+  }
+  EncodeAccessTag(e, w);
+  w.PutVarU64(e.pc);
+  w.PutVarI64(static_cast<int64_t>(e.addr - state.prev_addr));
+  w.PutVarU64(e.stride);
+  w.PutVarU64(e.count);
+  state.prev_addr = e.addr + (e.count - 1) * e.stride;
+}
+
+Status DecodeEventV3(ByteReader& r, EventCodecState& state, RawEvent* out) {
+  uint8_t tag;
+  SWORD_RETURN_IF_ERROR(r.GetU8(&tag));
+  const uint8_t kind = tag & 0x03;
+  out->kind = static_cast<EventKind>(kind);
+  out->stride = 0;
+  out->count = 1;
+
+  if (out->kind == EventKind::kMutexAcquire ||
+      out->kind == EventKind::kMutexRelease) {
+    return DecodeMutexPayload(tag, r, out);
+  }
+
+  int64_t delta;
+  SWORD_RETURN_IF_ERROR(DecodeAccessPayload(tag, r, out, &delta));
+  out->addr = state.prev_addr + static_cast<uint64_t>(delta);
+
+  if (out->kind == EventKind::kAccessRun) {
+    SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->stride));
+    SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->count));
+    if (out->count < 2) return Status::Corrupt("run count below 2");
+    if (out->stride == 0) return Status::Corrupt("run stride zero");
+    if (out->stride > (UINT64_MAX - out->addr) / (out->count - 1)) {
+      return Status::Corrupt("run extent overflows address space");
+    }
+    state.prev_addr = out->addr + (out->count - 1) * out->stride;
+  } else {
+    state.prev_addr = out->addr;
+  }
   return Status::Ok();
 }
 

@@ -6,7 +6,7 @@
 // interval's position without waiting for compression, and the reader can
 // skip frames using only their headers (paper SIII-B's streaming reads).
 //
-// Two payload formats exist, tagged by the frame magic (compress/frame.h):
+// Three payload formats exist, tagged by the frame magic (compress/frame.h):
 //
 //   v1 - a dense array of fixed 16-byte events (the original layout).
 //   v2 - variable-length events: one packed tag byte (kind / flags / size
@@ -16,11 +16,18 @@
 //        stream compresses far better (strided loops become runs of
 //        identical bytes). Delta state resets at every frame boundary, so
 //        frames stay independently decodable.
+//   v3 - v2 plus the kAccessRun kind: one event standing for `count`
+//        accesses at base, base+stride, ..., base+(count-1)*stride with
+//        equal size/flags/pc - the shape every `parallel for` sweep
+//        produces. The writer's coalescer emits runs; the offline analyzer
+//        materializes them directly as strided intervals without
+//        per-element expansion. Kinds 0-2 encode byte-identically to v2.
 //
 // Event kinds:
 //   kAccess        - one instrumented load/store; addr/size/flags/pc
 //   kMutexAcquire  - lock id in `addr`
 //   kMutexRelease  - lock id in `addr`
+//   kAccessRun     - coalesced strided run (v3 frames only)
 // Barrier and region boundaries are not log events: they are exactly the
 // meta-file interval boundaries (Table I).
 #pragma once
@@ -35,19 +42,23 @@ namespace sword::trace {
 /// Trace event-encoding format versions (the frame magic carries the tag).
 constexpr uint8_t kTraceFormatV1 = 1;
 constexpr uint8_t kTraceFormatV2 = 2;
+constexpr uint8_t kTraceFormatV3 = 3;
 
 enum class EventKind : uint8_t {
   kAccess = 0,
   kMutexAcquire = 1,
   kMutexRelease = 2,
+  kAccessRun = 3,  // v3 only; the reserved v2 kind, so v2 decoders reject it
 };
 
 struct RawEvent {
   EventKind kind = EventKind::kAccess;
-  uint8_t flags = 0;  // somp::AccessFlags for kAccess
-  uint8_t size = 0;   // access size in bytes for kAccess
-  uint32_t pc = 0;    // interned source location for kAccess
-  uint64_t addr = 0;  // address for kAccess; mutex id for kMutex*
+  uint8_t flags = 0;   // somp::AccessFlags for kAccess/kAccessRun
+  uint8_t size = 0;    // access size in bytes for kAccess/kAccessRun
+  uint32_t pc = 0;     // interned source location for kAccess/kAccessRun
+  uint64_t addr = 0;   // address for kAccess(Run); mutex id for kMutex*
+  uint64_t stride = 0; // kAccessRun: element spacing in bytes (>= 1)
+  uint64_t count = 1;  // kAccessRun: number of elements (>= 2)
 
   static RawEvent Access(uint64_t addr, uint8_t size, uint8_t flags, uint32_t pc) {
     RawEvent e;
@@ -56,6 +67,18 @@ struct RawEvent {
     e.size = size;
     e.pc = pc;
     e.addr = addr;
+    return e;
+  }
+  static RawEvent Run(uint64_t base, uint64_t stride, uint64_t count,
+                      uint8_t size, uint8_t flags, uint32_t pc) {
+    RawEvent e;
+    e.kind = EventKind::kAccessRun;
+    e.flags = flags;
+    e.size = size;
+    e.pc = pc;
+    e.addr = base;
+    e.stride = stride;
+    e.count = count;
     return e;
   }
   static RawEvent MutexAcquire(uint32_t mutex) {
@@ -104,5 +127,22 @@ void EncodeEventV2(const RawEvent& e, EventCodecState& state, ByteWriter& w);
 /// Decodes one v2 event, updating `state`; fails on truncation, unknown
 /// kind, or a reserved tag layout.
 Status DecodeEventV2(ByteReader& r, EventCodecState& state, RawEvent* out);
+
+// ---------------------------------------------------------------- format v3
+
+/// Upper bound on one v3 event's encoded size: the v2 bound plus a run's
+/// stride and count varints (10 each).
+constexpr uint64_t kMaxEventBytesV3 = kMaxEventBytesV2 + 20;
+
+/// Appends the variable-length v3 encoding of `e`, updating `state`. Kinds
+/// 0-2 encode exactly as v2; kAccessRun adds varint stride and count after
+/// the base-address delta, and advances `prev_addr` to the LAST element's
+/// address so a continuation right after the run still gets a small delta.
+void EncodeEventV3(const RawEvent& e, EventCodecState& state, ByteWriter& w);
+
+/// Decodes one v3 event, updating `state`; fails on truncation, a reserved
+/// tag layout, or an implausible run (count < 2, stride 0, or an extent
+/// that overflows the address space).
+Status DecodeEventV3(ByteReader& r, EventCodecState& state, RawEvent* out);
 
 }  // namespace sword::trace

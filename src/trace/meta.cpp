@@ -59,21 +59,22 @@ std::string IntervalMeta::ToString() const {
 
 void EncodeMetaHeader(ByteWriter& w, uint32_t thread_id, uint8_t log_format,
                       uint64_t events_dropped, uint64_t bytes_dropped,
-                      uint64_t record_count) {
-  w.PutU32(kMetaMagicV3);
+                      uint64_t accesses_dropped, uint64_t record_count) {
+  w.PutU32(kMetaMagicV4);
   w.PutVarU64(thread_id);
   w.PutU8(log_format);
   // v3 additions: record-time drop totals, before the interval records so a
-  // torn tail cannot hide them.
+  // torn tail cannot hide them. v4 adds the outside-segment access drops.
   w.PutVarU64(events_dropped);
   w.PutVarU64(bytes_dropped);
+  w.PutVarU64(accesses_dropped);
   w.PutVarU64(record_count);
 }
 
 Bytes MetaFile::Encode() const {
   ByteWriter w;
   EncodeMetaHeader(w, thread_id, log_format, events_dropped, bytes_dropped,
-                   intervals.size());
+                   accesses_dropped, intervals.size());
   for (const auto& m : intervals) m.Serialize(w, /*version=*/2);
   return w.buffer();
 }
@@ -91,6 +92,8 @@ Status MetaFile::Decode(const Bytes& data, MetaFile* out, bool salvage,
     version = 2;
   } else if (magic == kMetaMagicV3) {
     version = 3;
+  } else if (magic == kMetaMagicV4) {
+    version = 4;
   } else {
     return Status::Corrupt("bad meta magic");
   }
@@ -99,7 +102,7 @@ Status MetaFile::Decode(const Bytes& data, MetaFile* out, bool salvage,
   out->thread_id = static_cast<uint32_t>(tid);
   if (version >= 2) {
     SWORD_RETURN_IF_ERROR(r.GetU8(&out->log_format));
-    if (out->log_format != kTraceFormatV1 && out->log_format != kTraceFormatV2) {
+    if (out->log_format < kTraceFormatV1 || out->log_format > kTraceFormatV3) {
       return Status::Corrupt("unknown log format in meta file");
     }
   } else {
@@ -107,9 +110,13 @@ Status MetaFile::Decode(const Bytes& data, MetaFile* out, bool salvage,
   }
   out->events_dropped = 0;
   out->bytes_dropped = 0;
+  out->accesses_dropped = 0;
   if (version >= 3) {
     SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->events_dropped));
     SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->bytes_dropped));
+  }
+  if (version >= 4) {
+    SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->accesses_dropped));
   }
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&n));
   out->intervals.clear();

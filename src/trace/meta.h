@@ -72,11 +72,15 @@ struct MetaFile {
   /// frames so the loss is visible even from the meta alone.
   uint64_t events_dropped = 0;
   uint64_t bytes_dropped = 0;
+  /// Accesses observed OUTSIDE any barrier-interval segment (v4 metas):
+  /// counted and dropped by the writer instead of silently corrupting the
+  /// open segment's (data_begin, size) accounting.
+  uint64_t accesses_dropped = 0;
   std::vector<IntervalMeta> intervals;
 
-  /// Always writes the current (v3) meta format.
+  /// Always writes the current (v4) meta format.
   Bytes Encode() const;
-  /// Decodes v1 ("SWMF"), v2 ("SWM2"), and v3 ("SWM3") meta files.
+  /// Decodes v1 ("SWMF") through v4 ("SWM4") meta files.
   ///
   /// With `salvage`, a record-level parse failure keeps the cleanly-decoded
   /// prefix instead of failing the whole file (a crashed run's checkpoint
@@ -87,15 +91,16 @@ struct MetaFile {
                        uint64_t* records_dropped = nullptr);
 };
 
-/// Serializes the v3 meta header (everything before the interval records).
+/// Serializes the v4 meta header (everything before the interval records).
 /// Shared by MetaFile::Encode and the writer's incremental checkpoints,
 /// which append pre-serialized records after it.
 void EncodeMetaHeader(ByteWriter& w, uint32_t thread_id, uint8_t log_format,
                       uint64_t events_dropped, uint64_t bytes_dropped,
-                      uint64_t record_count);
+                      uint64_t accesses_dropped, uint64_t record_count);
 
 constexpr uint32_t kMetaMagic = 0x53574d46;    // "SWMF" (meta format v1)
 constexpr uint32_t kMetaMagicV2 = 0x53574d32;  // "SWM2" (meta format v2)
 constexpr uint32_t kMetaMagicV3 = 0x53574d33;  // "SWM3" (meta format v3)
+constexpr uint32_t kMetaMagicV4 = 0x53574d34;  // "SWM4" (meta format v4)
 
 }  // namespace sword::trace

@@ -44,7 +44,7 @@ bool MagicAt(const uint8_t* p, uint32_t magic) {
 
 bool AnyMagicAt(const uint8_t* p) {
   return MagicAt(p, kFrameMagic) || MagicAt(p, kFrameMagicV2) ||
-         MagicAt(p, kFrameMagicGap);
+         MagicAt(p, kFrameMagicV3) || MagicAt(p, kFrameMagicGap);
 }
 
 /// Offset of the first frame magic at or after `from`, or `size` if none.
@@ -135,7 +135,8 @@ void ScanLogBuffer(const uint8_t* data, size_t size, bool verify_payloads,
       ByteReader r(data + off, size - off);
       uint32_t magic = 0;
       (void)r.GetU32(&magic);
-      const uint8_t format = magic == kFrameMagic ? 1 : 2;
+      const uint8_t format =
+          magic == kFrameMagic ? 1 : magic == kFrameMagicV2 ? 2 : 3;
       std::string codec;
       uint64_t raw_size = 0, payload_size = 0, checksum = 0;
       Status s = r.GetString(&codec);
@@ -326,6 +327,8 @@ Result<LogReader> LogReader::Open(const std::string& path,
         format = 1;
       } else if (magic == kFrameMagicV2) {
         format = 2;
+      } else if (magic == kFrameMagicV3) {
+        format = 3;
       } else {
         s = Status::Corrupt("bad frame magic");
       }
@@ -446,10 +449,12 @@ Status LogReader::StreamRange(uint64_t begin, uint64_t size,
         // else means the meta and log disagree.
         ByteReader events(frame_data->data(), frame_data->size());
         EventCodecState state;
+        const bool v3 = it->payload_format >= kTraceFormatV3;
         uint64_t pos = frame_lo;
         while (pos < slice_hi && !events.AtEnd()) {
           RawEvent e;
-          SWORD_RETURN_IF_ERROR(DecodeEventV2(events, state, &e));
+          SWORD_RETURN_IF_ERROR(v3 ? DecodeEventV3(events, state, &e)
+                                   : DecodeEventV2(events, state, &e));
           const uint64_t next = frame_lo + events.position();
           if (next <= slice_lo) {
             pos = next;

@@ -6,18 +6,42 @@
 #include "compress/frame.h"
 
 namespace sword::trace {
+namespace {
+
+/// Direct-mapped filter slot index for an access site. The address is left
+/// out on purpose: one site always maps to one slot, so a slot hit proves
+/// the site's most recent recorded access - which is exactly the filter's
+/// soundness requirement.
+size_t FilterIndex(uint32_t pc, uint8_t flags, uint8_t size) {
+  uint64_t h = (static_cast<uint64_t>(pc) << 16) ^
+               (static_cast<uint64_t>(flags) << 8) ^ size;
+  h *= 0x9e3779b97f4a7c15ull;  // splitmix64 finalizer
+  h ^= h >> 29;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 32;
+  return static_cast<size_t>(h) & 0xff;
+}
+
+}  // namespace
 
 ThreadTraceWriter::ThreadTraceWriter(uint32_t thread_id, const WriterConfig& config)
     : thread_id_(thread_id),
       config_(config),
       capacity_events_(config.buffer_bytes / kEventBytes),
-      capacity_bytes_(capacity_events_ * kEventBytes) {
+      capacity_bytes_(capacity_events_ * kEventBytes),
+      max_event_bytes_(config.format >= kTraceFormatV3 ? kMaxEventBytesV3
+                                                       : kMaxEventBytesV2),
+      fastpath_(config.format >= kTraceFormatV3),
+      coalesce_(fastpath_ && config.coalesce) {
   assert(config_.flusher && "a Flusher is required");
   assert(capacity_events_ > 0 && "buffer too small for a single event");
-  assert((config_.format == kTraceFormatV1 || config_.format == kTraceFormatV2) &&
+  assert((config_.format >= kTraceFormatV1 && config_.format <= kTraceFormatV3) &&
          "unknown trace format");
-  assert((config_.format == kTraceFormatV1 || capacity_bytes_ >= kMaxEventBytesV2) &&
-         "buffer too small for one v2 event");
+  assert((config_.format == kTraceFormatV1 || capacity_bytes_ >= max_event_bytes_) &&
+         "buffer too small for one encoded event");
+  if (fastpath_ && config_.access_filter) {
+    filter_ = std::make_unique<FilterSlot[]>(kFilterSlots);
+  }
   if (!config_.codec) config_.codec = DefaultCompressor();
   if (!config_.backend) config_.backend = &RealFileBackend();
   // The bounded charge: one fixed buffer, owned by the flusher's pool so the
@@ -38,6 +62,15 @@ ThreadTraceWriter::ThreadTraceWriter(uint32_t thread_id, const WriterConfig& con
 ThreadTraceWriter::~ThreadTraceWriter() { (void)Finish(); }
 
 void ThreadTraceWriter::Append(const RawEvent& event) {
+  // Out-of-band events must keep their position relative to the coalesced
+  // access stream, and anything appended around the filter invalidates its
+  // "most recent recorded access" knowledge.
+  MaterializePending();
+  ResetFilter();
+  EncodeToBuffer(event);
+}
+
+void ThreadTraceWriter::EncodeToBuffer(const RawEvent& event) {
   if (buffer_.capacity() == 0) {
     buffer_ = config_.flusher->pool().Acquire(capacity_bytes_);
   }
@@ -59,16 +92,137 @@ void ThreadTraceWriter::Append(const RawEvent& event) {
     // Flush on the logical event-count capacity (the paper's knob) or when
     // the next event might not fit the reserved bytes (tiny-buffer guard).
     if (buffer_events_ >= capacity_events_ ||
-        buffer_.size() + kMaxEventBytesV2 > capacity_bytes_) {
+        buffer_.size() + max_event_bytes_ > capacity_bytes_) {
       FlushBuffer(true);
     }
     const size_t before = buffer_.size();
     ByteWriter w(&buffer_);
-    EncodeEventV2(event, codec_state_, w);
+    if (config_.format >= kTraceFormatV3) {
+      EncodeEventV3(event, codec_state_, w);
+    } else {
+      EncodeEventV2(event, codec_state_, w);
+    }
     logical_offset_ += buffer_.size() - before;
   }
   buffer_events_++;
-  events_logged_++;
+  events_logged_.Add(1);
+}
+
+void ThreadTraceWriter::MaterializePending() {
+  if (pending_.count == 0) return;
+  if (pending_.count == 1) {
+    EncodeToBuffer(RawEvent::Access(pending_.base, pending_.size,
+                                    pending_.flags, pending_.pc));
+  } else {
+    EncodeToBuffer(RawEvent::Run(pending_.base, pending_.stride, pending_.count,
+                                 pending_.size, pending_.flags, pending_.pc));
+    runs_emitted_.Add(1);
+    events_coalesced_.Add(pending_.count - 1);
+  }
+  pending_.count = 0;
+}
+
+void ThreadTraceWriter::ResetFilter() {
+  if (!filter_) return;
+  if (++filter_gen_ == 0) {  // generation wrap: actually clear the slots
+    for (size_t i = 0; i < kFilterSlots; i++) filter_[i] = FilterSlot{};
+    filter_gen_ = 1;
+  }
+}
+
+void ThreadTraceWriter::AppendAccess(uint64_t addr, uint8_t size, uint8_t flags,
+                                     uint32_t pc) {
+  if (!open_segment_) {
+    // An access with no segment has no (data_begin, size) home; appending it
+    // anyway would silently skew the NEXT segment's accounting. Count and
+    // drop instead; the total surfaces in stats and the meta header.
+    accesses_dropped_.Add(1);
+    return;
+  }
+  if (!fastpath_) {
+    EncodeToBuffer(RawEvent::Access(addr, size, flags, pc));
+    return;
+  }
+  if (filter_) {
+    FilterSlot& slot = filter_[FilterIndex(pc, flags, size)];
+    if (slot.gen == filter_gen_ && slot.addr == addr && slot.pc == pc &&
+        slot.flags == flags && slot.size == size) {
+      // The most recent recorded access from this site in this segment was
+      // this exact access: the replayed tree would fold it into the existing
+      // node (a hit-count bump, no structural change), so dropping it cannot
+      // change any race report.
+      events_suppressed_.Add(1);
+      return;
+    }
+    slot.addr = addr;
+    slot.pc = pc;
+    slot.flags = flags;
+    slot.size = size;
+    slot.gen = filter_gen_;
+  }
+  if (!coalesce_) {
+    EncodeToBuffer(RawEvent::Access(addr, size, flags, pc));
+    return;
+  }
+  // Strided-run coalescer. The extension rules mirror the interval tree's
+  // continuation logic: a fresh single adopts the first ascending step as
+  // its stride; an established run extends only on an exact stride match.
+  if (pending_.count != 0 && pending_.pc == pc && pending_.flags == flags &&
+      pending_.size == size) {
+    if (pending_.count == 1) {
+      if (addr > pending_.last) {
+        pending_.stride = addr - pending_.last;
+        pending_.count = 2;
+        pending_.last = addr;
+        return;
+      }
+    } else if (addr > pending_.last &&
+               addr - pending_.last == pending_.stride) {
+      pending_.count++;
+      pending_.last = addr;
+      return;
+    }
+  }
+  MaterializePending();
+  pending_ = PendingRun{addr, 0, 1, addr, pc, flags, size};
+}
+
+void ThreadTraceWriter::AppendRange(uint64_t addr, uint64_t bytes,
+                                    uint8_t flags, uint32_t pc) {
+  constexpr uint64_t kChunk = 128;  // the historical per-event range chunk
+  if (bytes == 0) return;
+  const uint64_t chunks = bytes / kChunk;
+  const uint64_t tail = bytes % kChunk;
+  if (!open_segment_) {
+    accesses_dropped_.Add(chunks + (tail ? 1 : 0));
+    return;
+  }
+  if (!fastpath_) {
+    // v1/v2: the historical loop, one event per <= 128-byte piece.
+    uint64_t a = addr;
+    for (uint64_t left = bytes; left > 0;) {
+      const uint8_t c = left > kChunk ? kChunk : static_cast<uint8_t>(left);
+      EncodeToBuffer(RawEvent::Access(a, c, flags, pc));
+      a += c;
+      left -= c;
+    }
+    return;
+  }
+  MaterializePending();
+  // A range's chunks can extend same-key tree nodes past addresses the
+  // filter remembers; drop its knowledge rather than reason about overlap.
+  ResetFilter();
+  if (chunks == 1) {
+    EncodeToBuffer(RawEvent::Access(addr, kChunk, flags, pc));
+  } else if (chunks >= 2) {
+    EncodeToBuffer(RawEvent::Run(addr, kChunk, chunks, kChunk, flags, pc));
+    runs_emitted_.Add(1);
+    events_coalesced_.Add(chunks - 1);
+  }
+  if (tail) {
+    EncodeToBuffer(RawEvent::Access(addr + chunks * kChunk,
+                                    static_cast<uint8_t>(tail), flags, pc));
+  }
 }
 
 void ThreadTraceWriter::FlushBuffer(bool reacquire) {
@@ -85,11 +239,14 @@ void ThreadTraceWriter::FlushBuffer(bool reacquire) {
   if (reacquire) buffer_ = config_.flusher->pool().Acquire(capacity_bytes_);
   buffer_events_ = 0;
   codec_state_ = EventCodecState{};  // frames are independently decodable
-  flushes_++;
+  flushes_.Add(1);
 }
 
 void ThreadTraceWriter::FlushEvents() {
   if (finished_) return;
+  // A pending coalescer run is not in the buffer yet; a drain (crash
+  // handler, Finalize) must not lose it.
+  MaterializePending();
   // No reacquire: this is the drain path (Finalize, the crash handler),
   // where grabbing a fresh buffer while the flushed one is still in flight
   // would transiently double the pool charge. If the thread does log again,
@@ -101,26 +258,31 @@ Bytes ThreadTraceWriter::EncodeMetaSnapshot() const {
   const DropRecord dropped = config_.flusher->DroppedFor(config_.log_path);
   ByteWriter w;
   EncodeMetaHeader(w, thread_id_, config_.format, dropped.events,
-                   dropped.raw_bytes, serialized_count_);
+                   dropped.raw_bytes, accesses_dropped_.Get(),
+                   serialized_count_);
   w.PutRaw(serialized_records_.data(), serialized_records_.size());
   return std::move(w.buffer());
 }
 
 void ThreadTraceWriter::BeginSegment(const IntervalMeta& meta) {
   assert(!open_segment_ && "close the previous segment first");
+  assert(pending_.count == 0 && "coalescer pending outside a segment");
+  ResetFilter();  // nothing recorded in the new segment yet
   meta_.intervals.push_back(meta);
   meta_.intervals.back().data_begin = logical_offset_;
   meta_.intervals.back().data_size = 0;
   meta_.intervals.back().event_count = 0;
-  segment_begin_events_ = events_logged_;
+  segment_begin_events_ = events_logged_.Get();
   open_segment_ = true;
 }
 
 void ThreadTraceWriter::EndSegment() {
   assert(open_segment_);
+  MaterializePending();  // the run belongs to this segment's byte span
+  ResetFilter();
   IntervalMeta& m = meta_.intervals.back();
   m.data_size = logical_offset_ - m.data_begin;
-  m.event_count = events_logged_ - segment_begin_events_;
+  m.event_count = events_logged_.Get() - segment_begin_events_;
   open_segment_ = false;
   // Empty segments carry no accesses and cannot participate in a race;
   // dropping them keeps meta files proportional to useful data.

@@ -13,14 +13,18 @@
 //
 // The buffer's LOGICAL capacity is counted in events - buffer_bytes /
 // kEventBytes - regardless of encoding format, so the paper's "2 MB buffer
-// = 128K events" knob means the same thing for v1 and v2 traces. With the
-// v2 encoding the same event count occupies far fewer bytes, which is the
-// point: fewer flushes, smaller logs.
+// = 128K events" knob means the same thing for every format. With the v2
+// encoding the same event count occupies far fewer bytes, which is the
+// point: fewer flushes, smaller logs. Format v3 adds the per-access fast
+// path on top: AppendAccess routes instrumented accesses through a
+// duplicate filter and a strided-run coalescer, so hot sweep loops log one
+// kAccessRun event instead of thousands of access events.
 //
 // Thread-compatibility: a writer is driven by exactly one OS thread; only
 // the Flusher is shared.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -33,13 +37,36 @@
 
 namespace sword::trace {
 
+/// Single-writer statistic counter: bumped only by the writer's owning
+/// thread with a plain load+store (compiles to an ordinary increment, no
+/// lock prefix), while aggregators (SwordTool summing all writers on
+/// demand) may read it concurrently without a data race.
+class OwnerCounter {
+ public:
+  void Add(uint64_t n) {
+    v_.store(v_.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+  }
+  uint64_t Get() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
 struct WriterConfig {
   std::string log_path;
   std::string meta_path;
   uint64_t buffer_bytes = 2 * 1024 * 1024;  // the paper's default bound
   const Compressor* codec = nullptr;        // null = DefaultCompressor()
   Flusher* flusher = nullptr;               // required
-  uint8_t format = kTraceFormatV2;          // event encoding (kTraceFormatV*)
+  uint8_t format = kTraceFormatV3;          // event encoding (kTraceFormatV*)
+  /// Suppress re-logging of an access identical to the most recent one with
+  /// the same (pc, flags, size) in the current segment under the same
+  /// lockset. Effective for format v3 only; sound because the replayed tree
+  /// folds such a duplicate into the existing node without structural change.
+  bool access_filter = true;
+  /// Coalesce per-(pc, flags, size) arithmetic address runs into single
+  /// kAccessRun events. Effective for format v3 only.
+  bool coalesce = true;
   /// Checkpoint the meta file (write-temp + atomic rename) every N closed
   /// segments, so a killed process leaves its trace analyzable up to the
   /// last checkpoint instead of losing the whole meta. 0 = only at Finish
@@ -61,7 +88,22 @@ class ThreadTraceWriter {
   uint8_t format() const { return config_.format; }
 
   /// Appends one event, flushing the buffer to the log file first if full.
+  /// Out-of-band events (mutex ops) materialize any pending coalescer run
+  /// first, so the encoded stream preserves program order, and reset the
+  /// duplicate filter (the effective lockset changed).
   void Append(const RawEvent& event);
+
+  /// The per-access fast path: appends one instrumented load/store through
+  /// the duplicate filter and the strided-run coalescer (format v3; plain
+  /// Append otherwise). Outside a segment the access is counted and
+  /// dropped - see accesses_dropped().
+  void AppendAccess(uint64_t addr, uint8_t size, uint8_t flags, uint32_t pc);
+
+  /// Appends a bulk access over [addr, addr+bytes): one run event of
+  /// 128-byte chunks plus a tail access (format v3), or the historical
+  /// per-chunk event loop (v1/v2). Equivalent to the chunk loop by
+  /// construction.
+  void AppendRange(uint64_t addr, uint64_t bytes, uint8_t flags, uint32_t pc);
 
   /// Opens a new barrier-interval segment; data_begin is captured from the
   /// current logical offset. Any open segment must be closed first.
@@ -81,25 +123,45 @@ class ThreadTraceWriter {
   /// Flushes remaining events and writes the meta file. Idempotent.
   Status Finish();
 
-  // Statistics for the overhead benches.
-  uint64_t events_logged() const { return events_logged_; }
-  uint64_t flushes() const { return flushes_; }
+  // Statistics for the overhead benches and the tool's aggregated stats.
+  // events_logged counts ENCODED events (a coalesced run counts once).
+  uint64_t events_logged() const { return events_logged_.Get(); }
+  uint64_t flushes() const { return flushes_.Get(); }
   uint64_t logical_bytes() const { return logical_offset_; }
+  /// Accesses suppressed by the duplicate filter.
+  uint64_t events_suppressed() const { return events_suppressed_.Get(); }
+  /// Accesses absorbed into run events beyond the first (sum of count-1).
+  uint64_t events_coalesced() const { return events_coalesced_.Get(); }
+  /// kAccessRun events emitted.
+  uint64_t runs_emitted() const { return runs_emitted_.Get(); }
+  /// Accesses observed outside any open segment: counted and dropped
+  /// (release builds previously corrupted the segment accounting silently).
+  uint64_t accesses_dropped() const { return accesses_dropped_.Get(); }
 
  private:
   void FlushBuffer(bool reacquire);
-  /// Current meta file image: v3 header (with the flusher's drop totals for
+  /// Current meta file image: v4 header (with the flusher's drop totals for
   /// this log so far) + the incrementally serialized interval records.
   Bytes EncodeMetaSnapshot() const;
+  /// Encodes one event into the buffer (flushing first if full) and bumps
+  /// the logical offset and event counters. Bypasses filter and coalescer.
+  void EncodeToBuffer(const RawEvent& event);
+  /// Flushes the coalescer's pending run into the buffer, as a kAccessRun
+  /// if it grew to count >= 2 or a plain access otherwise.
+  void MaterializePending();
+  /// Invalidates every duplicate-filter entry (generation bump).
+  void ResetFilter();
 
   const uint32_t thread_id_;
   WriterConfig config_;
   const uint64_t capacity_events_;  // logical capacity: buffer_bytes / 16
   const uint64_t capacity_bytes_;
+  const uint64_t max_event_bytes_;  // headroom bound for the format
+  const bool fastpath_;             // format >= v3: filter/coalescer legal
 
   Bytes buffer_;                  // encoded events; acquired from the pool
   uint64_t buffer_events_ = 0;    // events currently in buffer_
-  EventCodecState codec_state_;   // v2 delta state; reset at each flush
+  EventCodecState codec_state_;   // v2/v3 delta state; reset at each flush
   uint64_t logical_offset_ = 0;   // total event bytes ever appended
   MetaFile meta_;
   // Each kept record is serialized once, when its segment closes; a meta
@@ -112,8 +174,43 @@ class ThreadTraceWriter {
   uint64_t segment_begin_events_ = 0;
   bool finished_ = false;
 
-  uint64_t events_logged_ = 0;
-  uint64_t flushes_ = 0;
+  // Duplicate-access filter: a direct-mapped cache over (pc, flags, size)
+  // remembering the last address each site logged. A hit with an identical
+  // address means the replayed tree would only bump a hit counter, so the
+  // event is suppressed. Reset (generation bump) on segment begin/end,
+  // mutex acquire/release, and range appends.
+  struct FilterSlot {
+    uint64_t addr = 0;
+    uint32_t pc = 0;
+    uint32_t gen = 0;  // live iff == filter_gen_
+    uint8_t flags = 0;
+    uint8_t size = 0;
+  };
+  static constexpr size_t kFilterSlots = 256;
+  std::unique_ptr<FilterSlot[]> filter_;  // null when disabled
+  uint32_t filter_gen_ = 1;
+
+  // Strided-run coalescer: ONE pending run, so every materialized event
+  // occupies exactly its original position in the stream (replay order is
+  // byte-for-byte the raw order; a multi-slot table could reorder).
+  struct PendingRun {
+    uint64_t base = 0;
+    uint64_t stride = 0;
+    uint64_t count = 0;  // 0 = empty
+    uint64_t last = 0;   // address of the most recent element
+    uint32_t pc = 0;
+    uint8_t flags = 0;
+    uint8_t size = 0;
+  };
+  PendingRun pending_;  // only ever non-empty inside an open segment
+  const bool coalesce_;
+
+  OwnerCounter events_logged_;
+  OwnerCounter flushes_;
+  OwnerCounter events_suppressed_;
+  OwnerCounter events_coalesced_;
+  OwnerCounter runs_emitted_;
+  OwnerCounter accesses_dropped_;
 };
 
 }  // namespace sword::trace

@@ -1,0 +1,688 @@
+// Online access fast path: format-v3 codec (strided run events), the
+// writer's duplicate-access filter and run coalescer, the interval tree's
+// bulk AddRun, and the end-to-end property the whole design rests on:
+// race reports are BYTE-IDENTICAL with the fast path on or off.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "common/fsutil.h"
+#include "common/rng.h"
+#include "compress/compressor.h"
+#include "core/sword_tool.h"
+#include "itree/interval_tree.h"
+#include "offline/analysis.h"
+#include "offline/tracestore.h"
+#include "somp/instr.h"
+#include "somp/runtime.h"
+#include "trace/event.h"
+#include "trace/meta.h"
+#include "trace/reader.h"
+#include "trace/writer.h"
+
+namespace sword {
+namespace {
+
+// --- v3 codec ---------------------------------------------------------------
+
+std::vector<trace::RawEvent> MixedEvents() {
+  return {
+      trace::RawEvent::Access(0x1000, 8, 1, 7),
+      trace::RawEvent::Run(0x2000, 8, 1000, 8, 0, 9),
+      trace::RawEvent::Access(0x2000 + 999 * 8 + 8, 8, 0, 9),  // continuation
+      trace::RawEvent::MutexAcquire(3),
+      trace::RawEvent::Run(0x9000, 128, 2, 128, 1, 11),  // explicit size path
+      trace::RawEvent::MutexRelease(3),
+      trace::RawEvent::Access(0x100, 4, 3, 1 << 20),  // atomic write, big pc
+      trace::RawEvent::Run(0x40, 1, 3, 1, 2, 0),      // atomic read run
+  };
+}
+
+TEST(CodecV3, MixedRoundTrip) {
+  const auto events = MixedEvents();
+  Bytes buf;
+  ByteWriter w(&buf);
+  trace::EventCodecState enc;
+  for (const auto& e : events) trace::EncodeEventV3(e, enc, w);
+
+  ByteReader r(buf);
+  trace::EventCodecState dec;
+  for (const auto& want : events) {
+    trace::RawEvent got;
+    ASSERT_TRUE(trace::DecodeEventV3(r, dec, &got).ok());
+    EXPECT_EQ(got, want);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(CodecV3, NonRunEventsEncodeExactlyAsV2) {
+  std::vector<trace::RawEvent> events;
+  for (const auto& e : MixedEvents()) {
+    if (e.kind != trace::EventKind::kAccessRun) events.push_back(e);
+  }
+  Bytes v2, v3;
+  ByteWriter w2(&v2), w3(&v3);
+  trace::EventCodecState s2, s3;
+  for (const auto& e : events) {
+    trace::EncodeEventV2(e, s2, w2);
+    trace::EncodeEventV3(e, s3, w3);
+  }
+  EXPECT_EQ(v2, v3) << "a v3 frame without runs must be a valid v2 payload";
+}
+
+TEST(CodecV3, V2DecoderRejectsRunEvents) {
+  Bytes buf;
+  ByteWriter w(&buf);
+  trace::EventCodecState enc;
+  trace::EncodeEventV3(trace::RawEvent::Run(0x1000, 8, 4, 8, 0, 1), enc, w);
+  ByteReader r(buf);
+  trace::EventCodecState dec;
+  trace::RawEvent out;
+  EXPECT_FALSE(trace::DecodeEventV2(r, dec, &out).ok())
+      << "kind 3 is reserved in v2 and must not decode";
+}
+
+TEST(CodecV3, RejectsImplausibleRuns) {
+  struct Case {
+    trace::RawEvent event;
+    const char* why;
+  };
+  const Case cases[] = {
+      {trace::RawEvent::Run(0x1000, 8, 1, 8, 0, 1), "count < 2"},
+      {trace::RawEvent::Run(0x1000, 8, 0, 8, 0, 1), "count 0"},
+      {trace::RawEvent::Run(0x1000, 0, 4, 8, 0, 1), "stride 0"},
+      {trace::RawEvent::Run(~0ULL - 16, 1ULL << 63, 3, 8, 0, 1),
+       "extent overflows the address space"},
+  };
+  for (const Case& c : cases) {
+    Bytes buf;
+    ByteWriter w(&buf);
+    trace::EventCodecState enc;
+    trace::EncodeEventV3(c.event, enc, w);
+    ByteReader r(buf);
+    trace::EventCodecState dec;
+    trace::RawEvent out;
+    EXPECT_FALSE(trace::DecodeEventV3(r, dec, &out).ok()) << c.why;
+  }
+}
+
+// --- meta v4 ----------------------------------------------------------------
+
+TEST(MetaV4, AccessesDroppedRoundTrip) {
+  trace::MetaFile meta;
+  meta.thread_id = 7;
+  meta.log_format = trace::kTraceFormatV3;
+  meta.events_dropped = 11;
+  meta.bytes_dropped = 176;
+  meta.accesses_dropped = 42;
+
+  trace::MetaFile decoded;
+  ASSERT_TRUE(trace::MetaFile::Decode(meta.Encode(), &decoded).ok());
+  EXPECT_EQ(decoded.thread_id, 7u);
+  EXPECT_EQ(decoded.log_format, trace::kTraceFormatV3);
+  EXPECT_EQ(decoded.events_dropped, 11u);
+  EXPECT_EQ(decoded.bytes_dropped, 176u);
+  EXPECT_EQ(decoded.accesses_dropped, 42u);
+}
+
+// --- writer fast path -------------------------------------------------------
+
+trace::IntervalMeta SegMeta(uint32_t lane = 0) {
+  trace::IntervalMeta m;
+  m.region = 0;
+  m.parent_region = trace::IntervalMeta::kNoParent;
+  m.label = osl::Label::Initial().Fork(lane, 2);
+  m.level = 1;
+  m.lane = lane;
+  return m;
+}
+
+struct WriterRig {
+  trace::Flusher flusher{/*async=*/false};
+  TempDir dir{"fastpath"};
+  std::unique_ptr<trace::ThreadTraceWriter> writer;
+
+  explicit WriterRig(bool filter = true, bool coalesce = true,
+                     uint8_t format = trace::kTraceFormatV3) {
+    trace::WriterConfig wc;
+    wc.log_path = dir.File("t0.log");
+    wc.meta_path = dir.File("t0.meta");
+    wc.flusher = &flusher;
+    wc.format = format;
+    wc.access_filter = filter;
+    wc.coalesce = coalesce;
+    wc.codec = FindCompressor("raw");
+    writer = std::make_unique<trace::ThreadTraceWriter>(0, wc);
+  }
+
+  std::vector<trace::RawEvent> FinishAndRead() {
+    EXPECT_TRUE(writer->Finish().ok());
+    auto reader = trace::LogReader::Open(dir.File("t0.log"));
+    EXPECT_TRUE(reader.ok());
+    std::vector<trace::RawEvent> out;
+    EXPECT_TRUE(reader.value()
+                    .StreamRange(0, reader.value().total_logical_bytes(),
+                                 [&](const trace::RawEvent& e) { out.push_back(e); })
+                    .ok());
+    return out;
+  }
+};
+
+TEST(WriterFastPath, DuplicateFilterSuppresses) {
+  WriterRig rig;
+  rig.writer->BeginSegment(SegMeta());
+  for (int i = 0; i < 100; i++) rig.writer->AppendAccess(0x1000, 8, 1, 7);
+  rig.writer->EndSegment();
+
+  EXPECT_EQ(rig.writer->events_suppressed(), 99u);
+  EXPECT_EQ(rig.writer->events_logged(), 1u);
+  const auto events = rig.FinishAndRead();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], trace::RawEvent::Access(0x1000, 8, 1, 7));
+}
+
+TEST(WriterFastPath, FilterResetsOnMutexEvents) {
+  WriterRig rig;
+  rig.writer->BeginSegment(SegMeta());
+  rig.writer->AppendAccess(0x1000, 8, 1, 7);
+  rig.writer->AppendAccess(0x1000, 8, 1, 7);  // suppressed
+  // The lockset changes: the same access is NOT a duplicate of one made
+  // under a different set of held locks.
+  rig.writer->Append(trace::RawEvent::MutexAcquire(1));
+  rig.writer->AppendAccess(0x1000, 8, 1, 7);  // must be logged again
+  rig.writer->Append(trace::RawEvent::MutexRelease(1));
+  rig.writer->AppendAccess(0x1000, 8, 1, 7);  // and again
+  rig.writer->EndSegment();
+
+  EXPECT_EQ(rig.writer->events_suppressed(), 1u);
+  EXPECT_EQ(rig.writer->events_logged(), 5u);  // 3 accesses + 2 mutex ops
+}
+
+TEST(WriterFastPath, CoalescesStridedSweep) {
+  WriterRig rig;
+  rig.writer->BeginSegment(SegMeta());
+  for (uint64_t i = 0; i < 1000; i++) {
+    rig.writer->AppendAccess(0x2000 + i * 8, 8, 1, 7);
+  }
+  rig.writer->EndSegment();
+
+  EXPECT_EQ(rig.writer->events_logged(), 1u);
+  EXPECT_EQ(rig.writer->runs_emitted(), 1u);
+  EXPECT_EQ(rig.writer->events_coalesced(), 999u);
+  const auto events = rig.FinishAndRead();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], trace::RawEvent::Run(0x2000, 8, 1000, 8, 1, 7));
+}
+
+TEST(WriterFastPath, RangeAppendEmitsRunPlusTail) {
+  WriterRig rig;
+  rig.writer->BeginSegment(SegMeta());
+  rig.writer->AppendRange(0x4000, 1000, 1, 3);  // 7 full chunks + 104 tail
+  rig.writer->EndSegment();
+
+  const auto events = rig.FinishAndRead();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], trace::RawEvent::Run(0x4000, 128, 7, 128, 1, 3));
+  EXPECT_EQ(events[1], trace::RawEvent::Access(0x4000 + 7 * 128, 104, 1, 3));
+
+  // The pre-v3 formats must see the historical chunk loop.
+  WriterRig legacy(true, true, trace::kTraceFormatV2);
+  legacy.writer->BeginSegment(SegMeta());
+  legacy.writer->AppendRange(0x4000, 1000, 1, 3);
+  legacy.writer->EndSegment();
+  const auto chunks = legacy.FinishAndRead();
+  ASSERT_EQ(chunks.size(), 8u);
+  for (int i = 0; i < 7; i++) {
+    EXPECT_EQ(chunks[i], trace::RawEvent::Access(0x4000 + i * 128, 128, 1, 3));
+  }
+  EXPECT_EQ(chunks[7], trace::RawEvent::Access(0x4000 + 7 * 128, 104, 1, 3));
+}
+
+TEST(WriterFastPath, OutOfSegmentAccessesCountedAndDropped) {
+  WriterRig rig;
+  rig.writer->AppendAccess(0x1000, 8, 1, 7);     // before any segment
+  rig.writer->AppendRange(0x2000, 300, 1, 8);    // 2 chunks + tail = 3 dropped
+  rig.writer->BeginSegment(SegMeta());
+  rig.writer->AppendAccess(0x1000, 8, 1, 7);
+  rig.writer->EndSegment();
+  rig.writer->AppendAccess(0x1000, 8, 1, 7);     // after the segment
+
+  EXPECT_EQ(rig.writer->accesses_dropped(), 5u);
+  EXPECT_EQ(rig.writer->events_logged(), 1u);
+  ASSERT_TRUE(rig.writer->Finish().ok());
+
+  // The drop count survives into the meta header, so it is visible offline.
+  auto bytes = ReadFileBytes(rig.dir.File("t0.meta"));
+  ASSERT_TRUE(bytes.ok());
+  trace::MetaFile meta;
+  ASSERT_TRUE(trace::MetaFile::Decode(bytes.value(), &meta).ok());
+  EXPECT_EQ(meta.accesses_dropped, 5u);
+}
+
+/// Structural fingerprint of a tree, ignoring hit counters: the duplicate
+/// filter elides hits-only folds, so structure (not hits) is the invariant.
+using Shape = std::vector<std::tuple<uint64_t, uint64_t, uint64_t, uint32_t,
+                                     uint32_t, uint8_t, uint8_t>>;
+
+Shape TreeShape(const itree::IntervalTree& tree) {
+  Shape shape;
+  tree.ForEach([&](const itree::AccessNode& n) {
+    shape.emplace_back(n.interval.base, n.interval.stride, n.interval.count,
+                       n.interval.size, n.key.pc, n.key.flags, n.key.size);
+  });
+  return shape;
+}
+
+itree::IntervalTree Replay(const std::vector<trace::RawEvent>& events) {
+  itree::IntervalTree tree;
+  for (const auto& e : events) {
+    const itree::AccessKey key{e.pc, e.flags, e.size, itree::kEmptyMutexSet};
+    if (e.kind == trace::EventKind::kAccess) {
+      tree.AddAccess(e.addr, key);
+    } else if (e.kind == trace::EventKind::kAccessRun) {
+      tree.AddRun(e.addr, e.stride, e.count, key);
+    }
+  }
+  return tree;
+}
+
+TEST(WriterFastPath, FilteredStreamReplaysToSameTreeShape) {
+  Rng rng(1234);
+  // A duplicate- and stride-heavy access pattern over a handful of sites.
+  std::vector<std::tuple<uint64_t, uint8_t, uint8_t, uint32_t>> pattern;
+  for (int round = 0; round < 200; round++) {
+    const uint32_t pc = static_cast<uint32_t>(rng.Below(4));
+    const uint8_t flags = rng.Chance(0.5) ? 1 : 0;
+    const uint64_t base = 0x1000 + rng.Below(4) * 0x1000;
+    if (rng.Chance(0.4)) {
+      const uint64_t n = 2 + rng.Below(30);
+      for (uint64_t i = 0; i < n; i++) pattern.emplace_back(base + i * 8, flags, 8, pc);
+    } else {
+      const uint64_t reps = 1 + rng.Below(4);
+      for (uint64_t i = 0; i < reps; i++) pattern.emplace_back(base, flags, 8, pc);
+    }
+  }
+
+  WriterRig fast(true, true);
+  WriterRig plain(false, false);
+  for (auto* rig : {&fast, &plain}) {
+    rig->writer->BeginSegment(SegMeta());
+    for (const auto& [addr, flags, size, pc] : pattern) {
+      rig->writer->AppendAccess(addr, size, flags, pc);
+    }
+    rig->writer->EndSegment();
+  }
+
+  const auto fast_events = fast.FinishAndRead();
+  const auto plain_events = plain.FinishAndRead();
+  EXPECT_LT(fast_events.size(), plain_events.size());
+  EXPECT_EQ(fast.writer->events_suppressed() + fast.writer->events_coalesced() +
+                fast.writer->events_logged(),
+            plain.writer->events_logged());
+  EXPECT_EQ(TreeShape(Replay(fast_events)), TreeShape(Replay(plain_events)));
+}
+
+// --- IntervalTree::AddRun ---------------------------------------------------
+
+class AddRunProperty : public testing::TestWithParam<int> {};
+
+TEST_P(AddRunProperty, EqualsElementLoop) {
+  Rng rng(7000 + static_cast<uint64_t>(GetParam()));
+  itree::IntervalTree bulk, loop;
+  for (int op = 0; op < 300; op++) {
+    itree::AccessKey key;
+    key.pc = static_cast<uint32_t>(rng.Below(3));
+    key.flags = rng.Chance(0.5) ? itree::kWrite : itree::kRead;
+    key.size = 8;
+    const uint64_t base = 0x1000 + rng.Below(64) * 8;
+    if (rng.Chance(0.5)) {
+      const uint64_t stride = (1 + rng.Below(3)) * 8;
+      const uint64_t count = 1 + rng.Below(20);
+      bulk.AddRun(base, stride, count, key);
+      for (uint64_t i = 0; i < count; i++) loop.AddAccess(base + i * stride, key);
+    } else {
+      bulk.AddAccess(base, key);
+      loop.AddAccess(base, key);
+    }
+  }
+
+  std::string why;
+  EXPECT_TRUE(bulk.Validate(&why)) << why;
+  EXPECT_EQ(bulk.NodeCount(), loop.NodeCount());
+  EXPECT_EQ(bulk.TotalAccesses(), loop.TotalAccesses());
+  // Full payload equality including hit counters: AddRun promises EXACT
+  // equivalence with the element loop, not just equal shapes.
+  std::vector<std::tuple<uint64_t, uint64_t, uint64_t, uint32_t, uint32_t,
+                         uint8_t, uint8_t, uint64_t>>
+      a, b;
+  bulk.ForEach([&](const itree::AccessNode& n) {
+    a.emplace_back(n.interval.base, n.interval.stride, n.interval.count,
+                   n.interval.size, n.key.pc, n.key.flags, n.key.size, n.hits);
+  });
+  loop.ForEach([&](const itree::AccessNode& n) {
+    b.emplace_back(n.interval.base, n.interval.stride, n.interval.count,
+                   n.interval.size, n.key.pc, n.key.flags, n.key.size, n.hits);
+  });
+  EXPECT_EQ(a, b) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomOps, AddRunProperty, testing::Range(0, 20));
+
+// --- end-to-end: reports identical with the fast path on or off -------------
+
+struct SweepOp {
+  uint64_t offset;  // into the shared byte pool
+  uint64_t count;   // 1 = single access, else strided sweep
+  uint64_t reps;    // duplicate repetitions of the whole op
+  bool write;
+  bool atomic;
+  bool range;       // use write_range/read_range instead of per-element ops
+  uint32_t site;
+  uint32_t lock;    // ~0u = none
+};
+
+struct SweepProgram {
+  uint32_t lanes;
+  uint32_t phases;
+  std::vector<std::vector<std::vector<SweepOp>>> ops;  // [lane][phase]
+};
+
+SweepProgram GenerateSweepProgram(Rng& rng) {
+  SweepProgram p;
+  p.lanes = 2 + static_cast<uint32_t>(rng.Below(2));
+  p.phases = 1 + static_cast<uint32_t>(rng.Below(2));
+  p.ops.resize(p.lanes);
+  for (uint32_t lane = 0; lane < p.lanes; lane++) {
+    p.ops[lane].resize(p.phases);
+    for (uint32_t phase = 0; phase < p.phases; phase++) {
+      const uint32_t n = 1 + static_cast<uint32_t>(rng.Below(4));
+      for (uint32_t k = 0; k < n; k++) {
+        SweepOp op;
+        op.offset = rng.Below(16) * 8;
+        op.count = rng.Chance(0.6) ? 2 + rng.Below(32) : 1;
+        op.reps = rng.Chance(0.4) ? 2 + rng.Below(3) : 1;
+        op.write = rng.Chance(0.6);
+        op.atomic = rng.Chance(0.15);
+        op.range = rng.Chance(0.2);
+        op.site = static_cast<uint32_t>(rng.Below(8));
+        op.lock = rng.Chance(0.25) ? static_cast<uint32_t>(rng.Below(2)) : ~0u;
+        p.ops[lane][phase].push_back(op);
+      }
+    }
+  }
+  return p;
+}
+
+const std::array<std::source_location, 8>& SweepSites() {
+  using std::source_location;
+  static const std::array<source_location, 8> kSites = {
+      source_location::current(), source_location::current(),
+      source_location::current(), source_location::current(),
+      source_location::current(), source_location::current(),
+      source_location::current(), source_location::current()};
+  return kSites;
+}
+
+void RunSweepOp(std::vector<uint64_t>& pool, const SweepOp& op) {
+  const std::source_location& loc = SweepSites()[op.site];
+  for (uint64_t rep = 0; rep < op.reps; rep++) {
+    if (op.range && op.count > 1) {
+      uint8_t* base = reinterpret_cast<uint8_t*>(pool.data()) + op.offset;
+      if (op.write) instr::write_range(base, op.count * 8, 0, loc);
+      else instr::read_range(base, op.count * 8, loc);
+      continue;
+    }
+    for (uint64_t i = 0; i < op.count; i++) {
+      uint64_t& cell = pool[op.offset / 8 + i];
+      if (op.atomic) {
+        if (op.write) instr::atomic_store(cell, uint64_t{1}, loc);
+        else (void)instr::atomic_load(cell, loc);
+      } else {
+        if (op.write) instr::store(cell, uint64_t{1}, loc);
+        else (void)instr::load(cell, loc);
+      }
+    }
+  }
+}
+
+void RunSweepProgram(const SweepProgram& p, std::vector<uint64_t>& pool) {
+  somp::Parallel(p.lanes, [&](somp::Ctx& ctx) {
+    for (uint32_t phase = 0; phase < p.phases; phase++) {
+      for (const SweepOp& op : p.ops[ctx.thread_num()][phase]) {
+        if (op.lock != ~0u) {
+          ctx.Critical("sweep-lock-" + std::to_string(op.lock),
+                       [&] { RunSweepOp(pool, op); });
+        } else {
+          RunSweepOp(pool, op);
+        }
+      }
+      if (phase + 1 < p.phases) ctx.Barrier();
+    }
+  });
+}
+
+/// Lane threads register writer ids in scheduling order, so across separate
+/// somp runs the report VECTOR order is not comparable; the race pc-pair SET
+/// is. (Byte-identical ordered reports are asserted by DeterministicAblation
+/// below, where the trace is replayed with a fixed lane -> tid mapping.)
+std::set<std::pair<uint32_t, uint32_t>> CollectRacePairs(
+    const SweepProgram& p, std::vector<uint64_t>& pool, uint8_t format,
+    bool filter, bool coalesce) {
+  TempDir dir("sweep");
+  core::SwordConfig sc;
+  sc.out_dir = dir.path();
+  sc.trace_format = format;
+  sc.access_filter = filter;
+  sc.coalesce = coalesce;
+  {
+    core::SwordTool tool(sc);
+    somp::RuntimeConfig rc;
+    rc.tool = &tool;
+    somp::Runtime::Get().ResetIds();
+    somp::Runtime::Get().Configure(rc);
+    RunSweepProgram(p, pool);
+    EXPECT_TRUE(tool.Finalize().ok());
+    somp::Runtime::Get().Configure({});
+  }
+  auto store = offline::TraceStore::OpenDir(dir.path());
+  EXPECT_TRUE(store.ok());
+  const offline::AnalysisResult result = offline::Analyze(store.value());
+  EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  std::set<std::pair<uint32_t, uint32_t>> out;
+  for (const RaceReport& r : result.races.reports()) {
+    out.insert({std::min(r.pc1, r.pc2), std::max(r.pc1, r.pc2)});
+  }
+  return out;
+}
+
+class AblationProperty : public testing::TestWithParam<int> {};
+
+TEST_P(AblationProperty, RaceSetsIdenticalAcrossFastPathConfigs) {
+  Rng rng(31000 + static_cast<uint64_t>(GetParam()));
+  const SweepProgram p = GenerateSweepProgram(rng);
+  std::vector<uint64_t> pool(16 + 40);  // sweeps stay in bounds
+
+  const auto def = CollectRacePairs(p, pool, trace::kTraceFormatV3, true, true);
+  EXPECT_EQ(def, CollectRacePairs(p, pool, trace::kTraceFormatV3, false, true))
+      << "seed " << GetParam() << ": filter ablation changed the race set";
+  EXPECT_EQ(def, CollectRacePairs(p, pool, trace::kTraceFormatV3, true, false))
+      << "seed " << GetParam() << ": coalescer ablation changed the race set";
+  EXPECT_EQ(def, CollectRacePairs(p, pool, trace::kTraceFormatV3, false, false))
+      << "seed " << GetParam();
+  EXPECT_EQ(def, CollectRacePairs(p, pool, trace::kTraceFormatV2, true, true))
+      << "seed " << GetParam() << ": v3 fast path diverged from plain v2";
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweeps, AblationProperty, testing::Range(0, 15));
+
+// --- deterministic replay: reports byte-identical --------------------------
+
+/// One synthetic per-lane event script, replayed straight into per-lane
+/// ThreadTraceWriters (tid == lane), so every configuration produces its
+/// trace from EXACTLY the same writer-call sequence and the analysis input
+/// differs only by what the filter/coalescer did. Any report drift here is
+/// a soundness bug, so the comparison is full-field and order-sensitive.
+std::vector<std::tuple<uint32_t, uint32_t, uint64_t, uint8_t, uint8_t, bool,
+                       bool, int>>
+AnalyzeScripted(const SweepProgram& p, uint8_t format, bool filter,
+                bool coalesce) {
+  TempDir dir("scripted");
+  trace::Flusher flusher(/*async=*/false);
+  for (uint32_t lane = 0; lane < p.lanes; lane++) {
+    trace::WriterConfig wc;
+    wc.log_path = dir.path() + "/sword_t" + std::to_string(lane) + ".log";
+    wc.meta_path = dir.path() + "/sword_t" + std::to_string(lane) + ".meta";
+    wc.flusher = &flusher;
+    wc.format = format;
+    wc.access_filter = filter;
+    wc.coalesce = coalesce;
+    trace::ThreadTraceWriter writer(lane, wc);
+    osl::Label label = osl::Label::Initial().Fork(lane, p.lanes);
+    for (uint32_t phase = 0; phase < p.phases; phase++) {
+      trace::IntervalMeta m;
+      m.region = 1;
+      m.parent_region = trace::IntervalMeta::kNoParent;
+      m.phase = phase;
+      m.label = label;
+      m.level = 1;
+      m.lane = lane;
+      writer.BeginSegment(m);
+      for (const SweepOp& op : p.ops[lane][phase]) {
+        const uint64_t addr = 0x10000 + op.offset;
+        const uint8_t flags =
+            static_cast<uint8_t>((op.write ? 1 : 0) | (op.atomic ? 2 : 0));
+        if (op.lock != ~0u) {
+          writer.Append(trace::RawEvent::MutexAcquire(op.lock));
+        }
+        for (uint64_t rep = 0; rep < op.reps; rep++) {
+          if (op.range && op.count > 1) {
+            writer.AppendRange(addr, op.count * 8, flags, op.site + 1);
+          } else {
+            for (uint64_t i = 0; i < op.count; i++) {
+              writer.AppendAccess(addr + i * 8, 8, flags, op.site + 1);
+            }
+          }
+        }
+        if (op.lock != ~0u) {
+          writer.Append(trace::RawEvent::MutexRelease(op.lock));
+        }
+      }
+      writer.EndSegment();
+      label = label.AfterBarrier();
+    }
+    EXPECT_TRUE(writer.Finish().ok());
+  }
+
+  auto store = offline::TraceStore::OpenDir(dir.path());
+  EXPECT_TRUE(store.ok());
+  const offline::AnalysisResult result = offline::Analyze(store.value());
+  EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  std::vector<std::tuple<uint32_t, uint32_t, uint64_t, uint8_t, uint8_t, bool,
+                         bool, int>>
+      out;
+  for (const RaceReport& r : result.races.reports()) {
+    out.emplace_back(r.pc1, r.pc2, r.address, r.size1, r.size2, r.write1,
+                     r.write2, static_cast<int>(r.confidence));
+  }
+  return out;
+}
+
+class DeterministicAblation : public testing::TestWithParam<int> {};
+
+TEST_P(DeterministicAblation, ReportsByteIdenticalAcrossConfigs) {
+  Rng rng(47000 + static_cast<uint64_t>(GetParam()));
+  const SweepProgram p = GenerateSweepProgram(rng);
+
+  const auto def = AnalyzeScripted(p, trace::kTraceFormatV3, true, true);
+  EXPECT_EQ(def, AnalyzeScripted(p, trace::kTraceFormatV3, false, true))
+      << "seed " << GetParam();
+  EXPECT_EQ(def, AnalyzeScripted(p, trace::kTraceFormatV3, true, false))
+      << "seed " << GetParam();
+  EXPECT_EQ(def, AnalyzeScripted(p, trace::kTraceFormatV3, false, false))
+      << "seed " << GetParam();
+  EXPECT_EQ(def, AnalyzeScripted(p, trace::kTraceFormatV2, true, true))
+      << "seed " << GetParam();
+  EXPECT_EQ(def, AnalyzeScripted(p, trace::kTraceFormatV1, true, true))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScripts, DeterministicAblation,
+                         testing::Range(0, 25));
+
+// --- sink lifecycle ---------------------------------------------------------
+
+TEST(SinkLifecycle, ToolReplacementInvalidatesSinks) {
+  // Run under tool A, replace it with tool B on the SAME OS threads, and
+  // check B's trace is complete: stale sinks from A must not swallow events.
+  std::vector<uint64_t> pool(64);
+  auto run = [&] {
+    somp::Parallel(2, [&](somp::Ctx& ctx) {
+      for (int i = 0; i < 32; i++) {
+        instr::store(pool[ctx.thread_num() * 32 + i], uint64_t{1});
+      }
+    });
+  };
+  TempDir dir_a("sink-a"), dir_b("sink-b");
+  core::SwordConfig sc;
+  sc.out_dir = dir_a.path();
+  {
+    core::SwordTool tool(sc);
+    somp::RuntimeConfig rc;
+    rc.tool = &tool;
+    somp::Runtime::Get().ResetIds();
+    somp::Runtime::Get().Configure(rc);
+    run();
+    ASSERT_TRUE(tool.Finalize().ok());
+  }
+  sc.out_dir = dir_b.path();
+  {
+    core::SwordTool tool(sc);
+    somp::RuntimeConfig rc;
+    rc.tool = &tool;
+    somp::Runtime::Get().Configure(rc);
+    run();
+    ASSERT_TRUE(tool.Finalize().ok());
+    somp::Runtime::Get().Configure({});
+    EXPECT_EQ(tool.EventsLogged() + tool.EventsCoalesced() +
+                  tool.EventsSuppressed(),
+              64u);
+    EXPECT_EQ(tool.AccessesDropped(), 0u);
+  }
+}
+
+TEST(SinkLifecycle, ConcurrentStatReadsWhileTracing) {
+  // Aggregated counter reads race benignly with the owner threads' writes
+  // (OwnerCounter); run under TSan this is the regression test for the
+  // "no shared atomic on the hot path" claim.
+  TempDir dir("sink-stats");
+  core::SwordConfig sc;
+  sc.out_dir = dir.path();
+  core::SwordTool tool(sc);
+  somp::RuntimeConfig rc;
+  rc.tool = &tool;
+  somp::Runtime::Get().ResetIds();
+  somp::Runtime::Get().Configure(rc);
+  std::vector<uint64_t> pool(4 * 256);
+  uint64_t observed = 0;
+  somp::Parallel(4, [&](somp::Ctx& ctx) {
+    for (int round = 0; round < 16; round++) {
+      for (int i = 0; i < 256; i++) {
+        instr::store(pool[ctx.thread_num() * 256 + i], uint64_t{1});
+      }
+      if (ctx.thread_num() == 0) observed += tool.EventsLogged();
+      ctx.Barrier();
+    }
+  });
+  ASSERT_TRUE(tool.Finalize().ok());
+  somp::Runtime::Get().Configure({});
+  EXPECT_GT(observed, 0u);
+  EXPECT_EQ(tool.EventsLogged() + tool.EventsCoalesced() +
+                tool.EventsSuppressed(),
+            4u * 16u * 256u);
+}
+
+}  // namespace
+}  // namespace sword

@@ -62,9 +62,12 @@ MatrixLog BuildMatrixLog(uint8_t format, const std::string& dir) {
   for (uint32_t i = 0; i < 3 * kEventsPerFrame; i++) {
     // Low-valued bytes on purpose: the payload must not accidentally contain
     // a frame-magic byte sequence, or resynchronization offsets would depend
-    // on the event data.
-    trace::RawEvent e = trace::RawEvent::Access(0x2000 + i * 8, 8, i % 2,
-                                                /*pc=*/i);
+    // on the event data. v3 logs interleave coalesced run events so the
+    // matrix also covers the v3-only payload shape.
+    trace::RawEvent e =
+        format >= trace::kTraceFormatV3 && i % 5 == 4
+            ? trace::RawEvent::Run(0x2000 + i * 8, 8, 3, 8, i % 2, /*pc=*/i)
+            : trace::RawEvent::Access(0x2000 + i * 8, 8, i % 2, /*pc=*/i);
     writer.Append(e);
     log.events.push_back(e);
   }
@@ -185,9 +188,10 @@ TEST_P(CorruptionMatrix, BitFlipAtEveryByte) {
 
 INSTANTIATE_TEST_SUITE_P(Formats, CorruptionMatrix,
                          ::testing::Values(trace::kTraceFormatV1,
-                                           trace::kTraceFormatV2),
+                                           trace::kTraceFormatV2,
+                                           trace::kTraceFormatV3),
                          [](const auto& info) {
-                           return info.param == trace::kTraceFormatV1 ? "v1" : "v2";
+                           return "v" + std::to_string(info.param);
                          });
 
 // --- targeted damage with exact expectations ------------------------------
@@ -395,9 +399,10 @@ TEST_P(SalvageAnalysis, MidFrameTruncationStillAnalyzable) {
 
 INSTANTIATE_TEST_SUITE_P(Formats, SalvageAnalysis,
                          ::testing::Values(trace::kTraceFormatV1,
-                                           trace::kTraceFormatV2),
+                                           trace::kTraceFormatV2,
+                                           trace::kTraceFormatV3),
                          [](const auto& info) {
-                           return info.param == trace::kTraceFormatV1 ? "v1" : "v2";
+                           return "v" + std::to_string(info.param);
                          });
 
 TEST(MetaValidation, ImplausibleEventCountRejected) {

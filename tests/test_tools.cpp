@@ -96,6 +96,34 @@ TEST_F(ToolsTest, DumpToolPrintsTableIColumns) {
   EXPECT_NE(out.find("write size=8"), std::string::npos) << out;
 }
 
+TEST_F(ToolsTest, DumpToolRendersRunEvents) {
+  // A strided sweep coalesces into kAccessRun events (format v3); --events
+  // must render them as one run line, not N access lines.
+  TempDir dir("tools-run-events");
+  core::SwordConfig config;
+  config.out_dir = dir.path();
+  core::SwordTool tool(config);
+  somp::RuntimeConfig rc;
+  rc.tool = &tool;
+  somp::Runtime::Get().ResetIds();
+  somp::Runtime::Get().Configure(rc);
+  std::vector<uint64_t> data(2 * 64);
+  somp::Parallel(2, [&](somp::Ctx& ctx) {
+    for (int i = 0; i < 64; i++) {
+      instr::store(data[ctx.thread_num() * 64 + i], uint64_t{1});
+    }
+  });
+  ASSERT_TRUE(tool.Finalize().ok());
+  somp::Runtime::Get().Configure({});
+
+  const auto [code, out] =
+      RunCommand(ToolPath("sword-dump") + " " + dir.path() + " --events");
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("write run base=0x"), std::string::npos) << out;
+  EXPECT_NE(out.find("stride=8 count=64"), std::string::npos) << out;
+  EXPECT_NE(out.find("format v3"), std::string::npos) << out;
+}
+
 TEST_F(ToolsTest, OfflineToolRejectsBadInput) {
   // Exit-code contract: 4 = I/O/analysis failure, 1 = usage error.
   const auto [rc, out] = RunCommand(ToolPath("sword-offline") + " /nonexistent-dir");
