@@ -3,15 +3,24 @@
 // OSL judgments, Diophantine/ILP solves, codec throughput, and vector-clock
 // joins. These are the constants behind every macro number in the tables.
 //
-// Two modes:
+// Three modes:
 //   (default)            the google-benchmark suite below
 //   --quick [--json F]   the online fast-path microbench: per-access ns on
 //                        strided-sweep and reduction workloads, format v3
 //                        default vs ablation (no filter, no coalescer) vs
 //                        v2, with suppressed/coalesced counters. This is the
 //                        perf-smoke gate's tracing-side metric source.
+//   --contention [--json F]
+//                        the trace-plane coordination sweep: N producers
+//                        hammering pool-Acquire + AppendFrame through the
+//                        lock-free rings/freelist vs the mutex+condvar
+//                        ablation at {2,4,8,16,24} threads. Gate metrics
+//                        carry hardware-aware escape booleans so the sweep
+//                        stays meaningful on small CI runners.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <fstream>
 #include <thread>
@@ -645,12 +654,154 @@ int RunFastPathQuick(const ArgParser& args) {
   return (strided_speedup >= 2.0 && reduction_speedup >= 2.0) ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// --contention mode: the trace-plane coordination sweep behind the lock-free
+// tentpole. N producer threads cycle pool-acquired buffers through
+// AppendFrame as fast as they can; the raw codec and small frames keep the
+// worker side to a memcpy+append so the measured quantity is the
+// coordination plane (ring/credits/freelist vs mutex/condvar/deque), not
+// compression or disk. Aggregate appends/sec and ns/append per thread count,
+// lock-free vs the --no-lockfree ablation.
+
+struct ContentionPoint {
+  double ops_per_sec = 0;
+  double ns_per_op = 0;
+  uint64_t producer_blocks = 0;
+};
+
+ContentionPoint MeasureContention(bool lockfree, uint32_t threads,
+                                  uint64_t total_frames) {
+  constexpr size_t kFrameBytes = 4096;
+  const Compressor* codec = FindCompressor("raw");
+  const uint64_t per_thread = std::max<uint64_t>(1, total_frames / threads);
+  ContentionPoint best;
+  // Best-of-3: contention sweeps are scheduler-noisy, and the gate cares
+  // about capability (can the plane sustain the rate), not the noise floor.
+  for (int rep = 0; rep < 3; rep++) {
+    TempDir dir("bm-contention");
+    trace::FlusherConfig fc;
+    fc.async = true;
+    fc.lockfree = lockfree;
+    fc.workers = 2;
+    fc.max_queued_jobs = 64;
+    trace::Flusher flusher(fc);
+    std::atomic<bool> go{false};
+    std::vector<std::thread> producers;
+    producers.reserve(threads);
+    for (uint32_t p = 0; p < threads; p++) {
+      producers.emplace_back([&, p] {
+        const std::string path = dir.File("p" + std::to_string(p) + ".log");
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        for (uint64_t j = 0; j < per_thread; j++) {
+          Bytes buf = flusher.pool().Acquire(kFrameBytes);
+          buf.resize(kFrameBytes, 0x5a);
+          flusher.AppendFrame(path, std::move(buf), codec,
+                              trace::kTraceFormatV2);
+        }
+      });
+    }
+    Timer t;
+    go.store(true, std::memory_order_release);
+    for (auto& th : producers) th.join();
+    flusher.Drain();
+    if (!flusher.status().ok()) std::abort();
+    const double seconds = std::max(t.ElapsedSeconds(), 1e-9);
+    const double ops = static_cast<double>(per_thread * threads);
+    if (ops / seconds > best.ops_per_sec) {
+      best.ops_per_sec = ops / seconds;
+      best.ns_per_op = seconds * 1e9 / ops;
+      best.producer_blocks = flusher.stats().producer_blocks;
+    }
+  }
+  return best;
+}
+
+int RunContention(const ArgParser& args) {
+  using sword::bench::Check;
+  const std::string json_path = args.GetString("json", "");
+  const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::vector<uint32_t> sweep = {2, 4, 8, 16, 24};
+  // Fixed total work per point so the sweep compares aggregate throughput,
+  // not per-thread quotas (divisible by every sweep width).
+  const uint64_t total_frames = 1920;
+
+  sword::bench::Banner(
+      "Trace-plane contention - lock-free lanes/pool vs mutex ablation",
+      "lock-free coordination keeps aggregate append throughput from "
+      "collapsing as producers scale, and beats the mutex plane under "
+      "contention on multi-core hosts");
+  std::printf("hardware threads: %u\n\n", hw);
+
+  std::vector<ContentionPoint> lf, mx;
+  TextTable table({"producers", "lockfree ops/s", "ns/op", "stalls",
+                   "mutex ops/s", "ns/op", "stalls", "speedup"});
+  for (uint32_t threads : sweep) {
+    lf.push_back(MeasureContention(true, threads, total_frames));
+    mx.push_back(MeasureContention(false, threads, total_frames));
+    const ContentionPoint& a = lf.back();
+    const ContentionPoint& b = mx.back();
+    table.AddRow({std::to_string(threads),
+                  std::to_string(static_cast<uint64_t>(a.ops_per_sec)),
+                  Fmt(a.ns_per_op), std::to_string(a.producer_blocks),
+                  std::to_string(static_cast<uint64_t>(b.ops_per_sec)),
+                  Fmt(b.ns_per_op), std::to_string(b.producer_blocks),
+                  FmtX(a.ops_per_sec / std::max(b.ops_per_sec, 1e-9), 2)});
+  }
+  table.Print();
+  std::printf("\n");
+
+  // Gate metrics. Indexes into the sweep: 8 -> [2], 16 -> [3], 24 -> [4].
+  const double speedup_16 = lf[3].ops_per_sec / std::max(mx[3].ops_per_sec, 1e-9);
+  const double flatness_8_24 =
+      lf[4].ops_per_sec / std::max(lf[2].ops_per_sec, 1e-9);
+  // On hosts with fewer than 4 cores there is no real parallelism to win
+  // back: both planes serialize on the scheduler and the ratios are noise,
+  // so the booleans pass vacuously there (CI runners have >= 4).
+  const bool contention_ok = speedup_16 >= 2.0 || hw < 4;
+  const bool scaling_ok = flatness_8_24 >= 0.5 || hw < 4;
+
+  Check(contention_ok,
+        "lock-free >= 2x mutex aggregate append throughput at 16 producers (" +
+            FmtX(speedup_16, 2) + (hw < 4 ? ", waived: <4 hw threads)" : ")"));
+  Check(scaling_ok,
+        "aggregate throughput holds 8 -> 24 producers (" +
+            FmtX(flatness_8_24, 2) + (hw < 4 ? ", waived: <4 hw threads)" : ")"));
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    auto list = [&out](const std::vector<ContentionPoint>& pts, bool ns) {
+      for (size_t i = 0; i < pts.size(); i++) {
+        out << (i ? "," : "") << (ns ? pts[i].ns_per_op : pts[i].ops_per_sec);
+      }
+    };
+    out << "{\"bench\":\"micro_contention\",\"hw_threads\":" << hw
+        << ",\"threads\":[2,4,8,16,24],\"lockfree_ops_per_sec\":[";
+    list(lf, false);
+    out << "],\"mutex_ops_per_sec\":[";
+    list(mx, false);
+    out << "],\"lockfree_ns_per_op\":[";
+    list(lf, true);
+    out << "],\"mutex_ns_per_op\":[";
+    list(mx, true);
+    out << "],\"lockfree_ops_per_sec_16\":" << lf[3].ops_per_sec
+        << ",\"speedup_16\":" << speedup_16
+        << ",\"flatness_8_24\":" << flatness_8_24
+        << ",\"contention_ok\":" << (contention_ok ? "true" : "false")
+        << ",\"scaling_ok\":" << (scaling_ok ? "true" : "false") << "}\n";
+  }
+  return (contention_ok && scaling_ok) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --quick / --json bypass google-benchmark: the perf-smoke job wants one
-  // deterministic fast-path measurement with machine-readable output.
+  // --quick / --contention / --json bypass google-benchmark: the perf-smoke
+  // job wants deterministic measurements with machine-readable output.
   for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--contention") == 0) {
+      sword::ArgParser args(argc, argv);
+      return RunContention(args);
+    }
     if (std::strcmp(argv[i], "--quick") == 0 ||
         std::strcmp(argv[i], "--json") == 0) {
       sword::ArgParser args(argc, argv);

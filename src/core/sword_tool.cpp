@@ -110,6 +110,7 @@ SwordTool::SwordTool(SwordConfig config)
     : config_(std::move(config)),
       memory_("sword-rt"),
       flusher_(trace::FlusherConfig{.async = config_.async_flush,
+                                    .lockfree = config_.lockfree,
                                     .workers = config_.flush_workers,
                                     .max_queued_jobs = config_.flush_queue_depth,
                                     .memory = &memory_,
@@ -161,11 +162,12 @@ SwordTool::ThreadState& SwordTool::State() {
 
 void SwordTool::BeginSegmentFor(ThreadState& ts, somp::Ctx& ctx) {
   ts.writer->BeginSegment(MetaFrom(ctx));
-  // (Re)install this thread's fast-path sink for the new segment. The epoch
-  // is sampled at install time; Configure/Finalize bump it to invalidate.
-  somp::tls_event_sink = somp::ThreadEventSink{
-      &SinkAccessThunk, &SinkRangeThunk, ts.writer.get(), &ctx,
-      somp::CurrentSinkEpoch()};
+  // (Re)install this thread's fast-path sink for the new segment. The
+  // install stamps the current epoch and marks the thread online in the
+  // sink QSBR domain; Configure/Finalize retire via that domain (or bump
+  // the epoch as the fallback).
+  somp::InstallThreadSink(somp::ThreadEventSink{
+      &SinkAccessThunk, &SinkRangeThunk, ts.writer.get(), &ctx, 0});
 }
 
 void SwordTool::OnImplicitTaskBegin(somp::Ctx& ctx) {
@@ -233,10 +235,18 @@ Status SwordTool::Finalize() {
   std::lock_guard lock(states_mutex_);
   if (finalized_) return status_;
   finalized_ = true;
-  // Writers are about to be finished; any thread still holding a sink into
-  // one must fall back to the virtual path (which this tool no-ops after
-  // finalization via the closed writers).
-  somp::InvalidateSinks();
+  // Writers are about to be finished; no thread may still hold a sink into
+  // one. Normally (Finalize outside parallel regions) every thread already
+  // cleared its sink at a barrier or task end and the QSBR grace passes
+  // immediately - no epoch bump, parked threads keep their fast path warm.
+  // A failed grace (crash drain mid-region) or the --no-lockfree ablation
+  // falls back to the stop-the-world epoch bump; stale sinks then fail the
+  // per-access epoch check and take the virtual path.
+  if (config_.lockfree) {
+    (void)somp::RetireSinks();
+  } else {
+    somp::InvalidateSinks();
+  }
   // Order matters: push every writer's buffered events into the pipeline,
   // wait for the pipeline to hit the disk (or give up and account drops),
   // and only THEN write the final metas - whose v3 headers fold in the

@@ -110,6 +110,7 @@ RunResult RunWorkload(const workloads::Workload& workload, const RunConfig& conf
       sc.trace_format = config.trace_format;
       sc.access_filter = config.access_filter;
       sc.coalesce = config.coalesce;
+      sc.lockfree = config.lockfree;
 
       {
         core::SwordTool tool(sc);

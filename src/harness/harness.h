@@ -43,6 +43,7 @@ struct RunConfig {
   uint8_t trace_format = trace::kTraceFormatV3;
   bool access_filter = true;           // duplicate-access filter (v3 only)
   bool coalesce = true;                // strided-run coalescing (v3 only)
+  bool lockfree = true;                // lock-free trace plane (ablation)
   bool run_offline = true;             // run the offline analysis afterwards
   uint32_t offline_threads = 1;
   ilp::OverlapEngine engine = ilp::OverlapEngine::kDiophantine;

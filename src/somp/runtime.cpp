@@ -23,6 +23,62 @@ std::atomic<uint64_t>& SinkEpoch() {
   return epoch;
 }
 
+lockfree::QsbrDomain& SinkQsbr() {
+  // Leaked like the Runtime singleton: sink-holding threads may unregister
+  // (TLS destructors) after static destruction would have run.
+  static lockfree::QsbrDomain* domain = new lockfree::QsbrDomain();
+  return *domain;
+}
+
+namespace {
+
+/// Per-thread QSBR participation handle; slot claimed on the thread's first
+/// sink install and returned when the thread exits.
+struct SinkQsbrHandle {
+  uint32_t slot = lockfree::QsbrDomain::kInvalidSlot;
+  bool tried = false;
+  ~SinkQsbrHandle() {
+    if (slot != lockfree::QsbrDomain::kInvalidSlot) {
+      SinkQsbr().Unregister(slot);
+    }
+  }
+};
+
+thread_local SinkQsbrHandle tls_sink_qsbr;
+
+}  // namespace
+
+void InstallThreadSink(ThreadEventSink sink) {
+  SinkQsbrHandle& handle = tls_sink_qsbr;
+  if (!handle.tried) {
+    handle.tried = true;
+    handle.slot = SinkQsbr().Register();
+  }
+  if (handle.slot == lockfree::QsbrDomain::kInvalidSlot) {
+    // Untracked thread (domain full): installing a sink the retirer cannot
+    // see would break RetireSinks' proof, so don't - the virtual path is
+    // always correct, just slower.
+    return;
+  }
+  sink.epoch = CurrentSinkEpoch();
+  // Online BEFORE the sink becomes usable: a retirer that samples this slot
+  // as quiescent can conclude no sink is installed here.
+  SinkQsbr().Online(handle.slot);
+  tls_event_sink = sink;
+}
+
+void ClearThreadSink() {
+  tls_event_sink = ThreadEventSink{};
+  const uint32_t slot = tls_sink_qsbr.slot;
+  if (slot != lockfree::QsbrDomain::kInvalidSlot) SinkQsbr().Quiescent(slot);
+}
+
+bool RetireSinks() {
+  if (SinkQsbr().SynchronizeIfQuiescent()) return true;
+  InvalidateSinks();
+  return false;
+}
+
 namespace {
 
 constexpr RegionId kNoRegion = ~0ULL;
@@ -151,9 +207,11 @@ void Runtime::Configure(const RuntimeConfig& config) {
   assert(impl().active_regions.load() == 0 &&
          "Configure must not run during a parallel region");
   // Sinks installed for the previous tool point at its per-thread state;
-  // invalidate them all (the threads themselves may be parked in a pool and
-  // unreachable from here).
-  InvalidateSinks();
+  // retire them all (the threads themselves may be parked in a pool and
+  // unreachable from here). Outside a parallel region every tracked thread
+  // is at a quiescent point with its sink cleared, so this normally proves
+  // safety without an epoch bump; the bump is the fallback.
+  (void)RetireSinks();
   config_ = config;
 }
 

@@ -25,11 +25,24 @@
 // Finalize happen outside parallel regions); the epoch only needs to become
 // visible by the next region's install, which the runtime's own region
 // synchronization orders.
+//
+// Retirement (who may tear down the state a sink points at): installing a
+// sink also marks the thread ONLINE in a QSBR domain (SinkQsbr()), and
+// clearing it - which SWORD does at every barrier enter and implicit-task
+// end - marks it QUIESCENT. RetireSinks() begins a grace period and, when
+// every tracked thread is quiescent (the normal Configure/Finalize case,
+// since both run outside parallel regions where all sinks are already
+// cleared), proves no stale sink can exist WITHOUT bumping the epoch - no
+// stop-the-world invalidation, and parked pool threads keep their warm
+// next-region install path. Only when some thread is still online
+// (mid-region teardown: the crash drain) does it fall back to the epoch
+// bump, which the per-access epoch check then catches exactly as before.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
+#include "common/lockfree.h"
 #include "somp/tool.h"
 
 namespace sword::somp {
@@ -59,12 +72,33 @@ inline uint64_t CurrentSinkEpoch() {
 }
 
 /// Invalidates every thread's installed sink (they fail the epoch check and
-/// fall back to the virtual tool path until reinstalled).
+/// fall back to the virtual tool path until reinstalled). The
+/// stop-the-world hammer; prefer RetireSinks().
 inline void InvalidateSinks() {
   SinkEpoch().fetch_add(1, std::memory_order_acq_rel);
 }
 
-/// Clears the calling thread's sink.
-inline void ClearThreadSink() { tls_event_sink = ThreadEventSink{}; }
+/// The QSBR domain tracking which threads currently hold an installed sink.
+/// Barriers and implicit-task ends are its quiescent points.
+lockfree::QsbrDomain& SinkQsbr();
+
+/// Installs `sink` as the calling thread's fast-path sink (stamping the
+/// current epoch) and marks the thread online in SinkQsbr(), registering it
+/// on first use. If the domain is out of participant slots the install is
+/// skipped entirely - the thread just stays on the virtual tool path, which
+/// is always correct.
+void InstallThreadSink(ThreadEventSink sink);
+
+/// Clears the calling thread's sink and marks the thread quiescent.
+void ClearThreadSink();
+
+/// Retires all installed sinks without touching other threads' TLS: begins
+/// a QSBR grace period and returns true when it passed immediately (every
+/// tracked thread is at a quiescent point, so no sink is live anywhere and
+/// the epoch needs no bump). Otherwise - some thread is still inside a
+/// segment, i.e. the caller broke the "outside parallel regions" contract
+/// or is the crash drain - falls back to InvalidateSinks() and returns
+/// false.
+bool RetireSinks();
 
 }  // namespace sword::somp

@@ -4,7 +4,7 @@
 //   sword-run --suite drb --name nowait-orig-yes --tool sword [--threads 8]
 //             [--size N] [--trace-dir DIR] [--buffer-kb K] [--codec C]
 //             [--cap-mb M] [--flush-workers W] [--format 1|2|3]
-//             [--no-access-filter] [--no-coalesce]
+//             [--no-access-filter] [--no-coalesce] [--no-lockfree]
 //
 // The workbench the comparative tables are built from, exposed as a CLI so
 // individual configurations can be reproduced by hand. With --trace-dir the
@@ -76,6 +76,9 @@ int main(int argc, char** argv) {
   // Fast-path ablations (report-identical by construction; see FORMAT.md).
   config.access_filter = !args.GetBool("no-access-filter");
   config.coalesce = !args.GetBool("no-coalesce");
+  // Trace-plane coordination ablation: mutex/condvar lanes + epoch-bump
+  // sink invalidation instead of the lock-free rings/pool/QSBR.
+  config.lockfree = !args.GetBool("no-lockfree");
   config.archer_memory_cap =
       static_cast<uint64_t>(args.GetInt("cap-mb", 0)) * 1024 * 1024;
   config.offline_threads = static_cast<uint32_t>(args.GetInt("offline-threads", 1));

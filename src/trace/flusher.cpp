@@ -11,27 +11,40 @@ namespace sword::trace {
 // ----------------------------------------------------------------- BufferPool
 
 BufferPool::~BufferPool() {
+  if (lockfree_) {
+    Bytes b;
+    while (freelist_.TryGet(&b)) {
+      if (memory_) memory_->Release(b.capacity());
+    }
+    return;
+  }
   if (!memory_) return;
   for (const Bytes& b : free_) memory_->Release(b.capacity());
 }
 
 Bytes BufferPool::Acquire(size_t capacity) {
-  {
+  Bytes b;
+  bool recycled = false;
+  if (lockfree_) {
+    recycled = freelist_.TryGet(&b);
+  } else {
     std::lock_guard lock(mutex_);
     if (!free_.empty()) {
-      Bytes b = std::move(free_.back());
+      b = std::move(free_.back());
       free_.pop_back();
-      recycles_.fetch_add(1, std::memory_order_relaxed);
-      b.clear();
-      if (b.capacity() < capacity) {
-        const size_t before = b.capacity();
-        b.reserve(capacity);
-        if (memory_) (void)memory_->Charge(b.capacity() - before);
-      }
-      return b;
+      recycled = true;
     }
   }
-  Bytes b;
+  if (recycled) {
+    recycles_.fetch_add(1, std::memory_order_relaxed);
+    b.clear();
+    if (b.capacity() < capacity) {
+      const size_t before = b.capacity();
+      b.reserve(capacity);
+      if (memory_) (void)memory_->Charge(b.capacity() - before);
+    }
+    return b;
+  }
   b.reserve(capacity);
   if (memory_) (void)memory_->Charge(b.capacity());
   allocations_.fetch_add(1, std::memory_order_relaxed);
@@ -40,20 +53,51 @@ Bytes BufferPool::Acquire(size_t capacity) {
 
 void BufferPool::Release(Bytes buffer) {
   if (buffer.capacity() == 0) return;
-  {
+  const size_t capacity = buffer.capacity();
+  if (lockfree_) {
+    if (freelist_.TryPut(std::move(buffer))) {
+      releases_kept_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  } else {
     std::lock_guard lock(mutex_);
     if (free_.size() < max_free_) {
       free_.push_back(std::move(buffer));
+      releases_kept_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
   }
   // Free list full: let the buffer die and un-charge it.
-  if (memory_) memory_->Release(buffer.capacity());
+  releases_freed_.fetch_add(1, std::memory_order_relaxed);
+  if (memory_) memory_->Release(capacity);
 }
 
 size_t BufferPool::free_count() const {
+  if (lockfree_) return freelist_.ApproxSize();
   std::lock_guard lock(mutex_);
   return free_.size();
+}
+
+BufferPool::Stats BufferPool::ReadStatsOnce() const {
+  Stats s;
+  s.allocations = allocations_.load(std::memory_order_acquire);
+  s.recycles = recycles_.load(std::memory_order_acquire);
+  s.releases_kept = releases_kept_.load(std::memory_order_acquire);
+  s.releases_freed = releases_freed_.load(std::memory_order_acquire);
+  s.free_count = free_count();
+  return s;
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  // Double-read until stable: at quiescence the first pass already agrees;
+  // under churn this bounds the skew to one in-progress operation.
+  Stats prev = ReadStatsOnce();
+  for (int attempt = 0; attempt < 8; attempt++) {
+    Stats next = ReadStatsOnce();
+    if (next == prev) return next;
+    prev = next;
+  }
+  return prev;
 }
 
 // -------------------------------------------------------------------- Flusher
@@ -69,31 +113,53 @@ uint32_t DefaultWorkers() {
 
 Flusher::Flusher(const FlusherConfig& config)
     : async_(config.async),
+      lockfree_(config.lockfree),
       max_queued_jobs_(std::max<size_t>(1, config.max_queued_jobs)),
       backend_(config.backend ? config.backend : &RealFileBackend()),
       retry_policy_{/*max_attempts=*/config.max_io_retries + 1,
                     /*backoff_us=*/config.retry_backoff_us,
                     /*max_backoff_us=*/10 * 1000},
-      pool_(config.max_pooled_buffers, config.memory) {
+      pool_(config.max_pooled_buffers, config.memory, config.lockfree) {
   if (!async_) return;
+  credits_.store(static_cast<int64_t>(max_queued_jobs_),
+                 std::memory_order_relaxed);
   const uint32_t n = config.workers ? config.workers : DefaultWorkers();
   workers_.reserve(n);
   for (uint32_t i = 0; i < n; i++) {
-    workers_.push_back(std::make_unique<Worker>());
+    auto w = std::make_unique<Worker>();
+    if (lockfree_) {
+      // A lane ring sized to hold EVERY credit can never overflow: jobs in
+      // rings never exceed outstanding credits <= max_queued_jobs, even if
+      // the hash sends them all to one lane.
+      w->ring = std::make_unique<lockfree::MpmcRing<Job>>(max_queued_jobs_);
+    }
+    workers_.push_back(std::move(w));
   }
   // Threads start only after the vector is fully built: Run() indexes it.
   for (uint32_t i = 0; i < n; i++) {
-    workers_[i]->thread = std::thread([this, i] { Run(i); });
+    workers_[i]->thread = std::thread(
+        [this, i] { lockfree_ ? RunLockfree(i) : Run(i); });
   }
 }
 
 Flusher::~Flusher() {
   if (!async_) return;
   {
+    // Taken for the mutex lanes' wait predicate; harmless for lock-free.
     std::lock_guard lock(mutex_);
-    stop_ = true;
+    stop_.store(true, std::memory_order_seq_cst);
   }
-  for (auto& w : workers_) w->cv.notify_all();
+  for (auto& w : workers_) {
+    if (lockfree_) {
+      // Pairs with the worker's check-then-wait under doorbell_mutex: once
+      // we hold the mutex the worker is either before its stop_ re-check
+      // (sees it) or parked (gets the notify).
+      std::lock_guard doorbell(w->doorbell_mutex);
+      w->doorbell.notify_all();
+    } else {
+      w->cv.notify_all();
+    }
+  }
   for (auto& w : workers_) w->thread.join();
 }
 
@@ -127,36 +193,107 @@ void Flusher::Enqueue(Job job) {
   if (!async_) {
     DoJob(job, nullptr);
     if (job.recycle) pool_.Release(std::move(job.data));
-    std::lock_guard lock(mutex_);
-    jobs_enqueued_++;
-    jobs_completed_++;
-    bytes_in_ += raw_bytes;
+    jobs_enqueued_.fetch_add(1, std::memory_order_relaxed);
+    jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+    bytes_in_.fetch_add(raw_bytes, std::memory_order_relaxed);
     return;
   }
-
   const size_t lane = LaneFor(job.path);
+  jobs_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  bytes_in_.fetch_add(raw_bytes, std::memory_order_relaxed);
+  if (lockfree_) {
+    EnqueueLockfree(std::move(job), lane);
+  } else {
+    EnqueueLocked(std::move(job), lane);
+  }
+}
+
+void Flusher::EnqueueLockfree(Job job, size_t lane) {
+  // Backpressure: acquire one credit. The CAS loop is the entire fast path
+  // - no mutex, no condvar - and degrades to yield/sleep backoff only when
+  // the pipeline is genuinely full.
+  bool counted_block = false;
+  std::chrono::steady_clock::time_point block_start;
+  uint32_t spins = 0;
+  for (;;) {
+    int64_t credits = credits_.load(std::memory_order_acquire);
+    if (credits > 0 &&
+        credits_.compare_exchange_weak(credits, credits - 1,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+      break;
+    }
+    if (!counted_block) {
+      counted_block = true;
+      producer_blocks_.fetch_add(1, std::memory_order_relaxed);
+      block_start = std::chrono::steady_clock::now();
+    }
+    if (spins++ < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  if (counted_block) {
+    blocked_nanos_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - block_start)
+            .count(),
+        std::memory_order_relaxed);
+  }
+  // Holding a credit guarantees ring space (ring capacity >= total
+  // credits); the spin only covers a consumer mid-pop on the target slot.
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  Worker& w = *workers_[lane];
+  while (!w.ring->TryPush(std::move(job))) std::this_thread::yield();
+  // Doorbell, Dekker-paired with the worker's sleep sequence: our push
+  // then fence then sleeping-load vs. its sleeping-store then fence then
+  // empty-check. At least one side always sees the other.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (w.sleeping.load(std::memory_order_relaxed) != 0) {
+    std::lock_guard doorbell(w.doorbell_mutex);
+    w.doorbell.notify_one();
+  }
+}
+
+void Flusher::EnqueueLocked(Job job, size_t lane) {
   {
     std::unique_lock lock(mutex_);
     if (queued_ >= max_queued_jobs_) {
-      producer_blocks_++;
+      producer_blocks_.fetch_add(1, std::memory_order_relaxed);
       const auto t0 = std::chrono::steady_clock::now();
       space_cv_.wait(lock, [&] { return queued_ < max_queued_jobs_; });
-      blocked_nanos_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
+      blocked_nanos_.fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count(),
+          std::memory_order_relaxed);
     }
     workers_[lane]->lane.push_back(std::move(job));
     queued_++;
-    in_flight_++;
-    jobs_enqueued_++;
-    bytes_in_ += raw_bytes;
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
   }
   workers_[lane]->cv.notify_one();
 }
 
 void Flusher::Drain() {
+  if (!async_) return;
+  if (lockfree_) {
+    // Poll with backoff: Drain is the cold path (finalize, tests), and a
+    // condvar here would put a mutex back on every job completion.
+    uint32_t spins = 0;
+    while (in_flight_.load(std::memory_order_acquire) != 0) {
+      if (spins++ < 128) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+    return;
+  }
   std::unique_lock lock(mutex_);
-  drained_cv_.wait(lock, [&] { return in_flight_ == 0; });
+  drained_cv_.wait(
+      lock, [&] { return in_flight_.load(std::memory_order_acquire) == 0; });
 }
 
 Status Flusher::status() const {
@@ -170,13 +307,26 @@ DropRecord Flusher::DroppedFor(const std::string& path) const {
   return it == dropped_.end() ? DropRecord{} : it->second;
 }
 
+void Flusher::CompleteJob(Job job, Worker* worker) {
+  const size_t raw_bytes = job.data.size();
+  const bool compressed = job.codec != nullptr;
+  DoJob(job, worker);
+  if (job.recycle) pool_.Release(std::move(job.data));
+  if (compressed && worker) {
+    worker->bytes_in.fetch_add(raw_bytes, std::memory_order_relaxed);
+  }
+  jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void Flusher::Run(uint32_t index) {
   Worker& me = *workers_[index];
   std::unique_lock lock(mutex_);
   while (true) {
-    me.cv.wait(lock, [&] { return stop_ || !me.lane.empty(); });
+    me.cv.wait(lock, [&] {
+      return stop_.load(std::memory_order_relaxed) || !me.lane.empty();
+    });
     if (me.lane.empty()) {
-      if (stop_) return;
+      if (stop_.load(std::memory_order_relaxed)) return;
       continue;
     }
     Job job = std::move(me.lane.front());
@@ -185,16 +335,47 @@ void Flusher::Run(uint32_t index) {
     space_cv_.notify_one();
     lock.unlock();
 
-    const size_t raw_bytes = job.data.size();
-    const bool compressed = job.codec != nullptr;
-    DoJob(job, &me);
-    if (job.recycle) pool_.Release(std::move(job.data));
+    CompleteJob(std::move(job), &me);
 
     lock.lock();
-    if (compressed) me.bytes_in += raw_bytes;
-    jobs_completed_++;
-    in_flight_--;
-    if (in_flight_ == 0) drained_cv_.notify_all();
+    if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      drained_cv_.notify_all();
+    }
+  }
+}
+
+void Flusher::RunLockfree(uint32_t index) {
+  Worker& me = *workers_[index];
+  for (;;) {
+    Job job;
+    if (me.ring->TryPop(&job)) {
+      // Release the credit at dequeue (the job left the queue), matching
+      // the mutex path's queued_-- semantics; the release pairs with
+      // producers' acquire CAS so a freed ring slot is visible to them.
+      credits_.fetch_add(1, std::memory_order_release);
+      CompleteJob(std::move(job), &me);
+      // Release-ordered so Drain's acquire load also orders the job's
+      // stats/IO before a drained observer reads them.
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      // Producers enqueue-then-set-stop is not a supported shutdown order,
+      // but a ring drained here stays drained: one last check suffices.
+      if (me.ring->Empty()) return;
+      continue;
+    }
+    // Park: announce, re-check, then wait. The seq_cst fence pairs with the
+    // producer's post-push fence (see EnqueueLockfree).
+    std::unique_lock doorbell(me.doorbell_mutex);
+    me.sleeping.store(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (me.ring->Empty() && !stop_.load(std::memory_order_relaxed)) {
+      // Bounded wait as a belt-and-braces backstop; the doorbell is the
+      // real wake path.
+      me.doorbell.wait_for(doorbell, std::chrono::milliseconds(50));
+    }
+    me.sleeping.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -221,21 +402,27 @@ Status Flusher::WritePathData(const Job& job, const uint8_t* data, size_t n) {
   // before this frame - otherwise every logical offset after the hole would
   // silently shift and the analyzer would attribute events to the wrong
   // intervals. Per-path jobs are serialized (one FIFO lane per path), so
-  // this read-then-erase is race-free.
-  DropRecord gap;
-  {
-    std::lock_guard lock(mutex_);
-    auto it = pending_gaps_.find(job.path);
-    if (it != pending_gaps_.end()) gap = it->second;
-  }
-  if (gap.frames > 0) {
-    Bytes gap_frame;
-    WriteGapFrame(&gap_frame, gap.raw_bytes, gap.events);
-    SWORD_RETURN_IF_ERROR(
-        AppendChecked(job.path, gap_frame.data(), gap_frame.size()));
-    gap_frames_.fetch_add(1);
-    std::lock_guard lock(mutex_);
-    pending_gaps_.erase(job.path);
+  // this read-then-erase is race-free; the counter guard keeps the mutex
+  // off the no-drops steady state entirely (the path's own drops were
+  // recorded by this same worker, so program order makes the nonzero count
+  // visible here).
+  if (pending_gap_paths_.load(std::memory_order_acquire) > 0) {
+    DropRecord gap;
+    {
+      std::lock_guard lock(mutex_);
+      auto it = pending_gaps_.find(job.path);
+      if (it != pending_gaps_.end()) gap = it->second;
+    }
+    if (gap.frames > 0) {
+      Bytes gap_frame;
+      WriteGapFrame(&gap_frame, gap.raw_bytes, gap.events);
+      SWORD_RETURN_IF_ERROR(
+          AppendChecked(job.path, gap_frame.data(), gap_frame.size()));
+      gap_frames_.fetch_add(1);
+      std::lock_guard lock(mutex_);
+      pending_gaps_.erase(job.path);
+      pending_gap_paths_.fetch_sub(1, std::memory_order_release);
+    }
   }
   return AppendChecked(job.path, data, n);
 }
@@ -248,6 +435,9 @@ void Flusher::RecordDrop(const Job& job, const Status& status) {
   if (status_.ok()) status_ = status;
   for (auto* map : {&pending_gaps_, &dropped_}) {
     DropRecord& rec = (*map)[job.path];
+    if (map == &pending_gaps_ && rec.frames == 0) {
+      pending_gap_paths_.fetch_add(1, std::memory_order_release);
+    }
     rec.raw_bytes += job.data.size();
     rec.events += job.event_count;
     rec.frames += 1;
@@ -274,12 +464,11 @@ void Flusher::DoJob(const Job& job, Worker* worker) {
 
 FlusherStats Flusher::stats() const {
   FlusherStats s;
-  std::lock_guard lock(mutex_);
-  s.jobs_enqueued = jobs_enqueued_;
-  s.jobs_completed = jobs_completed_;
-  s.producer_blocks = producer_blocks_;
-  s.blocked_nanos = blocked_nanos_;
-  s.bytes_in = bytes_in_;
+  s.jobs_enqueued = jobs_enqueued_.load(std::memory_order_acquire);
+  s.jobs_completed = jobs_completed_.load(std::memory_order_acquire);
+  s.producer_blocks = producer_blocks_.load(std::memory_order_relaxed);
+  s.blocked_nanos = blocked_nanos_.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
   s.bytes_written = bytes_written_.load();
   s.appends = appends_.load();
   s.io_retries = io_retries_.load();
@@ -287,9 +476,19 @@ FlusherStats Flusher::stats() const {
   s.events_dropped = events_dropped_.load();
   s.bytes_dropped = bytes_dropped_.load();
   s.gap_frames = gap_frames_.load();
-  s.queued_now = queued_;
+  s.lockfree = lockfree_;
+  if (async_ && lockfree_) {
+    const int64_t credits = credits_.load(std::memory_order_relaxed);
+    const int64_t held = static_cast<int64_t>(max_queued_jobs_) - credits;
+    s.queued_now = held > 0 ? static_cast<size_t>(held) : 0;
+  } else {
+    std::lock_guard lock(mutex_);
+    s.queued_now = queued_;
+  }
   s.worker_bytes_in.reserve(workers_.size());
-  for (const auto& w : workers_) s.worker_bytes_in.push_back(w->bytes_in);
+  for (const auto& w : workers_) {
+    s.worker_bytes_in.push_back(w->bytes_in.load(std::memory_order_acquire));
+  }
   return s;
 }
 

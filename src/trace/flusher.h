@@ -12,6 +12,18 @@
 // FIFO lane), so appends to any single log file happen in submission order
 // while different threads' files compress and write in parallel.
 //
+// Cross-thread coordination comes in two selectable flavors:
+//  - lock-free (default): each lane is a bounded MPMC ring with per-slot
+//    sequence numbers (lockfree::MpmcRing; used MPSC here), backpressure is
+//    a lock-free credit counter (one credit = one queued job, CAS-acquired
+//    by producers, released at dequeue), and a worker that finds its ring
+//    empty parks on a per-worker doorbell (Dekker-paired sleeping flag +
+//    condvar, so producers touch no mutex unless the worker is actually
+//    asleep). Enqueue is wait-free when credits are available.
+//  - mutex (FlusherConfig::lockfree = false, the `--no-lockfree` ablation):
+//    the historical global-mutex + condvar lanes, preserved for
+//    byte-identical report comparison.
+//
 // Memory is bounded end to end:
 //  - global backpressure: at most `max_queued_jobs` buffers may be queued
 //    across all lanes; producers block once the queue is full, which bounds
@@ -33,6 +45,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -41,6 +54,7 @@
 
 #include "common/bytes.h"
 #include "common/fsutil.h"
+#include "common/lockfree.h"
 #include "common/memtrack.h"
 #include "common/status.h"
 #include "compress/compressor.h"
@@ -50,14 +64,34 @@ namespace sword::trace {
 /// Recycles byte buffers between trace writers and flusher workers. All
 /// buffers that exist because of the pool (handed out or free-listed) are
 /// charged to `memory`, so the bounded-memory accounting sees the real
-/// buffer population, not just the writers' nominal capacity. Thread-safe.
+/// buffer population, not just the writers' nominal capacity. Thread-safe;
+/// lock-free by default (a bounded lockfree::FreeList), with the historical
+/// mutex free list behind `lockfree = false`.
 class BufferPool {
  public:
   static constexpr size_t kDefaultMaxFree = 16;
 
+  /// Coherent snapshot of the pool counters (see stats()).
+  struct Stats {
+    uint64_t allocations = 0;      // fresh buffer allocations
+    uint64_t recycles = 0;         // Acquire() served from the free list
+    uint64_t releases_kept = 0;    // Release() parked the buffer
+    uint64_t releases_freed = 0;   // Release() dropped it (list full)
+    size_t free_count = 0;         // buffers parked right now
+
+    bool operator==(const Stats& o) const {
+      return allocations == o.allocations && recycles == o.recycles &&
+             releases_kept == o.releases_kept &&
+             releases_freed == o.releases_freed && free_count == o.free_count;
+    }
+  };
+
   explicit BufferPool(size_t max_free = kDefaultMaxFree,
-                      MemoryScope* memory = nullptr)
-      : max_free_(max_free), memory_(memory) {}
+                      MemoryScope* memory = nullptr, bool lockfree = true)
+      : max_free_(max_free),
+        memory_(memory),
+        lockfree_(lockfree),
+        freelist_(lockfree ? max_free : 0) {}
   ~BufferPool();
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -70,21 +104,51 @@ class BufferPool {
   /// holds < max_free buffers; freed (and un-charged) beyond that.
   void Release(Bytes buffer);
 
-  uint64_t allocations() const { return allocations_.load(); }
-  uint64_t recycles() const { return recycles_.load(); }
+  uint64_t allocations() const {
+    return allocations_.load(std::memory_order_relaxed);
+  }
+  uint64_t recycles() const {
+    return recycles_.load(std::memory_order_relaxed);
+  }
   size_t free_count() const;
 
+  /// All counters in one mutually consistent snapshot: the historical
+  /// accessors raced against each other (atomics bumped outside the free
+  /// list's critical section), so `allocations() - recycles()` could be
+  /// transiently nonsensical. This re-reads until two consecutive snapshots
+  /// agree - exact at quiescence, best-effort under churn.
+  Stats stats() const;
+
+  bool lockfree() const { return lockfree_; }
+
  private:
+  Stats ReadStatsOnce() const;
+
   const size_t max_free_;
   MemoryScope* const memory_;
+  const bool lockfree_;
+
+  // Lock-free path: bounded free list (capacity = max_free_).
+  lockfree::FreeList<Bytes> freelist_;
+
+  // Mutex path (--no-lockfree).
   mutable std::mutex mutex_;
   std::vector<Bytes> free_;
-  std::atomic<uint64_t> allocations_{0};
+
+  // Counters are relaxed atomics in both modes; stats() makes them
+  // coherent. Producer/consumer-shared, so keep them off other hot lines.
+  alignas(lockfree::kCacheLine) std::atomic<uint64_t> allocations_{0};
   std::atomic<uint64_t> recycles_{0};
+  std::atomic<uint64_t> releases_kept_{0};
+  std::atomic<uint64_t> releases_freed_{0};
 };
 
 struct FlusherConfig {
   bool async = true;
+  /// Lock-free lanes/pool/backpressure (default); false = the historical
+  /// mutex+condvar coordination (`--no-lockfree` ablation). Race reports
+  /// are byte-identical either way; only contention behavior differs.
+  bool lockfree = true;
   /// Worker threads; 0 = min(4, hardware_concurrency). Ignored in sync mode.
   uint32_t workers = 0;
   /// Global backpressure bound across all lanes.
@@ -119,6 +183,7 @@ struct FlusherStats {
   uint64_t bytes_dropped = 0;    // raw (logical) bytes inside dropped frames
   uint64_t gap_frames = 0;       // drop markers successfully written
   size_t queued_now = 0;               // snapshot: jobs waiting in lanes
+  bool lockfree = false;               // which coordination plane ran
   std::vector<uint64_t> worker_bytes_in;  // raw bytes compressed per worker
 };
 
@@ -168,6 +233,7 @@ class Flusher {
   DropRecord DroppedFor(const std::string& path) const;
 
   bool async() const { return async_; }
+  bool lockfree() const { return lockfree_; }
   uint32_t workers() const { return static_cast<uint32_t>(workers_.size()); }
   BufferPool& pool() { return pool_; }
 
@@ -189,15 +255,31 @@ class Flusher {
 
   struct Worker {
     std::thread thread;
+    // Lock-free lane: bounded MPSC ring + Dekker-paired doorbell. The
+    // `sleeping` flag keeps producers off `doorbell_mutex` unless the
+    // worker is actually parked (see EnqueueLockfree/RunLockfree).
+    std::unique_ptr<lockfree::MpmcRing<Job>> ring;
+    std::mutex doorbell_mutex;
+    std::condition_variable doorbell;
+    alignas(lockfree::kCacheLine) std::atomic<uint32_t> sleeping{0};
+    // Mutex lane (--no-lockfree): guarded by the flusher's mutex_.
     std::condition_variable cv;
     std::deque<Job> lane;  // FIFO per worker: per-path order is preserved
+    // Job scratch: touched only by this worker's thread.
     CompressScratch scratch;
     Bytes frame;  // reusable frame staging
-    uint64_t bytes_in = 0;
+    // Written by this worker, read by stats(); own line so the increment
+    // never bounces another worker's counter.
+    alignas(lockfree::kCacheLine) std::atomic<uint64_t> bytes_in{0};
   };
 
   void Enqueue(Job job);
-  void Run(uint32_t index);
+  void EnqueueLockfree(Job job, size_t lane);
+  void EnqueueLocked(Job job, size_t lane);
+  void Run(uint32_t index);          // mutex lanes
+  void RunLockfree(uint32_t index);  // ring lanes
+  /// Process one dequeued job end to end and bump completion counters.
+  void CompleteJob(Job job, Worker* worker);
   /// Compress+write one job. `worker` supplies reusable scratch (null in
   /// sync mode, where concurrent producers would contend on it).
   void DoJob(const Job& job, Worker* worker);
@@ -212,33 +294,50 @@ class Flusher {
   void RecordDrop(const Job& job, const Status& status);
 
   const bool async_;
+  const bool lockfree_;
   const size_t max_queued_jobs_;
   FileBackend* const backend_;
   const RetryPolicy retry_policy_;
   BufferPool pool_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable drained_cv_;
-  std::condition_variable space_cv_;
   std::vector<std::unique_ptr<Worker>> workers_;
-  bool stop_ = false;
-  size_t queued_ = 0;     // jobs waiting in lanes (gates producers)
-  size_t in_flight_ = 0;  // queued + executing (gates Drain)
-  Status status_;
-  uint64_t jobs_enqueued_ = 0;
-  uint64_t jobs_completed_ = 0;
-  uint64_t producer_blocks_ = 0;
-  uint64_t blocked_nanos_ = 0;
-  uint64_t bytes_in_ = 0;
+  std::atomic<bool> stop_{false};
+
+  // --- hot atomics, grouped by writer to avoid false sharing ---
+  // Producer-contended: the backpressure credit counter gets its own line
+  // (every enqueue CASes it); in_flight_ is producer-inc / worker-dec and
+  // gates Drain, so it must not share the credits line either.
+  alignas(lockfree::kCacheLine) std::atomic<int64_t> credits_{0};
+  alignas(lockfree::kCacheLine) std::atomic<uint64_t> in_flight_{0};
+  // Producer-side statistics (bumped at enqueue).
+  alignas(lockfree::kCacheLine) std::atomic<uint64_t> jobs_enqueued_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> producer_blocks_{0};
+  std::atomic<uint64_t> blocked_nanos_{0};
+  // Worker-side statistics (bumped at completion / append).
+  alignas(lockfree::kCacheLine) std::atomic<uint64_t> jobs_completed_{0};
   std::atomic<uint64_t> bytes_written_{0};
   std::atomic<uint64_t> appends_{0};
   std::atomic<uint64_t> io_retries_{0};
-  std::atomic<uint64_t> gap_frames_{0};
+  // Drop accounting (cold: only after unrecoverable I/O errors).
+  alignas(lockfree::kCacheLine) std::atomic<uint64_t> gap_frames_{0};
   std::atomic<uint64_t> frames_dropped_{0};
   std::atomic<uint64_t> events_dropped_{0};
   std::atomic<uint64_t> bytes_dropped_{0};
-  // Guarded by mutex_. pending_: drops not yet covered by an on-disk gap
-  // marker; dropped_: cumulative per-path totals for DroppedFor().
+  /// Number of paths with a pending (unwritten) gap marker: lets the
+  /// per-frame WritePathData skip the mutex-guarded map lookup entirely in
+  /// the no-drops steady state.
+  std::atomic<uint32_t> pending_gap_paths_{0};
+
+  // Mutex plane: lane state for --no-lockfree, and the always-cold maps
+  // (drop records, sticky status). Guarded by mutex_.
+  mutable std::mutex mutex_;
+  std::condition_variable drained_cv_;
+  std::condition_variable space_cv_;
+  size_t queued_ = 0;  // jobs waiting in lanes (gates producers; mutex mode)
+  Status status_;
+  // pending_: drops not yet covered by an on-disk gap marker; dropped_:
+  // cumulative per-path totals for DroppedFor().
   std::unordered_map<std::string, DropRecord> pending_gaps_;
   std::unordered_map<std::string, DropRecord> dropped_;
 };

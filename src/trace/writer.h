@@ -29,6 +29,7 @@
 #include <memory>
 #include <string>
 
+#include "common/lockfree.h"
 #include "common/status.h"
 #include "compress/compressor.h"
 #include "trace/event.h"
@@ -40,8 +41,11 @@ namespace sword::trace {
 /// Single-writer statistic counter: bumped only by the writer's owning
 /// thread with a plain load+store (compiles to an ordinary increment, no
 /// lock prefix), while aggregators (SwordTool summing all writers on
-/// demand) may read it concurrently without a data race.
-class OwnerCounter {
+/// demand) may read it concurrently without a data race. Cache-line
+/// aligned so a reader polling one writer's counter never bounces the
+/// line under a DIFFERENT writer's increments (the counters of all
+/// writers would otherwise pack densely inside the states_ array).
+class alignas(lockfree::kCacheLine) OwnerCounter {
  public:
   void Add(uint64_t n) {
     v_.store(v_.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
