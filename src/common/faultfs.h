@@ -11,6 +11,10 @@
 //   - EnospcAfterBytes(n): appends succeed until the cumulative stream
 //     offset reaches n, then fail with kNoSpace after writing the prefix
 //     that still fits (exercises drop-with-accounting).
+//   - EnospcAppends(from, count): an ENOSPC *storm*: append CALLS numbered
+//     [from, from+count) (1-based) fail with kNoSpace writing nothing, then
+//     the disk "clears" and later appends succeed — the shape that drives
+//     the degradation governor down and back up.
 //   - FailAfterBytes(n, code): like EnospcAfterBytes but with an arbitrary
 //     error code, and the failing call writes nothing past offset n.
 //   - FlipBit(offset, mask): XORs `mask` into the byte at stream offset
@@ -18,7 +22,24 @@
 //   - TruncateAfterBytes(n): bytes past stream offset n are reported as
 //     written but never reach the file (crash-style torn tail: the process
 //     believed the write happened).
+//   - SlowAppends(usec, from, count): append calls [from, from+count) sleep
+//     `usec` before touching the base backend (slow/hung device; drives the
+//     flusher's latency EWMA and the enqueue watchdog).
+//   - SyncTransientErrors(k): next k Sync calls fail with kUnavailable
+//     (EINTR on fsync; exercises the unified retry helper).
+//   - RaiseAtAppend(signo, nth): delivers `signo` to the calling thread at
+//     the start of the nth append (1-based) — crash exactly at a chosen I/O
+//     point, for the fatal-signal sealing tests.
 // All knobs compose; Reset() clears them and the byte counter.
+//
+// FaultPlan packages a set of knobs as a replayable one-line spec (the
+// `--fault-plan` flag): semicolon/comma-separated ops, e.g.
+//   "transient=3;short=512;enospc@8192"
+//   "slow=2000@4+16;enospc_calls@6+10"
+//   "raise=segv@5"    "seed=42"
+// `seed=N` expands deterministically into a pseudo-random combination of the
+// other ops, so a CI sweep can explore plans while any failure replays from
+// the plan string alone.
 #pragma once
 
 #include <cstdint>
@@ -40,9 +61,13 @@ class FaultFile final : public FileBackend {
   void TransientErrors(uint32_t count);
   void ShortWrites(size_t max_bytes_per_call);
   void EnospcAfterBytes(uint64_t n);
+  void EnospcAppends(uint64_t from_call, uint64_t count);
   void FailAfterBytes(uint64_t n, ErrorCode code);
   void FlipBit(uint64_t stream_offset, uint8_t mask);
   void TruncateAfterBytes(uint64_t n);
+  void SlowAppends(uint32_t usec, uint64_t from_call, uint64_t count);
+  void SyncTransientErrors(uint32_t count);
+  void RaiseAtAppend(int signo, uint64_t nth_call);
   void Reset();
 
   /// Cumulative bytes the caller believes were appended (includes bytes
@@ -50,6 +75,10 @@ class FaultFile final : public FileBackend {
   uint64_t bytes_written() const;
   /// Bytes silently dropped by TruncateAfterBytes.
   uint64_t bytes_lost() const;
+  /// Append calls observed (successful or not).
+  uint64_t append_calls() const;
+  /// Sync calls observed (successful or not).
+  uint64_t sync_calls() const;
 
   // --- FileBackend ---
   Status Append(const std::string& path, const uint8_t* data, size_t n,
@@ -57,6 +86,7 @@ class FaultFile final : public FileBackend {
   Status WriteWhole(const std::string& path, const Bytes& data) override;
   Status Rename(const std::string& from, const std::string& to) override;
   Status Truncate(const std::string& path, uint64_t size) override;
+  Status Sync(const std::string& path) override;
 
  private:
   struct BitFlip {
@@ -70,11 +100,53 @@ class FaultFile final : public FileBackend {
   size_t short_write_max_ = 0;       // 0 = off
   uint64_t fail_at_ = UINT64_MAX;    // cumulative-offset threshold
   ErrorCode fail_code_ = ErrorCode::kNoSpace;
+  uint64_t storm_from_ = 0;          // ENOSPC storm window (append calls)
+  uint64_t storm_count_ = 0;
   uint64_t truncate_at_ = UINT64_MAX;
+  uint32_t slow_usec_ = 0;           // slow-append window (append calls)
+  uint64_t slow_from_ = 0;
+  uint64_t slow_count_ = 0;
+  uint32_t sync_transient_left_ = 0;
+  int raise_signo_ = 0;              // signal at the nth append call
+  uint64_t raise_at_call_ = 0;
   std::vector<BitFlip> flips_;
   uint64_t bytes_written_ = 0;
   uint64_t bytes_lost_ = 0;
+  uint64_t append_calls_ = 0;
+  uint64_t sync_calls_ = 0;
 };
+
+/// A parsed `--fault-plan`. Backend faults apply to a FaultFile; the pool
+/// fault applies to the flusher's BufferPool (allocation failure at the Nth
+/// acquire) — both deterministic, so any plan replays exactly.
+struct FaultPlan {
+  std::string spec;  // the original string (the replay artifact)
+
+  uint32_t transient = 0;
+  uint32_t sync_transient = 0;
+  size_t short_writes = 0;
+  uint64_t enospc_after_bytes = UINT64_MAX;
+  uint64_t io_fail_after_bytes = UINT64_MAX;
+  uint64_t storm_from = 0, storm_count = 0;
+  uint64_t truncate_after_bytes = UINT64_MAX;
+  uint64_t flip_offset = UINT64_MAX;
+  uint8_t flip_mask = 0;
+  uint32_t slow_usec = 0;
+  uint64_t slow_from = 0, slow_count = 0;
+  int raise_signo = 0;
+  uint64_t raise_at_call = 0;
+  /// Pool acquire calls [from, from+count) (1-based) fail (empty buffer).
+  uint64_t alloc_fail_from = 0, alloc_fail_count = 0;
+
+  /// Applies every backend-level fault to `file`.
+  void ApplyTo(FaultFile& file) const;
+
+  bool empty() const { return spec.empty(); }
+};
+
+/// Parses a fault-plan spec (see the header comment for the grammar).
+/// `seed=N` ops expand into a deterministic combination derived from N.
+Result<FaultPlan> ParseFaultPlan(const std::string& spec);
 
 }  // namespace testing
 }  // namespace sword

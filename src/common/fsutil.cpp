@@ -97,6 +97,17 @@ class PosixFileBackend final : public FileBackend {
     }
     return Status::Ok();
   }
+
+  Status Sync(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+    if (fd < 0) return StatusFromErrno(errno, "open for fsync", path);
+    Status st = Status::Ok();
+    if (::fsync(fd) != 0) st = StatusFromErrno(errno, "fsync", path);
+    // close is NOT retried on EINTR: Linux frees the descriptor either way,
+    // and a retry could close a descriptor another thread just opened.
+    ::close(fd);
+    return st;
+  }
 };
 
 }  // namespace
@@ -106,12 +117,29 @@ FileBackend& RealFileBackend() {
   return backend;
 }
 
+bool TransientRetry::ShouldRetry(const Status& status) {
+  ++attempts_;
+  if (status.code() != ErrorCode::kUnavailable) return false;
+  if (attempts_ >= policy_.max_attempts) return false;
+  ++retries_;
+  if (policy_.backoff_us > 0) {
+    if (backoff_us_ == 0) {
+      backoff_us_ = policy_.backoff_us;
+    } else {
+      backoff_us_ = backoff_us_ * 2 > policy_.max_backoff_us
+                        ? policy_.max_backoff_us
+                        : backoff_us_ * 2;
+    }
+    ::usleep(backoff_us_);
+  }
+  return true;
+}
+
 AppendOutcome AppendWithRetry(FileBackend& backend, const std::string& path,
                               const uint8_t* data, size_t n,
                               const RetryPolicy& policy) {
   AppendOutcome out;
-  uint32_t backoff = policy.backoff_us;
-  uint32_t attempts = 0;
+  TransientRetry retry(policy);
   while (true) {
     size_t got = 0;
     out.status =
@@ -122,17 +150,26 @@ AppendOutcome AppendWithRetry(FileBackend& backend, const std::string& path,
       // burning an attempt (the backend made progress).
       continue;
     }
-    if (out.status.ok()) return out;
-    ++attempts;
-    const bool retryable = out.status.code() == ErrorCode::kUnavailable;
-    if (!retryable || attempts >= policy.max_attempts) return out;
-    ++out.retries;
-    if (backoff > 0) {
-      ::usleep(backoff);
-      backoff = backoff * 2 > policy.max_backoff_us ? policy.max_backoff_us
-                                                    : backoff * 2;
+    if (out.status.ok()) {
+      out.retries = retry.retries();
+      return out;
+    }
+    if (!retry.ShouldRetry(out.status)) {
+      out.retries = retry.retries();
+      return out;
     }
   }
+}
+
+SyncOutcome SyncWithRetry(FileBackend& backend, const std::string& path,
+                          const RetryPolicy& policy) {
+  SyncOutcome out;
+  TransientRetry retry(policy);
+  do {
+    out.status = backend.Sync(path);
+  } while (!out.status.ok() && retry.ShouldRetry(out.status));
+  out.retries = retry.retries();
+  return out;
 }
 
 Status WriteFileAtomic(const std::string& path, const Bytes& data,

@@ -39,6 +39,14 @@ class FileBackend {
   /// Truncates `path` to `size` bytes. The flusher uses this to roll back a
   /// partial append so a failed frame never leaves a torn tail.
   virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+
+  /// Flushes `path`'s data to stable storage (fsync). The default is a
+  /// no-op so purely in-memory test backends stay trivial; the real backend
+  /// overrides it. kUnavailable = transient (EINTR), retry.
+  virtual Status Sync(const std::string& path) {
+    (void)path;
+    return Status::Ok();
+  }
 };
 
 /// The process-wide real-filesystem backend.
@@ -59,12 +67,48 @@ struct AppendOutcome {
   uint32_t retries = 0; // extra attempts beyond the first
 };
 
+/// The ONE transient-failure retry loop every backend interaction in the
+/// flush pipeline goes through (append, fsync): tracks attempts against
+/// `policy`, sleeps the bounded exponential backoff between them, and counts
+/// the retries it granted. Historically the write path had this logic inline
+/// while fsync/close handled EINTR ad hoc; unifying them here is what makes
+/// the retry counters in FlusherStats mean the same thing everywhere.
+class TransientRetry {
+ public:
+  explicit TransientRetry(const RetryPolicy& policy) : policy_(policy) {}
+
+  /// Returns true if `status` is transient (kUnavailable) and the attempt
+  /// budget allows another try; sleeps the current backoff before returning.
+  bool ShouldRetry(const Status& status);
+
+  uint32_t retries() const { return retries_; }
+
+ private:
+  const RetryPolicy policy_;
+  uint32_t attempts_ = 0;
+  uint32_t retries_ = 0;
+  uint32_t backoff_us_ = 0;  // initialized from policy on first retry
+};
+
 /// Appends with retry-on-transient-failure per `policy`. Short successful
 /// writes continue from the written prefix without consuming an attempt's
 /// backoff. Gives up with the last error once attempts are exhausted.
 AppendOutcome AppendWithRetry(FileBackend& backend, const std::string& path,
                               const uint8_t* data, size_t n,
                               const RetryPolicy& policy = {});
+
+struct SyncOutcome {
+  Status status;
+  uint32_t retries = 0;  // extra attempts beyond the first
+};
+
+/// backend.Sync(path) through the same TransientRetry loop as the append
+/// path (EINTR on fsync retries with bounded exponential backoff). Note
+/// close(2) is deliberately NOT retried anywhere: on Linux the descriptor is
+/// freed even when close fails with EINTR, so a retry could close an
+/// unrelated freshly-opened descriptor.
+SyncOutcome SyncWithRetry(FileBackend& backend, const std::string& path,
+                          const RetryPolicy& policy = {});
 
 /// Crash-consistent whole-file replacement: writes `path`.tmp, then renames
 /// it over `path`. A reader (or a rebooted machine) sees either the old or

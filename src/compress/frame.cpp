@@ -23,6 +23,19 @@ Status ReadGapBody(ByteReader& reader, uint64_t* raw_bytes,
   return Status::Ok();
 }
 
+/// Parses a crash-marker body (magic already consumed): signo u8 | u64
+/// checksum over the signo byte. Fixed-length, so a torn tail is detected by
+/// the bounds-checked reads alone.
+Status ReadCrashBody(ByteReader& reader, uint8_t* signo) {
+  SWORD_RETURN_IF_ERROR(reader.GetU8(signo));
+  uint64_t checksum;
+  SWORD_RETURN_IF_ERROR(reader.GetU64(&checksum));
+  if (Fnv1a64(signo, 1) != checksum) {
+    return Status::Corrupt("crash marker checksum mismatch");
+  }
+  return Status::Ok();
+}
+
 /// Parses a data-frame header. `magic` has already been consumed.
 Status ReadFrameHeader(ByteReader& reader, uint32_t magic,
                        uint8_t* payload_format, std::string* codec_name,
@@ -82,12 +95,43 @@ void WriteGapFrame(Bytes* out, uint64_t raw_bytes, uint64_t event_count) {
   w.PutU64(Fnv1a64(out->data() + body_start, body_len));
 }
 
+void EncodeCrashMarker(uint8_t signo, uint8_t out[kCrashMarkerBytes]) {
+  out[0] = static_cast<uint8_t>(kFrameMagicCrash & 0xff);
+  out[1] = static_cast<uint8_t>((kFrameMagicCrash >> 8) & 0xff);
+  out[2] = static_cast<uint8_t>((kFrameMagicCrash >> 16) & 0xff);
+  out[3] = static_cast<uint8_t>((kFrameMagicCrash >> 24) & 0xff);
+  out[4] = signo;
+  // FNV-1a over the one signo byte, unrolled so the in-signal path never
+  // calls into Fnv1a64 (it is safe today, but keeping the handler's
+  // dependency surface at zero is the point of the fixed layout).
+  uint64_t h = 0xcbf29ce484222325ULL;
+  h = (h ^ signo) * 0x100000001b3ULL;
+  for (int i = 0; i < 8; ++i) out[5 + i] = static_cast<uint8_t>(h >> (8 * i));
+}
+
+void WriteCrashMarkerFrame(Bytes* out, uint8_t signo) {
+  uint8_t marker[kCrashMarkerBytes];
+  EncodeCrashMarker(signo, marker);
+  out->insert(out->end(), marker, marker + kCrashMarkerBytes);
+}
+
 Status ReadFrame(ByteReader& reader, FrameView* out) {
   const size_t frame_start = reader.position();
   uint32_t magic;
   SWORD_RETURN_IF_ERROR(reader.GetU32(&magic));
   out->is_gap = false;
   out->dropped_events = 0;
+  out->is_crash = false;
+  out->crash_signo = 0;
+  if (magic == kFrameMagicCrash) {
+    SWORD_RETURN_IF_ERROR(ReadCrashBody(reader, &out->crash_signo));
+    out->payload_format = 0;
+    out->is_crash = true;
+    out->raw_size = 0;
+    out->frame_size = reader.position() - frame_start;
+    out->data.clear();
+    return Status::Ok();
+  }
   if (magic == kFrameMagicGap) {
     uint64_t raw_bytes, events;
     SWORD_RETURN_IF_ERROR(ReadGapBody(reader, &raw_bytes, &events));
@@ -125,6 +169,13 @@ Status ReadFrame(ByteReader& reader, FrameView* out) {
 Status SkipFrame(ByteReader& reader, uint64_t* raw_size, uint8_t* payload_format) {
   uint32_t magic;
   SWORD_RETURN_IF_ERROR(reader.GetU32(&magic));
+  if (magic == kFrameMagicCrash) {
+    uint8_t signo;
+    SWORD_RETURN_IF_ERROR(ReadCrashBody(reader, &signo));
+    *raw_size = 0;
+    if (payload_format) *payload_format = 0;  // marker, no payload
+    return Status::Ok();
+  }
   if (magic == kFrameMagicGap) {
     uint64_t events;
     SWORD_RETURN_IF_ERROR(ReadGapBody(reader, raw_size, &events));

@@ -37,6 +37,11 @@ constexpr uint32_t kFrameMagic = 0x53574446;    // "SWDF": format-v1 payload
 constexpr uint32_t kFrameMagicV2 = 0x53574632;  // "SWF2": format-v2 payload
 constexpr uint32_t kFrameMagicV3 = 0x53573346;  // "SW3F": format-v3 payload
 constexpr uint32_t kFrameMagicGap = 0x53574750; // "SWGP": drop marker, no payload
+// "SWCR": crash marker appended by the fatal-signal sealer. Like the other
+// magics it keeps Hamming distance >= 2 from every sibling ('C'^'G' and
+// 'R'^'P' are each one bit vs "SWGP", everything else is farther), so a
+// single bit flip can never turn one marker kind into another.
+constexpr uint32_t kFrameMagicCrash = 0x53574352;
 
 /// Hard cap on a frame's decompressed size. Writers flush one bounded trace
 /// buffer per frame (2 MB by default), so any header claiming more than this
@@ -60,12 +65,29 @@ Status WriteFrame(const Compressor& codec, const uint8_t* data, size_t n, Bytes*
 ///   | fnv1a64(the two varints) (u64)
 void WriteGapFrame(Bytes* out, uint64_t raw_bytes, uint64_t event_count);
 
+/// Byte size of a crash-marker frame. The layout is FIXED so the fatal-signal
+/// handler can emit one with a single write(2) of a pre-staged buffer:
+///   kFrameMagicCrash (u32 LE) | signo (u8) | fnv1a64(&signo, 1) (u64 LE)
+/// No varints: the handler must not run variable-length encoders, and the
+/// reader must be able to tell a torn marker from a complete one by length.
+constexpr size_t kCrashMarkerBytes = 4 + 1 + 8;
+
+/// Serializes a crash marker for signal `signo` into `out[kCrashMarkerBytes]`.
+/// Async-signal-safe: writes only to the caller's buffer, no allocation.
+void EncodeCrashMarker(uint8_t signo, uint8_t out[kCrashMarkerBytes]);
+
+/// Appends a crash-marker frame to `out` (testing/tooling path; the in-signal
+/// path uses EncodeCrashMarker + raw write).
+void WriteCrashMarkerFrame(Bytes* out, uint8_t signo);
+
 struct FrameView {
   uint8_t payload_format = 1;   // event encoding version (from the magic)
   uint64_t raw_size = 0;        // decompressed payload size (gap: bytes lost)
   uint64_t frame_size = 0;      // total encoded frame size in bytes
   bool is_gap = false;          // drop marker; `data` is empty
   uint64_t dropped_events = 0;  // gap frames only
+  bool is_crash = false;        // crash marker; `data` is empty, raw_size 0
+  uint8_t crash_signo = 0;      // crash markers only
   Bytes data;                   // decompressed payload
 };
 

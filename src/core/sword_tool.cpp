@@ -8,6 +8,7 @@
 #include "common/fsutil.h"
 #include "compress/compressor.h"
 #include "somp/sink.h"
+#include "trace/seal.h"
 
 namespace sword::core {
 
@@ -109,17 +110,26 @@ trace::IntervalMeta MetaFrom(const somp::Ctx& ctx) {
 SwordTool::SwordTool(SwordConfig config)
     : config_(std::move(config)),
       memory_("sword-rt"),
+      governor_(config_.adaptive_degradation
+                    ? std::make_unique<trace::DegradationGovernor>(
+                          config_.governor_config)
+                    : nullptr),
       flusher_(trace::FlusherConfig{.async = config_.async_flush,
                                     .lockfree = config_.lockfree,
                                     .workers = config_.flush_workers,
                                     .max_queued_jobs = config_.flush_queue_depth,
                                     .memory = &memory_,
-                                    .backend = config_.backend}),
+                                    .backend = config_.backend,
+                                    .watchdog_deadline_ms = config_.watchdog_ms,
+                                    .governor = governor_.get()}),
       instance_id_(g_next_instance_id.fetch_add(1)) {
   assert(!config_.out_dir.empty());
   // Best-effort: a missing trace directory should not be fatal here; if it
   // truly cannot be created, the first writer I/O reports the real error.
   (void)MakeDirs(config_.out_dir);
+  // Fatal-signal survivability: writers register their paths below; the
+  // handler itself is process-global and idempotent.
+  if (config_.crash_seal) trace::InstallSealHandlers();
   RegisterLiveTool(this);
 }
 
@@ -151,6 +161,8 @@ SwordTool::ThreadState& SwordTool::State() {
   wc.coalesce = config_.coalesce;
   wc.meta_checkpoint_interval = config_.meta_checkpoint_interval;
   wc.backend = config_.backend;
+  wc.governor = governor_.get();
+  wc.crash_seal = config_.crash_seal;
   raw->writer = std::make_unique<trace::ThreadTraceWriter>(tid, wc);
   // The modeled fixed auxiliary overhead (OMPT + thread-local state).
   (void)memory_.Charge(kAuxBytesPerThread);
@@ -325,6 +337,13 @@ uint64_t SwordTool::AccessesDropped() const {
   std::lock_guard lock(states_mutex_);
   uint64_t total = 0;
   for (const auto& ts : states_) total += ts->writer->accesses_dropped();
+  return total;
+}
+
+uint64_t SwordTool::DegradedDropped() const {
+  std::lock_guard lock(states_mutex_);
+  uint64_t total = 0;
+  for (const auto& ts : states_) total += ts->writer->degraded_dropped();
   return total;
 }
 

@@ -29,6 +29,7 @@
 #include "somp/runtime.h"
 #include "somp/tool.h"
 #include "trace/flusher.h"
+#include "trace/governor.h"
 #include "trace/writer.h"
 
 namespace sword::core {
@@ -56,6 +57,21 @@ struct SwordConfig {
   /// Write layer for all trace I/O; null = real filesystem. Tests plug a
   /// sword::testing::FaultFile here.
   FileBackend* backend = nullptr;
+  /// Install the async-signal-safe fatal-signal sealing handlers
+  /// (SIGSEGV/SIGBUS/SIGABRT/SIGFPE/SIGILL -> crash-tagged meta checkpoint
+  /// + in-band crash marker) and register every writer with the
+  /// SealRegistry. Safe to leave on: it changes nothing unless the process
+  /// actually dies of a fatal signal.
+  bool crash_seal = true;
+  /// Enable the adaptive degradation governor (see trace/governor.h). Off
+  /// by default for library embedders (full fidelity, block-on-pressure);
+  /// sword-run turns it on for production runs.
+  bool adaptive_degradation = false;
+  /// Governor thresholds (used only when adaptive_degradation is set).
+  trace::GovernorConfig governor_config;
+  /// Flusher I/O watchdog deadline in ms (0 = producers may block without
+  /// bound, the historical behavior). sword-run sets this for production.
+  uint64_t watchdog_ms = 0;
 };
 
 /// The paper's measured per-thread auxiliary overhead (thread-local state +
@@ -107,8 +123,18 @@ class SwordTool final : public somp::Tool {
   uint64_t EventsCoalesced() const;
   uint64_t RunsEmitted() const;
   uint64_t AccessesDropped() const;
+  /// Accesses shed on the degradation governor's (or an exhausted buffer
+  /// pool's) orders, summed over writers. Exact; also in each meta file.
+  uint64_t DegradedDropped() const;
   uint64_t BytesWritten() const { return flusher_.bytes_written(); }
   uint64_t Flushes() const;
+
+  /// The degradation governor, or null when adaptive_degradation is off.
+  trace::DegradationGovernor* governor() { return governor_.get(); }
+
+  /// The flusher's buffer pool. Exposed for deterministic fault injection
+  /// (FaultPlan alloc_fail -> BufferPool::InjectAcquireFailures).
+  trace::BufferPool& buffer_pool() { return flusher_.pool(); }
 
   /// Flush-pipeline observability (queue pressure, producer stalls,
   /// per-worker throughput) for the overhead tables.
@@ -127,6 +153,7 @@ class SwordTool final : public somp::Tool {
 
   SwordConfig config_;
   MemoryScope memory_;
+  std::unique_ptr<trace::DegradationGovernor> governor_;  // before flusher_
   trace::Flusher flusher_;
 
   mutable std::mutex states_mutex_;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <memory>
 
+#include "common/faultfs.h"
 #include "common/fsutil.h"
 #include "common/timer.h"
 #include "core/sword_tool.h"
@@ -101,6 +102,20 @@ RunResult RunWorkload(const workloads::Workload& workload, const RunConfig& conf
         tmp = std::make_unique<TempDir>("sword-trace");
         dir = tmp->path();
       }
+      // Deterministic fault injection: the whole plan replays from its spec
+      // string, so any chaos failure reproduces with the same flag.
+      testing::FaultPlan plan;
+      testing::FaultFile fault_backend;  // must outlive the tool's flusher
+      if (!config.fault_plan.empty()) {
+        auto parsed = testing::ParseFaultPlan(config.fault_plan);
+        if (!parsed.ok()) {
+          result.status = parsed.status();
+          return result;
+        }
+        plan = std::move(parsed).value();
+        plan.ApplyTo(fault_backend);
+      }
+
       core::SwordConfig sc;
       sc.out_dir = dir;
       sc.buffer_bytes = config.buffer_bytes;
@@ -111,9 +126,18 @@ RunResult RunWorkload(const workloads::Workload& workload, const RunConfig& conf
       sc.access_filter = config.access_filter;
       sc.coalesce = config.coalesce;
       sc.lockfree = config.lockfree;
+      sc.crash_seal = config.crash_seal;
+      sc.adaptive_degradation = config.adaptive_degradation;
+      sc.governor_config = config.governor_config;
+      sc.watchdog_ms = config.watchdog_ms;
+      if (!plan.empty()) sc.backend = &fault_backend;
 
       {
         core::SwordTool tool(sc);
+        if (plan.alloc_fail_count > 0) {
+          tool.buffer_pool().InjectAcquireFailures(plan.alloc_fail_from,
+                                                   plan.alloc_fail_count);
+        }
         ConfigureRuntime(&tool, config.params.threads);
         Timer timer;
         workload.run(config.params);
@@ -125,10 +149,15 @@ RunResult RunWorkload(const workloads::Workload& workload, const RunConfig& conf
         result.events_coalesced = tool.EventsCoalesced();
         result.runs_emitted = tool.RunsEmitted();
         result.accesses_dropped = tool.AccessesDropped();
+        result.degraded_dropped = tool.DegradedDropped();
         result.flushes = tool.Flushes();
         result.trace_threads = tool.ThreadCount();
         result.flusher = tool.FlushStats();
-        if (!fin.ok()) {
+        // Under an injected fault plan (or explicit salvage) an I/O failure
+        // is the EXPECTED outcome, already booked as drops and gap frames;
+        // the run continues into salvage-mode analysis instead of aborting.
+        const bool expect_damage = !plan.empty() || config.salvage_offline;
+        if (!fin.ok() && !expect_damage) {
           result.status = fin;
           UnconfigureRuntime();
           return result;
@@ -141,7 +170,9 @@ RunResult RunWorkload(const workloads::Workload& workload, const RunConfig& conf
       }
 
       if (config.run_offline) {
-        auto store = offline::TraceStore::OpenDir(dir);
+        offline::StoreOptions so;
+        so.salvage = !plan.empty() || config.salvage_offline;
+        auto store = offline::TraceStore::OpenDir(dir, so);
         if (!store.ok()) {
           result.status = store.status();
           UnconfigureRuntime();

@@ -20,6 +20,7 @@
 #include "common/status.h"
 #include "offline/analysis.h"
 #include "trace/flusher.h"
+#include "trace/governor.h"
 #include "workloads/workload.h"
 
 namespace sword::harness {
@@ -50,6 +51,17 @@ struct RunConfig {
   bool journal_offline = false;        // checkpoint each analysis bucket
   std::string trace_dir;               // empty = fresh temp dir per run
 
+  // Production-survivability knobs (see docs/RESILIENCE.md).
+  /// Deterministic fault-plan spec (common/faultfs.h grammar). Non-empty
+  /// routes all trace I/O through a FaultFile and applies pool-level
+  /// faults; the offline open switches to salvage mode automatically.
+  std::string fault_plan;
+  bool crash_seal = true;              // fatal-signal trace sealing
+  bool adaptive_degradation = false;   // degradation governor
+  trace::GovernorConfig governor_config;  // thresholds when adaptive
+  uint64_t watchdog_ms = 0;            // flusher enqueue deadline; 0 = block
+  bool salvage_offline = false;        // force salvage-mode analysis
+
   // HB-baseline knobs.
   uint32_t shadow_cells = 4;
   uint64_t archer_memory_cap = 0;      // simulated node memory; 0 = unlimited
@@ -76,6 +88,7 @@ struct RunResult {
   uint64_t events_coalesced = 0;    // accesses folded into runs (sword)
   uint64_t runs_emitted = 0;        // strided run events written (sword)
   uint64_t accesses_dropped = 0;    // accesses seen outside a segment (sword)
+  uint64_t degraded_dropped = 0;    // accesses shed by the governor (sword)
   uint64_t flushes = 0;             // buffer flushes (sword)
   uint64_t trace_threads = 0;       // sword threads (for N*(B+C))
   trace::FlusherStats flusher;      // flush-pipeline counters (sword)

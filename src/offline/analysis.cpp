@@ -277,6 +277,10 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
   for (uint32_t t = 0; t < store.thread_count(); t++) {
     for (const auto& meta : store.threads()[t].meta.intervals) {
       result.stats.intervals++;
+      if (meta.degradation_level > 0 || meta.degraded_dropped > 0) {
+        result.stats.intervals_degraded++;
+        result.stats.degraded_events_dropped += meta.degraded_dropped;
+      }
       const auto& pairs = meta.label.pairs();
       if (pairs.empty()) {
         if (!salvage) {

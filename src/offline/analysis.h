@@ -131,6 +131,11 @@ struct AnalysisStats {
   uint64_t buckets_skipped = 0;     // regions where every segment failed
   uint64_t events_missing = 0;      // claimed by meta but never streamed
   uint64_t bytes_skipped_read = 0;  // logical bytes the reader skipped (holes)
+  /// Barrier intervals traced under a non-zero degradation-governor level
+  /// (or with shed accesses). Races found in them are real; their event
+  /// lists may be subsets, so absence of a race there is not proof.
+  uint64_t intervals_degraded = 0;
+  uint64_t degraded_events_dropped = 0;  // sum of those intervals' shed counts
   TraceIntegrity integrity;         // store-open damage, copied at Analyze()
 };
 

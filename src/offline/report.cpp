@@ -58,6 +58,22 @@ std::string RenderText(const AnalysisResult& result, const PcNamer& pc_namer) {
            " unproven race(s)\n";
   }
   const auto& in = s.integrity;
+  // A crash-sealed run and a degraded run each get a headline of their own:
+  // neither is frame damage, but both change what the report's silence
+  // means (the trace ends early / the event lists may be subsets).
+  if (in.crash_sealed) {
+    out += "crash-sealed run: fatal signal " + std::to_string(int(in.crash_signo)) +
+           ", " + std::to_string(in.crash_markers) +
+           " crash marker(s); everything recorded before the seal is trusted\n";
+  }
+  if (s.intervals_degraded > 0 || in.degraded_dropped > 0) {
+    out += "degradation governor: ACTIVE\n";
+    out += "  " + std::to_string(s.intervals_degraded) +
+           " interval(s) at reduced fidelity, " +
+           std::to_string(in.degraded_dropped) + " access(es) shed (" +
+           std::to_string(in.degradation_transitions) +
+           " level change(s)); races found are real, absence is not proof\n";
+  }
   const bool damaged = !in.clean() || s.segments_skipped > 0 ||
                        s.buckets_skipped > 0 || s.events_missing > 0 ||
                        s.bytes_skipped_read > 0;
@@ -127,6 +143,9 @@ std::string RenderJson(const AnalysisResult& result, const PcNamer& pc_namer) {
   out += ",\"solver_calls\":" + std::to_string(s.solver_calls);
   out += ",\"fastpath_hits\":" + std::to_string(s.fastpath_hits);
   out += ",\"duplicates_suppressed\":" + std::to_string(s.duplicates_suppressed);
+  out += ",\"intervals_degraded\":" + std::to_string(s.intervals_degraded);
+  out += ",\"degraded_events_dropped\":" +
+         std::to_string(s.degraded_events_dropped);
   out += ",\"solver_bailouts\":" + std::to_string(s.solver_bailouts);
   out += ",\"races_unproven\":" + std::to_string(s.races_unproven);
   out += ",\"buckets_deadline_exceeded\":" +
@@ -161,6 +180,12 @@ std::string RenderJson(const AnalysisResult& result, const PcNamer& pc_namer) {
   out += ",\"meta_records_rejected\":" + std::to_string(in.meta_records_rejected);
   out += ",\"threads_missing_meta\":" + std::to_string(in.threads_missing_meta);
   out += ",\"threads_missing_log\":" + std::to_string(in.threads_missing_log);
+  out += ",\"crash_sealed\":" + std::string(in.crash_sealed ? "true" : "false");
+  out += ",\"crash_signo\":" + std::to_string(int(in.crash_signo));
+  out += ",\"crash_markers\":" + std::to_string(in.crash_markers);
+  out += ",\"degraded_dropped\":" + std::to_string(in.degraded_dropped);
+  out += ",\"degradation_transitions\":" +
+         std::to_string(in.degradation_transitions);
   out += ",\"segments_skipped\":" + std::to_string(s.segments_skipped);
   out += ",\"buckets_skipped\":" + std::to_string(s.buckets_skipped);
   out += ",\"events_missing\":" + std::to_string(s.events_missing);

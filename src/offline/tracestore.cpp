@@ -18,6 +18,8 @@ void FoldSalvage(const trace::SalvageStats& s, TraceIntegrity* out) {
   out->resyncs += s.resyncs;
   out->bytes_skipped += s.bytes_skipped;
   out->truncated_tail_bytes += s.truncated_tail_bytes;
+  out->crash_markers += s.crash_markers;
+  if (s.crash_signo != 0) out->crash_signo = s.crash_signo;
 }
 
 /// Plausibility check for one meta record against the log it addresses.
@@ -104,6 +106,14 @@ Result<TraceStore> TraceStore::Open(const std::vector<std::string>& log_paths,
           store.integrity_.meta_records_dropped += records_dropped;
           meta_events_dropped = tt.meta.events_dropped;
           meta_bytes_dropped = tt.meta.bytes_dropped;
+          if (tt.meta.crash_sealed) {
+            store.integrity_.crash_sealed = true;
+            if (tt.meta.seal_signo != 0) {
+              store.integrity_.crash_signo = tt.meta.seal_signo;
+            }
+          }
+          store.integrity_.degraded_dropped += tt.meta.degraded_dropped;
+          store.integrity_.degradation_transitions += tt.meta.transitions.size();
         }
       }
     }

@@ -53,13 +53,25 @@ struct TraceIntegrity {
   uint64_t meta_records_rejected = 0;  // failed plausibility validation
   uint64_t threads_missing_meta = 0;
   uint64_t threads_missing_log = 0;
+  // Fatal-signal sealing. A sealed run is NOT damage: the sealer's whole
+  // point is that everything recorded up to the crash is trustworthy. The
+  // report surfaces it so nobody mistakes a sealed trace for a full run.
+  bool crash_sealed = false;   // any thread's meta carries the sealed flag
+  uint8_t crash_signo = 0;     // the sealing signal (last nonzero seen)
+  uint64_t crash_markers = 0;  // in-band "SWCR" markers across all logs
+  // Degradation-governor loss (sums over threads' v5 metas). Unlike a
+  // crash seal this IS loss - shed accesses mean races can be missed (never
+  // invented) - so it participates in clean().
+  uint64_t degraded_dropped = 0;         // accesses shed by the governor
+  uint64_t degradation_transitions = 0;  // recorded level changes
 
   bool clean() const {
     return frames_corrupt == 0 && frames_unaddressable == 0 &&
            gap_frames == 0 && resyncs == 0 && bytes_skipped == 0 &&
            truncated_tail_bytes == 0 && events_dropped_at_record == 0 &&
            meta_records_dropped == 0 && meta_records_rejected == 0 &&
-           threads_missing_meta == 0 && threads_missing_log == 0;
+           threads_missing_meta == 0 && threads_missing_log == 0 &&
+           degraded_dropped == 0;
   }
 };
 

@@ -9,6 +9,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/log.h"
 #include "somp/pool.h"
 #include "somp/sink.h"
 
@@ -46,13 +47,34 @@ struct SinkQsbrHandle {
 
 thread_local SinkQsbrHandle tls_sink_qsbr;
 
+/// Threads that found the QSBR domain full (satellite telemetry; the
+/// silent-skip used to be invisible, which made "why is tracing slow on
+/// this 300-thread app" undiagnosable).
+std::atomic<uint64_t> g_sink_qsbr_overflows{0};
+
 }  // namespace
+
+uint64_t SinkQsbrOverflows() {
+  return g_sink_qsbr_overflows.load(std::memory_order_relaxed);
+}
 
 void InstallThreadSink(ThreadEventSink sink) {
   SinkQsbrHandle& handle = tls_sink_qsbr;
   if (!handle.tried) {
     handle.tried = true;
     handle.slot = SinkQsbr().Register();
+    if (handle.slot == lockfree::QsbrDomain::kInvalidSlot) {
+      // Counted once per THREAD (not per install attempt): the counter
+      // answers "how many threads are stuck on the virtual path".
+      g_sink_qsbr_overflows.fetch_add(1, std::memory_order_relaxed);
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true)) {
+        SWORD_WARN() << "sink QSBR domain full ("
+                     << lockfree::QsbrDomain::kMaxParticipants
+                     << " slots): additional threads trace via the slower "
+                        "virtual path";
+      }
+    }
   }
   if (handle.slot == lockfree::QsbrDomain::kInvalidSlot) {
     // Untracked thread (domain full): installing a sink the retirer cannot

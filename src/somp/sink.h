@@ -92,6 +92,13 @@ void InstallThreadSink(ThreadEventSink sink);
 /// Clears the calling thread's sink and marks the thread quiescent.
 void ClearThreadSink();
 
+/// Threads that could not join the sink QSBR domain because all participant
+/// slots were taken (they run on the always-correct virtual path instead).
+/// A nonzero value means the process out-scaled the domain: expected on
+/// pathological thread churn, but worth surfacing — the first overflow also
+/// logs a one-time warning.
+uint64_t SinkQsbrOverflows();
+
 /// Retires all installed sinks without touching other threads' TLS: begins
 /// a QSBR grace period and returns true when it passed immediately (every
 /// tracked thread is at a quiescent point, so no sink is live anywhere and

@@ -36,7 +36,9 @@ int VerifyDir(const std::string& dir) {
                 "encoded", "raw", "fmt", "codec", "status");
     auto stats = trace::LogReader::VerifyLog(path, [](const trace::FrameRecord& f) {
       const char* state;
-      if (f.is_gap) {
+      if (f.is_crash) {
+        state = "CRASH";
+      } else if (f.is_gap) {
         state = "GAP";
       } else if (!f.status.ok()) {
         state = f.offset_trusted ? "CORRUPT" : "CORRUPT (unaddressable)";
@@ -48,8 +50,10 @@ int VerifyDir(const std::string& dir) {
                   static_cast<unsigned long long>(f.file_offset),
                   static_cast<unsigned long long>(f.encoded_size),
                   static_cast<unsigned long long>(f.raw_size), f.payload_format,
-                  f.is_gap ? "-" : f.codec.c_str(), state);
-      if (f.is_gap) {
+                  (f.is_gap || f.is_crash) ? "-" : f.codec.c_str(), state);
+      if (f.is_crash) {
+        std::printf(" (sealed by fatal signal %d)", int(f.crash_signo));
+      } else if (f.is_gap) {
         std::printf(" (%llu event(s), %llu byte(s) dropped at record time)",
                     static_cast<unsigned long long>(f.dropped_events),
                     static_cast<unsigned long long>(f.raw_size));
@@ -73,6 +77,11 @@ int VerifyDir(const std::string& dir) {
                 static_cast<unsigned long long>(s.resyncs),
                 static_cast<unsigned long long>(s.bytes_skipped),
                 static_cast<unsigned long long>(s.truncated_tail_bytes));
+    if (s.crash_markers > 0) {
+      std::printf("  crash-sealed: %llu marker(s), fatal signal %d\n",
+                  static_cast<unsigned long long>(s.crash_markers),
+                  int(s.crash_signo));
+    }
     if (!s.clean()) damaged = true;
   }
   if (!any) {

@@ -5,6 +5,8 @@
 //             [--size N] [--trace-dir DIR] [--buffer-kb K] [--codec C]
 //             [--cap-mb M] [--flush-workers W] [--format 1|2|3]
 //             [--no-access-filter] [--no-coalesce] [--no-lockfree]
+//             [--fault-plan SPEC] [--watchdog-ms N] [--adaptive]
+//             [--no-crash-seal] [--salvage]
 //
 // The workbench the comparative tables are built from, exposed as a CLI so
 // individual configurations can be reproduced by hand. With --trace-dir the
@@ -82,6 +84,14 @@ int main(int argc, char** argv) {
   config.archer_memory_cap =
       static_cast<uint64_t>(args.GetInt("cap-mb", 0)) * 1024 * 1024;
   config.offline_threads = static_cast<uint32_t>(args.GetInt("offline-threads", 1));
+  // Production-survivability knobs. Fatal-signal sealing is on by default
+  // (inert unless the process dies of a fatal signal); the degradation
+  // governor and the enqueue watchdog are opt-in.
+  config.fault_plan = args.GetString("fault-plan", "");
+  config.crash_seal = !args.GetBool("no-crash-seal");
+  config.adaptive_degradation = args.GetBool("adaptive");
+  config.watchdog_ms = static_cast<uint64_t>(args.GetInt("watchdog-ms", 0));
+  config.salvage_offline = args.GetBool("salvage");
 
   auto result = harness::RunByName(suite, name, config);
   if (!result.ok()) {
@@ -115,6 +125,19 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.flusher.producer_blocks),
                 FormatSeconds(static_cast<double>(r.flusher.blocked_nanos) * 1e-9)
                     .c_str());
+  }
+  if (r.tool == harness::ToolKind::kSword &&
+      (r.degraded_dropped > 0 || r.flusher.watchdog_drops > 0 ||
+       r.analysis.integrity.crash_sealed ||
+       r.analysis.integrity.degradation_transitions > 0)) {
+    std::printf("  survivability:   %llu access(es) shed by the governor "
+                "(%llu level change(s)), %llu watchdog drop(s)%s\n",
+                static_cast<unsigned long long>(r.degraded_dropped),
+                static_cast<unsigned long long>(
+                    r.analysis.integrity.degradation_transitions),
+                static_cast<unsigned long long>(r.flusher.watchdog_drops),
+                r.analysis.integrity.crash_sealed ? ", CRASH-SEALED trace"
+                                                  : "");
   }
   std::printf("  app footprint:   %s\n", FormatBytes(r.baseline_bytes).c_str());
   std::printf("  detector memory: %s%s\n", FormatBytes(r.tool_peak_bytes).c_str(),

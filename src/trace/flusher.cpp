@@ -5,6 +5,7 @@
 
 #include "common/fsutil.h"
 #include "compress/frame.h"
+#include "trace/governor.h"
 
 namespace sword::trace {
 
@@ -22,7 +23,22 @@ BufferPool::~BufferPool() {
   for (const Bytes& b : free_) memory_->Release(b.capacity());
 }
 
+void BufferPool::InjectAcquireFailures(uint64_t from_call, uint64_t count) {
+  fail_from_.store(from_call, std::memory_order_relaxed);
+  fail_count_.store(count, std::memory_order_relaxed);
+}
+
 Bytes BufferPool::Acquire(size_t capacity) {
+  const uint64_t call = acquires_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint64_t fail_from = fail_from_.load(std::memory_order_relaxed);
+  if (fail_from != 0 && call >= fail_from &&
+      call < fail_from + fail_count_.load(std::memory_order_relaxed)) {
+    // Injected allocation failure: the zero-capacity buffer is the same
+    // shape a genuinely exhausted allocator would produce; callers must
+    // shed the event with accounting, never crash.
+    acquire_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Bytes();
+  }
   Bytes b;
   bool recycled = false;
   if (lockfree_) {
@@ -119,6 +135,8 @@ Flusher::Flusher(const FlusherConfig& config)
       retry_policy_{/*max_attempts=*/config.max_io_retries + 1,
                     /*backoff_us=*/config.retry_backoff_us,
                     /*max_backoff_us=*/10 * 1000},
+      watchdog_deadline_ms_(config.watchdog_deadline_ms),
+      governor_(config.governor),
       pool_(config.max_pooled_buffers, config.memory, config.lockfree) {
   if (!async_) return;
   credits_.store(static_cast<int64_t>(max_queued_jobs_),
@@ -196,6 +214,7 @@ void Flusher::Enqueue(Job job) {
     jobs_enqueued_.fetch_add(1, std::memory_order_relaxed);
     jobs_completed_.fetch_add(1, std::memory_order_relaxed);
     bytes_in_.fetch_add(raw_bytes, std::memory_order_relaxed);
+    if (governor_) governor_->Evaluate();
     return;
   }
   const size_t lane = LaneFor(job.path);
@@ -211,8 +230,11 @@ void Flusher::Enqueue(Job job) {
 void Flusher::EnqueueLockfree(Job job, size_t lane) {
   // Backpressure: acquire one credit. The CAS loop is the entire fast path
   // - no mutex, no condvar - and degrades to yield/sleep backoff only when
-  // the pipeline is genuinely full.
+  // the pipeline is genuinely full. With a watchdog deadline configured the
+  // wait is bounded: a hung device converts this frame into an accounted
+  // drop instead of stalling the producer forever.
   bool counted_block = false;
+  bool acquired = false;
   std::chrono::steady_clock::time_point block_start;
   uint32_t spins = 0;
   for (;;) {
@@ -221,12 +243,19 @@ void Flusher::EnqueueLockfree(Job job, size_t lane) {
         credits_.compare_exchange_weak(credits, credits - 1,
                                        std::memory_order_acq_rel,
                                        std::memory_order_relaxed)) {
+      acquired = true;
       break;
     }
     if (!counted_block) {
       counted_block = true;
       producer_blocks_.fetch_add(1, std::memory_order_relaxed);
       block_start = std::chrono::steady_clock::now();
+      if (governor_) governor_->NoteCreditStall();
+    }
+    if (watchdog_deadline_ms_ > 0 &&
+        std::chrono::steady_clock::now() - block_start >=
+            std::chrono::milliseconds(watchdog_deadline_ms_)) {
+      break;  // watchdog expired while starved; drop below
     }
     if (spins++ < 64) {
       std::this_thread::yield();
@@ -235,11 +264,16 @@ void Flusher::EnqueueLockfree(Job job, size_t lane) {
     }
   }
   if (counted_block) {
-    blocked_nanos_.fetch_add(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - block_start)
-            .count(),
-        std::memory_order_relaxed);
+    const uint64_t waited =
+        static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                  std::chrono::steady_clock::now() - block_start)
+                                  .count());
+    blocked_nanos_.fetch_add(waited, std::memory_order_relaxed);
+    if (governor_) governor_->NoteBlockedNanos(waited);
+  }
+  if (!acquired) {
+    WatchdogDrop(std::move(job));
+    return;
   }
   // Holding a credit guarantees ring space (ring capacity >= total
   // credits); the spin only covers a consumer mid-pop on the target slot.
@@ -261,19 +295,47 @@ void Flusher::EnqueueLocked(Job job, size_t lane) {
     std::unique_lock lock(mutex_);
     if (queued_ >= max_queued_jobs_) {
       producer_blocks_.fetch_add(1, std::memory_order_relaxed);
+      if (governor_) governor_->NoteCreditStall();
       const auto t0 = std::chrono::steady_clock::now();
-      space_cv_.wait(lock, [&] { return queued_ < max_queued_jobs_; });
-      blocked_nanos_.fetch_add(
+      bool have_space;
+      if (watchdog_deadline_ms_ > 0) {
+        have_space = space_cv_.wait_for(
+            lock, std::chrono::milliseconds(watchdog_deadline_ms_),
+            [&] { return queued_ < max_queued_jobs_; });
+      } else {
+        space_cv_.wait(lock, [&] { return queued_ < max_queued_jobs_; });
+        have_space = true;
+      }
+      const uint64_t waited = static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - t0)
-              .count(),
-          std::memory_order_relaxed);
+              .count());
+      blocked_nanos_.fetch_add(waited, std::memory_order_relaxed);
+      if (governor_) governor_->NoteBlockedNanos(waited);
+      if (!have_space) {
+        // RecordDrop takes mutex_, so drop outside the lock.
+        lock.unlock();
+        WatchdogDrop(std::move(job));
+        return;
+      }
     }
     workers_[lane]->lane.push_back(std::move(job));
     queued_++;
     in_flight_.fetch_add(1, std::memory_order_relaxed);
   }
   workers_[lane]->cv.notify_one();
+}
+
+void Flusher::WatchdogDrop(Job job) {
+  // The frame never entered a lane: no credit was taken and in_flight_ was
+  // not bumped, so Drain() stays correct. The loss is booked exactly like
+  // an unrecoverable I/O failure - sticky status, drop counters, pending
+  // gap marker - and the buffer is recycled.
+  watchdog_drops_.fetch_add(1, std::memory_order_relaxed);
+  if (governor_) governor_->NoteWatchdogDrop();
+  RecordDrop(job, Status::Unavailable(
+                      "flusher watchdog: producer blocked past deadline"));
+  if (job.recycle) pool_.Release(std::move(job.data));
 }
 
 void Flusher::Drain() {
@@ -316,15 +378,29 @@ void Flusher::CompleteJob(Job job, Worker* worker) {
     worker->bytes_in.fetch_add(raw_bytes, std::memory_order_relaxed);
   }
   jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+  // Governor tick on the worker thread: jobs are chunky (whole trace
+  // buffers), so one mutex-guarded Evaluate per job is off the producers'
+  // hot path entirely.
+  if (governor_) governor_->Evaluate();
 }
 
 void Flusher::Run(uint32_t index) {
   Worker& me = *workers_[index];
   std::unique_lock lock(mutex_);
   while (true) {
-    me.cv.wait(lock, [&] {
+    const auto ready = [&] {
       return stop_.load(std::memory_order_relaxed) || !me.lane.empty();
-    });
+    };
+    if (governor_) {
+      // Bounded waits so recovery (calm-streak) evaluations keep ticking
+      // while the pipeline is idle; Evaluate never touches mutex_.
+      while (!ready()) {
+        me.cv.wait_for(lock, std::chrono::milliseconds(50));
+        governor_->Evaluate();
+      }
+    } else {
+      me.cv.wait(lock, ready);
+    }
     if (me.lane.empty()) {
       if (stop_.load(std::memory_order_relaxed)) return;
       continue;
@@ -376,6 +452,9 @@ void Flusher::RunLockfree(uint32_t index) {
       me.doorbell.wait_for(doorbell, std::chrono::milliseconds(50));
     }
     me.sleeping.store(0, std::memory_order_relaxed);
+    // Idle governor tick: the 50 ms backstop doubles as the cadence for
+    // calm-streak recovery evaluations when no jobs are flowing.
+    if (governor_) governor_->Evaluate();
   }
 }
 
@@ -386,7 +465,14 @@ Status Flusher::AppendChecked(const std::string& path, const uint8_t* data,
   // for everything after it, which is far worse than the lost frame.
   auto before = FileSize(path);
   const uint64_t old_size = before.ok() ? before.value() : 0;
+  const auto t0 = std::chrono::steady_clock::now();
   AppendOutcome out = AppendWithRetry(*backend_, path, data, n, retry_policy_);
+  if (governor_) {
+    governor_->NoteAppendLatency(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  }
   if (out.retries > 0) io_retries_.fetch_add(out.retries);
   if (out.status.ok()) {
     bytes_written_.fetch_add(n);
@@ -419,6 +505,16 @@ Status Flusher::WritePathData(const Job& job, const uint8_t* data, size_t n) {
       SWORD_RETURN_IF_ERROR(
           AppendChecked(job.path, gap_frame.data(), gap_frame.size()));
       gap_frames_.fetch_add(1);
+      // A gap marker is loss ACCOUNTING: losing it to a later crash would
+      // silently shift every logical offset after the hole, so it is forced
+      // to stable storage now via the same transient-retry helper as the
+      // write path. Cold path - gaps only exist after unrecoverable errors.
+      const SyncOutcome sync =
+          SyncWithRetry(*backend_, job.path, retry_policy_);
+      syncs_.fetch_add(1, std::memory_order_relaxed);
+      if (sync.retries > 0) {
+        sync_retries_.fetch_add(sync.retries, std::memory_order_relaxed);
+      }
       std::lock_guard lock(mutex_);
       pending_gaps_.erase(job.path);
       pending_gap_paths_.fetch_sub(1, std::memory_order_release);
@@ -476,6 +572,9 @@ FlusherStats Flusher::stats() const {
   s.events_dropped = events_dropped_.load();
   s.bytes_dropped = bytes_dropped_.load();
   s.gap_frames = gap_frames_.load();
+  s.watchdog_drops = watchdog_drops_.load(std::memory_order_relaxed);
+  s.syncs = syncs_.load(std::memory_order_relaxed);
+  s.sync_retries = sync_retries_.load(std::memory_order_relaxed);
   s.lockfree = lockfree_;
   if (async_ && lockfree_) {
     const int64_t credits = credits_.load(std::memory_order_relaxed);

@@ -61,6 +61,8 @@
 
 namespace sword::trace {
 
+class DegradationGovernor;
+
 /// Recycles byte buffers between trace writers and flusher workers. All
 /// buffers that exist because of the pool (handed out or free-listed) are
 /// charged to `memory`, so the bounded-memory accounting sees the real
@@ -121,6 +123,17 @@ class BufferPool {
 
   bool lockfree() const { return lockfree_; }
 
+  /// Deterministic chaos knob: Acquire() calls numbered [from, from+count)
+  /// (1-based) fail, returning a zero-capacity buffer — the out-of-memory
+  /// shape the degradation governor and the writer's shed path must absorb.
+  void InjectAcquireFailures(uint64_t from_call, uint64_t count);
+  /// Acquire() calls observed (successful or injected-failed).
+  uint64_t acquires() const { return acquires_.load(std::memory_order_relaxed); }
+  /// Injected Acquire() failures delivered so far.
+  uint64_t acquire_failures() const {
+    return acquire_failures_.load(std::memory_order_relaxed);
+  }
+
  private:
   Stats ReadStatsOnce() const;
 
@@ -141,6 +154,12 @@ class BufferPool {
   std::atomic<uint64_t> recycles_{0};
   std::atomic<uint64_t> releases_kept_{0};
   std::atomic<uint64_t> releases_freed_{0};
+
+  // Injected allocation-failure window (deterministic chaos; 1-based calls).
+  std::atomic<uint64_t> acquires_{0};
+  std::atomic<uint64_t> fail_from_{0};
+  std::atomic<uint64_t> fail_count_{0};
+  std::atomic<uint64_t> acquire_failures_{0};
 };
 
 struct FlusherConfig {
@@ -165,6 +184,16 @@ struct FlusherConfig {
   /// Base backoff between retries; doubles per retry. 0 = no sleeping,
   /// which is what the deterministic fault tests use.
   uint32_t retry_backoff_us = 100;
+  /// I/O watchdog: the longest a producer may stay blocked on backpressure
+  /// before its frame is converted into a drop (gap frame + exact
+  /// accounting) instead of an unbounded stall. 0 = no deadline (the
+  /// historical behavior; backpressure tests rely on it). `sword-run`
+  /// enables it for production runs.
+  uint64_t watchdog_deadline_ms = 0;
+  /// Optional adaptive-degradation governor: the flusher feeds it producer
+  /// blocked time, credit starvation, append latency, and watchdog drops,
+  /// and ticks Evaluate() from the worker loop. Not owned.
+  DegradationGovernor* governor = nullptr;
 };
 
 /// Observability counters (satellite telemetry for the overhead tables; all
@@ -182,6 +211,9 @@ struct FlusherStats {
   uint64_t events_dropped = 0;   // events inside dropped frames
   uint64_t bytes_dropped = 0;    // raw (logical) bytes inside dropped frames
   uint64_t gap_frames = 0;       // drop markers successfully written
+  uint64_t watchdog_drops = 0;   // frames dropped by the enqueue watchdog
+  uint64_t syncs = 0;            // fsync passes issued (after gap frames)
+  uint64_t sync_retries = 0;     // transient-sync retries that happened
   size_t queued_now = 0;               // snapshot: jobs waiting in lanes
   bool lockfree = false;               // which coordination plane ran
   std::vector<uint64_t> worker_bytes_in;  // raw bytes compressed per worker
@@ -292,12 +324,17 @@ class Flusher {
   /// Books a discarded frame: sticky status + exact drop accounting, and a
   /// pending gap marker so later frames keep their logical offsets.
   void RecordDrop(const Job& job, const Status& status);
+  /// Converts a frame whose enqueue wait exceeded the watchdog deadline into
+  /// an accounted drop (the job never entered a lane). Recycles the buffer.
+  void WatchdogDrop(Job job);
 
   const bool async_;
   const bool lockfree_;
   const size_t max_queued_jobs_;
   FileBackend* const backend_;
   const RetryPolicy retry_policy_;
+  const uint64_t watchdog_deadline_ms_;
+  DegradationGovernor* const governor_;
   BufferPool pool_;
 
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -324,6 +361,9 @@ class Flusher {
   std::atomic<uint64_t> frames_dropped_{0};
   std::atomic<uint64_t> events_dropped_{0};
   std::atomic<uint64_t> bytes_dropped_{0};
+  std::atomic<uint64_t> watchdog_drops_{0};
+  std::atomic<uint64_t> syncs_{0};
+  std::atomic<uint64_t> sync_retries_{0};
   /// Number of paths with a pending (unwritten) gap marker: lets the
   /// per-frame WritePathData skip the mutex-guarded map lookup entirely in
   /// the no-drops steady state.

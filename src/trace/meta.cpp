@@ -14,6 +14,10 @@ void IntervalMeta::Serialize(ByteWriter& w, uint8_t version) const {
   if (version >= 2) w.PutVarU64(event_count);
   w.PutVarU64(lockset.size());
   for (uint32_t m : lockset) w.PutVarU64(m);
+  if (version >= 3) {
+    w.PutVarU64(degradation_level);
+    w.PutVarU64(degraded_dropped);
+  }
 }
 
 Status IntervalMeta::Deserialize(ByteReader& r, IntervalMeta* out, uint8_t version) {
@@ -39,6 +43,14 @@ Status IntervalMeta::Deserialize(ByteReader& r, IntervalMeta* out, uint8_t versi
     SWORD_RETURN_IF_ERROR(r.GetVarU64(&m));
     out->lockset.push_back(static_cast<uint32_t>(m));
   }
+  out->degradation_level = 0;
+  out->degraded_dropped = 0;
+  if (version >= 3) {
+    uint64_t level;
+    SWORD_RETURN_IF_ERROR(r.GetVarU64(&level));
+    out->degradation_level = static_cast<uint32_t>(level);
+    SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->degraded_dropped));
+  }
   return Status::Ok();
 }
 
@@ -57,25 +69,48 @@ std::string IntervalMeta::ToString() const {
   return out;
 }
 
-void EncodeMetaHeader(ByteWriter& w, uint32_t thread_id, uint8_t log_format,
-                      uint64_t events_dropped, uint64_t bytes_dropped,
-                      uint64_t accesses_dropped, uint64_t record_count) {
-  w.PutU32(kMetaMagicV4);
-  w.PutVarU64(thread_id);
-  w.PutU8(log_format);
+void EncodeMetaHeader(ByteWriter& w, const MetaHeaderInfo& info) {
+  w.PutU32(kMetaMagicV5);
+  // v5: flags + seal signo as FIXED-offset bytes right after the magic
+  // (kMetaFlagsOffset / kMetaSealSignoOffset) so the fatal-signal handler
+  // can patch them in a pre-serialized image without running any encoder.
+  w.PutU8(info.crash_sealed ? kMetaFlagCrashSealed : 0);
+  w.PutU8(info.seal_signo);
+  w.PutVarU64(info.thread_id);
+  w.PutU8(info.log_format);
   // v3 additions: record-time drop totals, before the interval records so a
-  // torn tail cannot hide them. v4 adds the outside-segment access drops.
-  w.PutVarU64(events_dropped);
-  w.PutVarU64(bytes_dropped);
-  w.PutVarU64(accesses_dropped);
-  w.PutVarU64(record_count);
+  // torn tail cannot hide them. v4 adds the outside-segment access drops,
+  // v5 the degradation-governor sheds and the transition history.
+  w.PutVarU64(info.events_dropped);
+  w.PutVarU64(info.bytes_dropped);
+  w.PutVarU64(info.accesses_dropped);
+  w.PutVarU64(info.degraded_dropped);
+  const size_t n_transitions = info.transitions ? info.transitions->size() : 0;
+  w.PutVarU64(n_transitions);
+  for (size_t i = 0; i < n_transitions; ++i) {
+    const DegradationTransition& t = (*info.transitions)[i];
+    w.PutU8(t.level);
+    w.PutU8(t.reason);
+    w.PutVarU64(t.interval);
+  }
+  w.PutVarU64(info.record_count);
 }
 
 Bytes MetaFile::Encode() const {
   ByteWriter w;
-  EncodeMetaHeader(w, thread_id, log_format, events_dropped, bytes_dropped,
-                   accesses_dropped, intervals.size());
-  for (const auto& m : intervals) m.Serialize(w, /*version=*/2);
+  MetaHeaderInfo info;
+  info.thread_id = thread_id;
+  info.log_format = log_format;
+  info.crash_sealed = crash_sealed;
+  info.seal_signo = seal_signo;
+  info.events_dropped = events_dropped;
+  info.bytes_dropped = bytes_dropped;
+  info.accesses_dropped = accesses_dropped;
+  info.degraded_dropped = degraded_dropped;
+  info.transitions = &transitions;
+  info.record_count = intervals.size();
+  EncodeMetaHeader(w, info);
+  for (const auto& m : intervals) m.Serialize(w, /*version=*/3);
   return w.buffer();
 }
 
@@ -94,8 +129,22 @@ Status MetaFile::Decode(const Bytes& data, MetaFile* out, bool salvage,
     version = 3;
   } else if (magic == kMetaMagicV4) {
     version = 4;
+  } else if (magic == kMetaMagicV5) {
+    version = 5;
   } else {
     return Status::Corrupt("bad meta magic");
+  }
+  out->crash_sealed = false;
+  out->seal_signo = 0;
+  if (version >= 5) {
+    uint8_t flags, signo;
+    SWORD_RETURN_IF_ERROR(r.GetU8(&flags));
+    SWORD_RETURN_IF_ERROR(r.GetU8(&signo));
+    if (flags & ~kMetaFlagCrashSealed) {
+      return Status::Corrupt("unknown meta flag bits");
+    }
+    out->crash_sealed = (flags & kMetaFlagCrashSealed) != 0;
+    out->seal_signo = signo;
   }
   uint64_t tid, n;
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&tid));
@@ -118,12 +167,31 @@ Status MetaFile::Decode(const Bytes& data, MetaFile* out, bool salvage,
   if (version >= 4) {
     SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->accesses_dropped));
   }
+  out->degraded_dropped = 0;
+  out->transitions.clear();
+  if (version >= 5) {
+    SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->degraded_dropped));
+    uint64_t n_transitions;
+    SWORD_RETURN_IF_ERROR(r.GetVarU64(&n_transitions));
+    if (n_transitions > data.size()) {
+      return Status::Corrupt("implausible transition count in meta file");
+    }
+    out->transitions.reserve(n_transitions);
+    for (uint64_t i = 0; i < n_transitions; ++i) {
+      DegradationTransition t;
+      SWORD_RETURN_IF_ERROR(r.GetU8(&t.level));
+      SWORD_RETURN_IF_ERROR(r.GetU8(&t.reason));
+      SWORD_RETURN_IF_ERROR(r.GetVarU64(&t.interval));
+      out->transitions.push_back(t);
+    }
+  }
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&n));
   out->intervals.clear();
   out->intervals.reserve(n);
+  const uint8_t record_version = version >= 5 ? 3 : version >= 2 ? 2 : 1;
   for (uint64_t i = 0; i < n; i++) {
     IntervalMeta m;
-    Status s = IntervalMeta::Deserialize(r, &m, version >= 2 ? 2 : 1);
+    Status s = IntervalMeta::Deserialize(r, &m, record_version);
     if (!s.ok()) {
       if (!salvage) return s;
       // The interval list is written in order; a parse failure means the

@@ -37,6 +37,15 @@ struct IntervalMeta {
   uint64_t data_begin = 0;      // logical byte offset into the log stream
   uint64_t data_size = 0;       // bytes of event data in this segment
   uint64_t event_count = 0;     // events in this segment (0 in v1 metas)
+  /// Highest degradation-governor level active while this segment was open
+  /// (record v3; 0 = full tracing). Non-zero means the segment's event list
+  /// may be a SUBSET of the accesses that actually happened: races found in
+  /// it are still real, but absence of a race is not proof.
+  uint32_t degradation_level = 0;
+  /// Accesses the writer dropped from THIS segment because of degradation
+  /// (sampling / summary-only), record v3. Exact count, so offline
+  /// accounting can reconcile observed + dropped totals.
+  uint64_t degraded_dropped = 0;
   std::vector<uint32_t> lockset;  // mutexes held when the segment opened
 
   static constexpr uint64_t kNoParent = ~0ULL;
@@ -53,12 +62,25 @@ struct IntervalMeta {
     return event_count ? event_count : data_size / kEventBytes;
   }
 
-  /// `version` is the meta-file format (1 omits event_count, 2 records it).
-  void Serialize(ByteWriter& w, uint8_t version = 2) const;
-  static Status Deserialize(ByteReader& r, IntervalMeta* out, uint8_t version = 2);
+  /// `version` is the RECORD format: 1 omits event_count, 2 records it,
+  /// 3 adds degradation_level + degraded_dropped.
+  void Serialize(ByteWriter& w, uint8_t version = 3) const;
+  static Status Deserialize(ByteReader& r, IntervalMeta* out, uint8_t version = 3);
 
   /// One Table-I-style text line (debugging and the quickstart example).
   std::string ToString() const;
+};
+
+/// One degradation-governor level change, recorded in v5 metas so offline
+/// reports can annotate which barrier intervals ran under reduced fidelity.
+struct DegradationTransition {
+  uint8_t level = 0;        // level entered (trace::governor level ordinal)
+  uint8_t reason = 0;       // GovernorReason bitmask that triggered it
+  uint64_t interval = 0;    // interval-record ordinal open/next at the time
+
+  bool operator==(const DegradationTransition& o) const {
+    return level == o.level && reason == o.reason && interval == o.interval;
+  }
 };
 
 /// Whole meta file: header + interval records.
@@ -67,6 +89,12 @@ struct MetaFile {
   /// Event-encoding format of the companion .log file (kTraceFormatV*).
   /// Informational: the log's frames are self-tagging; tools print this.
   uint8_t log_format = kTraceFormatV2;
+  /// v5 metas: this checkpoint was written by the fatal-signal sealer while
+  /// the process was dying of `seal_signo`. The trace ends at the last
+  /// sealed barrier interval; everything recorded is trustworthy, nothing
+  /// after it exists.
+  bool crash_sealed = false;
+  uint8_t seal_signo = 0;
   /// Record-time loss (v3 metas): events/logical bytes the flusher had to
   /// discard for this thread's log (ENOSPC etc). Mirrors the log's gap
   /// frames so the loss is visible even from the meta alone.
@@ -76,11 +104,17 @@ struct MetaFile {
   /// counted and dropped by the writer instead of silently corrupting the
   /// open segment's (data_begin, size) accounting.
   uint64_t accesses_dropped = 0;
+  /// Total accesses the degradation governor told the writer to shed
+  /// (v5 metas). Sum over intervals[i].degraded_dropped plus any shed while
+  /// no segment was open.
+  uint64_t degraded_dropped = 0;
+  /// Governor level changes, in order (v5 metas).
+  std::vector<DegradationTransition> transitions;
   std::vector<IntervalMeta> intervals;
 
-  /// Always writes the current (v4) meta format.
+  /// Always writes the current (v5) meta format.
   Bytes Encode() const;
-  /// Decodes v1 ("SWMF") through v4 ("SWM4") meta files.
+  /// Decodes v1 ("SWMF") through v5 ("SWM5") meta files.
   ///
   /// With `salvage`, a record-level parse failure keeps the cleanly-decoded
   /// prefix instead of failing the whole file (a crashed run's checkpoint
@@ -91,16 +125,41 @@ struct MetaFile {
                        uint64_t* records_dropped = nullptr);
 };
 
-/// Serializes the v4 meta header (everything before the interval records).
+/// Everything EncodeMetaHeader needs. Kept as a struct so the writer's
+/// incremental checkpoints and MetaFile::Encode share one serializer.
+struct MetaHeaderInfo {
+  uint32_t thread_id = 0;
+  uint8_t log_format = kTraceFormatV2;
+  bool crash_sealed = false;
+  uint8_t seal_signo = 0;
+  uint64_t events_dropped = 0;
+  uint64_t bytes_dropped = 0;
+  uint64_t accesses_dropped = 0;
+  uint64_t degraded_dropped = 0;
+  const std::vector<DegradationTransition>* transitions = nullptr;
+  uint64_t record_count = 0;
+};
+
+/// Serializes the v5 meta header (everything before the interval records).
 /// Shared by MetaFile::Encode and the writer's incremental checkpoints,
 /// which append pre-serialized records after it.
-void EncodeMetaHeader(ByteWriter& w, uint32_t thread_id, uint8_t log_format,
-                      uint64_t events_dropped, uint64_t bytes_dropped,
-                      uint64_t accesses_dropped, uint64_t record_count);
+void EncodeMetaHeader(ByteWriter& w, const MetaHeaderInfo& info);
 
 constexpr uint32_t kMetaMagic = 0x53574d46;    // "SWMF" (meta format v1)
 constexpr uint32_t kMetaMagicV2 = 0x53574d32;  // "SWM2" (meta format v2)
 constexpr uint32_t kMetaMagicV3 = 0x53574d33;  // "SWM3" (meta format v3)
 constexpr uint32_t kMetaMagicV4 = 0x53574d34;  // "SWM4" (meta format v4)
+constexpr uint32_t kMetaMagicV5 = 0x53574d35;  // "SWM5" (meta format v5)
+
+/// v5 header flag bits (the byte at kMetaFlagsOffset).
+constexpr uint8_t kMetaFlagCrashSealed = 0x01;
+
+/// Fixed byte offsets of the v5 flags and seal-signo bytes. The fatal-signal
+/// sealer publishes a pre-serialized meta image built with
+/// crash_sealed=true / signo=0 and, inside the handler, only needs to patch
+/// the one signo byte at kMetaSealSignoOffset — no serialization runs in
+/// signal context. Keep these in sync with EncodeMetaHeader.
+constexpr size_t kMetaFlagsOffset = 4;
+constexpr size_t kMetaSealSignoOffset = 5;
 
 }  // namespace sword::trace

@@ -44,7 +44,8 @@ bool MagicAt(const uint8_t* p, uint32_t magic) {
 
 bool AnyMagicAt(const uint8_t* p) {
   return MagicAt(p, kFrameMagic) || MagicAt(p, kFrameMagicV2) ||
-         MagicAt(p, kFrameMagicV3) || MagicAt(p, kFrameMagicGap);
+         MagicAt(p, kFrameMagicV3) || MagicAt(p, kFrameMagicGap) ||
+         MagicAt(p, kFrameMagicCrash);
 }
 
 /// Offset of the first frame magic at or after `from`, or `size` if none.
@@ -64,6 +65,8 @@ struct ScannedFrame {
   std::string codec;
   bool is_gap = false;
   uint64_t dropped_events = 0;
+  bool is_crash = false;        // fatal-signal crash marker
+  uint8_t crash_signo = 0;
   bool offset_trusted = false;  // logical_begin is meaningful
   bool size_known = false;      // raw_size can be trusted (even if corrupt)
   uint64_t logical_begin = 0;
@@ -111,7 +114,29 @@ void ScanLogBuffer(const uint8_t* data, size_t size, bool verify_payloads,
     }
 
     Status bad;  // why this spot failed to parse, for the resync record
-    if (MagicAt(data + off, kFrameMagicGap)) {
+    if (MagicAt(data + off, kFrameMagicCrash)) {
+      // Fatal-signal crash marker: fixed 13 bytes, zero logical extent. A
+      // marker mid-stream is expected evidence (the sealer appends it no
+      // matter where a concurrent flush was torn); a checksum failure here
+      // falls through to the normal resync path.
+      ByteReader cr(data + off, size - off);
+      FrameView view;
+      Status s = ReadFrame(cr, &view);
+      if (s.ok()) {
+        sf.is_crash = true;
+        sf.crash_signo = view.crash_signo;
+        sf.size_known = true;
+        sf.raw_size = 0;
+        sf.encoded_size = view.frame_size;
+        sf.status = Status::Ok();
+        stats->crash_markers++;
+        stats->crash_signo = view.crash_signo;
+        frames->push_back(std::move(sf));
+        off += view.frame_size;
+        continue;
+      }
+      bad = s;
+    } else if (MagicAt(data + off, kFrameMagicGap)) {
       ByteReader gr(data + off, size - off);
       FrameView view;
       Status s = ReadFrame(gr, &view);  // gap frames have no payload: cheap
@@ -211,6 +236,7 @@ void ScanLogBuffer(const uint8_t* data, size_t size, bool verify_payloads,
     sf.raw_size = 0;
     sf.size_known = false;
     sf.is_gap = false;
+    sf.is_crash = false;
     if (next == size) {
       // The file ends inside this frame: mid-frame truncation.
       stats->truncated_tail_bytes += size - off;
@@ -254,6 +280,8 @@ Result<LogReader> LogReader::Open(const std::string& path,
       FrameState state = FrameState::kOk;
       if (sf.is_gap) {
         state = FrameState::kGap;
+      } else if (sf.is_crash) {
+        state = FrameState::kCrash;
       } else if (!sf.status.ok()) {
         state = FrameState::kCorrupt;
       }
@@ -299,6 +327,26 @@ Result<LogReader> LogReader::Open(const std::string& path,
     std::string codec;
     uint64_t raw_size, payload_size, checksum;
     Status s = r.GetU32(&magic);
+
+    if (s.ok() && magic == kFrameMagicCrash) {
+      // Crash markers are legal in strict mode too: they are the sealer's
+      // honest record, occupy zero logical bytes, and never overlap an
+      // interval read.
+      ByteReader cr(header, got);
+      FrameView view;
+      s = ReadFrame(cr, &view);
+      if (!s.ok()) {
+        std::fclose(f);
+        return Status::Corrupt("crash marker at offset " +
+                               std::to_string(file_offset) + ": " + s.ToString());
+      }
+      reader.frames_.push_back(FrameIndex{logical, 0, file_offset,
+                                          view.frame_size, 0, FrameState::kCrash});
+      reader.stats_.crash_markers++;
+      reader.stats_.crash_signo = view.crash_signo;
+      file_offset += view.frame_size;
+      continue;
+    }
 
     if (s.ok() && magic == kFrameMagicGap) {
       // Gap frames fit in the header buffer; parse them wholesale. They are
@@ -508,6 +556,8 @@ Result<SalvageStats> LogReader::VerifyLog(
     rec.codec = sf.codec;
     rec.is_gap = sf.is_gap;
     rec.dropped_events = sf.dropped_events;
+    rec.is_crash = sf.is_crash;
+    rec.crash_signo = sf.crash_signo;
     rec.offset_trusted = sf.offset_trusted && sf.size_known;
     rec.logical_begin = sf.logical_begin;
     rec.status = sf.status;

@@ -103,6 +103,11 @@ struct SalvageStats {
   uint64_t resyncs = 0;                  // forward scans for the next magic
   uint64_t bytes_skipped = 0;            // file bytes passed over by resyncs
   uint64_t truncated_tail_bytes = 0;     // incomplete final frame
+  /// In-band fatal-signal crash markers ("SWCR") seen. A marker is honest
+  /// evidence, not damage: it occupies zero logical bytes and does not make
+  /// the log unclean — the trace simply ENDS there.
+  uint64_t crash_markers = 0;
+  uint8_t crash_signo = 0;               // signo of the last marker seen
 
   bool clean() const {
     return frames_corrupt == 0 && frames_unaddressable == 0 &&
@@ -121,6 +126,8 @@ struct FrameRecord {
   std::string codec;
   bool is_gap = false;
   uint64_t dropped_events = 0;
+  bool is_crash = false;        // fatal-signal crash marker ("SWCR")
+  uint8_t crash_signo = 0;
   bool offset_trusted = false;  // logical_begin is meaningful
   uint64_t logical_begin = 0;
   Status status;  // ok, or why the frame is corrupt
@@ -168,6 +175,7 @@ class LogReader {
     kOk,       // intact, streamable
     kCorrupt,  // known-size hole: checksum failed but the size is trusted
     kGap,      // record-time drop marker: events never reached the disk
+    kCrash,    // fatal-signal crash marker: zero logical bytes, trace ends
   };
 
   struct FrameIndex {

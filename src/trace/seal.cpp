@@ -1,0 +1,253 @@
+#include "trace/seal.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <stdio.h>
+#include <string.h>
+#include <unistd.h>
+
+#include "common/log.h"
+#include "compress/frame.h"
+#include "trace/meta.h"
+
+namespace sword::trace {
+namespace {
+
+/// write(2) everything, retrying EINTR a bounded number of times. Async-
+/// signal-safe: raw syscalls only.
+bool WriteAllRaw(int fd, const uint8_t* data, size_t n) {
+  size_t done = 0;
+  int spins = 0;
+  while (done < n) {
+    const ssize_t got = ::write(fd, data + done, n - done);
+    if (got > 0) {
+      done += static_cast<size_t>(got);
+      continue;
+    }
+    if (got < 0 && errno == EINTR && spins++ < 64) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SealRegistry& SealRegistry::Instance() {
+  // Touched from normal context before any handler can run
+  // (InstallSealHandlers and Register both call Instance), so the handler
+  // never observes an under-construction static.
+  static SealRegistry* registry = new SealRegistry();
+  return *registry;
+}
+
+int SealRegistry::Register(const std::string& log_path,
+                           const std::string& meta_path) {
+  const std::string tmp_path = meta_path + ".seal.tmp";
+  if (log_path.size() >= kMaxPath || meta_path.size() >= kMaxPath ||
+      tmp_path.size() >= kMaxPath) {
+    SWORD_WARN() << "seal registry: path too long, trace not crash-sealable: "
+                 << log_path;
+    return kNoSlot;
+  }
+  for (size_t i = 0; i < kMaxSlots; ++i) {
+    Slot& s = slots_[i];
+    uint32_t expected = 0;
+    if (!s.state.compare_exchange_strong(expected, 1,
+                                         std::memory_order_acq_rel)) {
+      continue;
+    }
+    std::memset(s.log_path, 0, kMaxPath);
+    std::memset(s.meta_path, 0, kMaxPath);
+    std::memset(s.tmp_path, 0, kMaxPath);
+    std::memcpy(s.log_path, log_path.data(), log_path.size());
+    std::memcpy(s.meta_path, meta_path.data(), meta_path.size());
+    std::memcpy(s.tmp_path, tmp_path.data(), tmp_path.size());
+    s.active.store(0, std::memory_order_relaxed);
+    for (Image& img : s.image) img.size.store(0, std::memory_order_relaxed);
+    s.state.store(2, std::memory_order_release);
+    return static_cast<int>(i);
+  }
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    SWORD_WARN() << "seal registry full (" << kMaxSlots
+                 << " slots): further traces not crash-sealable";
+  }
+  return kNoSlot;
+}
+
+void SealRegistry::Publish(int slot, const Bytes& image) {
+  if (slot < 0 || static_cast<size_t>(slot) >= kMaxSlots) return;
+  Slot& s = slots_[static_cast<size_t>(slot)];
+  if (s.state.load(std::memory_order_acquire) != 2) return;
+  // Double buffer: write the INACTIVE image, then flip `active`. A handler
+  // that interrupts the memcpy sees either the odd seqlock (and falls back
+  // to the other image) or the previous `active` value.
+  const uint32_t idx = 1 - s.active.load(std::memory_order_relaxed);
+  Image& img = s.image[idx];
+  if (img.capacity < image.size()) {
+    size_t cap = img.capacity ? img.capacity : 4096;
+    while (cap < image.size()) cap *= 2;
+    uint8_t* fresh = new uint8_t[cap];
+    uint8_t* old = img.data.load(std::memory_order_relaxed);
+    if (old) {
+      // Never freed while a handler could hold the pointer; see retired_.
+      std::lock_guard<std::mutex> lock(retired_mu_);
+      retired_.push_back(old);
+    }
+    img.data.store(fresh, std::memory_order_release);
+    img.capacity = cap;
+  }
+  img.seq.fetch_add(1, std::memory_order_acq_rel);  // odd: in progress
+  std::memcpy(img.data.load(std::memory_order_relaxed), image.data(),
+              image.size());
+  img.size.store(image.size(), std::memory_order_relaxed);
+  img.seq.fetch_add(1, std::memory_order_release);  // even: stable
+  s.active.store(idx, std::memory_order_release);
+}
+
+void SealRegistry::Unregister(int slot) {
+  if (slot < 0 || static_cast<size_t>(slot) >= kMaxSlots) return;
+  Slot& s = slots_[static_cast<size_t>(slot)];
+  uint32_t expected = 2;
+  if (!s.state.compare_exchange_strong(expected, 1,
+                                       std::memory_order_acq_rel)) {
+    return;
+  }
+  // Image buffers stay attached to the slot (capacity is reused by the next
+  // owner); only the published size is cleared.
+  for (Image& img : s.image) {
+    img.seq.fetch_add(1, std::memory_order_acq_rel);
+    img.size.store(0, std::memory_order_relaxed);
+    img.seq.fetch_add(1, std::memory_order_release);
+  }
+  s.state.store(0, std::memory_order_release);
+}
+
+size_t SealRegistry::live_slots() const {
+  size_t n = 0;
+  for (const Slot& s : slots_) {
+    if (s.state.load(std::memory_order_acquire) == 2) n++;
+  }
+  return n;
+}
+
+void SealRegistry::SealSlot(Slot& s, int signo) {
+  // 1. In-band crash marker into the log, then fsync. O_APPEND keeps the
+  // marker atomic w.r.t. a concurrent flusher append's file offset; if that
+  // append was itself torn by the crash, the marker lands mid-frame and the
+  // salvage reader's resync finds it (a case the corruption matrix covers).
+  uint8_t marker[kCrashMarkerBytes];
+  EncodeCrashMarker(static_cast<uint8_t>(signo), marker);
+  int fd = ::open(s.log_path, O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd >= 0) {
+    if (WriteAllRaw(fd, marker, kCrashMarkerBytes)) (void)::fsync(fd);
+    (void)::close(fd);
+  }
+
+  // 2. Atomic crash-tagged meta checkpoint from the published image. Try
+  // the active image, then the other one if a publish was caught mid-copy.
+  const uint32_t first = s.active.load(std::memory_order_acquire);
+  for (uint32_t attempt = 0; attempt < 2; ++attempt) {
+    const Image& img = s.image[(first + attempt) & 1];
+    const uint64_t seq_before = img.seq.load(std::memory_order_acquire);
+    if (seq_before & 1) continue;  // publish in progress; torn by the crash
+    const uint8_t* data = img.data.load(std::memory_order_acquire);
+    const size_t size = img.size.load(std::memory_order_acquire);
+    if (!data || size <= kMetaSealSignoOffset) continue;  // never published
+    fd = ::open(s.tmp_path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) return;
+    // Stream the image, patching the signo placeholder byte in place.
+    const uint8_t signo_byte = static_cast<uint8_t>(signo);
+    bool ok = WriteAllRaw(fd, data, kMetaSealSignoOffset) &&
+              WriteAllRaw(fd, &signo_byte, 1) &&
+              WriteAllRaw(fd, data + kMetaSealSignoOffset + 1,
+                          size - kMetaSealSignoOffset - 1);
+    if (ok) ok = ::fsync(fd) == 0;
+    (void)::close(fd);
+    // Publish-tear check: if the image changed under us, the bytes we wrote
+    // may mix two checkpoints. Skip the rename — the previous (complete)
+    // meta survives, which is strictly better than a torn one.
+    if (!ok || img.seq.load(std::memory_order_acquire) != seq_before) continue;
+    (void)::rename(s.tmp_path, s.meta_path);
+    return;
+  }
+}
+
+void SealRegistry::SealFromSignal(int signo) {
+  seal_passes_.fetch_add(1, std::memory_order_relaxed);
+  for (Slot& s : slots_) {
+    if (s.state.load(std::memory_order_acquire) != 2) continue;
+    SealSlot(s, signo);
+  }
+}
+
+// ------------------------------------------------------------- installation
+
+namespace {
+
+constexpr int kSealSignals[] = {SIGSEGV, SIGBUS, SIGABRT, SIGFPE, SIGILL};
+constexpr size_t kNumSealSignals = sizeof(kSealSignals) / sizeof(int);
+
+struct sigaction g_old_actions[kNumSealSignals];
+std::atomic<bool> g_installed{false};
+std::atomic<uint32_t> g_sealing{0};
+
+// A dedicated signal stack so sealing still works when the fatal signal IS
+// a stack overflow. Static storage: no allocation at crash time.
+alignas(16) char g_alt_stack[64 * 1024];
+
+int SignalIndex(int signo) {
+  for (size_t i = 0; i < kNumSealSignals; ++i) {
+    if (kSealSignals[i] == signo) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void SealSignalHandler(int signo, siginfo_t* /*info*/, void* /*ucontext*/) {
+  const int saved_errno = errno;
+  // Re-entrancy guard: a crash INSIDE the sealer (or a second thread dying
+  // concurrently) must not seal twice or recurse.
+  if (g_sealing.exchange(1) == 0) {
+    SealRegistry::Instance().SealFromSignal(signo);
+  }
+  errno = saved_errno;
+  // Chain: restore the pre-existing disposition and re-deliver, so the
+  // application's own handler (or the default core dump) still runs and the
+  // process exit status reports the ORIGINAL signal.
+  const int idx = SignalIndex(signo);
+  if (idx >= 0) (void)::sigaction(signo, &g_old_actions[idx], nullptr);
+  (void)::raise(signo);
+}
+
+}  // namespace
+
+void InstallSealHandlers() {
+  bool expected = false;
+  if (!g_installed.compare_exchange_strong(expected, true)) return;
+  // Construct the registry now, in normal context.
+  (void)SealRegistry::Instance();
+
+  stack_t ss;
+  std::memset(&ss, 0, sizeof(ss));
+  ss.ss_sp = g_alt_stack;
+  ss.ss_size = sizeof(g_alt_stack);
+  (void)::sigaltstack(&ss, nullptr);
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_sigaction = &SealSignalHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_SIGINFO | SA_ONSTACK;
+  for (size_t i = 0; i < kNumSealSignals; ++i) {
+    if (::sigaction(kSealSignals[i], &sa, &g_old_actions[i]) != 0) {
+      std::memset(&g_old_actions[i], 0, sizeof(g_old_actions[i]));
+    }
+  }
+}
+
+bool SealHandlersInstalled() {
+  return g_installed.load(std::memory_order_acquire);
+}
+
+}  // namespace sword::trace

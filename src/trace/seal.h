@@ -1,0 +1,115 @@
+// Fatal-signal trace sealing (production-run survivability).
+//
+// A production run that dies of SIGSEGV/SIGBUS/SIGABRT/SIGFPE/SIGILL must
+// still yield a salvageable trace. The constraint is brutal: a fatal-signal
+// handler may only touch async-signal-safe territory — no malloc, no locks,
+// no C++ serialization, no iostreams. The design splits the work so that
+// NOTHING interesting happens in signal context:
+//
+//  - Normal context (the trace writer, at construction and at every meta
+//    checkpoint) registers its file paths in a fixed-slot SealRegistry and
+//    publishes a fully pre-serialized meta image — the exact bytes of a v5
+//    meta checkpoint with the crash_sealed flag already set and a zero
+//    signo placeholder at a fixed byte offset. Images live in a per-slot
+//    seqlock-protected double buffer, so publication never blocks and the
+//    handler can always find a consistent image.
+//
+//  - Signal context walks the live slots and, per slot, (1) appends a
+//    fixed-layout crash-marker frame ("SWCR") to the log and fsyncs it,
+//    (2) writes the published image to `<meta>.seal.tmp`, patching the one
+//    signo byte while streaming, fsyncs, and renames it over the meta file
+//    — the same atomic-replace discipline as a normal checkpoint, skipped
+//    entirely if the seqlock shows the image was torn mid-publish (the
+//    previous checkpoint then survives untouched). Only open/write/fsync/
+//    close/rename/sigaction/raise run in the handler.
+//
+// Handlers chain: the pre-existing disposition is saved at install, restored
+// after sealing, and the signal re-raised, so an application's own crash
+// handler (or the default core dump) still runs. A dedicated sigaltstack
+// keeps sealing working even when the fault is a stack overflow.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace sword::trace {
+
+/// Fixed-capacity registry of live trace writers the fatal-signal handler
+/// seals. All mutation happens in normal context; the handler only reads.
+class SealRegistry {
+ public:
+  static constexpr size_t kMaxSlots = 256;
+  static constexpr size_t kMaxPath = 256;
+  static constexpr int kNoSlot = -1;
+
+  static SealRegistry& Instance();
+
+  /// Claims a slot for (log_path, meta_path). Returns kNoSlot when the
+  /// registry is full or a path does not fit the fixed buffers (the trace
+  /// still works; it just cannot be crash-sealed). Thread-safe.
+  int Register(const std::string& log_path, const std::string& meta_path);
+
+  /// Publishes `image` (a pre-serialized crash-tagged meta checkpoint) for
+  /// `slot`. Called by the owning writer thread only; never blocks the
+  /// handler. No-op for kNoSlot.
+  void Publish(int slot, const Bytes& image);
+
+  /// Frees the slot (writer Finish). No-op for kNoSlot.
+  void Unregister(int slot);
+
+  /// The async-signal-safe sealing pass: walks live slots, appends a crash
+  /// marker to each log, and atomically replaces each meta with its
+  /// published image patched with `signo`. Public so tests can drive it
+  /// without dying.
+  void SealFromSignal(int signo);
+
+  /// Slots currently live (testing/stats).
+  size_t live_slots() const;
+  /// How many times SealFromSignal ran (testing).
+  uint64_t seal_passes() const {
+    return seal_passes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  SealRegistry() = default;
+
+  struct Image {
+    std::atomic<uint64_t> seq{0};       // seqlock: odd = publish in progress
+    std::atomic<uint8_t*> data{nullptr};
+    std::atomic<size_t> size{0};
+    size_t capacity = 0;                // owner-thread only
+  };
+
+  struct Slot {
+    std::atomic<uint32_t> state{0};  // 0 free, 1 claimed/teardown, 2 live
+    std::atomic<uint32_t> active{0};  // which image the handler should read
+    Image image[2];
+    char log_path[kMaxPath] = {0};
+    char meta_path[kMaxPath] = {0};
+    char tmp_path[kMaxPath] = {0};
+  };
+
+  void SealSlot(Slot& slot, int signo);
+
+  Slot slots_[kMaxSlots];
+  std::atomic<uint64_t> seal_passes_{0};
+  // Image buffers replaced during growth are retired here instead of freed:
+  // a handler interrupted mid-publish may still hold the old pointer.
+  // Growth is geometric, so the retained total is bounded by the final size.
+  std::mutex retired_mu_;
+  std::vector<uint8_t*> retired_;
+};
+
+/// Installs the sealing handler for SIGSEGV/SIGBUS/SIGABRT/SIGFPE/SIGILL,
+/// chaining to any pre-existing disposition. Idempotent; thread-safe.
+void InstallSealHandlers();
+
+/// True once InstallSealHandlers has run.
+bool SealHandlersInstalled();
+
+}  // namespace sword::trace

@@ -4,6 +4,8 @@
 
 #include "common/fsutil.h"
 #include "compress/frame.h"
+#include "trace/governor.h"
+#include "trace/seal.h"
 
 namespace sword::trace {
 namespace {
@@ -42,6 +44,7 @@ ThreadTraceWriter::ThreadTraceWriter(uint32_t thread_id, const WriterConfig& con
   if (fastpath_ && config_.access_filter) {
     filter_ = std::make_unique<FilterSlot[]>(kFilterSlots);
   }
+  if (config_.governor) shed_ = std::make_unique<ShedSlot[]>(kFilterSlots);
   if (!config_.codec) config_.codec = DefaultCompressor();
   if (!config_.backend) config_.backend = &RealFileBackend();
   // The bounded charge: one fixed buffer, owned by the flusher's pool so the
@@ -57,6 +60,13 @@ ThreadTraceWriter::ThreadTraceWriter(uint32_t thread_id, const WriterConfig& con
     (void)WriteFileAtomic(config_.meta_path, EncodeMetaSnapshot(),
                           config_.backend);
   }
+  if (config_.crash_seal) {
+    seal_slot_ =
+        SealRegistry::Instance().Register(config_.log_path, config_.meta_path);
+    // An image exists from the very first event on: a crash before the first
+    // checkpoint still seals to a well-formed (empty) crash-tagged meta.
+    PublishSealImage();
+  }
 }
 
 ThreadTraceWriter::~ThreadTraceWriter() { (void)Finish(); }
@@ -70,12 +80,34 @@ void ThreadTraceWriter::Append(const RawEvent& event) {
   EncodeToBuffer(event);
 }
 
+void ThreadTraceWriter::PoolExhaustedShed() {
+  // The pool returned no memory (exhausted allocator, or deterministic
+  // injection). Shed the event WITH accounting — logical_offset_ and
+  // events_logged_ stay untouched, so segment coordinates remain exact and
+  // the loss is visible in the meta totals — rather than growing an
+  // unaccounted buffer or crashing the traced application.
+  pool_shed_.Add(1);
+  degraded_dropped_.Add(1);
+  if (open_segment_) segment_degraded_++;
+  if (config_.governor) config_.governor->NotePoolExhausted();
+}
+
 void ThreadTraceWriter::EncodeToBuffer(const RawEvent& event) {
   if (buffer_.capacity() == 0) {
     buffer_ = config_.flusher->pool().Acquire(capacity_bytes_);
+    if (buffer_.capacity() == 0) {
+      PoolExhaustedShed();
+      return;
+    }
   }
   if (config_.format == kTraceFormatV1) {
-    if (buffer_.size() + kEventBytes > capacity_bytes_) FlushBuffer(true);
+    if (buffer_.size() + kEventBytes > capacity_bytes_) {
+      FlushBuffer(true);
+      if (buffer_.capacity() == 0) {  // reacquire failed (pool exhausted)
+        PoolExhaustedShed();
+        return;
+      }
+    }
     // Hot path: one 16-byte append, little-endian (this is EncodeEvent's
     // layout, open-coded so the per-access cost stays in the nanoseconds).
     const size_t offset = buffer_.size();
@@ -94,6 +126,10 @@ void ThreadTraceWriter::EncodeToBuffer(const RawEvent& event) {
     if (buffer_events_ >= capacity_events_ ||
         buffer_.size() + max_event_bytes_ > capacity_bytes_) {
       FlushBuffer(true);
+      if (buffer_.capacity() == 0) {  // reacquire failed (pool exhausted)
+        PoolExhaustedShed();
+        return;
+      }
     }
     const size_t before = buffer_.size();
     ByteWriter w(&buffer_);
@@ -130,6 +166,48 @@ void ThreadTraceWriter::ResetFilter() {
   }
 }
 
+void ThreadTraceWriter::PollGovernor() {
+  // One atomic load per poll: the packed word carries (seq, reason, level)
+  // together, so a transition is recorded with exactly the level/reason pair
+  // that caused it even if another transition races in right after.
+  const uint64_t packed = config_.governor->PackedState();
+  current_level_ = DegradationGovernor::PackedLevel(packed);
+  const uint64_t seq = DegradationGovernor::PackedSeq(packed);
+  if (seq != governor_seq_) {
+    governor_seq_ = seq;
+    meta_.transitions.push_back(DegradationTransition{
+        current_level_, DegradationGovernor::PackedReason(packed),
+        serialized_count_});
+  }
+  if (open_segment_ && current_level_ > segment_max_level_) {
+    segment_max_level_ = current_level_;
+  }
+}
+
+bool ThreadTraceWriter::ShedAccess(uint32_t pc, uint8_t flags, uint8_t size) {
+  ShedSlot& slot = shed_[FilterIndex(pc, flags, size)];
+  if (slot.gen != shed_gen_ || slot.pc != pc || slot.flags != flags ||
+      slot.size != size) {
+    // New site (or a direct-map collision evicted the old one): restart its
+    // per-segment count. The FIRST event from a site is always kept at
+    // every level, so each active site stays visible in the trace.
+    slot = ShedSlot{pc, shed_gen_, 0, flags, size};
+  }
+  slot.count++;
+  const GovernorConfig& gc = config_.governor->config();
+  switch (static_cast<DegradationLevel>(current_level_)) {
+    case DegradationLevel::kFull:
+      return false;
+    case DegradationLevel::kAggressive:
+      return slot.count > gc.aggressive_site_cap;
+    case DegradationLevel::kSampling:
+      return (slot.count - 1) % gc.sample_keep_period != 0;
+    case DegradationLevel::kSummary:
+      return slot.count > 1;
+  }
+  return false;
+}
+
 void ThreadTraceWriter::AppendAccess(uint64_t addr, uint8_t size, uint8_t flags,
                                      uint32_t pc) {
   if (!open_segment_) {
@@ -138,6 +216,17 @@ void ThreadTraceWriter::AppendAccess(uint64_t addr, uint8_t size, uint8_t flags,
     // drop instead; the total surfaces in stats and the meta header.
     accesses_dropped_.Add(1);
     return;
+  }
+  if (config_.governor) {
+    PollGovernor();
+    if (current_level_ != 0 && ShedAccess(pc, flags, size)) {
+      // Degradation only ever REMOVES events: a kept event is untouched, so
+      // every race found in a degraded interval is real. The shed count is
+      // exact (per segment and in the meta totals).
+      segment_degraded_++;
+      degraded_dropped_.Add(1);
+      return;
+    }
   }
   if (!fastpath_) {
     EncodeToBuffer(RawEvent::Access(addr, size, flags, pc));
@@ -197,6 +286,18 @@ void ThreadTraceWriter::AppendRange(uint64_t addr, uint64_t bytes,
     accesses_dropped_.Add(chunks + (tail ? 1 : 0));
     return;
   }
+  if (config_.governor) {
+    PollGovernor();
+    // One shed decision for the whole range (it is one site); the count
+    // shed matches what the v1/v2 chunk loop would have appended.
+    if (current_level_ != 0 &&
+        ShedAccess(pc, flags, static_cast<uint8_t>(kChunk))) {
+      const uint64_t shed = chunks + (tail ? 1 : 0);
+      segment_degraded_ += shed;
+      degraded_dropped_.Add(shed);
+      return;
+    }
+  }
   if (!fastpath_) {
     // v1/v2: the historical loop, one event per <= 128-byte piece.
     uint64_t a = addr;
@@ -254,14 +355,29 @@ void ThreadTraceWriter::FlushEvents() {
   FlushBuffer(/*reacquire=*/false);
 }
 
-Bytes ThreadTraceWriter::EncodeMetaSnapshot() const {
+Bytes ThreadTraceWriter::EncodeMetaSnapshot(bool sealed) const {
   const DropRecord dropped = config_.flusher->DroppedFor(config_.log_path);
+  MetaHeaderInfo info;
+  info.thread_id = thread_id_;
+  info.log_format = config_.format;
+  info.crash_sealed = sealed;
+  info.seal_signo = 0;  // the signal handler patches the real signo in place
+  info.events_dropped = dropped.events;
+  info.bytes_dropped = dropped.raw_bytes;
+  info.accesses_dropped = accesses_dropped_.Get();
+  info.degraded_dropped = degraded_dropped_.Get();
+  info.transitions = &meta_.transitions;
+  info.record_count = serialized_count_;
   ByteWriter w;
-  EncodeMetaHeader(w, thread_id_, config_.format, dropped.events,
-                   dropped.raw_bytes, accesses_dropped_.Get(),
-                   serialized_count_);
+  EncodeMetaHeader(w, info);
   w.PutRaw(serialized_records_.data(), serialized_records_.size());
   return std::move(w.buffer());
+}
+
+void ThreadTraceWriter::PublishSealImage() {
+  if (seal_slot_ == SealRegistry::kNoSlot) return;
+  SealRegistry::Instance().Publish(seal_slot_,
+                                   EncodeMetaSnapshot(/*sealed=*/true));
 }
 
 void ThreadTraceWriter::BeginSegment(const IntervalMeta& meta) {
@@ -274,24 +390,39 @@ void ThreadTraceWriter::BeginSegment(const IntervalMeta& meta) {
   meta_.intervals.back().event_count = 0;
   segment_begin_events_ = events_logged_.Get();
   open_segment_ = true;
+  segment_degraded_ = 0;
+  segment_max_level_ = 0;
+  if (config_.governor) {
+    if (++shed_gen_ == 0) {  // generation wrap: actually clear the slots
+      for (size_t i = 0; i < kFilterSlots; i++) shed_[i] = ShedSlot{};
+      shed_gen_ = 1;
+    }
+    PollGovernor();  // folds in transitions; seeds segment_max_level_
+  }
 }
 
 void ThreadTraceWriter::EndSegment() {
   assert(open_segment_);
   MaterializePending();  // the run belongs to this segment's byte span
+  if (config_.governor) PollGovernor();  // capture a mid-segment transition
   ResetFilter();
   IntervalMeta& m = meta_.intervals.back();
   m.data_size = logical_offset_ - m.data_begin;
   m.event_count = events_logged_.Get() - segment_begin_events_;
+  m.degradation_level = segment_max_level_;
+  m.degraded_dropped = segment_degraded_;
   open_segment_ = false;
+  segment_degraded_ = 0;
   // Empty segments carry no accesses and cannot participate in a race;
-  // dropping them keeps meta files proportional to useful data.
-  if (m.data_size == 0) {
+  // dropping them keeps meta files proportional to useful data. A segment
+  // whose events were ALL shed by degradation is kept: its record is the
+  // only per-interval evidence of the loss.
+  if (m.data_size == 0 && m.degraded_dropped == 0) {
     meta_.intervals.pop_back();
     return;
   }
   ByteWriter w(&serialized_records_);
-  m.Serialize(w, /*version=*/2);
+  m.Serialize(w, /*version=*/3);
   serialized_count_++;
   // Crash-consistency: checkpoint the meta at barrier-interval granularity.
   // The atomic replace means a reader (or the offline analyzer after a
@@ -304,6 +435,10 @@ void ThreadTraceWriter::EndSegment() {
     (void)WriteFileAtomic(config_.meta_path, EncodeMetaSnapshot(),
                           config_.backend);
   }
+  // The crash-seal image tracks checkpoint cadence: publish AFTER the
+  // record was serialized so a seal at any instant covers every closed
+  // segment up to here.
+  PublishSealImage();
 }
 
 Status ThreadTraceWriter::Finish() {
@@ -318,8 +453,15 @@ Status ThreadTraceWriter::Finish() {
   // only complete once the flusher has drained; SwordTool::Finalize orders
   // FlushEvents -> Drain -> Finish for exactly that reason (a sync flusher
   // is always complete here).
-  return WriteFileAtomic(config_.meta_path, EncodeMetaSnapshot(),
-                         config_.backend);
+  Status status = WriteFileAtomic(config_.meta_path, EncodeMetaSnapshot(),
+                                  config_.backend);
+  // The trace is complete: a crash from here on must NOT replace the final
+  // meta with a crash-tagged image.
+  if (seal_slot_ != SealRegistry::kNoSlot) {
+    SealRegistry::Instance().Unregister(seal_slot_);
+    seal_slot_ = SealRegistry::kNoSlot;
+  }
+  return status;
 }
 
 }  // namespace sword::trace

@@ -79,6 +79,16 @@ struct WriterConfig {
   /// Write layer for meta checkpoints and log-file initialization; null =
   /// the real filesystem (the flusher has its own backend knob).
   FileBackend* backend = nullptr;
+  /// Adaptive degradation governor (not owned; usually the one the tool
+  /// also wires into the flusher). When set, AppendAccess/AppendRange poll
+  /// its level and shed per-site events at reduced-fidelity levels — every
+  /// shed access counted per segment and in the meta totals, every level
+  /// change recorded as a meta transition. Null = full fidelity always.
+  DegradationGovernor* governor = nullptr;
+  /// Register the trace with the fatal-signal SealRegistry and publish a
+  /// crash-taggable pre-serialized meta image at construction and at every
+  /// checkpoint. sword-run / SwordTool enable this for production runs.
+  bool crash_seal = false;
 };
 
 class ThreadTraceWriter {
@@ -141,12 +151,33 @@ class ThreadTraceWriter {
   /// Accesses observed outside any open segment: counted and dropped
   /// (release builds previously corrupted the segment accounting silently).
   uint64_t accesses_dropped() const { return accesses_dropped_.Get(); }
+  /// Accesses shed on the degradation governor's orders (exact; also folded
+  /// into the per-segment records and the meta totals).
+  uint64_t degraded_dropped() const { return degraded_dropped_.Get(); }
+  /// Events the writer shed because the buffer pool returned no memory
+  /// (deterministic injection or a genuinely exhausted allocator).
+  uint64_t pool_shed() const { return pool_shed_.Get(); }
+  /// The SealRegistry slot, or SealRegistry::kNoSlot (testing).
+  int seal_slot() const { return seal_slot_; }
 
  private:
   void FlushBuffer(bool reacquire);
-  /// Current meta file image: v4 header (with the flusher's drop totals for
+  /// Current meta file image: v5 header (with the flusher's drop totals for
   /// this log so far) + the incrementally serialized interval records.
-  Bytes EncodeMetaSnapshot() const;
+  /// `sealed` builds the crash-seal variant: crash_sealed flag set, signo
+  /// placeholder zero (the handler patches it in place).
+  Bytes EncodeMetaSnapshot(bool sealed = false) const;
+  /// Re-reads the governor's packed state: records a meta transition when
+  /// the sequence advanced, and tracks the open segment's max level.
+  void PollGovernor();
+  /// True when the current degradation level says to shed this access.
+  /// Counts per-site events in a direct-mapped table reset per segment.
+  bool ShedAccess(uint32_t pc, uint8_t flags, uint8_t size);
+  /// Publishes the sealed meta image to the SealRegistry (no-op without a
+  /// slot) — called at construction, every checkpoint, and Finish.
+  void PublishSealImage();
+  /// Books one event shed because the buffer pool returned no memory.
+  void PoolExhaustedShed();
   /// Encodes one event into the buffer (flushing first if full) and bumps
   /// the logical offset and event counters. Bypasses filter and coalescer.
   void EncodeToBuffer(const RawEvent& event);
@@ -209,12 +240,34 @@ class ThreadTraceWriter {
   PendingRun pending_;  // only ever non-empty inside an open segment
   const bool coalesce_;
 
+  // --- adaptive degradation (config_.governor != null) ---
+  // Per-site event counters for the reduced-fidelity levels, direct-mapped
+  // like the duplicate filter (collisions merely reset a site's count — the
+  // shed decision stays sound, only the shed VOLUME is approximate).
+  struct ShedSlot {
+    uint32_t pc = 0;
+    uint32_t gen = 0;   // live iff == shed_gen_
+    uint32_t count = 0; // accesses seen from this site this segment
+    uint8_t flags = 0;
+    uint8_t size = 0;
+  };
+  std::unique_ptr<ShedSlot[]> shed_;  // allocated iff governor present
+  uint32_t shed_gen_ = 1;
+  uint64_t governor_seq_ = 0;        // last transition seq folded into meta
+  uint8_t current_level_ = 0;        // cached from the last poll
+  uint8_t segment_max_level_ = 0;    // highest level while segment open
+  uint64_t segment_degraded_ = 0;    // shed from the open segment
+
+  int seal_slot_ = -1;  // SealRegistry slot (kNoSlot when not sealing)
+
   OwnerCounter events_logged_;
   OwnerCounter flushes_;
   OwnerCounter events_suppressed_;
   OwnerCounter events_coalesced_;
   OwnerCounter runs_emitted_;
   OwnerCounter accesses_dropped_;
+  OwnerCounter degraded_dropped_;
+  OwnerCounter pool_shed_;
 };
 
 }  // namespace sword::trace

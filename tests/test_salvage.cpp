@@ -4,6 +4,7 @@
 // offline analysis of damaged traces.
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <vector>
 
 #include "common/fsutil.h"
@@ -184,6 +185,122 @@ TEST_P(CorruptionMatrix, BitFlipAtEveryByte) {
     EXPECT_EQ(events.size(), ss.frames_ok * kEventsPerFrame) << "flip at " << pos;
     EXPECT_TRUE(IsSubsequence(events, log.events)) << "flip at " << pos;
   }
+}
+
+// Crash-marker rows: the fatal-signal sealer appends a fixed 13-byte "SWCR"
+// marker wherever the process happened to be. A marker is honest evidence,
+// not damage - the log stays clean when the marker is the only anomaly.
+
+// Between frames: the normal seal position (the handler appends after the
+// last complete frame). Both strict and salvage readers accept it, every
+// event survives, and the log is still clean().
+TEST_P(CorruptionMatrix, CrashMarkerBetweenFramesKeepsLogClean) {
+  TempDir dir;
+  const MatrixLog log = BuildMatrixLog(GetParam(), dir.path());
+  const std::string path = dir.File("seal.log");
+
+  Bytes sealed(log.file.begin(),
+               log.file.begin() + static_cast<long>(log.frame_ends[0]));
+  WriteCrashMarkerFrame(&sealed, SIGSEGV);
+  sealed.insert(sealed.end(),
+                log.file.begin() + static_cast<long>(log.frame_ends[0]),
+                log.file.end());
+  ASSERT_TRUE(WriteFile(path, sealed).ok());
+
+  // Strict: a marker is a legal frame, not corruption.
+  auto strict = trace::LogReader::Open(path);
+  ASSERT_TRUE(strict.ok()) << strict.status().ToString();
+
+  auto salvaged = trace::LogReader::Open(path, Salvage());
+  ASSERT_TRUE(salvaged.ok());
+  const trace::SalvageStats& ss = salvaged.value().salvage_stats();
+  EXPECT_TRUE(ss.clean());
+  EXPECT_EQ(ss.crash_markers, 1u);
+  EXPECT_EQ(ss.crash_signo, SIGSEGV);
+  EXPECT_EQ(ss.frames_ok, 3u);
+
+  // The marker occupies ZERO logical bytes: every event streams through at
+  // its original offset.
+  const auto events = StreamAll(salvaged.value());
+  ASSERT_EQ(events.size(), log.events.size());
+  for (size_t i = 0; i < events.size(); i++) {
+    ASSERT_EQ(events[i], log.events[i]);
+  }
+}
+
+// Mid-frame: the process died while a frame append was in flight, so the
+// marker lands on top of a torn frame. Salvage resynchronizes at the marker,
+// accounts the torn bytes, and still reports the seal.
+TEST_P(CorruptionMatrix, CrashMarkerAfterTornFrameStillReported) {
+  TempDir dir;
+  const MatrixLog log = BuildMatrixLog(GetParam(), dir.path());
+  const std::string path = dir.File("torn_seal.log");
+
+  // Cut frame 2 in half, then seal.
+  const uint64_t cut =
+      log.frame_ends[0] + (log.frame_ends[1] - log.frame_ends[0]) / 2;
+  Bytes sealed(log.file.begin(), log.file.begin() + static_cast<long>(cut));
+  WriteCrashMarkerFrame(&sealed, SIGBUS);
+  ASSERT_TRUE(WriteFile(path, sealed).ok());
+
+  auto salvaged = trace::LogReader::Open(path, Salvage());
+  ASSERT_TRUE(salvaged.ok());
+  const trace::SalvageStats& ss = salvaged.value().salvage_stats();
+  EXPECT_EQ(ss.crash_markers, 1u);
+  EXPECT_EQ(ss.crash_signo, SIGBUS);
+  EXPECT_EQ(ss.frames_ok, 1u);
+  EXPECT_FALSE(ss.clean());  // the torn frame is damage; the marker is not
+  // Every byte of the torn frame is accounted one way or another.
+  EXPECT_EQ(ss.bytes_skipped + ss.truncated_tail_bytes,
+            cut - log.frame_ends[0]);
+
+  const auto events = StreamAll(salvaged.value());
+  ASSERT_EQ(events.size(), kEventsPerFrame);
+  for (size_t i = 0; i < events.size(); i++) {
+    ASSERT_EQ(events[i], log.events[i]);
+  }
+}
+
+// Before the first flush: the process died before ANY frame hit the disk.
+// The sealed log is just one marker - zero events, but honest and clean.
+TEST_P(CorruptionMatrix, CrashMarkerAloneIsACleanEmptyLog) {
+  TempDir dir;
+  const std::string path = dir.File("empty_seal.log");
+  Bytes sealed;
+  WriteCrashMarkerFrame(&sealed, SIGABRT);
+  ASSERT_TRUE(WriteFile(path, sealed).ok());
+
+  auto salvaged = trace::LogReader::Open(path, Salvage());
+  ASSERT_TRUE(salvaged.ok());
+  const trace::SalvageStats& ss = salvaged.value().salvage_stats();
+  EXPECT_TRUE(ss.clean());
+  EXPECT_EQ(ss.crash_markers, 1u);
+  EXPECT_EQ(ss.crash_signo, SIGABRT);
+  EXPECT_EQ(ss.frames_ok, 0u);
+  EXPECT_EQ(salvaged.value().total_logical_bytes(), 0u);
+
+  auto strict = trace::LogReader::Open(path);
+  EXPECT_TRUE(strict.ok()) << strict.status().ToString();
+}
+
+TEST_P(CorruptionMatrix, VerifyLogReportsCrashMarkerRow) {
+  TempDir dir;
+  const MatrixLog log = BuildMatrixLog(GetParam(), dir.path());
+  const std::string path = dir.File("verify_seal.log");
+  Bytes sealed = log.file;
+  WriteCrashMarkerFrame(&sealed, SIGFPE);
+  ASSERT_TRUE(WriteFile(path, sealed).ok());
+
+  std::vector<trace::FrameRecord> records;
+  auto stats = trace::LogReader::VerifyLog(
+      path, [&](const trace::FrameRecord& f) { records.push_back(f); });
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_TRUE(records[3].is_crash);
+  EXPECT_EQ(records[3].crash_signo, SIGFPE);
+  EXPECT_TRUE(records[3].status.ok());
+  EXPECT_EQ(stats.value().crash_markers, 1u);
+  EXPECT_EQ(stats.value().crash_signo, SIGFPE);
 }
 
 INSTANTIATE_TEST_SUITE_P(Formats, CorruptionMatrix,
