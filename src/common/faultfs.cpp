@@ -407,6 +407,27 @@ Result<FaultPlan> ParseFaultPlan(const std::string& spec) {
                        &plan.alloc_fail_count)) {
         return bad();
       }
+    } else if (name == "read_transient") {
+      uint64_t v;
+      if (eq == std::string::npos || !ParseU64(op.substr(eq + 1), &v)) return bad();
+      plan.read_transient = static_cast<uint32_t>(v);
+    } else if (name == "read_fail") {
+      // read_fail@FROM+COUNT (ingest read calls, 1-based)
+      if (at == std::string::npos ||
+          !ParseWindow(op.substr(at + 1), &plan.read_fail_from,
+                       &plan.read_fail_count)) {
+        return bad();
+      }
+    } else if (name == "read_slow") {
+      // read_slow=USEC@FROM+COUNT
+      if (eq == std::string::npos || at == std::string::npos || at < eq) return bad();
+      uint64_t usec;
+      if (!ParseU64(op.substr(eq + 1, at - eq - 1), &usec) ||
+          !ParseWindow(op.substr(at + 1), &plan.read_slow_from,
+                       &plan.read_slow_count)) {
+        return bad();
+      }
+      plan.read_slow_usec = static_cast<uint32_t>(usec);
     } else if (name == "seed") {
       uint64_t v;
       if (eq == std::string::npos || !ParseU64(op.substr(eq + 1), &v)) return bad();

@@ -40,6 +40,11 @@
 // `seed=N` expands deterministically into a pseudo-random combination of the
 // other ops, so a CI sweep can explore plans while any failure replays from
 // the plan string alone.
+//
+// Read-side ops — `read_transient=K`, `read_fail@FROM+COUNT`,
+// `read_slow=USEC@FROM+COUNT` — ride in the same plan string but are applied
+// by the serve daemon's ingest layer (serve/ingest.h), since FaultFile
+// models the write path only.
 #pragma once
 
 #include <cstdint>
@@ -137,6 +142,17 @@ struct FaultPlan {
   uint64_t raise_at_call = 0;
   /// Pool acquire calls [from, from+count) (1-based) fail (empty buffer).
   uint64_t alloc_fail_from = 0, alloc_fail_count = 0;
+
+  // --- Read-side faults (applied by the serve daemon's ingest layer, not
+  // by FaultFile, which models the WRITE path). Call numbering counts
+  // whole-file ingest reads, 1-based, like the append-call windows above.
+  /// Next `read_transient` read calls fail with kUnavailable (retryable).
+  uint32_t read_transient = 0;
+  /// Read calls [from, from+count) fail hard with kIoError.
+  uint64_t read_fail_from = 0, read_fail_count = 0;
+  /// Read calls [from, from+count) sleep `read_slow_usec` first.
+  uint32_t read_slow_usec = 0;
+  uint64_t read_slow_from = 0, read_slow_count = 0;
 
   /// Applies every backend-level fault to `file`.
   void ApplyTo(FaultFile& file) const;

@@ -11,7 +11,6 @@
 #include <thread>
 #include <tuple>
 
-#include "common/timer.h"
 #include "itree/frozen_set.h"
 #include "itree/interval_tree.h"
 #include "itree/mutexset.h"
@@ -23,6 +22,22 @@
 
 namespace sword::offline {
 namespace {
+
+/// Stopwatch over the analyzer's injected clock. With the default
+/// steady_clock hook this reads identically to common/timer.h's Timer; with
+/// a test clock, elapsed-time stats become deterministic.
+class EnvTimer {
+ public:
+  explicit EnvTimer(const std::function<uint64_t()>& now)
+      : now_(&now), start_(now()) {}
+  double ElapsedSeconds() const {
+    return static_cast<double>((*now_)() - start_) * 1e-9;
+  }
+
+ private:
+  const std::function<uint64_t()>* now_;
+  uint64_t start_;
+};
 
 /// Serialized label bytes; used as an ordered map key for grouping.
 std::string LabelKey(const osl::Label& label) {
@@ -206,9 +221,26 @@ Status BuildSegment(const TraceStore& store, Group& group,
 
 }  // namespace
 
-AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
+Analyzer::Analyzer(uint32_t threads, AnalyzerEnv env)
+    : threads_(std::max<uint32_t>(1, threads)), env_(std::move(env)) {
+  if (!env_.now_ns) {
+    env_.now_ns = [] {
+      return static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count());
+    };
+  }
+  if (threads_ > 1) pool_.emplace(threads_);
+}
+
+AnalysisResult Analyzer::Analyze(const TraceStore& store,
+                                 const AnalysisConfig& config) {
+  // The pool is not reentrant; a long-lived caller (the serve daemon) may
+  // issue Analyze from several places, so calls queue here.
+  std::lock_guard analyze_lock(mutex_);
   AnalysisResult result;
-  Timer total_timer;
+  EnvTimer total_timer(env_.now_ns);
   itree::MutexSetTable mutexes;
   result.stats.integrity = store.integrity();
   // The store's opening discipline decides the analysis's failure policy:
@@ -225,6 +257,7 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
   journal_header.engine = static_cast<uint8_t>(config.engine);
   journal_header.use_sweep = config.use_sweep ? 1 : 0;
   journal_header.use_fastpath = config.use_fastpath ? 1 : 0;
+  journal_header.salvage = salvage ? 1 : 0;
   journal_header.solver_step_budget = config.solver_step_budget;
   journal_header.bucket_deadline_ms = config.bucket_deadline_ms;
   journal_header.max_tree_bytes = config.max_tree_bytes;
@@ -253,14 +286,15 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
         replay.insert_or_assign(ordinal, std::move(rec));
       }
       auto writer = JournalWriter::Continue(config.journal_path,
-                                            loaded.value().valid_bytes);
+                                            loaded.value().valid_bytes, env_.fs);
       if (!writer.ok()) {
         result.status = writer.status();
         return result;
       }
       journal.emplace(std::move(writer.value()));
     } else {
-      auto writer = JournalWriter::Create(config.journal_path, journal_header);
+      auto writer =
+          JournalWriter::Create(config.journal_path, journal_header, env_.fs);
       if (!writer.ok()) {
         result.status = writer.status();
         return result;
@@ -307,15 +341,15 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
   // from retaining every frame it ever decompressed. Groups are assigned to
   // workers by a stable modulo so the same lane's frames keep hitting the
   // same worker's cache bucket after bucket.
-  std::vector<trace::FrameCache> worker_caches(std::max<uint32_t>(1, config.threads));
+  std::vector<trace::FrameCache> worker_caches(threads_);
 
-  // One persistent checker pool for the whole analysis: buckets are often
+  // The persistent checker pool (an Analyzer member): buckets are often
   // tiny, and spawning + joining a std::thread batch per bucket (twice: once
   // to build, once to compare) used to cost more than the bucket itself.
-  // The pool's workers idle between buckets and are fed per-bucket work
-  // lists; work stealing rebalances skewed pair blocks.
-  std::optional<CheckerPool> pool;
-  if (config.threads > 1) pool.emplace(config.threads);
+  // The pool's workers idle between buckets - and now between whole Analyze
+  // calls - and are fed per-bucket work lists; work stealing rebalances
+  // skewed pair blocks.
+  CheckerPool* pool = pool_ ? &*pool_ : nullptr;
 
   std::unique_ptr<BucketWatchdog> watchdog;
   if (config.bucket_deadline_ms > 0) {
@@ -346,13 +380,13 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
       continue;
     }
 
-    Timer bucket_timer;
+    EnvTimer bucket_timer(env_.now_ns);
     JournalBucketRecord rec;
     rec.ordinal = bucket_ordinal;
     AnalysisStats bucket_stats;  // this bucket's additive deltas only
 
     // --- 3: group by (thread, label); stream logs into per-group trees.
-    Timer build_timer;
+    EnvTimer build_timer(env_.now_ns);
     std::map<std::pair<uint32_t, std::string>, std::unique_ptr<Group>> group_map;
     for (auto& [thread_idx, meta] : segments) {
       auto key = std::make_pair(thread_idx, LabelKey(meta->label));
@@ -476,7 +510,7 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
       // --- 4: concurrency judgment per label pair, then tree comparison.
       // A governed (capped or expired) bucket skips this phase: its trees
       // are incomplete, and comparing half-built trees proves nothing.
-      Timer compare_timer;
+      EnvTimer compare_timer(env_.now_ns);
       std::vector<std::pair<Group*, Group*>> concurrent;
       concurrent.reserve(groups.size());
       // Concurrency is judged purely on labels: one OS thread may have hosted
@@ -514,7 +548,7 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
       // immutable flat comparison form (one in-order walk per tree,
       // parallel on the pool). Groups only tiny pairs touch stay on the
       // tree back end and are never frozen.
-      Timer freeze_timer;
+      EnvTimer freeze_timer(env_.now_ns);
       std::vector<Group*> to_freeze;
       for (size_t k = 0; k < concurrent.size(); k++) {
         if (!sweep_pair[k]) continue;
@@ -640,7 +674,7 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
     // append costs nothing but resume granularity - the bucket would simply
     // be re-analyzed - so failures degrade (counted) instead of aborting.
     if (journal) {
-      Timer journal_timer;
+      EnvTimer journal_timer(env_.now_ns);
       (void)journal->AppendBucket(rec);
       result.stats.journal_seconds += journal_timer.ElapsedSeconds();
     }
@@ -664,6 +698,11 @@ AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
 
   result.stats.total_seconds = total_timer.ElapsedSeconds();
   return result;
+}
+
+AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config) {
+  Analyzer analyzer(config.threads);
+  return analyzer.Analyze(store, config);
 }
 
 }  // namespace sword::offline

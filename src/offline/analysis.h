@@ -22,10 +22,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
 
+#include "common/fsutil.h"
 #include "common/race_report.h"
 #include "common/status.h"
 #include "ilp/overlap.h"
+#include "offline/checker_pool.h"
 #include "offline/tracestore.h"
 
 namespace sword::offline {
@@ -151,6 +156,50 @@ struct AnalysisResult {
   AnalysisStats stats;
 };
 
+/// Injected environment for an Analyzer. Both hooks default to the real
+/// thing; the serve daemon injects a fault backend (deterministic ENOSPC on
+/// journal appends) and a controllable clock (deterministic stats timing in
+/// tests). Neither hook can change WHAT races are found - only how progress
+/// is persisted and how elapsed time is measured.
+struct AnalyzerEnv {
+  /// Write layer for journal creation/appends. Null = real filesystem.
+  FileBackend* fs = nullptr;
+  /// Monotonic nanosecond clock for the stats timers. Null = steady_clock.
+  std::function<uint64_t()> now_ns;
+};
+
+/// A reentrant analysis engine: owns the persistent checker pool so a
+/// long-lived caller (the serve daemon) pays thread spawn/join once, not per
+/// run. One Analyzer may be shared by many runs; Analyze() calls are
+/// serialized internally because CheckerPool::ParallelFor is not reentrant.
+/// No global or static state - two Analyzer instances never interfere.
+class Analyzer {
+ public:
+  explicit Analyzer(uint32_t threads = 1, AnalyzerEnv env = {});
+
+  Analyzer(const Analyzer&) = delete;
+  Analyzer& operator=(const Analyzer&) = delete;
+
+  /// Runs the full pipeline on `store`. `config.threads` is ignored in favor
+  /// of the pool this Analyzer was built with. Thread-safe; concurrent calls
+  /// queue on an internal mutex.
+  AnalysisResult Analyze(const TraceStore& store,
+                         const AnalysisConfig& config = {});
+
+  uint32_t threads() const { return threads_; }
+
+ private:
+  const uint32_t threads_;
+  AnalyzerEnv env_;
+  std::mutex mutex_;  // serializes Analyze: the pool is not reentrant
+  // Persistent across Analyze calls (the expensive part: thread start/join).
+  // Frame caches stay per-call: they key on log-reader addresses, which a
+  // freed store's allocator may hand to the next store.
+  std::optional<CheckerPool> pool_;
+};
+
+/// One-shot convenience used by sword-offline: builds a throwaway Analyzer
+/// with `config.threads` workers. Byte-identical output to the class form.
 AnalysisResult Analyze(const TraceStore& store, const AnalysisConfig& config = {});
 
 }  // namespace sword::offline

@@ -46,6 +46,7 @@ void SerializeHeader(const JournalHeader& h, Bytes* out) {
   w.PutU8(h.engine);
   w.PutU8(h.use_sweep);
   w.PutU8(h.use_fastpath);
+  w.PutU8(h.salvage);
   w.PutVarU64(h.solver_step_budget);
   w.PutVarU64(h.bucket_deadline_ms);
   w.PutVarU64(h.max_tree_bytes);
@@ -66,6 +67,7 @@ Status ParseHeader(const Bytes& payload, JournalHeader* h) {
   SWORD_RETURN_IF_ERROR(r.GetU8(&h->engine));
   SWORD_RETURN_IF_ERROR(r.GetU8(&h->use_sweep));
   SWORD_RETURN_IF_ERROR(r.GetU8(&h->use_fastpath));
+  SWORD_RETURN_IF_ERROR(r.GetU8(&h->salvage));
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&h->solver_step_budget));
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&h->bucket_deadline_ms));
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&h->max_tree_bytes));
@@ -79,18 +81,7 @@ void SerializeBucket(const JournalBucketRecord& rec, Bytes* out) {
   ByteWriter w(out);
   w.PutVarU64(rec.ordinal);
   w.PutU8(rec.flags);
-  w.PutVarU64(rec.races.size());
-  for (const RaceReport& race : rec.races) {
-    w.PutU32(race.pc1);
-    w.PutU32(race.pc2);
-    w.PutU64(race.address);
-    w.PutU8(race.size1);
-    w.PutU8(race.size2);
-    const uint8_t bits =
-        static_cast<uint8_t>((race.write1 ? 1 : 0) | (race.write2 ? 2 : 0) |
-                             (race.confidence == RaceConfidence::kUnproven ? 4 : 0));
-    w.PutU8(bits);
-  }
+  SerializeRaceList(rec.races, w);
   w.PutVarU64(rec.trees_built);
   w.PutVarU64(rec.tree_nodes);
   w.PutVarU64(rec.raw_events);
@@ -111,27 +102,7 @@ Status ParseBucket(const Bytes& payload, JournalBucketRecord* rec) {
   ByteReader r(payload);
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&rec->ordinal));
   SWORD_RETURN_IF_ERROR(r.GetU8(&rec->flags));
-  uint64_t race_count = 0;
-  SWORD_RETURN_IF_ERROR(r.GetVarU64(&race_count));
-  // A checksummed payload cannot claim more races than it has bytes for
-  // (>= 19 bytes each); still, bound the reserve like any untrusted length.
-  if (race_count > payload.size()) return Status::Corrupt("journal race count");
-  rec->races.reserve(static_cast<size_t>(race_count));
-  for (uint64_t i = 0; i < race_count; i++) {
-    RaceReport race;
-    SWORD_RETURN_IF_ERROR(r.GetU32(&race.pc1));
-    SWORD_RETURN_IF_ERROR(r.GetU32(&race.pc2));
-    SWORD_RETURN_IF_ERROR(r.GetU64(&race.address));
-    SWORD_RETURN_IF_ERROR(r.GetU8(&race.size1));
-    SWORD_RETURN_IF_ERROR(r.GetU8(&race.size2));
-    uint8_t bits = 0;
-    SWORD_RETURN_IF_ERROR(r.GetU8(&bits));
-    race.write1 = bits & 1;
-    race.write2 = bits & 2;
-    race.confidence =
-        (bits & 4) ? RaceConfidence::kUnproven : RaceConfidence::kProven;
-    rec->races.push_back(race);
-  }
+  SWORD_RETURN_IF_ERROR(ParseRaceList(r, payload.size(), &rec->races));
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&rec->trees_built));
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&rec->tree_nodes));
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&rec->raw_events));
@@ -151,6 +122,47 @@ Status ParseBucket(const Bytes& payload, JournalBucketRecord* rec) {
 
 }  // namespace
 
+void SerializeRaceList(const std::vector<RaceReport>& races, ByteWriter& w) {
+  w.PutVarU64(races.size());
+  for (const RaceReport& race : races) {
+    w.PutU32(race.pc1);
+    w.PutU32(race.pc2);
+    w.PutU64(race.address);
+    w.PutU8(race.size1);
+    w.PutU8(race.size2);
+    const uint8_t bits =
+        static_cast<uint8_t>((race.write1 ? 1 : 0) | (race.write2 ? 2 : 0) |
+                             (race.confidence == RaceConfidence::kUnproven ? 4 : 0));
+    w.PutU8(bits);
+  }
+}
+
+Status ParseRaceList(ByteReader& r, uint64_t payload_bound,
+                     std::vector<RaceReport>* out) {
+  uint64_t race_count = 0;
+  SWORD_RETURN_IF_ERROR(r.GetVarU64(&race_count));
+  // A checksummed payload cannot claim more races than it has bytes for
+  // (>= 19 bytes each); still, bound the reserve like any untrusted length.
+  if (race_count > payload_bound) return Status::Corrupt("journal race count");
+  out->reserve(out->size() + static_cast<size_t>(race_count));
+  for (uint64_t i = 0; i < race_count; i++) {
+    RaceReport race;
+    SWORD_RETURN_IF_ERROR(r.GetU32(&race.pc1));
+    SWORD_RETURN_IF_ERROR(r.GetU32(&race.pc2));
+    SWORD_RETURN_IF_ERROR(r.GetU64(&race.address));
+    SWORD_RETURN_IF_ERROR(r.GetU8(&race.size1));
+    SWORD_RETURN_IF_ERROR(r.GetU8(&race.size2));
+    uint8_t bits = 0;
+    SWORD_RETURN_IF_ERROR(r.GetU8(&bits));
+    race.write1 = bits & 1;
+    race.write2 = bits & 2;
+    race.confidence =
+        (bits & 4) ? RaceConfidence::kUnproven : RaceConfidence::kProven;
+    out->push_back(race);
+  }
+  return Status::Ok();
+}
+
 std::string JournalPathFor(const std::string& trace_dir, uint32_t shard_index,
                            uint32_t shard_count) {
   return trace_dir + "/sword_analysis_" + std::to_string(shard_index) + "of" +
@@ -158,29 +170,33 @@ std::string JournalPathFor(const std::string& trace_dir, uint32_t shard_index,
 }
 
 Result<JournalWriter> JournalWriter::Create(const std::string& path,
-                                            const JournalHeader& header) {
+                                            const JournalHeader& header,
+                                            FileBackend* backend) {
+  if (backend == nullptr) backend = &RealFileBackend();
   Bytes payload;
   SerializeHeader(header, &payload);
   ByteWriter file;
   AppendFramed(kJournalHeaderMagic, payload, file);
   // write-temp+rename: creation is all-or-nothing, and it atomically
   // truncates a stale journal from a previous (differently-configured) run.
-  SWORD_RETURN_IF_ERROR(WriteFileAtomic(path, file.buffer()));
-  JournalWriter writer(path);
+  SWORD_RETURN_IF_ERROR(WriteFileAtomic(path, file.buffer(), backend));
+  JournalWriter writer(path, backend);
   writer.bytes_appended_ = file.size();
   return writer;
 }
 
 Result<JournalWriter> JournalWriter::Continue(const std::string& path,
-                                              uint64_t valid_bytes) {
+                                              uint64_t valid_bytes,
+                                              FileBackend* backend) {
+  if (backend == nullptr) backend = &RealFileBackend();
   const auto size = FileSize(path);
   if (!size.ok()) return size.status();
   if (size.value() > valid_bytes) {
     // Drop the torn tail before appending: the journal must stay a clean
     // sequence of framed records.
-    SWORD_RETURN_IF_ERROR(TruncateFile(path, valid_bytes));
+    SWORD_RETURN_IF_ERROR(backend->Truncate(path, valid_bytes));
   }
-  return JournalWriter(path);
+  return JournalWriter(path, backend);
 }
 
 Status JournalWriter::AppendBucket(const JournalBucketRecord& record) {
@@ -189,7 +205,7 @@ Status JournalWriter::AppendBucket(const JournalBucketRecord& record) {
   ByteWriter framed;
   AppendFramed(kJournalBucketMagic, payload, framed);
   const AppendOutcome outcome = AppendWithRetry(
-      RealFileBackend(), path_, framed.buffer().data(), framed.size());
+      *backend_, path_, framed.buffer().data(), framed.size());
   if (!outcome.status.ok()) {
     write_failures_++;
     // A partial append leaves a torn record; trim it so a LATER successful
@@ -198,7 +214,7 @@ Status JournalWriter::AppendBucket(const JournalBucketRecord& record) {
     if (outcome.written > 0) {
       const auto size = FileSize(path_);
       if (size.ok() && size.value() >= outcome.written) {
-        (void)TruncateFile(path_, size.value() - outcome.written);
+        (void)backend_->Truncate(path_, size.value() - outcome.written);
       }
     }
     return outcome.status;

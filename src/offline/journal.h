@@ -35,6 +35,8 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.h"
+#include "common/fsutil.h"
 #include "common/race_report.h"
 #include "common/status.h"
 
@@ -43,9 +45,12 @@ namespace sword::offline {
 constexpr uint32_t kJournalHeaderMagic = 0x53574148;  // "SWAH"
 constexpr uint32_t kJournalBucketMagic = 0x53574142;  // "SWAB"
 // v2: header binds use_sweep/use_fastpath; bucket records carry
-// fastpath_hits and duplicates_suppressed. v1 journals are refused (their
-// stats cannot be folded faithfully into a v2 run).
-constexpr uint8_t kJournalVersion = 2;
+// fastpath_hits and duplicates_suppressed. v3: header binds the store's
+// salvage policy - a salvage analysis skips damaged segments with
+// accounting, so replaying its buckets under a strict open (or vice versa)
+// would silently diverge. Older journals are refused (their stats cannot be
+// folded faithfully into a current run).
+constexpr uint8_t kJournalVersion = 3;
 
 /// Identifies what a journal belongs to: shard key + the analysis knobs
 /// that change results + a cheap fingerprint of the trace itself. Resume
@@ -57,6 +62,7 @@ struct JournalHeader {
   uint8_t engine = 0;                 // ilp::OverlapEngine as int
   uint8_t use_sweep = 1;              // frozen-sweep comparison path
   uint8_t use_fastpath = 1;           // closed-form overlap fast paths
+  uint8_t salvage = 0;                // store opened with salvage policy
   uint64_t solver_step_budget = 0;
   uint64_t bucket_deadline_ms = 0;
   uint64_t max_tree_bytes = 0;
@@ -112,20 +118,31 @@ struct JournalLoadResult {
 std::string JournalPathFor(const std::string& trace_dir, uint32_t shard_index,
                            uint32_t shard_count);
 
+/// Compact wire form of a race list (the journal's bucket-record layout),
+/// shared with the serve ledger so both sides replay races byte-for-byte
+/// through one serializer.
+void SerializeRaceList(const std::vector<RaceReport>& races, ByteWriter& w);
+Status ParseRaceList(ByteReader& r, uint64_t payload_bound,
+                     std::vector<RaceReport>* out);
+
 /// Appends bucket records to a journal file. Append failures are counted,
 /// not fatal: a bucket whose record never landed is re-analyzed on resume,
 /// so a full disk degrades checkpoint granularity, not correctness.
 class JournalWriter {
  public:
   /// Starts a fresh journal: atomically writes the header (temp + rename),
-  /// truncating any previous journal at `path`.
+  /// truncating any previous journal at `path`. `backend` is the write
+  /// layer (null = real filesystem); the serve daemon injects a fault
+  /// backend here so ENOSPC-on-journal chaos is reproducible.
   static Result<JournalWriter> Create(const std::string& path,
-                                      const JournalHeader& header);
+                                      const JournalHeader& header,
+                                      FileBackend* backend = nullptr);
 
   /// Continues an existing journal after a successful Load: truncates the
   /// torn tail (if any) at `valid_bytes`, then appends after it.
   static Result<JournalWriter> Continue(const std::string& path,
-                                        uint64_t valid_bytes);
+                                        uint64_t valid_bytes,
+                                        FileBackend* backend = nullptr);
 
   Status AppendBucket(const JournalBucketRecord& record);
 
@@ -134,9 +151,11 @@ class JournalWriter {
   const std::string& path() const { return path_; }
 
  private:
-  explicit JournalWriter(std::string path) : path_(std::move(path)) {}
+  JournalWriter(std::string path, FileBackend* backend)
+      : path_(std::move(path)), backend_(backend) {}
 
   std::string path_;
+  FileBackend* backend_;  // never null after Create/Continue
   uint64_t bytes_appended_ = 0;
   uint64_t write_failures_ = 0;
 };

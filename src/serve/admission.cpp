@@ -1,0 +1,61 @@
+#include "serve/admission.h"
+
+namespace sword::serve {
+
+const char* AdmissionLevelName(uint8_t level) {
+  switch (level) {
+    case 0: return "open";
+    case 1: return "throttled";
+    case 2: return "shed-new";
+    case 3: return "shed-all";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config) {}
+
+void AdmissionController::NoteAnalysisNanos(uint64_t nanos) {
+  // Same alpha-1/4 EWMA the tracer's governor uses for append latency.
+  latency_ewma_ = latency_ewma_ == 0 ? nanos : (latency_ewma_ * 3 + nanos) / 4;
+}
+
+void AdmissionController::Transition(uint8_t new_level, uint8_t reason) {
+  if (new_level == level_) return;
+  level_ = new_level;
+  last_reason_ = reason;
+  seq_++;
+  transitions_.push_back({evals_, new_level, reason});
+}
+
+void AdmissionController::Evaluate(uint32_t inflight, uint32_t queue_depth,
+                                   uint64_t oldest_queued_wait_ns) {
+  evals_++;
+
+  uint8_t pressure = 0;
+  if (inflight >= config_.max_inflight) pressure |= kAdmitReasonInflight;
+  if (queue_depth > config_.queue_soft_limit) pressure |= kAdmitReasonQueueDepth;
+  if (config_.queue_deadline_ns > 0 &&
+      oldest_queued_wait_ns > config_.queue_deadline_ns) {
+    pressure |= kAdmitReasonQueueWait;
+  }
+  if (config_.latency_step_ns > 0 && latency_ewma_ > config_.latency_step_ns) {
+    pressure |= kAdmitReasonLatency;
+  }
+
+  if (pressure != 0) {
+    calm_streak_ = 0;
+    // Step down IMMEDIATELY - overload is now, hysteresis is only for the
+    // way back up (the governor's asymmetry, and for the same reason: a
+    // flapping load source must not make admission oscillate per tick).
+    if (level_ + 1 < kAdmissionLevels) Transition(level_ + 1, pressure);
+    return;
+  }
+
+  if (level_ > 0 && ++calm_streak_ >= config_.calm_evals_to_recover) {
+    calm_streak_ = 0;
+    Transition(level_ - 1, kAdmitReasonRecovered);
+  }
+}
+
+}  // namespace sword::serve

@@ -1,0 +1,115 @@
+// Admission control for the serve daemon, mirroring the online tracer's
+// degradation governor (trace/governor.h): explicit load levels, immediate
+// step-down on pressure, hysteretic step-up after a calm streak, and every
+// transition recorded with a reason bitmask. Where the tracer sheds EVENTS,
+// the service sheds RUNS - and shedding is always visible (counted and
+// reported), never a silent drop.
+//
+//   kOpen       admit everything (level 0)
+//   kThrottled  admit, but the service stretches its poll cadence (level 1)
+//   kShedNew    refuse NEW runs; queued/in-flight runs finish (level 2)
+//   kShedAll    refuse new runs AND park queued analyses (level 3); only
+//               already-running work proceeds
+//
+// Pressure inputs are plain counters fed by the single-threaded service
+// tick (the daemon's control socket marshals onto that thread), so unlike
+// the tracer's governor no atomics are needed; the same packed
+// seq|reason|level snapshot shape is kept for the status surface.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/clock.h"
+
+namespace sword::serve {
+
+enum class AdmissionLevel : uint8_t {
+  kOpen = 0,
+  kThrottled = 1,
+  kShedNew = 2,
+  kShedAll = 3,
+};
+
+constexpr uint8_t kAdmissionLevels = 4;
+
+const char* AdmissionLevelName(uint8_t level);
+
+/// Reason bits recorded with each transition.
+constexpr uint8_t kAdmitReasonInflight = 0x01;   // in-flight runs at the cap
+constexpr uint8_t kAdmitReasonQueueDepth = 0x02; // queue depth over the soft limit
+constexpr uint8_t kAdmitReasonQueueWait = 0x04;  // oldest queued run past deadline
+constexpr uint8_t kAdmitReasonLatency = 0x08;    // analysis-latency EWMA
+constexpr uint8_t kAdmitReasonRecovered = 0x20;  // step back up (calm streak)
+
+struct AdmissionConfig {
+  /// Runs analyzed concurrently... which for the single-analyzer service
+  /// means "accepted for analysis but not yet finished" (ingesting counts).
+  uint32_t max_inflight = 8;
+  /// Queued (settled, awaiting analysis) runs beyond this trip a step-down.
+  uint32_t queue_soft_limit = 16;
+  /// A queued run older than this trips a step-down: the queue is not just
+  /// long but STALE, the canonical overload signal.
+  uint64_t queue_deadline_ns = 30ull * 1'000'000'000;
+  /// Analysis-latency EWMA (nanos per run, alpha 1/4) that trips a step-down.
+  uint64_t latency_step_ns = 0;  // 0 = latency signal disabled
+  /// Consecutive calm Evaluate() calls before stepping one level back up.
+  uint32_t calm_evals_to_recover = 4;
+};
+
+struct AdmissionTransition {
+  uint64_t eval = 0;     // Evaluate() ordinal at the transition
+  uint8_t level = 0;     // level ENTERED
+  uint8_t reason = 0;    // kAdmitReason* bits
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config = {});
+
+  /// Folds the current load picture and steps the level. Call once per
+  /// service tick. Step-down is immediate on any tripped signal; step-up is
+  /// one level per `calm_evals_to_recover` consecutive calm calls.
+  void Evaluate(uint32_t inflight, uint32_t queue_depth,
+                uint64_t oldest_queued_wait_ns);
+
+  /// Feeds one finished analysis's wall time into the latency EWMA.
+  void NoteAnalysisNanos(uint64_t nanos);
+
+  /// Would a brand-new run be admitted right now?
+  bool AdmitNew() const { return level_ < static_cast<uint8_t>(AdmissionLevel::kShedNew); }
+  /// May a queued run start its analysis?
+  bool AdmitWork() const { return level_ < static_cast<uint8_t>(AdmissionLevel::kShedAll); }
+
+  AdmissionLevel level() const { return static_cast<AdmissionLevel>(level_); }
+  uint8_t level_ordinal() const { return level_; }
+
+  /// seq<<16 | reason<<8 | level, same packing as the tracer's governor so
+  /// status consumers read both the same way.
+  uint64_t PackedState() const {
+    return (seq_ << 16) | (static_cast<uint64_t>(last_reason_) << 8) | level_;
+  }
+
+  const std::vector<AdmissionTransition>& transitions() const { return transitions_; }
+  uint64_t evaluations() const { return evals_; }
+  uint64_t runs_shed() const { return runs_shed_; }
+  /// The service reports every refusal here so "shed" is a counted outcome.
+  void NoteRunShed() { runs_shed_++; }
+
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  void Transition(uint8_t new_level, uint8_t reason);
+
+  const AdmissionConfig config_;
+  uint8_t level_ = 0;
+  uint8_t last_reason_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t evals_ = 0;
+  uint32_t calm_streak_ = 0;
+  uint64_t latency_ewma_ = 0;  // nanos per analysis, alpha 1/4
+  uint64_t runs_shed_ = 0;
+  std::vector<AdmissionTransition> transitions_;
+};
+
+}  // namespace sword::serve

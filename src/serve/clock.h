@@ -1,0 +1,41 @@
+// The serve daemon's clock hook. Every time-dependent decision in the
+// service (retry backoff, queue deadlines, quiesce polls, admission
+// hysteresis) reads time through one injected function, so tests drive the
+// whole daemon with a manual clock and every timing test is deterministic -
+// the same discipline AnalyzerEnv::now_ns applies to the analyzer.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace sword::serve {
+
+/// Monotonic nanosecond clock. Null-constructed std::function is replaced
+/// by SteadyClock() at use sites.
+using ClockFn = std::function<uint64_t()>;
+
+inline ClockFn SteadyClock() {
+  return [] {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  };
+}
+
+/// Test clock: time moves only when the test says so.
+class ManualClock {
+ public:
+  explicit ManualClock(uint64_t start_ns = 0) : now_ns_(start_ns) {}
+  void Advance(uint64_t ns) { now_ns_ += ns; }
+  uint64_t now() const { return now_ns_; }
+  ClockFn fn() {
+    return [this] { return now_ns_; };
+  }
+
+ private:
+  uint64_t now_ns_;
+};
+
+}  // namespace sword::serve

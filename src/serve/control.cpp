@@ -1,0 +1,148 @@
+#include "serve/control.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sword::serve {
+
+std::string JsonField(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return "";
+  pos += needle.size();
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) pos++;
+  if (pos >= line.size() || line[pos] != ':') return "";
+  pos++;
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) pos++;
+  if (pos >= line.size()) return "";
+  if (line[pos] == '"') {
+    pos++;
+    std::string out;
+    while (pos < line.size() && line[pos] != '"') {
+      if (line[pos] == '\\' && pos + 1 < line.size()) {
+        pos++;
+        switch (line[pos]) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default: out += line[pos];
+        }
+      } else {
+        out += line[pos];
+      }
+      pos++;
+    }
+    return out;
+  }
+  // Bare token: number, true, false, null.
+  size_t end = pos;
+  while (end < line.size() && line[end] != ',' && line[end] != '}' &&
+         line[end] != ' ' && line[end] != '\t') {
+    end++;
+  }
+  return line.substr(pos, end - pos);
+}
+
+ControlServer::ControlServer(std::string socket_path, Handler handler)
+    : socket_path_(std::move(socket_path)), handler_(std::move(handler)) {}
+
+ControlServer::~ControlServer() { Stop(); }
+
+Status ControlServer::Start() {
+  if (socket_path_.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return Status::Invalid("control socket path too long: " + socket_path_);
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Io(std::string("socket: ") + std::strerror(errno));
+  }
+  // A stale socket file from a kill -9'd daemon must not block restart.
+  ::unlink(socket_path_.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Io("bind " + socket_path_ + ": " + std::strerror(err));
+  }
+  if (::listen(listen_fd_, 8) < 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(socket_path_.c_str());
+    return Status::Io(std::string("listen: ") + std::strerror(err));
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void ControlServer::Stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // shutdown() unblocks a blocked accept(); close() alone is not portable
+  // for that.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(socket_path_.c_str());
+}
+
+void ControlServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Stop() shut the listener down, or something unrecoverable happened;
+      // either way the loop exits cleanly.
+      break;
+    }
+    ServeClient(fd);
+    ::close(fd);
+  }
+}
+
+void ControlServer::ServeClient(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (running_.load(std::memory_order_acquire)) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (n == 0) return;  // client hung up
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t nl;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      std::string response = handler_(line);
+      response += '\n';
+      size_t off = 0;
+      while (off < response.size()) {
+        const ssize_t w = ::write(fd, response.data() + off, response.size() - off);
+        if (w < 0) {
+          if (errno == EINTR) continue;
+          return;  // client gone mid-response; drop it, daemon unaffected
+        }
+        off += static_cast<size_t>(w);
+      }
+    }
+  }
+}
+
+}  // namespace sword::serve

@@ -1,0 +1,69 @@
+// Line-delimited JSON control socket for sword-serve.
+//
+// One AF_UNIX stream socket; each request is one JSON object on one line,
+// each response one JSON object on one line. The server handles one client
+// at a time and marshals every request onto the handler callback - the
+// daemon's handler just calls AnalysisService methods, which serialize on
+// the service mutex, so the socket adds no new concurrency to reason about.
+//
+// Protocol (see README):
+//   {"cmd":"status"}                 -> full service snapshot
+//   {"cmd":"aggregate"}              -> cross-run aggregate report
+//   {"cmd":"add","dir":"/path"}      -> register a trace directory
+//   {"cmd":"runs"}                   -> per-run phase/quarantine list
+//   {"cmd":"shutdown"}               -> ask the daemon to drain and exit
+// Unknown commands get {"ok":false,"error":"..."} - a malformed client can
+// never crash the daemon.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace sword::serve {
+
+/// Extracts the string value of `key` from a flat one-line JSON object.
+/// Handles quoted strings (with \" and \\ escapes) and bare tokens
+/// (numbers, true/false). Returns "" when the key is absent. This is NOT a
+/// JSON parser - it is exactly enough for the flat control protocol, and a
+/// malformed line yields "" rather than an error.
+std::string JsonField(const std::string& line, const std::string& key);
+
+class ControlServer {
+ public:
+  /// `handler` receives one request line (no newline) and returns one
+  /// response line (newline appended by the server). It runs on the accept
+  /// thread.
+  using Handler = std::function<std::string(const std::string& line)>;
+
+  ControlServer(std::string socket_path, Handler handler);
+  ~ControlServer();
+
+  ControlServer(const ControlServer&) = delete;
+  ControlServer& operator=(const ControlServer&) = delete;
+
+  /// Binds and starts the accept thread. Replaces a stale socket file.
+  Status Start();
+
+  /// Stops the accept thread and removes the socket file. Idempotent.
+  void Stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+  uint64_t requests_served() const { return requests_.load(std::memory_order_relaxed); }
+
+ private:
+  void AcceptLoop();
+  void ServeClient(int fd);
+
+  std::string socket_path_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace sword::serve

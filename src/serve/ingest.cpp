@@ -1,0 +1,271 @@
+#include "serve/ingest.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "common/fsutil.h"
+#include "trace/meta.h"
+
+namespace sword::serve {
+
+namespace {
+
+/// Per-thread trace file names, matching the writer's sword_t<k>.{log,meta}
+/// layout. Enumeration stops at the first thread index with neither file.
+std::string LogPath(const std::string& dir, uint32_t tid) {
+  return dir + "/sword_t" + std::to_string(tid) + ".log";
+}
+std::string MetaPath(const std::string& dir, uint32_t tid) {
+  return dir + "/sword_t" + std::to_string(tid) + ".meta";
+}
+
+class RealIngestIoImpl final : public IngestIo {
+ public:
+  Result<Bytes> ReadFile(const std::string& path) override {
+    return ReadFileBytes(path);
+  }
+  Result<uint64_t> FileSize(const std::string& path) override {
+    return sword::FileSize(path);
+  }
+  bool Exists(const std::string& path) override { return FileExists(path); }
+};
+
+}  // namespace
+
+IngestIo& RealIngestIo() {
+  static RealIngestIoImpl io;
+  return io;
+}
+
+// ---------------------------------------------------------- FaultIngestIo
+
+void FaultIngestIo::ApplyPlan(const testing::FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  transient_left_ = plan.read_transient;
+  fail_from_ = plan.read_fail_from;
+  fail_count_ = plan.read_fail_count;
+  slow_usec_ = plan.read_slow_usec;
+  slow_from_ = plan.read_slow_from;
+  slow_count_ = plan.read_slow_count;
+}
+
+void FaultIngestIo::TransientReads(uint32_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  transient_left_ = count;
+}
+
+void FaultIngestIo::FailReads(uint64_t from_call, uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_from_ = from_call;
+  fail_count_ = count;
+}
+
+void FaultIngestIo::SlowReads(uint32_t usec, uint64_t from_call, uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_usec_ = usec;
+  slow_from_ = from_call;
+  slow_count_ = count;
+}
+
+void FaultIngestIo::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  transient_left_ = 0;
+  fail_from_ = fail_count_ = 0;
+  slow_usec_ = 0;
+  slow_from_ = slow_count_ = 0;
+  read_calls_ = 0;
+  transients_injected_ = 0;
+  failures_injected_ = 0;
+}
+
+uint64_t FaultIngestIo::read_calls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return read_calls_;
+}
+uint64_t FaultIngestIo::transients_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transients_injected_;
+}
+uint64_t FaultIngestIo::failures_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failures_injected_;
+}
+
+Result<Bytes> FaultIngestIo::ReadFile(const std::string& path) {
+  uint32_t sleep_usec = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t call = ++read_calls_;
+    if (slow_count_ > 0 && call >= slow_from_ && call < slow_from_ + slow_count_) {
+      sleep_usec = slow_usec_;
+    }
+    if (transient_left_ > 0) {
+      --transient_left_;
+      ++transients_injected_;
+      return Status::Unavailable("injected transient read error: " + path);
+    }
+    if (fail_count_ > 0 && call >= fail_from_ && call < fail_from_ + fail_count_) {
+      ++failures_injected_;
+      return Status::Io("injected read failure: " + path);
+    }
+  }
+  if (sleep_usec > 0) ::usleep(sleep_usec);
+  return base_->ReadFile(path);
+}
+
+Result<uint64_t> FaultIngestIo::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
+bool FaultIngestIo::Exists(const std::string& path) { return base_->Exists(path); }
+
+// ------------------------------------------------------------- RunIngestor
+
+const char* IngestStateName(IngestState s) {
+  switch (s) {
+    case IngestState::kGrowing: return "growing";
+    case IngestState::kSettled: return "settled";
+    case IngestState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+RunIngestor::RunIngestor(std::string dir, const IngestConfig& config,
+                         IngestIo* io, ClockFn now)
+    : dir_(std::move(dir)),
+      config_(config),
+      io_(io ? io : &RealIngestIo()),
+      now_(now ? std::move(now) : SteadyClock()) {}
+
+Result<Bytes> RunIngestor::ReadWithRetry(const std::string& path) {
+  // Transient failures within ONE Poll retry immediately up to the attempt
+  // budget (cheap - the fault is EINTR-shaped); an exhausted budget arms the
+  // cross-poll backoff so the next Poll waits out the bounded exponential
+  // delay instead of hammering a struggling filesystem.
+  Status last;
+  for (uint32_t attempt = 0; attempt < config_.max_read_attempts; attempt++) {
+    auto r = io_->ReadFile(path);
+    stats_.reads++;
+    if (r.ok()) return r;
+    last = r.status();
+    if (last.code() != ErrorCode::kUnavailable) break;  // hard: no retry
+    stats_.read_retries++;
+  }
+  return last;
+}
+
+Result<uint64_t> RunIngestor::Fingerprint() {
+  // fnv-style fold of (file count, sizes): any append or new thread file
+  // changes it. Probing sizes is infallible-ish; a file that vanished
+  // between Exists and FileSize just reads as absent this poll.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  uint64_t bytes = 0;
+  for (uint32_t tid = 0;; tid++) {
+    const std::string log = LogPath(dir_, tid);
+    const std::string meta = MetaPath(dir_, tid);
+    const bool has_log = io_->Exists(log);
+    const bool has_meta = io_->Exists(meta);
+    if (!has_log && !has_meta) break;
+    if (has_log) {
+      auto s = io_->FileSize(log);
+      const uint64_t n = s.ok() ? s.value() : 0;
+      mix(n + 1);
+      bytes += n;
+    } else {
+      mix(0);
+    }
+    if (has_meta) {
+      auto s = io_->FileSize(meta);
+      const uint64_t n = s.ok() ? s.value() : 0;
+      mix(n + 1);
+      bytes += n;
+    } else {
+      mix(0);
+    }
+  }
+  if (bytes > stats_.bytes_seen) stats_.bytes_seen = bytes;
+  return h;
+}
+
+void RunIngestor::LiveProbe() {
+  // Barrier-interval-granularity probe of a LIVE run: decode every present
+  // meta through the salvage decoder. A torn checkpoint tail is the
+  // expected shape of a mid-write snapshot and decodes to its clean prefix;
+  // only a hard read failure counts against the run.
+  stats_.live_probes++;
+  uint64_t intervals = 0;
+  for (uint32_t tid = 0;; tid++) {
+    const std::string meta = MetaPath(dir_, tid);
+    const bool has_meta = io_->Exists(meta);
+    if (!has_meta && !io_->Exists(LogPath(dir_, tid))) break;
+    if (!has_meta) continue;
+    auto data = ReadWithRetry(meta);
+    if (!data.ok()) {
+      last_error_ = data.status();
+      hard_failures_++;
+      stats_.hard_failures++;
+      if (hard_failures_ >= config_.max_hard_failures) {
+        state_ = IngestState::kFailed;
+        return;
+      }
+      // Arm the cross-poll backoff: leave the run growing, retry later.
+      backoff_ns_ = backoff_ns_ == 0
+                        ? config_.backoff_base_ns
+                        : std::min<uint64_t>(backoff_ns_ * 2, config_.backoff_max_ns);
+      next_attempt_ns_ = now_() + backoff_ns_;
+      return;
+    }
+    trace::MetaFile mf;
+    uint64_t dropped = 0;
+    if (trace::MetaFile::Decode(data.value(), &mf, /*salvage=*/true, &dropped).ok()) {
+      intervals += mf.intervals.size();
+    }
+    // An undecodable meta on a LIVE run is not failure - the writer may be
+    // mid-rename. The settled-run analysis is where damage gets judged.
+  }
+  if (intervals > stats_.intervals_seen) stats_.intervals_seen = intervals;
+  // Probes succeeded: the backoff (if any) has served its purpose.
+  backoff_ns_ = 0;
+  next_attempt_ns_ = 0;
+}
+
+IngestState RunIngestor::Poll() {
+  if (state_ != IngestState::kGrowing) return state_;
+  if (next_attempt_ns_ != 0 && now_() < next_attempt_ns_) {
+    return state_;  // backing off; not due yet
+  }
+  stats_.polls++;
+
+  // The explicit completion marker wins over quiesce detection: a writer
+  // that knows it is done should not cost quiesce_polls of latency.
+  if (io_->Exists(dir_ + "/sword.done")) {
+    state_ = IngestState::kSettled;
+    return state_;
+  }
+
+  auto fp = Fingerprint();
+  if (!fp.ok()) {
+    last_error_ = fp.status();
+    if (++hard_failures_ >= config_.max_hard_failures) {
+      state_ = IngestState::kFailed;
+    }
+    return state_;
+  }
+  if (fp.value() == last_fingerprint_) {
+    if (++unchanged_polls_ >= config_.quiesce_polls) {
+      state_ = IngestState::kSettled;
+    }
+    return state_;
+  }
+  last_fingerprint_ = fp.value();
+  unchanged_polls_ = 0;
+  LiveProbe();
+  return state_;
+}
+
+}  // namespace sword::serve

@@ -1,0 +1,169 @@
+// Incremental trace ingest for the serve daemon.
+//
+// A fleet run's trace directory is a moving target: the traced application
+// is still appending to sword_t<k>.log and checkpointing sword_t<k>.meta
+// while the daemon watches. The ingestor's job is to decide, per run, where
+// it is in its lifecycle:
+//
+//   kGrowing  - files are still changing (or too young to tell). The
+//               ingestor probes the metas through the salvage decoder at
+//               barrier-interval granularity: a torn tail is expected here,
+//               not damage, so probes never fail a run for being mid-write.
+//   kSettled  - the directory has not changed for `quiesce_polls`
+//               consecutive polls, or the writer dropped a `sword.done`
+//               marker. Only a settled run gets the canonical analysis -
+//               the one whose verdict must be byte-identical run over run.
+//   kFailed   - reads kept failing hard past the retry budget. The service
+//               quarantines the run with a counted reason.
+//
+// All reads go through IngestIo, the read-side twin of FileBackend:
+// RealIngestIo talks to the filesystem, FaultIngestIo injects deterministic
+// transient/hard/slow read faults from the same FaultPlan string the write
+// path uses (`read_transient=K;read_fail@F+C;read_slow=USEC@F+C`).
+// Transient failures are retried with bounded exponential backoff governed
+// by the injected clock; hard failures are counted and eventually fatal.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/faultfs.h"
+#include "common/status.h"
+#include "serve/clock.h"
+
+namespace sword::serve {
+
+/// Read-side I/O the ingestor goes through. Single-attempt, like
+/// FileBackend: the CALLER owns retries, which keeps them testable.
+class IngestIo {
+ public:
+  virtual ~IngestIo() = default;
+  /// Whole-file read. kUnavailable = transient, retry; other codes = hard.
+  virtual Result<Bytes> ReadFile(const std::string& path) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+  virtual bool Exists(const std::string& path) = 0;
+};
+
+/// The real filesystem.
+IngestIo& RealIngestIo();
+
+/// Deterministic read-fault injector, call-numbered like FaultFile's append
+/// windows (1-based, counting ReadFile calls only - Exists/FileSize probes
+/// stay cheap and reliable so tests can aim faults at data reads).
+class FaultIngestIo final : public IngestIo {
+ public:
+  explicit FaultIngestIo(IngestIo* base = nullptr)
+      : base_(base ? base : &RealIngestIo()) {}
+
+  /// Installs the read-side knobs of a parsed fault plan.
+  void ApplyPlan(const testing::FaultPlan& plan);
+  void TransientReads(uint32_t count);
+  void FailReads(uint64_t from_call, uint64_t count);
+  void SlowReads(uint32_t usec, uint64_t from_call, uint64_t count);
+  void Reset();
+
+  uint64_t read_calls() const;
+  uint64_t transients_injected() const;
+  uint64_t failures_injected() const;
+
+  Result<Bytes> ReadFile(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+
+ private:
+  IngestIo* base_;
+  mutable std::mutex mu_;
+  uint32_t transient_left_ = 0;
+  uint64_t fail_from_ = 0, fail_count_ = 0;
+  uint32_t slow_usec_ = 0;
+  uint64_t slow_from_ = 0, slow_count_ = 0;
+  uint64_t read_calls_ = 0;
+  uint64_t transients_injected_ = 0;
+  uint64_t failures_injected_ = 0;
+};
+
+struct IngestConfig {
+  /// Total attempts per read, including the first (transient errors only).
+  uint32_t max_read_attempts = 5;
+  /// Base retry backoff; doubles per retry, capped. The ingestor does not
+  /// sleep - it re-arms and tells the caller when the next attempt is due,
+  /// so a single service thread can interleave many backed-off runs.
+  uint64_t backoff_base_ns = 1'000'000;
+  uint64_t backoff_max_ns = 64'000'000;
+  /// Consecutive unchanged polls before a run counts as settled.
+  uint32_t quiesce_polls = 3;
+  /// Hard read failures tolerated across a run's lifetime before kFailed.
+  uint32_t max_hard_failures = 3;
+};
+
+enum class IngestState : uint8_t { kGrowing = 0, kSettled = 1, kFailed = 2 };
+
+const char* IngestStateName(IngestState s);
+
+/// One poll's outcome, for the service's accounting.
+struct IngestPollStats {
+  uint64_t polls = 0;
+  uint64_t reads = 0;
+  uint64_t read_retries = 0;        // transient errors absorbed by backoff
+  uint64_t hard_failures = 0;
+  uint64_t intervals_seen = 0;      // barrier-interval high-water mark
+  uint64_t bytes_seen = 0;          // directory size high-water mark
+  uint64_t live_probes = 0;         // salvage meta decodes on a growing run
+};
+
+/// Watches one trace directory. Drive with Poll(now) from the service tick;
+/// between polls the ingestor holds no file handles, so a run directory can
+/// vanish or be replaced without wedging anything.
+class RunIngestor {
+ public:
+  RunIngestor(std::string dir, const IngestConfig& config, IngestIo* io,
+              ClockFn now = {});
+
+  /// One observation of the directory. Cheap when nothing changed; does a
+  /// salvage meta probe when something did. Returns the state after the
+  /// poll. Honors retry backoff: a call before the backoff deadline is a
+  /// no-op returning the current state.
+  IngestState Poll();
+
+  IngestState state() const { return state_; }
+  const std::string& dir() const { return dir_; }
+  const IngestPollStats& stats() const { return stats_; }
+  const Status& last_error() const { return last_error_; }
+  /// True once `sword.done` exists or quiesce_polls unchanged polls passed.
+  bool settled() const { return state_ == IngestState::kSettled; }
+
+ private:
+  /// Reads `path` through the io layer with the transient-retry budget.
+  /// Hard failures and exhausted budgets count toward the run's failure
+  /// allowance.
+  Result<Bytes> ReadWithRetry(const std::string& path);
+
+  /// Fingerprints the directory: per-thread log/meta sizes summed. A
+  /// changed fingerprint resets the quiesce streak.
+  Result<uint64_t> Fingerprint();
+
+  /// Decodes every present meta through the salvage decoder and counts
+  /// intervals - the barrier-interval granularity probe. A torn tail is
+  /// fine; a hard read failure is not.
+  void LiveProbe();
+
+  std::string dir_;
+  IngestConfig config_;
+  IngestIo* io_;
+  ClockFn now_;
+
+  IngestState state_ = IngestState::kGrowing;
+  IngestPollStats stats_;
+  Status last_error_;
+  uint64_t last_fingerprint_ = 0;
+  uint32_t unchanged_polls_ = 0;
+  uint32_t hard_failures_ = 0;
+  // Backoff arming: 0 = not backing off.
+  uint64_t next_attempt_ns_ = 0;
+  uint64_t backoff_ns_ = 0;
+};
+
+}  // namespace sword::serve

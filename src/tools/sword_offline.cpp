@@ -153,6 +153,26 @@ int main(int argc, char** argv) {
                  journal_path.c_str());
     return kExitFailure;
   }
+  if (resume) {
+    // A salvage analysis skips damaged segments with accounting, so its
+    // journaled buckets are not interchangeable with a strict run's. The
+    // journal header binds the salvage policy (v3); refusing the mismatch
+    // here - as a usage error, before the store is even opened - beats the
+    // analyzer's generic header-mismatch failure hours later.
+    const auto loaded = offline::LoadJournal(journal_path);
+    if (loaded.ok() &&
+        loaded.value().header.salvage != (salvage ? 1 : 0)) {
+      std::fprintf(stderr,
+                   "error: journal %s was written %s --salvage; resuming it "
+                   "%s --salvage would silently diverge\n"
+                   "(rerun with the journal's salvage mode, or delete the "
+                   "journal to start fresh)\n",
+                   journal_path.c_str(),
+                   loaded.value().header.salvage ? "with" : "without",
+                   salvage ? "with" : "without");
+      return kExitUsage;
+    }
+  }
 
   offline::StoreOptions store_options;
   store_options.salvage = salvage;

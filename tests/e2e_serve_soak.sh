@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# End-to-end fleet soak for sword-serve: 8 concurrently-traced workloads,
+# served under seeded transient fault plans, with the daemon SIGKILLed
+# mid-stream and restarted. The invariant under test is the service's whole
+# point: however the I/O misbehaves and whenever the daemon dies, the final
+# cross-run aggregate is BYTE-identical to a clean, uninterrupted pass -
+# transient faults are absorbed, never laundered into different verdicts.
+#
+# Every plan here is transient-only (retryable read faults, slow I/O,
+# retryable write faults): a plan with HARD faults legitimately quarantines
+# runs and the aggregate is allowed to shrink, so those live in test_serve
+# where the quarantine ledger is asserted directly, not diffed.
+#
+# On failure, the offending plan's state is copied to $SOAK_ARTIFACTS (if
+# set) so CI can upload it; the plan spec itself is the replay artifact.
+#
+# usage: e2e_serve_soak.sh <tool-bin-dir>
+set -u
+
+BIN="${1:?usage: e2e_serve_soak.sh <tool-bin-dir>}"
+RUN="$BIN/sword-run"
+SERVE="$BIN/sword-serve"
+for t in "$RUN" "$SERVE"; do
+  [ -x "$t" ] || { echo "missing tool: $t"; exit 1; }
+done
+
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+RUNS="$DIR/runs"
+mkdir -p "$RUNS"
+
+# --- 1. Trace 8 workloads CONCURRENTLY (the fleet writes all at once) ----
+W=(plusplus-orig-yes truedep1-orig-yes antidep1-orig-yes outputdep-orig-yes
+   sections-orig-yes nobarrier-orig-yes barrier-no reduction-no)
+pids=()
+for i in $(seq 0 7); do
+  mkdir -p "$RUNS/run$i"
+  "$RUN" --suite drb --name "${W[$i]}" --tool sword --threads 2 \
+         --trace-dir "$RUNS/run$i" >/dev/null 2>&1 &
+  pids+=($!)
+done
+for p in "${pids[@]}"; do
+  wait "$p"
+  rc=$?   # 0 = clean workload, 2 = races found; both are successful traces
+  if [ "$rc" -ne 0 ] && [ "$rc" -ne 2 ]; then
+    echo "FAIL: tracing workload (pid $p) exited $rc"; exit 1
+  fi
+done
+DIRS=$(echo "$RUNS"/run*)
+
+# Extracts the canonicalized cross-run aggregate from a --json snapshot.
+aggregate_of() {
+  python3 -c '
+import json, sys
+snap = json.load(open(sys.argv[1]))
+print(json.dumps(snap["aggregate"], sort_keys=True))' "$1"
+}
+
+serve_rc_ok() {  # 0 = clean fleet, 2 = races found; anything else is a bug
+  [ "$1" -eq 0 ] || [ "$1" -eq 2 ]
+}
+
+# --- 2. Clean baseline: one uninterrupted drain, no faults ---------------
+"$SERVE" $DIRS --state-dir "$DIR/state_clean" --once --json \
+  > "$DIR/clean.json" 2>"$DIR/clean.err"
+rc=$?
+serve_rc_ok "$rc" || { echo "FAIL: clean drain rc=$rc"; cat "$DIR/clean.err"; exit 1; }
+aggregate_of "$DIR/clean.json" > "$DIR/clean.agg" \
+  || { echo "FAIL: clean snapshot is not parseable JSON"; exit 1; }
+[ -s "$DIR/clean.agg" ] || { echo "FAIL: empty clean aggregate"; exit 1; }
+
+# --- 3. Soak: each plan -> daemon -> kill -9 mid-stream -> restart -------
+PLANS=(
+  "read_transient=3"
+  "read_slow=2000@1+40"
+  "transient=2;slow=500@1+20"
+  "read_transient=2;transient=1;read_slow=1000@2+10"
+)
+
+fail_with_artifacts() {  # <plan-index> <plan> <message>
+  echo "FAIL: plan #$1 '$2': $3"
+  if [ -n "${SOAK_ARTIFACTS:-}" ]; then
+    mkdir -p "$SOAK_ARTIFACTS/plan$1"
+    echo "$2" > "$SOAK_ARTIFACTS/plan$1/plan.txt"
+    cp -r "$DIR/state_p$1" "$SOAK_ARTIFACTS/plan$1/" 2>/dev/null
+    cp "$DIR"/p$1.* "$DIR/clean.agg" "$SOAK_ARTIFACTS/plan$1/" 2>/dev/null
+  fi
+  exit 1
+}
+
+for idx in 0 1 2 3; do
+  plan="${PLANS[$idx]}"
+  state="$DIR/state_p$idx"
+
+  # Daemon mode under the plan; kill -9 once analyses are plausibly
+  # mid-flight. A fast machine may have drained already - then the kill
+  # degenerates to "restart replays the full ledger", which must also hold.
+  "$SERVE" $DIRS --state-dir "$state" --fault-plan "$plan" \
+    --poll-ms 5 >/dev/null 2>&1 &
+  daemon=$!
+  for _ in $(seq 1 100); do
+    [ -f "$state/serve.ledger" ] && break
+    sleep 0.02
+  done
+  sleep 0.3
+  kill -9 "$daemon" 2>/dev/null || true
+  wait "$daemon" 2>/dev/null
+  [ -f "$state/serve.ledger" ] \
+    || fail_with_artifacts "$idx" "$plan" "daemon died before creating a ledger"
+
+  # Restart into the SAME state dir (and the same plan: fault windows are
+  # call-numbered from process start, so the replay is deterministic).
+  # Ledgered verdicts replay; everything else re-analyzes.
+  "$SERVE" $DIRS --state-dir "$state" --fault-plan "$plan" --once --json \
+    > "$DIR/p$idx.json" 2>"$DIR/p$idx.err"
+  rc=$?
+  serve_rc_ok "$rc" \
+    || fail_with_artifacts "$idx" "$plan" "restarted drain rc=$rc"
+  aggregate_of "$DIR/p$idx.json" > "$DIR/p$idx.agg" \
+    || fail_with_artifacts "$idx" "$plan" "snapshot is not parseable JSON"
+
+  if ! cmp -s "$DIR/clean.agg" "$DIR/p$idx.agg"; then
+    diff "$DIR/clean.agg" "$DIR/p$idx.agg" | head -20
+    fail_with_artifacts "$idx" "$plan" "aggregate diverged from clean baseline"
+  fi
+
+  # No run may be quarantined by a transient-only plan.
+  quar=$(python3 -c '
+import json, sys
+print(json.load(open(sys.argv[1]))["stats"]["runs_quarantined"])' "$DIR/p$idx.json")
+  [ "$quar" = "0" ] \
+    || fail_with_artifacts "$idx" "$plan" "$quar run(s) quarantined by transient faults"
+done
+
+echo "e2e serve soak: OK (8 runs x 4 plans, kill -9 + restart, aggregates identical)"

@@ -475,6 +475,33 @@ TEST(Journal, RoundTrip) {
   EXPECT_EQ(got.races[1].confidence, RaceConfidence::kUnproven);
 }
 
+TEST(Journal, HeaderBindsSalvagePolicy) {
+  // v3 headers carry the store's salvage policy: a salvage run's buckets
+  // skip damaged segments with accounting, so they must never replay into
+  // a strict analysis (or vice versa). The byte round-trips, and the two
+  // policies yield headers that compare unequal even when every other
+  // field matches.
+  TempDir dir("journal-salvage");
+  const std::string path = dir.path() + "/s.journal";
+  JournalHeader strict;
+  strict.thread_count = 2;
+  strict.total_intervals = 8;
+  strict.total_log_bytes = 512;
+  JournalHeader salvaged = strict;
+  salvaged.salvage = 1;
+  EXPECT_FALSE(strict == salvaged);
+
+  {
+    auto writer = JournalWriter::Create(path, salvaged);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  }
+  auto loaded = LoadJournal(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().header.salvage, 1);
+  EXPECT_TRUE(loaded.value().header == salvaged);
+  EXPECT_FALSE(loaded.value().header == strict);
+}
+
 TEST(Journal, TornTailDroppedAndContinueRepairs) {
   TempDir dir("journal-torn");
   const std::string path = dir.path() + "/t.journal";

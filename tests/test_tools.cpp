@@ -174,6 +174,24 @@ TEST_F(ToolsTest, OfflineToolJournalAndResumeMatchCleanRun) {
   EXPECT_EQ(out_r, out_clean);
 }
 
+TEST_F(ToolsTest, OfflineToolRefusesResumeAcrossSalvageModes) {
+  // The journal header binds the salvage policy (journal v3). Resuming a
+  // strict journal with --salvage (or the reverse) is a usage error caught
+  // BEFORE the store opens - the two modes' buckets are not interchangeable.
+  const std::string base = ToolPath("sword-offline") + " " + dir_.path();
+  const auto [rc_j, out_j] = RunCommand(base + " --journal");
+  EXPECT_EQ(rc_j, 2) << out_j;
+
+  const auto [rc, out] = RunCommand(base + " --resume --salvage");
+  EXPECT_EQ(rc, 1) << out;
+  EXPECT_NE(out.find("silently diverge"), std::string::npos) << out;
+
+  // The matching mode still resumes fine afterwards - the refusal did not
+  // damage the journal.
+  const auto [rc_ok, out_ok] = RunCommand(base + " --resume");
+  EXPECT_EQ(rc_ok, 2) << out_ok;
+}
+
 TEST_F(ToolsTest, RunToolListsAndRuns) {
   const auto [rc, out] = RunCommand(ToolPath("sword-run") + " --list");
   EXPECT_EQ(rc, 0);
