@@ -20,6 +20,22 @@ FrozenIntervalSet::FrozenIntervalSet(const IntervalTree& tree) {
   if (!nodes_.empty()) BuildMaxHi(0, nodes_.size());
 }
 
+FrozenIntervalSet FrozenIntervalSet::FromSorted(std::vector<AccessNode> sorted) {
+  FrozenIntervalSet set;
+  const size_t n = sorted.size();
+  set.lo_.reserve(n);
+  set.hi_.reserve(n);
+  set.nodes_.reserve(n);
+  for (const AccessNode& node : sorted) {
+    set.lo_.push_back(node.interval.lo());
+    set.hi_.push_back(node.interval.hi());
+    set.nodes_.push_back(node);
+  }
+  set.max_hi_.resize(n);
+  if (n > 0) set.BuildMaxHi(0, n);
+  return set;
+}
+
 uint64_t FrozenIntervalSet::BuildMaxHi(size_t l, size_t r) {
   if (l >= r) return 0;
   const size_t mid = l + (r - l) / 2;

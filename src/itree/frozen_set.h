@@ -37,6 +37,12 @@ class FrozenIntervalSet {
   /// is an independent copy - the tree may be discarded afterwards.
   explicit FrozenIntervalSet(const IntervalTree& tree);
 
+  /// Builds directly from nodes already in frozen order (ascending first
+  /// byte, creation-stable on ties) - the streaming builder's Freeze() path,
+  /// which never materializes a tree. Byte-identical (columns, capacities,
+  /// MemoryBytes) to freezing the equivalent tree.
+  static FrozenIntervalSet FromSorted(std::vector<AccessNode> sorted);
+
   size_t size() const { return nodes_.size(); }
   bool Empty() const { return nodes_.empty(); }
 

@@ -74,6 +74,24 @@ inline uint64_t HashAccess(uint64_t addr, const AccessKey& key) {
   return h;
 }
 
+/// (key, address) lookup key for the summarization indexes, shared by the
+/// RB-tree builder and the streaming builder (itree/streaming_builder.h).
+struct ContKey {
+  uint64_t addr;
+  AccessKey key;
+  friend bool operator==(const ContKey&, const ContKey&) = default;
+};
+struct ContKeyHash {
+  size_t operator()(const ContKey& k) const {
+    return static_cast<size_t>(HashAccess(k.addr, k.key));
+  }
+};
+struct AccessKeyHash {
+  size_t operator()(const AccessKey& k) const {
+    return ContKeyHash{}(ContKey{0, k});
+  }
+};
+
 class IntervalTree {
  public:
   IntervalTree();
@@ -144,33 +162,17 @@ class IntervalTree {
   //    to the same location (hits++ without growing the run).
   //  - open_single_: key -> most recent single-access node; lets the second
   //    access of an arbitrary-stride walk fix the stride.
-  struct ContKey {
-    uint64_t addr;
-    AccessKey key;
-    friend bool operator==(const ContKey&, const ContKey&) = default;
-  };
-  struct ContKeyHash {
-    size_t operator()(const ContKey& k) const {
-      return static_cast<size_t>(HashAccess(k.addr, k.key));
-    }
-  };
-  struct KeyHash {
-    size_t operator()(const AccessKey& k) const {
-      return ContKeyHash{}(ContKey{0, k});
-    }
-  };
-
   std::vector<Node> nodes_;
   uint32_t root_ = kNil;
   uint64_t total_accesses_ = 0;
   std::unordered_map<ContKey, uint32_t, ContKeyHash> continuations_;
   std::unordered_map<ContKey, uint32_t, ContKeyHash> last_addr_;
-  std::unordered_map<AccessKey, uint32_t, KeyHash> open_single_;
+  std::unordered_map<AccessKey, uint32_t, AccessKeyHash> open_single_;
   // Nodes per key (never decremented; nodes are never removed). AddRun's
   // bulk fast path is only safe when exactly ONE node carries the run's
   // key: then no foreign same-key index entry can divert any per-element
   // step, so the O(1) bulk extension provably equals the element loop.
-  std::unordered_map<AccessKey, uint32_t, KeyHash> key_nodes_;
+  std::unordered_map<AccessKey, uint32_t, AccessKeyHash> key_nodes_;
 };
 
 }  // namespace sword::itree

@@ -1,0 +1,195 @@
+#include "itree/streaming_builder.h"
+
+#include <algorithm>
+
+namespace sword::itree {
+
+namespace {
+
+/// Erases map[key] only when it currently maps to `id` (the summarization
+/// indexes use best-effort emplace, so a slot may belong to another node).
+/// Mirrors interval_tree.cpp's helper - the two builders must keep their
+/// index discipline identical.
+template <typename Map, typename Key>
+void EraseIfMapsTo(Map& map, const Key& key, uint32_t id) {
+  auto it = map.find(key);
+  if (it != map.end() && it->second == id) map.erase(it);
+}
+
+}  // namespace
+
+// The branch structure below is IntervalTree::AddAccess verbatim, minus the
+// tree maintenance: an extension never changes a node's first byte, so the
+// sorted-order bookkeeping only happens in NewNode. Any change here must be
+// mirrored there (and vice versa); the equivalence property tests fail loudly
+// on divergence.
+uint32_t StreamingSetBuilder::AddAccess(uint64_t addr, const AccessKey& key) {
+  total_accesses_++;
+
+  // 1. Repeated access to a run's most recent address: fold without growing.
+  if (auto dup = last_addr_.find(ContKey{addr, key}); dup != last_addr_.end()) {
+    nodes_[dup->second].hits++;
+    return dup->second;
+  }
+
+  // 2. Continuation of an established run: addr is exactly the next element.
+  if (auto it = continuations_.find(ContKey{addr, key}); it != continuations_.end()) {
+    const uint32_t id = it->second;
+    AccessNode& n = nodes_[id];
+    auto& iv = n.interval;
+    EraseIfMapsTo(last_addr_, ContKey{iv.base + iv.stride * (iv.count - 1), key}, id);
+    if (iv.count == 1) {
+      // This continuation was registered at base+size (unit element walk).
+      iv.stride = addr - iv.base;
+      iv.count = 2;
+      open_single_.erase(key);
+    } else {
+      iv.count++;
+    }
+    n.hits++;
+    continuations_.erase(it);
+    continuations_.emplace(ContKey{iv.base + iv.stride * iv.count, key}, id);
+    last_addr_.emplace(ContKey{addr, key}, id);
+    return id;
+  }
+
+  // 3. Second element of an arbitrary-stride ascending walk: the most recent
+  // single-access node with this key adopts stride = addr - base.
+  if (auto os = open_single_.find(key); os != open_single_.end()) {
+    const uint32_t id = os->second;
+    AccessNode& n = nodes_[id];
+    auto& iv = n.interval;
+    if (addr > iv.base) {
+      EraseIfMapsTo(continuations_, ContKey{iv.base + key.size, key}, id);
+      EraseIfMapsTo(last_addr_, ContKey{iv.base, key}, id);
+      iv.stride = addr - iv.base;
+      iv.count = 2;
+      n.hits++;
+      open_single_.erase(os);
+      continuations_.emplace(ContKey{iv.base + iv.stride * 2, key}, id);
+      last_addr_.emplace(ContKey{addr, key}, id);
+      return id;
+    }
+    // Descending access: leave the old node single and start a new one.
+    open_single_.erase(os);
+  }
+
+  // 4. Fresh node.
+  const uint32_t id = NewNode(ilp::StridedInterval{addr, 0, 1, key.size}, key);
+  nodes_[id].hits = 1;
+  continuations_.emplace(ContKey{addr + key.size, key}, id);
+  last_addr_.emplace(ContKey{addr, key}, id);
+  open_single_[key] = id;
+  return id;
+}
+
+// IntervalTree::AddRun verbatim, dispatching to this builder's AddAccess.
+uint32_t StreamingSetBuilder::AddRun(uint64_t base, uint64_t stride,
+                                     uint64_t count, const AccessKey& key) {
+  // Degenerate shapes are defined by the element loop.
+  if (count == 0) return kNil;
+  if (stride == 0) {
+    uint32_t id = kNil;
+    for (uint64_t i = 0; i < count; i++) id = AddAccess(base, key);
+    return id;
+  }
+  uint32_t id = AddAccess(base, key);
+  if (count == 1) return id;
+  const uint32_t first = id;
+  id = AddAccess(base + stride, key);
+  if (count == 2) return id;
+
+  // Bulk fast path: the first two elements merged into one fresh-looking run
+  // node and no other node shares the key, so every remaining element would
+  // take the continuation branch on this exact node. Apply the loop's net
+  // effect in O(1).
+  const auto& iv = nodes_[id].interval;
+  const auto kn = key_nodes_.find(key);
+  if (id == first && iv.base == base && iv.stride == stride && iv.count == 2 &&
+      kn != key_nodes_.end() && kn->second == 1) {
+    const uint64_t extra = count - 2;
+    EraseIfMapsTo(continuations_, ContKey{base + 2 * stride, key}, id);
+    EraseIfMapsTo(last_addr_, ContKey{base + stride, key}, id);
+    AccessNode& run = nodes_[id];
+    run.interval.count = count;
+    run.hits += extra;
+    total_accesses_ += extra;
+    continuations_.emplace(ContKey{base + stride * count, key}, id);
+    last_addr_.emplace(ContKey{base + stride * (count - 1), key}, id);
+    return id;
+  }
+
+  // Aliasing with pre-existing same-key state: replay element by element.
+  for (uint64_t i = 2; i < count; i++) id = AddAccess(base + i * stride, key);
+  return id;
+}
+
+uint32_t StreamingSetBuilder::NewNode(const ilp::StridedInterval& interval,
+                                      const AccessKey& key) {
+  const uint32_t id = static_cast<uint32_t>(nodes_.size());
+  AccessNode node;
+  node.interval = interval;
+  node.key = key;
+  nodes_.push_back(node);
+  key_nodes_[key]++;
+  // Sorted-append or spill. A node's first byte is immutable, so comparing
+  // against the LAST in-order node is enough: program-order address walks
+  // keep extending the main sequence; only genuine back-jumps spill.
+  if (order_.empty() ||
+      interval.lo() >= nodes_[order_.back()].interval.lo()) {
+    order_.push_back(id);
+  } else {
+    spill_.push_back(id);
+  }
+  return id;
+}
+
+uint64_t StreamingSetBuilder::MemoryBytes() const {
+  return nodes_.capacity() * sizeof(AccessNode) +
+         (order_.capacity() + spill_.capacity()) * sizeof(uint32_t) +
+         continuations_.size() * (sizeof(ContKey) + sizeof(uint32_t) + 16);
+}
+
+FrozenIntervalSet StreamingSetBuilder::Freeze() const {
+  // Sort the spill by (first byte, creation id) and merge with the main
+  // sequence, which is already sorted by that pair (first bytes are
+  // non-decreasing by construction, ids by append order). The merged order
+  // equals the RB-tree's in-order walk: the tree keys on first byte, breaks
+  // ties to the right (= creation order), and first bytes never change.
+  std::vector<uint32_t> sorted_spill = spill_;
+  auto less = [this](uint32_t a, uint32_t b) {
+    const uint64_t la = nodes_[a].interval.lo();
+    const uint64_t lb = nodes_[b].interval.lo();
+    return la != lb ? la < lb : a < b;
+  };
+  std::sort(sorted_spill.begin(), sorted_spill.end(), less);
+
+  std::vector<AccessNode> merged;
+  merged.reserve(nodes_.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < order_.size() && j < sorted_spill.size()) {
+    merged.push_back(less(order_[i], sorted_spill[j]) ? nodes_[order_[i++]]
+                                                      : nodes_[sorted_spill[j++]]);
+  }
+  for (; i < order_.size(); i++) merged.push_back(nodes_[order_[i]]);
+  for (; j < sorted_spill.size(); j++) merged.push_back(nodes_[sorted_spill[j]]);
+  return FrozenIntervalSet::FromSorted(std::move(merged));
+}
+
+void StreamingSetBuilder::Reset() {
+  nodes_.clear();
+  nodes_.shrink_to_fit();
+  nodes_.reserve(64);
+  order_.clear();
+  order_.shrink_to_fit();
+  spill_.clear();
+  spill_.shrink_to_fit();
+  total_accesses_ = 0;
+  continuations_.clear();
+  last_addr_.clear();
+  open_single_.clear();
+  key_nodes_.clear();
+}
+
+}  // namespace sword::itree

@@ -1,5 +1,6 @@
 #include "offline/analysis.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -10,11 +11,14 @@
 #include <set>
 #include <thread>
 #include <tuple>
+#include <unordered_map>
 
 #include "itree/frozen_set.h"
 #include "itree/interval_tree.h"
 #include "itree/mutexset.h"
+#include "itree/streaming_builder.h"
 #include "offline/checker_pool.h"
+#include "offline/fingerprint.h"
 #include "offline/journal.h"
 #include "offline/racecheck.h"
 #include "osl/label.h"
@@ -51,12 +55,31 @@ struct Group {
   uint32_t thread_idx;
   osl::Label label;
   std::vector<const trace::IntervalMeta*> segments;
+  /// Legacy summarizer (use_stream off): the red-black interval tree.
   itree::IntervalTree tree;
-  /// The tree's immutable comparison form, built once after the tree closes
-  /// (only for groups that appear in a concurrent pair). Comparisons run on
-  /// this; the RB-tree is never traversed again.
+  /// Streaming summarizer (use_stream on): flat creation-order store with
+  /// sorted-append + spill; Freeze() emits the frozen set directly, the tree
+  /// above stays empty and is never touched.
+  itree::StreamingSetBuilder builder;
+  /// Canonical-decoded-stream identity, folded during the build when
+  /// use_dedup is on (zero-state otherwise).
+  SegmentFingerprint fingerprint;
+  /// The group's immutable comparison form, built once after the summarizer
+  /// closes (only for groups that appear in a concurrent pair). Comparisons
+  /// run on this; the summarizer is never traversed again.
   itree::FrozenIntervalSet frozen;
+  /// What the checkers actually read: `&frozen` for groups that froze their
+  /// own summarizer, a fingerprint-equal leader's `&frozen` for dedup
+  /// followers, null for groups only tree-backend pairs touch.
+  const itree::FrozenIntervalSet* frozen_view = nullptr;
   bool freeze_marked = false;
+
+  uint64_t SummaryNodes(bool stream) const {
+    return stream ? builder.NodeCount() : tree.NodeCount();
+  }
+  uint64_t SummaryBytes(bool stream) const {
+    return stream ? builder.MemoryBytes() : tree.MemoryBytes();
+  }
 };
 
 /// Full-identity key: two reports with equal keys are indistinguishable, so
@@ -146,6 +169,8 @@ void ApplyBucketRecord(const JournalBucketRecord& rec, AnalysisStats& stats) {
   stats.node_pairs_ranged += rec.node_pairs_ranged;
   stats.solver_calls += rec.solver_calls;
   stats.fastpath_hits += rec.fastpath_hits;
+  stats.dedup_hits += rec.dedup_hits;
+  stats.dedup_bytes_saved += rec.dedup_bytes_saved;
   stats.duplicates_suppressed += rec.duplicates_suppressed;
   stats.solver_bailouts += rec.solver_bailouts;
   stats.segments_skipped += rec.segments_skipped;
@@ -162,14 +187,19 @@ void ApplyBucketRecord(const JournalBucketRecord& rec, AnalysisStats& stats) {
   }
 }
 
-/// Streams one segment's events into the group's tree, recovering the
-/// lockset from mutex events (paper: "synchronization recovery"). `cache`
-/// avoids re-decompressing a frame shared by many small segments.
+/// Streams one segment's events into the group's summarizer - the streaming
+/// builder (use_stream) or the legacy tree - recovering the lockset from
+/// mutex events (paper: "synchronization recovery"). `cache` avoids
+/// re-decompressing a frame shared by many small segments. With use_dedup,
+/// the group's fingerprint folds the segment's canonical decoded stream as a
+/// side effect of the same pass.
 Status BuildSegment(const TraceStore& store, Group& group,
                     const trace::IntervalMeta& meta, itree::MutexSetTable& mutexes,
-                    AnalysisStats& stats, trace::FrameCache* cache) {
+                    const AnalysisConfig& config, AnalysisStats& stats,
+                    trace::FrameCache* cache, trace::DecodeCursor* cursor) {
   std::vector<itree::MutexId> initial(meta.lockset.begin(), meta.lockset.end());
   itree::MutexSetId cur = mutexes.Intern(std::move(initial));
+  if (config.use_dedup) group.fingerprint.BeginSegment(meta.lockset);
 
   const auto& thread = store.threads()[group.thread_idx];
   uint64_t events = 0;
@@ -178,6 +208,7 @@ Status BuildSegment(const TraceStore& store, Group& group,
       meta.data_begin, meta.data_size,
       [&](const trace::RawEvent& e) {
         events++;
+        if (config.use_dedup) group.fingerprint.MixEvent(e);
         switch (e.kind) {
           case trace::EventKind::kMutexAcquire:
             cur = mutexes.WithMutex(cur, static_cast<itree::MutexId>(e.addr));
@@ -191,24 +222,46 @@ Status BuildSegment(const TraceStore& store, Group& group,
             key.flags = e.flags;
             key.size = e.size;
             key.mutexset = cur;
-            group.tree.AddAccess(e.addr, key);
+            if (config.use_stream) {
+              group.builder.AddAccess(e.addr, key);
+            } else {
+              group.tree.AddAccess(e.addr, key);
+            }
             break;
           }
           case trace::EventKind::kAccessRun: {
-            // A writer-coalesced strided run materializes directly as a
-            // strided interval - no per-element expansion (AddRun's bulk
-            // path), but replay-identical to one.
             itree::AccessKey key;
             key.pc = e.pc;
             key.flags = e.flags;
             key.size = e.size;
             key.mutexset = cur;
-            group.tree.AddRun(e.addr, e.stride, e.count, key);
+            if (config.use_symbolic) {
+              // A writer-coalesced strided run materializes directly as a
+              // symbolic strided interval - no per-element expansion
+              // (AddRun's bulk path), but replay-identical to one.
+              if (config.use_stream) {
+                group.builder.AddRun(e.addr, e.stride, e.count, key);
+              } else {
+                group.tree.AddRun(e.addr, e.stride, e.count, key);
+              }
+            } else {
+              // Ablation (--no-symbolic): expand the run element by element.
+              // AddRun is DEFINED as this loop (its bulk path is a proven
+              // optimization), so output is byte-identical either way.
+              for (uint64_t i = 0; i < e.count; i++) {
+                const uint64_t addr = e.addr + i * e.stride;
+                if (config.use_stream) {
+                  group.builder.AddAccess(addr, key);
+                } else {
+                  group.tree.AddAccess(addr, key);
+                }
+              }
+            }
             break;
           }
         }
       },
-      cache, &bytes_skipped);
+      cache, &bytes_skipped, cursor);
   stats.raw_events += events;
   stats.bytes_skipped_read += bytes_skipped;
   // Honest accounting for salvage runs: the meta claimed event_count events
@@ -257,6 +310,9 @@ AnalysisResult Analyzer::Analyze(const TraceStore& store,
   journal_header.engine = static_cast<uint8_t>(config.engine);
   journal_header.use_sweep = config.use_sweep ? 1 : 0;
   journal_header.use_fastpath = config.use_fastpath ? 1 : 0;
+  journal_header.use_stream = config.use_stream ? 1 : 0;
+  journal_header.use_symbolic = config.use_symbolic ? 1 : 0;
+  journal_header.use_dedup = config.use_dedup ? 1 : 0;
   journal_header.salvage = salvage ? 1 : 0;
   journal_header.solver_step_budget = config.solver_step_budget;
   journal_header.bucket_deadline_ms = config.bucket_deadline_ms;
@@ -342,6 +398,15 @@ AnalysisResult Analyzer::Analyze(const TraceStore& store,
   // workers by a stable modulo so the same lane's frames keep hitting the
   // same worker's cache bucket after bucket.
   std::vector<trace::FrameCache> worker_caches(threads_);
+  // Streaming-build decode cursors, one per (worker, log reader), persisted
+  // across buckets like the frame caches. Buckets iterate in root-offset
+  // order - chronological, hence log order - and each group's segments are
+  // log-ordered too, so in stream mode the decoder almost always RESUMES
+  // where the previous segment stopped instead of re-decoding the frame's
+  // delta-coded prefix (quadratic when many small segments share a frame).
+  // The legacy arm (--no-stream) keeps the per-segment decode it always had.
+  std::vector<std::unordered_map<const void*, trace::DecodeCursor>>
+      worker_cursors(threads_);
 
   // The persistent checker pool (an Analyzer member): buckets are often
   // tiny, and spawning + joining a std::thread batch per bucket (twice: once
@@ -355,6 +420,8 @@ AnalysisResult Analyzer::Analyze(const TraceStore& store,
   if (config.bucket_deadline_ms > 0) {
     watchdog = std::make_unique<BucketWatchdog>(config.bucket_deadline_ms);
   }
+
+  const bool stream = config.use_stream;
 
   uint64_t bucket_ordinal = ~0ULL;
   for (auto& [root_offset, segments] : buckets) {
@@ -421,7 +488,12 @@ AnalysisResult Analyzer::Analyze(const TraceStore& store,
     {
       std::mutex status_mutex;
       auto build_group = [&](Group* group, AnalysisStats* stats,
-                             trace::FrameCache* cache) {
+                             trace::FrameCache* cache,
+                             std::unordered_map<const void*, trace::DecodeCursor>*
+                                 cursors) {
+        trace::DecodeCursor* cursor =
+            stream ? &(*cursors)[store.threads()[group->thread_idx].log.get()]
+                   : nullptr;
         // Small segments sharing a frame decode it once, not once per
         // segment, courtesy of the worker's LRU frame cache. A segment that
         // fails to stream poisons only itself in salvage mode (the group's
@@ -433,7 +505,8 @@ AnalysisResult Analyzer::Analyze(const TraceStore& store,
             return;  // governed bucket: stop feeding the trees
           }
           bucket_segments.fetch_add(1, std::memory_order_relaxed);
-          const Status s = BuildSegment(store, *group, *meta, mutexes, *stats, cache);
+          const Status s = BuildSegment(store, *group, *meta, mutexes, config,
+                                        *stats, cache, cursor);
           if (!s.ok()) {
             std::lock_guard lock(status_mutex);
             if (result.first_error.ok()) result.first_error = s;
@@ -446,31 +519,53 @@ AnalysisResult Analyzer::Analyze(const TraceStore& store,
           }
           if (config.max_tree_bytes > 0 &&
               closed_tree_bytes.load(std::memory_order_relaxed) +
-                      group->tree.MemoryBytes() >
+                      group->SummaryBytes(stream) >
                   config.max_tree_bytes) {
             memory_capped.store(true, std::memory_order_relaxed);
             return;
           }
         }
-        closed_tree_bytes.fetch_add(group->tree.MemoryBytes(),
+        closed_tree_bytes.fetch_add(group->SummaryBytes(stream),
                                     std::memory_order_relaxed);
         stats->trees_built++;
-        stats->tree_nodes += group->tree.NodeCount();
+        stats->tree_nodes += group->SummaryNodes(stream);
       };
 
+      // Dispatch order for the build only (pair enumeration keeps the
+      // deterministic `groups` order): in stream mode groups are walked in
+      // (thread, log-position) order so each worker's decode cursor moves
+      // forward through its logs instead of ping-ponging between labels.
+      std::vector<Group*> build_order = groups;
+      if (stream) {
+        std::sort(build_order.begin(), build_order.end(),
+                  [](const Group* a, const Group* b) {
+                    if (a->thread_idx != b->thread_idx) {
+                      return a->thread_idx < b->thread_idx;
+                    }
+                    return a->segments.front()->data_begin <
+                           b->segments.front()->data_begin;
+                  });
+      }
+
       if (!pool || groups.size() < 2) {
-        for (Group* group : groups) {
-          build_group(group, &bucket_stats, &worker_caches[0]);
+        for (Group* group : build_order) {
+          build_group(group, &bucket_stats, &worker_caches[0],
+                      &worker_cursors[0]);
           if (!result.status.ok()) break;
         }
       } else {
-        // Block size 1 deals group k to worker k % workers - the stable
-        // modulo assignment that keeps each lane's frames hitting the same
-        // worker's cache bucket after bucket; stealing only kicks in when a
-        // worker runs dry.
+        // Legacy: block size 1 deals group k to worker k % workers - the
+        // stable modulo assignment that keeps each lane's frames hitting the
+        // same worker's cache bucket after bucket; stealing only kicks in
+        // when a worker runs dry. Stream mode deals CONTIGUOUS log spans
+        // instead, so each worker's cursor chains across its whole block.
+        const size_t block =
+            stream ? (build_order.size() + pool->workers() - 1) / pool->workers()
+                   : 1;
         std::vector<AnalysisStats> stats(pool->workers());
-        pool->ParallelFor(groups.size(), 1, [&](size_t k, uint32_t w) {
-          build_group(groups[k], &stats[w], &worker_caches[w]);
+        pool->ParallelFor(build_order.size(), block, [&](size_t k, uint32_t w) {
+          build_group(build_order[k], &stats[w], &worker_caches[w],
+                      &worker_cursors[w]);
         });
         for (const auto& s : stats) {
           bucket_stats.trees_built += s.trees_built;
@@ -494,7 +589,7 @@ AnalysisResult Analyzer::Analyze(const TraceStore& store,
     uint64_t bucket_tree_bytes = closed_tree_bytes.load();
     if (memory_capped.load() || (watchdog && watchdog->breached())) {
       bucket_tree_bytes = 0;
-      for (Group* group : groups) bucket_tree_bytes += group->tree.MemoryBytes();
+      for (Group* group : groups) bucket_tree_bytes += group->SummaryBytes(stream);
     }
     rec.tree_bytes = bucket_tree_bytes;
 
@@ -528,26 +623,36 @@ AnalysisResult Analyzer::Analyze(const TraceStore& store,
       }
       bucket_stats.concurrent_pairs += concurrent.size();
 
-      // Adaptive back-end choice per pair: freezing two trees and setting
-      // up the sweep costs a full in-order walk plus flat-array builds, so
-      // it only pays off once the pair holds enough nodes to enumerate.
-      // Region-heavy traces produce thousands of tiny trees where the
-      // legacy per-node range query wins outright; both back ends emit
-      // byte-identical reports, so the cutover is invisible in the output.
+      // Adaptive back-end choice per pair (legacy mode only): freezing two
+      // trees and setting up the sweep costs a full in-order walk plus
+      // flat-array builds, so it only pays off once the pair holds enough
+      // nodes to enumerate. Region-heavy traces produce thousands of tiny
+      // trees where the legacy per-node range query wins outright; both
+      // back ends emit byte-identical reports, so the cutover is invisible
+      // in the output. In streaming mode there is no tree to fall back on -
+      // every pair runs on the frozen form, whose builder already paid the
+      // sort cost incrementally.
       constexpr size_t kSweepMinNodes = 128;
       std::vector<char> sweep_pair(concurrent.size(), 0);
       size_t pair_nodes_total = 0;
       for (size_t k = 0; k < concurrent.size(); k++) {
-        const size_t nodes = concurrent[k].first->tree.NodeCount() +
-                             concurrent[k].second->tree.NodeCount();
+        const size_t nodes = concurrent[k].first->SummaryNodes(stream) +
+                             concurrent[k].second->SummaryNodes(stream);
         pair_nodes_total += nodes;
-        sweep_pair[k] = config.use_sweep && nodes >= kSweepMinNodes;
+        sweep_pair[k] = stream || (config.use_sweep && nodes >= kSweepMinNodes);
       }
 
-      // Freeze step: every group named by a sweep-eligible pair gets its
-      // immutable flat comparison form (one in-order walk per tree,
-      // parallel on the pool). Groups only tiny pairs touch stay on the
-      // tree back end and are never frozen.
+      // Freeze step: every group named by a frozen-backend pair gets its
+      // immutable flat comparison form (one in-order walk per tree, or the
+      // builder's spill merge, parallel on the pool). Groups only tiny
+      // legacy pairs touch stay on the tree back end and are never frozen.
+      //
+      // Repeated-subtrace memoization (use_dedup): groups whose canonical
+      // decoded streams fingerprinted identically summarize to identical
+      // frozen sets, so only the FIRST such group (the leader, in the
+      // deterministic group order) freezes; followers alias its set. The
+      // leader partition runs sequentially before the parallel freeze, so
+      // who leads never depends on the schedule.
       EnvTimer freeze_timer(env_.now_ns);
       std::vector<Group*> to_freeze;
       for (size_t k = 0; k < concurrent.size(); k++) {
@@ -559,15 +664,40 @@ AnalysisResult Analyzer::Analyze(const TraceStore& store,
           }
         }
       }
-      if (!to_freeze.empty()) {
-        if (pool && to_freeze.size() >= 2) {
-          pool->ParallelFor(to_freeze.size(), 1, [&](size_t k, uint32_t) {
-            to_freeze[k]->frozen = itree::FrozenIntervalSet(to_freeze[k]->tree);
+      std::vector<Group*> freeze_leaders;
+      std::vector<std::pair<Group*, Group*>> freeze_shares;  // {follower, leader}
+      if (config.use_dedup) {
+        std::map<SegmentFingerprint, Group*> leader_by_fp;
+        for (Group* g : to_freeze) {
+          auto [it, inserted] = leader_by_fp.try_emplace(g->fingerprint, g);
+          if (inserted) {
+            freeze_leaders.push_back(g);
+          } else {
+            freeze_shares.push_back({g, it->second});
+          }
+        }
+      } else {
+        freeze_leaders = to_freeze;
+      }
+      if (!freeze_leaders.empty()) {
+        auto freeze_one = [&](Group* g) {
+          g->frozen = stream ? g->builder.Freeze()
+                             : itree::FrozenIntervalSet(g->tree);
+          g->frozen_view = &g->frozen;
+        };
+        if (pool && freeze_leaders.size() >= 2) {
+          pool->ParallelFor(freeze_leaders.size(), 1, [&](size_t k, uint32_t) {
+            freeze_one(freeze_leaders[k]);
           });
         } else {
-          for (Group* g : to_freeze) g->frozen = itree::FrozenIntervalSet(g->tree);
+          for (Group* g : freeze_leaders) freeze_one(g);
         }
         result.stats.freeze_seconds += freeze_timer.ElapsedSeconds();
+      }
+      for (auto& [follower, leader] : freeze_shares) {
+        follower->frozen_view = &leader->frozen;
+        bucket_stats.dedup_hits++;
+        bucket_stats.dedup_bytes_saved += leader->frozen.MemoryBytes();
       }
 
       CheckLimits limits;
@@ -579,14 +709,37 @@ AnalysisResult Analyzer::Analyze(const TraceStore& store,
       // depend on the checker thread count or schedule. The journal (and
       // with it "resume == clean run") relies on exactly this determinism.
       std::vector<std::vector<RaceReport>> pair_races(concurrent.size());
+
+      // Pair-check memoization (use_dedup): a pair whose ORDERED fingerprint
+      // pair was already scheduled this bucket would re-derive the leader
+      // pair's exact race list (identical streams, content-addressed mutex
+      // ids, deterministic checker), so it skips the check and copies the
+      // leader's results after the parallel phase - by reference, no solver
+      // work. Ordered because CheckPair(a, b) and CheckPair(b, a) may swap
+      // pc1/pc2 in the reports. Computed sequentially: who memoizes whom
+      // never depends on the checker schedule.
+      constexpr size_t kNoMemo = ~size_t{0};
+      std::vector<size_t> memo_src(concurrent.size(), kNoMemo);
+      if (config.use_dedup) {
+        std::map<std::pair<SegmentFingerprint, SegmentFingerprint>, size_t>
+            pair_by_fp;
+        for (size_t k = 0; k < concurrent.size(); k++) {
+          auto key = std::make_pair(concurrent[k].first->fingerprint,
+                                    concurrent[k].second->fingerprint);
+          auto [it, inserted] = pair_by_fp.try_emplace(std::move(key), k);
+          if (!inserted) memo_src[k] = it->second;
+        }
+      }
+
       auto check_pair = [&](size_t k, CheckStats* stats) {
+        if (memo_src[k] != kNoMemo) return;  // replayed from the leader below
         auto on_race = [&](const RaceReport& report) {
           pair_races[k].push_back(report);
         };
         if (sweep_pair[k]) {
-          CheckFrozenPair(concurrent[k].first->frozen,
-                          concurrent[k].second->frozen, mutexes, config.engine,
-                          on_race, stats, limits);
+          CheckFrozenPair(*concurrent[k].first->frozen_view,
+                          *concurrent[k].second->frozen_view, mutexes,
+                          config.engine, on_race, stats, limits);
         } else {
           CheckTreePair(concurrent[k].first->tree, concurrent[k].second->tree,
                         mutexes, config.engine, on_race, stats, limits);
@@ -624,6 +777,15 @@ AnalysisResult Analyzer::Analyze(const TraceStore& store,
         }
       }
 
+      // Replay memoized pairs by reference: the leader pair's list IS the
+      // follower's (same streams, same checker). Copied after the parallel
+      // barrier so the leader's list is complete.
+      for (size_t k = 0; k < concurrent.size(); k++) {
+        if (memo_src[k] == kNoMemo) continue;
+        pair_races[k] = pair_races[memo_src[k]];
+        bucket_stats.dedup_hits++;
+      }
+
       // Deterministic merge: pair order, then report order within the pair
       // (the checkers emit each pair's reports in one canonical sorted
       // order). Reports identical to one already merged in this bucket are
@@ -652,6 +814,20 @@ AnalysisResult Analyzer::Analyze(const TraceStore& store,
     }
     if (memory_capped.load()) rec.flags |= JournalBucketRecord::kMemoryCapped;
 
+    // External memory accounting: the bucket's whole summarization footprint
+    // (builders or trees, plus every frozen set actually materialized -
+    // dedup followers alias their leader's, so sharing shows up as a real
+    // peak reduction). Charged and released here so an injected MemoryScope
+    // records the per-bucket high-water mark; never affects the analysis.
+    if (env_.mem) {
+      uint64_t footprint = bucket_tree_bytes;
+      for (Group* g : groups) {
+        if (g->frozen_view == &g->frozen) footprint += g->frozen.MemoryBytes();
+      }
+      (void)env_.mem->Charge(footprint);
+      env_.mem->Release(footprint);
+    }
+
     rec.trees_built = bucket_stats.trees_built;
     rec.tree_nodes = bucket_stats.tree_nodes;
     rec.raw_events = bucket_stats.raw_events;
@@ -660,6 +836,8 @@ AnalysisResult Analyzer::Analyze(const TraceStore& store,
     rec.node_pairs_ranged = bucket_stats.node_pairs_ranged;
     rec.solver_calls = bucket_stats.solver_calls;
     rec.fastpath_hits = bucket_stats.fastpath_hits;
+    rec.dedup_hits = bucket_stats.dedup_hits;
+    rec.dedup_bytes_saved = bucket_stats.dedup_bytes_saved;
     rec.duplicates_suppressed = bucket_stats.duplicates_suppressed;
     rec.solver_bailouts = bucket_stats.solver_bailouts;
     rec.segments_skipped = bucket_stats.segments_skipped;

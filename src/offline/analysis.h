@@ -27,6 +27,7 @@
 #include <optional>
 
 #include "common/fsutil.h"
+#include "common/memtrack.h"
 #include "common/race_report.h"
 #include "common/status.h"
 #include "ilp/overlap.h"
@@ -48,6 +49,23 @@ struct AnalysisConfig {
   /// keep the general engine for the rest. Off = every surviving pair goes
   /// to the engine (--no-fastpath); output is byte-identical either way.
   bool use_fastpath = true;
+  /// Build each (thread, label) group's frozen flat set directly from the
+  /// decoder's event stream (sorted-append + out-of-order spill buffer),
+  /// never materializing the red-black tree. Off = the legacy tree build
+  /// (--no-stream), kept for A/B ablation; the confirmed-race output is
+  /// byte-identical either way.
+  bool use_stream = true;
+  /// Carry v3 kAccessRun events as symbolic (base, stride, count) intervals
+  /// end to end - one summarized node per run, closed-form overlap checks.
+  /// Off = runs are expanded element by element at decode time
+  /// (--no-symbolic); output is byte-identical either way.
+  bool use_symbolic = true;
+  /// Share one frozen set among same-bucket groups whose canonical decoded
+  /// event streams are identical (fingerprint match), and replay pair
+  /// verdicts for already-checked fingerprint pairs by reference. Off =
+  /// every group builds and every pair is checked (--no-dedup); output is
+  /// byte-identical either way.
+  bool use_dedup = true;
 
   // Distributed sharding (the paper's cluster mode: "we distributed the
   // offline analysis across a cluster of nodes"). Buckets - top-level
@@ -96,6 +114,11 @@ struct AnalysisStats {
   uint64_t node_pairs_ranged = 0;
   uint64_t solver_calls = 0;    // general-engine intersection decisions
   uint64_t fastpath_hits = 0;   // closed-form intersection decisions
+  /// Repeated-subtrace memoization (use_dedup): groups that reused another
+  /// group's frozen set because their canonical event streams fingerprinted
+  /// identically, and the summarized-node bytes that sharing avoided.
+  uint64_t dedup_hits = 0;
+  uint64_t dedup_bytes_saved = 0;
   /// Identical (pc, pc, address) reports dropped before the deterministic
   /// merge (summarized runs re-colliding across node pairs).
   uint64_t duplicates_suppressed = 0;
@@ -166,6 +189,13 @@ struct AnalyzerEnv {
   FileBackend* fs = nullptr;
   /// Monotonic nanosecond clock for the stats timers. Null = steady_clock.
   std::function<uint64_t()> now_ns;
+  /// Optional ledger charged with each bucket's summarization footprint
+  /// (builder or tree bytes plus frozen-set bytes) and released at bucket
+  /// close. Null = no external accounting. Lets benchmarks compare the
+  /// legacy and streaming paths' peaks apples-to-apples; charging NEVER
+  /// changes what races are found (cap failures are ignored here - the
+  /// analysis governor is `max_tree_bytes`).
+  MemoryScope* mem = nullptr;
 };
 
 /// A reentrant analysis engine: owns the persistent checker pool so a

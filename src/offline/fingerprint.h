@@ -1,0 +1,96 @@
+// Segment-stream fingerprints for repeated-subtrace memoization.
+//
+// Region-heavy OpenMP programs (LULESH runs ~300k near-identical regions)
+// produce huge numbers of (thread, label) groups whose DECODED event streams
+// are byte-for-byte equal: same access pattern, same pcs, same locksets,
+// different label. The analyzer fingerprints every group's canonical event
+// stream while it is being decoded anyway; groups with equal fingerprints
+// inside a bucket share one frozen interval set, and concurrent pairs whose
+// ordered fingerprint pair was already checked replay the first pair's
+// verdicts by reference (offline/analysis.cpp).
+//
+// The fingerprint covers exactly the inputs that determine a group's frozen
+// set and race verdicts: each segment's initial lockset (meta-recovered) and
+// every decoded event's kind/flags/size/pc/address geometry - the POST-delta
+// canonical stream, not the raw frame bytes (delta state is frame-position
+// dependent, so equal streams can have unequal encodings). MutexSetTable
+// interning is content-addressed, so equal streams summarize to equal
+// mutex-set ids regardless of which group was decoded first.
+//
+// 128 bits of well-mixed state: two independent splitmix64 chains. A
+// collision would silently merge two distinct subtraces, so the width is
+// chosen to make that probability negligible (~2^-64 even at billions of
+// segments), and the property tests cross-check dedup'd output against the
+// memoization-free path.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "trace/event.h"
+
+namespace sword::offline {
+
+struct SegmentFingerprint {
+  // Fractional bits of sqrt(2) and sqrt(3): nothing-up-my-sleeve seeds.
+  uint64_t a = 0x6a09e667f3bcc908ULL;
+  uint64_t b = 0xbb67ae8584caa73bULL;
+
+  static uint64_t Mix64(uint64_t h) {
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    return h;
+  }
+
+  void Mix(uint64_t v) {
+    a = Mix64(a ^ v);
+    b = Mix64(b + v + 0x9e3779b97f4a7c15ULL);
+  }
+
+  /// Folds one decoded event. Mutex events contribute their lock id; runs
+  /// contribute their full (base, stride, count) geometry.
+  void MixEvent(const trace::RawEvent& e) {
+    Mix((static_cast<uint64_t>(e.kind) << 48) |
+        (static_cast<uint64_t>(e.flags) << 40) |
+        (static_cast<uint64_t>(e.size) << 32) | e.pc);
+    Mix(e.addr);
+    if (e.kind == trace::EventKind::kAccessRun) {
+      Mix(e.stride);
+      Mix(e.count);
+    }
+  }
+
+  /// Marks a segment boundary and folds its meta-recovered initial lockset
+  /// (sorted lock-id content). Two groups concatenating the same events
+  /// across DIFFERENT segment boundaries must not collide.
+  template <typename LockIdRange>
+  void BeginSegment(const LockIdRange& lockset) {
+    Mix(0x5345474dULL);  // "SEGM"
+    uint64_t n = 0;
+    for (const auto id : lockset) {
+      Mix(static_cast<uint64_t>(id));
+      n++;
+    }
+    Mix(n);
+  }
+
+  std::string Hex() const {
+    char buf[36];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(a),
+                  static_cast<unsigned long long>(b));
+    return buf;
+  }
+
+  friend bool operator==(const SegmentFingerprint&,
+                         const SegmentFingerprint&) = default;
+  friend bool operator<(const SegmentFingerprint& x, const SegmentFingerprint& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  }
+};
+
+}  // namespace sword::offline

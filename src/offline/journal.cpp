@@ -46,6 +46,9 @@ void SerializeHeader(const JournalHeader& h, Bytes* out) {
   w.PutU8(h.engine);
   w.PutU8(h.use_sweep);
   w.PutU8(h.use_fastpath);
+  w.PutU8(h.use_stream);
+  w.PutU8(h.use_symbolic);
+  w.PutU8(h.use_dedup);
   w.PutU8(h.salvage);
   w.PutVarU64(h.solver_step_budget);
   w.PutVarU64(h.bucket_deadline_ms);
@@ -67,6 +70,9 @@ Status ParseHeader(const Bytes& payload, JournalHeader* h) {
   SWORD_RETURN_IF_ERROR(r.GetU8(&h->engine));
   SWORD_RETURN_IF_ERROR(r.GetU8(&h->use_sweep));
   SWORD_RETURN_IF_ERROR(r.GetU8(&h->use_fastpath));
+  SWORD_RETURN_IF_ERROR(r.GetU8(&h->use_stream));
+  SWORD_RETURN_IF_ERROR(r.GetU8(&h->use_symbolic));
+  SWORD_RETURN_IF_ERROR(r.GetU8(&h->use_dedup));
   SWORD_RETURN_IF_ERROR(r.GetU8(&h->salvage));
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&h->solver_step_budget));
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&h->bucket_deadline_ms));
@@ -90,6 +96,8 @@ void SerializeBucket(const JournalBucketRecord& rec, Bytes* out) {
   w.PutVarU64(rec.node_pairs_ranged);
   w.PutVarU64(rec.solver_calls);
   w.PutVarU64(rec.fastpath_hits);
+  w.PutVarU64(rec.dedup_hits);
+  w.PutVarU64(rec.dedup_bytes_saved);
   w.PutVarU64(rec.duplicates_suppressed);
   w.PutVarU64(rec.solver_bailouts);
   w.PutVarU64(rec.segments_skipped);
@@ -111,6 +119,8 @@ Status ParseBucket(const Bytes& payload, JournalBucketRecord* rec) {
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&rec->node_pairs_ranged));
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&rec->solver_calls));
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&rec->fastpath_hits));
+  SWORD_RETURN_IF_ERROR(r.GetVarU64(&rec->dedup_hits));
+  SWORD_RETURN_IF_ERROR(r.GetVarU64(&rec->dedup_bytes_saved));
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&rec->duplicates_suppressed));
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&rec->solver_bailouts));
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&rec->segments_skipped));

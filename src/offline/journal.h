@@ -48,9 +48,12 @@ constexpr uint32_t kJournalBucketMagic = 0x53574142;  // "SWAB"
 // fastpath_hits and duplicates_suppressed. v3: header binds the store's
 // salvage policy - a salvage analysis skips damaged segments with
 // accounting, so replaying its buckets under a strict open (or vice versa)
-// would silently diverge. Older journals are refused (their stats cannot be
-// folded faithfully into a current run).
-constexpr uint8_t kJournalVersion = 3;
+// would silently diverge. v4: header binds the streaming-pipeline knobs
+// (use_stream/use_symbolic/use_dedup) - their race output is byte-identical
+// but their stats are not, so replaying across modes would fold the wrong
+// deltas; bucket records carry dedup_hits/dedup_bytes_saved. Older journals
+// are refused (their stats cannot be folded faithfully into a current run).
+constexpr uint8_t kJournalVersion = 4;
 
 /// Identifies what a journal belongs to: shard key + the analysis knobs
 /// that change results + a cheap fingerprint of the trace itself. Resume
@@ -62,6 +65,9 @@ struct JournalHeader {
   uint8_t engine = 0;                 // ilp::OverlapEngine as int
   uint8_t use_sweep = 1;              // frozen-sweep comparison path
   uint8_t use_fastpath = 1;           // closed-form overlap fast paths
+  uint8_t use_stream = 1;             // decoder-to-frozen streaming build
+  uint8_t use_symbolic = 1;           // symbolic strided-run intervals
+  uint8_t use_dedup = 1;              // repeated-subtrace memoization
   uint8_t salvage = 0;                // store opened with salvage policy
   uint64_t solver_step_budget = 0;
   uint64_t bucket_deadline_ms = 0;
@@ -99,6 +105,8 @@ struct JournalBucketRecord {
   uint64_t node_pairs_ranged = 0;
   uint64_t solver_calls = 0;
   uint64_t fastpath_hits = 0;
+  uint64_t dedup_hits = 0;
+  uint64_t dedup_bytes_saved = 0;
   uint64_t duplicates_suppressed = 0;
   uint64_t solver_bailouts = 0;
   uint64_t segments_skipped = 0;

@@ -142,6 +142,8 @@ std::string RenderJson(const AnalysisResult& result, const PcNamer& pc_namer) {
   out += ",\"node_pairs_ranged\":" + std::to_string(s.node_pairs_ranged);
   out += ",\"solver_calls\":" + std::to_string(s.solver_calls);
   out += ",\"fastpath_hits\":" + std::to_string(s.fastpath_hits);
+  out += ",\"dedup_hits\":" + std::to_string(s.dedup_hits);
+  out += ",\"dedup_bytes_saved\":" + std::to_string(s.dedup_bytes_saved);
   out += ",\"duplicates_suppressed\":" + std::to_string(s.duplicates_suppressed);
   out += ",\"intervals_degraded\":" + std::to_string(s.intervals_degraded);
   out += ",\"degraded_events_dropped\":" +

@@ -1,11 +1,19 @@
 // sword-dump: inspect SWORD trace files.
 //
 //   sword-dump <trace-dir> [--events] [--thread N] [--limit K]
+//   sword-dump <trace-dir> --segments
 //   sword-dump <trace-dir> --verify
 //
 // Prints each thread's meta file as a Table-I-style listing (pid, ppid,
 // bid, offset, span, level, data offsets, offset-span label) and, with
 // --events, the decoded event stream per interval.
+//
+// --segments prints one line per barrier-interval segment: decoded event
+// counts by kind, the canonical-stream fingerprint the analyzer's
+// repeated-subtrace memoization keys on (equal hex = the analyzer shares
+// one frozen set), and the segment's decompressed vs on-disk compressed
+// byte sizes. This is the triage view for "why did dedup (not) fire" and
+// "which segments dominate the log".
 //
 // --verify walks every sword_t*.log frame by frame, validating each header
 // and payload checksum, and prints a per-frame table plus an OK/CORRUPT
@@ -17,6 +25,7 @@
 #include "common/args.h"
 #include "common/fsutil.h"
 #include "common/timer.h"
+#include "offline/fingerprint.h"
 #include "offline/tracestore.h"
 #include "trace/reader.h"
 
@@ -92,12 +101,70 @@ int VerifyDir(const std::string& dir) {
   return damaged ? 2 : 0;
 }
 
+/// One line per segment: event-kind counts, the dedup fingerprint of the
+/// canonical decoded stream, and decompressed vs on-disk compressed sizes.
+int DumpSegments(const offline::TraceStore& store, int64_t only_thread) {
+  for (const auto& thread : store.threads()) {
+    if (only_thread >= 0 && thread.tid != static_cast<uint32_t>(only_thread)) continue;
+    std::printf("=== thread %u: %zu segment(s) ===\n", thread.tid,
+                thread.meta.intervals.size());
+    std::printf("  %4s %6s %8s %8s %6s %6s %10s %10s  %s\n", "seg", "region",
+                "accesses", "runs", "mutex", "other", "raw", "ondisk",
+                "fingerprint");
+    uint32_t seg = 0;
+    for (const auto& meta : thread.meta.intervals) {
+      uint64_t accesses = 0;
+      uint64_t runs = 0;
+      uint64_t mutex_ops = 0;
+      uint64_t other = 0;
+      offline::SegmentFingerprint fp;
+      fp.BeginSegment(meta.lockset);
+      const Status s = thread.log->StreamRange(
+          meta.data_begin, meta.data_size, [&](const trace::RawEvent& e) {
+            fp.MixEvent(e);
+            switch (e.kind) {
+              case trace::EventKind::kAccess:
+                accesses++;
+                break;
+              case trace::EventKind::kAccessRun:
+                runs++;
+                break;
+              case trace::EventKind::kMutexAcquire:
+              case trace::EventKind::kMutexRelease:
+                mutex_ops++;
+                break;
+              default:
+                other++;
+            }
+          });
+      if (!s.ok()) {
+        std::fprintf(stderr, "  segment %u: stream error: %s\n", seg,
+                     s.ToString().c_str());
+        return 1;
+      }
+      std::printf("  %4u %6llu %8llu %8llu %6llu %6llu %10llu %10llu  %s\n", seg,
+                  static_cast<unsigned long long>(meta.region),
+                  static_cast<unsigned long long>(accesses),
+                  static_cast<unsigned long long>(runs),
+                  static_cast<unsigned long long>(mutex_ops),
+                  static_cast<unsigned long long>(other),
+                  static_cast<unsigned long long>(meta.data_size),
+                  static_cast<unsigned long long>(thread.log->CompressedBytesForRange(
+                      meta.data_begin, meta.data_size)),
+                  fp.Hex().c_str());
+      seg++;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
   const bool dump_events = args.GetBool("events");
   const bool verify = args.GetBool("verify");
+  const bool segments = args.GetBool("segments");
   const int64_t only_thread = args.GetInt("thread", -1);
   const int64_t limit = args.GetInt("limit", 32);
 
@@ -105,6 +172,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: sword-dump <trace-dir> [--events] [--thread N] "
                  "[--limit K]\n"
+                 "       sword-dump <trace-dir> --segments [--thread N]\n"
                  "       sword-dump <trace-dir> --verify\n");
     return 1;
   }
@@ -116,6 +184,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", store.status().ToString().c_str());
     return 1;
   }
+
+  if (segments) return DumpSegments(store.value(), only_thread);
 
   for (const auto& thread : store.value().threads()) {
     if (only_thread >= 0 && thread.tid != static_cast<uint32_t>(only_thread)) continue;

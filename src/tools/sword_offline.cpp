@@ -5,6 +5,7 @@
 //                 [--journal [PATH]] [--resume]
 //                 [--bucket-deadline-ms N] [--max-tree-mb N] [--solver-budget N]
 //                 [--no-sweep] [--no-fastpath]
+//                 [--no-stream] [--no-symbolic] [--no-dedup]
 //
 // Reads a trace directory produced by SwordTool (sword_t*.log/.meta),
 // recovers the concurrency structure, and prints the deduplicated race
@@ -70,6 +71,18 @@ void PrintUsage() {
                "                   send every candidate pair to the solver\n"
                "                   (ablation; race output is identical either\n"
                "                   way at the default solver budget)\n"
+               "  --no-stream      build red-black interval trees and freeze\n"
+               "                   them, instead of streaming decoder output\n"
+               "                   straight into frozen sets (ablation; race\n"
+               "                   output is identical either way)\n"
+               "  --no-symbolic    expand coalesced strided-run events element\n"
+               "                   by element instead of carrying them as\n"
+               "                   symbolic intervals (ablation; race output\n"
+               "                   is identical either way)\n"
+               "  --no-dedup       disable repeated-subtrace memoization -\n"
+               "                   every group freezes its own set and every\n"
+               "                   pair is checked (ablation; race output is\n"
+               "                   identical either way)\n"
                "exit codes: 0 no races, 2 races found, 4 I/O or analysis\n"
                "failure, 1 usage error\n");
 }
@@ -93,6 +106,9 @@ int main(int argc, char** argv) {
   const int64_t solver_budget = args.GetInt("solver-budget", 4000000);
   const bool no_sweep = args.GetBool("no-sweep");
   const bool no_fastpath = args.GetBool("no-fastpath");
+  const bool no_stream = args.GetBool("no-stream");
+  const bool no_symbolic = args.GetBool("no-symbolic");
+  const bool no_dedup = args.GetBool("no-dedup");
 
   if (args.GetBool("help")) {
     PrintUsage();
@@ -172,6 +188,33 @@ int main(int argc, char** argv) {
                    salvage ? "with" : "without");
       return kExitUsage;
     }
+    // Same pre-check for the streaming-pipeline knobs (v4 binding): their
+    // race output is byte-identical across modes, but their journaled stat
+    // deltas are not, so replaying across modes would fold wrong stats.
+    struct ModeKnob {
+      const char* flag;
+      uint8_t journaled;
+      bool requested;
+    };
+    if (loaded.ok()) {
+      const auto& h = loaded.value().header;
+      for (const ModeKnob& knob :
+           {ModeKnob{"--no-stream", h.use_stream, !no_stream},
+            ModeKnob{"--no-symbolic", h.use_symbolic, !no_symbolic},
+            ModeKnob{"--no-dedup", h.use_dedup, !no_dedup}}) {
+        if (knob.journaled != (knob.requested ? 1 : 0)) {
+          std::fprintf(stderr,
+                       "error: journal %s was written %s %s; resuming it "
+                       "%s %s would fold mismatched statistics\n"
+                       "(rerun with the journal's mode, or delete the journal "
+                       "to start fresh)\n",
+                       journal_path.c_str(), knob.journaled ? "without" : "with",
+                       knob.flag, knob.requested ? "without" : "with",
+                       knob.flag);
+          return kExitUsage;
+        }
+      }
+    }
   }
 
   offline::StoreOptions store_options;
@@ -205,6 +248,9 @@ int main(int argc, char** argv) {
   config.resume = resume;
   config.use_sweep = !no_sweep;
   config.use_fastpath = !no_fastpath;
+  config.use_stream = !no_stream;
+  config.use_symbolic = !no_symbolic;
+  config.use_dedup = !no_dedup;
   const offline::AnalysisResult result = offline::Analyze(store.value(), config);
   if (!result.status.ok()) {
     std::fprintf(stderr, "analysis error: %s\n", result.status.ToString().c_str());
@@ -246,6 +292,9 @@ int main(int argc, char** argv) {
                 (unsigned long long)s.solver_bailouts);
     std::printf("  closed-form fast-path hits:   %llu\n",
                 (unsigned long long)s.fastpath_hits);
+    std::printf("  dedup memoization hits:       %llu (%s saved)\n",
+                (unsigned long long)s.dedup_hits,
+                FormatBytes(s.dedup_bytes_saved).c_str());
     std::printf("  duplicate reports suppressed: %llu\n",
                 (unsigned long long)s.duplicates_suppressed);
     std::printf("  build / freeze / compare / total: %s / %s / %s / %s\n",

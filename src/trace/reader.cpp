@@ -412,10 +412,28 @@ Result<LogReader> LogReader::Open(const std::string& path,
   return reader;
 }
 
+uint64_t LogReader::CompressedBytesForRange(uint64_t begin, uint64_t size) const {
+  if (size == 0) return 0;
+  const uint64_t end = begin + size;
+  auto it = std::upper_bound(frames_.begin(), frames_.end(), begin,
+                             [](uint64_t v, const FrameIndex& fi) {
+                               return v < fi.logical_begin;
+                             });
+  if (it != frames_.begin()) --it;
+  uint64_t bytes = 0;
+  for (; it != frames_.end() && it->logical_begin < end; ++it) {
+    const uint64_t frame_hi = it->logical_begin + it->raw_size;
+    if (frame_hi <= begin || it->state != FrameState::kOk) continue;
+    bytes += it->file_size;
+  }
+  return bytes;
+}
+
 Status LogReader::StreamRange(uint64_t begin, uint64_t size,
                               FunctionRef<void(const RawEvent&)> fn,
                               FrameCache* cache,
-                              uint64_t* bytes_skipped) const {
+                              uint64_t* bytes_skipped,
+                              DecodeCursor* cursor) const {
   if (size == 0) return Status::Ok();
   uint64_t end = begin + size;
   if (end > total_logical_) {
@@ -493,17 +511,27 @@ Status LogReader::StreamRange(uint64_t begin, uint64_t size,
       } else {
         // Variable-length delta events: the coder state is only valid from the
         // frame start, so decode from there and discard events before the
-        // slice. Interval boundaries always fall on event boundaries; anything
-        // else means the meta and log disagree.
-        ByteReader events(frame_data->data(), frame_data->size());
+        // slice - unless a cursor from a previous call already holds valid
+        // state at or before the slice, in which case resume there. Interval
+        // boundaries always fall on event boundaries; anything else means the
+        // meta and log disagree.
+        uint64_t base = 0;
         EventCodecState state;
-        const bool v3 = it->payload_format >= kTraceFormatV3;
         uint64_t pos = frame_lo;
+        if (cursor && cursor->valid && cursor->frame_begin == frame_lo &&
+            cursor->pos <= slice_lo && cursor->byte_offset <= frame_data->size()) {
+          base = cursor->byte_offset;
+          state = cursor->state;
+          pos = cursor->pos;
+        }
+        if (cursor) cursor->valid = false;  // re-validated on a clean finish
+        ByteReader events(frame_data->data() + base, frame_data->size() - base);
+        const bool v3 = it->payload_format >= kTraceFormatV3;
         while (pos < slice_hi && !events.AtEnd()) {
           RawEvent e;
           SWORD_RETURN_IF_ERROR(v3 ? DecodeEventV3(events, state, &e)
                                    : DecodeEventV2(events, state, &e));
-          const uint64_t next = frame_lo + events.position();
+          const uint64_t next = frame_lo + base + events.position();
           if (next <= slice_lo) {
             pos = next;
             continue;  // wholly before the range
@@ -513,6 +541,13 @@ Status LogReader::StreamRange(uint64_t begin, uint64_t size,
           }
           fn(e);
           pos = next;
+        }
+        if (cursor) {
+          cursor->frame_begin = frame_lo;
+          cursor->pos = pos;
+          cursor->byte_offset = base + events.position();
+          cursor->state = state;
+          cursor->valid = true;
         }
       }
       return Status::Ok();

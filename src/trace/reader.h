@@ -133,6 +133,21 @@ struct FrameRecord {
   Status status;  // ok, or why the frame is corrupt
 };
 
+/// Resumable decode position inside one delta-coded (v2/v3) frame. The
+/// codec state is only valid from a frame's start, so a plain StreamRange
+/// re-decodes the frame's prefix on every call - quadratic when many small
+/// segments share one frame. A caller that walks a log in mostly-ascending
+/// order (the offline streaming build) threads one cursor through its calls
+/// instead: each call resumes where the previous one stopped and only
+/// re-decodes from the frame start when the walk jumps backwards.
+struct DecodeCursor {
+  uint64_t frame_begin = 0;  // logical_begin of the frame the state is for
+  uint64_t pos = 0;          // logical position the state is valid at
+  uint64_t byte_offset = 0;  // offset into the decompressed frame at `pos`
+  EventCodecState state;
+  bool valid = false;
+};
+
 class LogReader {
  public:
   /// Scans frame headers and builds the offset index. The default (strict)
@@ -144,7 +159,10 @@ class LogReader {
   /// Decompresses the frames covering logical range [begin, begin+size) and
   /// calls `fn` for each event in it, in order. At most one decompressed
   /// frame is held in memory at a time. With `cache`, frames decompressed by
-  /// previous calls (through the same cache) are reused.
+  /// previous calls (through the same cache) are reused. With `cursor`, a
+  /// delta-coded frame resumes decoding from the cursor's position when the
+  /// range starts at or after it (see DecodeCursor); event output and error
+  /// behavior are identical either way.
   ///
   /// In strict mode a range touching a hole (corrupt frame, record-time gap,
   /// truncated tail) is an error. In salvage mode the hole's overlap is
@@ -153,7 +171,8 @@ class LogReader {
   Status StreamRange(uint64_t begin, uint64_t size,
                      FunctionRef<void(const RawEvent&)> fn,
                      FrameCache* cache = nullptr,
-                     uint64_t* bytes_skipped = nullptr) const;
+                     uint64_t* bytes_skipped = nullptr,
+                     DecodeCursor* cursor = nullptr) const;
 
   /// Convenience: materializes a range (tests, small intervals).
   Status ReadRange(uint64_t begin, uint64_t size, std::vector<RawEvent>* out) const;
@@ -167,6 +186,13 @@ class LogReader {
 
   uint64_t total_logical_bytes() const { return total_logical_; }
   size_t frame_count() const { return frames_.size(); }
+
+  /// Sum of the encoded (on-disk) sizes of the intact frames overlapping
+  /// logical range [begin, begin+size). A frame shared by several ranges
+  /// counts fully toward each - this reports what the decoder must touch to
+  /// stream the range, not an exclusive allocation. Powers
+  /// `sword-dump --segments`' compression-ratio column.
+  uint64_t CompressedBytesForRange(uint64_t begin, uint64_t size) const;
   const SalvageStats& salvage_stats() const { return stats_; }
   bool salvage_enabled() const { return policy_.enabled; }
 

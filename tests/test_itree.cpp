@@ -9,6 +9,7 @@
 #include "itree/frozen_set.h"
 #include "itree/interval_tree.h"
 #include "itree/mutexset.h"
+#include "itree/streaming_builder.h"
 
 namespace sword::itree {
 namespace {
@@ -375,6 +376,148 @@ TEST(SweepMatchingPairs, EarlyExitStopsEnumeration) {
   });
   EXPECT_FALSE(completed);
   EXPECT_EQ(pairs, 5);
+}
+
+// --- StreamingSetBuilder: the decode-to-frozen path must reproduce
+// FrozenIntervalSet(tree) EXACTLY - same columns, same node payloads, same
+// order, same capacities (hence MemoryBytes) - for any event sequence.
+// These tests drive both summarizers with identical streams and compare
+// the frozen forms field by field.
+
+void ExpectFrozenEqual(const FrozenIntervalSet& stream,
+                       const FrozenIntervalSet& tree) {
+  ASSERT_EQ(stream.size(), tree.size());
+  EXPECT_EQ(stream.MemoryBytes(), tree.MemoryBytes());
+  for (size_t i = 0; i < stream.size(); i++) {
+    EXPECT_EQ(stream.lo(i), tree.lo(i)) << "lo at " << i;
+    EXPECT_EQ(stream.hi(i), tree.hi(i)) << "hi at " << i;
+    const AccessNode& s = stream.node(i);
+    const AccessNode& t = tree.node(i);
+    EXPECT_EQ(s.interval.base, t.interval.base) << i;
+    EXPECT_EQ(s.interval.stride, t.interval.stride) << i;
+    EXPECT_EQ(s.interval.count, t.interval.count) << i;
+    EXPECT_EQ(s.interval.size, t.interval.size) << i;
+    EXPECT_EQ(s.key.pc, t.key.pc) << i;
+    EXPECT_EQ(s.key.flags, t.key.flags) << i;
+    EXPECT_EQ(s.key.size, t.key.size) << i;
+    EXPECT_EQ(s.key.mutexset, t.key.mutexset) << i;
+    EXPECT_EQ(s.hits, t.hits) << i;
+  }
+}
+
+TEST(StreamingSetBuilder, AscendingWalkMatchesTreeNoSpill) {
+  StreamingSetBuilder builder;
+  IntervalTree tree;
+  const AccessKey key = Key(11);
+  for (uint64_t i = 0; i < 100; i++) {
+    builder.AddAccess(0x1000 + i * 8, key);
+    tree.AddAccess(0x1000 + i * 8, key);
+  }
+  EXPECT_EQ(builder.NodeCount(), 1u);  // summarized to one run, like the tree
+  EXPECT_EQ(builder.SpillCount(), 0u);
+  EXPECT_EQ(builder.TotalAccesses(), tree.TotalAccesses());
+  ExpectFrozenEqual(builder.Freeze(), FrozenIntervalSet(tree));
+}
+
+TEST(StreamingSetBuilder, DescendingWalkSpillsAndMergesInOrder) {
+  StreamingSetBuilder builder;
+  IntervalTree tree;
+  // Distinct pcs defeat summarization: every access is its own node, and a
+  // strictly descending walk sends all but the first to the spill buffer.
+  for (uint64_t i = 0; i < 50; i++) {
+    const AccessKey key = Key(static_cast<uint32_t>(100 + i));
+    builder.AddAccess(0x9000 - i * 16, key);
+    tree.AddAccess(0x9000 - i * 16, key);
+  }
+  EXPECT_EQ(builder.NodeCount(), 50u);
+  EXPECT_EQ(builder.SpillCount(), 49u);
+  ExpectFrozenEqual(builder.Freeze(), FrozenIntervalSet(tree));
+}
+
+TEST(StreamingSetBuilder, RunShapesMatchTree) {
+  // Every AddRun shape: empty, single, pair, bulk-path, stride-0 dup fold,
+  // and a run aliasing pre-existing same-key state (per-element replay).
+  struct Run {
+    uint64_t base, stride, count;
+    uint32_t pc;
+  };
+  const Run runs[] = {
+      {0x1000, 8, 0, 1},   {0x2000, 8, 1, 2},  {0x3000, 16, 2, 3},
+      {0x4000, 8, 100, 4}, {0x5000, 0, 7, 5},  {0x4000, 8, 50, 4},
+      {0x6000, 24, 9, 4},
+  };
+  StreamingSetBuilder builder;
+  IntervalTree tree;
+  for (const Run& r : runs) {
+    const AccessKey key = Key(r.pc);
+    builder.AddRun(r.base, r.stride, r.count, key);
+    tree.AddRun(r.base, r.stride, r.count, key);
+  }
+  EXPECT_EQ(builder.TotalAccesses(), tree.TotalAccesses());
+  ExpectFrozenEqual(builder.Freeze(), FrozenIntervalSet(tree));
+}
+
+TEST(StreamingSetBuilder, RandomizedStreamsMatchTreeExactly) {
+  // The load-bearing equivalence test: arbitrary interleavings of accesses
+  // and runs, few keys (maximizing continuation/open-single interactions),
+  // ascending and descending jumps, duplicate folds.
+  for (uint64_t seed = 1; seed <= 20; seed++) {
+    Rng rng(seed);
+    StreamingSetBuilder builder;
+    IntervalTree tree;
+    for (int i = 0; i < 2000; i++) {
+      const AccessKey key = Key(static_cast<uint32_t>(rng.Below(4)),
+                                rng.Chance(0.5) ? kWrite : kRead,
+                                static_cast<uint8_t>(1 + rng.Below(8)));
+      if (rng.Chance(0.2)) {
+        const uint64_t base = 0x10000 + rng.Below(0x8000);
+        const uint64_t stride = rng.Below(64);
+        const uint64_t count = rng.Below(40);
+        builder.AddRun(base, stride, count, key);
+        tree.AddRun(base, stride, count, key);
+      } else {
+        const uint64_t addr = 0x10000 + rng.Below(0x4000);
+        builder.AddAccess(addr, key);
+        tree.AddAccess(addr, key);
+      }
+    }
+    ASSERT_EQ(builder.NodeCount(), tree.NodeCount()) << "seed " << seed;
+    ASSERT_EQ(builder.TotalAccesses(), tree.TotalAccesses()) << "seed " << seed;
+    ExpectFrozenEqual(builder.Freeze(), FrozenIntervalSet(tree));
+  }
+}
+
+TEST(StreamingSetBuilder, ResetMatchesFreshBuilder) {
+  StreamingSetBuilder reused;
+  const AccessKey key = Key(42);
+  reused.AddRun(0x1000, 8, 64, key);
+  reused.AddAccess(0x777, key);
+  reused.Reset();
+  EXPECT_TRUE(reused.Empty());
+  EXPECT_EQ(reused.TotalAccesses(), 0u);
+
+  StreamingSetBuilder fresh;
+  IntervalTree tree;
+  for (uint64_t i = 0; i < 30; i++) {
+    reused.AddAccess(0x2000 + i * 4, key);
+    fresh.AddAccess(0x2000 + i * 4, key);
+    tree.AddAccess(0x2000 + i * 4, key);
+  }
+  EXPECT_EQ(reused.MemoryBytes(), fresh.MemoryBytes());
+  ExpectFrozenEqual(reused.Freeze(), FrozenIntervalSet(tree));
+}
+
+TEST(StreamingSetBuilder, SymbolicRunMemoryIsSublinearInElements) {
+  // Layer-2 contract: a strided run is ONE node regardless of element
+  // count, so builder memory is flat while the access count grows.
+  StreamingSetBuilder small, large;
+  const AccessKey key = Key(9);
+  small.AddRun(0x1000, 8, 1000, key);
+  large.AddRun(0x1000, 8, 1000000, key);
+  EXPECT_EQ(small.NodeCount(), 1u);
+  EXPECT_EQ(large.NodeCount(), 1u);
+  EXPECT_EQ(small.MemoryBytes(), large.MemoryBytes());
+  EXPECT_EQ(large.TotalAccesses(), 1000000u);
 }
 
 TEST(HashAccess, MutexSetReachesLow32Bits) {

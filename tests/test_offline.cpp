@@ -422,6 +422,9 @@ TEST(Journal, RoundTrip) {
   header.engine = 1;
   header.use_sweep = 0;
   header.use_fastpath = 0;
+  header.use_stream = 0;
+  header.use_symbolic = 0;
+  header.use_dedup = 0;
   header.solver_step_budget = 42;
   header.thread_count = 2;
   header.total_intervals = 10;
@@ -436,6 +439,8 @@ TEST(Journal, RoundTrip) {
   rec.tree_nodes = 99;
   rec.solver_calls = 12;
   rec.fastpath_hits = 8;
+  rec.dedup_hits = 6;
+  rec.dedup_bytes_saved = 2048;
   rec.duplicates_suppressed = 5;
   rec.solver_bailouts = 2;
   rec.tree_bytes = 4096;
@@ -465,6 +470,8 @@ TEST(Journal, RoundTrip) {
   EXPECT_EQ(got.tree_nodes, 99u);
   EXPECT_EQ(got.solver_calls, 12u);
   EXPECT_EQ(got.fastpath_hits, 8u);
+  EXPECT_EQ(got.dedup_hits, 6u);
+  EXPECT_EQ(got.dedup_bytes_saved, 2048u);
   EXPECT_EQ(got.duplicates_suppressed, 5u);
   EXPECT_EQ(got.solver_bailouts, 2u);
   EXPECT_EQ(got.tree_bytes, 4096u);
@@ -500,6 +507,128 @@ TEST(Journal, HeaderBindsSalvagePolicy) {
   EXPECT_EQ(loaded.value().header.salvage, 1);
   EXPECT_TRUE(loaded.value().header == salvaged);
   EXPECT_FALSE(loaded.value().header == strict);
+}
+
+TEST(Journal, HeaderBindsStreamingKnobs) {
+  // v4 headers carry the streaming-pipeline knobs: race output is
+  // byte-identical across modes, but the journaled stat deltas are not, so
+  // replaying a streaming run's buckets into a --no-stream analysis (or any
+  // other knob flip) must be refused. Each knob alone breaks equality.
+  TempDir dir("journal-streamknobs");
+  JournalHeader base;
+  base.thread_count = 2;
+  base.total_intervals = 8;
+  base.total_log_bytes = 512;
+  for (uint8_t JournalHeader::* knob :
+       {&JournalHeader::use_stream, &JournalHeader::use_symbolic,
+        &JournalHeader::use_dedup}) {
+    JournalHeader flipped = base;
+    flipped.*knob = 0;
+    EXPECT_FALSE(base == flipped);
+  }
+
+  const std::string path = dir.path() + "/k.journal";
+  JournalHeader legacy = base;
+  legacy.use_stream = 0;
+  legacy.use_symbolic = 0;
+  legacy.use_dedup = 0;
+  {
+    auto writer = JournalWriter::Create(path, legacy);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  }
+  auto loaded = LoadJournal(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().header.use_stream, 0);
+  EXPECT_EQ(loaded.value().header.use_symbolic, 0);
+  EXPECT_EQ(loaded.value().header.use_dedup, 0);
+  EXPECT_TRUE(loaded.value().header == legacy);
+  EXPECT_FALSE(loaded.value().header == base);
+}
+
+TEST(Analysis, ResumeRefusesCrossModeJournal) {
+  // A journal written by the streaming pipeline must not resume a legacy
+  // (--no-stream) analysis: the replayed stat deltas would be the wrong
+  // mode's. Same for the symbolic and dedup knobs.
+  SyntheticTrace t;
+  WriteFiveRegionTrace(t);
+  AnalysisConfig journaled;
+  journaled.journal_path = t.dir.path() + "/mode.journal";
+  ASSERT_TRUE(t.Analyze(journaled).status.ok());
+
+  for (bool AnalysisConfig::* knob :
+       {&AnalysisConfig::use_stream, &AnalysisConfig::use_symbolic,
+        &AnalysisConfig::use_dedup}) {
+    AnalysisConfig resume = journaled;
+    resume.resume = true;
+    resume.*knob = false;
+    EXPECT_FALSE(t.Analyze(resume).status.ok());
+  }
+
+  // Matching modes resume fine.
+  AnalysisConfig same = journaled;
+  same.resume = true;
+  EXPECT_TRUE(t.Analyze(same).status.ok());
+}
+
+TEST(Analysis, StreamingAblationsProduceIdenticalRaces) {
+  // The three pipeline knobs are pure optimizations: every combination must
+  // find exactly the same races as the all-off legacy path.
+  SyntheticTrace t;
+  WriteFiveRegionTrace(t);
+  AnalysisConfig legacy;
+  legacy.use_stream = false;
+  legacy.use_symbolic = false;
+  legacy.use_dedup = false;
+  const AnalysisResult base = t.Analyze(legacy);
+  ASSERT_TRUE(base.status.ok());
+  EXPECT_EQ(base.races.size(), 5u);
+
+  for (int mask = 1; mask < 8; mask++) {
+    AnalysisConfig config;
+    config.use_stream = mask & 1;
+    config.use_symbolic = mask & 2;
+    config.use_dedup = mask & 4;
+    const AnalysisResult got = t.Analyze(config);
+    ASSERT_TRUE(got.status.ok()) << "mask " << mask;
+    ExpectSameReports(got.races, base.races);
+  }
+}
+
+TEST(Analysis, DedupSharesFrozenSetsAcrossIdenticalGroups) {
+  // Many threads per region executing the SAME canonical event stream (same
+  // pcs, same addresses): their groups fingerprint identically, so dedup
+  // freezes one set per distinct stream and memoizes the repeated pair
+  // checks - visible in dedup_hits/dedup_bytes_saved, invisible in races.
+  SyntheticTrace t;
+  constexpr uint32_t kThreads = 4;
+  for (uint32_t tid = 0; tid < kThreads; tid++) {
+    trace::IntervalMeta m = Meta(tid, kThreads);
+    m.label = osl::Label({osl::Pair{0, 1, 0}, osl::Pair{tid, kThreads, 0}});
+    std::vector<trace::RawEvent> events;
+    // 200 distinct-pc writes defeat summarization so the frozen sets are
+    // big enough to clear the sweep cutover (and worth sharing).
+    for (uint64_t i = 0; i < 200; i++) {
+      events.push_back(trace::RawEvent::Access(
+          0x1000 + i * 8, 8, 1, static_cast<uint32_t>(100 + i)));
+    }
+    t.WriteThread(tid, {{m, events}});
+  }
+
+  AnalysisConfig with_dedup;
+  const AnalysisResult deduped = t.Analyze(with_dedup);
+  ASSERT_TRUE(deduped.status.ok());
+  // 4 identical groups -> 1 leader + 3 frozen-sharing followers, and
+  // C(4,2)=6 concurrent pairs -> 1 checked + 5 memoized: 8 hits total.
+  EXPECT_EQ(deduped.stats.dedup_hits, 8u);
+  EXPECT_GT(deduped.stats.dedup_bytes_saved, 0u);
+
+  AnalysisConfig no_dedup;
+  no_dedup.use_dedup = false;
+  const AnalysisResult plain = t.Analyze(no_dedup);
+  ASSERT_TRUE(plain.status.ok());
+  EXPECT_EQ(plain.stats.dedup_hits, 0u);
+  EXPECT_EQ(plain.stats.dedup_bytes_saved, 0u);
+  ExpectSameReports(deduped.races, plain.races);
 }
 
 TEST(Journal, TornTailDroppedAndContinueRepairs) {

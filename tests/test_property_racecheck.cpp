@@ -277,5 +277,147 @@ TEST_P(AnalyzeAblationProperty, AllAblationsRenderIdentically) {
 INSTANTIATE_TEST_SUITE_P(RandomTraces, AnalyzeAblationProperty,
                          testing::Range(0, 12));
 
+// ---------------------------------------------------------------------------
+// Streaming-pipeline equivalence: the decoder-to-frozen build (use_stream),
+// symbolic strided runs (use_symbolic), and repeated-subtrace memoization
+// (use_dedup) must each - and in every combination, at every thread count -
+// render byte-identically to the all-off legacy path, across trace formats
+// v1/v2/v3 and across salvage-cut traces whose tails died mid-segment.
+
+/// One thread's scripted event stream. Scripts are generated once and
+/// sometimes REPLAYED verbatim on another thread, so dedup's
+/// fingerprint-sharing path is exercised, not just tolerated.
+using EventScript = std::vector<trace::RawEvent>;
+
+EventScript RandomScript(Rng& rng) {
+  EventScript script;
+  const int bursts = 1 + static_cast<int>(rng.Below(4));
+  for (int b = 0; b < bursts; b++) {
+    if (rng.Chance(0.3)) {
+      // A strided sweep: in v3 the writer coalesces this into one
+      // kAccessRun, the shape the symbolic layer carries end to end.
+      const uint64_t base = 0x1000 + rng.Below(64) * 8;
+      const uint64_t stride = 8 * (1 + rng.Below(3));
+      const int count = 16 + static_cast<int>(rng.Below(64));
+      const uint32_t pc = 10 + static_cast<uint32_t>(rng.Below(8));
+      const bool write = rng.Chance(0.6);
+      for (int i = 0; i < count; i++) {
+        script.push_back(trace::RawEvent::Access(
+            base + static_cast<uint64_t>(i) * stride, 8, write, pc));
+      }
+    } else if (rng.Chance(0.15)) {
+      const uint32_t lock = 1 + static_cast<uint32_t>(rng.Below(2));
+      script.push_back(trace::RawEvent::MutexAcquire(lock));
+      script.push_back(trace::RawEvent::Access(
+          0x1000 + rng.Below(256) * 8, 8, true,
+          10 + static_cast<uint32_t>(rng.Below(8))));
+      script.push_back(trace::RawEvent::MutexRelease(lock));
+    } else {
+      const int events = static_cast<int>(rng.Below(40));
+      uint64_t cursor = 0x1000 + rng.Below(512) * 8;
+      for (int e = 0; e < events; e++) {
+        script.push_back(trace::RawEvent::Access(
+            cursor, rng.Chance(0.5) ? 8 : 4, rng.Chance(0.5),
+            10 + static_cast<uint32_t>(rng.Below(8))));
+        cursor += rng.Chance(0.7) ? 8 * (1 + rng.Below(4)) : rng.Below(256) * 8;
+        if (cursor > 0x6000) cursor = 0x1000 + rng.Below(64) * 8;
+      }
+    }
+  }
+  return script;
+}
+
+class StreamingPipelineProperty : public testing::TestWithParam<int> {};
+
+TEST_P(StreamingPipelineProperty, AllModeCombinationsRenderIdentically) {
+  const int seed = GetParam();
+  Rng rng(99000 + static_cast<uint64_t>(seed));
+  TempDir dir("prop-stream");
+  trace::Flusher flusher{/*async=*/false};
+  // Rotate the wire format so every decoder front end feeds the streaming
+  // build; only v3 carries kAccessRun, the symbolic layer's event.
+  const uint8_t format = static_cast<uint8_t>(
+      trace::kTraceFormatV1 + (static_cast<uint32_t>(seed) % 3));
+  const uint32_t threads = 2 + static_cast<uint32_t>(rng.Below(2));
+  const uint32_t phases = 1 + static_cast<uint32_t>(rng.Below(2));
+
+  std::vector<std::vector<EventScript>> scripts(threads);
+  for (uint32_t tid = 0; tid < threads; tid++) {
+    for (uint32_t phase = 0; phase < phases; phase++) {
+      // Half the time a later thread replays thread 0's stream verbatim -
+      // identical canonical streams are dedup's fingerprint-sharing case.
+      if (tid > 0 && rng.Chance(0.5)) {
+        scripts[tid].push_back(scripts[0][phase]);
+      } else {
+        scripts[tid].push_back(RandomScript(rng));
+      }
+    }
+  }
+
+  for (uint32_t tid = 0; tid < threads; tid++) {
+    trace::WriterConfig wc;
+    wc.log_path = dir.path() + "/sword_t" + std::to_string(tid) + ".log";
+    wc.meta_path = dir.path() + "/sword_t" + std::to_string(tid) + ".meta";
+    wc.flusher = &flusher;
+    wc.format = format;
+    trace::ThreadTraceWriter writer(tid, wc);
+    for (uint32_t phase = 0; phase < phases; phase++) {
+      writer.BeginSegment(PropMeta(tid, threads, phase));
+      for (const trace::RawEvent& e : scripts[tid][phase]) writer.Append(e);
+      writer.EndSegment();
+    }
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+
+  // Every third seed analyzes a salvage-cut trace: the last thread's log
+  // loses its tail (as a SIGKILL mid-flush would leave it), so streaming
+  // must match legacy on damaged segments and partially-streamed groups too.
+  StoreOptions store_options;
+  if (seed % 3 == 1) {
+    const std::string victim =
+        dir.path() + "/sword_t" + std::to_string(threads - 1) + ".log";
+    auto size = FileSize(victim);
+    ASSERT_TRUE(size.ok());
+    if (size.value() > 8) {
+      ASSERT_TRUE(
+          TruncateFile(victim, size.value() - 1 - rng.Below(size.value() / 2))
+              .ok());
+      store_options.salvage = true;
+    }
+  }
+
+  auto store = TraceStore::OpenDir(dir.path(), store_options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  const auto pc_name = [](uint32_t pc) { return "pc#" + std::to_string(pc); };
+
+  AnalysisConfig legacy;
+  legacy.use_stream = false;
+  legacy.use_symbolic = false;
+  legacy.use_dedup = false;
+  const AnalysisResult base = Analyze(store.value(), legacy);
+  ASSERT_TRUE(base.status.ok()) << base.status.ToString();
+  const std::string base_text = RenderText(base, pc_name);
+
+  for (int mask = 0; mask < 8; mask++) {
+    for (const uint32_t nthreads : {1u, 3u}) {
+      AnalysisConfig config;
+      config.use_stream = mask & 1;
+      config.use_symbolic = mask & 2;
+      config.use_dedup = mask & 4;
+      config.threads = nthreads;
+      const AnalysisResult alt = Analyze(store.value(), config);
+      ASSERT_TRUE(alt.status.ok()) << alt.status.ToString();
+      EXPECT_EQ(RenderText(alt, pc_name), base_text)
+          << "stream=" << bool(mask & 1) << " symbolic=" << bool(mask & 2)
+          << " dedup=" << bool(mask & 4) << " threads=" << nthreads
+          << " format=v" << int(format);
+      EXPECT_EQ(Tuples(alt.races.reports()), Tuples(base.races.reports()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTraces, StreamingPipelineProperty,
+                         testing::Range(0, 27));
+
 }  // namespace
 }  // namespace sword::offline

@@ -192,6 +192,25 @@ TEST_F(ToolsTest, OfflineToolRefusesResumeAcrossSalvageModes) {
   EXPECT_EQ(rc_ok, 2) << out_ok;
 }
 
+TEST_F(ToolsTest, OfflineToolRefusesResumeAcrossStreamingModes) {
+  // Journal v4 binds the streaming-pipeline knobs the same way it binds the
+  // salvage policy: a journal written with the streaming defaults must not
+  // replay under --no-stream/--no-symbolic/--no-dedup (or the reverse).
+  const std::string base = ToolPath("sword-offline") + " " + dir_.path();
+  const auto [rc_j, out_j] = RunCommand(base + " --journal");
+  EXPECT_EQ(rc_j, 2) << out_j;
+
+  for (const char* flag : {"--no-stream", "--no-symbolic", "--no-dedup"}) {
+    const auto [rc, out] = RunCommand(base + " --resume " + flag);
+    EXPECT_EQ(rc, 1) << flag << ": " << out;
+    EXPECT_NE(out.find("mismatched statistics"), std::string::npos)
+        << flag << ": " << out;
+  }
+
+  const auto [rc_ok, out_ok] = RunCommand(base + " --resume");
+  EXPECT_EQ(rc_ok, 2) << out_ok;
+}
+
 TEST_F(ToolsTest, RunToolListsAndRuns) {
   const auto [rc, out] = RunCommand(ToolPath("sword-run") + " --list");
   EXPECT_EQ(rc, 0);
