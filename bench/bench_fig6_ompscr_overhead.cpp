@@ -8,11 +8,15 @@
 // Flags: --quick (2-thread column only, for CI), --json FILE
 // (machine-readable metrics for the perf-smoke regression gate; includes
 // the tracing-side per-access cost and fast-path suppression counters).
+#include <algorithm>
 #include <fstream>
 #include <map>
 
 #include "bench/bench_util.h"
 #include "common/args.h"
+#include "common/fsutil.h"
+#include "offline/analysis.h"
+#include "offline/tracestore.h"
 
 using namespace sword;
 using namespace sword::bench;
@@ -59,11 +63,9 @@ int main(int argc, char** argv) {
         config.tool = tool;
         config.params.threads = threads;
         config.run_offline = false;  // Fig. 6 measures the dynamic phase
-        auto r = harness::RunWorkload(*w, config);
-        for (int rep = 1; rep < reps; rep++) {
-          auto again = harness::RunWorkload(*w, config);
-          if (again.dynamic_seconds < r.dynamic_seconds) r = std::move(again);
-        }
+        auto r = BestOfReps(
+            reps, [&] { return harness::RunWorkload(*w, config); },
+            [](const harness::RunResult& x) { return x.dynamic_seconds; });
         if (tool == harness::ToolKind::kBaseline) {
           baseline_time = std::max(r.dynamic_seconds, 1e-6);
         }
@@ -140,15 +142,16 @@ int main(int argc, char** argv) {
       config.tool = harness::ToolKind::kSword;
       config.params.threads = threads;
       config.run_offline = false;
-      double best_with = 1e300, best_without = 1e300;
-      for (int rep = 0; rep < reps; rep++) {
-        config.crash_seal = false;
-        best_without = std::min(
-            best_without, harness::RunWorkload(*w, config).dynamic_seconds);
-        config.crash_seal = true;
-        best_with = std::min(
-            best_with, harness::RunWorkload(*w, config).dynamic_seconds);
-      }
+      const auto [best_without, best_with] = BestOfInterleavedReps(
+          reps,
+          [&] {
+            config.crash_seal = false;
+            return harness::RunWorkload(*w, config).dynamic_seconds;
+          },
+          [&] {
+            config.crash_seal = true;
+            return harness::RunWorkload(*w, config).dynamic_seconds;
+          });
       with_s += best_with;
       without_s += best_without;
     }
@@ -158,6 +161,155 @@ int main(int argc, char** argv) {
                 FmtX(handler_slowdown).c_str(), with_s * 1e6, without_s * 1e6);
     Check(handler_slowdown <= 1.02,
           "fatal-signal seal handler costs < 2% of the dynamic phase");
+    std::printf("\n");
+  }
+
+  // --- Static pre-filter A/B: per-workload elision and per-access cost with
+  // the pre-filter on vs off, interleaved rep-by-rep. The per-access
+  // denominator is the workload's instrumented access count (identical in
+  // both arms: elided accesses still execute, they just skip the sink), so
+  // the ns/access ratio isolates what elision saves. The speedup claim is
+  // restricted to the affine workloads (those where anything elided) - the
+  // pre-filter is designed to be a single predictable branch elsewhere.
+  double pf_on_ns = 0, pf_off_ns = 0, pf_speedup = 1.0;
+  double pf_max_elision = 0;  // fraction of instrumented accesses elided
+  uint64_t pf_elided_total = 0;
+  bool pf_identity_ok = true, pf_soundness_ok = true;
+  {
+    const uint32_t threads = thread_counts.front();
+    const int reps = quick ? 7 : 3;
+    double affine_on_s = 0, affine_off_s = 0;
+    uint64_t affine_accesses = 0;
+    std::string best_workload = "-";
+    TextTable table({"workload", "accesses", "elided", "elision", "off ns/acc",
+                     "on ns/acc"});
+    for (const auto* w : workloads::WorkloadRegistry::Get().BySuite("ompscr")) {
+      harness::RunConfig config;
+      config.tool = harness::ToolKind::kSword;
+      config.params.threads = threads;
+      config.run_offline = false;
+      uint64_t elided = 0, total = 0;
+      const auto [best_off, best_on] = BestOfInterleavedReps(
+          reps,
+          [&] {
+            config.prefilter = false;
+            const auto r = harness::RunWorkload(*w, config);
+            total = r.events + r.events_suppressed + r.events_coalesced;
+            return r.dynamic_seconds;
+          },
+          [&] {
+            config.prefilter = true;
+            const auto r = harness::RunWorkload(*w, config);
+            elided = r.events_elided;
+            return r.dynamic_seconds;
+          });
+      const double frac =
+          static_cast<double>(elided) / std::max<uint64_t>(1, total);
+      if (frac > pf_max_elision) {
+        pf_max_elision = frac;
+        best_workload = w->name;
+      }
+      pf_elided_total += elided;
+      if (elided > 0) {
+        affine_on_s += best_on;
+        affine_off_s += best_off;
+        affine_accesses += total;
+      }
+      char pct[16];
+      std::snprintf(pct, sizeof(pct), "%.1f%%", 100.0 * frac);
+      table.AddRow({w->name, std::to_string(total), std::to_string(elided),
+                    pct, Fmt(best_off * 1e9 / std::max<uint64_t>(1, total)),
+                    Fmt(best_on * 1e9 / std::max<uint64_t>(1, total))});
+    }
+    table.Print();
+    pf_off_ns = affine_off_s * 1e9 / std::max<uint64_t>(1, affine_accesses);
+    pf_on_ns = affine_on_s * 1e9 / std::max<uint64_t>(1, affine_accesses);
+    pf_speedup = pf_on_ns > 0 ? pf_off_ns / pf_on_ns : 1.0;
+    std::printf("pre-filter on affine workloads: %s per access with, %s "
+                "without (%s; best elision %.1f%% on %s)\n",
+                Fmt(pf_on_ns).c_str(), Fmt(pf_off_ns).c_str(),
+                FmtX(pf_speedup).c_str(), 100.0 * pf_max_elision,
+                best_workload.c_str());
+    Check(pf_max_elision >= 0.5,
+          ">= 50% of instrumented accesses elided on at least one workload (" +
+              best_workload + ")");
+    Check(pf_speedup > 1.0,
+          "pre-filter lowers the per-access cost on affine workloads");
+
+    // Identity + soundness sweep over both ground-truth suites: the race
+    // REPORT SET must be invariant under elision (same code pairs, same
+    // access kinds), and no workload's manifest ground-truth races may
+    // disappear. This is the bench-level form of the missed-not-false
+    // invariant; test_prefilter checks the same property per configuration.
+    // Canonical race-set key: the unordered code pair plus the unordered
+    // pair of access attributes. The WITNESS is order-sensitive (a pair of
+    // read-modify-write statements can be caught as read@A/write@B or
+    // write@A/read@B depending on which conflict the checker meets first,
+    // and elision receipts legally reorder events within a segment), so the
+    // invariant the pre-filter guarantees - and this key compares - is the
+    // set of racing code pairs, not the orientation of the first witness.
+    offline::Analyzer analyzer(8);
+    const auto race_key = [](const offline::AnalysisResult& res) {
+      std::vector<std::string> lines;
+      for (const auto& r : res.races.reports()) {
+        std::string attr1 = (r.write1 ? "w" : "r") + std::to_string(r.size1);
+        std::string attr2 = (r.write2 ? "w" : "r") + std::to_string(r.size2);
+        if (attr2 < attr1) std::swap(attr1, attr2);
+        lines.push_back(std::to_string(std::min(r.pc1, r.pc2)) + "-" +
+                        std::to_string(std::max(r.pc1, r.pc2)) + ":" + attr1 +
+                        "," + attr2);
+      }
+      std::sort(lines.begin(), lines.end());
+      std::string out;
+      for (const auto& l : lines) {
+        out += l;
+        out += ";";
+      }
+      return out;
+    };
+    for (const char* suite : {"drb", "ompscr"}) {
+      for (const auto* w : workloads::WorkloadRegistry::Get().BySuite(suite)) {
+        uint64_t races_on = 0;
+        std::string keys[2];
+        for (int arm = 0; arm < 2; arm++) {
+          TempDir dir("f6-pf");
+          harness::RunConfig tc;
+          tc.tool = harness::ToolKind::kSword;
+          tc.params.threads = 8;
+          tc.run_offline = false;
+          tc.trace_dir = dir.path();
+          tc.prefilter = arm == 1;
+          harness::RunWorkload(*w, tc);
+          auto store = offline::TraceStore::OpenDir(dir.path());
+          if (!store.ok()) {
+            pf_identity_ok = false;
+            keys[arm] = "open-failed:" + std::to_string(arm);
+            continue;
+          }
+          const auto res = analyzer.Analyze(store.value(), {});
+          keys[arm] = race_key(res);
+          if (arm == 1) races_on = res.races.size();
+        }
+        if (keys[0] != keys[1]) {
+          std::fprintf(stderr, "pre-filter identity MISMATCH on %s/%s\n",
+                       suite, w->name.c_str());
+          pf_identity_ok = false;
+        }
+        if (races_on < w->total_races) {
+          std::fprintf(stderr,
+                       "pre-filter SOUNDNESS failure on %s/%s: %llu < %llu "
+                       "ground-truth race(s)\n",
+                       suite, w->name.c_str(),
+                       static_cast<unsigned long long>(races_on),
+                       static_cast<unsigned long long>(w->total_races));
+          pf_soundness_ok = false;
+        }
+      }
+    }
+    Check(pf_identity_ok,
+          "race sets identical with and without the pre-filter (drb + ompscr)");
+    Check(pf_soundness_ok,
+          "no ground-truth race elided away (drb + ompscr sweep)");
     std::printf("\n");
   }
 
@@ -176,7 +328,16 @@ int main(int argc, char** argv) {
         << ",\"handler_installed\":true"
         << ",\"handler_installed_slowdown\":" << handler_slowdown
         << ",\"handler_overhead_ok\":"
-        << (handler_slowdown <= 1.02 ? "true" : "false") << "}\n";
+        << (handler_slowdown <= 1.02 ? "true" : "false")
+        << ",\"events_elided\":" << pf_elided_total
+        << ",\"prefilter_max_elision_pct\":" << pf_max_elision
+        << ",\"prefilter_on_per_access_ns\":" << pf_on_ns
+        << ",\"prefilter_off_per_access_ns\":" << pf_off_ns
+        << ",\"prefilter_speedup\":" << pf_speedup
+        << ",\"prefilter_identity_ok\":"
+        << (pf_identity_ok ? "true" : "false")
+        << ",\"prefilter_soundness_ok\":"
+        << (pf_soundness_ok ? "true" : "false") << "}\n";
   }
   return 0;
 }

@@ -28,6 +28,7 @@
 // for the perf-smoke regression gate).
 #include <algorithm>
 #include <fstream>
+#include <tuple>
 
 #include "bench/bench_util.h"
 #include "common/args.h"
@@ -85,19 +86,21 @@ AbRow MeasureAb(const workloads::Workload& w, offline::Analyzer& analyzer,
   offline::AnalysisConfig streaming;
 
   uint64_t legacy_races = 0, stream_races = 0;
-  row.legacy_seconds = 1e30;
-  row.stream_seconds = 1e30;
-  for (int r = 0; r < reps; r++) {
-    const auto lres = analyzer.Analyze(store.value(), legacy);
-    const auto sres = analyzer.Analyze(store.value(), streaming);
-    row.legacy_seconds = std::min(row.legacy_seconds, lres.stats.total_seconds);
-    row.stream_seconds = std::min(row.stream_seconds, sres.stats.total_seconds);
-    row.legacy_peak = lres.stats.peak_tree_bytes;
-    row.stream_peak = sres.stats.peak_tree_bytes;
-    row.dedup_hits = sres.stats.dedup_hits;
-    legacy_races = lres.races.size();
-    stream_races = sres.races.size();
-  }
+  std::tie(row.legacy_seconds, row.stream_seconds) = BestOfInterleavedReps(
+      reps,
+      [&] {
+        const auto lres = analyzer.Analyze(store.value(), legacy);
+        row.legacy_peak = lres.stats.peak_tree_bytes;
+        legacy_races = lres.races.size();
+        return lres.stats.total_seconds;
+      },
+      [&] {
+        const auto sres = analyzer.Analyze(store.value(), streaming);
+        row.stream_peak = sres.stats.peak_tree_bytes;
+        row.dedup_hits = sres.stats.dedup_hits;
+        stream_races = sres.races.size();
+        return sres.stats.total_seconds;
+      });
   row.speedup = row.stream_seconds > 0 ? row.legacy_seconds / row.stream_seconds
                                        : 0;
   row.same_races = legacy_races == stream_races;

@@ -7,8 +7,10 @@
 // the substrate here is a simulator on different hardware).
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.h"
@@ -39,6 +41,35 @@ inline harness::RunResult Run(const workloads::Workload& w, harness::ToolKind to
   config.params.size = size;
   config.archer_memory_cap = archer_cap;
   return harness::RunWorkload(w, config);
+}
+
+/// Best-of-N repetition. The sub-millisecond kernels these benches time are
+/// scheduler noise in a single run, so every timing site takes the best of
+/// a few repetitions (the counters are deterministic across reps, only the
+/// wall time varies). Runs `fn` `reps` times (at least once) and returns
+/// the result with the smallest `key(result)`.
+template <typename Fn, typename Key>
+auto BestOfReps(int reps, Fn&& fn, Key&& key) {
+  auto best = fn();
+  for (int rep = 1; rep < reps; rep++) {
+    auto again = fn();
+    if (key(again) < key(best)) best = std::move(again);
+  }
+  return best;
+}
+
+/// Interleaved A/B best-of: alternates the two arms rep-by-rep so host
+/// drift cancels out of the ratio, and takes each arm's best wall clock.
+/// Returns {best_a_seconds, best_b_seconds}.
+template <typename FnA, typename FnB>
+std::pair<double, double> BestOfInterleavedReps(int reps, FnA&& run_a,
+                                                FnB&& run_b) {
+  double best_a = 1e300, best_b = 1e300;
+  for (int rep = 0; rep < reps; rep++) {
+    best_a = std::min(best_a, static_cast<double>(run_a()));
+    best_b = std::min(best_b, static_cast<double>(run_b()));
+  }
+  return {best_a, best_b};
 }
 
 inline void Banner(const char* title, const char* claim) {

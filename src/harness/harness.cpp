@@ -126,6 +126,8 @@ RunResult RunWorkload(const workloads::Workload& workload, const RunConfig& conf
       sc.access_filter = config.access_filter;
       sc.coalesce = config.coalesce;
       sc.lockfree = config.lockfree;
+      sc.prefilter = config.prefilter;
+      sc.prefilter_budget = config.prefilter_budget;
       sc.crash_seal = config.crash_seal;
       sc.adaptive_degradation = config.adaptive_degradation;
       sc.governor_config = config.governor_config;
@@ -150,6 +152,8 @@ RunResult RunWorkload(const workloads::Workload& workload, const RunConfig& conf
         result.runs_emitted = tool.RunsEmitted();
         result.accesses_dropped = tool.AccessesDropped();
         result.degraded_dropped = tool.DegradedDropped();
+        result.events_elided = tool.EventsElided();
+        result.elided_lost = tool.ElidedLost();
         result.flushes = tool.Flushes();
         result.trace_threads = tool.ThreadCount();
         result.flusher = tool.FlushStats();

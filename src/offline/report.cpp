@@ -74,6 +74,16 @@ std::string RenderText(const AnalysisResult& result, const PcNamer& pc_namer) {
            std::to_string(in.degradation_transitions) +
            " level change(s)); races found are real, absence is not proof\n";
   }
+  // Pre-filter elision is informational, never damage: receipts keep the
+  // decoded stream address-equivalent, so nothing is missing from analysis.
+  if (in.elided_accesses > 0) {
+    out += "static pre-filter: " + std::to_string(in.elided_accesses) +
+           " access(es) elided at proven-safe sites (receipts in stream)\n";
+  }
+  if (in.elided_lost > 0) {
+    out += "  WARNING: " + std::to_string(in.elided_lost) +
+           " elided access(es) lost their receipts; treated as damage\n";
+  }
   const bool damaged = !in.clean() || s.segments_skipped > 0 ||
                        s.buckets_skipped > 0 || s.events_missing > 0 ||
                        s.bytes_skipped_read > 0;
@@ -188,6 +198,8 @@ std::string RenderJson(const AnalysisResult& result, const PcNamer& pc_namer) {
   out += ",\"degraded_dropped\":" + std::to_string(in.degraded_dropped);
   out += ",\"degradation_transitions\":" +
          std::to_string(in.degradation_transitions);
+  out += ",\"elided_accesses\":" + std::to_string(in.elided_accesses);
+  out += ",\"elided_lost\":" + std::to_string(in.elided_lost);
   out += ",\"segments_skipped\":" + std::to_string(s.segments_skipped);
   out += ",\"buckets_skipped\":" + std::to_string(s.buckets_skipped);
   out += ",\"events_missing\":" + std::to_string(s.events_missing);

@@ -114,6 +114,8 @@ Result<TraceStore> TraceStore::Open(const std::vector<std::string>& log_paths,
           }
           store.integrity_.degraded_dropped += tt.meta.degraded_dropped;
           store.integrity_.degradation_transitions += tt.meta.transitions.size();
+          store.integrity_.elided_accesses += tt.meta.elided_accesses;
+          store.integrity_.elided_lost += tt.meta.elided_lost;
         }
       }
     }

@@ -64,6 +64,14 @@ struct TraceIntegrity {
   // invented) - so it participates in clean().
   uint64_t degraded_dropped = 0;         // accesses shed by the governor
   uint64_t degradation_transitions = 0;  // recorded level changes
+  // Static pre-filter accounting (sums over threads' v6 metas). Elided
+  // accesses are NOT loss: the writer appended compact footprint receipts
+  // that make the decoded stream address-equivalent to the uninstrumented
+  // one, so elision never participates in clean(). elided_lost counts
+  // elided accesses whose receipts could NOT be written (no open segment at
+  // flush time) - that IS loss and is folded into clean().
+  uint64_t elided_accesses = 0;
+  uint64_t elided_lost = 0;
 
   bool clean() const {
     return frames_corrupt == 0 && frames_unaddressable == 0 &&
@@ -71,7 +79,7 @@ struct TraceIntegrity {
            truncated_tail_bytes == 0 && events_dropped_at_record == 0 &&
            meta_records_dropped == 0 && meta_records_rejected == 0 &&
            threads_missing_meta == 0 && threads_missing_log == 0 &&
-           degraded_dropped == 0;
+           degraded_dropped == 0 && elided_lost == 0;
   }
 };
 

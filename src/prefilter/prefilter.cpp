@@ -1,0 +1,822 @@
+#include "prefilter/prefilter.h"
+
+#include <algorithm>
+
+#include "ilp/overlap.h"
+#include "somp/srcloc.h"
+
+namespace sword::prefilter {
+
+Prefilter::Prefilter(const PrefilterConfig& config) : config_(config) {}
+Prefilter::~Prefilter() = default;  // here: detail::Site is complete
+
+const char* VerdictName(SiteVerdict v) {
+  switch (v) {
+    case SiteVerdict::kObserving: return "observing";
+    case SiteVerdict::kProvenSafe: return "proven-safe";
+    case SiteVerdict::kUnprovenOverlap: return "unproven-overlap";
+    case SiteVerdict::kUnsupportedSchedule: return "unsupported-schedule";
+    case SiteVerdict::kIrregular: return "irregular";
+    case SiteVerdict::kHasSync: return "has-sync";
+    case SiteVerdict::kBudget: return "budget";
+    case SiteVerdict::kDisarmed: return "disarmed";
+  }
+  return "?";
+}
+
+namespace detail {
+
+/// One lane's finalized affine fit for one slot, fed into the merge.
+struct LaneFit {
+  uint32_t pc = 0;
+  uint8_t flags = 0;
+  uint8_t size = 0;
+  int64_t first_addr = 0;    // A: address at iteration lane_begin, k = 0
+  int64_t inner_stride = 0;  // s
+  int64_t iter_stride = 0;   // delta (valid iff delta_known)
+  uint32_t inner_count = 1;  // c
+  bool delta_known = false;
+};
+
+struct LaneObservation {
+  uint32_t lane = 0;
+  int64_t lb = 0;
+  int64_t le = 0;
+  std::vector<LaneFit> fits;  // sorted by (pc, flags, size)
+};
+
+struct Site {
+  uint32_t pc = 0;  // interned For-callsite id
+  SiteSignature sig;
+  bool sig_known = false;
+  SiteVerdict verdict = SiteVerdict::kObserving;
+  std::vector<PcModel> models;  // valid while kProvenSafe
+  SiteStats stats;
+  uint32_t invalidations = 0;
+
+  // Current-episode bookkeeping. An episode is one execution of the
+  // worksharing loop by the whole team, identified by (region, seq).
+  bool ep_active = false;
+  somp::RegionId cur_region = 0;
+  uint64_t cur_seq = 0;
+  uint32_t began = 0;  // lanes that entered the current episode
+  uint32_t ended = 0;  // lanes that finished it
+  uint64_t episode_counter = 0;
+  uint64_t last_invalidate_ep = ~0ULL;  // invalidate at most once per episode
+  SiteVerdict obs_fail = SiteVerdict::kObserving;  // kObserving = no failure
+  std::vector<LaneObservation> pending;  // this episode's lane fits
+};
+
+}  // namespace detail
+
+using detail::ElideSlot;
+using detail::LaneFit;
+using detail::LaneObservation;
+using detail::ObserveSlot;
+using detail::Site;
+
+namespace {
+
+bool SameKey(const LaneFit& a, const LaneFit& b) {
+  return a.pc == b.pc && a.flags == b.flags && a.size == b.size;
+}
+
+bool KeyLess(const LaneFit& a, const LaneFit& b) {
+  if (a.pc != b.pc) return a.pc < b.pc;
+  if (a.flags != b.flags) return a.flags < b.flags;
+  return a.size < b.size;
+}
+
+/// Appends one receipt event standing for `count` accesses stepping by
+/// `stride` from `base`. Negative strides normalize to the ascending
+/// equivalent; a zero stride (the same address over and over) collapses to a
+/// single access - the writer's own dup filter gives repeated identical
+/// accesses exactly that treatment, so race judgments are unchanged.
+uint64_t EmitRun(trace::ThreadTraceWriter* writer, int64_t base, int64_t stride,
+                 uint64_t count, uint8_t size, uint8_t flags, uint32_t pc) {
+  if (count == 0) return 0;
+  if (count == 1 || stride == 0) {
+    writer->AppendReceipt(
+        trace::RawEvent::Access(static_cast<uint64_t>(base), size, flags, pc));
+    return 1;
+  }
+  if (stride < 0) {
+    base += static_cast<int64_t>(count - 1) * stride;
+    stride = -stride;
+  }
+  writer->AppendReceipt(trace::RawEvent::Run(static_cast<uint64_t>(base),
+                                             static_cast<uint64_t>(stride),
+                                             count, size, flags, pc));
+  return 1;
+}
+
+/// Emits the exact footprint of the slot's elided prefix (n accesses from
+/// `start`, group-aligned by construction) in at most min(full, c) + 1 runs.
+uint64_t EmitSlotReceipts(const ElideSlot& s, trace::ThreadTraceWriter* writer) {
+  const uint64_t n = s.elided;
+  const int64_t a = static_cast<int64_t>(s.start);
+  const uint32_t c = s.inner_count;
+  if (c == 1) return EmitRun(writer, a, s.group_jump, n, s.size, s.flags, s.pc);
+  if (s.inner_stride == static_cast<int64_t>(s.size) &&
+      s.group_jump == s.inner_stride) {
+    // Groups are contiguous and adjacent: the whole prefix is one dense run.
+    return EmitRun(writer, a, s.inner_stride, n, s.size, s.flags, s.pc);
+  }
+  const uint64_t full = n / c;
+  const uint64_t tail = n % c;
+  uint64_t events = 0;
+  if (full > 0) {
+    if (full <= c) {
+      for (uint64_t g = 0; g < full; g++) {
+        events += EmitRun(writer, a + static_cast<int64_t>(g) * s.iter_stride,
+                          s.inner_stride, c, s.size, s.flags, s.pc);
+      }
+    } else {
+      for (uint32_t k = 0; k < c; k++) {
+        events += EmitRun(writer, a + static_cast<int64_t>(k) * s.inner_stride,
+                          s.iter_stride, full, s.size, s.flags, s.pc);
+      }
+    }
+  }
+  if (tail > 0) {
+    events += EmitRun(writer, a + static_cast<int64_t>(full) * s.iter_stride,
+                      s.inner_stride, tail, s.size, s.flags, s.pc);
+  }
+  return events;
+}
+
+/// Closes the lane's observation and extracts per-slot fits. False means the
+/// lane's accesses do not fit the model (site becomes kIrregular).
+bool FinalizeLane(LaneEpisode* ep, LaneObservation* out) {
+  const int64_t lb = ep->lane_begin;
+  const int64_t le = ep->lane_end;
+  const int64_t m = le - lb;
+  if (m <= 0) return ep->obs.empty();  // no iterations => no accesses allowed
+  for (auto& s : ep->obs) {
+    if (!s.regular) return false;
+    // Close the final group.
+    if (!s.first_group_done) {
+      s.inner_count = s.group_len;
+    } else if (s.group_len != s.inner_count) {
+      return false;
+    }
+    // Every iteration of the block must have touched the slot, exactly c
+    // times each - otherwise the access is conditional and has no model.
+    if (s.first_iter != lb || s.cur_iter != le - 1) return false;
+    if (s.total != static_cast<uint64_t>(m) * s.inner_count) return false;
+    LaneFit f;
+    f.pc = s.pc;
+    f.flags = s.flags;
+    f.size = s.size;
+    f.first_addr = s.first_addr;
+    f.inner_stride = s.inner_stride;
+    f.inner_count = s.inner_count;
+    f.iter_stride = s.iter_stride;
+    f.delta_known = s.delta_known;
+    out->fits.push_back(f);
+  }
+  std::sort(out->fits.begin(), out->fits.end(), KeyLess);
+  return true;
+}
+
+/// The strided-interval footprint of `m` on one lane's block [lb, le), for
+/// the prover. False = the shape exceeds the expansion cap (kBudget).
+bool LaneIntervals(const PcModel& m, int64_t begin, int64_t lb, int64_t le,
+                   uint32_t max_inner_products,
+                   std::vector<ilp::StridedInterval>* out) {
+  const int64_t iters = le - lb;
+  if (iters <= 0) return true;
+  int64_t a = m.base + (lb - begin) * m.iter_stride;
+  int64_t delta = m.iter_stride;
+  uint32_t size = m.size;
+  uint32_t c = m.inner_count;
+  int64_t s = m.inner_stride;
+  if (c > 1) {
+    if (s == static_cast<int64_t>(size)) {
+      // Dense ascending group: [a, a + c*size) per iteration.
+      size = c * size;
+      c = 1;
+    } else if (-s == static_cast<int64_t>(size)) {
+      // Dense descending group: same byte set, anchored at its low end.
+      a -= static_cast<int64_t>(c - 1) * static_cast<int64_t>(size);
+      size = c * size;
+      c = 1;
+    } else if (c > max_inner_products) {
+      return false;
+    }
+  }
+  for (uint32_t k = 0; k < c; k++) {
+    int64_t base = a + static_cast<int64_t>(k) * s;
+    int64_t stride = delta;
+    if (stride < 0) {
+      base += (iters - 1) * stride;
+      stride = -stride;
+    }
+    ilp::StridedInterval iv;
+    iv.size = size;
+    if (stride == 0 || iters == 1) {
+      iv.base = static_cast<uint64_t>(base);
+      iv.stride = 0;
+      iv.count = 1;
+    } else {
+      iv.base = static_cast<uint64_t>(base);
+      iv.stride = static_cast<uint64_t>(stride);
+      iv.count = static_cast<uint64_t>(iters);
+    }
+    out->push_back(iv);
+  }
+  return true;
+}
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char ch : in) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(ch) < 0x20) continue;  // not expected
+    out.push_back(ch);
+  }
+  return out;
+}
+
+}  // namespace
+
+LaneEpisode* Prefilter::BeginEpisode(const somp::WorkshareInfo& ws,
+                                     somp::RegionId region, uint32_t lane,
+                                     uint32_t span, uint32_t level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site* site;
+  auto it = sites_.find(ws.site);
+  if (it == sites_.end()) {
+    auto owned = std::make_unique<Site>();
+    site = owned.get();
+    site->pc = ws.site;
+    sites_.emplace(ws.site, std::move(owned));
+    site_order_.push_back(ws.site);
+  } else {
+    site = it->second.get();
+  }
+
+  switch (site->verdict) {
+    case SiteVerdict::kUnsupportedSchedule:
+    case SiteVerdict::kIrregular:
+    case SiteVerdict::kHasSync:
+    case SiteVerdict::kUnprovenOverlap:
+    case SiteVerdict::kBudget:
+    case SiteVerdict::kDisarmed:
+      return nullptr;  // permanent negatives: the site stays instrumented
+    case SiteVerdict::kObserving:
+    case SiteVerdict::kProvenSafe:
+      break;
+  }
+
+  // Only static no-chunk level-1 loops with their implicit barrier have the
+  // contiguous-block iteration footprint the prover models.
+  if (ws.schedule != somp::Schedule::kStatic || ws.chunk != 0 || ws.nowait ||
+      level != 1 || span == 0 || span > config_.max_span) {
+    site->verdict = SiteVerdict::kUnsupportedSchedule;
+    site->models.clear();
+    site->pending.clear();
+    return nullptr;
+  }
+
+  const SiteSignature sig{ws.begin, ws.end, ws.chunk,
+                          span,     ws.schedule, ws.nowait};
+  const bool joining = site->ep_active && site->cur_region == region &&
+                       site->cur_seq == ws.seq;
+  if (joining) {
+    site->began++;
+  } else {
+    if (site->ep_active && site->began != site->ended) {
+      // A second team is executing this site while the first is still in it:
+      // episode bookkeeping cannot attribute lanes, so give up for good.
+      site->verdict = SiteVerdict::kDisarmed;
+      site->models.clear();
+      site->pending.clear();
+      return nullptr;
+    }
+    site->episode_counter++;
+    if (site->sig_known && !(site->sig == sig) &&
+        site->verdict == SiteVerdict::kProvenSafe) {
+      // Bounds/team-size change: the proof no longer applies.
+      InvalidateLocked(site);
+      if (site->verdict == SiteVerdict::kDisarmed) return nullptr;
+    }
+    site->sig = sig;
+    site->sig_known = true;
+    site->ep_active = true;
+    site->cur_region = region;
+    site->cur_seq = ws.seq;
+    site->began = 1;
+    site->ended = 0;
+    site->pending.clear();
+    site->obs_fail = SiteVerdict::kObserving;
+    site->stats.episodes++;
+    if (site->verdict == SiteVerdict::kProvenSafe) site->stats.armed_episodes++;
+  }
+
+  auto* ep = new LaneEpisode();
+  ep->owner = this;
+  ep->site = site;
+  ep->lane = lane;
+  ep->lane_begin = ws.lane_begin;
+  ep->lane_end = ws.lane_end;
+  if (site->verdict == SiteVerdict::kProvenSafe) {
+    ep->mode = LaneEpisode::Mode::kElide;
+    const int64_t m =
+        ws.lane_end > ws.lane_begin ? ws.lane_end - ws.lane_begin : 0;
+    ep->slots.reserve(site->models.size());
+    for (const auto& model : site->models) {
+      ElideSlot s;
+      s.pc = model.pc;
+      s.flags = model.flags;
+      s.size = model.size;
+      s.inner_count = model.inner_count;
+      s.inner_stride = model.inner_stride;
+      s.iter_stride = model.iter_stride;
+      s.group_jump = model.iter_stride -
+                     static_cast<int64_t>(model.inner_count - 1) *
+                         model.inner_stride;
+      s.expect = static_cast<uint64_t>(
+          model.base + (ws.lane_begin - site->sig.begin) * model.iter_stride);
+      s.start = s.expect;
+      s.remaining = static_cast<uint64_t>(m) * model.inner_count;
+      ep->slots.push_back(s);
+    }
+  } else {
+    ep->mode = LaneEpisode::Mode::kObserve;
+  }
+  return ep;
+}
+
+void Prefilter::EndEpisode(LaneEpisode* ep, trace::ThreadTraceWriter* writer) {
+  if (ep == nullptr) return;
+  if (ep->mode == LaneEpisode::Mode::kElide) FlushLaneReceipts(ep, writer);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Site* site = ep->site;
+    if (ep->mode == LaneEpisode::Mode::kObserve && !ep->suspended) {
+      if (ep->saw_range) {
+        if (site->obs_fail == SiteVerdict::kObserving) {
+          site->obs_fail = SiteVerdict::kIrregular;
+        }
+      } else {
+        LaneObservation lo;
+        lo.lane = ep->lane;
+        lo.lb = ep->lane_begin;
+        lo.le = ep->lane_end;
+        if (FinalizeLane(ep, &lo)) {
+          if (lo.le > lo.lb) site->pending.push_back(std::move(lo));
+        } else if (site->obs_fail == SiteVerdict::kObserving) {
+          site->obs_fail = SiteVerdict::kIrregular;
+        }
+      }
+    }
+    site->ended++;
+    if (site->ep_active && site->ended == site->sig.span) {
+      site->ep_active = false;
+      if (site->verdict == SiteVerdict::kObserving) MergeAndProveLocked(site);
+      site->pending.clear();
+      site->began = 0;
+      site->ended = 0;
+    }
+  }
+  delete ep;
+}
+
+void Prefilter::SuspendEpisode(LaneEpisode* ep,
+                               trace::ThreadTraceWriter* writer) {
+  if (ep == nullptr) return;
+  if (ep->mode == LaneEpisode::Mode::kElide) {
+    // Receipts first: the caller appends the interrupting event (or closes
+    // the segment) after us, so the elided prefix lands at its true position
+    // in the stream.
+    FlushLaneReceipts(ep, writer);
+    ep->mode = LaneEpisode::Mode::kInert;
+    ep->suspended = true;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ep->site->verdict == SiteVerdict::kProvenSafe) {
+      InvalidateLocked(ep->site);
+    }
+  } else if (ep->mode == LaneEpisode::Mode::kObserve) {
+    ep->mode = LaneEpisode::Mode::kInert;
+    ep->suspended = true;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ep->site->obs_fail == SiteVerdict::kObserving) {
+      ep->site->obs_fail = SiteVerdict::kHasSync;
+    }
+  } else {
+    ep->suspended = true;
+  }
+}
+
+void Prefilter::Observe(LaneEpisode* ep, uint64_t uaddr, uint8_t size,
+                        uint8_t flags, uint32_t pc) {
+  const int64_t addr = static_cast<int64_t>(uaddr);
+  const int64_t iter = ep->iter ? *ep->iter : 0;
+  ObserveSlot* slot = nullptr;
+  for (auto& s : ep->obs) {
+    if (s.pc == pc && s.flags == flags && s.size == size) {
+      slot = &s;
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    ObserveSlot s;
+    s.pc = pc;
+    s.flags = flags;
+    s.size = size;
+    s.first_iter = s.cur_iter = iter;
+    s.first_addr = s.group_first = s.prev_addr = addr;
+    s.group_len = 1;
+    s.total = 1;
+    ep->obs.push_back(s);
+    return;
+  }
+  if (!slot->regular) {
+    slot->total++;
+    return;
+  }
+  if (iter == slot->cur_iter) {
+    const int64_t stride = addr - slot->prev_addr;
+    if (!slot->first_group_done) {
+      if (!slot->inner_known) {
+        slot->inner_stride = stride;
+        slot->inner_known = true;
+      } else if (stride != slot->inner_stride) {
+        slot->regular = false;
+      }
+    } else if (slot->group_len >= slot->inner_count ||
+               stride != slot->inner_stride) {
+      slot->regular = false;
+    }
+    slot->group_len++;
+    slot->prev_addr = addr;
+    slot->total++;
+  } else if (iter == slot->cur_iter + 1) {
+    if (!slot->first_group_done) {
+      slot->inner_count = slot->group_len;
+      slot->first_group_done = true;
+    } else if (slot->group_len != slot->inner_count) {
+      slot->regular = false;
+    }
+    const int64_t d = addr - slot->group_first;
+    if (!slot->delta_known) {
+      slot->iter_stride = d;
+      slot->delta_known = true;
+    } else if (d != slot->iter_stride) {
+      slot->regular = false;
+    }
+    slot->cur_iter = iter;
+    slot->group_first = slot->prev_addr = addr;
+    slot->group_len = 1;
+    slot->total++;
+  } else {
+    slot->regular = false;
+    slot->total++;
+  }
+}
+
+void Prefilter::Deviate(LaneEpisode* ep, trace::ThreadTraceWriter* writer) {
+  // The elided prefix up to here is exact; flush its receipts BEFORE the
+  // caller appends the deviating access, preserving stream order.
+  FlushLaneReceipts(ep, writer);
+  ep->mode = LaneEpisode::Mode::kInert;
+  std::lock_guard<std::mutex> lock(ep->owner->mu_);
+  ep->site->stats.deviations++;
+  if (ep->site->verdict == SiteVerdict::kProvenSafe) {
+    ep->owner->InvalidateLocked(ep->site);
+  }
+}
+
+void Prefilter::FlushLaneReceipts(LaneEpisode* ep,
+                                  trace::ThreadTraceWriter* writer) {
+  uint64_t total = 0;
+  for (const auto& s : ep->slots) total += s.elided;
+  if (total == 0) return;
+  uint64_t receipts = 0;
+  if (writer != nullptr && writer->HasOpenSegment()) {
+    for (const auto& s : ep->slots) {
+      if (s.elided != 0) receipts += EmitSlotReceipts(s, writer);
+    }
+    writer->NoteElided(total);
+  } else if (writer != nullptr) {
+    writer->NoteElidedLost(total);
+  }
+  for (auto& s : ep->slots) s.elided = 0;
+  std::lock_guard<std::mutex> lock(ep->owner->mu_);
+  ep->site->stats.elided += total;
+  ep->site->stats.receipts += receipts;
+}
+
+void Prefilter::InvalidateLocked(Site* site) {
+  site->models.clear();
+  site->verdict = SiteVerdict::kObserving;
+  if (site->last_invalidate_ep != site->episode_counter) {
+    site->last_invalidate_ep = site->episode_counter;
+    site->invalidations++;
+    site->stats.invalidations++;
+    if (site->invalidations >= config_.max_invalidations) {
+      site->verdict = SiteVerdict::kDisarmed;
+    }
+  }
+}
+
+void Prefilter::MergeAndProveLocked(Site* site) {
+  if (site->obs_fail != SiteVerdict::kObserving) {
+    site->verdict = site->obs_fail;
+    site->models.clear();
+    site->pending.clear();
+    return;
+  }
+  const SiteSignature& g = site->sig;
+  const int64_t n = g.end - g.begin;
+
+  // The canonical static no-chunk block per lane (mirrors somp's dispatch).
+  std::vector<std::pair<int64_t, int64_t>> blocks(g.span, {0, 0});
+  uint32_t nonempty = 0;
+  if (n > 0) {
+    const int64_t block = (n + g.span - 1) / g.span;
+    for (uint32_t t = 0; t < g.span; t++) {
+      const int64_t lb = g.begin + static_cast<int64_t>(t) * block;
+      const int64_t le = std::min<int64_t>(g.end, lb + block);
+      if (le > lb) {
+        blocks[t] = {lb, le};
+        nonempty++;
+      }
+    }
+  }
+
+  std::vector<const LaneObservation*> lanes(g.span, nullptr);
+  uint32_t reported = 0;
+  for (const auto& lo : site->pending) {
+    if (lo.lane < g.span && lanes[lo.lane] == nullptr) {
+      lanes[lo.lane] = &lo;
+      reported++;
+    }
+  }
+  // A mixed episode (a deviation mid-way flipped later lanes to observe
+  // mode) reports fewer lanes than the block math requires: stay observing
+  // and try again on a clean episode.
+  if (reported != nonempty) return;
+
+  // Merge the per-lane fits into global models.
+  std::vector<PcModel> models;
+  const LaneObservation* first = nullptr;
+  for (uint32_t t = 0; t < g.span; t++) {
+    if (lanes[t] != nullptr) {
+      first = lanes[t];
+      break;
+    }
+  }
+  if (first != nullptr) {
+    const size_t n_fits = first->fits.size();
+    for (uint32_t t = 0; t < g.span; t++) {
+      if (lanes[t] != nullptr && lanes[t]->fits.size() != n_fits) {
+        site->verdict = SiteVerdict::kIrregular;  // conditional access sites
+        return;
+      }
+    }
+    for (size_t i = 0; i < n_fits; i++) {
+      const LaneFit& ref = first->fits[i];
+      int64_t delta = 0;
+      bool delta_known = false;
+      for (uint32_t t = 0; t < g.span; t++) {
+        if (lanes[t] == nullptr) continue;
+        const LaneFit& f = lanes[t]->fits[i];
+        if (!SameKey(f, ref) || f.inner_count != ref.inner_count ||
+            (f.inner_count > 1 && f.inner_stride != ref.inner_stride)) {
+          site->verdict = SiteVerdict::kIrregular;
+          return;
+        }
+        if (f.delta_known) {
+          if (delta_known && f.iter_stride != delta) {
+            site->verdict = SiteVerdict::kIrregular;
+            return;
+          }
+          delta = f.iter_stride;
+          delta_known = true;
+        }
+      }
+      if (!delta_known) {
+        // Every lane ran a single iteration; recover delta across lanes.
+        const LaneObservation* a = nullptr;
+        const LaneObservation* b = nullptr;
+        for (uint32_t t = 0; t < g.span; t++) {
+          if (lanes[t] == nullptr) continue;
+          if (a == nullptr) {
+            a = lanes[t];
+          } else {
+            b = lanes[t];
+            break;
+          }
+        }
+        if (b != nullptr) {
+          const int64_t denom = b->lb - a->lb;
+          const int64_t num = b->fits[i].first_addr - a->fits[i].first_addr;
+          if (denom == 0 || num % denom != 0) {
+            site->verdict = SiteVerdict::kIrregular;
+            return;
+          }
+          delta = num / denom;
+        }
+        // A single one-iteration lane: any delta is consistent; use 0.
+      }
+      PcModel m;
+      m.pc = ref.pc;
+      m.flags = ref.flags;
+      m.size = ref.size;
+      m.iter_stride = delta;
+      m.inner_stride = ref.inner_count > 1 ? ref.inner_stride : 0;
+      m.inner_count = ref.inner_count;
+      m.base = first->fits[i].first_addr - (first->lb - g.begin) * delta;
+      // The model must place EVERY lane's first address; one lane off means
+      // the access is not a pure function of the iteration index.
+      for (uint32_t t = 0; t < g.span; t++) {
+        if (lanes[t] == nullptr) continue;
+        if (lanes[t]->fits[i].first_addr !=
+            m.base + (lanes[t]->lb - g.begin) * delta) {
+          site->verdict = SiteVerdict::kIrregular;
+          return;
+        }
+      }
+      models.push_back(m);
+    }
+  }
+
+  // Receipt-cost cap: an armed slot may need up to c + 1 runs per flush.
+  for (const auto& m : models) {
+    const bool dense =
+        m.inner_count > 1 && m.inner_stride == static_cast<int64_t>(m.size) &&
+        m.iter_stride ==
+            static_cast<int64_t>(m.inner_count) * m.inner_stride;
+    if (!(m.inner_count == 1 || dense ||
+          m.inner_count <= config_.max_inner_count)) {
+      site->verdict = SiteVerdict::kBudget;
+      return;
+    }
+  }
+
+  // Prove cross-lane disjointness for every raceable model pair. Lanes other
+  // than the pair under test never alias these footprints (each lane's block
+  // is translated the same way), so pairwise lane checks are exhaustive.
+  ilp::OverlapOptions opt;
+  opt.budget.max_steps = config_.solver_budget;
+  std::vector<std::vector<ilp::StridedInterval>> per_lane(models.size() *
+                                                          g.span);
+  for (size_t i = 0; i < models.size(); i++) {
+    for (uint32_t t = 0; t < g.span; t++) {
+      if (lanes[t] == nullptr) continue;
+      if (!LaneIntervals(models[i], g.begin, blocks[t].first, blocks[t].second,
+                         config_.max_inner_products,
+                         &per_lane[i * g.span + t])) {
+        site->verdict = SiteVerdict::kBudget;
+        return;
+      }
+    }
+  }
+  for (size_t i = 0; i < models.size(); i++) {
+    for (size_t j = i; j < models.size(); j++) {
+      const uint8_t fi = models[i].flags;
+      const uint8_t fj = models[j].flags;
+      const bool raceable = ((fi | fj) & somp::kAccessWrite) != 0 &&
+                            ((fi & fj) & somp::kAccessAtomic) == 0;
+      if (!raceable) continue;
+      for (uint32_t t1 = 0; t1 < g.span; t1++) {
+        for (uint32_t t2 = t1 + 1; t2 < g.span; t2++) {
+          for (int swap = 0; swap < (i == j ? 1 : 2); swap++) {
+            const auto& as =
+                per_lane[i * g.span + (swap == 0 ? t1 : t2)];
+            const auto& bs =
+                per_lane[j * g.span + (swap == 0 ? t2 : t1)];
+            for (const auto& a : as) {
+              for (const auto& b : bs) {
+                const auto r = ilp::IntersectBounded(a, b, opt);
+                site->stats.prover_pairs++;
+                site->stats.prover_steps += r.steps;
+                if (r.verdict == ilp::OverlapVerdict::kOverlap) {
+                  site->verdict = SiteVerdict::kUnprovenOverlap;
+                  return;
+                }
+                if (r.verdict == ilp::OverlapVerdict::kUnknown) {
+                  site->verdict = SiteVerdict::kBudget;
+                  return;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  site->models = std::move(models);
+  site->verdict = SiteVerdict::kProvenSafe;
+}
+
+std::vector<SiteSnapshot> Prefilter::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SiteSnapshot> out;
+  out.reserve(site_order_.size());
+  for (uint32_t pc : site_order_) {
+    const auto it = sites_.find(pc);
+    if (it == sites_.end()) continue;
+    const Site& s = *it->second;
+    SiteSnapshot snap;
+    snap.pc = s.pc;
+    snap.verdict = s.verdict;
+    snap.sig = s.sig;
+    snap.models = s.models;
+    snap.stats = s.stats;
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+SiteStats Prefilter::Totals() const {
+  SiteStats t;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [pc, site] : sites_) {
+    t.episodes += site->stats.episodes;
+    t.armed_episodes += site->stats.armed_episodes;
+    t.elided += site->stats.elided;
+    t.receipts += site->stats.receipts;
+    t.deviations += site->stats.deviations;
+    t.invalidations += site->stats.invalidations;
+    t.prover_pairs += site->stats.prover_pairs;
+    t.prover_steps += site->stats.prover_steps;
+  }
+  return t;
+}
+
+std::string Prefilter::StateJson() const {
+  const auto sites = Snapshot();
+  const SiteStats totals = Totals();
+  std::string j = "{\n";
+  j += "  \"solver_budget\": " + std::to_string(config_.solver_budget) + ",\n";
+  j += "  \"max_invalidations\": " + std::to_string(config_.max_invalidations) +
+       ",\n";
+  j += "  \"totals\": {\n";
+  j += "    \"sites\": " + std::to_string(sites.size()) + ",\n";
+  uint64_t proven = 0;
+  for (const auto& s : sites) {
+    if (s.verdict == SiteVerdict::kProvenSafe) proven++;
+  }
+  j += "    \"proven_safe\": " + std::to_string(proven) + ",\n";
+  j += "    \"episodes\": " + std::to_string(totals.episodes) + ",\n";
+  j += "    \"armed_episodes\": " + std::to_string(totals.armed_episodes) +
+       ",\n";
+  j += "    \"elided\": " + std::to_string(totals.elided) + ",\n";
+  j += "    \"receipts\": " + std::to_string(totals.receipts) + ",\n";
+  j += "    \"deviations\": " + std::to_string(totals.deviations) + ",\n";
+  j += "    \"invalidations\": " + std::to_string(totals.invalidations) +
+       ",\n";
+  j += "    \"prover_pairs\": " + std::to_string(totals.prover_pairs) + ",\n";
+  j += "    \"prover_steps\": " + std::to_string(totals.prover_steps) + "\n";
+  j += "  },\n";
+  j += "  \"sites\": [\n";
+  for (size_t i = 0; i < sites.size(); i++) {
+    const SiteSnapshot& s = sites[i];
+    j += "    {\n";
+    j += "      \"pc\": " + std::to_string(s.pc) + ",\n";
+    j += "      \"where\": \"" +
+         JsonEscape(somp::LookupSrcLoc(s.pc).ToString()) + "\",\n";
+    j += "      \"verdict\": \"" + std::string(VerdictName(s.verdict)) +
+         "\",\n";
+    j += "      \"signature\": {\"begin\": " + std::to_string(s.sig.begin) +
+         ", \"end\": " + std::to_string(s.sig.end) +
+         ", \"span\": " + std::to_string(s.sig.span) +
+         ", \"schedule\": " +
+         std::to_string(static_cast<int>(s.sig.schedule)) +
+         ", \"chunk\": " + std::to_string(s.sig.chunk) +
+         ", \"nowait\": " + (s.sig.nowait ? "true" : "false") + "},\n";
+    j += "      \"models\": [\n";
+    for (size_t k = 0; k < s.models.size(); k++) {
+      const PcModel& m = s.models[k];
+      j += "        {\"pc\": " + std::to_string(m.pc) + ", \"where\": \"" +
+           JsonEscape(somp::LookupSrcLoc(m.pc).ToString()) +
+           "\", \"flags\": " + std::to_string(m.flags) +
+           ", \"size\": " + std::to_string(m.size) +
+           ", \"base\": " + std::to_string(m.base) +
+           ", \"iter_stride\": " + std::to_string(m.iter_stride) +
+           ", \"inner_stride\": " + std::to_string(m.inner_stride) +
+           ", \"inner_count\": " + std::to_string(m.inner_count) + "}";
+      j += (k + 1 < s.models.size()) ? ",\n" : "\n";
+    }
+    j += "      ],\n";
+    j += "      \"stats\": {\"episodes\": " + std::to_string(s.stats.episodes) +
+         ", \"armed_episodes\": " + std::to_string(s.stats.armed_episodes) +
+         ", \"elided\": " + std::to_string(s.stats.elided) +
+         ", \"receipts\": " + std::to_string(s.stats.receipts) +
+         ", \"deviations\": " + std::to_string(s.stats.deviations) +
+         ", \"invalidations\": " + std::to_string(s.stats.invalidations) +
+         ", \"prover_pairs\": " + std::to_string(s.stats.prover_pairs) +
+         ", \"prover_steps\": " + std::to_string(s.stats.prover_steps) +
+         "}\n";
+    j += (i + 1 < sites.size()) ? "    },\n" : "    }\n";
+  }
+  j += "  ]\n";
+  j += "}\n";
+  return j;
+}
+
+}  // namespace sword::prefilter

@@ -1,0 +1,303 @@
+// Static pre-filter: prove worksharing sites race-free ahead of time and
+// elide their per-access instrumentation cost (ISSUE 10; LLOV and "Compiling
+// Away the Overhead of Race Detection" motivate the analysis).
+//
+// Lifecycle per For-callsite (summarize -> prove -> suppress):
+//
+//  1. OBSERVE. The first complete execution of a worksharing loop records,
+//     per lane and per (pc, flags, size) access slot, whether the address
+//     stream fits the affine model
+//         addr(i, k) = B + i*delta + k*s,   i in [begin,end), k in [0,c)
+//     (i = loop iteration, k = the slot's k-th access within one iteration).
+//     Any deviation - irregular strides, conditional accesses, bulk ranges,
+//     synchronization inside the loop body - permanently rejects the site.
+//
+//  2. PROVE. When every lane finished observing, the per-lane fits are merged
+//     into one global model per slot and every raceable model pair (at least
+//     one write, not both atomic) is checked for cross-lane disjointness with
+//     the existing exact engines (ilp::IntersectBounded, Diophantine closed
+//     forms) under a step budget. Budget exhaustion is a sound "unproven":
+//     the site simply stays instrumented.
+//
+//  3. SUPPRESS. Later executions of a proven site run ARMED: the hot path
+//     predicts the exact next address per slot and elides the access on a
+//     match - one compare + one add. Because elision admits only an exact
+//     prefix of the predicted sequence, the elided accesses are known
+//     precisely, and an equivalent strided-run "footprint receipt" is
+//     appended to the trace at the workshare end (or at any interruption,
+//     BEFORE the interrupting event). The decoded event stream is therefore
+//     address-equivalent with and without the pre-filter - elision can never
+//     hide a race (missed-not-false is structural, not proof-dependent), and
+//     the proof is purely the arming policy.
+//
+// Invalidation is conservative: any signature change (bounds, schedule,
+// chunking, team size), any predicted-sequence deviation, and any mid-loop
+// synchronization flushes receipts, demotes the site to re-observation, and
+// after `max_invalidations` flips disarms it for good. Elided accesses are
+// accounted in their own meta channel (IntervalMeta::elided / kElided), so
+// dropped-by-proof is never confused with dropped-by-degradation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "somp/tool.h"
+#include "trace/writer.h"
+
+namespace sword::prefilter {
+
+struct PrefilterConfig {
+  /// ilp::IntersectBounded step cap per model-pair query (0 = unlimited).
+  uint64_t solver_budget = 4096;
+  /// Proven -> re-observe flips before the site is disarmed permanently.
+  uint32_t max_invalidations = 3;
+  /// Arming cap on a model's per-iteration access count c: receipts emit at
+  /// most min(full_groups, c) + 1 run events per slot, so c bounds the
+  /// receipt cost. Densely strided models collapse to one run and are armed
+  /// regardless of c.
+  uint32_t max_inner_count = 64;
+  /// Prover cap on per-k interval expansion for sparse inner strides.
+  uint32_t max_inner_products = 4;
+  /// Largest team size the prover will enumerate lane pairs for.
+  uint32_t max_span = 256;
+};
+
+enum class SiteVerdict : uint8_t {
+  kObserving,            // summarizing (or re-summarizing after invalidation)
+  kProvenSafe,           // all raceable model pairs proven disjoint; armed
+  kUnprovenOverlap,      // solver found a cross-lane overlap; never armed
+  kUnsupportedSchedule,  // not static/no-chunk/level-1/with-barrier
+  kIrregular,            // accesses do not fit the affine model
+  kHasSync,              // synchronization inside the loop body
+  kBudget,               // solver budget or receipt/prover caps exceeded
+  kDisarmed,             // too many invalidations (or concurrent episodes)
+};
+
+const char* VerdictName(SiteVerdict v);
+
+/// One slot's merged affine model in the canonical iteration space:
+/// iteration i (global, in [begin,end)), inner index k in [0, inner_count)
+/// touches [base + i*iter_stride + k*inner_stride, +size).
+struct PcModel {
+  uint32_t pc = 0;
+  uint8_t flags = 0;
+  uint8_t size = 0;
+  int64_t base = 0;          // B: address at iteration `begin`, k = 0
+  int64_t iter_stride = 0;   // delta
+  int64_t inner_stride = 0;  // s (meaningful when inner_count > 1)
+  uint32_t inner_count = 1;  // c
+};
+
+/// Everything a proof depends on. Any change invalidates the site's verdict.
+struct SiteSignature {
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t chunk = 0;
+  uint32_t span = 0;
+  somp::Schedule schedule = somp::Schedule::kStatic;
+  bool nowait = false;
+  bool operator==(const SiteSignature&) const = default;
+};
+
+struct SiteStats {
+  uint64_t episodes = 0;        // complete workshare executions seen
+  uint64_t armed_episodes = 0;  // executions that started armed
+  uint64_t elided = 0;          // accesses elided under proof
+  uint64_t receipts = 0;        // receipt run events appended
+  uint64_t deviations = 0;      // armed-mode prediction misses
+  uint64_t invalidations = 0;   // proven -> observe demotions
+  uint64_t prover_pairs = 0;    // IntersectBounded queries issued
+  uint64_t prover_steps = 0;    // solver steps actually spent
+};
+
+/// Point-in-time copy of one site's state (tests, sword-dump, prefilter.json).
+struct SiteSnapshot {
+  uint32_t pc = 0;
+  SiteVerdict verdict = SiteVerdict::kObserving;
+  SiteSignature sig;
+  std::vector<PcModel> models;  // populated for kProvenSafe sites
+  SiteStats stats;
+};
+
+namespace detail {
+
+/// Observation state for one (pc, flags, size) slot on one lane. A "group"
+/// is the run of accesses issued by one loop iteration at this slot.
+struct ObserveSlot {
+  uint32_t pc = 0;
+  uint8_t flags = 0;
+  uint8_t size = 0;
+  bool regular = true;
+  bool inner_known = false;
+  bool delta_known = false;
+  bool first_group_done = false;
+  int64_t first_iter = 0;    // iteration of the first group
+  int64_t cur_iter = 0;      // iteration of the current group
+  int64_t first_addr = 0;    // A: first address of the first group
+  int64_t group_first = 0;   // first address of the current group
+  int64_t prev_addr = 0;     // previous address within the current group
+  int64_t inner_stride = 0;  // s
+  int64_t iter_stride = 0;   // delta
+  uint32_t group_len = 0;    // accesses in the current group so far
+  uint32_t inner_count = 0;  // c, fixed when the first group closes
+  uint64_t total = 0;
+};
+
+/// Armed-mode prediction state for one slot on one lane. `expect` is the
+/// exact next address; only a match elides, so `elided` accesses are always
+/// an exact prefix of the predicted sequence.
+struct ElideSlot {
+  uint32_t pc = 0;
+  uint8_t flags = 0;
+  uint8_t size = 0;
+  uint32_t k = 0;            // inner index of the next access
+  uint32_t inner_count = 1;  // c
+  int64_t inner_stride = 0;  // s
+  int64_t group_jump = 0;    // delta - (c-1)*s: advance on k wrap
+  int64_t iter_stride = 0;   // delta (receipt emission)
+  uint64_t start = 0;        // address the current elided prefix begins at
+  uint64_t expect = 0;
+  uint64_t remaining = 0;    // predicted accesses left on this lane
+  uint64_t elided = 0;       // prefix length elided since the last flush
+};
+
+struct Site;  // internal; defined in prefilter.cpp
+
+}  // namespace detail
+
+/// Per-lane, per-workshare-execution state. Allocated by BeginEpisode and
+/// owned by the caller's thread state until EndEpisode. The hot-path methods
+/// (HandleAccess/HandleRange in observe and elide modes) touch only this
+/// lane-local state - no locks; Deviate/Suspend/End take the Prefilter
+/// mutex (rare).
+struct LaneEpisode {
+  enum class Mode : uint8_t {
+    kObserve,  // summarizing this execution
+    kElide,    // armed: predicting + eliding
+    kInert,    // passthrough (deviated, suspended, or rejected)
+  };
+
+  class Prefilter* owner = nullptr;
+  detail::Site* site = nullptr;
+  Mode mode = Mode::kInert;
+  bool suspended = false;
+  bool saw_range = false;
+  uint32_t lane = 0;
+  int64_t lane_begin = 0;
+  int64_t lane_end = 0;
+  const int64_t* iter = nullptr;  // &WorkshareFrame::iter (observe mode)
+  std::vector<detail::ObserveSlot> obs;
+  std::vector<detail::ElideSlot> slots;
+};
+
+class Prefilter {
+ public:
+  // Both out-of-line: detail::Site is incomplete here and the site map's
+  // destructor must not be instantiated in including translation units.
+  explicit Prefilter(const PrefilterConfig& config = {});
+  ~Prefilter();
+
+  /// A worksharing loop begins on one lane. Returns the lane's episode, or
+  /// null when the site is rejected (permanent negative verdict, unsupported
+  /// shape) - a null episode costs the hot path nothing. `span`/`level` come
+  /// from the lane's Ctx; `ws` from OnWorkshareBegin.
+  LaneEpisode* BeginEpisode(const somp::WorkshareInfo& ws, somp::RegionId region,
+                            uint32_t lane, uint32_t span, uint32_t level);
+
+  /// The loop finished on this lane (before its implicit barrier). Flushes
+  /// receipts into `writer`'s open segment, folds observations into the
+  /// site, and - on the last lane - merges and proves. Frees `ep`.
+  void EndEpisode(LaneEpisode* ep, trace::ThreadTraceWriter* writer);
+
+  /// Synchronization (or a nested construct) interrupted the loop body.
+  /// Flushes receipts FIRST - the caller must invoke this BEFORE appending
+  /// the interrupting event or closing the segment - then parks the episode
+  /// in passthrough. Armed episodes invalidate the proof; observing episodes
+  /// reject the site as kHasSync.
+  void SuspendEpisode(LaneEpisode* ep, trace::ThreadTraceWriter* writer);
+
+  /// Hot path: returns true iff the access was elided (the caller must then
+  /// NOT append it). Lock-free except on a prediction deviation.
+  static bool HandleAccess(LaneEpisode* ep, uint64_t addr, uint8_t size,
+                           uint8_t flags, uint32_t pc,
+                           trace::ThreadTraceWriter* writer) {
+    switch (ep->mode) {
+      case LaneEpisode::Mode::kElide: {
+        for (auto& s : ep->slots) {
+          if (s.pc == pc && s.flags == flags && s.size == size) {
+            if (s.remaining != 0 && addr == s.expect) {
+              s.elided++;
+              s.remaining--;
+              if (++s.k >= s.inner_count) {
+                s.k = 0;
+                s.expect = static_cast<uint64_t>(
+                    static_cast<int64_t>(s.expect) + s.group_jump);
+              } else {
+                s.expect = static_cast<uint64_t>(
+                    static_cast<int64_t>(s.expect) + s.inner_stride);
+              }
+              return true;
+            }
+            break;
+          }
+        }
+        Deviate(ep, writer);
+        return false;
+      }
+      case LaneEpisode::Mode::kObserve:
+        Observe(ep, addr, size, flags, pc);
+        return false;
+      case LaneEpisode::Mode::kInert:
+        return false;
+    }
+    return false;
+  }
+
+  /// Hot path for bulk ranges: never elided. Observing episodes reject the
+  /// site (ranges have no per-iteration model); armed episodes deviate.
+  static void HandleRange(LaneEpisode* ep, trace::ThreadTraceWriter* writer) {
+    if (ep->mode == LaneEpisode::Mode::kObserve) {
+      ep->saw_range = true;
+    } else if (ep->mode == LaneEpisode::Mode::kElide) {
+      Deviate(ep, writer);
+    }
+  }
+
+  /// Point-in-time copy of every site, ordered by first encounter.
+  std::vector<SiteSnapshot> Snapshot() const;
+
+  /// Totals across all sites.
+  SiteStats Totals() const;
+
+  /// Pretty-printed JSON of the whole pre-filter state (sites, verdicts,
+  /// signatures, models with file:line via the srcloc table, stats) - what
+  /// SwordTool writes to <out_dir>/prefilter.json and `sword-dump
+  /// --prefilter` renders.
+  std::string StateJson() const;
+
+  const PrefilterConfig& config() const { return config_; }
+
+ private:
+  static void Observe(LaneEpisode* ep, uint64_t addr, uint8_t size,
+                      uint8_t flags, uint32_t pc);
+  static void Deviate(LaneEpisode* ep, trace::ThreadTraceWriter* writer);
+
+  /// Emits receipt runs for every slot's elided prefix and books the counts
+  /// (NoteElided / NoteElidedLost). Resets the prefixes.
+  static void FlushLaneReceipts(LaneEpisode* ep,
+                                trace::ThreadTraceWriter* writer);
+
+  void InvalidateLocked(detail::Site* site);
+  void MergeAndProveLocked(detail::Site* site);
+
+  PrefilterConfig config_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint32_t, std::unique_ptr<detail::Site>> sites_;
+  std::vector<uint32_t> site_order_;  // first-encounter order for reporting
+};
+
+}  // namespace sword::prefilter

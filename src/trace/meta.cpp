@@ -18,6 +18,7 @@ void IntervalMeta::Serialize(ByteWriter& w, uint8_t version) const {
     w.PutVarU64(degradation_level);
     w.PutVarU64(degraded_dropped);
   }
+  if (version >= 4) w.PutVarU64(elided);
 }
 
 Status IntervalMeta::Deserialize(ByteReader& r, IntervalMeta* out, uint8_t version) {
@@ -51,6 +52,8 @@ Status IntervalMeta::Deserialize(ByteReader& r, IntervalMeta* out, uint8_t versi
     out->degradation_level = static_cast<uint32_t>(level);
     SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->degraded_dropped));
   }
+  out->elided = 0;
+  if (version >= 4) SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->elided));
   return Status::Ok();
 }
 
@@ -70,8 +73,8 @@ std::string IntervalMeta::ToString() const {
 }
 
 void EncodeMetaHeader(ByteWriter& w, const MetaHeaderInfo& info) {
-  w.PutU32(kMetaMagicV5);
-  // v5: flags + seal signo as FIXED-offset bytes right after the magic
+  w.PutU32(kMetaMagicV6);
+  // v5+: flags + seal signo as FIXED-offset bytes right after the magic
   // (kMetaFlagsOffset / kMetaSealSignoOffset) so the fatal-signal handler
   // can patch them in a pre-serialized image without running any encoder.
   w.PutU8(info.crash_sealed ? kMetaFlagCrashSealed : 0);
@@ -80,11 +83,14 @@ void EncodeMetaHeader(ByteWriter& w, const MetaHeaderInfo& info) {
   w.PutU8(info.log_format);
   // v3 additions: record-time drop totals, before the interval records so a
   // torn tail cannot hide them. v4 adds the outside-segment access drops,
-  // v5 the degradation-governor sheds and the transition history.
+  // v5 the degradation-governor sheds and the transition history, v6 the
+  // pre-filter elision totals.
   w.PutVarU64(info.events_dropped);
   w.PutVarU64(info.bytes_dropped);
   w.PutVarU64(info.accesses_dropped);
   w.PutVarU64(info.degraded_dropped);
+  w.PutVarU64(info.elided_accesses);
+  w.PutVarU64(info.elided_lost);
   const size_t n_transitions = info.transitions ? info.transitions->size() : 0;
   w.PutVarU64(n_transitions);
   for (size_t i = 0; i < n_transitions; ++i) {
@@ -107,10 +113,12 @@ Bytes MetaFile::Encode() const {
   info.bytes_dropped = bytes_dropped;
   info.accesses_dropped = accesses_dropped;
   info.degraded_dropped = degraded_dropped;
+  info.elided_accesses = elided_accesses;
+  info.elided_lost = elided_lost;
   info.transitions = &transitions;
   info.record_count = intervals.size();
   EncodeMetaHeader(w, info);
-  for (const auto& m : intervals) m.Serialize(w, /*version=*/3);
+  for (const auto& m : intervals) m.Serialize(w, /*version=*/4);
   return w.buffer();
 }
 
@@ -131,6 +139,8 @@ Status MetaFile::Decode(const Bytes& data, MetaFile* out, bool salvage,
     version = 4;
   } else if (magic == kMetaMagicV5) {
     version = 5;
+  } else if (magic == kMetaMagicV6) {
+    version = 6;
   } else {
     return Status::Corrupt("bad meta magic");
   }
@@ -169,8 +179,16 @@ Status MetaFile::Decode(const Bytes& data, MetaFile* out, bool salvage,
   }
   out->degraded_dropped = 0;
   out->transitions.clear();
+  out->elided_accesses = 0;
+  out->elided_lost = 0;
   if (version >= 5) {
     SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->degraded_dropped));
+    // v6 inserts the pre-filter counters between the governor's shed count
+    // and the transition history (mirrors EncodeMetaHeader's field order).
+    if (version >= 6) {
+      SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->elided_accesses));
+      SWORD_RETURN_IF_ERROR(r.GetVarU64(&out->elided_lost));
+    }
     uint64_t n_transitions;
     SWORD_RETURN_IF_ERROR(r.GetVarU64(&n_transitions));
     if (n_transitions > data.size()) {
@@ -188,7 +206,8 @@ Status MetaFile::Decode(const Bytes& data, MetaFile* out, bool salvage,
   SWORD_RETURN_IF_ERROR(r.GetVarU64(&n));
   out->intervals.clear();
   out->intervals.reserve(n);
-  const uint8_t record_version = version >= 5 ? 3 : version >= 2 ? 2 : 1;
+  const uint8_t record_version =
+      version >= 6 ? 4 : version >= 5 ? 3 : version >= 2 ? 2 : 1;
   for (uint64_t i = 0; i < n; i++) {
     IntervalMeta m;
     Status s = IntervalMeta::Deserialize(r, &m, record_version);

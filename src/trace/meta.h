@@ -46,6 +46,12 @@ struct IntervalMeta {
   /// (sampling / summary-only), record v3. Exact count, so offline
   /// accounting can reconcile observed + dropped totals.
   uint64_t degraded_dropped = 0;
+  /// Accesses the static pre-filter elided from THIS segment under a
+  /// disjointness proof (record v4). Unlike degraded_dropped this is NOT
+  /// loss: every elided access is covered by an exact footprint receipt
+  /// appended into the segment's event data, so the decoded stream is
+  /// address-equivalent to the unfiltered one.
+  uint64_t elided = 0;
   std::vector<uint32_t> lockset;  // mutexes held when the segment opened
 
   static constexpr uint64_t kNoParent = ~0ULL;
@@ -63,9 +69,9 @@ struct IntervalMeta {
   }
 
   /// `version` is the RECORD format: 1 omits event_count, 2 records it,
-  /// 3 adds degradation_level + degraded_dropped.
-  void Serialize(ByteWriter& w, uint8_t version = 3) const;
-  static Status Deserialize(ByteReader& r, IntervalMeta* out, uint8_t version = 3);
+  /// 3 adds degradation_level + degraded_dropped, 4 adds elided.
+  void Serialize(ByteWriter& w, uint8_t version = 4) const;
+  static Status Deserialize(ByteReader& r, IntervalMeta* out, uint8_t version = 4);
 
   /// One Table-I-style text line (debugging and the quickstart example).
   std::string ToString() const;
@@ -108,13 +114,20 @@ struct MetaFile {
   /// (v5 metas). Sum over intervals[i].degraded_dropped plus any shed while
   /// no segment was open.
   uint64_t degraded_dropped = 0;
+  /// Accesses the static pre-filter elided under a disjointness proof
+  /// (v6 metas). Sum over intervals[i].elided. Informational, not loss:
+  /// each elided access has an exact footprint receipt in the log.
+  uint64_t elided_accesses = 0;
+  /// Elided accesses whose receipt could not be emitted (v6 metas). This IS
+  /// potential loss and is accounted like degradation for soundness.
+  uint64_t elided_lost = 0;
   /// Governor level changes, in order (v5 metas).
   std::vector<DegradationTransition> transitions;
   std::vector<IntervalMeta> intervals;
 
-  /// Always writes the current (v5) meta format.
+  /// Always writes the current (v6) meta format.
   Bytes Encode() const;
-  /// Decodes v1 ("SWMF") through v5 ("SWM5") meta files.
+  /// Decodes v1 ("SWMF") through v6 ("SWM6") meta files.
   ///
   /// With `salvage`, a record-level parse failure keeps the cleanly-decoded
   /// prefix instead of failing the whole file (a crashed run's checkpoint
@@ -136,6 +149,8 @@ struct MetaHeaderInfo {
   uint64_t bytes_dropped = 0;
   uint64_t accesses_dropped = 0;
   uint64_t degraded_dropped = 0;
+  uint64_t elided_accesses = 0;
+  uint64_t elided_lost = 0;
   const std::vector<DegradationTransition>* transitions = nullptr;
   uint64_t record_count = 0;
 };
@@ -150,6 +165,7 @@ constexpr uint32_t kMetaMagicV2 = 0x53574d32;  // "SWM2" (meta format v2)
 constexpr uint32_t kMetaMagicV3 = 0x53574d33;  // "SWM3" (meta format v3)
 constexpr uint32_t kMetaMagicV4 = 0x53574d34;  // "SWM4" (meta format v4)
 constexpr uint32_t kMetaMagicV5 = 0x53574d35;  // "SWM5" (meta format v5)
+constexpr uint32_t kMetaMagicV6 = 0x53574d36;  // "SWM6" (meta format v6)
 
 /// v5 header flag bits (the byte at kMetaFlagsOffset).
 constexpr uint8_t kMetaFlagCrashSealed = 0x01;

@@ -119,6 +119,23 @@ class ThreadTraceWriter {
   /// construction.
   void AppendRange(uint64_t addr, uint64_t bytes, uint8_t flags, uint32_t pc);
 
+  /// Appends a pre-filter footprint receipt into the open segment: one run
+  /// event standing for accesses the prefilter elided (src/prefilter). The
+  /// receipt bypasses filter/coalescer/governor - it is already an exact
+  /// summary and must never be shed, or elision would lose information.
+  /// Returns false (and appends nothing) when no segment is open; the
+  /// caller must then book the covered accesses as elided_lost.
+  bool AppendReceipt(const RawEvent& event);
+
+  /// Books `n` accesses elided by the prefilter under a proof + an emitted
+  /// receipt: counted in the open segment's record and the meta totals.
+  void NoteElided(uint64_t n);
+
+  /// Books `n` elided accesses whose receipt could NOT be emitted (no open
+  /// segment). These are potential missed information, accounted like
+  /// degradation loss - never silently absorbed.
+  void NoteElidedLost(uint64_t n);
+
   /// Opens a new barrier-interval segment; data_begin is captured from the
   /// current logical offset. Any open segment must be closed first.
   void BeginSegment(const IntervalMeta& meta);
@@ -157,6 +174,12 @@ class ThreadTraceWriter {
   /// Events the writer shed because the buffer pool returned no memory
   /// (deterministic injection or a genuinely exhausted allocator).
   uint64_t pool_shed() const { return pool_shed_.Get(); }
+  /// Accesses elided by the static pre-filter under a disjointness proof,
+  /// each covered by an exact footprint receipt (kElided channel - distinct
+  /// from every "dropped" counter above by construction).
+  uint64_t events_elided() const { return events_elided_.Get(); }
+  /// Elided accesses whose receipt could not be emitted (information loss).
+  uint64_t elided_lost() const { return elided_lost_.Get(); }
   /// The SealRegistry slot, or SealRegistry::kNoSlot (testing).
   int seal_slot() const { return seal_slot_; }
 
@@ -257,6 +280,7 @@ class ThreadTraceWriter {
   uint8_t current_level_ = 0;        // cached from the last poll
   uint8_t segment_max_level_ = 0;    // highest level while segment open
   uint64_t segment_degraded_ = 0;    // shed from the open segment
+  uint64_t segment_elided_ = 0;      // prefilter-elided from the open segment
 
   int seal_slot_ = -1;  // SealRegistry slot (kNoSlot when not sealing)
 
@@ -268,6 +292,8 @@ class ThreadTraceWriter {
   OwnerCounter accesses_dropped_;
   OwnerCounter degraded_dropped_;
   OwnerCounter pool_shed_;
+  OwnerCounter events_elided_;
+  OwnerCounter elided_lost_;
 };
 
 }  // namespace sword::trace

@@ -111,6 +111,41 @@ void Jacobi(const WorkloadParams& p) {
   });
 }
 
+// c_jacobi02: the same relaxation with an explicit copy-back sweep instead
+// of the buffer swap; race-free. Every loop site touches the SAME arrays
+// with the SAME bounds on every sweep, so the static pre-filter can prove
+// both sites disjoint after one observed sweep and elide the rest - this is
+// the regular-stencil shape the pre-filter is built for (c_jacobi01's
+// base swap deliberately defeats it).
+void JacobiCopyback(const WorkloadParams& p) {
+  const uint64_t dim = p.size ? p.size : 48;
+  const int sweeps = 10;
+  std::vector<double> u(dim * dim, 0.0), unew(dim * dim, 0.0);
+  for (uint64_t i = 0; i < dim; i++) u[i] = 1.0;  // boundary
+
+  somp::Parallel(p.threads, [&](Ctx& ctx) {
+    for (int s = 0; s < sweeps; s++) {
+      ctx.For(1, static_cast<int64_t>(dim) - 1, [&](int64_t r) {
+        for (uint64_t c = 1; c + 1 < dim; c++) {
+          const size_t row = static_cast<size_t>(r);
+          const double north = instr::load(u[(row - 1) * dim + c]);
+          const double south = instr::load(u[(row + 1) * dim + c]);
+          const double west = instr::load(u[row * dim + c - 1]);
+          const double east = instr::load(u[row * dim + c + 1]);
+          instr::store(unew[row * dim + c],
+                       0.25 * (north + south + west + east));
+        }
+      });  // implicit barrier: all of unew written before the copy-back
+      ctx.For(1, static_cast<int64_t>(dim) - 1, [&](int64_t r) {
+        for (uint64_t c = 1; c + 1 < dim; c++) {
+          const size_t row = static_cast<size_t>(r);
+          instr::store(u[row * dim + c], instr::load(unew[row * dim + c]));
+        }
+      });  // implicit barrier separates sweeps
+    }
+  });
+}
+
 }  // namespace
 
 void RegisterOmpscrLoops(WorkloadRegistry& r) {
@@ -130,6 +165,14 @@ void RegisterOmpscrLoops(WorkloadRegistry& r) {
             0, 0, 0, Pi, [](const WorkloadParams&) { return uint64_t{64}; }, 100000);
   AddOmpscr(r, "c_jacobi01", "Jacobi relaxation; race-free, many barriers",
             0, 0, 0, Jacobi,
+            [](const WorkloadParams& p) {
+              const uint64_t d = p.size ? p.size : 48;
+              return 2 * d * d * 8;
+            },
+            48);
+  AddOmpscr(r, "c_jacobi02",
+            "Jacobi with copy-back sweep; race-free, pre-filter showcase",
+            0, 0, 0, JacobiCopyback,
             [](const WorkloadParams& p) {
               const uint64_t d = p.size ? p.size : 48;
               return 2 * d * d * 8;
